@@ -1,0 +1,78 @@
+//! Criterion microbenchmarks for the gossip environments: peer sampling
+//! and the trace pipeline (adjacency + 10-minute group computation).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dynagg_sim::alive::AliveSet;
+use dynagg_sim::env::spatial::SpatialEnv;
+use dynagg_sim::env::trace::TraceEnv;
+use dynagg_sim::env::uniform::UniformEnv;
+use dynagg_sim::env::Environment;
+use dynagg_trace::datasets::Dataset;
+use dynagg_trace::groups::{GroupView, PAPER_WINDOW_S};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("env_sample");
+    let mut rng = SmallRng::seed_from_u64(1);
+    let alive = AliveSet::full(100_000);
+
+    let uniform = UniformEnv::new();
+    g.bench_function("uniform_100k", |b| {
+        b.iter(|| black_box(uniform.sample(42, &alive, &mut rng)))
+    });
+
+    let spatial = SpatialEnv::for_nodes(100_000);
+    g.bench_function("spatial_walk_100k", |b| {
+        b.iter(|| black_box(spatial.sample(42, &alive, &mut rng)))
+    });
+
+    let timeline = Dataset::Three.generate();
+    let mut trace = TraceEnv::paper(timeline);
+    let alive_small = AliveSet::full(41);
+    trace.begin_round(1_000, &alive_small);
+    g.bench_function("trace_neighbor_41dev", |b| {
+        b.iter(|| black_box(trace.sample(7, &alive_small, &mut rng)))
+    });
+    g.finish();
+}
+
+fn bench_trace_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_pipeline");
+    g.sample_size(20);
+    let timeline = Dataset::Three.generate();
+
+    g.bench_function("adjacency_at", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t = (t + 30) % timeline.duration();
+            black_box(timeline.adjacency_at(t))
+        })
+    });
+
+    g.bench_function("group_view_10min_window", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t = (t + 30) % timeline.duration();
+            black_box(GroupView::at(&timeline, t, PAPER_WINDOW_S))
+        })
+    });
+
+    g.bench_function("env_begin_round", |b| {
+        let mut env = TraceEnv::paper(timeline.clone());
+        let alive = AliveSet::full(41);
+        let mut round = 0u64;
+        b.iter(|| {
+            round = (round + 1) % env.total_rounds();
+            env.begin_round(round, &alive);
+        })
+    });
+
+    g.bench_function("generate_dataset1", |b| {
+        b.iter(|| black_box(Dataset::One.generate()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sampling, bench_trace_pipeline);
+criterion_main!(benches);

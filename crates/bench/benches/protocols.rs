@@ -1,0 +1,153 @@
+//! Criterion microbenchmarks: per-round cost of every protocol at a fixed
+//! population. These measure *simulator throughput*, complementing the
+//! accuracy experiments in the `experiments` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dynagg_core::adaptive::AdaptiveRevert;
+use dynagg_core::config::ResetConfig;
+use dynagg_core::count_sketch::CountSketch;
+use dynagg_core::count_sketch_reset::CountSketchReset;
+use dynagg_core::epoch::EpochPushSum;
+use dynagg_core::full_transfer::FullTransfer;
+use dynagg_core::invert_average::InvertAverage;
+use dynagg_core::push_sum::PushSum;
+use dynagg_core::push_sum_revert::PushSumRevert;
+use dynagg_sim::env::uniform::UniformEnv;
+use dynagg_sim::{runner, Truth};
+
+const N: usize = 1_000;
+
+fn bench_protocol_rounds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocol_round");
+    g.sample_size(20);
+
+    g.bench_function("push_sum_push", |b| {
+        let mut sim = runner::builder(1)
+            .environment(UniformEnv::new())
+            .nodes_with_paper_values(N)
+            .protocol(|_, v| PushSum::averaging(v))
+            .truth(Truth::Mean)
+            .build();
+        b.iter(|| sim.step());
+    });
+
+    g.bench_function("push_sum_pairwise", |b| {
+        let mut sim = runner::builder(1)
+            .environment(UniformEnv::new())
+            .nodes_with_paper_values(N)
+            .protocol(|_, v| PushSum::averaging(v))
+            .truth(Truth::Mean)
+            .build_pairwise();
+        b.iter(|| sim.step());
+    });
+
+    g.bench_function("push_sum_revert", |b| {
+        let mut sim = runner::builder(1)
+            .environment(UniformEnv::new())
+            .nodes_with_paper_values(N)
+            .protocol(|_, v| PushSumRevert::new(v, 0.1))
+            .truth(Truth::Mean)
+            .build_pairwise();
+        b.iter(|| sim.step());
+    });
+
+    g.bench_function("full_transfer", |b| {
+        let mut sim = runner::builder(1)
+            .environment(UniformEnv::new())
+            .nodes_with_paper_values(N)
+            .protocol(|_, v| FullTransfer::paper(v, 0.1))
+            .truth(Truth::Mean)
+            .build();
+        b.iter(|| sim.step());
+    });
+
+    g.bench_function("adaptive_revert", |b| {
+        let mut sim = runner::builder(1)
+            .environment(UniformEnv::new())
+            .nodes_with_paper_values(N)
+            .protocol(|_, v| AdaptiveRevert::new(v, 0.1))
+            .truth(Truth::Mean)
+            .build();
+        b.iter(|| sim.step());
+    });
+
+    g.bench_function("epoch_push_sum", |b| {
+        let mut sim = runner::builder(1)
+            .environment(UniformEnv::new())
+            .nodes_with_paper_values(N)
+            .protocol(|_, v| EpochPushSum::new(v, 25))
+            .truth(Truth::Mean)
+            .build();
+        b.iter(|| sim.step());
+    });
+
+    g.bench_function("count_sketch", |b| {
+        let cfg = dynagg_core::config::SketchConfig::paper(N as u64, 7);
+        let mut sim = runner::builder(1)
+            .environment(UniformEnv::new())
+            .nodes_with_constant(N, 1.0)
+            .protocol(move |id, _| CountSketch::counting(cfg, u64::from(id)))
+            .truth(Truth::Count)
+            .build();
+        b.iter(|| sim.step());
+    });
+
+    g.bench_function("count_sketch_reset", |b| {
+        let cfg = ResetConfig::paper(N as u64, 7);
+        let mut sim = runner::builder(1)
+            .environment(UniformEnv::new())
+            .nodes_with_constant(N, 1.0)
+            .protocol(move |id, _| CountSketchReset::counting(cfg, u64::from(id)))
+            .truth(Truth::Count)
+            .build();
+        b.iter(|| sim.step());
+    });
+
+    g.bench_function("invert_average", |b| {
+        let cfg = ResetConfig::paper(N as u64, 7);
+        let mut sim = runner::builder(1)
+            .environment(UniformEnv::new())
+            .nodes_with_paper_values(N)
+            .protocol(move |id, v| InvertAverage::new(v, 0.05, cfg, u64::from(id)))
+            .truth(Truth::Sum)
+            .build();
+        b.iter(|| sim.step());
+    });
+
+    // Extensions.
+    g.bench_function("dynamic_moments", |b| {
+        let mut sim = runner::builder(1)
+            .environment(UniformEnv::new())
+            .nodes_with_paper_values(N)
+            .protocol(|_, v| dynagg_core::moments::DynamicMoments::new(v, 0.05))
+            .truth(Truth::Mean)
+            .build();
+        b.iter(|| sim.step());
+    });
+
+    g.bench_function("dynamic_extremum", |b| {
+        let mut sim = runner::builder(1)
+            .environment(UniformEnv::new())
+            .nodes_with_paper_values(N)
+            .protocol(|_, v| dynagg_core::extremum::DynamicExtremum::max(v))
+            .truth(Truth::Mean)
+            .build();
+        b.iter(|| sim.step());
+    });
+
+    g.bench_function("dynamic_histogram_20buckets", |b| {
+        let geo = dynagg_core::histogram::Buckets::new(0.0, 100.0, 20);
+        let mut sim = runner::builder(1)
+            .environment(UniformEnv::new())
+            .nodes_with_paper_values(N)
+            .protocol(move |_, v| dynagg_core::histogram::DynamicHistogram::new(geo, v, 0.05))
+            .truth(Truth::Mean)
+            .build();
+        b.iter(|| sim.step());
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_protocol_rounds);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Criterion microbenchmarks for the sketch substrate: the operations
+//! Count-Sketch(-Reset) performs per message.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dynagg_sketch::age::AgeMatrix;
+use dynagg_sketch::cutoff::Cutoff;
+use dynagg_sketch::hash::{Hash64, SplitMix64, XxLike64};
+use dynagg_sketch::pcsa::Pcsa;
+use dynagg_sketch::sum::insert_value;
+
+fn bench_hash(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hash");
+    let sm = SplitMix64::new(7);
+    let xx = XxLike64::new(7);
+    g.bench_function("splitmix64", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(sm.hash_u64(i))
+        })
+    });
+    g.bench_function("xxlike64", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(xx.hash_u64(i))
+        })
+    });
+    g.finish();
+}
+
+fn bench_pcsa(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pcsa");
+    let h = SplitMix64::new(1);
+
+    g.bench_function("insert", |b| {
+        let mut p = Pcsa::new(64, 24);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            p.insert(&h, i);
+        })
+    });
+
+    let mut a = Pcsa::new(64, 24);
+    let mut bb = Pcsa::new(64, 24);
+    for i in 0..10_000u64 {
+        a.insert(&h, i);
+        bb.insert(&h, i + 5_000);
+    }
+    g.bench_function("merge_64bins", |b| {
+        let mut target = a.clone();
+        b.iter(|| target.merge(black_box(&bb)))
+    });
+    g.bench_function("estimate_64bins", |b| b.iter(|| black_box(a.estimate())));
+    g.bench_function("multi_insert_v1000", |b| {
+        b.iter(|| {
+            let mut p = Pcsa::new(64, 24);
+            insert_value(&mut p, &h, 3, 1_000);
+            black_box(p)
+        })
+    });
+    g.finish();
+}
+
+fn bench_age_matrix(c: &mut Criterion) {
+    let mut g = c.benchmark_group("age_matrix");
+    let h = SplitMix64::new(2);
+    let mut m1 = AgeMatrix::new(64, 24);
+    let mut m2 = AgeMatrix::new(64, 24);
+    for i in 0..5_000u64 {
+        m1.claim_id(&h, i);
+        m2.claim_id(&h, i + 2_500);
+    }
+    m1.release_all();
+    m2.release_all();
+    for _ in 0..5 {
+        m1.tick();
+    }
+
+    g.bench_function("tick_64x25", |b| {
+        let mut m = m1.clone();
+        b.iter(|| m.tick())
+    });
+    g.bench_function("merge_min_64x25", |b| {
+        let mut target = m1.clone();
+        b.iter(|| target.merge_min(black_box(&m2)))
+    });
+    g.bench_function("bit_view_paper_cutoff", |b| {
+        let cutoff = Cutoff::paper_uniform();
+        b.iter(|| black_box(m1.bit_view(&cutoff)))
+    });
+    g.bench_function("estimate_paper_cutoff", |b| {
+        let cutoff = Cutoff::paper_uniform();
+        b.iter(|| black_box(m1.estimate(&cutoff)))
+    });
+    g.bench_function("clone_wire_snapshot", |b| b.iter(|| black_box(m1.clone())));
+    g.finish();
+}
+
+criterion_group!(benches, bench_hash, bench_pcsa, bench_age_matrix);
+criterion_main!(benches);

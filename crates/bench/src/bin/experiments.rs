@@ -1,0 +1,143 @@
+//! Experiment harness CLI: regenerate every figure and table of the paper.
+//!
+//! ```text
+//! experiments <command> [--n N] [--seed S] [--out DIR] [--quick] [--dataset 1|2|3]
+//!
+//! commands:
+//!   fig6               bit counter CDFs (1k/10k/100k hosts) + cutoff fit
+//!   fig8               averaging under uncorrelated failures (λ sweep)
+//!   fig9               counting under failure (naive vs cutoff)
+//!   fig10a             averaging under correlated failures (basic)
+//!   fig10b             averaging under correlated failures (full-transfer)
+//!   fig11-avg          trace-driven group average (needs --dataset)
+//!   fig11-sum          trace-driven group size (needs --dataset)
+//!   table-convergence  §V-A full-transfer convergence numbers
+//!   table-sketch-error §V-B PCSA 64-bin error
+//!   spatial-cutoff     extension: cutoff fit in the grid environment
+//!   ablations          all ablation sweeps (DESIGN.md §6)
+//!   all                everything above, all datasets
+//!
+//! flags:
+//!   --n N        uniform-env population (default 100000, the paper scale)
+//!   --seed S     master seed (default fixed)
+//!   --out DIR    also write each table as DIR/<id>.csv
+//!   --quick      ~100× smaller populations / 12 h traces (smoke runs)
+//!   --dataset D  Fig. 11 dataset index (default: all three)
+//! ```
+
+use dynagg_bench::{ablations, fig10, fig11, fig6, fig8, fig9, spatial_cutoff, tables, ExpOpts, Table};
+use dynagg_trace::datasets::Dataset;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    command: String,
+    opts: ExpOpts,
+    dataset: Option<Dataset>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().ok_or_else(usage)?;
+    let mut opts = ExpOpts::default();
+    let mut dataset = None;
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--n" => {
+                let v = argv.next().ok_or("--n needs a value")?;
+                opts.n = v.parse().map_err(|e| format!("bad --n: {e}"))?;
+            }
+            "--seed" => {
+                let v = argv.next().ok_or("--seed needs a value")?;
+                opts.seed = v.parse().map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--out" => {
+                let v = argv.next().ok_or("--out needs a value")?;
+                opts.out_dir = Some(PathBuf::from(v));
+            }
+            "--quick" => opts.quick = true,
+            "--dataset" => {
+                let v = argv.next().ok_or("--dataset needs a value")?;
+                let idx: usize = v.parse().map_err(|e| format!("bad --dataset: {e}"))?;
+                dataset =
+                    Some(Dataset::from_index(idx).ok_or(format!("no dataset {idx}"))?);
+            }
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    Ok(Args { command, opts, dataset })
+}
+
+fn usage() -> String {
+    "usage: experiments <fig6|fig8|fig9|fig10a|fig10b|fig11-avg|fig11-sum|table-convergence|table-sketch-error|spatial-cutoff|ablations|all> [--n N] [--seed S] [--out DIR] [--quick] [--dataset 1|2|3]".to_string()
+}
+
+fn emit(tables: Vec<Table>, opts: &ExpOpts) {
+    for t in tables {
+        println!("{}", t.render());
+        if let Some(dir) = &opts.out_dir {
+            match t.write_csv(dir) {
+                Ok(p) => println!("csv: {}\n", p.display()),
+                Err(e) => eprintln!("csv write failed for {}: {e}", t.id),
+            }
+        }
+    }
+}
+
+fn datasets(selected: Option<Dataset>) -> Vec<Dataset> {
+    selected.map(|d| vec![d]).unwrap_or_else(|| Dataset::ALL.to_vec())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let opts = &args.opts;
+    let started = std::time::Instant::now();
+    match args.command.as_str() {
+        "fig6" => emit(fig6::run(opts), opts),
+        "fig8" => emit(vec![fig8::run(opts)], opts),
+        "fig9" => emit(vec![fig9::run(opts)], opts),
+        "fig10a" => emit(vec![fig10::run_a(opts)], opts),
+        "fig10b" => emit(vec![fig10::run_b(opts)], opts),
+        "fig11-avg" => {
+            for d in datasets(args.dataset) {
+                emit(vec![fig11::run_avg(opts, d)], opts);
+            }
+        }
+        "fig11-sum" => {
+            for d in datasets(args.dataset) {
+                emit(vec![fig11::run_sum(opts, d)], opts);
+            }
+        }
+        "table-convergence" => emit(vec![tables::convergence(opts)], opts),
+        "table-sketch-error" => emit(vec![tables::sketch_error(opts)], opts),
+        "spatial-cutoff" => emit(vec![spatial_cutoff::run(opts)], opts),
+        "ablations" => emit(ablations::run_all(opts), opts),
+        "all" => {
+            emit(vec![fig8::run(opts)], opts);
+            emit(vec![fig10::run_a(opts)], opts);
+            emit(vec![fig10::run_b(opts)], opts);
+            emit(vec![fig9::run(opts)], opts);
+            emit(fig6::run(opts), opts);
+            for d in Dataset::ALL {
+                emit(vec![fig11::run_avg(opts, d)], opts);
+                emit(vec![fig11::run_sum(opts, d)], opts);
+            }
+            emit(vec![tables::convergence(opts)], opts);
+            emit(vec![tables::sketch_error(opts)], opts);
+            emit(vec![spatial_cutoff::run(opts)], opts);
+            emit(ablations::run_all(opts), opts);
+        }
+        other => {
+            eprintln!("unknown command {other}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!("[done in {:.1}s]", started.elapsed().as_secs_f64());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,34 @@
+//! # dynagg-bench
+//!
+//! The experiment harness: one module per figure/table of the paper's
+//! evaluation (§V), plus the ablations `DESIGN.md` §6 calls out. The
+//! `experiments` binary dispatches to these; criterion microbenchmarks
+//! live in `benches/`.
+//!
+//! | module | reproduces |
+//! |---|---|
+//! | [`fig6`] | Fig. 6 — bit counter CDFs + cutoff fit |
+//! | [`fig8`] | Fig. 8 — averaging under uncorrelated failures |
+//! | [`fig9`] | Fig. 9 — counting under failure (naive vs cutoff) |
+//! | [`fig10`] | Fig. 10a/b — averaging under correlated failures |
+//! | [`fig11`] | Fig. 11 — trace-driven average & group size |
+//! | [`tables`] | §V-A convergence numbers, §V-B sketch error |
+//! | [`ablations`] | exchange style, adaptive λ, N/T sweeps, cutoff scale, bandwidth, epochs |
+//! | [`spatial_cutoff`] | extension: the cutoff fit in the grid environment (§IV-A's claim) |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod fig10;
+pub mod fig11;
+pub mod fig6;
+pub mod fig8;
+pub mod fig9;
+pub mod opts;
+pub mod output;
+pub mod spatial_cutoff;
+pub mod tables;
+
+pub use opts::ExpOpts;
+pub use output::Table;

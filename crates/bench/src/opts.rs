@@ -1,0 +1,64 @@
+//! Shared experiment options and scaling presets.
+
+use std::path::PathBuf;
+
+/// Options shared by every experiment.
+#[derive(Debug, Clone)]
+pub struct ExpOpts {
+    /// Uniform-environment host count (paper: 100 000).
+    pub n: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Where CSVs go (`None` = stdout only).
+    pub out_dir: Option<PathBuf>,
+    /// Quick mode: shrink populations and trace horizons ~100× for smoke
+    /// runs; the shapes survive, the absolute errors get noisier.
+    pub quick: bool,
+}
+
+impl Default for ExpOpts {
+    fn default() -> Self {
+        Self { n: 100_000, seed: 0xD15EA5E, out_dir: None, quick: false }
+    }
+}
+
+impl ExpOpts {
+    /// Effective uniform-env population.
+    pub fn population(&self) -> usize {
+        if self.quick {
+            (self.n / 100).max(500)
+        } else {
+            self.n
+        }
+    }
+
+    /// Trace horizon cap in simulated hours (`None` = full trace).
+    pub fn trace_hours_cap(&self) -> Option<u64> {
+        self.quick.then_some(12)
+    }
+
+    /// Fig. 6 network sizes.
+    pub fn fig6_sizes(&self) -> Vec<usize> {
+        if self.quick {
+            vec![1_000, 10_000]
+        } else {
+            vec![1_000, 10_000, 100_000]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_scales_down() {
+        let full = ExpOpts::default();
+        let quick = ExpOpts { quick: true, ..ExpOpts::default() };
+        assert_eq!(full.population(), 100_000);
+        assert_eq!(quick.population(), 1_000);
+        assert_eq!(quick.fig6_sizes(), vec![1_000, 10_000]);
+        assert_eq!(full.trace_hours_cap(), None);
+        assert_eq!(quick.trace_hours_cap(), Some(12));
+    }
+}

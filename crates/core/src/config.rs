@@ -1,0 +1,173 @@
+//! Typed, validated protocol parameters.
+//!
+//! Experiments sweep these configs (λ grids, parcel counts, cutoff slopes);
+//! keeping them as plain serde-able data makes sweep definitions and
+//! experiment manifests trivially serializable.
+
+use crate::error::ProtocolError;
+use dynagg_sketch::cutoff::Cutoff;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of Push-Sum-Revert (§III).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RevertConfig {
+    /// Reversion constant λ ∈ [0, 1]. λ = 0 is static Push-Sum; larger λ
+    /// converges to post-failure truth faster but with more steady-state
+    /// error (Fig. 10a).
+    pub lambda: f64,
+}
+
+impl RevertConfig {
+    /// Validated constructor.
+    pub fn new(lambda: f64) -> Result<Self, ProtocolError> {
+        if !(0.0..=1.0).contains(&lambda) || lambda.is_nan() {
+            return Err(ProtocolError::InvalidLambda(lambda));
+        }
+        Ok(Self { lambda })
+    }
+
+    /// The λ grid used by Figs. 8 and 10.
+    pub const PAPER_LAMBDAS: [f64; 5] = [0.0, 0.001, 0.01, 0.1, 0.5];
+}
+
+/// Parameters of the Full-Transfer optimization (§III-A, Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FullTransferConfig {
+    /// Reversion constant λ.
+    pub lambda: f64,
+    /// Number of parcels N the full mass is split into (paper: 4).
+    pub parcels: u32,
+    /// Estimate window T: average over the mass received in the last T
+    /// rounds during which any mass arrived (paper: 3).
+    pub window: usize,
+}
+
+impl FullTransferConfig {
+    /// Validated constructor.
+    pub fn new(lambda: f64, parcels: u32, window: usize) -> Result<Self, ProtocolError> {
+        if !(0.0..=1.0).contains(&lambda) || lambda.is_nan() {
+            return Err(ProtocolError::InvalidLambda(lambda));
+        }
+        if parcels == 0 {
+            return Err(ProtocolError::InvalidParcels(parcels));
+        }
+        if window == 0 {
+            return Err(ProtocolError::InvalidWindow(window));
+        }
+        Ok(Self { lambda, parcels, window })
+    }
+
+    /// The paper's Fig. 10b configuration: 4 parcels, 3-round window.
+    pub fn paper(lambda: f64) -> Result<Self, ProtocolError> {
+        Self::new(lambda, 4, 3)
+    }
+}
+
+/// Geometry and seeding of a counting sketch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SketchConfig {
+    /// Bin count `m` (power of two). Paper §V-B: 64 bins ⇒ 9.7 % expected
+    /// error.
+    pub bins: u32,
+    /// Register width `L` in bits (cells per bin = L + 1).
+    pub width: u8,
+    /// Hasher seed shared by all hosts of one deployment; sketches with
+    /// different seeds are not mergeable.
+    pub hash_seed: u64,
+}
+
+impl SketchConfig {
+    /// Validated constructor.
+    pub fn new(bins: u32, width: u8, hash_seed: u64) -> Result<Self, ProtocolError> {
+        if !bins.is_power_of_two() {
+            return Err(ProtocolError::InvalidBins(bins));
+        }
+        if width == 0 || width > dynagg_sketch::fm::MAX_WIDTH {
+            return Err(ProtocolError::InvalidWidth(width));
+        }
+        Ok(Self { bins, width, hash_seed })
+    }
+
+    /// The paper's evaluation geometry: 64 bins, sized for ≤ `max_n`
+    /// counted identifiers.
+    pub fn paper(max_n: u64, hash_seed: u64) -> Self {
+        let width = dynagg_sketch::estimate::width_for(max_n, 64);
+        Self { bins: 64, width, hash_seed }
+    }
+}
+
+/// Parameters of Count-Sketch-Reset (§IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResetConfig {
+    /// Sketch geometry.
+    pub sketch: SketchConfig,
+    /// Bit-expiry cutoff `f(k)`; [`Cutoff::Infinite`] degrades the protocol
+    /// to static Sketch-Count (Fig. 9's "propagation limiting off").
+    pub cutoff: Cutoff,
+    /// Whether receivers respond with their own matrix (push-pull message
+    /// exchange, "the peer can also respond by sending its own array" —
+    /// §IV-A). Accelerates convergence, doubling per-round bandwidth.
+    pub push_pull: bool,
+}
+
+impl ResetConfig {
+    /// The paper's configuration: 64 bins, `f(k) = 7 + k/4`, push-pull on.
+    pub fn paper(max_n: u64, hash_seed: u64) -> Self {
+        Self {
+            sketch: SketchConfig::paper(max_n, hash_seed),
+            cutoff: Cutoff::paper_uniform(),
+            push_pull: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lambda_bounds_enforced() {
+        assert!(RevertConfig::new(0.0).is_ok());
+        assert!(RevertConfig::new(1.0).is_ok());
+        assert!(RevertConfig::new(-0.1).is_err());
+        assert!(RevertConfig::new(1.1).is_err());
+        assert!(RevertConfig::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn full_transfer_validation() {
+        assert!(FullTransferConfig::new(0.1, 4, 3).is_ok());
+        assert_eq!(
+            FullTransferConfig::new(0.1, 0, 3),
+            Err(ProtocolError::InvalidParcels(0))
+        );
+        assert_eq!(
+            FullTransferConfig::new(0.1, 4, 0),
+            Err(ProtocolError::InvalidWindow(0))
+        );
+        let paper = FullTransferConfig::paper(0.5).unwrap();
+        assert_eq!((paper.parcels, paper.window), (4, 3));
+    }
+
+    #[test]
+    fn sketch_config_validation() {
+        assert!(SketchConfig::new(64, 24, 0).is_ok());
+        assert_eq!(SketchConfig::new(48, 24, 0), Err(ProtocolError::InvalidBins(48)));
+        assert_eq!(SketchConfig::new(64, 0, 0), Err(ProtocolError::InvalidWidth(0)));
+        assert_eq!(SketchConfig::new(64, 64, 0), Err(ProtocolError::InvalidWidth(64)));
+    }
+
+    #[test]
+    fn paper_sketch_has_64_bins() {
+        let c = SketchConfig::paper(100_000, 7);
+        assert_eq!(c.bins, 64);
+        assert!(c.width >= 18);
+    }
+
+    #[test]
+    fn paper_reset_config_uses_paper_cutoff() {
+        let c = ResetConfig::paper(100_000, 3);
+        assert_eq!(c.cutoff, Cutoff::paper_uniform());
+        assert!(c.push_pull);
+    }
+}

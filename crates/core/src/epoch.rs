@@ -1,0 +1,290 @@
+//! The epoch-reset baseline (paper §II-C): "the simplest form of dynamic
+//! aggregation".
+//!
+//! Wrap a static protocol and periodically restart it: every `epoch_len`
+//! rounds each host resets to its initial state, so errors from departed
+//! hosts only survive until the next reset. No leader is needed — messages
+//! carry an epoch counter and hosts adopt the highest epoch they see ("weak
+//! clock synchronization by annotating each message with a periodically
+//! incremented epoch counter").
+//!
+//! The paper's critique, which the experiment harness reproduces as an
+//! ablation: the right epoch length depends on the network's convergence
+//! time, which depends on the network size — *itself an aggregate* — and
+//! mobile hosts crossing between cliques cause epoch-number turbulence.
+//! Too short an epoch never converges; too long an epoch serves stale
+//! results for most of its duration.
+
+use crate::mass::{Mass, MASS_WIRE_BYTES};
+use crate::error::ProtocolError;
+use crate::protocol::{Estimator, NodeId, PushProtocol, RoundCtx};
+
+/// An epoch-annotated Push-Sum message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochMsg {
+    /// Sender's epoch counter.
+    pub epoch: u64,
+    /// The mass share.
+    pub mass: Mass,
+}
+
+/// Push-Sum restarted every `epoch_len` rounds via weak epoch counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochPushSum {
+    epoch_len: u64,
+    value: f64,
+    epoch: u64,
+    /// Rounds this host has spent in its current epoch (local clock).
+    rounds_in_epoch: u64,
+    /// Probability per round that this host's local clock fails to tick
+    /// (a slept radio, a missed beacon). Drift is what desynchronizes
+    /// epoch numbers between cliques — §II-C's disruption scenario.
+    drift_prob: f64,
+    mass: Mass,
+    inbox: Mass,
+    /// The final estimate of the previous epoch — what the host reports
+    /// while the current epoch is still converging.
+    published: Option<f64>,
+}
+
+impl EpochPushSum {
+    /// An averaging host holding `value` that restarts every `epoch_len`
+    /// rounds.
+    ///
+    /// # Panics
+    /// Panics if `epoch_len` is zero; use [`EpochPushSum::try_new`].
+    pub fn new(value: f64, epoch_len: u64) -> Self {
+        Self::try_new(value, epoch_len).expect("invalid epoch length")
+    }
+
+    /// Fallible constructor.
+    pub fn try_new(value: f64, epoch_len: u64) -> Result<Self, ProtocolError> {
+        if epoch_len == 0 {
+            return Err(ProtocolError::InvalidEpochLength(epoch_len));
+        }
+        Ok(Self {
+            epoch_len,
+            value,
+            epoch: 0,
+            rounds_in_epoch: 0,
+            drift_prob: 0.0,
+            mass: Mass::averaging(value),
+            inbox: Mass::ZERO,
+            published: Some(value),
+        })
+    }
+
+    /// Add weak-clock drift: with probability `drift_prob` per round, this
+    /// host's local epoch clock does not tick. Drifted hosts fall behind,
+    /// their cliques settle on lower epoch numbers, and migrants carrying
+    /// higher epochs force disruptive restarts — §II-C's mobility critique
+    /// made measurable.
+    ///
+    /// # Panics
+    /// Panics if `drift_prob` is outside `[0, 1]`.
+    pub fn with_drift(mut self, drift_prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&drift_prob), "drift probability must be in [0, 1]");
+        self.drift_prob = drift_prob;
+        self
+    }
+
+    /// Current epoch number.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The configured epoch length in rounds.
+    pub fn epoch_len(&self) -> u64 {
+        self.epoch_len
+    }
+
+    /// Reset into epoch `epoch` (publishing the outgoing estimate first).
+    fn restart(&mut self, epoch: u64) {
+        if let Some(e) = self.mass.estimate() {
+            self.published = Some(e);
+        }
+        self.epoch = epoch;
+        self.rounds_in_epoch = 0;
+        self.mass = Mass::averaging(self.value);
+        self.inbox = Mass::ZERO;
+    }
+}
+
+impl Estimator for EpochPushSum {
+    fn estimate(&self) -> Option<f64> {
+        // Report the previous epoch's converged value until the current one
+        // is at least half-way through (heuristic: a fresh epoch's estimate
+        // is dominated by the host's own value and would be wildly wrong).
+        if self.rounds_in_epoch * 2 >= self.epoch_len {
+            self.mass.estimate().or(self.published)
+        } else {
+            self.published.or_else(|| self.mass.estimate())
+        }
+    }
+}
+
+impl PushProtocol for EpochPushSum {
+    type Message = EpochMsg;
+
+    fn begin_round(&mut self, ctx: &mut RoundCtx<'_>, out: &mut Vec<(NodeId, EpochMsg)>) {
+        // Local clock: advance the epoch when this host has spent
+        // `epoch_len` rounds in the current one.
+        if self.rounds_in_epoch >= self.epoch_len {
+            let next = self.epoch + 1;
+            self.restart(next);
+        }
+        let half = self.mass.half();
+        self.inbox = half;
+        if let Some(peer) = ctx.sample_peer() {
+            out.push((peer, EpochMsg { epoch: self.epoch, mass: half }));
+        } else {
+            self.inbox += half;
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        _from: NodeId,
+        msg: &EpochMsg,
+        _ctx: &mut RoundCtx<'_>,
+    ) -> Option<EpochMsg> {
+        use std::cmp::Ordering;
+        match msg.epoch.cmp(&self.epoch) {
+            Ordering::Greater => {
+                // A peer is ahead (clock drift or clique migration): jump
+                // forward, losing this epoch's progress — the disruption the
+                // paper criticizes.
+                self.restart(msg.epoch);
+                self.inbox = self.mass.half();
+                self.mass = self.inbox; // keep mass consistent pre-end_round
+                self.inbox += msg.mass;
+            }
+            Ordering::Equal => self.inbox += msg.mass,
+            Ordering::Less => { /* stale epoch: drop the mass */ }
+        }
+        None
+    }
+
+    fn end_round(&mut self, ctx: &mut RoundCtx<'_>) {
+        self.mass = self.inbox;
+        self.inbox = Mass::ZERO;
+        if self.drift_prob == 0.0 || rand::Rng::gen::<f64>(ctx.rng) >= self.drift_prob {
+            self.rounds_in_epoch += 1;
+        }
+    }
+
+    fn message_bytes(_msg: &EpochMsg) -> usize {
+        MASS_WIRE_BYTES + 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::samplers::SliceSampler;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn run(values: &[f64], epoch_len: u64, rounds: u64, seed: u64) -> Vec<EpochPushSum> {
+        let mut nodes: Vec<EpochPushSum> =
+            values.iter().map(|&v| EpochPushSum::new(v, epoch_len)).collect();
+        let ids: Vec<NodeId> = (0..nodes.len() as NodeId).collect();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut out = Vec::new();
+        for round in 0..rounds {
+            let mut queue: Vec<(usize, EpochMsg)> = Vec::new();
+            for (i, node) in nodes.iter_mut().enumerate() {
+                let peers: Vec<NodeId> =
+                    ids.iter().copied().filter(|&p| p as usize != i).collect();
+                let mut sampler = SliceSampler::new(&peers);
+                let mut ctx = RoundCtx { round, rng: &mut rng, peers: &mut sampler };
+                out.clear();
+                node.begin_round(&mut ctx, &mut out);
+                for (to, m) in out.drain(..) {
+                    queue.push((to as usize, m));
+                }
+            }
+            for (to, m) in queue {
+                let mut sampler = SliceSampler::new(&[]);
+                let mut ctx = RoundCtx { round, rng: &mut rng, peers: &mut sampler };
+                nodes[to].on_message(0, &m, &mut ctx);
+            }
+            for node in nodes.iter_mut() {
+                let mut sampler = SliceSampler::new(&[]);
+                let mut ctx = RoundCtx { round, rng: &mut rng, peers: &mut sampler };
+                node.end_round(&mut ctx);
+            }
+        }
+        nodes
+    }
+
+    #[test]
+    fn converges_within_an_epoch() {
+        let values: Vec<f64> = (0..8).map(|i| f64::from(i) * 10.0).collect();
+        let nodes = run(&values, 25, 24, 31);
+        for n in &nodes {
+            let e = n.estimate().unwrap();
+            assert!((e - 35.0).abs() < 5.0, "estimate {e}");
+        }
+    }
+
+    #[test]
+    fn epochs_advance_in_lockstep() {
+        let values = [1.0, 2.0, 3.0, 4.0];
+        let nodes = run(&values, 10, 35, 32);
+        for n in &nodes {
+            assert_eq!(n.epoch(), 3, "after 35 rounds with epoch_len 10");
+        }
+    }
+
+    #[test]
+    fn recovers_after_failures_once_epoch_turns() {
+        let values = [10.0, 20.0, 80.0, 90.0];
+        let epoch_len = 15u64;
+        let mut nodes: Vec<EpochPushSum> =
+            values.iter().map(|&v| EpochPushSum::new(v, epoch_len)).collect();
+        let mut rng = SmallRng::seed_from_u64(33);
+        let mut out = Vec::new();
+        let drive = |nodes: &mut Vec<EpochPushSum>, rounds: std::ops::Range<u64>,
+                         rng: &mut SmallRng, out: &mut Vec<(NodeId, EpochMsg)>| {
+            for round in rounds {
+                let ids: Vec<NodeId> = (0..nodes.len() as NodeId).collect();
+                let mut queue: Vec<(usize, EpochMsg)> = Vec::new();
+                for (i, node) in nodes.iter_mut().enumerate() {
+                    let peers: Vec<NodeId> =
+                        ids.iter().copied().filter(|&p| p as usize != i).collect();
+                    let mut sampler = SliceSampler::new(&peers);
+                    let mut ctx = RoundCtx { round, rng, peers: &mut sampler };
+                    out.clear();
+                    node.begin_round(&mut ctx, out);
+                    for (to, m) in out.drain(..) {
+                        queue.push((to as usize, m));
+                    }
+                }
+                for (to, m) in queue {
+                    let mut sampler = SliceSampler::new(&[]);
+                    let mut ctx = RoundCtx { round, rng, peers: &mut sampler };
+                    nodes[to].on_message(0, &m, &mut ctx);
+                }
+                for node in nodes.iter_mut() {
+                    let mut sampler = SliceSampler::new(&[]);
+                    let mut ctx = RoundCtx { round, rng, peers: &mut sampler };
+                    node.end_round(&mut ctx);
+                }
+            }
+        };
+        drive(&mut nodes, 0..14, &mut rng, &mut out);
+        nodes.truncate(2); // survivors: 10, 20 -> avg 15
+        // Run long enough for a full fresh epoch after the failure.
+        drive(&mut nodes, 14..50, &mut rng, &mut out);
+        for n in &nodes {
+            let e = n.estimate().unwrap();
+            assert!((e - 15.0).abs() < 3.0, "post-epoch estimate {e} should be ~15");
+        }
+    }
+
+    #[test]
+    fn zero_epoch_rejected() {
+        assert!(EpochPushSum::try_new(1.0, 0).is_err());
+    }
+}

@@ -1,0 +1,52 @@
+//! Error types for protocol configuration.
+
+use std::fmt;
+
+/// Validation errors raised when constructing protocols from configs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtocolError {
+    /// The reversion constant λ must lie in `[0, 1]`.
+    InvalidLambda(f64),
+    /// Parcel count must be at least 1.
+    InvalidParcels(u32),
+    /// Estimate window must be at least 1 round.
+    InvalidWindow(usize),
+    /// Sketch bin count must be a power of two ≥ 1.
+    InvalidBins(u32),
+    /// Sketch register width must be in `1..=63`.
+    InvalidWidth(u8),
+    /// Epoch length must be at least 1 round.
+    InvalidEpochLength(u64),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidLambda(l) => {
+                write!(f, "reversion constant lambda must be in [0, 1], got {l}")
+            }
+            Self::InvalidParcels(n) => write!(f, "parcel count must be >= 1, got {n}"),
+            Self::InvalidWindow(t) => write!(f, "estimate window must be >= 1 round, got {t}"),
+            Self::InvalidBins(m) => {
+                write!(f, "sketch bin count must be a power of two >= 1, got {m}")
+            }
+            Self::InvalidWidth(l) => write!(f, "sketch register width must be in 1..=63, got {l}"),
+            Self::InvalidEpochLength(e) => write!(f, "epoch length must be >= 1 round, got {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let msg = ProtocolError::InvalidLambda(1.5).to_string();
+        assert!(msg.contains("lambda") && msg.contains("1.5"));
+        let msg = ProtocolError::InvalidBins(7).to_string();
+        assert!(msg.contains("power of two") && msg.contains('7'));
+    }
+}

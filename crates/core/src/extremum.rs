@@ -1,0 +1,308 @@
+//! Dynamic maximum/minimum via age-expiring champions (extension).
+//!
+//! The paper's introduction motivates extrema ("most popular song") but
+//! §III/§IV only instantiate average, count, and sum. Extrema are trivial
+//! under *static* gossip — max is idempotent, so flooding converges — but
+//! exhibit exactly the failure mode of §II-B: once the host holding the
+//! maximum departs silently, no host can tell whether the champion value is
+//! still sourced, and the stale maximum persists forever.
+//!
+//! The fix transplants Count-Sketch-Reset's mechanism one-for-one: gossip
+//! the champion *with an age*. The host whose own value equals the champion
+//! pins the age at 0; every other host increments it each round; receivers
+//! keep the better `(value, age)` pair, preferring the younger age on
+//! ties. While a source is alive the age anywhere is bounded by the gossip
+//! propagation time (`ttl ≈ 7` under uniform gossip, the `k = 0` cutoff —
+//! the champion has at least one source by construction). When the last
+//! source departs, ages grow in lockstep, cross `ttl`, and every host falls
+//! back to its own value; the surviving maximum re-floods in O(log n)
+//! rounds.
+
+use crate::protocol::{Estimator, NodeId, PushProtocol, RoundCtx};
+
+/// Which extremum to maintain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ExtremumMode {
+    /// Track the maximum value.
+    Max,
+    /// Track the minimum value.
+    Min,
+}
+
+impl ExtremumMode {
+    /// Is `a` strictly better than `b` under this mode?
+    #[inline]
+    pub fn better(self, a: f64, b: f64) -> bool {
+        match self {
+            ExtremumMode::Max => a > b,
+            ExtremumMode::Min => a < b,
+        }
+    }
+}
+
+/// The champion gossip payload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChampionMsg {
+    /// Best value known to the sender.
+    pub value: f64,
+    /// Rounds since that value was last observed at a live source.
+    pub age: u32,
+}
+
+/// One host's dynamic-extremum state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicExtremum {
+    mode: ExtremumMode,
+    own: f64,
+    best: f64,
+    best_age: u32,
+    ttl: u32,
+}
+
+/// The default champion TTL for uniform gossip: the `k = 0` cutoff of
+/// Count-Sketch-Reset (`f(0) = 7`) — a champion always has ≥ 1 source, so
+/// its propagation bound matches the most-sourced sketch bit.
+pub const UNIFORM_TTL: u32 = 7;
+
+impl DynamicExtremum {
+    /// A host holding `value`, expiring unrefreshed champions after `ttl`
+    /// rounds.
+    pub fn new(mode: ExtremumMode, value: f64, ttl: u32) -> Self {
+        Self { mode, own: value, best: value, best_age: 0, ttl: ttl.max(1) }
+    }
+
+    /// Max-tracking host with the uniform-gossip TTL.
+    pub fn max(value: f64) -> Self {
+        Self::new(ExtremumMode::Max, value, UNIFORM_TTL)
+    }
+
+    /// Min-tracking host with the uniform-gossip TTL.
+    pub fn min(value: f64) -> Self {
+        Self::new(ExtremumMode::Min, value, UNIFORM_TTL)
+    }
+
+    /// Update the host's own value (also re-arms it as a champion source
+    /// if it beats the current one).
+    pub fn set_value(&mut self, value: f64) {
+        self.own = value;
+        if self.mode.better(value, self.best) || value == self.best {
+            self.best = value;
+            self.best_age = 0;
+        }
+    }
+
+    /// The current champion's age at this host.
+    pub fn champion_age(&self) -> u32 {
+        self.best_age
+    }
+
+    /// Adopt an incoming champion if it is better, or equal but fresher.
+    fn consider(&mut self, value: f64, age: u32) {
+        if self.mode.better(value, self.best) || (value == self.best && age < self.best_age) {
+            self.best = value;
+            self.best_age = age;
+        }
+    }
+}
+
+impl Estimator for DynamicExtremum {
+    fn estimate(&self) -> Option<f64> {
+        Some(self.best)
+    }
+}
+
+impl PushProtocol for DynamicExtremum {
+    type Message = ChampionMsg;
+
+    fn begin_round(&mut self, ctx: &mut RoundCtx<'_>, out: &mut Vec<(NodeId, ChampionMsg)>) {
+        // Aging step: sources pin their champion at 0.
+        if self.best == self.own {
+            self.best_age = 0;
+        } else {
+            self.best_age = self.best_age.saturating_add(1);
+            if self.best_age > self.ttl {
+                // Champion expired: fall back to the local value, which
+                // this host sources itself.
+                self.best = self.own;
+                self.best_age = 0;
+            }
+        }
+        if let Some(peer) = ctx.sample_peer() {
+            out.push((peer, ChampionMsg { value: self.best, age: self.best_age }));
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        _from: NodeId,
+        msg: &ChampionMsg,
+        _ctx: &mut RoundCtx<'_>,
+    ) -> Option<ChampionMsg> {
+        // Push-pull: answer with our own champion (pre-merge), then merge.
+        let reply = ChampionMsg { value: self.best, age: self.best_age };
+        self.consider(msg.value, msg.age);
+        Some(reply)
+    }
+
+    fn on_reply(&mut self, _from: NodeId, msg: &ChampionMsg, _ctx: &mut RoundCtx<'_>) {
+        self.consider(msg.value, msg.age);
+    }
+
+    fn end_round(&mut self, _ctx: &mut RoundCtx<'_>) {}
+
+    fn message_bytes(_msg: &ChampionMsg) -> usize {
+        12 // f64 value + u32 age
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::samplers::SliceSampler;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    struct Net {
+        nodes: Vec<DynamicExtremum>,
+        rng: SmallRng,
+        round: u64,
+    }
+
+    impl Net {
+        fn new(values: &[f64], seed: u64) -> Self {
+            Self {
+                nodes: values.iter().map(|&v| DynamicExtremum::max(v)).collect(),
+                rng: SmallRng::seed_from_u64(seed),
+                round: 0,
+            }
+        }
+
+        fn step(&mut self) {
+            let n = self.nodes.len();
+            let ids: Vec<NodeId> = (0..n as NodeId).collect();
+            let mut out = Vec::new();
+            let mut queue: Vec<(usize, usize, ChampionMsg)> = Vec::new();
+            for (i, node) in self.nodes.iter_mut().enumerate() {
+                let peers: Vec<NodeId> =
+                    ids.iter().copied().filter(|&p| p as usize != i).collect();
+                let mut sampler = SliceSampler::new(&peers);
+                let mut ctx =
+                    RoundCtx { round: self.round, rng: &mut self.rng, peers: &mut sampler };
+                out.clear();
+                node.begin_round(&mut ctx, &mut out);
+                for (to, m) in out.drain(..) {
+                    queue.push((i, to as usize, m));
+                }
+            }
+            for (from, to, m) in queue {
+                let mut sampler = SliceSampler::new(&[]);
+                let mut ctx =
+                    RoundCtx { round: self.round, rng: &mut self.rng, peers: &mut sampler };
+                if let Some(reply) = self.nodes[to].on_message(from as NodeId, &m, &mut ctx) {
+                    let mut sampler = SliceSampler::new(&[]);
+                    let mut ctx =
+                        RoundCtx { round: self.round, rng: &mut self.rng, peers: &mut sampler };
+                    self.nodes[from].on_reply(to as NodeId, &reply, &mut ctx);
+                }
+            }
+            self.round += 1;
+        }
+    }
+
+    #[test]
+    fn max_floods_the_network() {
+        let values: Vec<f64> = (0..32).map(f64::from).collect();
+        let mut net = Net::new(&values, 121);
+        for _ in 0..12 {
+            net.step();
+        }
+        for n in &net.nodes {
+            assert_eq!(n.estimate(), Some(31.0));
+        }
+    }
+
+    #[test]
+    fn stale_max_expires_after_source_departs() {
+        let values: Vec<f64> = (0..16).map(f64::from).collect();
+        let mut net = Net::new(&values, 122);
+        for _ in 0..12 {
+            net.step();
+        }
+        assert_eq!(net.nodes[0].estimate(), Some(15.0));
+        // Host 15 (the max) silently fails.
+        net.nodes.truncate(15);
+        for _ in 0..UNIFORM_TTL as usize + 12 {
+            net.step();
+        }
+        for n in &net.nodes {
+            assert_eq!(
+                n.estimate(),
+                Some(14.0),
+                "stale champion must expire and the surviving max re-flood"
+            );
+        }
+    }
+
+    #[test]
+    fn live_champion_never_expires() {
+        let values = [3.0, 9.0, 1.0, 4.0];
+        let mut net = Net::new(&values, 123);
+        for _ in 0..100 {
+            net.step();
+        }
+        for n in &net.nodes {
+            assert_eq!(n.estimate(), Some(9.0), "a live source keeps refreshing its champion");
+        }
+    }
+
+    #[test]
+    fn min_mode_mirrors_max() {
+        let mut a = DynamicExtremum::min(5.0);
+        let mut rng = SmallRng::seed_from_u64(124);
+        let peers = [1u32];
+        let mut sampler = SliceSampler::new(&peers);
+        let mut ctx = RoundCtx { round: 0, rng: &mut rng, peers: &mut sampler };
+        a.on_message(1, &ChampionMsg { value: 2.0, age: 0 }, &mut ctx);
+        assert_eq!(a.estimate(), Some(2.0));
+        a.on_message(1, &ChampionMsg { value: 7.0, age: 0 }, &mut ctx);
+        assert_eq!(a.estimate(), Some(2.0), "worse values are ignored");
+    }
+
+    #[test]
+    fn tie_prefers_younger_age() {
+        let mut a = DynamicExtremum::max(1.0);
+        a.best = 9.0;
+        a.best_age = 5;
+        let mut rng = SmallRng::seed_from_u64(125);
+        let mut sampler = SliceSampler::new(&[]);
+        let mut ctx = RoundCtx { round: 0, rng: &mut rng, peers: &mut sampler };
+        a.on_message(1, &ChampionMsg { value: 9.0, age: 2 }, &mut ctx);
+        assert_eq!(a.champion_age(), 2);
+    }
+
+    #[test]
+    fn set_value_rearms_the_source() {
+        let mut a = DynamicExtremum::max(1.0);
+        a.best = 9.0;
+        a.best_age = 3;
+        a.set_value(12.0);
+        assert_eq!(a.estimate(), Some(12.0));
+        assert_eq!(a.champion_age(), 0);
+    }
+
+    #[test]
+    fn growing_value_at_live_host_propagates() {
+        let values = [1.0, 2.0, 3.0, 4.0];
+        let mut net = Net::new(&values, 126);
+        for _ in 0..10 {
+            net.step();
+        }
+        net.nodes[0].set_value(50.0);
+        for _ in 0..10 {
+            net.step();
+        }
+        for n in &net.nodes {
+            assert_eq!(n.estimate(), Some(50.0));
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Running mean + variance/standard deviation (extension).
+//!
+//! The paper lists standard deviation among the aggregates worth
+//! maintaining (§II) but only instantiates average, count, and sum. The
+//! extension is mechanical and included here: run two Push-Sum-Revert
+//! instances in lockstep — one over `v`, one over `v²` — against the same
+//! sampled peer, and read
+//!
+//! ```text
+//! mean = E[v]        var = E[v²] − E[v]²        stddev = √var
+//! ```
+//!
+//! Both moments inherit Push-Sum-Revert's dynamic behaviour: after silent
+//! failures the estimates re-converge to the survivors' moments at the
+//! same λ-controlled rate.
+
+use crate::mass::{Mass, MASS_WIRE_BYTES};
+use crate::protocol::{Estimator, NodeId, PairwiseProtocol, PushProtocol, RoundCtx};
+use crate::push_sum_revert::PushSumRevert;
+use rand::rngs::SmallRng;
+
+/// Combined first/second-moment gossip payload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MomentsMsg {
+    /// Share of the Σv mass.
+    pub first: Mass,
+    /// Share of the Σv² mass.
+    pub second: Mass,
+}
+
+/// One host's running-moments state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicMoments {
+    first: PushSumRevert,
+    second: PushSumRevert,
+}
+
+impl DynamicMoments {
+    /// A host holding `value`, with reversion constant `lambda`.
+    pub fn new(value: f64, lambda: f64) -> Self {
+        Self {
+            first: PushSumRevert::new(value, lambda),
+            second: PushSumRevert::new(value * value, lambda),
+        }
+    }
+
+    /// Update the host's local value.
+    pub fn set_value(&mut self, value: f64) {
+        self.first.set_value(value);
+        self.second.set_value(value * value);
+    }
+
+    /// Running mean estimate.
+    pub fn mean(&self) -> Option<f64> {
+        self.first.estimate()
+    }
+
+    /// Running variance estimate (clamped at 0 — the difference of two
+    /// noisy estimates can go slightly negative near convergence).
+    pub fn variance(&self) -> Option<f64> {
+        let m = self.first.estimate()?;
+        let s = self.second.estimate()?;
+        Some((s - m * m).max(0.0))
+    }
+
+    /// Running standard-deviation estimate.
+    pub fn stddev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+}
+
+impl Estimator for DynamicMoments {
+    /// The primary estimate is the standard deviation (the mean is
+    /// available through [`DynamicMoments::mean`]).
+    fn estimate(&self) -> Option<f64> {
+        self.stddev()
+    }
+}
+
+impl PushProtocol for DynamicMoments {
+    type Message = MomentsMsg;
+
+    fn begin_round(&mut self, ctx: &mut RoundCtx<'_>, out: &mut Vec<(NodeId, MomentsMsg)>) {
+        // One peer, both sub-protocols: emit the halves directly so the
+        // composite's dynamics are exactly a pair of Push-Sum-Revert runs
+        // sharing peer choices.
+        let first = self.first.emit_half();
+        let second = self.second.emit_half();
+        match ctx.sample_peer() {
+            Some(p) => out.push((p, MomentsMsg { first, second })),
+            None => {
+                self.first.absorb_unsent(first);
+                self.second.absorb_unsent(second);
+            }
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        _from: NodeId,
+        msg: &MomentsMsg,
+        _ctx: &mut RoundCtx<'_>,
+    ) -> Option<MomentsMsg> {
+        self.first.absorb(msg.first);
+        self.second.absorb(msg.second);
+        None
+    }
+
+    fn end_round(&mut self, _ctx: &mut RoundCtx<'_>) {
+        self.first.conclude_round();
+        self.second.conclude_round();
+    }
+
+    fn message_bytes(_msg: &MomentsMsg) -> usize {
+        2 * MASS_WIRE_BYTES
+    }
+}
+
+impl PairwiseProtocol for DynamicMoments {
+    fn exchange(initiator: &mut Self, responder: &mut Self, rng: &mut SmallRng) {
+        PushSumRevert::exchange(&mut initiator.first, &mut responder.first, rng);
+        PushSumRevert::exchange(&mut initiator.second, &mut responder.second, rng);
+    }
+
+    fn end_round(&mut self, round: u64) {
+        PairwiseProtocol::end_round(&mut self.first, round);
+        PairwiseProtocol::end_round(&mut self.second, round);
+    }
+
+    fn exchange_bytes(&self) -> usize {
+        4 * MASS_WIRE_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    fn run_pairwise(values: &[f64], lambda: f64, rounds: u64, seed: u64) -> Vec<DynamicMoments> {
+        let mut nodes: Vec<DynamicMoments> =
+            values.iter().map(|&v| DynamicMoments::new(v, lambda)).collect();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = nodes.len();
+        for round in 0..rounds {
+            for i in 0..n {
+                let j = (i + 1 + rng.gen_range(0..n - 1)) % n;
+                let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+                let (a, b) = nodes.split_at_mut(hi);
+                DynamicMoments::exchange(&mut a[lo], &mut b[0], &mut rng);
+            }
+            for node in nodes.iter_mut() {
+                PairwiseProtocol::end_round(node, round);
+            }
+        }
+        nodes
+    }
+
+    fn true_moments(values: &[f64]) -> (f64, f64) {
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        (mean, var.sqrt())
+    }
+
+    #[test]
+    fn converges_to_population_moments() {
+        let values: Vec<f64> = (0..16).map(|i| f64::from(i) * 5.0).collect();
+        let (mean, sd) = true_moments(&values);
+        let nodes = run_pairwise(&values, 0.01, 60, 91);
+        for n in &nodes {
+            assert!((n.mean().unwrap() - mean).abs() < 3.0, "mean {:?}", n.mean());
+            assert!((n.stddev().unwrap() - sd).abs() < 3.0, "sd {:?}", n.stddev());
+        }
+    }
+
+    #[test]
+    fn constant_values_have_zero_stddev() {
+        let values = vec![7.0; 8];
+        let nodes = run_pairwise(&values, 0.0, 20, 92);
+        for n in &nodes {
+            assert_eq!(n.mean(), Some(7.0));
+            assert!(n.stddev().unwrap() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn variance_is_never_negative() {
+        let values = [1.0, 1.0, 1.0000001, 1.0];
+        let nodes = run_pairwise(&values, 0.1, 30, 93);
+        for n in &nodes {
+            assert!(n.variance().unwrap() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn recovers_moments_after_correlated_failure() {
+        let values: Vec<f64> = (0..16).map(|i| f64::from(i) * 10.0).collect();
+        let mut nodes: Vec<DynamicMoments> =
+            values.iter().map(|&v| DynamicMoments::new(v, 0.1)).collect();
+        let mut rng = SmallRng::seed_from_u64(94);
+        for round in 0..20u64 {
+            for i in 0..nodes.len() {
+                let j = (i + 1 + rng.gen_range(0..nodes.len() - 1)) % nodes.len();
+                let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+                let (a, b) = nodes.split_at_mut(hi);
+                DynamicMoments::exchange(&mut a[lo], &mut b[0], &mut rng);
+            }
+            for n in nodes.iter_mut() {
+                PairwiseProtocol::end_round(n, round);
+            }
+        }
+        nodes.truncate(8); // survivors 0,10,...,70
+        let survivors: Vec<f64> = (0..8).map(|i| f64::from(i) * 10.0).collect();
+        let (mean, sd) = true_moments(&survivors);
+        for round in 20..120u64 {
+            for i in 0..nodes.len() {
+                let j = (i + 1 + rng.gen_range(0..nodes.len() - 1)) % nodes.len();
+                let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+                let (a, b) = nodes.split_at_mut(hi);
+                DynamicMoments::exchange(&mut a[lo], &mut b[0], &mut rng);
+            }
+            for n in nodes.iter_mut() {
+                PairwiseProtocol::end_round(n, round);
+            }
+        }
+        for n in &nodes {
+            assert!((n.mean().unwrap() - mean).abs() < 6.0);
+            assert!((n.stddev().unwrap() - sd).abs() < 6.0);
+        }
+    }
+
+    #[test]
+    fn set_value_moves_both_moments() {
+        let mut n = DynamicMoments::new(2.0, 0.5);
+        n.set_value(10.0);
+        for round in 0..25 {
+            PairwiseProtocol::end_round(&mut n, round);
+        }
+        assert!((n.mean().unwrap() - 10.0).abs() < 1e-3);
+        assert!(n.stddev().unwrap() < 1e-2);
+    }
+}

@@ -1,0 +1,169 @@
+//! Protocol execution traits: the contract between a gossip protocol and
+//! the runtime that drives it.
+//!
+//! The paper (§V) distinguishes gossip *protocols* (what an exchange does)
+//! from gossip *environments* (how pairs of hosts are selected). This
+//! module is the protocol half: node-local state machines that a runtime —
+//! `dynagg-sim`'s round engine, or any real transport — advances one
+//! iteration at a time. The environment half lives behind [`PeerSampler`],
+//! which the runtime implements.
+//!
+//! Two execution styles cover every protocol in the paper:
+//!
+//! * **Message passing** ([`PushProtocol`]): the node emits messages in
+//!   `begin_round`, absorbs deliveries in `on_message` (optionally replying,
+//!   which models push-pull *message* exchange as used by the sketch
+//!   protocols), and finalizes state in `end_round`. This matches Figs. 1,
+//!   2, 3, 4, 5 step-by-step.
+//! * **Atomic pairwise exchange** ([`PairwiseProtocol`]): initiator and
+//!   responder update together ("each host exports (or imports) half the
+//!   difference between its own mass and the mass of its communications
+//!   peer", §III-A). Figs. 8 and 10 run the averaging protocols this way.
+
+use rand::rngs::SmallRng;
+
+/// Node identifier within one simulation/deployment (dense, `0..n`).
+pub type NodeId = u32;
+
+/// Peer access provided by the environment for one node in one round.
+///
+/// Implementations define the gossip environment: uniform sampling over all
+/// live hosts, spatial random walks, or the current wireless neighborhood of
+/// a trace-driven mobile device.
+pub trait PeerSampler {
+    /// Sample one communication partner, or `None` if the node is isolated
+    /// this round.
+    fn sample(&mut self, rng: &mut SmallRng) -> Option<NodeId>;
+
+    /// Sample `n` partners independently (duplicates allowed, as in Fig. 4's
+    /// "N random peers"), appending to `out`. Isolated nodes append nothing.
+    fn sample_many(&mut self, n: usize, rng: &mut SmallRng, out: &mut Vec<NodeId>) {
+        for _ in 0..n {
+            if let Some(p) = self.sample(rng) {
+                out.push(p);
+            }
+        }
+    }
+
+    /// Number of peers currently reachable (the node's degree). Uniform
+    /// environments report the live population minus one.
+    fn degree(&self) -> usize;
+
+    /// Fill `out` with a broadcast set: the actual neighbors where the
+    /// environment has a topology (trace/spatial), or a bounded random
+    /// subset under uniform gossip. Used by the TAG-style tree baseline.
+    fn neighbors(&mut self, rng: &mut SmallRng, out: &mut Vec<NodeId>);
+}
+
+/// Per-round context handed to a protocol: the round number, the node's
+/// deterministic RNG stream, and the environment's peer sampler.
+pub struct RoundCtx<'a> {
+    /// Current gossip iteration (0-based).
+    pub round: u64,
+    /// Deterministic RNG for this node.
+    pub rng: &'a mut SmallRng,
+    /// Peer access for this node in this round.
+    pub peers: &'a mut dyn PeerSampler,
+}
+
+impl<'a> RoundCtx<'a> {
+    /// Convenience: sample a single peer.
+    pub fn sample_peer(&mut self) -> Option<NodeId> {
+        self.peers.sample(self.rng)
+    }
+
+    /// Convenience: sample `n` peers into `out`.
+    pub fn sample_peers(&mut self, n: usize, out: &mut Vec<NodeId>) {
+        self.peers.sample_many(n, self.rng, out);
+    }
+}
+
+/// The read side every protocol exposes.
+pub trait Estimator {
+    /// The node's current estimate of the aggregate, if it has one.
+    fn estimate(&self) -> Option<f64>;
+}
+
+/// A message-passing gossip protocol (one node's state machine).
+pub trait PushProtocol: Estimator {
+    /// The gossip payload. Large payloads (sketch matrices) should be
+    /// reference-counted so fan-out and replies stay cheap.
+    type Message: Clone;
+
+    /// Start an iteration: update pre-exchange state and emit messages by
+    /// pushing `(target, message)` pairs into `out` (a reused buffer).
+    fn begin_round(&mut self, ctx: &mut RoundCtx<'_>, out: &mut Vec<(NodeId, Self::Message)>);
+
+    /// Deliver a message some peer initiated this round. Returning
+    /// `Some(reply)` sends a response within the same round (push-pull);
+    /// the reply is delivered to the initiator's [`on_reply`].
+    ///
+    /// [`on_reply`]: PushProtocol::on_reply
+    fn on_message(
+        &mut self,
+        from: NodeId,
+        msg: &Self::Message,
+        ctx: &mut RoundCtx<'_>,
+    ) -> Option<Self::Message>;
+
+    /// Deliver a reply to a message this node initiated. Default: ignore.
+    fn on_reply(&mut self, _from: NodeId, _msg: &Self::Message, _ctx: &mut RoundCtx<'_>) {}
+
+    /// Finish the iteration after all deliveries (Fig. 1 steps 4–5).
+    fn end_round(&mut self, ctx: &mut RoundCtx<'_>);
+
+    /// Serialized size of a message, for bandwidth accounting.
+    fn message_bytes(msg: &Self::Message) -> usize;
+
+    /// Notification that this node is leaving gracefully (sign-off): the
+    /// protocol may release sourced state (e.g. sketch cells). Silent
+    /// failures never call this — that is the failure mode the paper's
+    /// dynamic protocols exist to survive.
+    fn depart_gracefully(&mut self) {}
+}
+
+/// An atomic push/pull exchange protocol.
+pub trait PairwiseProtocol: Estimator {
+    /// Perform one atomic exchange between `initiator` and `responder`.
+    /// Implementations must conserve whatever invariant the protocol relies
+    /// on (mass, for the averaging family).
+    fn exchange(initiator: &mut Self, responder: &mut Self, rng: &mut SmallRng);
+
+    /// Finish the iteration (apply reversion, record history, ...).
+    fn end_round(&mut self, round: u64);
+
+    /// Bytes on the wire for one exchange (both directions).
+    fn exchange_bytes(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::samplers::SliceSampler;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_ctx_sampling_helpers() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let peers = [1u32, 2, 3, 4];
+        let mut sampler = SliceSampler::new(&peers);
+        let mut ctx = RoundCtx { round: 0, rng: &mut rng, peers: &mut sampler };
+        let p = ctx.sample_peer().unwrap();
+        assert!(peers.contains(&p));
+        let mut out = Vec::new();
+        ctx.sample_peers(10, &mut out);
+        assert_eq!(out.len(), 10, "sampling is with replacement");
+        assert!(out.iter().all(|p| peers.contains(p)));
+    }
+
+    #[test]
+    fn empty_sampler_yields_none() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut sampler = SliceSampler::new(&[]);
+        let mut ctx = RoundCtx { round: 0, rng: &mut rng, peers: &mut sampler };
+        assert_eq!(ctx.sample_peer(), None);
+        let mut out = Vec::new();
+        ctx.sample_peers(5, &mut out);
+        assert!(out.is_empty());
+    }
+}

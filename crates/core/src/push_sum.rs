@@ -1,0 +1,240 @@
+//! Kempe et al.'s Push-Sum averaging protocol (paper Fig. 1) — the *static*
+//! baseline Push-Sum-Revert extends.
+//!
+//! Every host keeps a mass `(w, v)`, initialized to `(1, value)` for
+//! averaging. Each iteration it sends half its mass to one random peer and
+//! half to itself, then replaces its mass with the sum of everything it
+//! received. `v/w` converges to the network average with error shrinking by
+//! a constant factor per round, because exchanges are zero-sum
+//! ("conservation of mass").
+//!
+//! The same struct also implements [`PairwiseProtocol`] as the Karp-style
+//! push/pull variant: an exchange atomically equalizes the two hosts'
+//! masses ("exports (or imports) half the difference", §III-A), roughly
+//! halving initial convergence time. A `λ = 0` [`PushSumRevert`]
+//! degenerates to exactly these dynamics — Fig. 8's `λ = 0.0000` line.
+//!
+//! [`PushSumRevert`]: crate::push_sum_revert::PushSumRevert
+//! [`PairwiseProtocol`]: crate::protocol::PairwiseProtocol
+
+use crate::mass::{Mass, MASS_WIRE_BYTES};
+use crate::protocol::{Estimator, NodeId, PairwiseProtocol, PushProtocol, RoundCtx};
+use rand::rngs::SmallRng;
+
+/// One host's Push-Sum state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PushSum {
+    mass: Mass,
+    inbox: Mass,
+    /// Last defined estimate — kept so a host that momentarily holds zero
+    /// weight still answers queries (§II-A's running-estimate reading).
+    last_estimate: Option<f64>,
+}
+
+impl PushSum {
+    /// An averaging host holding `value`: initial mass `(1, value)`.
+    pub fn averaging(value: f64) -> Self {
+        Self::with_mass(Mass::averaging(value))
+    }
+
+    /// A summing host (Kempe's sum mode): weight 1 only at the root.
+    pub fn summing(value: f64, is_root: bool) -> Self {
+        Self::with_mass(Mass::summing(value, is_root))
+    }
+
+    /// A host with explicit initial mass.
+    pub fn with_mass(mass: Mass) -> Self {
+        Self { mass, inbox: Mass::ZERO, last_estimate: mass.estimate() }
+    }
+
+    /// Current mass (exposed for conservation tests and metrics).
+    pub fn mass(&self) -> Mass {
+        self.mass
+    }
+
+    /// Directly read `v/w` of the current mass.
+    pub fn raw_estimate(&self) -> Option<f64> {
+        self.mass.estimate()
+    }
+}
+
+impl Estimator for PushSum {
+    fn estimate(&self) -> Option<f64> {
+        self.mass.estimate().or(self.last_estimate)
+    }
+}
+
+impl PushProtocol for PushSum {
+    type Message = Mass;
+
+    fn begin_round(&mut self, ctx: &mut RoundCtx<'_>, out: &mut Vec<(NodeId, Mass)>) {
+        let half = self.mass.half();
+        // The "message to Self" (Fig. 1 step 2) is retained locally.
+        self.inbox = half;
+        if let Some(peer) = ctx.sample_peer() {
+            out.push((peer, half));
+        } else {
+            // Isolated this round: the outbound half stays home too, so no
+            // mass evaporates while a device is out of radio range.
+            self.inbox += half;
+        }
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: &Mass, _ctx: &mut RoundCtx<'_>) -> Option<Mass> {
+        self.inbox += *msg;
+        None
+    }
+
+    fn end_round(&mut self, _ctx: &mut RoundCtx<'_>) {
+        self.mass = self.inbox;
+        self.inbox = Mass::ZERO;
+        if let Some(e) = self.mass.estimate() {
+            self.last_estimate = Some(e);
+        }
+    }
+
+    fn message_bytes(_msg: &Mass) -> usize {
+        MASS_WIRE_BYTES
+    }
+}
+
+impl PairwiseProtocol for PushSum {
+    fn exchange(initiator: &mut Self, responder: &mut Self, _rng: &mut SmallRng) {
+        // Push/pull mass equalization: both end at the pair average, which
+        // transfers exactly half the difference and conserves the total.
+        let avg = (initiator.mass + responder.mass).half();
+        initiator.mass = avg;
+        responder.mass = avg;
+    }
+
+    fn end_round(&mut self, _round: u64) {
+        if let Some(e) = self.mass.estimate() {
+            self.last_estimate = Some(e);
+        }
+    }
+
+    fn exchange_bytes(&self) -> usize {
+        2 * MASS_WIRE_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::samplers::SliceSampler;
+    use rand::SeedableRng;
+
+    /// Drive a tiny all-to-all push network by hand for `rounds`.
+    fn run_push(values: &[f64], rounds: u64, seed: u64) -> Vec<PushSum> {
+        let mut nodes: Vec<PushSum> = values.iter().map(|&v| PushSum::averaging(v)).collect();
+        let ids: Vec<NodeId> = (0..nodes.len() as NodeId).collect();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut out = Vec::new();
+        for round in 0..rounds {
+            let mut queue: Vec<(usize, Mass)> = Vec::new();
+            for (i, node) in nodes.iter_mut().enumerate() {
+                let peers: Vec<NodeId> =
+                    ids.iter().copied().filter(|&p| p as usize != i).collect();
+                let mut sampler = SliceSampler::new(&peers);
+                let mut ctx = RoundCtx { round, rng: &mut rng, peers: &mut sampler };
+                out.clear();
+                node.begin_round(&mut ctx, &mut out);
+                for (to, m) in out.drain(..) {
+                    queue.push((to as usize, m));
+                }
+            }
+            for (to, m) in queue {
+                let mut sampler = SliceSampler::new(&[]);
+                let mut ctx = RoundCtx { round, rng: &mut rng, peers: &mut sampler };
+                nodes[to].on_message(0, &m, &mut ctx);
+            }
+            for node in nodes.iter_mut() {
+                let mut sampler = SliceSampler::new(&[]);
+                let mut ctx = RoundCtx { round, rng: &mut rng, peers: &mut sampler };
+                PushProtocol::end_round(node, &mut ctx);
+            }
+        }
+        nodes
+    }
+
+    #[test]
+    fn push_converges_to_average() {
+        let values = [10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0];
+        let avg = 45.0;
+        let nodes = run_push(&values, 40, 7);
+        for n in &nodes {
+            let e = n.estimate().unwrap();
+            assert!((e - avg).abs() < 1.0, "estimate {e} far from {avg}");
+        }
+    }
+
+    #[test]
+    fn push_conserves_mass() {
+        let values = [5.0, 15.0, 25.0];
+        let nodes = run_push(&values, 10, 8);
+        let total: Mass = nodes.iter().map(|n| n.mass()).fold(Mass::ZERO, |a, b| a + b);
+        assert!((total.weight - 3.0).abs() < 1e-9);
+        assert!((total.value - 45.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pairwise_exchange_equalizes_and_conserves() {
+        let mut a = PushSum::averaging(10.0);
+        let mut b = PushSum::averaging(90.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        PushSum::exchange(&mut a, &mut b, &mut rng);
+        assert_eq!(a.mass(), b.mass());
+        assert_eq!(a.estimate(), Some(50.0));
+        let total = a.mass() + b.mass();
+        assert!((total.value - 100.0).abs() < 1e-12);
+        assert!((total.weight - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summing_mode_estimates_sum_at_convergence() {
+        // Three hosts, one root; run pairwise exchanges to convergence.
+        let mut nodes = vec![
+            PushSum::summing(5.0, true),
+            PushSum::summing(10.0, false),
+            PushSum::summing(85.0, false),
+        ];
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..200 {
+            use rand::Rng;
+            let i = rng.gen_range(0..3);
+            let j = (i + rng.gen_range(1..3)) % 3;
+            let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+            let (a, b) = nodes.split_at_mut(hi);
+            PushSum::exchange(&mut a[lo], &mut b[0], &mut rng);
+        }
+        for n in &nodes {
+            let e = n.estimate().unwrap();
+            assert!((e - 100.0).abs() < 1.0, "sum estimate {e}");
+        }
+    }
+
+    #[test]
+    fn isolated_host_keeps_its_mass() {
+        let mut n = PushSum::averaging(42.0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut out = Vec::new();
+        for round in 0..5 {
+            let mut sampler = crate::samplers::IsolatedSampler;
+            let mut ctx = RoundCtx { round, rng: &mut rng, peers: &mut sampler };
+            out.clear();
+            n.begin_round(&mut ctx, &mut out);
+            assert!(out.is_empty());
+            PushProtocol::end_round(&mut n, &mut ctx);
+        }
+        assert_eq!(n.estimate(), Some(42.0));
+        assert!((n.mass().weight - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimate_survives_zero_weight_rounds() {
+        let mut n = PushSum::averaging(10.0);
+        // Manually strip its mass (as if it exported everything).
+        n.mass = Mass::ZERO;
+        assert_eq!(n.estimate(), Some(10.0), "falls back to last defined estimate");
+    }
+}

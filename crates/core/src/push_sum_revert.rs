@@ -1,0 +1,410 @@
+//! **Push-Sum-Revert** (paper §III, Fig. 3): the paper's first dynamic
+//! protocol.
+//!
+//! Push-Sum's correctness rests on conservation of mass, so a silent host
+//! failure permanently corrupts the estimate — the departed host's mass is
+//! gone, and if failures correlate with values (Fig. 10's scenario) the
+//! surviving average is biased forever. Push-Sum-Revert injects a
+//! *controlled local error*: after every iteration each host decays its
+//! mass toward its initial value,
+//!
+//! ```text
+//! w ← λ + (1−λ)·Σŵ        v ← λ·v₀ + (1−λ)·Σv̂
+//! ```
+//!
+//! While membership is stable this is still conservative (§III's
+//! telescoping argument, tested in [`crate::mass`]); after failures it
+//! steadily re-injects the *surviving* hosts' initial masses, so the
+//! network re-converges to the new true average. λ trades convergence
+//! speed against steady-state error (Fig. 10a).
+//!
+//! Both execution styles are provided:
+//! * message-passing push exactly as Fig. 3,
+//! * atomic push/pull ([`PairwiseProtocol`]): mass equalization followed by
+//!   a local revert step in `end_round` — the decomposition "Push-Sum ∘
+//!   Revert" the paper uses in its conservation proof. Figs. 8 and 10 use
+//!   this style.
+//!
+//! [`PairwiseProtocol`]: crate::protocol::PairwiseProtocol
+
+use crate::config::RevertConfig;
+use crate::error::ProtocolError;
+use crate::mass::{Mass, MASS_WIRE_BYTES};
+use crate::protocol::{Estimator, NodeId, PairwiseProtocol, PushProtocol, RoundCtx};
+use rand::rngs::SmallRng;
+
+/// One host's Push-Sum-Revert state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PushSumRevert {
+    lambda: f64,
+    initial: Mass,
+    mass: Mass,
+    inbox: Mass,
+    last_estimate: Option<f64>,
+}
+
+impl PushSumRevert {
+    /// An averaging host holding `value`, with reversion constant `lambda`.
+    ///
+    /// # Panics
+    /// Panics if `lambda` is outside `[0, 1]`; use [`PushSumRevert::try_new`]
+    /// for fallible construction.
+    pub fn new(value: f64, lambda: f64) -> Self {
+        Self::try_new(value, lambda).expect("invalid Push-Sum-Revert parameters")
+    }
+
+    /// Fallible constructor.
+    pub fn try_new(value: f64, lambda: f64) -> Result<Self, ProtocolError> {
+        let cfg = RevertConfig::new(lambda)?;
+        let initial = Mass::averaging(value);
+        Ok(Self {
+            lambda: cfg.lambda,
+            initial,
+            mass: initial,
+            inbox: Mass::ZERO,
+            last_estimate: initial.estimate(),
+        })
+    }
+
+    /// Construct from a validated config.
+    pub fn from_config(value: f64, cfg: RevertConfig) -> Self {
+        let initial = Mass::averaging(value);
+        Self {
+            lambda: cfg.lambda,
+            initial,
+            mass: initial,
+            inbox: Mass::ZERO,
+            last_estimate: initial.estimate(),
+        }
+    }
+
+    /// The reversion constant λ.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// The host's initial (anchor) mass.
+    pub fn initial(&self) -> Mass {
+        self.initial
+    }
+
+    /// Current mass.
+    pub fn mass(&self) -> Mass {
+        self.mass
+    }
+
+    /// Update the host's local value in place (the device's sensor reading
+    /// changed). The reversion term immediately starts pulling the network
+    /// toward the new value — this is what makes the protocol a *running*
+    /// aggregate rather than a one-shot query.
+    pub fn set_value(&mut self, value: f64) {
+        self.initial = Mass::averaging(value);
+    }
+
+    /// The outgoing total for this round: `(1−λ)·mass + λ·initial`
+    /// (the numerator of Fig. 3 step 2).
+    fn reverted(&self) -> Mass {
+        self.mass.revert_toward(self.initial, self.lambda)
+    }
+
+    /// Start a push round *without* peer selection: retain the self half
+    /// in the inbox and return the outgoing half. Composite protocols
+    /// ([`crate::moments`], [`crate::invert_average`]) use this to drive
+    /// several instances against one peer they sample themselves.
+    pub fn emit_half(&mut self) -> Mass {
+        let half = self.reverted().half();
+        self.inbox = half;
+        half
+    }
+
+    /// Return an outgoing half that was never sent (the host turned out to
+    /// be isolated this round): the mass stays home.
+    pub fn absorb_unsent(&mut self, m: Mass) {
+        self.inbox += m;
+    }
+
+    /// Absorb a received mass share (composite-protocol delivery path;
+    /// equivalent to `on_message`).
+    pub fn absorb(&mut self, m: Mass) {
+        self.inbox += m;
+    }
+
+    /// Conclude a push round started with [`PushSumRevert::emit_half`].
+    pub fn conclude_round(&mut self) {
+        self.mass = self.inbox;
+        self.inbox = Mass::ZERO;
+        if let Some(e) = self.mass.estimate() {
+            self.last_estimate = Some(e);
+        }
+    }
+}
+
+impl Estimator for PushSumRevert {
+    fn estimate(&self) -> Option<f64> {
+        self.mass.estimate().or(self.last_estimate)
+    }
+}
+
+impl PushProtocol for PushSumRevert {
+    type Message = Mass;
+
+    fn begin_round(&mut self, ctx: &mut RoundCtx<'_>, out: &mut Vec<(NodeId, Mass)>) {
+        let half = self.reverted().half();
+        self.inbox = half;
+        if let Some(peer) = ctx.sample_peer() {
+            out.push((peer, half));
+        } else {
+            self.inbox += half;
+        }
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: &Mass, _ctx: &mut RoundCtx<'_>) -> Option<Mass> {
+        self.inbox += *msg;
+        None
+    }
+
+    fn end_round(&mut self, _ctx: &mut RoundCtx<'_>) {
+        self.mass = self.inbox;
+        self.inbox = Mass::ZERO;
+        if let Some(e) = self.mass.estimate() {
+            self.last_estimate = Some(e);
+        }
+    }
+
+    fn message_bytes(_msg: &Mass) -> usize {
+        MASS_WIRE_BYTES
+    }
+}
+
+impl PairwiseProtocol for PushSumRevert {
+    fn exchange(initiator: &mut Self, responder: &mut Self, _rng: &mut SmallRng) {
+        let avg = (initiator.mass + responder.mass).half();
+        initiator.mass = avg;
+        responder.mass = avg;
+    }
+
+    fn end_round(&mut self, _round: u64) {
+        // The Revert step of the "Push-Sum ∘ Revert" decomposition.
+        self.mass = self.reverted();
+        if let Some(e) = self.mass.estimate() {
+            self.last_estimate = Some(e);
+        }
+    }
+
+    fn exchange_bytes(&self) -> usize {
+        2 * MASS_WIRE_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    /// Run pairwise push/pull rounds over all nodes; returns final states.
+    fn run_pairwise(mut nodes: Vec<PushSumRevert>, rounds: u64, seed: u64) -> Vec<PushSumRevert> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = nodes.len();
+        for round in 0..rounds {
+            for i in 0..n {
+                let j = loop {
+                    let j = rng.gen_range(0..n);
+                    if j != i {
+                        break j;
+                    }
+                };
+                let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+                let (a, b) = nodes.split_at_mut(hi);
+                PushSumRevert::exchange(&mut a[lo], &mut b[0], &mut rng);
+            }
+            for node in nodes.iter_mut() {
+                PairwiseProtocol::end_round(node, round);
+            }
+        }
+        nodes
+    }
+
+    fn nodes_with_values(values: &[f64], lambda: f64) -> Vec<PushSumRevert> {
+        values.iter().map(|&v| PushSumRevert::new(v, lambda)).collect()
+    }
+
+    #[test]
+    fn lambda_zero_behaves_like_push_sum() {
+        let values = [10.0, 30.0, 50.0, 70.0];
+        let nodes = run_pairwise(nodes_with_values(&values, 0.0), 30, 5);
+        for n in &nodes {
+            assert!((n.estimate().unwrap() - 40.0).abs() < 0.5);
+        }
+    }
+
+    #[test]
+    fn converges_with_reversion_active() {
+        let values = [0.0, 25.0, 50.0, 75.0, 100.0];
+        let nodes = run_pairwise(nodes_with_values(&values, 0.01), 50, 6);
+        for n in &nodes {
+            let e = n.estimate().unwrap();
+            assert!((e - 50.0).abs() < 5.0, "estimate {e} too far from 50");
+        }
+    }
+
+    #[test]
+    fn conservation_of_mass_under_stable_membership() {
+        // §III: with no churn, the revert step conserves total mass.
+        let values = [10.0, 20.0, 60.0, 110.0];
+        let total_v: f64 = values.iter().sum();
+        let nodes = run_pairwise(nodes_with_values(&values, 0.1), 25, 7);
+        let total: Mass = nodes.iter().map(|n| n.mass()).fold(Mass::ZERO, |a, b| a + b);
+        assert!((total.weight - 4.0).abs() < 1e-6, "weight drifted: {}", total.weight);
+        assert!((total.value - total_v).abs() < 1e-6, "value drifted: {}", total.value);
+    }
+
+    #[test]
+    fn recovers_from_correlated_failure() {
+        // 8 hosts; fail the high-valued half after convergence. Static
+        // push-sum (λ=0) keeps estimating ~50; reversion pulls survivors to
+        // their own average of 25.
+        let values = [10.0, 20.0, 30.0, 40.0, 60.0, 70.0, 80.0, 90.0];
+        let lambda = 0.1;
+        let mut nodes = nodes_with_values(&values, lambda);
+        let mut rng = SmallRng::seed_from_u64(8);
+        // converge
+        for round in 0..20u64 {
+            for i in 0..nodes.len() {
+                let j = (i + 1 + rng.gen_range(0..nodes.len() - 1)) % nodes.len();
+                let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+                let (a, b) = nodes.split_at_mut(hi);
+                PushSumRevert::exchange(&mut a[lo], &mut b[0], &mut rng);
+            }
+            for n in nodes.iter_mut() {
+                PairwiseProtocol::end_round(n, round);
+            }
+        }
+        // silently fail the top half (values 60..90)
+        nodes.truncate(4);
+        let survivors_avg = 25.0;
+        for round in 20..120u64 {
+            for i in 0..nodes.len() {
+                let j = (i + 1 + rng.gen_range(0..nodes.len() - 1)) % nodes.len();
+                let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+                let (a, b) = nodes.split_at_mut(hi);
+                PushSumRevert::exchange(&mut a[lo], &mut b[0], &mut rng);
+            }
+            for n in nodes.iter_mut() {
+                PairwiseProtocol::end_round(n, round);
+            }
+        }
+        for n in &nodes {
+            let e = n.estimate().unwrap();
+            assert!(
+                (e - survivors_avg).abs() < 5.0,
+                "post-failure estimate {e} should approach {survivors_avg}"
+            );
+        }
+    }
+
+    #[test]
+    fn static_protocol_stays_biased_after_correlated_failure() {
+        // The contrast case: λ = 0 never heals. (This is the paper's core
+        // motivation, so pin it as a regression test.)
+        let values = [10.0, 20.0, 30.0, 40.0, 60.0, 70.0, 80.0, 90.0];
+        let mut nodes = nodes_with_values(&values, 0.0);
+        let mut rng = SmallRng::seed_from_u64(9);
+        for round in 0..20u64 {
+            for i in 0..nodes.len() {
+                let j = (i + 1 + rng.gen_range(0..nodes.len() - 1)) % nodes.len();
+                let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+                let (a, b) = nodes.split_at_mut(hi);
+                PushSumRevert::exchange(&mut a[lo], &mut b[0], &mut rng);
+            }
+            for n in nodes.iter_mut() {
+                PairwiseProtocol::end_round(n, round);
+            }
+        }
+        nodes.truncate(4);
+        for round in 20..80u64 {
+            for i in 0..nodes.len() {
+                let j = (i + 1 + rng.gen_range(0..nodes.len() - 1)) % nodes.len();
+                let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+                let (a, b) = nodes.split_at_mut(hi);
+                PushSumRevert::exchange(&mut a[lo], &mut b[0], &mut rng);
+            }
+            for n in nodes.iter_mut() {
+                PairwiseProtocol::end_round(n, round);
+            }
+        }
+        for n in &nodes {
+            let e = n.estimate().unwrap();
+            assert!(
+                (e - 50.0).abs() < 2.0,
+                "static estimate {e} should remain near the pre-failure average 50"
+            );
+        }
+    }
+
+    #[test]
+    fn higher_lambda_converges_faster_but_noisier() {
+        // Qualitative Fig. 10a shape on a small network: after a correlated
+        // failure, λ=0.5 must be closer to the new truth than λ=0.001 at
+        // round 10 post-failure.
+        let values: Vec<f64> = (0..16).map(|i| f64::from(i) * 10.0).collect();
+        let run = |lambda: f64| -> f64 {
+            let mut nodes = nodes_with_values(&values, lambda);
+            let mut rng = SmallRng::seed_from_u64(10);
+            for round in 0..20u64 {
+                for i in 0..nodes.len() {
+                    let j = (i + 1 + rng.gen_range(0..nodes.len() - 1)) % nodes.len();
+                    let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+                    let (a, b) = nodes.split_at_mut(hi);
+                    PushSumRevert::exchange(&mut a[lo], &mut b[0], &mut rng);
+                }
+                for n in nodes.iter_mut() {
+                    PairwiseProtocol::end_round(n, round);
+                }
+            }
+            nodes.truncate(8); // fail high half; survivor avg = 35
+            for round in 20..30u64 {
+                for i in 0..nodes.len() {
+                    let j = (i + 1 + rng.gen_range(0..nodes.len() - 1)) % nodes.len();
+                    let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+                    let (a, b) = nodes.split_at_mut(hi);
+                    PushSumRevert::exchange(&mut a[lo], &mut b[0], &mut rng);
+                }
+                for n in nodes.iter_mut() {
+                    PairwiseProtocol::end_round(n, round);
+                }
+            }
+            let truth = 35.0;
+            let mse: f64 = nodes
+                .iter()
+                .map(|n| (n.estimate().unwrap() - truth).powi(2))
+                .sum::<f64>()
+                / nodes.len() as f64;
+            mse.sqrt()
+        };
+        let fast = run(0.5);
+        let slow = run(0.001);
+        assert!(
+            fast < slow,
+            "10 rounds after failure λ=0.5 (err {fast:.2}) should beat λ=0.001 (err {slow:.2})"
+        );
+    }
+
+    #[test]
+    fn set_value_moves_the_anchor() {
+        let mut n = PushSumRevert::new(10.0, 0.5);
+        n.set_value(90.0);
+        // With λ=0.5 and no gossip, repeated end_round pulls mass halfway
+        // to the new anchor each round.
+        for round in 0..20 {
+            PairwiseProtocol::end_round(&mut n, round);
+        }
+        assert!((n.estimate().unwrap() - 90.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn invalid_lambda_rejected() {
+        assert!(PushSumRevert::try_new(1.0, -0.5).is_err());
+        assert!(PushSumRevert::try_new(1.0, 2.0).is_err());
+    }
+}

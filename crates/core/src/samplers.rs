@@ -1,0 +1,104 @@
+//! Simple [`PeerSampler`] implementations.
+//!
+//! The real gossip environments live in `dynagg-sim`; these small samplers
+//! serve unit tests, examples, and any embedder that wants to drive a
+//! protocol directly against a known peer list (e.g. a device's current
+//! radio neighborhood).
+
+use crate::protocol::{NodeId, PeerSampler};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Uniform sampling (with replacement) from a fixed slice of peers.
+pub struct SliceSampler<'a> {
+    peers: &'a [NodeId],
+    /// Cap on the broadcast set handed to [`PeerSampler::neighbors`].
+    broadcast_cap: usize,
+}
+
+impl<'a> SliceSampler<'a> {
+    /// Sample uniformly from `peers`.
+    pub fn new(peers: &'a [NodeId]) -> Self {
+        Self { peers, broadcast_cap: 16 }
+    }
+
+    /// Override the broadcast cap used by [`PeerSampler::neighbors`].
+    pub fn with_broadcast_cap(mut self, cap: usize) -> Self {
+        self.broadcast_cap = cap;
+        self
+    }
+}
+
+impl PeerSampler for SliceSampler<'_> {
+    fn sample(&mut self, rng: &mut SmallRng) -> Option<NodeId> {
+        if self.peers.is_empty() {
+            None
+        } else {
+            Some(self.peers[rng.gen_range(0..self.peers.len())])
+        }
+    }
+
+    fn degree(&self) -> usize {
+        self.peers.len()
+    }
+
+    fn neighbors(&mut self, _rng: &mut SmallRng, out: &mut Vec<NodeId>) {
+        out.extend_from_slice(&self.peers[..self.peers.len().min(self.broadcast_cap)]);
+    }
+}
+
+/// A sampler that always reports isolation. Models a device out of radio
+/// range — protocols must keep running (Push-Sum-Revert's reversion is what
+/// keeps an isolated host's estimate anchored to its own value).
+pub struct IsolatedSampler;
+
+impl PeerSampler for IsolatedSampler {
+    fn sample(&mut self, _rng: &mut SmallRng) -> Option<NodeId> {
+        None
+    }
+
+    fn degree(&self) -> usize {
+        0
+    }
+
+    fn neighbors(&mut self, _rng: &mut SmallRng, _out: &mut Vec<NodeId>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn slice_sampler_covers_all_peers_eventually() {
+        let peers = [0u32, 1, 2, 3, 4, 5, 6, 7];
+        let mut s = SliceSampler::new(&peers);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            seen[s.sample(&mut rng).unwrap() as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "uniform sampler should hit every peer");
+    }
+
+    #[test]
+    fn isolated_sampler_is_empty() {
+        let mut s = IsolatedSampler;
+        let mut rng = SmallRng::seed_from_u64(4);
+        assert_eq!(s.sample(&mut rng), None);
+        assert_eq!(s.degree(), 0);
+        let mut out = vec![];
+        s.neighbors(&mut rng, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn broadcast_cap_limits_neighbors() {
+        let peers: Vec<u32> = (0..100).collect();
+        let mut s = SliceSampler::new(&peers).with_broadcast_cap(5);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut out = vec![];
+        s.neighbors(&mut rng, &mut out);
+        assert_eq!(out.len(), 5);
+    }
+}

@@ -1,0 +1,295 @@
+//! Property-based tests for the protocol layer: the invariants §III proves
+//! (conservation of mass under stable membership) and the behavioural
+//! contracts the estimates rely on, checked over randomized exchange
+//! schedules rather than the hand-picked ones in unit tests.
+
+use dynagg_core::extremum::{ChampionMsg, DynamicExtremum, ExtremumMode};
+use dynagg_core::full_transfer::FullTransfer;
+use dynagg_core::histogram::{Buckets, DynamicHistogram};
+use dynagg_core::mass::Mass;
+use dynagg_core::moments::DynamicMoments;
+use dynagg_core::protocol::{Estimator, NodeId, PairwiseProtocol, PushProtocol, RoundCtx};
+use dynagg_core::push_sum::PushSum;
+use dynagg_core::push_sum_revert::PushSumRevert;
+use dynagg_core::samplers::SliceSampler;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Apply a random schedule of pairwise exchanges + end_rounds to nodes.
+fn drive_pairwise<P: PairwiseProtocol>(
+    nodes: &mut [P],
+    schedule: &[(u8, u8)],
+    rounds_between: usize,
+    seed: u64,
+) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = nodes.len();
+    let mut round = 0u64;
+    for (step, &(a, b)) in schedule.iter().enumerate() {
+        let (i, j) = (a as usize % n, b as usize % n);
+        if i != j {
+            let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+            let (left, right) = nodes.split_at_mut(hi);
+            P::exchange(&mut left[lo], &mut right[0], &mut rng);
+        }
+        if rounds_between > 0 && step % rounds_between == 0 {
+            for node in nodes.iter_mut() {
+                node.end_round(round);
+            }
+            round += 1;
+        }
+    }
+}
+
+fn total_mass(nodes: &[PushSum]) -> Mass {
+    nodes.iter().map(|n| n.mass()).fold(Mass::ZERO, |a, b| a + b)
+}
+
+fn total_mass_revert(nodes: &[PushSumRevert]) -> Mass {
+    nodes.iter().map(|n| n.mass()).fold(Mass::ZERO, |a, b| a + b)
+}
+
+proptest! {
+    /// Push-Sum conserves mass under ANY exchange schedule.
+    #[test]
+    fn push_sum_conserves_mass(
+        values in proptest::collection::vec(0.0f64..1000.0, 2..12),
+        schedule in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..200),
+    ) {
+        let mut nodes: Vec<PushSum> = values.iter().map(|&v| PushSum::averaging(v)).collect();
+        let before = total_mass(&nodes);
+        drive_pairwise(&mut nodes, &schedule, 3, 1);
+        let after = total_mass(&nodes);
+        prop_assert!((before.weight - after.weight).abs() < 1e-6);
+        prop_assert!((before.value - after.value).abs() < 1e-4 * before.value.abs().max(1.0));
+    }
+
+    /// Push-Sum-Revert conserves mass under stable membership for any λ —
+    /// the §III telescoping argument, over random schedules.
+    #[test]
+    fn push_sum_revert_conserves_mass(
+        values in proptest::collection::vec(0.0f64..1000.0, 2..12),
+        lambda in 0.0f64..=1.0,
+        schedule in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..150),
+    ) {
+        let mut nodes: Vec<PushSumRevert> =
+            values.iter().map(|&v| PushSumRevert::new(v, lambda)).collect();
+        let before = total_mass_revert(&nodes);
+        drive_pairwise(&mut nodes, &schedule, 2, 2);
+        let after = total_mass_revert(&nodes);
+        prop_assert!((before.weight - after.weight).abs() < 1e-6,
+            "weight drift {} -> {}", before.weight, after.weight);
+        prop_assert!((before.value - after.value).abs() < 1e-4 * before.value.abs().max(1.0),
+            "value drift {} -> {}", before.value, after.value);
+    }
+
+    /// Estimates always stay inside the convex hull of the initial values
+    /// (pairwise averaging + reversion are convex combinations).
+    #[test]
+    fn estimates_stay_in_value_hull(
+        values in proptest::collection::vec(0.0f64..100.0, 2..10),
+        lambda in 0.0f64..=1.0,
+        schedule in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..100),
+    ) {
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut nodes: Vec<PushSumRevert> =
+            values.iter().map(|&v| PushSumRevert::new(v, lambda)).collect();
+        drive_pairwise(&mut nodes, &schedule, 2, 3);
+        for n in &nodes {
+            if let Some(e) = n.estimate() {
+                prop_assert!(e >= lo - 1e-9 && e <= hi + 1e-9,
+                    "estimate {e} escaped hull [{lo}, {hi}]");
+            }
+        }
+    }
+
+    /// Reverting is a contraction toward the anchor: applying end_round
+    /// repeatedly with no gossip converges the estimate to the host's own
+    /// value, monotonically in distance, for any λ > 0.
+    #[test]
+    fn isolated_reversion_contracts_to_anchor(
+        value in -100.0f64..100.0,
+        foreign_w in 0.1f64..5.0,
+        foreign_v in -500.0f64..500.0,
+        lambda in 0.01f64..=1.0,
+    ) {
+        let mut node = PushSumRevert::new(value, lambda);
+        // Poison with arbitrary foreign mass via one synthetic exchange.
+        let mut donor = PushSumRevert::new(0.0, lambda);
+        let mut rng = SmallRng::seed_from_u64(9);
+        // donor gets a synthetic mass by set_value + exchanges; instead
+        // emulate: exchange averages the two masses, so run one exchange
+        // with a donor whose anchor we move far away.
+        donor.set_value(foreign_v * foreign_w);
+        PushSumRevert::exchange(&mut node, &mut donor, &mut rng);
+        let d0 = (n_est(&node) - value).abs();
+        let mut prev_dist = d0 + 1e-9;
+        for round in 0..60 {
+            PairwiseProtocol::end_round(&mut node, round);
+            let e = n_est(&node);
+            let d = (e - value).abs();
+            prop_assert!(d <= prev_dist + 1e-9, "distance increased: {prev_dist} -> {d}");
+            prev_dist = d;
+        }
+        // Contraction rate depends on λ; only demand real progress when λ
+        // is large enough for 60 rounds to bite ((1−0.1)^60 ≈ 0.002).
+        if lambda >= 0.1 {
+            prop_assert!(
+                prev_dist <= 0.2 * d0 + 1e-6,
+                "λ={lambda}: expected strong contraction, d0={d0}, final={prev_dist}"
+            );
+        }
+    }
+
+    /// Full-Transfer: the estimate window never exceeds T and the protocol
+    /// never manufactures weight out of thin air.
+    #[test]
+    fn full_transfer_window_bounded(
+        values in proptest::collection::vec(0.0f64..100.0, 2..8),
+        lambda in 0.0f64..0.9,
+        parcels in 1u32..6,
+        window in 1usize..6,
+        rounds in 1u64..40,
+    ) {
+        let mut nodes: Vec<FullTransfer> = values
+            .iter()
+            .map(|&v| FullTransfer::try_new(v, lambda, parcels, window).unwrap())
+            .collect();
+        let ids: Vec<NodeId> = (0..nodes.len() as NodeId).collect();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut out = Vec::new();
+        for round in 0..rounds {
+            let mut queue: Vec<(usize, Mass)> = Vec::new();
+            for (i, node) in nodes.iter_mut().enumerate() {
+                let peers: Vec<NodeId> =
+                    ids.iter().copied().filter(|&p| p as usize != i).collect();
+                let mut sampler = SliceSampler::new(&peers);
+                let mut ctx = RoundCtx { round, rng: &mut rng, peers: &mut sampler };
+                out.clear();
+                node.begin_round(&mut ctx, &mut out);
+                for (to, m) in out.drain(..) {
+                    queue.push((to as usize, m));
+                }
+            }
+            for (to, m) in queue {
+                let mut sampler = SliceSampler::new(&[]);
+                let mut ctx = RoundCtx { round, rng: &mut rng, peers: &mut sampler };
+                nodes[to].on_message(0, &m, &mut ctx);
+            }
+            for node in nodes.iter_mut() {
+                let mut sampler = SliceSampler::new(&[]);
+                let mut ctx = RoundCtx { round, rng: &mut rng, peers: &mut sampler };
+                PushProtocol::end_round(node, &mut ctx);
+            }
+        }
+        let total: Mass = nodes.iter().map(|n| n.mass()).fold(Mass::ZERO, |a, b| a + b);
+        prop_assert!((total.weight - values.len() as f64).abs() < 1e-6,
+            "total weight {} != {}", total.weight, values.len());
+        // The window is a read-side *sum over up to T rounds* of received
+        // mass, so it is bounded by T × the conserved total, not the total.
+        for n in &nodes {
+            prop_assert!(
+                n.window_mass().weight <= window as f64 * total.weight + 1e-9,
+                "window weight {} exceeds T×total {}",
+                n.window_mass().weight,
+                window as f64 * total.weight
+            );
+        }
+    }
+
+    /// Dynamic extremum: the champion is never worse than the host's own
+    /// value, and expiry never leaves the estimate undefined.
+    #[test]
+    fn extremum_champion_dominates_own_value(
+        own in -100.0f64..100.0,
+        msgs in proptest::collection::vec((-200.0f64..200.0, 0u32..20), 0..30),
+    ) {
+        let mut node = DynamicExtremum::max(own);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for (chunk_idx, chunk) in msgs.chunks(3).enumerate() {
+            // one aging/expiry step per chunk
+            let mut sampler = SliceSampler::new(&[]);
+            let mut ctx = RoundCtx { round: chunk_idx as u64, rng: &mut rng, peers: &mut sampler };
+            let mut out = Vec::new();
+            node.begin_round(&mut ctx, &mut out);
+            for &(v, age) in chunk {
+                node.on_message(1, &ChampionMsg { value: v, age }, &mut ctx);
+            }
+            let est = node.estimate().unwrap();
+            prop_assert!(est >= own, "champion {est} below own value {own}");
+        }
+    }
+
+    /// Min-mode is the exact mirror of max-mode.
+    #[test]
+    fn extremum_min_mirrors_max(values in proptest::collection::vec(-100.0f64..100.0, 1..20)) {
+        let max_mode = ExtremumMode::Max;
+        let min_mode = ExtremumMode::Min;
+        for w in values.windows(2) {
+            prop_assert_eq!(max_mode.better(w[0], w[1]), min_mode.better(-w[0], -w[1]));
+        }
+    }
+
+    /// Histogram bucket indexing: every value lands in exactly one bucket,
+    /// edges included, and the index respects ordering.
+    #[test]
+    fn histogram_bucketing_total_and_monotone(
+        lo in -100.0f64..0.0,
+        span in 1.0f64..200.0,
+        count in 1u32..64,
+        a in -150.0f64..250.0,
+        b in -150.0f64..250.0,
+    ) {
+        let g = Buckets::new(lo, lo + span, count);
+        let (ia, ib) = (g.index_of(a), g.index_of(b));
+        prop_assert!(ia < count as usize && ib < count as usize);
+        if a <= b {
+            prop_assert!(ia <= ib, "indexing must be monotone: {a}->{ia}, {b}->{ib}");
+        }
+    }
+
+    /// Histogram quantiles are monotone in q for any converged-ish state.
+    #[test]
+    fn histogram_quantiles_monotone(
+        values in proptest::collection::vec(0.0f64..100.0, 2..10),
+        qs in proptest::collection::vec(0.0f64..=1.0, 2..6),
+    ) {
+        let g = Buckets::new(0.0, 100.0, 16);
+        let mut nodes: Vec<DynamicHistogram> =
+            values.iter().map(|&v| DynamicHistogram::new(g, v, 0.05)).collect();
+        let schedule: Vec<(u8, u8)> = (0..40u8).map(|i| (i, i.wrapping_add(1))).collect();
+        drive_pairwise(&mut nodes, &schedule, 4, 6);
+        let node = &nodes[0];
+        let mut sorted = qs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let quantiles: Vec<f64> =
+            sorted.iter().map(|&q| node.quantile(q).unwrap()).collect();
+        for w in quantiles.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-9, "quantiles not monotone: {:?}", quantiles);
+        }
+    }
+
+    /// Moments: variance is non-negative and stddev² ≈ variance for any
+    /// exchange schedule.
+    #[test]
+    fn moments_variance_nonnegative(
+        values in proptest::collection::vec(-50.0f64..50.0, 2..10),
+        schedule in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..80),
+    ) {
+        let mut nodes: Vec<DynamicMoments> =
+            values.iter().map(|&v| DynamicMoments::new(v, 0.02)).collect();
+        drive_pairwise(&mut nodes, &schedule, 3, 7);
+        for n in &nodes {
+            let var = n.variance().unwrap();
+            prop_assert!(var >= 0.0);
+            let sd = n.stddev().unwrap();
+            prop_assert!((sd * sd - var).abs() < 1e-9);
+        }
+    }
+}
+
+fn n_est(n: &PushSumRevert) -> f64 {
+    n.estimate().expect("estimate defined")
+}

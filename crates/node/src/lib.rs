@@ -1,0 +1,30 @@
+//! # dynagg-node
+//!
+//! A **sans-io node runtime** for the dynagg protocols: the piece a real
+//! deployment embeds. The simulator (`dynagg-sim`) drives protocols in
+//! idealized lockstep rounds; this crate drives the *same protocol state
+//! machines* the way a device would — local timers, byte payloads
+//! ([`dynagg_core::wire`]), peers discovered at runtime, and **no global
+//! synchronization whatsoever**.
+//!
+//! Sans-io means the runtime performs no networking itself: you call
+//! [`runtime::NodeRuntime::poll`] with the current time and ship the
+//! returned envelopes however you like (UDP, BLE, a message bus), and you
+//! call [`runtime::NodeRuntime::handle`] with whatever bytes arrive. This
+//! keeps the crate dependency-free, deterministic, and trivially testable
+//! — [`loopback`] is exactly such a test harness, with configurable
+//! latency, loss, and per-node clock skew.
+//!
+//! The loopback tests double as evidence for a claim the paper makes only
+//! in passing: the dynamic protocols need no round synchronization. Nodes
+//! ticking at different phases and slightly different rates still converge
+//! and still heal after silent failures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod loopback;
+pub mod runtime;
+
+pub use loopback::LoopbackNet;
+pub use runtime::{Envelope, FrameKind, NodeRuntime, RuntimeConfig};

@@ -1,0 +1,275 @@
+//! An in-memory transport for testing runtimes: delivers envelopes with
+//! configurable latency, loss, and per-node clock skew. This is the
+//! "integration rig" proving the protocols run correctly *without* the
+//! simulator's lockstep rounds.
+
+use crate::runtime::{Envelope, NodeRuntime, RuntimeConfig};
+use dynagg_core::protocol::{NodeId, PushProtocol};
+use dynagg_core::wire::WireMessage;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A frame in flight.
+struct InFlight {
+    deliver_at_ms: u64,
+    env: Envelope,
+}
+
+/// An in-memory network of [`NodeRuntime`]s.
+pub struct LoopbackNet<P: PushProtocol>
+where
+    P::Message: WireMessage,
+{
+    runtimes: Vec<NodeRuntime<P>>,
+    /// Whether each node is powered on (silent failure = flip to false).
+    powered: Vec<bool>,
+    latency_ms: u64,
+    loss: f64,
+    rng: SmallRng,
+    queue: Vec<InFlight>,
+    now_ms: u64,
+    /// Count of frames that failed to decode (should stay 0).
+    pub decode_errors: u64,
+}
+
+impl<P: PushProtocol> LoopbackNet<P>
+where
+    P::Message: WireMessage,
+{
+    /// Build a network of `n` nodes. `mk` constructs each node's protocol;
+    /// round intervals are jittered ±5 % and phases staggered so nothing
+    /// is synchronized.
+    pub fn new(
+        n: usize,
+        base_interval_ms: u64,
+        latency_ms: u64,
+        loss: f64,
+        seed: u64,
+        mut mk: impl FnMut(NodeId) -> P,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&loss));
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut runtimes = Vec::with_capacity(n);
+        for id in 0..n as NodeId {
+            let jitter = (base_interval_ms / 20).max(1);
+            let interval = base_interval_ms - jitter + rng.gen_range(0..=2 * jitter);
+            let cfg = RuntimeConfig {
+                node_id: id,
+                round_interval_ms: interval,
+                start_offset_ms: rng.gen_range(0..base_interval_ms.max(1)),
+                seed: seed ^ (u64::from(id) << 17),
+            };
+            runtimes.push(NodeRuntime::new(cfg, mk(id)));
+        }
+        let peer_ids: Vec<NodeId> = (0..n as NodeId).collect();
+        for rt in &mut runtimes {
+            rt.set_peers(&peer_ids);
+        }
+        Self {
+            runtimes,
+            powered: vec![true; n],
+            latency_ms,
+            loss,
+            rng,
+            queue: Vec::new(),
+            now_ms: 0,
+            decode_errors: 0,
+        }
+    }
+
+    /// Current simulated wall-clock.
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms
+    }
+
+    /// Access a node's runtime.
+    pub fn node(&self, id: NodeId) -> &NodeRuntime<P> {
+        &self.runtimes[id as usize]
+    }
+
+    /// Silently power a node off: it stops polling and receiving, exactly
+    /// a silent departure. (The peer lists of the others are *not*
+    /// updated — survivors keep addressing it, as in a real radio network,
+    /// until [`LoopbackNet::refresh_peers`] models neighbor rediscovery.)
+    pub fn power_off(&mut self, id: NodeId) {
+        self.powered[id as usize] = false;
+    }
+
+    /// Re-run "neighbor discovery": every live node's peer list becomes the
+    /// current live set. Without this, frames sent to dark nodes behave as
+    /// (heavy) message loss — which the protocols also survive, at the cost
+    /// of estimates anchoring harder to local values.
+    pub fn refresh_peers(&mut self) {
+        let live = self.live();
+        for &id in &live {
+            self.runtimes[id as usize].set_peers(&live);
+        }
+    }
+
+    /// Powered (live) node ids.
+    pub fn live(&self) -> Vec<NodeId> {
+        (0..self.runtimes.len() as NodeId)
+            .filter(|&id| self.powered[id as usize])
+            .collect()
+    }
+
+    /// Estimates of all powered nodes.
+    pub fn estimates(&self) -> Vec<f64> {
+        self.live()
+            .into_iter()
+            .filter_map(|id| self.runtimes[id as usize].estimate())
+            .collect()
+    }
+
+    /// Run until `until_ms`, stepping the clock by `step_ms`.
+    pub fn run_until(&mut self, until_ms: u64, step_ms: u64) {
+        let step = step_ms.max(1);
+        while self.now_ms < until_ms {
+            self.now_ms += step;
+            self.tick();
+        }
+    }
+
+    fn tick(&mut self) {
+        // Fire due rounds.
+        let mut fresh: Vec<Envelope> = Vec::new();
+        for (idx, rt) in self.runtimes.iter_mut().enumerate() {
+            if self.powered[idx] {
+                rt.poll(self.now_ms, &mut fresh);
+            }
+        }
+        for env in fresh {
+            self.enqueue(env);
+        }
+        // Deliver due frames.
+        let mut due: Vec<Envelope> = Vec::new();
+        let now = self.now_ms;
+        self.queue.retain_mut(|f| {
+            if f.deliver_at_ms <= now {
+                due.push(std::mem::replace(
+                    &mut f.env,
+                    Envelope { from: 0, to: 0, payload: Vec::new() },
+                ));
+                false
+            } else {
+                true
+            }
+        });
+        for env in due {
+            if !self.powered[env.to as usize] {
+                continue; // receiver is dark
+            }
+            match self.runtimes[env.to as usize].handle(env.from, &env.payload) {
+                Ok(Some(reply)) => self.enqueue(reply),
+                Ok(None) => {}
+                Err(_) => self.decode_errors += 1,
+            }
+        }
+    }
+
+    fn enqueue(&mut self, env: Envelope) {
+        if self.loss > 0.0 && self.rng.gen::<f64>() < self.loss {
+            return;
+        }
+        self.queue.push(InFlight { deliver_at_ms: self.now_ms + self.latency_ms, env });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynagg_core::config::ResetConfig;
+    use dynagg_core::count_sketch_reset::CountSketchReset;
+    use dynagg_core::moments::DynamicMoments;
+    use dynagg_core::push_sum_revert::PushSumRevert;
+
+    #[test]
+    fn unsynchronized_averaging_converges() {
+        // 40 nodes, jittered intervals, 15ms latency on 100ms rounds:
+        // nothing lines up, the protocol still converges to ~49.5 (values
+        // are 0..40 scaled).
+        let mut net = LoopbackNet::new(40, 100, 15, 0.0, 1, |id| {
+            PushSumRevert::new(f64::from(id) * 2.5, 0.01)
+        });
+        net.run_until(20_000, 10);
+        let truth = (0..40).map(|i| f64::from(i) * 2.5).sum::<f64>() / 40.0;
+        for e in net.estimates() {
+            assert!((e - truth).abs() < 8.0, "estimate {e} vs truth {truth}");
+        }
+        assert_eq!(net.decode_errors, 0);
+    }
+
+    #[test]
+    fn averaging_heals_after_silent_power_off() {
+        let mut net = LoopbackNet::new(32, 100, 10, 0.0, 2, |id| {
+            PushSumRevert::new(f64::from(id), 0.05)
+        });
+        net.run_until(8_000, 10);
+        // Power off the high-valued half (correlated failure). Survivors
+        // rediscover their neighborhood shortly after.
+        for id in 16..32 {
+            net.power_off(id);
+        }
+        net.run_until(9_000, 10);
+        net.refresh_peers();
+        net.run_until(40_000, 10);
+        let truth = (0..16).map(f64::from).sum::<f64>() / 16.0; // 7.5
+        for e in net.estimates() {
+            assert!((e - truth).abs() < 4.0, "healed estimate {e} vs {truth}");
+        }
+    }
+
+    #[test]
+    fn counting_heals_over_loopback() {
+        let n = 64usize;
+        let cfg = ResetConfig::paper(n as u64, 0x10);
+        let mut net = LoopbackNet::new(n, 100, 5, 0.0, 3, move |id| {
+            CountSketchReset::counting(cfg, u64::from(id))
+        });
+        net.run_until(4_000, 10);
+        let before: f64 =
+            net.estimates().iter().sum::<f64>() / net.estimates().len() as f64;
+        let rel = (before - n as f64).abs() / n as f64;
+        assert!(rel < 0.5, "converged count {before}");
+        for id in 32..64 {
+            net.power_off(id as NodeId);
+        }
+        net.run_until(4_500, 10);
+        net.refresh_peers();
+        net.run_until(10_000, 10);
+        let after: f64 =
+            net.estimates().iter().sum::<f64>() / net.estimates().len() as f64;
+        assert!(
+            after < before * 0.8,
+            "count should heal after power-off: {before:.0} -> {after:.0}"
+        );
+    }
+
+    #[test]
+    fn moments_work_over_lossy_links() {
+        let mut net = LoopbackNet::new(24, 100, 10, 0.1, 4, |id| {
+            DynamicMoments::new(f64::from(id % 4) * 10.0, 0.05)
+        });
+        net.run_until(20_000, 10);
+        // values 0,10,20,30 repeated: mean 15, stddev ~11.2
+        for id in net.live() {
+            let p = net.node(id).protocol();
+            let mean = p.mean().unwrap();
+            assert!((mean - 15.0).abs() < 6.0, "mean {mean}");
+        }
+        assert_eq!(net.decode_errors, 0, "wire codec survives lossy reordering");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            let mut net = LoopbackNet::new(10, 100, 10, 0.05, seed, |id| {
+                PushSumRevert::new(f64::from(id), 0.02)
+            });
+            net.run_until(5_000, 10);
+            net.estimates()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

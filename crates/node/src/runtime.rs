@@ -1,0 +1,307 @@
+//! The per-device protocol driver.
+//!
+//! One [`NodeRuntime`] owns one protocol instance and a local round timer.
+//! [`NodeRuntime::poll`] fires gossip rounds when their time comes (ending
+//! the previous round first, exactly like the simulator's
+//! `end_round → begin_round` boundary); [`NodeRuntime::handle`] ingests
+//! received frames, producing reply frames for push-pull protocols.
+//!
+//! Frames are `kind byte ++ wire-encoded payload`; see [`FrameKind`].
+
+use dynagg_core::protocol::{NodeId, PushProtocol, RoundCtx};
+use dynagg_core::samplers::SliceSampler;
+use dynagg_core::wire::{WireError, WireMessage};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Whether a frame initiates an exchange or answers one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// A round-initiating gossip message (routed to `on_message`).
+    Initiation,
+    /// A same-exchange response (routed to `on_reply`).
+    Reply,
+}
+
+impl FrameKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            FrameKind::Initiation => 0,
+            FrameKind::Reply => 1,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, WireError> {
+        match b {
+            0 => Ok(FrameKind::Initiation),
+            1 => Ok(FrameKind::Reply),
+            _ => Err(WireError::Malformed("unknown frame kind")),
+        }
+    }
+}
+
+/// An outgoing frame: ship `payload` to `to` by any transport.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Sender.
+    pub from: NodeId,
+    /// Destination.
+    pub to: NodeId,
+    /// `kind byte ++ encoded message`.
+    pub payload: Vec<u8>,
+}
+
+/// Static configuration of one runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// This node's identifier (must be unique per deployment).
+    pub node_id: NodeId,
+    /// Milliseconds between gossip rounds (the paper's trace setting is
+    /// 30 000 ms).
+    pub round_interval_ms: u64,
+    /// Offset of the first round from time 0 — deployments are *not*
+    /// phase-aligned; give every node a different offset.
+    pub start_offset_ms: u64,
+    /// Seed of this node's RNG stream.
+    pub seed: u64,
+}
+
+impl RuntimeConfig {
+    /// A config with everything derived from the node id (convenient for
+    /// tests: distinct phases and seeds per node).
+    pub fn for_node(node_id: NodeId, round_interval_ms: u64) -> Self {
+        Self {
+            node_id,
+            round_interval_ms,
+            start_offset_ms: u64::from(node_id) * 7 % round_interval_ms.max(1),
+            seed: 0xD0DE ^ u64::from(node_id),
+        }
+    }
+}
+
+/// A protocol instance bound to a local clock and peer list.
+pub struct NodeRuntime<P: PushProtocol>
+where
+    P::Message: WireMessage,
+{
+    cfg: RuntimeConfig,
+    protocol: P,
+    peers: Vec<NodeId>,
+    rng: SmallRng,
+    round: u64,
+    next_tick_ms: u64,
+    in_round: bool,
+    scratch: Vec<(NodeId, P::Message)>,
+}
+
+impl<P: PushProtocol> NodeRuntime<P>
+where
+    P::Message: WireMessage,
+{
+    /// Bind `protocol` to a runtime.
+    pub fn new(cfg: RuntimeConfig, protocol: P) -> Self {
+        Self {
+            next_tick_ms: cfg.start_offset_ms,
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            cfg,
+            protocol,
+            peers: Vec::new(),
+            round: 0,
+            in_round: false,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.cfg.node_id
+    }
+
+    /// Completed local rounds.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Replace the reachable-peer list (radio neighborhood, DHT sample,
+    /// static membership — the transport layer's business).
+    pub fn set_peers(&mut self, peers: &[NodeId]) {
+        self.peers.clear();
+        self.peers.extend(peers.iter().copied().filter(|&p| p != self.cfg.node_id));
+    }
+
+    /// Read the protocol state.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// Mutable protocol access (e.g. `set_value` when the sensor changes).
+    pub fn protocol_mut(&mut self) -> &mut P {
+        &mut self.protocol
+    }
+
+    /// The node's current estimate.
+    pub fn estimate(&self) -> Option<f64> {
+        self.protocol.estimate()
+    }
+
+    /// When the next round fires (for scheduling the next `poll`).
+    pub fn next_tick_ms(&self) -> u64 {
+        self.next_tick_ms
+    }
+
+    /// Advance the local clock to `now_ms`, firing any due rounds.
+    /// Returns the frames to transmit.
+    pub fn poll(&mut self, now_ms: u64, out: &mut Vec<Envelope>) {
+        while now_ms >= self.next_tick_ms {
+            let tick = self.next_tick_ms;
+            self.fire_round(tick, out);
+            self.next_tick_ms = tick + self.cfg.round_interval_ms.max(1);
+        }
+    }
+
+    fn fire_round(&mut self, _at_ms: u64, out: &mut Vec<Envelope>) {
+        let peers = std::mem::take(&mut self.peers);
+        {
+            let mut sampler = SliceSampler::new(&peers);
+            if self.in_round {
+                let mut ctx =
+                    RoundCtx { round: self.round, rng: &mut self.rng, peers: &mut sampler };
+                self.protocol.end_round(&mut ctx);
+                self.round += 1;
+            }
+            let mut ctx = RoundCtx { round: self.round, rng: &mut self.rng, peers: &mut sampler };
+            self.scratch.clear();
+            self.protocol.begin_round(&mut ctx, &mut self.scratch);
+            self.in_round = true;
+        }
+        self.peers = peers;
+        for (to, msg) in self.scratch.drain(..) {
+            let mut payload = vec![FrameKind::Initiation.to_byte()];
+            msg.encode(&mut payload);
+            out.push(Envelope { from: self.cfg.node_id, to, payload });
+        }
+    }
+
+    /// Ingest a received frame; may produce a reply frame. Malformed input
+    /// is reported, never panics — radio bytes are untrusted.
+    pub fn handle(&mut self, from: NodeId, payload: &[u8]) -> Result<Option<Envelope>, WireError> {
+        if payload.is_empty() {
+            return Err(WireError::Truncated);
+        }
+        let kind = FrameKind::from_byte(payload[0])?;
+        let msg = P::Message::decode(&payload[1..])?;
+        let peers = std::mem::take(&mut self.peers);
+        let reply = {
+            let mut sampler = SliceSampler::new(&peers);
+            let mut ctx = RoundCtx { round: self.round, rng: &mut self.rng, peers: &mut sampler };
+            match kind {
+                FrameKind::Initiation => self.protocol.on_message(from, &msg, &mut ctx),
+                FrameKind::Reply => {
+                    self.protocol.on_reply(from, &msg, &mut ctx);
+                    None
+                }
+            }
+        };
+        self.peers = peers;
+        Ok(reply.map(|r| {
+            let mut payload = vec![FrameKind::Reply.to_byte()];
+            r.encode(&mut payload);
+            Envelope { from: self.cfg.node_id, to: from, payload }
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynagg_core::mass::Mass;
+    use dynagg_core::push_sum_revert::PushSumRevert;
+
+    fn cfg(id: NodeId) -> RuntimeConfig {
+        RuntimeConfig { node_id: id, round_interval_ms: 100, start_offset_ms: 0, seed: id.into() }
+    }
+
+    #[test]
+    fn poll_fires_rounds_on_schedule() {
+        let mut rt = NodeRuntime::new(cfg(0), PushSumRevert::new(50.0, 0.1));
+        rt.set_peers(&[1]);
+        let mut out = Vec::new();
+        rt.poll(0, &mut out);
+        assert_eq!(out.len(), 1, "first round fires at the offset");
+        out.clear();
+        rt.poll(99, &mut out);
+        assert!(out.is_empty(), "no round due yet");
+        rt.poll(250, &mut out);
+        assert_eq!(out.len(), 2, "two rounds were due by t=250");
+        assert_eq!(rt.round(), 2);
+    }
+
+    #[test]
+    fn frames_roundtrip_between_two_runtimes() {
+        let mut a = NodeRuntime::new(cfg(0), PushSumRevert::new(0.0, 0.0));
+        let mut b = NodeRuntime::new(cfg(1), PushSumRevert::new(100.0, 0.0));
+        a.set_peers(&[1]);
+        b.set_peers(&[0]);
+        let mut out = Vec::new();
+        // Drive both for a while, delivering instantly.
+        for t in (0..10_000).step_by(50) {
+            out.clear();
+            a.poll(t, &mut out);
+            b.poll(t, &mut out);
+            let frames: Vec<Envelope> = out.clone();
+            for env in frames {
+                let target = if env.to == 0 { &mut a } else { &mut b };
+                if let Some(reply) = target.handle(env.from, &env.payload).unwrap() {
+                    let target = if reply.to == 0 { &mut a } else { &mut b };
+                    target.handle(reply.from, &reply.payload).unwrap();
+                }
+            }
+        }
+        let ea = a.estimate().unwrap();
+        let eb = b.estimate().unwrap();
+        assert!((ea - 50.0).abs() < 5.0, "a converged to {ea}");
+        assert!((eb - 50.0).abs() < 5.0, "b converged to {eb}");
+    }
+
+    #[test]
+    fn isolated_runtime_keeps_estimating() {
+        let mut rt = NodeRuntime::new(cfg(3), PushSumRevert::new(42.0, 0.1));
+        // no peers set
+        let mut out = Vec::new();
+        rt.poll(10_000, &mut out);
+        assert!(out.is_empty());
+        let e = rt.estimate().unwrap();
+        assert!((e - 42.0).abs() < 1e-9, "isolated estimate drifted: {e}");
+    }
+
+    #[test]
+    fn garbage_frames_are_rejected_not_panicked() {
+        let mut rt = NodeRuntime::new(cfg(4), PushSumRevert::new(1.0, 0.1));
+        assert!(rt.handle(9, &[]).is_err());
+        assert!(rt.handle(9, &[7]).is_err(), "unknown frame kind");
+        assert!(rt.handle(9, &[0, 1, 2, 3]).is_err(), "truncated mass");
+        // Valid frame still works afterwards.
+        let mut good = vec![0u8];
+        Mass::new(0.5, 1.0).encode(&mut good);
+        assert!(rt.handle(9, &good).unwrap().is_none());
+    }
+
+    #[test]
+    fn set_peers_excludes_self() {
+        let mut rt = NodeRuntime::new(cfg(5), PushSumRevert::new(1.0, 0.1));
+        rt.set_peers(&[5, 6, 7]);
+        let mut out = Vec::new();
+        for t in (0..1_000).step_by(100) {
+            rt.poll(t, &mut out);
+        }
+        assert!(out.iter().all(|e| e.to != 5), "never gossips to itself");
+    }
+
+    #[test]
+    fn for_node_configs_are_phase_staggered() {
+        let a = RuntimeConfig::for_node(1, 100);
+        let b = RuntimeConfig::for_node(2, 100);
+        assert_ne!(a.start_offset_ms, b.start_offset_ms);
+        assert_ne!(a.seed, b.seed);
+    }
+}

@@ -1,0 +1,191 @@
+//! Live-host bookkeeping.
+//!
+//! The engine needs three operations fast at a 100 000-host scale: uniform
+//! sampling of a live host, O(1) membership checks, and O(1) removal. The
+//! classic dense-index + swap-remove structure provides all three.
+
+use dynagg_core::NodeId;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+const NOT_PRESENT: u32 = u32::MAX;
+
+/// A set of live node ids supporting O(1) insert/remove/sample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AliveSet {
+    /// Live ids, unordered.
+    list: Vec<NodeId>,
+    /// `pos[id]` = index of `id` in `list`, or `NOT_PRESENT`.
+    pos: Vec<u32>,
+}
+
+impl AliveSet {
+    /// All of `0..n` alive.
+    pub fn full(n: usize) -> Self {
+        Self {
+            list: (0..n as NodeId).collect(),
+            pos: (0..n as u32).collect(),
+        }
+    }
+
+    /// Empty set with capacity for `n` ids.
+    pub fn empty(n: usize) -> Self {
+        Self { list: Vec::new(), pos: vec![NOT_PRESENT; n] }
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    /// True when no node is alive.
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    /// Is `id` alive?
+    #[inline]
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.pos
+            .get(id as usize)
+            .is_some_and(|&p| p != NOT_PRESENT)
+    }
+
+    /// The live ids in unspecified order.
+    pub fn ids(&self) -> &[NodeId] {
+        &self.list
+    }
+
+    /// Remove `id`; returns whether it was present.
+    pub fn remove(&mut self, id: NodeId) -> bool {
+        let Some(&p) = self.pos.get(id as usize) else {
+            return false;
+        };
+        if p == NOT_PRESENT {
+            return false;
+        }
+        let last = *self.list.last().expect("non-empty if id present");
+        self.list.swap_remove(p as usize);
+        self.pos[id as usize] = NOT_PRESENT;
+        if last != id {
+            self.pos[last as usize] = p;
+        }
+        true
+    }
+
+    /// Insert `id` (grows the index if needed); returns whether it was new.
+    pub fn insert(&mut self, id: NodeId) -> bool {
+        let idx = id as usize;
+        if idx >= self.pos.len() {
+            self.pos.resize(idx + 1, NOT_PRESENT);
+        }
+        if self.pos[idx] != NOT_PRESENT {
+            return false;
+        }
+        self.pos[idx] = self.list.len() as u32;
+        self.list.push(id);
+        true
+    }
+
+    /// Sample a live node uniformly.
+    pub fn sample(&self, rng: &mut SmallRng) -> Option<NodeId> {
+        if self.list.is_empty() {
+            None
+        } else {
+            Some(self.list[rng.gen_range(0..self.list.len())])
+        }
+    }
+
+    /// Sample a live node uniformly, excluding `not` (rejection sampling:
+    /// the excluded node is at most one of ≥2 candidates).
+    pub fn sample_other(&self, not: NodeId, rng: &mut SmallRng) -> Option<NodeId> {
+        match self.list.len() {
+            0 => None,
+            1 => {
+                let only = self.list[0];
+                (only != not).then_some(only)
+            }
+            n => loop {
+                let cand = self.list[rng.gen_range(0..n)];
+                if cand != not {
+                    return Some(cand);
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn full_set_contains_everything() {
+        let s = AliveSet::full(10);
+        assert_eq!(s.len(), 10);
+        assert!((0..10).all(|i| s.contains(i)));
+    }
+
+    #[test]
+    fn remove_is_o1_and_consistent() {
+        let mut s = AliveSet::full(5);
+        assert!(s.remove(2));
+        assert!(!s.remove(2), "double remove is a no-op");
+        assert!(!s.contains(2));
+        assert_eq!(s.len(), 4);
+        // Remaining ids still resolvable.
+        for id in [0u32, 1, 3, 4] {
+            assert!(s.contains(id));
+        }
+    }
+
+    #[test]
+    fn insert_after_remove() {
+        let mut s = AliveSet::full(3);
+        s.remove(1);
+        assert!(s.insert(1));
+        assert!(!s.insert(1));
+        assert!(s.contains(1));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn insert_grows_index() {
+        let mut s = AliveSet::full(2);
+        assert!(s.insert(100));
+        assert!(s.contains(100));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn sample_other_excludes() {
+        let mut s = AliveSet::full(2);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(s.sample_other(0, &mut rng), Some(1));
+        }
+        s.remove(1);
+        assert_eq!(s.sample_other(0, &mut rng), None, "only self left");
+        assert_eq!(s.sample(&mut rng), Some(0));
+    }
+
+    #[test]
+    fn empty_set_samples_none() {
+        let s = AliveSet::empty(4);
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert_eq!(s.sample(&mut rng), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn removal_keeps_swap_target_resolvable() {
+        // Regression guard for the classic swap-remove bookkeeping bug.
+        let mut s = AliveSet::full(4);
+        s.remove(0); // last element (3) swaps into slot 0
+        assert!(s.contains(3));
+        assert!(s.remove(3));
+        assert!(!s.contains(3));
+        assert_eq!(s.len(), 2);
+    }
+}

@@ -1,0 +1,225 @@
+//! The clique environment of §II-C: hosts live in mostly-isolated cliques
+//! ("hosts traveling from one clique of hosts to another will encounter
+//! variance in epoch number. Thus node mobility may result in disruptions
+//! in aggregate computation while the destination clique settles on a new
+//! epoch number").
+//!
+//! Gossip partners come from the host's own clique, except for occasional
+//! bridge exchanges; hosts migrate between cliques with a per-round
+//! probability. This is the minimal topology that demonstrates why
+//! epoch-reset aggregation degrades under mobility while reversion-based
+//! protocols do not care.
+
+use super::Environment;
+use crate::alive::AliveSet;
+use crate::rng::{rng_for, stream};
+use dynagg_core::protocol::NodeId;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// K cliques with rare bridges and per-round migration.
+#[derive(Debug, Clone)]
+pub struct ClusteredEnv {
+    clusters: u32,
+    /// `cluster_of[node]` — grown on demand for churn joins.
+    cluster_of: Vec<u32>,
+    /// Per-round probability that a host moves to a random other clique.
+    migration_prob: f64,
+    /// Probability that a sampled partner comes from outside the clique.
+    bridge_prob: f64,
+    /// Internal randomness (migrations), derived from the seed.
+    rng: SmallRng,
+    /// Scratch: members per cluster, rebuilt each round.
+    members: Vec<Vec<NodeId>>,
+}
+
+impl ClusteredEnv {
+    /// `clusters` cliques over `n` initial hosts (round-robin assignment),
+    /// with the given migration and bridge probabilities.
+    ///
+    /// # Panics
+    /// Panics if `clusters == 0` or probabilities are outside `[0, 1]`.
+    pub fn new(n: usize, clusters: u32, migration_prob: f64, bridge_prob: f64, seed: u64) -> Self {
+        assert!(clusters > 0, "need at least one cluster");
+        assert!((0.0..=1.0).contains(&migration_prob), "migration_prob in [0,1]");
+        assert!((0.0..=1.0).contains(&bridge_prob), "bridge_prob in [0,1]");
+        Self {
+            clusters,
+            cluster_of: (0..n as u32).map(|i| i % clusters).collect(),
+            migration_prob,
+            bridge_prob,
+            rng: rng_for(seed, stream::ENVIRONMENT),
+            members: vec![Vec::new(); clusters as usize],
+        }
+    }
+
+    /// The clique of `node`.
+    pub fn cluster_of(&self, node: NodeId) -> u32 {
+        self.cluster_of
+            .get(node as usize)
+            .copied()
+            .unwrap_or(node % self.clusters)
+    }
+
+    /// Number of cliques.
+    pub fn clusters(&self) -> u32 {
+        self.clusters
+    }
+
+    fn ensure_assigned(&mut self, node: NodeId) {
+        let idx = node as usize;
+        while self.cluster_of.len() <= idx {
+            let id = self.cluster_of.len() as u32;
+            self.cluster_of.push(id % self.clusters);
+        }
+    }
+}
+
+impl Environment for ClusteredEnv {
+    fn begin_round(&mut self, _round: u64, alive: &AliveSet) {
+        // Migrations first (deterministic via the env RNG stream).
+        for &id in alive.ids() {
+            self.ensure_assigned(id);
+            if self.clusters > 1 && self.rng.gen::<f64>() < self.migration_prob {
+                let current = self.cluster_of[id as usize];
+                let mut next = self.rng.gen_range(0..self.clusters - 1);
+                if next >= current {
+                    next += 1;
+                }
+                self.cluster_of[id as usize] = next;
+            }
+        }
+        // Rebuild membership lists.
+        for m in &mut self.members {
+            m.clear();
+        }
+        for &id in alive.ids() {
+            self.members[self.cluster_of[id as usize] as usize].push(id);
+        }
+        for m in &mut self.members {
+            m.sort_unstable(); // determinism independent of alive-list order
+        }
+    }
+
+    fn sample(&self, node: NodeId, alive: &AliveSet, rng: &mut SmallRng) -> Option<NodeId> {
+        if self.bridge_prob > 0.0 && rng.gen::<f64>() < self.bridge_prob {
+            return alive.sample_other(node, rng);
+        }
+        let members = &self.members[self.cluster_of(node) as usize];
+        match members.len() {
+            0 | 1 => None,
+            len => loop {
+                let cand = members[rng.gen_range(0..len)];
+                if cand != node {
+                    return Some(cand);
+                }
+            },
+        }
+    }
+
+    fn degree(&self, node: NodeId, _alive: &AliveSet) -> usize {
+        self.members[self.cluster_of(node) as usize]
+            .len()
+            .saturating_sub(1)
+    }
+
+    fn neighbors(
+        &self,
+        node: NodeId,
+        _alive: &AliveSet,
+        _rng: &mut SmallRng,
+        out: &mut Vec<NodeId>,
+    ) {
+        out.extend(
+            self.members[self.cluster_of(node) as usize]
+                .iter()
+                .copied()
+                .filter(|&p| p != node)
+                .take(16),
+        );
+    }
+
+    fn name(&self) -> &'static str {
+        "clustered"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn initial_assignment_is_round_robin() {
+        let env = ClusteredEnv::new(9, 3, 0.0, 0.0, 1);
+        assert_eq!(env.cluster_of(0), 0);
+        assert_eq!(env.cluster_of(4), 1);
+        assert_eq!(env.cluster_of(8), 2);
+    }
+
+    #[test]
+    fn sampling_stays_in_clique_without_bridges() {
+        let mut env = ClusteredEnv::new(30, 3, 0.0, 0.0, 2);
+        let alive = AliveSet::full(30);
+        env.begin_round(0, &alive);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for node in [0u32, 7, 20] {
+            let home = env.cluster_of(node);
+            for _ in 0..200 {
+                let p = env.sample(node, &alive, &mut rng).unwrap();
+                assert_eq!(env.cluster_of(p), home, "partner left the clique");
+                assert_ne!(p, node);
+            }
+        }
+    }
+
+    #[test]
+    fn bridges_cross_cliques() {
+        let mut env = ClusteredEnv::new(30, 3, 0.0, 0.5, 4);
+        let alive = AliveSet::full(30);
+        env.begin_round(0, &alive);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let home = env.cluster_of(0);
+        let crossings = (0..500)
+            .filter_map(|_| env.sample(0, &alive, &mut rng))
+            .filter(|&p| env.cluster_of(p) != home)
+            .count();
+        assert!(crossings > 50, "expected frequent bridge exchanges, got {crossings}");
+    }
+
+    #[test]
+    fn migration_moves_hosts() {
+        let mut env = ClusteredEnv::new(20, 4, 0.5, 0.0, 6);
+        let alive = AliveSet::full(20);
+        let before: Vec<u32> = (0..20).map(|i| env.cluster_of(i)).collect();
+        for round in 0..5 {
+            env.begin_round(round, &alive);
+        }
+        let after: Vec<u32> = (0..20).map(|i| env.cluster_of(i)).collect();
+        assert_ne!(before, after, "with 50% migration, assignments must churn");
+    }
+
+    #[test]
+    fn isolated_singleton_clique_samples_none() {
+        let mut env = ClusteredEnv::new(3, 3, 0.0, 0.0, 7);
+        let alive = AliveSet::full(3);
+        env.begin_round(0, &alive);
+        let mut rng = SmallRng::seed_from_u64(8);
+        // Each host is alone in its clique of 1.
+        assert_eq!(env.sample(0, &alive, &mut rng), None);
+        assert_eq!(env.degree(0, &alive), 0);
+    }
+
+    #[test]
+    fn churn_joins_get_assigned() {
+        let mut env = ClusteredEnv::new(4, 2, 0.0, 0.0, 9);
+        let mut alive = AliveSet::full(4);
+        alive.insert(10);
+        env.begin_round(0, &alive);
+        assert!(env.cluster_of(10) < 2);
+        let mut rng = SmallRng::seed_from_u64(10);
+        // the joined node can gossip within its clique
+        let p = env.sample(10, &alive, &mut rng);
+        assert!(p.is_some());
+    }
+}

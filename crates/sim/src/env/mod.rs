@@ -1,0 +1,82 @@
+//! Gossip environments: how pairs of hosts are selected (paper §V).
+//!
+//! "Gossip protocols are distinct from gossip environments. While the
+//! former defines the exchange performed by participating hosts, the
+//! latter defines how pairs of hosts are selected to perform an exchange."
+
+use crate::alive::AliveSet;
+use dynagg_core::protocol::{NodeId, PeerSampler};
+use dynagg_trace::GroupView;
+use rand::rngs::SmallRng;
+
+pub mod clustered;
+pub mod spatial;
+pub mod trace;
+pub mod uniform;
+
+pub use clustered::ClusteredEnv;
+pub use spatial::SpatialEnv;
+pub use trace::TraceEnv;
+pub use uniform::UniformEnv;
+
+/// A gossip environment. Implementations precompute whatever they need in
+/// [`Environment::begin_round`] and then answer per-node peer queries.
+pub trait Environment {
+    /// Prepare for `round`; `alive` is the current live set.
+    fn begin_round(&mut self, round: u64, alive: &AliveSet);
+
+    /// Sample one exchange partner for `node`.
+    fn sample(&self, node: NodeId, alive: &AliveSet, rng: &mut SmallRng) -> Option<NodeId>;
+
+    /// Number of peers reachable from `node` this round.
+    fn degree(&self, node: NodeId, alive: &AliveSet) -> usize;
+
+    /// Fill `out` with a broadcast set for `node` (real neighbors where a
+    /// topology exists; a bounded random subset under uniform gossip).
+    fn neighbors(
+        &self,
+        node: NodeId,
+        alive: &AliveSet,
+        rng: &mut SmallRng,
+        out: &mut Vec<NodeId>,
+    );
+
+    /// The per-host group structure, where the environment has one (the
+    /// trace environment's 10-minute "nearby" components). Metrics use this
+    /// for Fig. 11's per-group truths.
+    fn group_view(&self) -> Option<&GroupView> {
+        None
+    }
+
+    /// Human-readable name for logs and CSV headers.
+    fn name(&self) -> &'static str;
+}
+
+/// Adapter presenting one node's view of an [`Environment`] as the
+/// [`PeerSampler`] protocols consume.
+pub struct EnvSampler<'a> {
+    env: &'a dyn Environment,
+    alive: &'a AliveSet,
+    node: NodeId,
+}
+
+impl<'a> EnvSampler<'a> {
+    /// Wrap `env` for `node`.
+    pub fn new(env: &'a dyn Environment, alive: &'a AliveSet, node: NodeId) -> Self {
+        Self { env, alive, node }
+    }
+}
+
+impl PeerSampler for EnvSampler<'_> {
+    fn sample(&mut self, rng: &mut SmallRng) -> Option<NodeId> {
+        self.env.sample(self.node, self.alive, rng)
+    }
+
+    fn degree(&self) -> usize {
+        self.env.degree(self.node, self.alive)
+    }
+
+    fn neighbors(&mut self, rng: &mut SmallRng, out: &mut Vec<NodeId>) {
+        self.env.neighbors(self.node, self.alive, rng, out);
+    }
+}

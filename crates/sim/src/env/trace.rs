@@ -1,0 +1,208 @@
+//! The trace-driven gossip environment (paper §V, Fig. 11): devices are
+//! "restricted to communicating with hosts in wireless range", with range
+//! defined by a contact trace, and devices "perform one round of gossip
+//! every thirty seconds of simulated time".
+
+use super::Environment;
+use crate::alive::AliveSet;
+use dynagg_core::protocol::NodeId;
+use dynagg_trace::groups::{GroupView, PAPER_WINDOW_S};
+use dynagg_trace::Timeline;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// The paper's gossip period: one round per 30 s of simulated time.
+pub const PAPER_ROUND_SECONDS: u64 = 30;
+
+/// Adjacency and groups driven by a [`Timeline`].
+#[derive(Debug, Clone)]
+pub struct TraceEnv {
+    timeline: Timeline,
+    round_seconds: u64,
+    window_seconds: u64,
+    /// Current adjacency lists (alive-agnostic; filtered at sample time).
+    adjacency: Vec<Vec<NodeId>>,
+    /// Current 10-minute-window groups.
+    groups: GroupView,
+    /// Current simulated time in seconds.
+    now: u64,
+}
+
+impl TraceEnv {
+    /// A trace environment with the paper's 30 s rounds and 10-minute
+    /// nearby window.
+    pub fn paper(timeline: Timeline) -> Self {
+        Self::new(timeline, PAPER_ROUND_SECONDS, PAPER_WINDOW_S)
+    }
+
+    /// Full control over round period and nearby window.
+    pub fn new(timeline: Timeline, round_seconds: u64, window_seconds: u64) -> Self {
+        let groups = GroupView::at(&timeline, 0, window_seconds);
+        let adjacency = Self::adjacency_at(&timeline, 0);
+        Self {
+            timeline,
+            round_seconds: round_seconds.max(1),
+            window_seconds,
+            adjacency,
+            groups,
+            now: 0,
+        }
+    }
+
+    fn adjacency_at(timeline: &Timeline, t: u64) -> Vec<Vec<NodeId>> {
+        timeline
+            .adjacency_at(t)
+            .into_iter()
+            .map(|l| l.into_iter().map(NodeId::from).collect())
+            .collect()
+    }
+
+    /// Number of devices in the backing trace.
+    pub fn device_count(&self) -> usize {
+        usize::from(self.timeline.device_count())
+    }
+
+    /// Total rounds available in the trace.
+    pub fn total_rounds(&self) -> u64 {
+        self.timeline.duration() / self.round_seconds
+    }
+
+    /// Rounds per simulated hour.
+    pub fn rounds_per_hour(&self) -> u64 {
+        3600 / self.round_seconds
+    }
+
+    /// Current simulated time (seconds).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The backing timeline.
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+}
+
+impl Environment for TraceEnv {
+    fn begin_round(&mut self, round: u64, _alive: &AliveSet) {
+        self.now = round * self.round_seconds;
+        self.adjacency = Self::adjacency_at(&self.timeline, self.now);
+        self.groups = GroupView::at(&self.timeline, self.now, self.window_seconds);
+    }
+
+    fn sample(&self, node: NodeId, alive: &AliveSet, rng: &mut SmallRng) -> Option<NodeId> {
+        let neigh = self.adjacency.get(node as usize)?;
+        // Filter dead neighbors by rejection; lists are tiny.
+        let live: u32 = neigh.iter().filter(|&&p| alive.contains(p)).count() as u32;
+        if live == 0 {
+            return None;
+        }
+        let mut pick = rng.gen_range(0..live);
+        for &p in neigh {
+            if alive.contains(p) {
+                if pick == 0 {
+                    return Some(p);
+                }
+                pick -= 1;
+            }
+        }
+        None
+    }
+
+    fn degree(&self, node: NodeId, alive: &AliveSet) -> usize {
+        self.adjacency
+            .get(node as usize)
+            .map_or(0, |l| l.iter().filter(|&&p| alive.contains(p)).count())
+    }
+
+    fn neighbors(
+        &self,
+        node: NodeId,
+        alive: &AliveSet,
+        _rng: &mut SmallRng,
+        out: &mut Vec<NodeId>,
+    ) {
+        if let Some(l) = self.adjacency.get(node as usize) {
+            out.extend(l.iter().copied().filter(|&p| alive.contains(p)));
+        }
+    }
+
+    fn group_view(&self) -> Option<&GroupView> {
+        Some(&self.groups)
+    }
+
+    fn name(&self) -> &'static str {
+        "trace"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynagg_trace::event::ContactEvent;
+    use rand::SeedableRng;
+
+    fn tl() -> Timeline {
+        Timeline::new(
+            4,
+            3600,
+            vec![
+                ContactEvent::new(0, 120, 0, 1).unwrap(),
+                ContactEvent::new(0, 120, 1, 2).unwrap(),
+                ContactEvent::new(1000, 1100, 2, 3).unwrap(),
+            ],
+        )
+    }
+
+    #[test]
+    fn adjacency_follows_time() {
+        let mut env = TraceEnv::paper(tl());
+        let alive = AliveSet::full(4);
+        env.begin_round(0, &alive); // t = 0
+        assert_eq!(env.degree(1, &alive), 2);
+        assert_eq!(env.degree(3, &alive), 0);
+        env.begin_round(34, &alive); // t = 1020
+        assert_eq!(env.degree(1, &alive), 0);
+        assert_eq!(env.degree(3, &alive), 1);
+    }
+
+    #[test]
+    fn sampling_respects_range_and_liveness() {
+        let mut env = TraceEnv::paper(tl());
+        let mut alive = AliveSet::full(4);
+        env.begin_round(0, &alive);
+        let mut rng = SmallRng::seed_from_u64(8);
+        for _ in 0..200 {
+            let p = env.sample(1, &alive, &mut rng).unwrap();
+            assert!(p == 0 || p == 2);
+        }
+        alive.remove(0);
+        for _ in 0..200 {
+            assert_eq!(env.sample(1, &alive, &mut rng), Some(2));
+        }
+        alive.remove(2);
+        assert_eq!(env.sample(1, &alive, &mut rng), None);
+    }
+
+    #[test]
+    fn groups_update_with_window() {
+        let mut env = TraceEnv::paper(tl());
+        let alive = AliveSet::full(4);
+        env.begin_round(2, &alive); // t = 60, contacts active
+        let g = env.group_view().unwrap();
+        assert_eq!(g.group_of(0), g.group_of(2));
+        // t = 1020: the 10-min window [420,1020] no longer holds 0-1/1-2,
+        // but holds 2-3.
+        env.begin_round(34, &alive);
+        let g = env.group_view().unwrap();
+        assert_ne!(g.group_of(0), g.group_of(1));
+        assert_eq!(g.group_of(2), g.group_of(3));
+    }
+
+    #[test]
+    fn paper_constants() {
+        let env = TraceEnv::paper(tl());
+        assert_eq!(env.rounds_per_hour(), 120);
+        assert_eq!(env.total_rounds(), 120);
+    }
+}

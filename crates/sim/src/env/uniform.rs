@@ -1,0 +1,118 @@
+//! The uniform gossip environment: every live host can exchange with every
+//! other ("100,000 hosts with full connectivity. Idealized models of this
+//! form are commonly employed in the analysis of gossip protocols", §V).
+
+use super::Environment;
+use crate::alive::AliveSet;
+use dynagg_core::protocol::NodeId;
+use rand::rngs::SmallRng;
+
+/// Full-connectivity uniform peer selection.
+#[derive(Debug, Clone, Default)]
+pub struct UniformEnv {
+    /// Broadcast-set size handed to tree-style protocols (uniform gossip
+    /// has no real neighborhoods; a bounded random subset stands in).
+    broadcast_fanout: usize,
+}
+
+impl UniformEnv {
+    /// A uniform environment with the default broadcast fanout (8).
+    pub fn new() -> Self {
+        Self { broadcast_fanout: 8 }
+    }
+
+    /// Override the broadcast fanout used by [`Environment::neighbors`].
+    pub fn with_broadcast_fanout(mut self, fanout: usize) -> Self {
+        self.broadcast_fanout = fanout;
+        self
+    }
+}
+
+impl Environment for UniformEnv {
+    fn begin_round(&mut self, _round: u64, _alive: &AliveSet) {}
+
+    fn sample(&self, node: NodeId, alive: &AliveSet, rng: &mut SmallRng) -> Option<NodeId> {
+        alive.sample_other(node, rng)
+    }
+
+    fn degree(&self, node: NodeId, alive: &AliveSet) -> usize {
+        alive.len().saturating_sub(usize::from(alive.contains(node)))
+    }
+
+    fn neighbors(
+        &self,
+        node: NodeId,
+        alive: &AliveSet,
+        rng: &mut SmallRng,
+        out: &mut Vec<NodeId>,
+    ) {
+        // A random subset, deduplicated: tree protocols flood to these.
+        let want = self.broadcast_fanout.min(alive.len().saturating_sub(1));
+        let mut tries = 0;
+        while out.len() < want && tries < want * 8 {
+            if let Some(p) = alive.sample_other(node, rng) {
+                if !out.contains(&p) {
+                    out.push(p);
+                }
+            }
+            tries += 1;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_only_live_others() {
+        let mut alive = AliveSet::full(10);
+        alive.remove(3);
+        alive.remove(7);
+        let env = UniformEnv::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let p = env.sample(0, &alive, &mut rng).unwrap();
+            assert_ne!(p, 0);
+            assert_ne!(p, 3);
+            assert_ne!(p, 7);
+        }
+    }
+
+    #[test]
+    fn degree_counts_everyone_else() {
+        let alive = AliveSet::full(10);
+        let env = UniformEnv::new();
+        assert_eq!(env.degree(0, &alive), 9);
+    }
+
+    #[test]
+    fn neighbors_are_distinct_and_bounded() {
+        let alive = AliveSet::full(100);
+        let env = UniformEnv::new().with_broadcast_fanout(5);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut out = Vec::new();
+        env.neighbors(9, &alive, &mut rng, &mut out);
+        assert_eq!(out.len(), 5);
+        let mut dedup = out.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), out.len());
+        assert!(!out.contains(&9));
+    }
+
+    #[test]
+    fn isolated_when_alone() {
+        let mut alive = AliveSet::full(2);
+        alive.remove(1);
+        let env = UniformEnv::new();
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert_eq!(env.sample(0, &alive, &mut rng), None);
+        assert_eq!(env.degree(0, &alive), 0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Failure injection (paper §V: "failing half of the participating nodes";
+//! Fig. 8 vs Fig. 10's uncorrelated/correlated modes).
+//!
+//! Failures are *silent* by default — the protocols receive no sign-off,
+//! which is precisely the condition the dynamic protocols are built for.
+//! Setting `graceful` routes the removal through
+//! `PushProtocol::depart_gracefully` first (sketch hosts release their
+//! sourced cells), modeling a clean sign-off for comparison runs.
+
+use serde::{Deserialize, Serialize};
+
+/// Which hosts a mass failure removes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailureMode {
+    /// Uniformly random hosts (Fig. 8: "by the law of large numbers,
+    /// random host failures do not impact the average over the long term").
+    Random,
+    /// The highest-valued hosts (Fig. 10: "host failures that are
+    /// correlated with values stored at those hosts will alter the average
+    /// without altering the average mass in the system").
+    TopValue,
+    /// The lowest-valued hosts (the mirror correlated case).
+    BottomValue,
+}
+
+/// A failure plan for one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FailureSpec {
+    /// No failures.
+    None,
+    /// Remove `fraction` of the live hosts at the start of `round`.
+    AtRound {
+        /// Round at which the failure strikes (before exchanges).
+        round: u64,
+        /// Which hosts are selected.
+        mode: FailureMode,
+        /// Fraction of the live population to remove, in `(0, 1]`.
+        fraction: f64,
+        /// Whether hosts sign off (release sketch cells) before leaving.
+        graceful: bool,
+    },
+    /// Continuous churn from `start`: each round an expected
+    /// `leave_per_round` fraction of live hosts silently departs and
+    /// `join_per_round × initial_n` fresh hosts join.
+    Churn {
+        /// First round of churn.
+        start: u64,
+        /// Expected per-round departure fraction of the live population.
+        leave_per_round: f64,
+        /// Expected per-round arrivals as a fraction of the initial size.
+        join_per_round: f64,
+    },
+}
+
+impl FailureSpec {
+    /// The paper's uniform-environment failure: half the nodes at round 20.
+    pub fn paper_half_at_20(mode: FailureMode) -> Self {
+        FailureSpec::AtRound { round: 20, mode, fraction: 0.5, graceful: false }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_spec_is_half_at_20() {
+        let FailureSpec::AtRound { round, fraction, graceful, mode } =
+            FailureSpec::paper_half_at_20(FailureMode::Random)
+        else {
+            panic!("wrong variant");
+        };
+        assert_eq!(round, 20);
+        assert_eq!(fraction, 0.5);
+        assert!(!graceful);
+        assert_eq!(mode, FailureMode::Random);
+    }
+}

@@ -1,0 +1,37 @@
+//! # dynagg-sim
+//!
+//! A round-based gossip simulator, reproducing the paper's evaluation
+//! methodology (§V): "simulation in rounds, or iterations — at every
+//! iteration, each host performs the protocol's exchange with one peer,
+//! selected as per the environment."
+//!
+//! * [`env`] — the three gossip environments: [`env::uniform`] (full
+//!   connectivity, the 100 000-host setting), [`env::spatial`]
+//!   (grid adjacency with `1/d²` random-walk long links, Kempe–Kleinberg–
+//!   Demers spatial gossip), and [`env::trace`] (adjacency driven by a
+//!   mobility trace, the Fig. 11 setting),
+//! * [`alive`] — live-host bookkeeping with O(1) removal,
+//! * [`failure`] — failure plans: random and value-correlated mass
+//!   failures, Poisson churn, graceful sign-offs,
+//! * [`metrics`] — per-round error series ("standard deviation from the
+//!   correct value", per-group truths for trace runs) and CSV emitters,
+//! * [`runner`] — [`runner::Simulation`] (message-passing protocols) and
+//!   [`runner::PairwiseSimulation`] (atomic push/pull exchanges),
+//! * [`rng`] — deterministic seed derivation; a simulation's entire
+//!   behaviour is a function of one `u64`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alive;
+pub mod env;
+pub mod failure;
+pub mod metrics;
+pub mod rng;
+pub mod runner;
+
+pub use alive::AliveSet;
+pub use env::Environment;
+pub use failure::{FailureMode, FailureSpec};
+pub use metrics::{RoundStats, Series, Truth};
+pub use runner::{PairwiseSimulation, Simulation};

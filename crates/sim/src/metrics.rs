@@ -1,0 +1,344 @@
+//! Error metrics: "Errors are presented in aggregate as the standard
+//! deviation from the correct value" (§V).
+//!
+//! The *correct value* depends on the experiment: the live-population mean
+//! (Figs. 8/10), the live count or sum (Fig. 9), or — in trace runs — each
+//! host's **group** aggregate ("a host's error is reported relative to the
+//! aggregate of its group", Fig. 11).
+
+use dynagg_trace::GroupView;
+use serde::{Deserialize, Serialize};
+
+/// What each host's estimate is compared against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Truth {
+    /// The mean value over live hosts (Figs. 8, 10).
+    Mean,
+    /// The number of live hosts (Fig. 9 and Fig. 6's convergence runs).
+    Count,
+    /// The sum of live hosts' values.
+    Sum,
+    /// Each host's 10-minute-window group mean (Fig. 11 left column).
+    GroupMean,
+    /// Each host's group size (Fig. 11 right column).
+    GroupSize,
+}
+
+impl Truth {
+    /// Does this truth need per-group structure from the environment?
+    pub fn needs_groups(self) -> bool {
+        matches!(self, Truth::GroupMean | Truth::GroupSize)
+    }
+
+    /// Per-host truth values given live values (`None` = dead host).
+    ///
+    /// Global truths return the same number for every host; group truths
+    /// broadcast each group's aggregate to its members. `groups` must be
+    /// `Some` for group truths.
+    pub fn per_host(
+        self,
+        values: &[Option<f64>],
+        groups: Option<&GroupView>,
+    ) -> Vec<Option<f64>> {
+        let live: Vec<f64> = values.iter().copied().flatten().collect();
+        match self {
+            Truth::Mean => {
+                let t = if live.is_empty() {
+                    0.0
+                } else {
+                    live.iter().sum::<f64>() / live.len() as f64
+                };
+                values.iter().map(|v| v.map(|_| t)).collect()
+            }
+            Truth::Count => {
+                let t = live.len() as f64;
+                values.iter().map(|v| v.map(|_| t)).collect()
+            }
+            Truth::Sum => {
+                let t = live.iter().sum::<f64>();
+                values.iter().map(|v| v.map(|_| t)).collect()
+            }
+            Truth::GroupMean | Truth::GroupSize => {
+                let groups = groups.expect("group truth requires a group-aware environment");
+                values
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| {
+                        v.map(|_| {
+                            let members = groups.members_of(i as u16);
+                            let live_members: Vec<f64> = members
+                                .iter()
+                                .filter_map(|&m| values[usize::from(m)])
+                                .collect();
+                            match self {
+                                Truth::GroupSize => live_members.len() as f64,
+                                _ => {
+                                    if live_members.is_empty() {
+                                        0.0
+                                    } else {
+                                        live_members.iter().sum::<f64>()
+                                            / live_members.len() as f64
+                                    }
+                                }
+                            }
+                        })
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Per-round aggregate error statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoundStats {
+    /// Gossip iteration (0-based).
+    pub round: u64,
+    /// Live hosts this round.
+    pub alive: usize,
+    /// Mean per-host truth (= the global truth for global modes).
+    pub truth: f64,
+    /// Mean estimate across hosts with a defined estimate.
+    pub mean_estimate: f64,
+    /// √(mean((estimate − truth)²)) — the paper's y-axis.
+    pub stddev: f64,
+    /// Mean |estimate − truth|.
+    pub mean_abs_err: f64,
+    /// Max |estimate − truth|.
+    pub max_abs_err: f64,
+    /// Hosts with a defined estimate.
+    pub defined: usize,
+    /// Messages sent this round.
+    pub messages: u64,
+    /// Payload bytes sent this round.
+    pub bytes: u64,
+    /// Mean group size experienced by a live host (trace runs; 0 elsewhere).
+    pub mean_group_size: f64,
+}
+
+impl RoundStats {
+    /// Compute stats from per-host `(estimate, truth)` pairs.
+    #[allow(clippy::too_many_arguments)]
+    pub fn compute(
+        round: u64,
+        estimates: &[Option<f64>],
+        truths: &[Option<f64>],
+        alive: usize,
+        messages: u64,
+        bytes: u64,
+        mean_group_size: f64,
+    ) -> Self {
+        let mut n = 0usize;
+        let mut sum_est = 0.0;
+        let mut sum_truth = 0.0;
+        let mut sum_sq = 0.0;
+        let mut sum_abs = 0.0;
+        let mut max_abs = 0.0f64;
+        for (e, t) in estimates.iter().zip(truths) {
+            if let (Some(e), Some(t)) = (e, t) {
+                n += 1;
+                sum_est += e;
+                sum_truth += t;
+                let d = e - t;
+                sum_sq += d * d;
+                sum_abs += d.abs();
+                max_abs = max_abs.max(d.abs());
+            }
+        }
+        let nf = n.max(1) as f64;
+        Self {
+            round,
+            alive,
+            truth: sum_truth / nf,
+            mean_estimate: sum_est / nf,
+            stddev: (sum_sq / nf).sqrt(),
+            mean_abs_err: sum_abs / nf,
+            max_abs_err: max_abs,
+            defined: n,
+            messages,
+            bytes,
+            mean_group_size,
+        }
+    }
+}
+
+/// A time series of round statistics with export helpers.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// One entry per simulated round.
+    pub rounds: Vec<RoundStats>,
+}
+
+impl Series {
+    /// Append one round.
+    pub fn push(&mut self, s: RoundStats) {
+        self.rounds.push(s);
+    }
+
+    /// The final round, if any rounds ran.
+    pub fn last(&self) -> Option<&RoundStats> {
+        self.rounds.last()
+    }
+
+    /// First round at which `stddev` drops below `threshold` and stays
+    /// below for the rest of the series ("converged" in the paper's
+    /// convergence-time readings).
+    pub fn converged_at(&self, threshold: f64) -> Option<u64> {
+        let mut candidate: Option<u64> = None;
+        for s in &self.rounds {
+            if s.stddev <= threshold {
+                candidate.get_or_insert(s.round);
+            } else {
+                candidate = None;
+            }
+        }
+        candidate
+    }
+
+    /// Mean stddev over rounds `from..` (steady-state error reading).
+    pub fn steady_state_stddev(&self, from: u64) -> f64 {
+        let tail: Vec<f64> =
+            self.rounds.iter().filter(|s| s.round >= from).map(|s| s.stddev).collect();
+        if tail.is_empty() {
+            return f64::NAN;
+        }
+        tail.iter().sum::<f64>() / tail.len() as f64
+    }
+
+    /// Total payload bytes over the whole run.
+    pub fn total_bytes(&self) -> u64 {
+        self.rounds.iter().map(|s| s.bytes).sum()
+    }
+
+    /// Total messages over the whole run.
+    pub fn total_messages(&self) -> u64 {
+        self.rounds.iter().map(|s| s.messages).sum()
+    }
+
+    /// CSV export (header + one row per round).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "round,alive,truth,mean_estimate,stddev,mean_abs_err,max_abs_err,defined,messages,bytes,mean_group_size\n",
+        );
+        for s in &self.rounds {
+            out.push_str(&format!(
+                "{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{},{:.3}\n",
+                s.round,
+                s.alive,
+                s.truth,
+                s.mean_estimate,
+                s.stddev,
+                s.mean_abs_err,
+                s.max_abs_err,
+                s.defined,
+                s.messages,
+                s.bytes,
+                s.mean_group_size,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_truth_ignores_dead_hosts() {
+        let values = vec![Some(10.0), None, Some(30.0)];
+        let t = Truth::Mean.per_host(&values, None);
+        assert_eq!(t, vec![Some(20.0), None, Some(20.0)]);
+    }
+
+    #[test]
+    fn count_and_sum_truths() {
+        let values = vec![Some(10.0), Some(5.0), None];
+        assert_eq!(Truth::Count.per_host(&values, None)[0], Some(2.0));
+        assert_eq!(Truth::Sum.per_host(&values, None)[1], Some(15.0));
+    }
+
+    #[test]
+    fn group_truths_follow_components() {
+        // Devices 0,1 in one group; 2 alone.
+        let groups = GroupView::from_edges(3, &[(0, 1)]);
+        let values = vec![Some(10.0), Some(30.0), Some(99.0)];
+        let means = Truth::GroupMean.per_host(&values, Some(&groups));
+        assert_eq!(means, vec![Some(20.0), Some(20.0), Some(99.0)]);
+        let sizes = Truth::GroupSize.per_host(&values, Some(&groups));
+        assert_eq!(sizes, vec![Some(2.0), Some(2.0), Some(1.0)]);
+    }
+
+    #[test]
+    fn group_size_counts_only_live_members() {
+        let groups = GroupView::from_edges(3, &[(0, 1), (1, 2)]);
+        let values = vec![Some(1.0), None, Some(1.0)];
+        let sizes = Truth::GroupSize.per_host(&values, Some(&groups));
+        assert_eq!(sizes, vec![Some(2.0), None, Some(2.0)]);
+    }
+
+    #[test]
+    fn stats_compute_rms() {
+        let est = vec![Some(1.0), Some(3.0), None];
+        let truth = vec![Some(0.0), Some(0.0), Some(0.0)];
+        let s = RoundStats::compute(5, &est, &truth, 3, 10, 100, 0.0);
+        assert_eq!(s.defined, 2);
+        assert!((s.stddev - 5.0f64.sqrt()).abs() < 1e-12); // sqrt((1+9)/2)
+        assert_eq!(s.max_abs_err, 3.0);
+        assert_eq!(s.mean_abs_err, 2.0);
+    }
+
+    #[test]
+    fn converged_at_requires_staying_below() {
+        let mk = |round, stddev| RoundStats {
+            round,
+            alive: 1,
+            truth: 0.0,
+            mean_estimate: 0.0,
+            stddev,
+            mean_abs_err: 0.0,
+            max_abs_err: 0.0,
+            defined: 1,
+            messages: 0,
+            bytes: 0,
+            mean_group_size: 0.0,
+        };
+        let mut series = Series::default();
+        for (r, sd) in [(0, 10.0), (1, 0.5), (2, 5.0), (3, 0.4), (4, 0.3)] {
+            series.push(mk(r, sd));
+        }
+        assert_eq!(series.converged_at(1.0), Some(3), "round 1 dip doesn't count");
+        assert_eq!(series.converged_at(0.1), None);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut series = Series::default();
+        series.push(RoundStats::compute(0, &[Some(1.0)], &[Some(1.0)], 1, 2, 32, 0.0));
+        let csv = series.to_csv();
+        assert!(csv.starts_with("round,alive"));
+        assert_eq!(csv.lines().count(), 2);
+    }
+
+    #[test]
+    fn steady_state_reads_tail() {
+        let mk = |round, stddev| RoundStats {
+            round,
+            alive: 1,
+            truth: 0.0,
+            mean_estimate: 0.0,
+            stddev,
+            mean_abs_err: 0.0,
+            max_abs_err: 0.0,
+            defined: 1,
+            messages: 0,
+            bytes: 0,
+            mean_group_size: 0.0,
+        };
+        let mut s = Series::default();
+        for (r, sd) in [(0u64, 100.0), (1, 2.0), (2, 4.0)] {
+            s.push(mk(r, sd));
+        }
+        assert!((s.steady_state_stddev(1) - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,224 @@
+//! Property-based tests for the simulator: live-set bookkeeping against a
+//! reference model, truth computation invariants, and engine determinism
+//! under randomized failure plans.
+
+use dynagg_core::push_sum::PushSum;
+use dynagg_core::push_sum_revert::PushSumRevert;
+use dynagg_sim::alive::AliveSet;
+use dynagg_sim::env::uniform::UniformEnv;
+use dynagg_sim::{runner, FailureMode, FailureSpec, Truth};
+use dynagg_trace::GroupView;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Remove(u8),
+    Insert(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![any::<u8>().prop_map(Op::Remove), any::<u8>().prop_map(Op::Insert)]
+}
+
+proptest! {
+    /// AliveSet behaves exactly like a HashSet reference model under any
+    /// interleaving of inserts and removes.
+    #[test]
+    fn alive_set_matches_reference_model(
+        n in 1usize..64,
+        ops in proptest::collection::vec(op_strategy(), 0..200),
+    ) {
+        let mut sut = AliveSet::full(n);
+        let mut model: HashSet<u32> = (0..n as u32).collect();
+        for op in ops {
+            match op {
+                Op::Remove(x) => {
+                    let id = u32::from(x) % (2 * n as u32);
+                    prop_assert_eq!(sut.remove(id), model.remove(&id));
+                }
+                Op::Insert(x) => {
+                    let id = u32::from(x) % (2 * n as u32);
+                    prop_assert_eq!(sut.insert(id), model.insert(id));
+                }
+            }
+            prop_assert_eq!(sut.len(), model.len());
+        }
+        // Final membership agrees element-wise.
+        for id in 0..(2 * n as u32) {
+            prop_assert_eq!(sut.contains(id), model.contains(&id));
+        }
+        let mut listed: Vec<u32> = sut.ids().to_vec();
+        listed.sort_unstable();
+        let mut expected: Vec<u32> = model.into_iter().collect();
+        expected.sort_unstable();
+        prop_assert_eq!(listed, expected);
+    }
+
+    /// Sampling only ever returns live members, never the excluded node.
+    #[test]
+    fn alive_sampling_is_sound(
+        n in 2usize..40,
+        removals in proptest::collection::vec(any::<u8>(), 0..20),
+        seed: u64,
+    ) {
+        let mut s = AliveSet::full(n);
+        for r in removals {
+            s.remove(u32::from(r) % n as u32);
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            if let Some(x) = s.sample(&mut rng) {
+                prop_assert!(s.contains(x));
+            }
+            if let Some(x) = s.sample_other(0, &mut rng) {
+                prop_assert!(s.contains(x));
+                prop_assert_ne!(x, 0);
+            }
+        }
+    }
+
+    /// Global truths are constant across live hosts and ignore dead ones.
+    #[test]
+    fn global_truths_are_uniform(
+        values in proptest::collection::vec(proptest::option::of(0.0f64..100.0), 1..30),
+    ) {
+        for truth in [Truth::Mean, Truth::Count, Truth::Sum] {
+            let t = truth.per_host(&values, None);
+            prop_assert_eq!(t.len(), values.len());
+            let live: Vec<f64> = t.iter().copied().flatten().collect();
+            for w in live.windows(2) {
+                prop_assert!((w[0] - w[1]).abs() < 1e-9, "global truth must be uniform");
+            }
+            for (v, tv) in values.iter().zip(&t) {
+                prop_assert_eq!(v.is_some(), tv.is_some(), "dead hosts have no truth");
+            }
+        }
+    }
+
+    /// Group truths: every member of one group sees the same value, and
+    /// GroupSize equals the number of LIVE members.
+    #[test]
+    fn group_truths_respect_components(
+        n in 2u16..24,
+        edges in proptest::collection::vec((any::<u16>(), any::<u16>()), 0..40),
+        dead in proptest::collection::vec(any::<u16>(), 0..8),
+    ) {
+        let edges: Vec<(u16, u16)> = edges
+            .into_iter()
+            .map(|(a, b)| (a % n, b % n))
+            .filter(|(a, b)| a != b)
+            .collect();
+        let groups = GroupView::from_edges(n, &edges);
+        let mut values: Vec<Option<f64>> =
+            (0..n).map(|i| Some(f64::from(i) * 3.0)).collect();
+        for d in dead {
+            values[usize::from(d % n)] = None;
+        }
+        let sizes = Truth::GroupSize.per_host(&values, Some(&groups));
+        let means = Truth::GroupMean.per_host(&values, Some(&groups));
+        for d in 0..n {
+            let Some(size) = sizes[usize::from(d)] else { continue };
+            let members = groups.members_of(d);
+            let live = members
+                .iter()
+                .filter(|&&m| values[usize::from(m)].is_some())
+                .count();
+            prop_assert_eq!(size as usize, live);
+            // Same group, same truth.
+            for &m in members {
+                if let Some(ms) = sizes[usize::from(m)] {
+                    prop_assert!((ms - size).abs() < 1e-9);
+                }
+                if let (Some(a), Some(b)) = (means[usize::from(d)], means[usize::from(m)]) {
+                    prop_assert!((a - b).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    /// The engines are deterministic functions of the seed under any
+    /// failure plan, and never report more defined estimates than live
+    /// hosts.
+    #[test]
+    fn engine_is_deterministic_under_failures(
+        seed: u64,
+        n in 10usize..60,
+        fail_round in 1u64..10,
+        fraction in 0.1f64..0.9,
+        mode_pick in 0u8..3,
+    ) {
+        let mode = match mode_pick {
+            0 => FailureMode::Random,
+            1 => FailureMode::TopValue,
+            _ => FailureMode::BottomValue,
+        };
+        let spec = FailureSpec::AtRound { round: fail_round, mode, fraction, graceful: false };
+        let run = || {
+            runner::builder(seed)
+                .environment(UniformEnv::new())
+                .nodes_with_paper_values(n)
+                .protocol(|_, v| PushSum::averaging(v))
+                .truth(Truth::Mean)
+                .failure(spec)
+                .build()
+                .run(15)
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(&a, &b, "same seed must reproduce the series");
+        let expected_alive = n - ((n as f64) * fraction).round() as usize;
+        let last = a.last().unwrap();
+        prop_assert_eq!(last.alive, expected_alive);
+        prop_assert!(last.defined <= last.alive);
+    }
+
+    /// Pairwise engine: total conserved mass matches the live population
+    /// exactly when no failures occur, for any seed and size.
+    #[test]
+    fn pairwise_engine_conserves_population_weight(
+        seed: u64,
+        n in 2usize..80,
+        rounds in 1u64..20,
+    ) {
+        let mut sim = runner::builder(seed)
+            .environment(UniformEnv::new())
+            .nodes_with_paper_values(n)
+            .protocol(|_, v| PushSumRevert::new(v, 0.05))
+            .truth(Truth::Mean)
+            .build_pairwise();
+        for _ in 0..rounds {
+            sim.step();
+        }
+        let total_w: f64 = (0..n as u32)
+            .filter_map(|id| sim.node(id))
+            .map(|p| p.mass().weight)
+            .sum();
+        prop_assert!((total_w - n as f64).abs() < 1e-6, "weight {total_w} != {n}");
+    }
+
+    /// Churn never lets the metrics desynchronize: defined estimates track
+    /// the live population every round.
+    #[test]
+    fn churn_keeps_metrics_consistent(
+        seed: u64,
+        leave in 0.0f64..0.1,
+        join in 0.0f64..0.1,
+    ) {
+        let series = runner::builder(seed)
+            .environment(UniformEnv::new())
+            .nodes_with_paper_values(50)
+            .protocol(|_, v| PushSum::averaging(v))
+            .truth(Truth::Mean)
+            .failure(FailureSpec::Churn { start: 2, leave_per_round: leave, join_per_round: join })
+            .build()
+            .run(25);
+        for s in &series.rounds {
+            prop_assert!(s.defined <= s.alive);
+            prop_assert!(s.stddev.is_finite());
+            prop_assert!(s.alive > 0 || s.defined == 0);
+        }
+    }
+}

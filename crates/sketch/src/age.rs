@@ -1,0 +1,379 @@
+//! The age-counter matrix behind Count-Sketch-Reset (paper §IV-A, Fig. 5).
+//!
+//! Static counting sketches cannot heal: a bit, once set, has no way to
+//! decay, and a departing host cannot know whether another live host still
+//! sources the same bit. Count-Sketch-Reset's fix is to replace every bit
+//! with an **age counter**:
+//!
+//! * a host that *sources* cell `(bin, k)` pins that counter to 0,
+//! * every other counter increments by one each gossip round,
+//! * gossip exchanges merge counters element-wise with `min`,
+//! * a bit is considered set iff its age is within a cutoff `f(k)`
+//!   ([`crate::cutoff::Cutoff`]).
+//!
+//! While a source is alive, the age of its cell anywhere in the network is
+//! bounded (w.h.p.) by the gossip propagation time, which for bit `k` is
+//! `≈ 7 + k/4` rounds under uniform gossip — independent of network size.
+//! When the last source of a cell departs, the cell's minimum age grows by
+//! exactly one per round everywhere, crosses the cutoff, and the bit
+//! expires: the estimate self-heals.
+
+use crate::cutoff::Cutoff;
+use crate::estimate;
+use crate::hash::Hash64;
+use crate::pcsa::Pcsa;
+use crate::rho::bin_and_rho;
+
+/// Sentinel for "never sourced": behaves as +∞ under `min`.
+pub const INF_AGE: u8 = u8::MAX;
+
+/// Largest representable finite age; [`AgeMatrix::tick`] saturates here so a
+/// very old cell never wraps around into looking fresh. All practical
+/// cutoffs are far below this.
+pub const MAX_FINITE_AGE: u8 = u8::MAX - 1;
+
+/// An `m × (L+1)` matrix of age counters with min-merge semantics.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct AgeMatrix {
+    m: u32,
+    l: u8,
+    /// Row-major `m` rows of `l + 1` counters; `INF_AGE` = never sourced.
+    ages: Box<[u8]>,
+    /// Flat indices of cells this host sources (kept pinned at 0).
+    /// Sorted and deduplicated.
+    own: Vec<u32>,
+}
+
+impl AgeMatrix {
+    /// Empty matrix with `m` bins (power of two), `l + 1` counters per bin,
+    /// every counter at ∞ and no owned cells.
+    ///
+    /// # Panics
+    /// Panics if `m` is not a power of two or `l` exceeds
+    /// [`crate::fm::MAX_WIDTH`].
+    pub fn new(m: u32, l: u8) -> Self {
+        assert!(m.is_power_of_two(), "bin count must be a power of two");
+        assert!(l > 0 && l <= crate::fm::MAX_WIDTH);
+        let cells = (m as usize) * (usize::from(l) + 1);
+        Self {
+            m,
+            l,
+            ages: vec![INF_AGE; cells].into_boxed_slice(),
+            own: Vec::new(),
+        }
+    }
+
+    /// Number of bins `m`.
+    pub fn num_bins(&self) -> u32 {
+        self.m
+    }
+
+    /// Register width `L`.
+    pub fn width(&self) -> u8 {
+        self.l
+    }
+
+    /// Counters per bin (`L + 1`).
+    #[inline]
+    fn row_len(&self) -> usize {
+        usize::from(self.l) + 1
+    }
+
+    #[inline]
+    fn flat(&self, bin: u32, k: u8) -> usize {
+        debug_assert!(bin < self.m && k <= self.l);
+        (bin as usize) * self.row_len() + usize::from(k)
+    }
+
+    /// Current age of cell `(bin, k)`; `INF_AGE` if never sourced.
+    #[inline]
+    pub fn age(&self, bin: u32, k: u8) -> u8 {
+        self.ages[self.flat(bin, k)]
+    }
+
+    /// All `(bin, k, age)` triples with a finite age. Fig. 6 aggregates
+    /// these across hosts into per-`k` CDFs.
+    pub fn finite_cells(&self) -> impl Iterator<Item = (u32, u8, u8)> + '_ {
+        let row = self.row_len();
+        self.ages
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a != INF_AGE)
+            .map(move |(i, &a)| ((i / row) as u32, (i % row) as u8, a))
+    }
+
+    /// Claim cell `(bin, k)`: this host becomes a source, pinning the age
+    /// to zero until [`AgeMatrix::release_all`]. Claiming the same cell
+    /// twice is a no-op (duplicate insensitivity).
+    pub fn claim_cell(&mut self, bin: u32, k: u8) {
+        let idx = self.flat(bin, k) as u32;
+        self.ages[idx as usize] = 0;
+        if let Err(pos) = self.own.binary_search(&idx) {
+            self.own.insert(pos, idx);
+        }
+    }
+
+    /// Claim the cell a plain OR-sketch would set for `id` — one identifier,
+    /// used for counting hosts (paper: "one object at each host").
+    pub fn claim_id<H: Hash64>(&mut self, hasher: &H, id: u64) -> (u32, u8) {
+        let (bin, k) = bin_and_rho(hasher.hash_u64(id), self.m, self.l);
+        self.claim_cell(bin, k);
+        (bin, k)
+    }
+
+    /// Claim `value` cells via multi-insertion (Considine-style summation:
+    /// host `id` registers `value` independent identifiers). Cost is
+    /// `O(value)`; see [`crate::sum`] for scaled alternatives.
+    pub fn claim_value<H: Hash64>(&mut self, hasher: &H, id: u64, value: u64) {
+        for j in 0..value {
+            let (bin, k) = bin_and_rho(hasher.hash_pair(id, j), self.m, self.l);
+            self.claim_cell(bin, k);
+        }
+    }
+
+    /// Number of distinct cells this host sources.
+    pub fn owned_cells(&self) -> usize {
+        self.own.len()
+    }
+
+    /// Whether this host sources `(bin, k)`.
+    pub fn is_own(&self, bin: u32, k: u8) -> bool {
+        self.own.binary_search(&(self.flat(bin, k) as u32)).is_ok()
+    }
+
+    /// Stop sourcing all owned cells (graceful departure): the cells keep
+    /// their current age of 0 but resume aging on the next [`tick`].
+    ///
+    /// [`tick`]: AgeMatrix::tick
+    pub fn release_all(&mut self) {
+        self.own.clear();
+    }
+
+    /// One gossip round of aging: every counter increments (saturating at
+    /// [`MAX_FINITE_AGE`]) *except* the cells this host sources, which stay
+    /// pinned at 0. (Fig. 5 step 2.)
+    pub fn tick(&mut self) {
+        for a in self.ages.iter_mut() {
+            if *a < MAX_FINITE_AGE {
+                *a += 1;
+            }
+        }
+        for &idx in &self.own {
+            self.ages[idx as usize] = 0;
+        }
+    }
+
+    /// Replace every counter from a flat row-major cell slice (wire
+    /// decoding). Clears ownership: ages arriving over the wire are a
+    /// peer's *view*, not sourcing duties.
+    ///
+    /// # Panics
+    /// Panics if `cells` does not match the matrix geometry.
+    pub fn load_ages(&mut self, cells: &[u8]) {
+        assert_eq!(cells.len(), self.ages.len(), "cell count must match geometry");
+        self.ages.copy_from_slice(cells);
+        self.own.clear();
+    }
+
+    /// Element-wise min-merge of a peer's matrix (Fig. 5 step 5). Own cells
+    /// stay pinned at 0 automatically because 0 is the lattice bottom.
+    ///
+    /// # Panics
+    /// Panics on geometry mismatch.
+    pub fn merge_min(&mut self, other: &AgeMatrix) {
+        assert_eq!(self.m, other.m, "bin-count mismatch");
+        assert_eq!(self.l, other.l, "width mismatch");
+        for (a, &b) in self.ages.iter_mut().zip(other.ages.iter()) {
+            if b < *a {
+                *a = b;
+            }
+        }
+    }
+
+    /// Derive the live-bit view under `cutoff` (Fig. 5 step 6): bit `(n, k)`
+    /// is set iff its age is finite and `≤ f(k)`.
+    pub fn bit_view(&self, cutoff: &Cutoff) -> Pcsa {
+        let mut p = Pcsa::new(self.m, self.l);
+        let row = self.row_len();
+        for (i, &a) in self.ages.iter().enumerate() {
+            if a == INF_AGE {
+                continue;
+            }
+            let k = (i % row) as u8;
+            if cutoff.admits(k, u32::from(a)) {
+                p.set_cell((i / row) as u32, k);
+            }
+        }
+        p
+    }
+
+    /// Cardinality estimate under `cutoff`: `(m/φ)·2^{avg R}` over the
+    /// live-bit view (Fig. 5 step 7).
+    pub fn estimate(&self, cutoff: &Cutoff) -> f64 {
+        self.bit_view(cutoff).estimate()
+    }
+
+    /// Mean live-bit run length under `cutoff` — exposed separately for
+    /// experiments that plot `R` directly.
+    pub fn mean_r(&self, cutoff: &Cutoff) -> f64 {
+        self.bit_view(cutoff).mean_r()
+    }
+
+    /// Wire size in bytes: one byte per counter. This is what the gossip
+    /// message carries; the bandwidth gap vs. [`Pcsa::wire_bytes`] (8× for
+    /// byte counters vs. bits) is part of the Invert-Average cost argument.
+    pub fn wire_bytes(&self) -> usize {
+        self.ages.len()
+    }
+
+    /// Expected maximum live bit index for `n` sources — a helper for
+    /// sizing experiments (bits above `log2(n)` are set with probability
+    /// `< 1/2` network-wide).
+    pub fn expected_top_bit(n: u64) -> u8 {
+        (64 - n.leading_zeros()) as u8
+    }
+}
+
+/// Shared estimator re-export so protocol code needs only this module.
+pub use estimate::expected_error;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::SplitMix64;
+
+    #[test]
+    fn new_matrix_is_all_infinite() {
+        let m = AgeMatrix::new(8, 16);
+        assert_eq!(m.finite_cells().count(), 0);
+        assert_eq!(m.estimate(&Cutoff::paper_uniform()), 0.0);
+    }
+
+    #[test]
+    fn claim_pins_to_zero_across_ticks() {
+        let mut m = AgeMatrix::new(8, 16);
+        m.claim_cell(3, 2);
+        for _ in 0..10 {
+            m.tick();
+        }
+        assert_eq!(m.age(3, 2), 0, "owned cell must stay pinned");
+    }
+
+    #[test]
+    fn unowned_cells_age_by_one_per_tick() {
+        let mut a = AgeMatrix::new(8, 16);
+        let mut b = AgeMatrix::new(8, 16);
+        a.claim_cell(1, 1);
+        b.merge_min(&a); // b learns the cell at age 0
+        for expected in 1..=5u8 {
+            b.tick();
+            assert_eq!(b.age(1, 1), expected);
+        }
+    }
+
+    #[test]
+    fn release_resumes_aging() {
+        let mut m = AgeMatrix::new(8, 16);
+        m.claim_cell(0, 0);
+        m.tick();
+        assert_eq!(m.age(0, 0), 0);
+        m.release_all();
+        m.tick();
+        m.tick();
+        assert_eq!(m.age(0, 0), 2);
+    }
+
+    #[test]
+    fn merge_takes_elementwise_min() {
+        let mut a = AgeMatrix::new(4, 8);
+        let mut b = AgeMatrix::new(4, 8);
+        a.claim_cell(0, 0);
+        a.release_all();
+        for _ in 0..5 {
+            a.tick(); // a sees the cell at age 5
+        }
+        b.claim_cell(0, 0);
+        b.release_all();
+        b.tick(); // b sees it at age 1
+        a.merge_min(&b);
+        assert_eq!(a.age(0, 0), 1);
+        // merging back the older view must not regress
+        b.merge_min(&a);
+        assert_eq!(b.age(0, 0), 1);
+    }
+
+    #[test]
+    fn tick_saturates_instead_of_wrapping() {
+        let mut m = AgeMatrix::new(4, 8);
+        m.claim_cell(2, 3);
+        m.release_all();
+        for _ in 0..1000 {
+            m.tick();
+        }
+        assert_eq!(m.age(2, 3), MAX_FINITE_AGE);
+        assert_ne!(m.age(2, 3), INF_AGE, "saturated finite age must differ from infinity");
+    }
+
+    #[test]
+    fn bit_view_applies_cutoff_per_index() {
+        let cutoff = Cutoff::paper_uniform(); // f(0)=7, f(8)=9
+        let mut m = AgeMatrix::new(4, 16);
+        m.claim_cell(0, 0);
+        m.claim_cell(0, 8);
+        m.release_all();
+        for _ in 0..8 {
+            m.tick(); // both cells now at age 8
+        }
+        let bits = m.bit_view(&cutoff);
+        assert!(!bits.bins()[0].bit(0), "age 8 > f(0)=7: expired");
+        assert!(bits.bins()[0].bit(8), "age 8 <= f(8)=9: live");
+    }
+
+    #[test]
+    fn infinite_cutoff_equals_static_sketch() {
+        let h = SplitMix64::new(77);
+        let mut m = AgeMatrix::new(16, 24);
+        let mut p = Pcsa::new(16, 24);
+        for id in 0..1_000u64 {
+            m.claim_id(&h, id);
+            p.insert(&h, id);
+        }
+        m.release_all();
+        for _ in 0..200 {
+            m.tick();
+        }
+        assert_eq!(m.bit_view(&Cutoff::Infinite), p);
+    }
+
+    #[test]
+    fn claim_value_matches_multi_insert_sum_cells() {
+        let h = SplitMix64::new(5);
+        let mut m = AgeMatrix::new(16, 24);
+        m.claim_value(&h, 42, 100);
+        // 100 insertions cannot occupy more than 100 distinct cells, and
+        // with 16 bins they should collide some but cover at least ~30.
+        let owned = m.owned_cells();
+        assert!((20..=100).contains(&owned), "owned = {owned}");
+    }
+
+    #[test]
+    fn estimate_counts_sources() {
+        let h = SplitMix64::new(123);
+        // Simulate a converged network of n hosts by claiming all ids into
+        // one matrix (gossip would min-merge everyone's view to this).
+        let n = 20_000u64;
+        let mut m = AgeMatrix::new(64, 24);
+        for id in 0..n {
+            m.claim_id(&h, id);
+        }
+        let est = m.estimate(&Cutoff::paper_uniform());
+        let rel = (est - n as f64).abs() / n as f64;
+        assert!(rel < 0.3, "est={est:.0} rel={rel:.3}");
+    }
+
+    #[test]
+    fn expected_top_bit_is_log2ish() {
+        assert_eq!(AgeMatrix::expected_top_bit(1), 1);
+        assert_eq!(AgeMatrix::expected_top_bit(1024), 11);
+    }
+}

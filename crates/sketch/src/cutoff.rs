@@ -1,0 +1,130 @@
+//! Bit-expiry cutoff policies for the age matrix.
+//!
+//! Count-Sketch-Reset declares bit `k` *live* iff its age counter is at most
+//! `f(k)`. The paper derives `f(k) ≈ 7 + k/4` for uniform gossip
+//! experimentally (Fig. 6): the age of a bit is bounded by the gossip
+//! propagation time from its nearest source, and the number of sources of
+//! bit `k` halves with each `k`, adding a constant number of propagation
+//! rounds per halving — hence a cutoff *linear in k* and **agnostic to the
+//! network size** (§IV-A).
+
+use serde::{Deserialize, Serialize};
+
+/// When is an aged bit still considered live?
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Cutoff {
+    /// `f(k) = base + slope·k`. The paper's uniform-gossip cutoff is
+    /// `base = 7`, `slope = 1/4`.
+    Linear {
+        /// Constant term: the expected full-network propagation time of a
+        /// message with many sources.
+        base: f64,
+        /// Per-index growth: extra rounds needed as the expected number of
+        /// sources halves with each bit index.
+        slope: f64,
+    },
+    /// No expiry: every bit that has ever been sourced stays live. This is
+    /// exactly the static Sketch-Count behaviour ("propagation limiting
+    /// off" in Fig. 9) and is the baseline the reset variant is compared
+    /// against.
+    Infinite,
+}
+
+impl Cutoff {
+    /// The paper's uniform-gossip cutoff `f(k) = 7 + k/4`.
+    pub const fn paper_uniform() -> Self {
+        Cutoff::Linear { base: 7.0, slope: 0.25 }
+    }
+
+    /// A deliberately loose cutoff (twice the paper's), used as the "slow
+    /// reversion" line in Fig. 11's dynamic-sum panels: bits take roughly
+    /// twice as long to expire, trading healing speed for stability in
+    /// poorly connected moments.
+    pub const fn slow() -> Self {
+        Cutoff::Linear { base: 14.0, slope: 0.5 }
+    }
+
+    /// Scale a linear cutoff by `factor` (ablation benches sweep this).
+    /// Scaling [`Cutoff::Infinite`] returns it unchanged.
+    pub fn scaled(self, factor: f64) -> Self {
+        match self {
+            Cutoff::Linear { base, slope } => Cutoff::Linear {
+                base: base * factor,
+                slope: slope * factor,
+            },
+            Cutoff::Infinite => Cutoff::Infinite,
+        }
+    }
+
+    /// The maximum age at which bit `k` is still live, or `None` when bits
+    /// never expire.
+    #[inline]
+    pub fn threshold(&self, k: u8) -> Option<f64> {
+        match *self {
+            Cutoff::Linear { base, slope } => Some(base + slope * f64::from(k)),
+            Cutoff::Infinite => None,
+        }
+    }
+
+    /// Is a bit of index `k` with the given `age` live? `age` must already
+    /// be finite (the age matrix filters its ∞ sentinel before asking).
+    #[inline]
+    pub fn admits(&self, k: u8, age: u32) -> bool {
+        match self.threshold(k) {
+            Some(t) => f64::from(age) <= t,
+            None => true,
+        }
+    }
+}
+
+impl Default for Cutoff {
+    fn default() -> Self {
+        Self::paper_uniform()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values() {
+        let c = Cutoff::paper_uniform();
+        assert_eq!(c.threshold(0), Some(7.0));
+        assert_eq!(c.threshold(4), Some(8.0));
+        assert_eq!(c.threshold(20), Some(12.0));
+    }
+
+    #[test]
+    fn admits_respects_threshold() {
+        let c = Cutoff::paper_uniform();
+        assert!(c.admits(0, 7));
+        assert!(!c.admits(0, 8));
+        assert!(c.admits(8, 9)); // threshold 9.0
+        assert!(!c.admits(8, 10));
+    }
+
+    #[test]
+    fn infinite_admits_everything_finite() {
+        let c = Cutoff::Infinite;
+        assert!(c.admits(0, 0));
+        assert!(c.admits(17, 1_000_000));
+        assert_eq!(c.threshold(5), None);
+    }
+
+    #[test]
+    fn slow_is_twice_paper() {
+        let slow = Cutoff::slow();
+        let paper = Cutoff::paper_uniform();
+        for k in [0u8, 3, 9, 17] {
+            assert!(
+                (slow.threshold(k).unwrap() - 2.0 * paper.threshold(k).unwrap()).abs() < 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_infinite_is_noop() {
+        assert_eq!(Cutoff::Infinite.scaled(3.0), Cutoff::Infinite);
+    }
+}

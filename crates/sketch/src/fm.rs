@@ -1,0 +1,194 @@
+//! A single Flajolet–Martin bit sketch.
+//!
+//! The sketch is an `L`-bit register; inserting object `i` sets bit `ρ(i)`.
+//! After many distinct insertions the low bits are all ones, the high bits
+//! all zeroes, and the boundary (the run length `R` of contiguous ones from
+//! bit 0) satisfies `E[R] ≈ log2(φ·n)` — see [`crate::estimate`].
+//!
+//! Two properties (paper §II-B) make the sketch gossip-friendly:
+//!
+//! 1. it is **decomposable**: the sketch of a union is the OR of sketches,
+//! 2. it is **duplicate-insensitive**: ORing overlapping sketches is safe.
+
+use crate::estimate;
+use crate::hash::Hash64;
+use crate::rho::rho;
+
+/// Maximum supported register width (bits live in one `u64`).
+pub const MAX_WIDTH: u8 = 63;
+
+/// A single FM sketch of width `L ≤ 63` (bit `L` is the ρ-overflow slot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct FmSketch {
+    bits: u64,
+    l: u8,
+}
+
+impl FmSketch {
+    /// Empty sketch of width `l` bits.
+    ///
+    /// # Panics
+    /// Panics if `l` is zero or exceeds [`MAX_WIDTH`].
+    pub fn new(l: u8) -> Self {
+        assert!(l > 0 && l <= MAX_WIDTH, "sketch width must be in 1..={MAX_WIDTH}");
+        Self { bits: 0, l }
+    }
+
+    /// Register width in bits.
+    pub fn width(&self) -> u8 {
+        self.l
+    }
+
+    /// Raw bit register, including the overflow slot at bit `l`.
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// True if no object has been inserted (all bits zero).
+    pub fn is_empty(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// Insert an already-hashed object.
+    #[inline]
+    pub fn insert_hash(&mut self, hash: u64) {
+        self.set_bit(rho(hash, self.l));
+    }
+
+    /// Insert an object identifier using `hasher`.
+    #[inline]
+    pub fn insert<H: Hash64>(&mut self, hasher: &H, id: u64) {
+        self.insert_hash(hasher.hash_u64(id));
+    }
+
+    /// Set bit `k` directly (`k ≤ L`). Used by the age matrix when it
+    /// derives a bit view from counters.
+    #[inline]
+    pub fn set_bit(&mut self, k: u8) {
+        debug_assert!(k <= self.l);
+        self.bits |= 1u64 << k;
+    }
+
+    /// Whether bit `k` is set.
+    #[inline]
+    pub fn bit(&self, k: u8) -> bool {
+        self.bits & (1u64 << k) != 0
+    }
+
+    /// OR-merge another sketch into this one.
+    ///
+    /// # Panics
+    /// Panics if the widths differ — merging different geometries would
+    /// silently corrupt the estimate.
+    #[inline]
+    pub fn merge(&mut self, other: &FmSketch) {
+        assert_eq!(self.l, other.l, "cannot merge sketches of different widths");
+        self.bits |= other.bits;
+    }
+
+    /// `R(A)`: the length of the run of contiguous ones starting at bit 0.
+    /// This is the quantity FM85 relates to `log2(φ·n)`.
+    #[inline]
+    pub fn r(&self) -> u8 {
+        ((!self.bits).trailing_zeros() as u8).min(self.l)
+    }
+
+    /// Single-sketch cardinality estimate `2^R / φ`.
+    ///
+    /// High variance (≈1.12 binary orders of magnitude); prefer
+    /// [`crate::pcsa::Pcsa`] for real use. Exposed for tests and teaching.
+    pub fn estimate(&self) -> f64 {
+        estimate::estimate_from_mean_r(1, f64::from(self.r()))
+    }
+
+    /// Clear all bits.
+    pub fn clear(&mut self) {
+        self.bits = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::SplitMix64;
+
+    #[test]
+    fn empty_sketch_has_r_zero() {
+        let s = FmSketch::new(24);
+        assert_eq!(s.r(), 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn r_counts_contiguous_ones() {
+        let mut s = FmSketch::new(24);
+        s.set_bit(0);
+        s.set_bit(1);
+        s.set_bit(3); // gap at 2
+        assert_eq!(s.r(), 2);
+        s.set_bit(2);
+        assert_eq!(s.r(), 4);
+    }
+
+    #[test]
+    fn r_saturates_at_width() {
+        let mut s = FmSketch::new(4);
+        for k in 0..=4 {
+            s.set_bit(k);
+        }
+        assert_eq!(s.r(), 4);
+    }
+
+    #[test]
+    fn merge_is_or() {
+        let mut a = FmSketch::new(16);
+        let mut b = FmSketch::new(16);
+        a.set_bit(0);
+        b.set_bit(1);
+        a.merge(&b);
+        assert!(a.bit(0) && a.bit(1));
+        assert_eq!(a.r(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different widths")]
+    fn merge_rejects_mismatched_widths() {
+        let mut a = FmSketch::new(16);
+        let b = FmSketch::new(24);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn duplicate_insertion_is_idempotent() {
+        let h = SplitMix64::new(1);
+        let mut a = FmSketch::new(24);
+        a.insert(&h, 42);
+        let snapshot = a;
+        a.insert(&h, 42);
+        a.insert(&h, 42);
+        assert_eq!(a, snapshot);
+    }
+
+    #[test]
+    fn estimate_tracks_cardinality_within_fm_variance() {
+        // A single sketch is noisy; averaged over 64 independent hashers the
+        // mean of R should be near log2(phi * n).
+        let n = 10_000u64;
+        let trials = 64u64;
+        let mut sum_r = 0f64;
+        for t in 0..trials {
+            let h = SplitMix64::new(t);
+            let mut s = FmSketch::new(32);
+            for i in 0..n {
+                s.insert(&h, i);
+            }
+            sum_r += f64::from(s.r());
+        }
+        let mean_r = sum_r / trials as f64;
+        let expected = (crate::PHI * n as f64).log2();
+        assert!(
+            (mean_r - expected).abs() < 1.0,
+            "mean R {mean_r:.2} vs expected {expected:.2}"
+        );
+    }
+}

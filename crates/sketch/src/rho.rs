@@ -1,0 +1,143 @@
+//! The Flajolet–Martin ρ function.
+//!
+//! `ρ(i)` maps every object to the index of the lowest set bit of its hash,
+//! giving the geometric distribution the whole sketch family relies on:
+//!
+//! ```text
+//! P[ρ(i) = k] = 2^-(k+1)      for k < L
+//! P[ρ(i) = L] = 2^-L          (the "hash was all zeroes below L" tail)
+//! ```
+//!
+//! The paper (§II-B) uses exactly this canonical definition: "the index of
+//! the first nonzero bit of the L-bit hash of i, or the value L in the case
+//! that the hash contains only zeroes".
+
+/// ρ of a hashed value: index of the lowest set bit, capped at `l`.
+///
+/// `l` is the sketch width `L`; a return value of `l` means "no set bit in
+/// the first `l` positions" and occupies the final register slot.
+#[inline]
+pub fn rho(hash: u64, l: u8) -> u8 {
+    debug_assert!(l <= 64, "sketch width must fit a 64-bit hash");
+    let tz = hash.trailing_zeros() as u8; // 64 when hash == 0
+    tz.min(l)
+}
+
+/// Split one hash word into a bin index (for stochastic averaging) and a ρ
+/// value for that bin's register.
+///
+/// `m` must be a power of two; the low `log2(m)` bits pick the bin and the
+/// remaining bits feed ρ, so bin choice and register position stay
+/// independent (FM85 §3.3 does the same with `h mod m` / `h div m`).
+#[inline]
+pub fn bin_and_rho(hash: u64, m: u32, l: u8) -> (u32, u8) {
+    debug_assert!(m.is_power_of_two(), "bin count must be a power of two");
+    let bin_bits = m.trailing_zeros();
+    let bin = (hash as u32) & (m - 1);
+    let rest = hash >> bin_bits;
+    (bin, rho(rest, l))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::{Hash64, SplitMix64};
+
+    #[test]
+    fn rho_of_odd_is_zero() {
+        assert_eq!(rho(1, 32), 0);
+        assert_eq!(rho(0b1011, 32), 0);
+    }
+
+    #[test]
+    fn rho_counts_trailing_zeros() {
+        assert_eq!(rho(0b1000, 32), 3);
+        assert_eq!(rho(1 << 20, 32), 20);
+    }
+
+    #[test]
+    fn rho_caps_at_l() {
+        assert_eq!(rho(0, 16), 16, "all-zero hash maps to L");
+        assert_eq!(rho(1 << 40, 16), 16);
+    }
+
+    #[test]
+    fn bin_and_rho_ranges() {
+        let h = SplitMix64::new(7);
+        for i in 0..10_000u64 {
+            let (bin, k) = bin_and_rho(h.hash_u64(i), 64, 24);
+            assert!(bin < 64);
+            assert!(k <= 24);
+        }
+    }
+
+    /// The induced distribution must be geometric: P[ρ = k] ≈ 2^-(k+1).
+    /// With 200k samples, the first few classes have tight expected counts;
+    /// we allow ±20 % which a correct implementation passes with huge margin
+    /// while an off-by-one (e.g. leading instead of trailing zeros on a
+    /// truncated hash) fails immediately.
+    #[test]
+    fn rho_distribution_is_geometric() {
+        let h = SplitMix64::new(0xDEAD_BEEF);
+        let n = 200_000u64;
+        let mut counts = [0u64; 12];
+        for i in 0..n {
+            let k = rho(h.hash_u64(i), 32);
+            if (k as usize) < counts.len() {
+                counts[k as usize] += 1;
+            }
+        }
+        for (k, &c) in counts.iter().enumerate().take(8) {
+            let expected = n as f64 / 2f64.powi(k as i32 + 1);
+            let ratio = c as f64 / expected;
+            assert!(
+                (0.8..=1.2).contains(&ratio),
+                "P[rho={k}] off: observed {c}, expected {expected:.0}"
+            );
+        }
+    }
+
+    /// Bin selection must be uniform across bins.
+    #[test]
+    fn bins_are_uniform() {
+        let h = SplitMix64::new(11);
+        let m = 64u32;
+        let n = 64_000u64;
+        let mut counts = vec![0u64; m as usize];
+        for i in 0..n {
+            let (bin, _) = bin_and_rho(h.hash_u64(i), m, 24);
+            counts[bin as usize] += 1;
+        }
+        let expected = (n / u64::from(m)) as f64;
+        for (bin, &c) in counts.iter().enumerate() {
+            let ratio = c as f64 / expected;
+            assert!(
+                (0.75..=1.25).contains(&ratio),
+                "bin {bin} count {c} far from expected {expected}"
+            );
+        }
+    }
+
+    /// Bin index and rho must be independent: the rho distribution inside a
+    /// single bin should still be geometric.
+    #[test]
+    fn rho_independent_of_bin() {
+        let h = SplitMix64::new(23);
+        let mut zero_in_bin0 = 0u64;
+        let mut total_in_bin0 = 0u64;
+        for i in 0..400_000u64 {
+            let (bin, k) = bin_and_rho(h.hash_u64(i), 16, 24);
+            if bin == 0 {
+                total_in_bin0 += 1;
+                if k == 0 {
+                    zero_in_bin0 += 1;
+                }
+            }
+        }
+        let frac = zero_in_bin0 as f64 / total_in_bin0 as f64;
+        assert!(
+            (0.45..=0.55).contains(&frac),
+            "P[rho=0 | bin=0] = {frac}, expected 0.5"
+        );
+    }
+}

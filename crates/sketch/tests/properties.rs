@@ -1,0 +1,262 @@
+//! Property-based tests for the sketch substrate.
+//!
+//! These pin down the algebraic laws the gossip protocols rely on:
+//! OR-merge and min-merge must both be commutative, associative, and
+//! idempotent semilattice joins, and estimates must be monotone under
+//! union. A violation of any law would silently corrupt a gossip run
+//! (merges happen in arbitrary orders along arbitrary paths).
+
+use dynagg_sketch::age::{AgeMatrix, INF_AGE};
+use dynagg_sketch::codec;
+use dynagg_sketch::cutoff::Cutoff;
+use dynagg_sketch::hash::{Hash64, SplitMix64, XxLike64};
+use dynagg_sketch::pcsa::Pcsa;
+use dynagg_sketch::rho::{bin_and_rho, rho};
+use proptest::prelude::*;
+
+const M: u32 = 16;
+const L: u8 = 24;
+
+fn pcsa_from_ids(ids: &[u64]) -> Pcsa {
+    let h = SplitMix64::new(99);
+    let mut p = Pcsa::new(M, L);
+    for &id in ids {
+        p.insert(&h, id);
+    }
+    p
+}
+
+fn age_from_ids(ids: &[u64], ticks: u8) -> AgeMatrix {
+    let h = SplitMix64::new(99);
+    let mut m = AgeMatrix::new(M, L);
+    for &id in ids {
+        m.claim_id(&h, id);
+    }
+    m.release_all();
+    for _ in 0..ticks {
+        m.tick();
+    }
+    m
+}
+
+proptest! {
+    #[test]
+    fn rho_never_exceeds_cap(hash: u64, l in 1u8..=64) {
+        prop_assert!(rho(hash, l) <= l);
+    }
+
+    #[test]
+    fn bin_and_rho_in_range(hash: u64) {
+        let (bin, k) = bin_and_rho(hash, M, L);
+        prop_assert!(bin < M);
+        prop_assert!(k <= L);
+    }
+
+    #[test]
+    fn hashers_are_pure(seed: u64, x: u64) {
+        prop_assert_eq!(SplitMix64::new(seed).hash_u64(x), SplitMix64::new(seed).hash_u64(x));
+        prop_assert_eq!(XxLike64::new(seed).hash_u64(x), XxLike64::new(seed).hash_u64(x));
+    }
+
+    #[test]
+    fn or_merge_commutes(a in proptest::collection::vec(any::<u64>(), 0..50),
+                         b in proptest::collection::vec(any::<u64>(), 0..50)) {
+        let (pa, pb) = (pcsa_from_ids(&a), pcsa_from_ids(&b));
+        let mut ab = pa.clone();
+        ab.merge(&pb);
+        let mut ba = pb.clone();
+        ba.merge(&pa);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn or_merge_associates(a in proptest::collection::vec(any::<u64>(), 0..30),
+                           b in proptest::collection::vec(any::<u64>(), 0..30),
+                           c in proptest::collection::vec(any::<u64>(), 0..30)) {
+        let (pa, pb, pc) = (pcsa_from_ids(&a), pcsa_from_ids(&b), pcsa_from_ids(&c));
+        let mut left = pa.clone();
+        left.merge(&pb);
+        left.merge(&pc);
+        let mut bc = pb.clone();
+        bc.merge(&pc);
+        let mut right = pa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn or_merge_idempotent(a in proptest::collection::vec(any::<u64>(), 0..50)) {
+        let pa = pcsa_from_ids(&a);
+        let mut twice = pa.clone();
+        twice.merge(&pa);
+        prop_assert_eq!(twice, pa);
+    }
+
+    #[test]
+    fn merge_equals_union_of_id_sets(a in proptest::collection::vec(any::<u64>(), 0..40),
+                                     b in proptest::collection::vec(any::<u64>(), 0..40)) {
+        let mut merged = pcsa_from_ids(&a);
+        merged.merge(&pcsa_from_ids(&b));
+        let union: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(merged, pcsa_from_ids(&union));
+    }
+
+    #[test]
+    fn estimate_monotone_under_union(a in proptest::collection::vec(any::<u64>(), 1..40),
+                                     b in proptest::collection::vec(any::<u64>(), 1..40)) {
+        let pa = pcsa_from_ids(&a);
+        let mut merged = pa.clone();
+        merged.merge(&pcsa_from_ids(&b));
+        prop_assert!(merged.estimate() >= pa.estimate() - 1e-9);
+    }
+
+    #[test]
+    fn min_merge_commutes(a in proptest::collection::vec(any::<u64>(), 0..30),
+                          b in proptest::collection::vec(any::<u64>(), 0..30),
+                          ta in 0u8..20, tb in 0u8..20) {
+        let (ma, mb) = (age_from_ids(&a, ta), age_from_ids(&b, tb));
+        let mut ab = ma.clone();
+        ab.merge_min(&mb);
+        let mut ba = mb.clone();
+        ba.merge_min(&ma);
+        // Own-cell lists differ (both released, so both empty) — compare ages.
+        for bin in 0..M {
+            for k in 0..=L {
+                prop_assert_eq!(ab.age(bin, k), ba.age(bin, k));
+            }
+        }
+    }
+
+    #[test]
+    fn min_merge_associates(a in proptest::collection::vec(any::<u64>(), 0..20),
+                            b in proptest::collection::vec(any::<u64>(), 0..20),
+                            c in proptest::collection::vec(any::<u64>(), 0..20)) {
+        let (ma, mb, mc) = (age_from_ids(&a, 3), age_from_ids(&b, 7), age_from_ids(&c, 11));
+        let mut left = ma.clone();
+        left.merge_min(&mb);
+        left.merge_min(&mc);
+        let mut bc = mb.clone();
+        bc.merge_min(&mc);
+        let mut right = ma.clone();
+        right.merge_min(&bc);
+        for bin in 0..M {
+            for k in 0..=L {
+                prop_assert_eq!(left.age(bin, k), right.age(bin, k));
+            }
+        }
+    }
+
+    #[test]
+    fn min_merge_idempotent(a in proptest::collection::vec(any::<u64>(), 0..30), t in 0u8..20) {
+        let ma = age_from_ids(&a, t);
+        let mut twice = ma.clone();
+        twice.merge_min(&ma);
+        for bin in 0..M {
+            for k in 0..=L {
+                prop_assert_eq!(twice.age(bin, k), ma.age(bin, k));
+            }
+        }
+    }
+
+    #[test]
+    fn merge_never_increases_any_age(a in proptest::collection::vec(any::<u64>(), 0..30),
+                                     b in proptest::collection::vec(any::<u64>(), 0..30)) {
+        let (ma, mb) = (age_from_ids(&a, 5), age_from_ids(&b, 2));
+        let mut merged = ma.clone();
+        merged.merge_min(&mb);
+        for bin in 0..M {
+            for k in 0..=L {
+                prop_assert!(merged.age(bin, k) <= ma.age(bin, k));
+                prop_assert!(merged.age(bin, k) <= mb.age(bin, k));
+            }
+        }
+    }
+
+    #[test]
+    fn bit_view_live_set_shrinks_with_age(a in proptest::collection::vec(any::<u64>(), 1..30)) {
+        // As a matrix with released sources ages, the set of live bits under
+        // a finite cutoff can only shrink (bits expire, never revive).
+        let cutoff = Cutoff::paper_uniform();
+        let mut m = age_from_ids(&a, 0);
+        let mut prev_live: u32 = m
+            .bit_view(&cutoff)
+            .bins()
+            .iter()
+            .map(|b| b.bits().count_ones())
+            .sum();
+        for _ in 0..30 {
+            m.tick();
+            let live: u32 = m
+                .bit_view(&cutoff)
+                .bins()
+                .iter()
+                .map(|b| b.bits().count_ones())
+                .sum();
+            prop_assert!(live <= prev_live);
+            prev_live = live;
+        }
+        prop_assert_eq!(prev_live, 0, "all bits must eventually expire once sources left");
+    }
+
+    #[test]
+    fn infinite_cutoff_view_is_monotone(a in proptest::collection::vec(any::<u64>(), 1..30),
+                                        t in 0u8..40) {
+        // With Cutoff::Infinite, the bit view matches the static sketch and
+        // never loses bits regardless of age.
+        let m = age_from_ids(&a, t);
+        let bits = m.bit_view(&Cutoff::Infinite);
+        prop_assert_eq!(bits, pcsa_from_ids(&a));
+    }
+
+    #[test]
+    fn ages_are_finite_or_inf_sentinel(a in proptest::collection::vec(any::<u64>(), 0..30),
+                                       t in 0u8..100) {
+        let m = age_from_ids(&a, t);
+        for bin in 0..M {
+            for k in 0..=L {
+                let age = m.age(bin, k);
+                // Either the sentinel, or a real age that never exceeds the
+                // number of elapsed ticks.
+                prop_assert!(age == INF_AGE || age <= t);
+            }
+        }
+    }
+
+    /// Wire codec: age matrices round-trip exactly for any content.
+    #[test]
+    fn codec_ages_roundtrip(a in proptest::collection::vec(any::<u64>(), 0..50),
+                            t in 0u8..60) {
+        let m = age_from_ids(&a, t);
+        let decoded = codec::decode_ages(&codec::encode_ages(&m)).unwrap();
+        for bin in 0..M {
+            for k in 0..=L {
+                prop_assert_eq!(decoded.age(bin, k), m.age(bin, k));
+            }
+        }
+    }
+
+    /// Wire codec: PCSA sketches round-trip exactly for any content.
+    #[test]
+    fn codec_pcsa_roundtrip(a in proptest::collection::vec(any::<u64>(), 0..80)) {
+        let p = pcsa_from_ids(&a);
+        prop_assert_eq!(codec::decode_pcsa(&codec::encode_pcsa(&p)).unwrap(), p);
+    }
+
+    /// Min-merging a decoded wire view equals merging the original — the
+    /// codec cannot perturb gossip semantics.
+    #[test]
+    fn codec_merge_transparency(a in proptest::collection::vec(any::<u64>(), 0..30),
+                                b in proptest::collection::vec(any::<u64>(), 0..30)) {
+        let ma = age_from_ids(&a, 4);
+        let mb = age_from_ids(&b, 9);
+        let mut direct = ma.clone();
+        direct.merge_min(&mb);
+        let mut via_wire = ma.clone();
+        via_wire.merge_min(&codec::decode_ages(&codec::encode_ages(&mb)).unwrap());
+        for bin in 0..M {
+            for k in 0..=L {
+                prop_assert_eq!(direct.age(bin, k), via_wire.age(bin, k));
+            }
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Contact events: the atoms of a mobility trace.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Device index within one trace (dense, `0..device_count`).
+pub type DeviceId = u16;
+
+/// One pairwise radio contact: devices `a` and `b` were in range during
+/// `[start, end)` (seconds since trace start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ContactEvent {
+    /// Contact start, in seconds since trace start (inclusive).
+    pub start: u64,
+    /// Contact end, in seconds since trace start (exclusive).
+    pub end: u64,
+    /// One endpoint.
+    pub a: DeviceId,
+    /// The other endpoint. Events are stored with `a < b`.
+    pub b: DeviceId,
+}
+
+/// Why a contact event is malformed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventError {
+    /// `end <= start`.
+    EmptyInterval,
+    /// `a == b`.
+    SelfContact,
+}
+
+impl fmt::Display for EventError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyInterval => write!(f, "contact interval is empty (end <= start)"),
+            Self::SelfContact => write!(f, "contact connects a device to itself"),
+        }
+    }
+}
+
+impl std::error::Error for EventError {}
+
+impl ContactEvent {
+    /// Validated constructor; normalizes endpoint order so `a < b`.
+    pub fn new(start: u64, end: u64, a: DeviceId, b: DeviceId) -> Result<Self, EventError> {
+        if end <= start {
+            return Err(EventError::EmptyInterval);
+        }
+        if a == b {
+            return Err(EventError::SelfContact);
+        }
+        let (a, b) = if a < b { (a, b) } else { (b, a) };
+        Ok(Self { start, end, a, b })
+    }
+
+    /// Duration of the contact in seconds.
+    pub fn duration(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Whether the contact is active at time `t`.
+    pub fn active_at(&self, t: u64) -> bool {
+        self.start <= t && t < self.end
+    }
+
+    /// Whether the contact overlaps the half-open window `[from, to)`.
+    pub fn overlaps(&self, from: u64, to: u64) -> bool {
+        self.start < to && from < self.end
+    }
+
+    /// The `(a, b)` pair as a canonical edge key.
+    pub fn edge(&self) -> (DeviceId, DeviceId) {
+        (self.a, self.b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_normalizes_order() {
+        let e = ContactEvent::new(10, 20, 5, 2).unwrap();
+        assert_eq!((e.a, e.b), (2, 5));
+    }
+
+    #[test]
+    fn rejects_empty_and_self() {
+        assert_eq!(ContactEvent::new(10, 10, 1, 2), Err(EventError::EmptyInterval));
+        assert_eq!(ContactEvent::new(10, 5, 1, 2), Err(EventError::EmptyInterval));
+        assert_eq!(ContactEvent::new(1, 2, 3, 3), Err(EventError::SelfContact));
+    }
+
+    #[test]
+    fn activity_and_overlap() {
+        let e = ContactEvent::new(100, 200, 0, 1).unwrap();
+        assert!(e.active_at(100));
+        assert!(e.active_at(199));
+        assert!(!e.active_at(200));
+        assert!(!e.active_at(99));
+        assert!(e.overlaps(150, 160));
+        assert!(e.overlaps(0, 101));
+        assert!(e.overlaps(199, 300));
+        assert!(!e.overlaps(200, 300));
+        assert!(!e.overlaps(0, 100));
+    }
+
+    #[test]
+    fn duration() {
+        assert_eq!(ContactEvent::new(5, 65, 0, 1).unwrap().duration(), 60);
+    }
+}

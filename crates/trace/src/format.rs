@@ -1,0 +1,160 @@
+//! Text serialization of contact traces.
+//!
+//! The format matches the shape of the CRAWDAD Haggle contact lists so the
+//! real datasets can be dropped in: one whitespace-separated record per
+//! line, `<device-a> <device-b> <start-seconds> <end-seconds>`, `#`
+//! comments and blank lines ignored. A header comment records device count
+//! and duration; when absent they are inferred from the events.
+
+use crate::event::ContactEvent;
+use crate::timeline::Timeline;
+use std::fmt::Write as _;
+
+/// Parse errors with line numbers for debuggability.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a trace from text.
+pub fn parse(text: &str) -> Result<Timeline, ParseError> {
+    let mut events = Vec::new();
+    let mut declared_devices: Option<u16> = None;
+    let mut declared_duration: Option<u64> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            // Optional metadata comments: "# devices: N", "# duration: S".
+            let rest = rest.trim();
+            if let Some(v) = rest.strip_prefix("devices:") {
+                declared_devices = v.trim().parse().ok();
+            } else if let Some(v) = rest.strip_prefix("duration:") {
+                declared_duration = v.trim().parse().ok();
+            }
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let mut field = |name: &str| -> Result<u64, ParseError> {
+            parts
+                .next()
+                .ok_or_else(|| ParseError {
+                    line: line_no,
+                    message: format!("missing field `{name}`"),
+                })?
+                .parse::<u64>()
+                .map_err(|e| ParseError {
+                    line: line_no,
+                    message: format!("bad `{name}`: {e}"),
+                })
+        };
+        let a = field("device-a")?;
+        let b = field("device-b")?;
+        let start = field("start")?;
+        let end = field("end")?;
+        if parts.next().is_some() {
+            return Err(ParseError { line: line_no, message: "trailing fields".into() });
+        }
+        let (a, b) = (
+            u16::try_from(a).map_err(|_| ParseError {
+                line: line_no,
+                message: format!("device id {a} exceeds u16"),
+            })?,
+            u16::try_from(b).map_err(|_| ParseError {
+                line: line_no,
+                message: format!("device id {b} exceeds u16"),
+            })?,
+        );
+        let ev = ContactEvent::new(start, end, a, b)
+            .map_err(|e| ParseError { line: line_no, message: e.to_string() })?;
+        events.push(ev);
+    }
+
+    let max_dev = events.iter().map(|e| e.b).max().map_or(0, |d| d + 1);
+    let devices = declared_devices.unwrap_or(max_dev).max(max_dev);
+    Ok(Timeline::new(devices, declared_duration.unwrap_or(0), events))
+}
+
+/// Serialize a trace to the text format (with metadata header).
+pub fn write(timeline: &Timeline) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "# dynagg contact trace");
+    let _ = writeln!(s, "# devices: {}", timeline.device_count());
+    let _ = writeln!(s, "# duration: {}", timeline.duration());
+    let _ = writeln!(s, "# columns: device-a device-b start-s end-s");
+    for e in timeline.events() {
+        let _ = writeln!(s, "{} {} {} {}", e.a, e.b, e.start, e.end);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let tl = Timeline::new(
+            5,
+            800,
+            vec![
+                ContactEvent::new(0, 60, 0, 1).unwrap(),
+                ContactEvent::new(30, 90, 2, 4).unwrap(),
+            ],
+        );
+        let text = write(&tl);
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed, tl);
+    }
+
+    #[test]
+    fn parses_comments_and_blanks() {
+        let text = "# hello\n\n0 1 10 20\n   \n# devices: 7\n2 3 15 25\n";
+        let tl = parse(text).unwrap();
+        assert_eq!(tl.events().len(), 2);
+        assert_eq!(tl.device_count(), 7);
+    }
+
+    #[test]
+    fn infers_device_count() {
+        let tl = parse("0 9 0 10\n").unwrap();
+        assert_eq!(tl.device_count(), 10);
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let err = parse("0 1 10 20\n0 1 bogus 20\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("start"));
+    }
+
+    #[test]
+    fn rejects_malformed_records() {
+        assert!(parse("0 1 10\n").is_err(), "missing field");
+        assert!(parse("0 1 10 20 30\n").is_err(), "trailing field");
+        assert!(parse("3 3 10 20\n").is_err(), "self contact");
+        assert!(parse("0 1 20 10\n").is_err(), "inverted interval");
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let text = "0 1 500 600\n0 1 10 20\n";
+        let tl = parse(text).unwrap();
+        assert!(tl.events()[0].start <= tl.events()[1].start);
+    }
+}

@@ -1,0 +1,238 @@
+//! The paper's "nearby" relation (§V): two hosts are nearby at time `t` if
+//! a path exists between them over the union of all edges that existed in
+//! the last 10 minutes. Groups are the connected components of that union
+//! graph, and Fig. 11 reports each host's error *relative to its group's
+//! aggregate*.
+
+use crate::event::DeviceId;
+use crate::timeline::Timeline;
+
+/// The paper's window: 10 minutes, in seconds.
+pub const PAPER_WINDOW_S: u64 = 600;
+
+/// Group assignment at one instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupView {
+    /// `group_of[d]` = index of device `d`'s group.
+    group_of: Vec<u32>,
+    /// Members of each group, sorted; singleton groups included.
+    groups: Vec<Vec<DeviceId>>,
+}
+
+impl GroupView {
+    /// Compute groups at time `t` from the union of edges in
+    /// `[t.saturating_sub(window), t)` plus edges active exactly at `t`.
+    pub fn at(timeline: &Timeline, t: u64, window: u64) -> Self {
+        let from = t.saturating_sub(window);
+        // window_edges is half-open [from, to): use t+1 so contacts starting
+        // exactly at t count as "existing".
+        let edges = timeline.window_edges(from, t + 1);
+        Self::from_edges(timeline.device_count(), &edges)
+    }
+
+    /// Compute groups directly from an edge list.
+    pub fn from_edges(device_count: u16, edges: &[(DeviceId, DeviceId)]) -> Self {
+        let n = usize::from(device_count);
+        let mut uf = UnionFind::new(n);
+        for &(a, b) in edges {
+            uf.union(usize::from(a), usize::from(b));
+        }
+        let mut root_to_group = vec![u32::MAX; n];
+        let mut groups: Vec<Vec<DeviceId>> = Vec::new();
+        let mut group_of = vec![0u32; n];
+        for (d, slot) in group_of.iter_mut().enumerate() {
+            let root = uf.find(d);
+            if root_to_group[root] == u32::MAX {
+                root_to_group[root] = groups.len() as u32;
+                groups.push(Vec::new());
+            }
+            let g = root_to_group[root];
+            *slot = g;
+            groups[g as usize].push(d as DeviceId);
+        }
+        Self { group_of, groups }
+    }
+
+    /// The group index of device `d`.
+    pub fn group_of(&self, d: DeviceId) -> u32 {
+        self.group_of[usize::from(d)]
+    }
+
+    /// Members of device `d`'s group (sorted, includes `d`).
+    pub fn members_of(&self, d: DeviceId) -> &[DeviceId] {
+        &self.groups[self.group_of(d) as usize][..]
+    }
+
+    /// All groups.
+    pub fn groups(&self) -> &[Vec<DeviceId>] {
+        &self.groups
+    }
+
+    /// Size of device `d`'s group.
+    pub fn group_size(&self, d: DeviceId) -> usize {
+        self.members_of(d).len()
+    }
+
+    /// Mean group size *experienced by a device* (each device weighted
+    /// equally — the quantity Fig. 11 plots as "Avg Group Size").
+    pub fn mean_experienced_size(&self) -> f64 {
+        let n: usize = self.groups.iter().map(Vec::len).sum();
+        if n == 0 {
+            return 0.0;
+        }
+        let total: usize = self.groups.iter().map(|g| g.len() * g.len()).sum();
+        total as f64 / n as f64
+    }
+
+    /// The group-wise aggregate of per-device values, returned per device:
+    /// `out[d] = agg(values[m] for m in group(d))`.
+    pub fn group_aggregate<F>(&self, values: &[f64], agg: F) -> Vec<f64>
+    where
+        F: Fn(&[f64]) -> f64,
+    {
+        let mut out = vec![0.0; values.len()];
+        let mut buf = Vec::new();
+        for g in &self.groups {
+            buf.clear();
+            buf.extend(g.iter().map(|&d| values[usize::from(d)]));
+            let v = agg(&buf);
+            for &d in g {
+                out[usize::from(d)] = v;
+            }
+        }
+        out
+    }
+}
+
+/// Mean of a slice (helper for [`GroupView::group_aggregate`]).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self { parent: (0..n as u32).collect(), rank: vec![0; n] }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        // path compression
+        let mut cur = x;
+        while self.parent[cur] as usize != root {
+            let next = self.parent[cur] as usize;
+            self.parent[cur] = root as u32;
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb as u32,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra as u32,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra as u32;
+                self.rank[ra] += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ContactEvent;
+
+    fn tl() -> Timeline {
+        Timeline::new(
+            6,
+            10_000,
+            vec![
+                ContactEvent::new(0, 100, 0, 1).unwrap(),
+                ContactEvent::new(50, 150, 1, 2).unwrap(),
+                ContactEvent::new(0, 5_000, 3, 4).unwrap(),
+                // device 5 never meets anyone
+            ],
+        )
+    }
+
+    #[test]
+    fn components_form_a_partition() {
+        let v = GroupView::at(&tl(), 120, PAPER_WINDOW_S);
+        let mut seen = [0u32; 6];
+        for g in v.groups() {
+            for &d in g {
+                seen[usize::from(d)] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "every device in exactly one group");
+    }
+
+    #[test]
+    fn transitive_closure_over_window() {
+        // At t=120 the edges (0,1) [ended at 100] and (1,2) are both within
+        // the 10-minute window, so {0,1,2} are one group even though 0-1 is
+        // no longer active.
+        let v = GroupView::at(&tl(), 120, PAPER_WINDOW_S);
+        assert_eq!(v.group_of(0), v.group_of(2));
+        assert_eq!(v.members_of(0), &[0, 1, 2]);
+        assert_eq!(v.members_of(3), &[3, 4]);
+        assert_eq!(v.members_of(5), &[5]);
+    }
+
+    #[test]
+    fn window_expiry_splits_groups() {
+        // At t=800 the 0-1 and 1-2 contacts (ended ≤150) left the window.
+        let v = GroupView::at(&tl(), 800, PAPER_WINDOW_S);
+        assert_ne!(v.group_of(0), v.group_of(1));
+        assert_eq!(v.group_size(0), 1);
+        // 3-4 still in contact.
+        assert_eq!(v.members_of(3), &[3, 4]);
+    }
+
+    #[test]
+    fn experienced_group_size_weights_devices() {
+        // Groups {0,1,2}, {3,4}, {5}: experienced mean = (3·3 + 2·2 + 1)/6.
+        let v = GroupView::at(&tl(), 120, PAPER_WINDOW_S);
+        assert!((v.mean_experienced_size() - 14.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn group_aggregate_broadcasts_per_group() {
+        let v = GroupView::at(&tl(), 120, PAPER_WINDOW_S);
+        let values = [10.0, 20.0, 30.0, 100.0, 200.0, 7.0];
+        let means = v.group_aggregate(&values, mean);
+        assert_eq!(means[0], 20.0);
+        assert_eq!(means[1], 20.0);
+        assert_eq!(means[2], 20.0);
+        assert_eq!(means[3], 150.0);
+        assert_eq!(means[4], 150.0);
+        assert_eq!(means[5], 7.0);
+    }
+
+    #[test]
+    fn group_sizes_via_aggregate() {
+        let v = GroupView::at(&tl(), 120, PAPER_WINDOW_S);
+        let ones = [1.0; 6];
+        let sizes = v.group_aggregate(&ones, |xs| xs.iter().sum());
+        assert_eq!(sizes[0], 3.0);
+        assert_eq!(sizes[3], 2.0);
+        assert_eq!(sizes[5], 1.0);
+    }
+}

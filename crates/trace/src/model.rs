@@ -1,0 +1,324 @@
+//! Synthetic contact-trace generator — the CRAWDAD substitute.
+//!
+//! Fig. 11 needs traces with (a) small transient groups whose membership
+//! churns on minutes-to-hours scales and (b) a diurnal activity rhythm.
+//! This model generates exactly that statistical envelope with a
+//! **community meeting process**:
+//!
+//! * meetings start as a non-homogeneous Poisson process whose intensity
+//!   follows a 24-hour profile (people meet during the day, rarely at
+//!   night),
+//! * each meeting draws a size (2 + geometric, capped) and picks members,
+//!   biased toward one "community" (lab-mates meet lab-mates),
+//! * meetings last an exponential time (clamped to plausible bounds), and
+//!   all member pairs are in radio contact for the meeting's span.
+//!
+//! Everything is driven by a single seed: the same config + seed always
+//! produces the identical trace, so experiments are reproducible. The
+//! statistics (`crate::stats`) verify each bundled dataset matches its
+//! target group-size envelope.
+
+use crate::event::{ContactEvent, DeviceId};
+use crate::timeline::Timeline;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A 24-entry hour-of-day intensity profile.
+pub type DiurnalProfile = [f64; 24];
+
+/// A typical workday profile: near-silent nights, busy 9–18h.
+pub const WORKDAY_PROFILE: DiurnalProfile = [
+    0.05, 0.05, 0.05, 0.05, 0.05, 0.1, 0.2, 0.5, // 00–07
+    0.9, 1.0, 1.0, 1.0, 0.8, 0.9, 1.0, 1.0, // 08–15
+    0.9, 0.7, 0.5, 0.4, 0.3, 0.2, 0.1, 0.05, // 16–23
+];
+
+/// A conference profile: intense sessions with coffee-break spikes, active
+/// evenings.
+pub const CONFERENCE_PROFILE: DiurnalProfile = [
+    0.05, 0.05, 0.05, 0.05, 0.05, 0.1, 0.3, 0.6, // 00–07
+    1.0, 1.0, 0.9, 1.0, 0.9, 1.0, 1.0, 0.9, // 08–15
+    1.0, 0.9, 0.8, 0.7, 0.6, 0.4, 0.2, 0.1, // 16–23
+];
+
+/// Parameters of the synthetic meeting process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceModelConfig {
+    /// Number of devices.
+    pub devices: u16,
+    /// Trace duration in seconds.
+    pub duration_s: u64,
+    /// Mean seconds between meeting starts at peak intensity.
+    pub mean_meeting_gap_s: f64,
+    /// After the 2 seed members, each additional member joins with this
+    /// probability (geometric tail).
+    pub grow_p: f64,
+    /// Hard cap on meeting size.
+    pub max_meeting_size: u16,
+    /// Mean meeting duration in seconds (exponential, clamped below).
+    pub mean_meeting_duration_s: f64,
+    /// Minimum meeting duration in seconds.
+    pub min_meeting_duration_s: u64,
+    /// Number of communities members are biased toward.
+    pub communities: u16,
+    /// Probability that a new member comes from the seed member's
+    /// community.
+    pub community_bias: f64,
+    /// Hour-of-day intensity multipliers.
+    pub diurnal: DiurnalProfile,
+}
+
+impl TraceModelConfig {
+    /// Quick validity check (used by constructors and proptests).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.devices < 2 {
+            return Err("need at least 2 devices".into());
+        }
+        if !(0.0..1.0).contains(&self.grow_p) {
+            return Err(format!("grow_p must be in [0,1), got {}", self.grow_p));
+        }
+        if !(0.0..=1.0).contains(&self.community_bias) {
+            return Err(format!("community_bias must be in [0,1], got {}", self.community_bias));
+        }
+        if self.mean_meeting_gap_s <= 0.0 || self.mean_meeting_duration_s <= 0.0 {
+            return Err("rates must be positive".into());
+        }
+        if self.communities == 0 {
+            return Err("need at least one community".into());
+        }
+        Ok(())
+    }
+}
+
+/// The seeded generator.
+#[derive(Debug, Clone)]
+pub struct TraceModel {
+    cfg: TraceModelConfig,
+    seed: u64,
+}
+
+impl TraceModel {
+    /// Create a generator; the same `(config, seed)` always yields the same
+    /// trace.
+    ///
+    /// # Panics
+    /// Panics on invalid configuration (see [`TraceModelConfig::validate`]).
+    pub fn new(cfg: TraceModelConfig, seed: u64) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid trace model config: {e}");
+        }
+        Self { cfg, seed }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TraceModelConfig {
+        &self.cfg
+    }
+
+    /// Generate the trace.
+    pub fn generate(&self) -> Timeline {
+        let cfg = &self.cfg;
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut events: Vec<ContactEvent> = Vec::new();
+
+        // Device -> community assignment, round-robin for even sizes.
+        let community_of =
+            |d: DeviceId| -> u16 { d % cfg.communities };
+
+        let peak = cfg
+            .diurnal
+            .iter()
+            .copied()
+            .fold(f64::MIN, f64::max)
+            .max(f64::MIN_POSITIVE);
+
+        // Non-homogeneous Poisson via thinning: candidates at peak rate,
+        // accepted with probability intensity(t)/peak.
+        let mut t = 0f64;
+        let mut members: Vec<DeviceId> = Vec::new();
+        while t < cfg.duration_s as f64 {
+            t += exp_sample(&mut rng, cfg.mean_meeting_gap_s);
+            if t >= cfg.duration_s as f64 {
+                break;
+            }
+            let hour = ((t as u64 / 3600) % 24) as usize;
+            if rng.gen::<f64>() > cfg.diurnal[hour] / peak {
+                continue; // thinned out
+            }
+
+            // Meeting membership: two seeds, then geometric growth with
+            // community bias relative to the first seed.
+            members.clear();
+            let seed_dev = rng.gen_range(0..cfg.devices);
+            members.push(seed_dev);
+            let home = community_of(seed_dev);
+            let cap = cfg.max_meeting_size.min(cfg.devices);
+            while (members.len() as u16) < cap {
+                // First extra member is unconditional (meetings are ≥ 2).
+                if members.len() >= 2 && rng.gen::<f64>() >= cfg.grow_p {
+                    break;
+                }
+                let candidate = if rng.gen::<f64>() < cfg.community_bias {
+                    // sample within the seed's community
+                    let size = community_members(cfg.devices, cfg.communities, home);
+                    let idx = rng.gen_range(0..size);
+                    nth_community_member(cfg.communities, home, idx)
+                } else {
+                    rng.gen_range(0..cfg.devices)
+                };
+                if !members.contains(&candidate) {
+                    members.push(candidate);
+                } else if members.len() < 2 {
+                    continue; // must find a distinct second member
+                } else {
+                    break; // collision ends growth (keeps sizes modest)
+                }
+            }
+            if members.len() < 2 {
+                continue;
+            }
+
+            let dur = exp_sample(&mut rng, cfg.mean_meeting_duration_s)
+                .max(cfg.min_meeting_duration_s as f64);
+            let start = t as u64;
+            let end = ((t + dur) as u64).min(cfg.duration_s);
+            if end <= start {
+                continue;
+            }
+            for i in 0..members.len() {
+                for j in (i + 1)..members.len() {
+                    events.push(
+                        ContactEvent::new(start, end, members[i], members[j])
+                            .expect("members are distinct and interval nonempty"),
+                    );
+                }
+            }
+        }
+
+        Timeline::new(cfg.devices, cfg.duration_s, events)
+    }
+}
+
+/// Number of devices in community `c` under round-robin assignment.
+fn community_members(devices: u16, communities: u16, c: u16) -> u16 {
+    let base = devices / communities;
+    let extra = u16::from(c < devices % communities);
+    base + extra
+}
+
+/// The `idx`-th device of community `c` under round-robin assignment.
+fn nth_community_member(communities: u16, c: u16, idx: u16) -> DeviceId {
+    c + idx * communities
+}
+
+fn exp_sample(rng: &mut SmallRng, mean: f64) -> f64 {
+    // Inverse CDF; guard against log(0).
+    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    -u.ln() * mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> TraceModelConfig {
+        TraceModelConfig {
+            devices: 9,
+            duration_s: 24 * 3600,
+            mean_meeting_gap_s: 600.0,
+            grow_p: 0.5,
+            max_meeting_size: 5,
+            mean_meeting_duration_s: 1200.0,
+            min_meeting_duration_s: 60,
+            communities: 3,
+            community_bias: 0.7,
+            diurnal: WORKDAY_PROFILE,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let m = TraceModel::new(small_cfg(), 42);
+        assert_eq!(m.generate(), m.generate());
+        let other = TraceModel::new(small_cfg(), 43);
+        assert_ne!(m.generate(), other.generate(), "different seeds differ");
+    }
+
+    #[test]
+    fn events_are_well_formed() {
+        let tl = TraceModel::new(small_cfg(), 7).generate();
+        assert!(!tl.events().is_empty(), "a day of workday activity has meetings");
+        for e in tl.events() {
+            assert!(e.a < e.b);
+            assert!(e.b < 9);
+            assert!(e.end > e.start);
+            assert!(e.end <= tl.duration());
+        }
+    }
+
+    #[test]
+    fn respects_max_meeting_size() {
+        // With max size 3, no instant should have a clique larger than the
+        // union of overlapping meetings would allow — spot-check degree: a
+        // single meeting of size 3 yields degree ≤ 2 per meeting; overlaps
+        // can exceed it, so only assert the trace is non-degenerate and
+        // bounded by devices-1.
+        let tl = TraceModel::new(small_cfg(), 11).generate();
+        for t in (0..tl.duration()).step_by(3600) {
+            let adj = tl.adjacency_at(t);
+            for l in &adj {
+                assert!(l.len() < 9);
+            }
+        }
+    }
+
+    #[test]
+    fn night_is_quieter_than_day() {
+        let mut cfg = small_cfg();
+        cfg.duration_s = 72 * 3600;
+        let tl = TraceModel::new(cfg, 13).generate();
+        let mut night_edges = 0usize;
+        let mut day_edges = 0usize;
+        for day in 0..3u64 {
+            for h in 0..24u64 {
+                let t = day * 86_400 + h * 3600 + 1800;
+                let n = tl.active_edges(t).len();
+                if (0..6).contains(&h) {
+                    night_edges += n;
+                } else if (9..17).contains(&h) {
+                    day_edges += n;
+                }
+            }
+        }
+        assert!(
+            day_edges > night_edges * 2,
+            "daytime contact volume ({day_edges}) should dominate night ({night_edges})"
+        );
+    }
+
+    #[test]
+    fn community_helpers_partition_devices() {
+        let devices = 11u16;
+        let communities = 3u16;
+        let mut seen = vec![false; usize::from(devices)];
+        for c in 0..communities {
+            let size = community_members(devices, communities, c);
+            for idx in 0..size {
+                let d = nth_community_member(communities, c, idx);
+                assert!(d < devices, "member {d} out of range");
+                assert!(!seen[usize::from(d)], "device {d} assigned twice");
+                seen[usize::from(d)] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid trace model config")]
+    fn invalid_config_panics() {
+        let mut cfg = small_cfg();
+        cfg.devices = 1;
+        let _ = TraceModel::new(cfg, 0);
+    }
+}

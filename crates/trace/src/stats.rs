@@ -1,0 +1,114 @@
+//! Trace statistics: the envelope checks that justify the CRAWDAD
+//! substitution, and the "Avg Group Size" series Fig. 11 plots alongside
+//! protocol error.
+
+use crate::groups::GroupView;
+use crate::timeline::Timeline;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Number of devices.
+    pub devices: u16,
+    /// Duration in hours.
+    pub hours: f64,
+    /// Total contact events.
+    pub contacts: usize,
+    /// Mean contact duration in seconds.
+    pub mean_contact_s: f64,
+    /// Maximum of the hourly experienced-group-size series.
+    pub peak_group_size: f64,
+    /// Mean of the hourly experienced-group-size series.
+    pub mean_group_size: f64,
+}
+
+/// Experienced group size sampled every `step_s`, averaged per hour.
+///
+/// "Experienced" weights each *device* equally (a device in a group of 8
+/// experiences 8), matching the right-hand axes of Fig. 11.
+pub fn hourly_group_size(timeline: &Timeline, window_s: u64, step_s: u64) -> Vec<f64> {
+    let hours = (timeline.duration() / 3600) as usize;
+    let mut out = Vec::with_capacity(hours);
+    for h in 0..hours {
+        let start = h as u64 * 3600;
+        let mut sum = 0.0;
+        let mut samples = 0u32;
+        let mut t = start;
+        while t < start + 3600 {
+            let view = GroupView::at(timeline, t, window_s);
+            sum += view.mean_experienced_size();
+            samples += 1;
+            t += step_s.max(1);
+        }
+        out.push(sum / f64::from(samples.max(1)));
+    }
+    out
+}
+
+/// Compute the summary statistics of a trace.
+pub fn summarize(timeline: &Timeline, window_s: u64) -> TraceStats {
+    let contacts = timeline.events().len();
+    let mean_contact_s = if contacts == 0 {
+        0.0
+    } else {
+        timeline.events().iter().map(|e| e.duration() as f64).sum::<f64>() / contacts as f64
+    };
+    let hourly = hourly_group_size(timeline, window_s, 300);
+    let peak = hourly.iter().copied().fold(0.0f64, f64::max);
+    let mean = if hourly.is_empty() {
+        0.0
+    } else {
+        hourly.iter().sum::<f64>() / hourly.len() as f64
+    };
+    TraceStats {
+        devices: timeline.device_count(),
+        hours: timeline.duration() as f64 / 3600.0,
+        contacts,
+        mean_contact_s,
+        peak_group_size: peak,
+        mean_group_size: mean,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ContactEvent;
+
+    #[test]
+    fn empty_trace_stats() {
+        let tl = Timeline::new(4, 7200, vec![]);
+        let s = summarize(&tl, 600);
+        assert_eq!(s.contacts, 0);
+        assert_eq!(s.mean_contact_s, 0.0);
+        // all groups are singletons
+        assert!((s.peak_group_size - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hourly_series_length_matches_duration() {
+        let tl = Timeline::new(4, 5 * 3600, vec![ContactEvent::new(0, 600, 0, 1).unwrap()]);
+        let series = hourly_group_size(&tl, 600, 600);
+        assert_eq!(series.len(), 5);
+        // first hour has a pair; later hours are singleton-only
+        assert!(series[0] > series[4]);
+        assert!((series[4] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_reflect_contacts() {
+        let tl = Timeline::new(
+            3,
+            3600,
+            vec![
+                ContactEvent::new(0, 100, 0, 1).unwrap(),
+                ContactEvent::new(0, 300, 1, 2).unwrap(),
+            ],
+        );
+        let s = summarize(&tl, 600);
+        assert_eq!(s.contacts, 2);
+        assert!((s.mean_contact_s - 200.0).abs() < 1e-9);
+        assert_eq!(s.devices, 3);
+    }
+}

@@ -1,0 +1,159 @@
+//! A time-indexed collection of contact events with efficient adjacency
+//! queries.
+//!
+//! Traces are replayed monotonically (simulation time only moves forward),
+//! so the timeline exposes a cursor-style API: `active_edges(t)` and
+//! `window_edges(from, to)` are served from events sorted by start time
+//! with a moving lower bound. Device counts are small (≤ a few hundred) and
+//! event counts modest (tens of thousands), which keeps a sorted-vector
+//! representation both simple and fast.
+
+use crate::event::{ContactEvent, DeviceId};
+use serde::{Deserialize, Serialize};
+
+/// An immutable contact trace: `device_count` devices and a set of events.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Timeline {
+    device_count: u16,
+    duration: u64,
+    /// Events sorted by `(start, end, a, b)`.
+    events: Vec<ContactEvent>,
+}
+
+impl Timeline {
+    /// Build a timeline from events. `device_count` must exceed every
+    /// endpoint; `duration` is clamped up to cover the last event.
+    pub fn new(device_count: u16, duration: u64, mut events: Vec<ContactEvent>) -> Self {
+        debug_assert!(
+            events.iter().all(|e| e.a < device_count && e.b < device_count),
+            "event endpoint out of range"
+        );
+        events.sort_unstable_by_key(|e| (e.start, e.end, e.a, e.b));
+        let last_end = events.iter().map(|e| e.end).max().unwrap_or(0);
+        Self { device_count, duration: duration.max(last_end), events }
+    }
+
+    /// Number of devices in the trace.
+    pub fn device_count(&self) -> u16 {
+        self.device_count
+    }
+
+    /// Trace duration in seconds.
+    pub fn duration(&self) -> u64 {
+        self.duration
+    }
+
+    /// All events, sorted by start time.
+    pub fn events(&self) -> &[ContactEvent] {
+        &self.events
+    }
+
+    /// Edges active at time `t` (each reported once, `a < b`).
+    pub fn active_edges(&self, t: u64) -> Vec<(DeviceId, DeviceId)> {
+        self.events
+            .iter()
+            .take_while(|e| e.start <= t)
+            .filter(|e| e.active_at(t))
+            .map(ContactEvent::edge)
+            .collect()
+    }
+
+    /// Distinct edges overlapping the half-open window `[from, to)` — the
+    /// union the paper's 10-minute "nearby" relation is built on.
+    pub fn window_edges(&self, from: u64, to: u64) -> Vec<(DeviceId, DeviceId)> {
+        let mut edges: Vec<(DeviceId, DeviceId)> = self
+            .events
+            .iter()
+            .take_while(|e| e.start < to)
+            .filter(|e| e.overlaps(from, to))
+            .map(ContactEvent::edge)
+            .collect();
+        edges.sort_unstable();
+        edges.dedup();
+        edges
+    }
+
+    /// Adjacency lists at time `t`.
+    pub fn adjacency_at(&self, t: u64) -> Vec<Vec<DeviceId>> {
+        let mut adj = vec![Vec::new(); usize::from(self.device_count)];
+        for (a, b) in self.active_edges(t) {
+            adj[usize::from(a)].push(b);
+            adj[usize::from(b)].push(a);
+        }
+        for l in &mut adj {
+            l.sort_unstable();
+            l.dedup();
+        }
+        adj
+    }
+
+    /// Mean number of *concurrent* contacts per device at time `t`.
+    pub fn mean_degree_at(&self, t: u64) -> f64 {
+        let edges = self.active_edges(t).len();
+        2.0 * edges as f64 / f64::from(self.device_count).max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tl() -> Timeline {
+        Timeline::new(
+            4,
+            1000,
+            vec![
+                ContactEvent::new(0, 100, 0, 1).unwrap(),
+                ContactEvent::new(50, 150, 1, 2).unwrap(),
+                ContactEvent::new(400, 500, 2, 3).unwrap(),
+                // duplicate edge later in time
+                ContactEvent::new(600, 700, 0, 1).unwrap(),
+            ],
+        )
+    }
+
+    #[test]
+    fn active_edges_respect_intervals() {
+        let t = tl();
+        assert_eq!(t.active_edges(0), vec![(0, 1)]);
+        assert_eq!(t.active_edges(75), vec![(0, 1), (1, 2)]);
+        assert_eq!(t.active_edges(120), vec![(1, 2)]);
+        assert_eq!(t.active_edges(300), vec![]);
+        assert_eq!(t.active_edges(450), vec![(2, 3)]);
+    }
+
+    #[test]
+    fn window_union_dedups() {
+        let t = tl();
+        // Window covering both (0,1) occurrences and (1,2).
+        let edges = t.window_edges(0, 1000);
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 3)]);
+        // Window touching nothing.
+        assert!(t.window_edges(200, 390).is_empty());
+        // Half-open semantics: event ending exactly at `from` is excluded.
+        assert!(t.window_edges(150, 200).is_empty());
+        assert_eq!(t.window_edges(149, 200), vec![(1, 2)]);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let t = tl();
+        let adj = t.adjacency_at(75);
+        assert_eq!(adj[0], vec![1]);
+        assert_eq!(adj[1], vec![0, 2]);
+        assert_eq!(adj[2], vec![1]);
+        assert!(adj[3].is_empty());
+    }
+
+    #[test]
+    fn duration_covers_last_event() {
+        let t = Timeline::new(2, 10, vec![ContactEvent::new(5, 5000, 0, 1).unwrap()]);
+        assert_eq!(t.duration(), 5000);
+    }
+
+    #[test]
+    fn mean_degree() {
+        let t = tl();
+        assert!((t.mean_degree_at(75) - 1.0).abs() < 1e-12); // 2 edges, 4 devices
+    }
+}

@@ -1,0 +1,172 @@
+//! Property-based tests for the trace toolkit: generator validity over
+//! random configurations, format round-trips, and the lattice-like
+//! behaviour of the windowed group computation.
+
+use dynagg_trace::event::ContactEvent;
+use dynagg_trace::format;
+use dynagg_trace::groups::GroupView;
+use dynagg_trace::model::{TraceModel, TraceModelConfig, WORKDAY_PROFILE};
+use dynagg_trace::timeline::Timeline;
+use proptest::prelude::*;
+
+fn arb_events(devices: u16) -> impl Strategy<Value = Vec<ContactEvent>> {
+    proptest::collection::vec(
+        (0u64..5_000, 1u64..2_000, 0..devices, 0..devices).prop_filter_map(
+            "valid event",
+            |(start, dur, a, b)| ContactEvent::new(start, start + dur, a, b).ok(),
+        ),
+        0..60,
+    )
+}
+
+fn arb_config() -> impl Strategy<Value = TraceModelConfig> {
+    (
+        2u16..30,
+        1u64..72,
+        60.0f64..3_600.0,
+        0.0f64..0.95,
+        2u16..20,
+        120.0f64..3_600.0,
+        1u16..6,
+        0.0f64..=1.0,
+    )
+        .prop_map(
+            |(devices, hours, gap, grow_p, max_size, dur, communities, bias)| TraceModelConfig {
+                devices,
+                duration_s: hours * 3600,
+                mean_meeting_gap_s: gap,
+                grow_p,
+                max_meeting_size: max_size,
+                mean_meeting_duration_s: dur,
+                min_meeting_duration_s: 60,
+                communities,
+                community_bias: bias,
+                diurnal: WORKDAY_PROFILE,
+            },
+        )
+}
+
+proptest! {
+    /// The generator always produces structurally valid traces for any
+    /// valid configuration.
+    #[test]
+    fn generator_output_is_well_formed(cfg in arb_config(), seed: u64) {
+        let tl = TraceModel::new(cfg, seed).generate();
+        prop_assert_eq!(tl.device_count(), cfg.devices);
+        prop_assert!(tl.duration() >= cfg.duration_s);
+        for e in tl.events() {
+            prop_assert!(e.a < e.b);
+            prop_assert!(e.b < cfg.devices);
+            prop_assert!(e.end > e.start);
+            prop_assert!(e.end <= cfg.duration_s);
+        }
+        // Events sorted by start time.
+        for w in tl.events().windows(2) {
+            prop_assert!(w[0].start <= w[1].start);
+        }
+    }
+
+    /// Generation is a pure function of (config, seed).
+    #[test]
+    fn generator_is_deterministic(cfg in arb_config(), seed: u64) {
+        let a = TraceModel::new(cfg, seed).generate();
+        let b = TraceModel::new(cfg, seed).generate();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Text format round-trips arbitrary event sets exactly.
+    #[test]
+    fn format_roundtrip(events in arb_events(12)) {
+        let tl = Timeline::new(12, 10_000, events);
+        let text = format::write(&tl);
+        let parsed = format::parse(&text).unwrap();
+        prop_assert_eq!(parsed, tl);
+    }
+
+    /// Groups form a partition of the devices at every queried instant.
+    #[test]
+    fn groups_partition_devices(events in arb_events(16), t in 0u64..8_000) {
+        let tl = Timeline::new(16, 10_000, events);
+        let view = GroupView::at(&tl, t, 600);
+        let mut seen = [0u8; 16];
+        for g in view.groups() {
+            prop_assert!(!g.is_empty());
+            for &d in g {
+                seen[usize::from(d)] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1), "each device in exactly one group");
+        // group_of agrees with membership lists.
+        for d in 0..16u16 {
+            prop_assert!(view.members_of(d).contains(&d));
+        }
+    }
+
+    /// Widening the window only coarsens the partition: devices grouped
+    /// under window w stay grouped under any w' ≥ w (edge sets grow
+    /// monotonically with the window).
+    #[test]
+    fn wider_windows_coarsen_groups(events in arb_events(12), t in 0u64..8_000) {
+        let tl = Timeline::new(12, 10_000, events);
+        let narrow = GroupView::at(&tl, t, 300);
+        let wide = GroupView::at(&tl, t, 1_200);
+        for a in 0..12u16 {
+            for b in 0..12u16 {
+                if narrow.group_of(a) == narrow.group_of(b) {
+                    prop_assert_eq!(
+                        wide.group_of(a), wide.group_of(b),
+                        "devices {} and {} split by widening the window", a, b
+                    );
+                }
+            }
+        }
+    }
+
+    /// Two devices in contact at time t are always in the same group at t.
+    #[test]
+    fn active_contacts_imply_same_group(events in arb_events(10), t in 0u64..8_000) {
+        let tl = Timeline::new(10, 10_000, events);
+        let view = GroupView::at(&tl, t, 600);
+        for (a, b) in tl.active_edges(t) {
+            prop_assert_eq!(view.group_of(a), view.group_of(b));
+        }
+    }
+
+    /// Group aggregates broadcast a single value to every member, and the
+    /// group-size aggregate matches members_of lengths.
+    #[test]
+    fn group_aggregate_is_constant_within_groups(
+        events in arb_events(10),
+        values in proptest::collection::vec(0.0f64..100.0, 10),
+        t in 0u64..8_000,
+    ) {
+        let tl = Timeline::new(10, 10_000, events);
+        let view = GroupView::at(&tl, t, 600);
+        let means = view.group_aggregate(&values, dynagg_trace::groups::mean);
+        let sizes = view.group_aggregate(&[1.0; 10], |xs| xs.iter().sum());
+        for d in 0..10u16 {
+            for &m in view.members_of(d) {
+                prop_assert!((means[usize::from(d)] - means[usize::from(m)]).abs() < 1e-9);
+            }
+            prop_assert_eq!(sizes[usize::from(d)] as usize, view.group_size(d));
+        }
+    }
+
+    /// Adjacency queries agree with the event set definitionally.
+    #[test]
+    fn adjacency_matches_event_intervals(events in arb_events(8), t in 0u64..8_000) {
+        let tl = Timeline::new(8, 10_000, events.clone());
+        let adj = tl.adjacency_at(t);
+        for a in 0..8u16 {
+            for b in (a + 1)..8u16 {
+                let expected = events
+                    .iter()
+                    .any(|e| e.edge() == (a, b) && e.active_at(t));
+                let listed = adj[usize::from(a)].contains(&b);
+                prop_assert_eq!(listed, expected, "edge ({}, {}) at t={}", a, b, t);
+                // symmetry
+                prop_assert_eq!(adj[usize::from(b)].contains(&a), listed);
+            }
+        }
+    }
+}

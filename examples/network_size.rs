@@ -1,0 +1,61 @@
+//! Self-healing network-size estimation with Count-Sketch-Reset.
+//!
+//! Demonstrates the paper's §IV contribution head-to-head with the static
+//! baseline it fixes: both protocols converge to the network size, then
+//! half the hosts silently fail. The static sketch keeps reporting the old
+//! size forever; the reset variant's aged bits expire past the
+//! `f(k) = 7 + k/4` cutoff and its estimate heals within ~10 rounds.
+//!
+//! ```text
+//! cargo run --release --example network_size
+//! ```
+
+use dynagg::protocols::config::ResetConfig;
+use dynagg::protocols::count_sketch_reset::CountSketchReset;
+use dynagg::sim::env::uniform::UniformEnv;
+use dynagg::sim::{runner, FailureMode, FailureSpec, Truth};
+use dynagg::sketch::cutoff::Cutoff;
+
+fn run(label: &str, cutoff: Cutoff, n: usize) {
+    let mut reset = ResetConfig::paper(n as u64, 0xFACADE);
+    reset.cutoff = cutoff;
+    let mut sim = runner::builder(21)
+        .environment(UniformEnv::new())
+        .nodes_with_constant(n, 1.0)
+        .protocol(move |id, _| CountSketchReset::counting(reset, u64::from(id)))
+        .truth(Truth::Count)
+        .failure(FailureSpec::paper_half_at_20(FailureMode::Random))
+        .build();
+
+    println!("--- {label} ---");
+    println!("{:>5} {:>8} {:>12} {:>14}", "round", "alive", "true count", "mean estimate");
+    for round in 0..45u64 {
+        sim.step();
+        let s = *sim.series().last().unwrap();
+        if round % 5 == 4 || round == 20 {
+            println!(
+                "{:>5} {:>8} {:>12} {:>14.0}",
+                s.round, s.alive, s.truth, s.mean_estimate
+            );
+        }
+    }
+    let s = *sim.series().last().unwrap();
+    let rel = (s.mean_estimate - s.truth).abs() / s.truth;
+    println!("final estimate {:.0} vs truth {:.0} (rel {:.0}%)\n", s.mean_estimate, s.truth, rel * 100.0);
+}
+
+fn main() {
+    let n = 2_000;
+    println!("network_size: {n} hosts, half silently fail at round 20\n");
+    run(
+        "static Sketch-Count (cutoff = infinite): never heals",
+        Cutoff::Infinite,
+        n,
+    );
+    run(
+        "Count-Sketch-Reset (cutoff = 7 + k/4): heals in ~10 rounds",
+        Cutoff::paper_uniform(),
+        n,
+    );
+    println!("The static estimate stays at the pre-failure size; the reset estimate follows the survivors.");
+}

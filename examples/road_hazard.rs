@@ -1,0 +1,70 @@
+//! The paper's §I scenario: GPS units counting road-hazard reports.
+//!
+//! Car-mounted units detect hazards (slippery road, heavy traffic) and
+//! want the network-wide *sum* of hazard reports in the area — but cars
+//! constantly enter and leave the area, and a unit that drives away never
+//! says goodbye. The example runs the paper's Invert-Average protocol
+//! (sum = Push-Sum-Revert average × Count-Sketch-Reset size) under
+//! continuous churn and compares the estimate with the live truth.
+//!
+//! ```text
+//! cargo run --release --example road_hazard
+//! ```
+
+use dynagg::protocols::config::ResetConfig;
+use dynagg::protocols::invert_average::InvertAverage;
+use dynagg::sim::env::uniform::UniformEnv;
+use dynagg::sim::{runner, FailureSpec, Truth};
+use rand::Rng;
+
+fn main() {
+    let n = 300;
+    // Every car has seen 0..8 hazards; the network sum is what route
+    // planners care about.
+    println!("road_hazard: {n} cars, Invert-Average sum estimation under churn\n");
+    println!(
+        "{:>5} {:>8} {:>12} {:>14} {:>10}",
+        "round", "cars", "true sum", "mean estimate", "rel err"
+    );
+
+    let reset = ResetConfig::paper(4 * n as u64, 0xC0FFEE);
+    let mut sim = runner::builder(11)
+        .environment(UniformEnv::new())
+        .nodes_with_values(n, |rng, _| f64::from(rng.gen_range(0u32..8)))
+        .protocol(move |id, v| InvertAverage::new(v, 0.05, reset, u64::from(id)))
+        .truth(Truth::Sum)
+        // From round 15 on, 2% of cars leave the area each round and a
+        // matching stream of new cars arrives — steady-state churn.
+        .failure(FailureSpec::Churn { start: 15, leave_per_round: 0.02, join_per_round: 0.02 })
+        .build();
+
+    for round in 0..80u64 {
+        sim.step();
+        let s = *sim.series().last().unwrap();
+        if round % 8 == 7 {
+            let rel = (s.mean_estimate - s.truth).abs() / s.truth.max(1.0);
+            println!(
+                "{:>5} {:>8} {:>12.0} {:>14.0} {:>9.1}%",
+                s.round,
+                s.alive,
+                s.truth,
+                s.mean_estimate,
+                rel * 100.0
+            );
+        }
+    }
+
+    let s = *sim.series().last().unwrap();
+    let rel = (s.mean_estimate - s.truth).abs() / s.truth.max(1.0);
+    println!(
+        "\nunder ~2%/round churn the running sum stays within {:.0}% of truth \
+         (sketch error alone is ~10% at 64 bins)",
+        rel * 100.0
+    );
+    println!(
+        "bandwidth: {} messages, {} payload bytes over {} rounds",
+        sim.series().total_messages(),
+        sim.series().total_bytes(),
+        sim.round()
+    );
+}

@@ -1,0 +1,50 @@
+//! # dynagg — dynamic in-network aggregation
+//!
+//! Facade crate re-exporting the full workspace. A reproduction of
+//! *"Dynamic Approaches to In-Network Aggregation"* (Kennedy, Koch, Demers;
+//! ICDE 2009): gossip protocols that maintain running estimates of
+//! **average**, **count**, and **sum** aggregates over networks whose
+//! membership churns silently.
+//!
+//! ## Crate map
+//!
+//! | re-export | crate | contents |
+//! |---|---|---|
+//! | [`protocols`] | `dynagg-core` | Push-Sum(-Revert), Full-Transfer, Count-Sketch(-Reset), Invert-Average, epoch/tree baselines |
+//! | [`sketch`] | `dynagg-sketch` | FM sketches, PCSA, age-counter matrices, cutoffs |
+//! | [`sim`] | `dynagg-sim` | round-based gossip simulator, environments, failure injection, metrics |
+//! | [`trace`] | `dynagg-trace` | contact traces: parser, synthetic Haggle-like generator, group computation |
+//! | [`node`] | `dynagg-node` | sans-io runtime: wire frames, local timers, loopback test transport |
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs`; in short:
+//!
+//! ```
+//! use dynagg::protocols::push_sum_revert::PushSumRevert;
+//! use dynagg::sim::{env::uniform::UniformEnv, metrics::Truth, runner};
+//!
+//! // 200 hosts holding uniformly random values; maintain the average.
+//! let sim = runner::builder(42)
+//!     .environment(UniformEnv::new())
+//!     .nodes_with_paper_values(200)
+//!     .protocol(|_, value| PushSumRevert::new(value, 0.01))
+//!     .truth(Truth::Mean)
+//!     .build();
+//! let series = sim.run(30);
+//! let last = series.last().unwrap();
+//! assert!(last.stddev < 5.0, "converged to the mean");
+//! ```
+
+#![forbid(unsafe_code)]
+
+/// The paper's protocols (`dynagg-core`).
+pub use dynagg_core as protocols;
+/// Counting-sketch substrate (`dynagg-sketch`).
+pub use dynagg_sketch as sketch;
+/// Gossip simulator (`dynagg-sim`).
+pub use dynagg_sim as sim;
+/// Contact traces (`dynagg-trace`).
+pub use dynagg_trace as trace;
+/// Sans-io node runtime (`dynagg-node`).
+pub use dynagg_node as node;
