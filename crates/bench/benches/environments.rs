@@ -68,9 +68,7 @@ fn bench_trace_pipeline(c: &mut Criterion) {
         })
     });
 
-    g.bench_function("generate_dataset1", |b| {
-        b.iter(|| black_box(Dataset::One.generate()))
-    });
+    g.bench_function("generate_dataset1", |b| b.iter(|| black_box(Dataset::One.generate())));
     g.finish();
 }
 

@@ -13,11 +13,11 @@ use dynagg_core::count_sketch::CountSketch;
 use dynagg_core::count_sketch_reset::CountSketchReset;
 use dynagg_core::epoch::EpochPushSum;
 use dynagg_core::full_transfer::FullTransfer;
+use dynagg_core::mass::MASS_WIRE_BYTES;
 use dynagg_core::push_sum::PushSum;
 use dynagg_core::push_sum_revert::PushSumRevert;
-use dynagg_core::mass::MASS_WIRE_BYTES;
 use dynagg_sim::env::uniform::UniformEnv;
-use dynagg_sim::{runner, FailureMode, FailureSpec, Series, Truth};
+use dynagg_sim::{par, runner, FailureMode, FailureSpec, Series, Truth};
 use dynagg_sketch::cutoff::Cutoff;
 
 fn pop(opts: &ExpOpts) -> usize {
@@ -117,16 +117,17 @@ pub fn parcels_sweep(opts: &ExpOpts) -> Table {
     let n = pop(opts);
     let mut t = Table::new(
         "ablation_parcels",
-        format!("Ablation — Full-Transfer parcel count (l=0.1, T=3, {n} hosts, correlated failure)"),
+        format!(
+            "Ablation — Full-Transfer parcel count (l=0.1, T=3, {n} hosts, correlated failure)"
+        ),
         &["parcels", "steady_stddev", "messages_per_round_per_host"],
     );
-    for parcels in [1u32, 2, 4, 8] {
-        let series = runner::builder(opts.seed)
+    let parcel_counts = [1u32, 2, 4, 8];
+    let lines = par::par_map(&parcel_counts, |_, &parcels| {
+        runner::builder(opts.seed)
             .environment(UniformEnv::new())
             .nodes_with_paper_values(n)
-            .protocol(move |_, v| {
-                FullTransfer::try_new(v, 0.1, parcels, 3).expect("valid")
-            })
+            .protocol(move |_, v| FullTransfer::try_new(v, 0.1, parcels, 3).expect("valid"))
             .truth(Truth::Mean)
             .failure(FailureSpec::AtRound {
                 round: 20,
@@ -135,11 +136,15 @@ pub fn parcels_sweep(opts: &ExpOpts) -> Table {
                 graceful: false,
             })
             .build()
-            .run(70);
+            .run(70)
+    });
+    for (parcels, series) in parcel_counts.into_iter().zip(&lines) {
         let msgs = series.rounds[5].messages as f64 / series.rounds[5].alive as f64;
         t.push_row(vec![f64::from(parcels), series.steady_state_stddev(55), msgs]);
     }
-    t.note("more parcels reduce the no-mass-received variance at linear bandwidth cost".to_string());
+    t.note(
+        "more parcels reduce the no-mass-received variance at linear bandwidth cost".to_string(),
+    );
     t
 }
 
@@ -151,8 +156,9 @@ pub fn window_sweep(opts: &ExpOpts) -> Table {
         format!("Ablation — Full-Transfer window (l=0.1, N=4, {n} hosts, correlated failure)"),
         &["window", "steady_stddev", "rounds_to_reconverge"],
     );
-    for window in [1usize, 3, 5, 10] {
-        let series = runner::builder(opts.seed)
+    let windows = [1usize, 3, 5, 10];
+    let lines = par::par_map(&windows, |_, &window| {
+        runner::builder(opts.seed)
             .environment(UniformEnv::new())
             .nodes_with_paper_values(n)
             .protocol(move |_, v| FullTransfer::try_new(v, 0.1, 4, window).expect("valid"))
@@ -164,7 +170,9 @@ pub fn window_sweep(opts: &ExpOpts) -> Table {
                 graceful: false,
             })
             .build()
-            .run(70);
+            .run(70)
+    });
+    for (window, series) in windows.into_iter().zip(&lines) {
         let steady = series.steady_state_stddev(60);
         let tol = (steady * 1.25).max(steady + 0.1);
         let conv = series
@@ -192,22 +200,20 @@ pub fn cutoff_sweep(opts: &ExpOpts) -> Table {
     for scale in [0.5, 1.0, 2.0, 4.0] {
         variants.push((scale, Cutoff::paper_uniform().scaled(scale)));
     }
-    for (scale, cutoff) in variants {
+    let lines = par::par_map(&variants, |_, &(_, cutoff)| {
         let mut cfg = ResetConfig::paper(n as u64, opts.seed ^ 0xCC);
         cfg.cutoff = cutoff;
-        let series = runner::builder(opts.seed)
+        runner::builder(opts.seed)
             .environment(UniformEnv::new())
             .nodes_with_constant(n, 1.0)
             .protocol(move |id, _| CountSketchReset::counting(cfg, u64::from(id)))
             .truth(Truth::Count)
             .failure(FailureSpec::paper_half_at_20(FailureMode::Random))
             .build()
-            .run(55);
-        let prefail = series.rounds[15..20]
-            .iter()
-            .map(|s| s.stddev)
-            .sum::<f64>()
-            / 5.0;
+            .run(55)
+    });
+    for ((scale, _), series) in variants.into_iter().zip(&lines) {
+        let prefail = series.rounds[15..20].iter().map(|s| s.stddev).sum::<f64>() / 5.0;
         let steady = series.steady_state_stddev(45);
         let heal = series
             .rounds
@@ -279,15 +285,18 @@ pub fn epoch_sweep(opts: &ExpOpts) -> Table {
         &["epoch_len(0=push_sum_revert)", "mean_stddev_rounds_30plus"],
     );
     let churn = FailureSpec::Churn { start: 10, leave_per_round: 0.01, join_per_round: 0.01 };
-    for epoch_len in [5u64, 15, 40, 100] {
-        let series = runner::builder(opts.seed)
+    let epoch_lens = [5u64, 15, 40, 100];
+    let lines = par::par_map(&epoch_lens, |_, &epoch_len| {
+        runner::builder(opts.seed)
             .environment(UniformEnv::new())
             .nodes_with_paper_values(n)
             .protocol(move |_, v| EpochPushSum::new(v, epoch_len))
             .truth(Truth::Mean)
             .failure(churn)
             .build()
-            .run(120);
+            .run(120)
+    });
+    for (epoch_len, series) in epoch_lens.into_iter().zip(&lines) {
         t.push_row(vec![epoch_len as f64, series.steady_state_stddev(30)]);
     }
     let revert = runner::builder(opts.seed)
@@ -320,7 +329,8 @@ pub fn loss_sweep(opts: &ExpOpts) -> Table {
             "revert_total_weight",
         ],
     );
-    for loss in [0.0, 0.05, 0.1, 0.2] {
+    let losses = [0.0, 0.05, 0.1, 0.2];
+    let rows = par::par_map(&losses, |_, &loss| {
         let run = |lambda: f64| {
             let mut sim = runner::builder(opts.seed)
                 .environment(UniformEnv::new())
@@ -337,9 +347,15 @@ pub fn loss_sweep(opts: &ExpOpts) -> Table {
         };
         let (s_err, s_w) = run(0.0);
         let (r_err, r_w) = run(0.05);
-        t.push_row(vec![loss, s_err, s_w, r_err, r_w]);
+        vec![loss, s_err, s_w, r_err, r_w]
+    });
+    for row in rows {
+        t.push_row(row);
     }
-    t.note("static weight decays ~(1 − loss/2)^t toward numerical collapse; reversion re-injects it".to_string());
+    t.note(
+        "static weight decays ~(1 − loss/2)^t toward numerical collapse; reversion re-injects it"
+            .to_string(),
+    );
     t.note("loss is value-proportional in expectation, so the static *ratio* stays unbiased short-term".to_string());
     t
 }

@@ -25,7 +25,9 @@
 //!   --dataset D  Fig. 11 dataset index (default: all three)
 //! ```
 
-use dynagg_bench::{ablations, fig10, fig11, fig6, fig8, fig9, spatial_cutoff, tables, ExpOpts, Table};
+use dynagg_bench::{
+    ablations, fig10, fig11, fig6, fig8, fig9, spatial_cutoff, tables, ExpOpts, Table,
+};
 use dynagg_trace::datasets::Dataset;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -59,8 +61,7 @@ fn parse_args() -> Result<Args, String> {
             "--dataset" => {
                 let v = argv.next().ok_or("--dataset needs a value")?;
                 let idx: usize = v.parse().map_err(|e| format!("bad --dataset: {e}"))?;
-                dataset =
-                    Some(Dataset::from_index(idx).ok_or(format!("no dataset {idx}"))?);
+                dataset = Some(Dataset::from_index(idx).ok_or(format!("no dataset {idx}"))?);
             }
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }

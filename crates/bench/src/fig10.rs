@@ -19,7 +19,7 @@ use crate::output::Table;
 use dynagg_core::config::RevertConfig;
 use dynagg_core::full_transfer::FullTransfer;
 use dynagg_sim::env::uniform::UniformEnv;
-use dynagg_sim::{runner, FailureMode, FailureSpec, Series, Truth};
+use dynagg_sim::{par, runner, FailureMode, FailureSpec, Series, Truth};
 
 /// Rounds simulated.
 pub const ROUNDS: u64 = 60;
@@ -66,10 +66,8 @@ fn build_table(id: &str, title: String, series: &[Series], lambdas: &[f64]) -> T
 /// Panel (a): basic Push-Sum-Revert under correlated failure.
 pub fn run_a(opts: &ExpOpts) -> Table {
     let lambdas = RevertConfig::PAPER_LAMBDAS;
-    let series: Vec<Series> = lambdas
-        .iter()
-        .map(|&l| fig8::run_line(opts, l, FailureMode::TopValue))
-        .collect();
+    let series: Vec<Series> =
+        par::par_map(&lambdas, |_, &l| fig8::run_line(opts, l, FailureMode::TopValue));
     let mut t = build_table(
         "fig10a",
         format!(
@@ -79,15 +77,17 @@ pub fn run_a(opts: &ExpOpts) -> Table {
         &series,
         &lambdas,
     );
-    t.note("paper shape: l=0 stays at ~25 error forever; larger l converges faster to a higher floor".to_string());
+    t.note(
+        "paper shape: l=0 stays at ~25 error forever; larger l converges faster to a higher floor"
+            .to_string(),
+    );
     t
 }
 
 /// Panel (b): the Full-Transfer optimization under correlated failure.
 pub fn run_b(opts: &ExpOpts) -> Table {
     let lambdas = RevertConfig::PAPER_LAMBDAS;
-    let series: Vec<Series> =
-        lambdas.iter().map(|&l| run_line_full_transfer(opts, l)).collect();
+    let series: Vec<Series> = par::par_map(&lambdas, |_, &l| run_line_full_transfer(opts, l));
     let mut t = build_table(
         "fig10b",
         format!(
@@ -97,7 +97,10 @@ pub fn run_b(opts: &ExpOpts) -> Table {
         &series,
         &lambdas,
     );
-    t.note("paper reference points: l=0.5 -> stddev ~2.13 (8.53% of 25); l=0.1 -> ~0.694 (2.77%)".to_string());
+    t.note(
+        "paper reference points: l=0.5 -> stddev ~2.13 (8.53% of 25); l=0.1 -> ~0.694 (2.77%)"
+            .to_string(),
+    );
     t
 }
 
@@ -125,10 +128,7 @@ mod tests {
         let opts = quick();
         let basic = fig8::run_line(&opts, 0.1, FailureMode::TopValue).steady_state_stddev(50);
         let full = run_line_full_transfer(&opts, 0.1).steady_state_stddev(50);
-        assert!(
-            full < basic,
-            "full-transfer steady error {full:.3} should beat basic {basic:.3}"
-        );
+        assert!(full < basic, "full-transfer steady error {full:.3} should beat basic {basic:.3}");
     }
 
     #[test]

@@ -26,10 +26,7 @@ pub const AVG_LAMBDAS: [f64; 3] = [0.0, 0.001, 0.01];
 pub const IDS_PER_HOST: u64 = 100;
 
 fn horizon_rounds(env: &TraceEnv, opts: &ExpOpts) -> u64 {
-    let cap = opts
-        .trace_hours_cap()
-        .map(|h| h * env.rounds_per_hour())
-        .unwrap_or(u64::MAX);
+    let cap = opts.trace_hours_cap().map(|h| h * env.rounds_per_hour()).unwrap_or(u64::MAX);
     env.total_rounds().min(cap)
 }
 
@@ -60,9 +57,7 @@ pub fn run_sum_line(opts: &ExpOpts, dataset: Dataset, cutoff: Cutoff) -> (Series
     let series = runner::builder(opts.seed)
         .environment(env)
         .nodes_with_constant(devices, 1.0)
-        .protocol(move |id, _| {
-            CountSketchReset::with_multiplier(cfg, u64::from(id), IDS_PER_HOST)
-        })
+        .protocol(move |id, _| CountSketchReset::with_multiplier(cfg, u64::from(id), IDS_PER_HOST))
         .truth(Truth::GroupSize)
         .build()
         .run(rounds);
@@ -87,10 +82,9 @@ pub fn hourly(series: &Series, rounds_per_hour: u64) -> Vec<(f64, f64)> {
 /// The dynamic-average panel for one dataset.
 pub fn run_avg(opts: &ExpOpts, dataset: Dataset) -> Table {
     let lines: Vec<(Series, u64)> =
-        AVG_LAMBDAS.iter().map(|&l| run_avg_line(opts, dataset, l)).collect();
+        dynagg_sim::par::par_map(&AVG_LAMBDAS, |_, &l| run_avg_line(opts, dataset, l));
     let rph = lines[0].1;
-    let hourly_lines: Vec<Vec<(f64, f64)>> =
-        lines.iter().map(|(s, _)| hourly(s, rph)).collect();
+    let hourly_lines: Vec<Vec<(f64, f64)>> = lines.iter().map(|(s, _)| hourly(s, rph)).collect();
 
     let mut columns = vec!["hour".to_string(), "avg_group_size".to_string()];
     columns.extend(AVG_LAMBDAS.iter().map(|l| format!("stddev(l={l})")));
@@ -124,16 +118,12 @@ pub fn run_avg(opts: &ExpOpts, dataset: Dataset) -> Table {
 
 /// The dynamic-sum panel for one dataset.
 pub fn run_sum(opts: &ExpOpts, dataset: Dataset) -> Table {
-    let variants: [(&str, Cutoff); 3] = [
-        ("off", Cutoff::Infinite),
-        ("on", Cutoff::paper_uniform()),
-        ("slow", Cutoff::slow()),
-    ];
+    let variants: [(&str, Cutoff); 3] =
+        [("off", Cutoff::Infinite), ("on", Cutoff::paper_uniform()), ("slow", Cutoff::slow())];
     let lines: Vec<(Series, u64)> =
-        variants.iter().map(|&(_, c)| run_sum_line(opts, dataset, c)).collect();
+        dynagg_sim::par::par_map(&variants, |_, &(_, c)| run_sum_line(opts, dataset, c));
     let rph = lines[0].1;
-    let hourly_lines: Vec<Vec<(f64, f64)>> =
-        lines.iter().map(|(s, _)| hourly(s, rph)).collect();
+    let hourly_lines: Vec<Vec<(f64, f64)>> = lines.iter().map(|(s, _)| hourly(s, rph)).collect();
 
     let mut columns = vec!["hour".to_string(), "avg_group_size".to_string()];
     columns.extend(variants.iter().map(|(name, _)| format!("stddev(reversion {name})")));

@@ -119,11 +119,13 @@ pub fn linear_fit(ys: &[f64]) -> (f64, f64) {
     (base, slope)
 }
 
-/// Run the full figure: one table per network size.
+/// Run the full figure: one table per network size. Sizes are collected
+/// as parallel trials (each is an independent simulation).
 pub fn run(opts: &ExpOpts) -> Vec<Table> {
+    let sizes = opts.fig6_sizes();
+    let dists = dynagg_sim::par::par_map(&sizes, |_, &n| collect(opts, n));
     let mut tables = Vec::new();
-    for n in opts.fig6_sizes() {
-        let dist = collect(opts, n);
+    for (n, dist) in sizes.into_iter().zip(dists) {
         let mut columns = vec!["counter_value".to_string()];
         columns.extend((0..dist.cdf.len()).map(|k| format!("bit{k}")));
         let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
@@ -190,10 +192,7 @@ mod tests {
         assert!(d.p99.len() >= 4, "need several well-sampled bits");
         let first = d.p99[0];
         let last = *d.p99.last().unwrap();
-        assert!(
-            last >= first,
-            "higher bits should age more: p99[0]={first}, p99[last]={last}"
-        );
+        assert!(last >= first, "higher bits should age more: p99[0]={first}, p99[last]={last}");
         let (_, slope) = d.fit;
         assert!(slope >= 0.0, "fitted slope must be non-negative, got {slope}");
     }

@@ -16,7 +16,7 @@ use crate::output::Table;
 use dynagg_core::config::RevertConfig;
 use dynagg_core::push_sum_revert::PushSumRevert;
 use dynagg_sim::env::uniform::UniformEnv;
-use dynagg_sim::{runner, FailureMode, FailureSpec, Series, Truth};
+use dynagg_sim::{par, runner, FailureMode, FailureSpec, Series, Truth};
 
 /// Rounds simulated (paper x-axis: 0..60).
 pub const ROUNDS: u64 = 60;
@@ -47,8 +47,9 @@ pub fn run(opts: &ExpOpts) -> Table {
         ),
         &col_refs,
     );
+    // λ lines are independent trials — fan them out across cores.
     let series: Vec<Series> =
-        lambdas.iter().map(|&l| run_line(opts, l, FailureMode::Random)).collect();
+        par::par_map(&lambdas, |_, &l| run_line(opts, l, FailureMode::Random));
     for r in 0..ROUNDS as usize {
         let mut row = vec![r as f64];
         row.extend(series.iter().map(|s| s.rounds[r].stddev));
@@ -88,8 +89,7 @@ mod tests {
         let opts = quick();
         for lambda in [0.0, 0.01, 0.5] {
             let s = run_line(&opts, lambda, FailureMode::Random);
-            let pre: f64 =
-                s.rounds[14..20].iter().map(|r| r.stddev).sum::<f64>() / 6.0;
+            let pre: f64 = s.rounds[14..20].iter().map(|r| r.stddev).sum::<f64>() / 6.0;
             let post = s.steady_state_stddev(50);
             assert!(
                 post < pre * 1.5 + 2.0,

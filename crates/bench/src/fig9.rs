@@ -12,7 +12,7 @@ use crate::output::Table;
 use dynagg_core::config::ResetConfig;
 use dynagg_core::count_sketch_reset::CountSketchReset;
 use dynagg_sim::env::uniform::UniformEnv;
-use dynagg_sim::{runner, FailureMode, FailureSpec, Series, Truth};
+use dynagg_sim::{par, runner, FailureMode, FailureSpec, Series, Truth};
 use dynagg_sketch::cutoff::Cutoff;
 
 /// Rounds simulated (paper x-axis: 0..40).
@@ -35,8 +35,9 @@ pub fn run_line(opts: &ExpOpts, cutoff: Cutoff) -> Series {
 
 /// Run the full figure.
 pub fn run(opts: &ExpOpts) -> Table {
-    let naive = run_line(opts, Cutoff::Infinite);
-    let limited = run_line(opts, Cutoff::paper_uniform());
+    let cutoffs = [Cutoff::Infinite, Cutoff::paper_uniform()];
+    let mut lines = par::par_map(&cutoffs, |_, &c| run_line(opts, c)).into_iter();
+    let (naive, limited) = (lines.next().expect("naive line"), lines.next().expect("limited line"));
     let mut table = Table::new(
         "fig9",
         format!(

@@ -50,11 +50,8 @@ impl Table {
     /// Render as an aligned text table.
     pub fn render(&self) -> String {
         let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len().max(8)).collect();
-        let cells: Vec<Vec<String>> = self
-            .rows
-            .iter()
-            .map(|r| r.iter().map(|v| format_num(*v)).collect())
-            .collect();
+        let cells: Vec<Vec<String>> =
+            self.rows.iter().map(|r| r.iter().map(|v| format_num(*v)).collect()).collect();
         for row in &cells {
             for (w, c) in widths.iter_mut().zip(row) {
                 *w = (*w).max(c.len());
@@ -62,12 +59,8 @@ impl Table {
         }
         let mut out = String::new();
         let _ = writeln!(out, "## {}", self.title);
-        let header: Vec<String> = self
-            .columns
-            .iter()
-            .zip(&widths)
-            .map(|(c, w)| format!("{c:>w$}"))
-            .collect();
+        let header: Vec<String> =
+            self.columns.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
         let _ = writeln!(out, "{}", header.join("  "));
         for row in &cells {
             let line: Vec<String> =

@@ -24,11 +24,19 @@ use dynagg_sim::env::uniform::UniformEnv;
 /// Spatial gossip needs longer to converge than uniform.
 pub const SPATIAL_CONVERGE_ROUNDS: u64 = 80;
 
-/// Collect the spatial and uniform distributions at the same size.
+/// Collect the spatial and uniform distributions at the same size (the
+/// two environments run as parallel trials).
 pub fn collect_pair(opts: &ExpOpts, n: usize) -> (CounterDistribution, CounterDistribution) {
-    let spatial = fig6::collect_env(opts, n, SpatialEnv::for_nodes(n), SPATIAL_CONVERGE_ROUNDS);
-    let uniform = fig6::collect_env(opts, n, UniformEnv::new(), fig6::CONVERGE_ROUNDS);
-    (spatial, uniform)
+    let variants = [true, false];
+    let mut dists = dynagg_sim::par::par_map(&variants, |_, &spatial| {
+        if spatial {
+            fig6::collect_env(opts, n, SpatialEnv::for_nodes(n), SPATIAL_CONVERGE_ROUNDS)
+        } else {
+            fig6::collect_env(opts, n, UniformEnv::new(), fig6::CONVERGE_ROUNDS)
+        }
+    })
+    .into_iter();
+    (dists.next().expect("spatial"), dists.next().expect("uniform"))
 }
 
 /// Run the experiment.
@@ -67,10 +75,7 @@ mod tests {
         let bits = spatial.p99.len().min(uniform.p99.len());
         let ms: f64 = spatial.p99[..bits].iter().sum::<f64>() / bits as f64;
         let mu: f64 = uniform.p99[..bits].iter().sum::<f64>() / bits as f64;
-        assert!(
-            ms >= mu,
-            "spatial mean p99 {ms:.1} should be >= uniform {mu:.1}"
-        );
+        assert!(ms >= mu, "spatial mean p99 {ms:.1} should be >= uniform {mu:.1}");
         // And a finite linear fit exists.
         let (base, slope) = spatial.fit;
         assert!(base.is_finite() && slope.is_finite());

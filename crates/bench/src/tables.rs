@@ -40,13 +40,16 @@ pub fn convergence(opts: &ExpOpts) -> Table {
         ),
         &["lambda", "rounds_to_converge", "steady_stddev", "pct_of_truth"],
     );
-    for lambda in [0.5, 0.1] {
-        let series = fig10::run_line_full_transfer(opts, lambda);
-        let (conv, steady) = post_failure_convergence(&series, 20);
+    let lambdas = [0.5, 0.1];
+    let lines = dynagg_sim::par::par_map(&lambdas, |_, &l| fig10::run_line_full_transfer(opts, l));
+    for (lambda, series) in lambdas.into_iter().zip(&lines) {
+        let (conv, steady) = post_failure_convergence(series, 20);
         let truth = series.last().unwrap().truth;
         t.push_row(vec![lambda, conv, steady, 100.0 * steady / truth]);
     }
-    t.note("paper: l=0.5 -> <10 rounds, 2.13 (8.53%); l=0.1 -> ~35 rounds, 0.694 (2.77%)".to_string());
+    t.note(
+        "paper: l=0.5 -> <10 rounds, 2.13 (8.53%); l=0.1 -> ~35 rounds, 0.694 (2.77%)".to_string(),
+    );
 
     // Static Push-Sum initial convergence for scale reference.
     let static_series = runner::builder(opts.seed)
@@ -76,15 +79,18 @@ pub fn sketch_error(opts: &ExpOpts) -> Table {
         format!("§V-B — PCSA relative error, 64 bins, n = {n}, {trials} trials"),
         &["trial", "estimate", "rel_error"],
     );
-    let mut sum_abs_rel = 0.0;
-    for trial in 0..trials {
+    let trial_ids: Vec<u64> = (0..trials).collect();
+    let results = dynagg_sim::par::par_map(&trial_ids, |_, &trial| {
         let h = SplitMix64::new(opts.seed ^ (trial.wrapping_mul(0x9E37)));
         let mut p = Pcsa::new(64, 32);
         for i in 0..n {
             p.insert(&h, i);
         }
         let est = p.estimate();
-        let rel = (est - n as f64) / n as f64;
+        (est, (est - n as f64) / n as f64)
+    });
+    let mut sum_abs_rel = 0.0;
+    for (trial, (est, rel)) in results.into_iter().enumerate() {
         sum_abs_rel += rel.abs();
         t.push_row(vec![trial as f64, est, rel]);
     }
@@ -105,8 +111,7 @@ mod tests {
         let opts = ExpOpts { quick: true, seed: 8, ..ExpOpts::default() };
         let t = sketch_error(&opts);
         // Reconstruct the mean from rows.
-        let mean: f64 =
-            t.rows.iter().map(|r| r[2].abs()).sum::<f64>() / t.rows.len() as f64;
+        let mean: f64 = t.rows.iter().map(|r| r[2].abs()).sum::<f64>() / t.rows.len() as f64;
         assert!(
             mean < 0.25,
             "mean relative error {mean:.3} should be within ~2.5x of the 9.7% bound"
@@ -121,10 +126,7 @@ mod tests {
         let (conv_fast, steady_fast) = (t.rows[0][1], t.rows[0][2]);
         let (conv_slow, steady_slow) = (t.rows[1][1], t.rows[1][2]);
         // λ=0.5 converges no slower than λ=0.1, and ends at a higher floor.
-        assert!(
-            conv_fast <= conv_slow,
-            "l=0.5 should converge faster: {conv_fast} vs {conv_slow}"
-        );
+        assert!(conv_fast <= conv_slow, "l=0.5 should converge faster: {conv_fast} vs {conv_slow}");
         assert!(
             steady_fast >= steady_slow * 0.8,
             "l=0.5 floor {steady_fast:.3} should not be far below l=0.1 floor {steady_slow:.3}"

@@ -121,8 +121,7 @@ mod tests {
         for round in 0..rounds {
             let mut queue: Vec<(usize, Mass)> = Vec::new();
             for (i, node) in nodes.iter_mut().enumerate() {
-                let peers: Vec<NodeId> =
-                    ids.iter().copied().filter(|&p| p as usize != i).collect();
+                let peers: Vec<NodeId> = ids.iter().copied().filter(|&p| p as usize != i).collect();
                 let mut sampler = SliceSampler::new(&peers);
                 let mut ctx = RoundCtx { round, rng: &mut rng, peers: &mut sampler };
                 out.clear();
@@ -172,8 +171,8 @@ mod tests {
         // §III-A claims ~2× faster reconvergence under uniform values. On a
         // small network just assert recovery happens and beats fixed-λ's
         // error after the same short post-failure period.
-        use crate::push_sum_revert::PushSumRevert;
         use crate::protocol::PairwiseProtocol;
+        use crate::push_sum_revert::PushSumRevert;
         use rand::Rng;
 
         let values: Vec<f64> = (0..16).map(|i| f64::from(i) * 10.0).collect();
@@ -251,12 +250,10 @@ mod tests {
                 PairwiseProtocol::end_round(n, round);
             }
         }
-        let fixed_err = (fixed
-            .iter()
-            .map(|n| (n.estimate().unwrap() - truth_after).powi(2))
-            .sum::<f64>()
-            / fixed.len() as f64)
-            .sqrt();
+        let fixed_err =
+            (fixed.iter().map(|n| (n.estimate().unwrap() - truth_after).powi(2)).sum::<f64>()
+                / fixed.len() as f64)
+                .sqrt();
 
         // Both must be recovering; adaptive should not be grossly worse.
         assert!(adaptive_err < 25.0, "adaptive err {adaptive_err}");

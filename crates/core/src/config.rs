@@ -137,14 +137,8 @@ mod tests {
     #[test]
     fn full_transfer_validation() {
         assert!(FullTransferConfig::new(0.1, 4, 3).is_ok());
-        assert_eq!(
-            FullTransferConfig::new(0.1, 0, 3),
-            Err(ProtocolError::InvalidParcels(0))
-        );
-        assert_eq!(
-            FullTransferConfig::new(0.1, 4, 0),
-            Err(ProtocolError::InvalidWindow(0))
-        );
+        assert_eq!(FullTransferConfig::new(0.1, 0, 3), Err(ProtocolError::InvalidParcels(0)));
+        assert_eq!(FullTransferConfig::new(0.1, 4, 0), Err(ProtocolError::InvalidWindow(0)));
         let paper = FullTransferConfig::paper(0.5).unwrap();
         assert_eq!((paper.parcels, paper.window), (4, 3));
     }

@@ -190,8 +190,7 @@ mod tests {
             let mut out = Vec::new();
             let mut queue: Vec<(usize, usize, Arc<AgeMatrix>)> = Vec::new();
             for (i, node) in self.nodes.iter_mut().enumerate() {
-                let peers: Vec<NodeId> =
-                    ids.iter().copied().filter(|&p| p as usize != i).collect();
+                let peers: Vec<NodeId> = ids.iter().copied().filter(|&p| p as usize != i).collect();
                 let mut sampler = SliceSampler::new(&peers);
                 let mut ctx =
                     RoundCtx { round: self.round, rng: &mut self.rng, peers: &mut sampler };
@@ -216,8 +215,7 @@ mod tests {
         }
 
         fn mean_estimate(&self) -> f64 {
-            self.nodes.iter().map(|n| n.estimate().unwrap()).sum::<f64>()
-                / self.nodes.len() as f64
+            self.nodes.iter().map(|n| n.estimate().unwrap()).sum::<f64>() / self.nodes.len() as f64
         }
     }
 

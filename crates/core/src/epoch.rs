@@ -15,8 +15,8 @@
 //! Too short an epoch never converges; too long an epoch serves stale
 //! results for most of its duration.
 
-use crate::mass::{Mass, MASS_WIRE_BYTES};
 use crate::error::ProtocolError;
+use crate::mass::{Mass, MASS_WIRE_BYTES};
 use crate::protocol::{Estimator, NodeId, PushProtocol, RoundCtx};
 
 /// An epoch-annotated Push-Sum message.
@@ -194,8 +194,7 @@ mod tests {
         for round in 0..rounds {
             let mut queue: Vec<(usize, EpochMsg)> = Vec::new();
             for (i, node) in nodes.iter_mut().enumerate() {
-                let peers: Vec<NodeId> =
-                    ids.iter().copied().filter(|&p| p as usize != i).collect();
+                let peers: Vec<NodeId> = ids.iter().copied().filter(|&p| p as usize != i).collect();
                 let mut sampler = SliceSampler::new(&peers);
                 let mut ctx = RoundCtx { round, rng: &mut rng, peers: &mut sampler };
                 out.clear();
@@ -245,8 +244,10 @@ mod tests {
             values.iter().map(|&v| EpochPushSum::new(v, epoch_len)).collect();
         let mut rng = SmallRng::seed_from_u64(33);
         let mut out = Vec::new();
-        let drive = |nodes: &mut Vec<EpochPushSum>, rounds: std::ops::Range<u64>,
-                         rng: &mut SmallRng, out: &mut Vec<(NodeId, EpochMsg)>| {
+        let drive = |nodes: &mut Vec<EpochPushSum>,
+                     rounds: std::ops::Range<u64>,
+                     rng: &mut SmallRng,
+                     out: &mut Vec<(NodeId, EpochMsg)>| {
             for round in rounds {
                 let ids: Vec<NodeId> = (0..nodes.len() as NodeId).collect();
                 let mut queue: Vec<(usize, EpochMsg)> = Vec::new();
@@ -275,7 +276,7 @@ mod tests {
         };
         drive(&mut nodes, 0..14, &mut rng, &mut out);
         nodes.truncate(2); // survivors: 10, 20 -> avg 15
-        // Run long enough for a full fresh epoch after the failure.
+                           // Run long enough for a full fresh epoch after the failure.
         drive(&mut nodes, 14..50, &mut rng, &mut out);
         for n in &nodes {
             let e = n.estimate().unwrap();

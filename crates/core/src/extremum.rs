@@ -183,8 +183,7 @@ mod tests {
             let mut out = Vec::new();
             let mut queue: Vec<(usize, usize, ChampionMsg)> = Vec::new();
             for (i, node) in self.nodes.iter_mut().enumerate() {
-                let peers: Vec<NodeId> =
-                    ids.iter().copied().filter(|&p| p as usize != i).collect();
+                let peers: Vec<NodeId> = ids.iter().copied().filter(|&p| p as usize != i).collect();
                 let mut sampler = SliceSampler::new(&peers);
                 let mut ctx =
                     RoundCtx { round: self.round, rng: &mut self.rng, peers: &mut sampler };

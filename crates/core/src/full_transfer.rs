@@ -165,8 +165,7 @@ mod tests {
         for round in 0..rounds {
             let mut queue: Vec<(usize, Mass)> = Vec::new();
             for (i, node) in nodes.iter_mut().enumerate() {
-                let peers: Vec<NodeId> =
-                    ids.iter().copied().filter(|&p| p as usize != i).collect();
+                let peers: Vec<NodeId> = ids.iter().copied().filter(|&p| p as usize != i).collect();
                 let mut sampler = SliceSampler::new(&peers);
                 let mut ctx = RoundCtx { round, rng: &mut rng, peers: &mut sampler };
                 out.clear();

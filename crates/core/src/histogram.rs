@@ -152,11 +152,8 @@ impl DynamicHistogram {
             return None;
         }
         let half = self.geometry.width() * 0.5;
-        let s: f64 = fr
-            .iter()
-            .enumerate()
-            .map(|(b, f)| f * (self.geometry.lower_edge(b) + half))
-            .sum();
+        let s: f64 =
+            fr.iter().enumerate().map(|(b, f)| f * (self.geometry.lower_edge(b) + half)).sum();
         Some(s / total)
     }
 
@@ -257,12 +254,7 @@ mod tests {
     use rand::Rng;
     use rand::SeedableRng;
 
-    fn run_pairwise(
-        values: &[f64],
-        lambda: f64,
-        rounds: u64,
-        seed: u64,
-    ) -> Vec<DynamicHistogram> {
+    fn run_pairwise(values: &[f64], lambda: f64, rounds: u64, seed: u64) -> Vec<DynamicHistogram> {
         let geo = Buckets::new(0.0, 100.0, 20);
         let mut nodes: Vec<DynamicHistogram> =
             values.iter().map(|&v| DynamicHistogram::new(geo, v, lambda)).collect();
@@ -342,8 +334,9 @@ mod tests {
         let mut nodes: Vec<DynamicHistogram> =
             values.iter().map(|&v| DynamicHistogram::new(geo, v, 0.1)).collect();
         let mut rng = SmallRng::seed_from_u64(135);
-        let drive = |nodes: &mut Vec<DynamicHistogram>, rounds: std::ops::Range<u64>,
-                         rng: &mut SmallRng| {
+        let drive = |nodes: &mut Vec<DynamicHistogram>,
+                     rounds: std::ops::Range<u64>,
+                     rng: &mut SmallRng| {
             for round in rounds {
                 let n = nodes.len();
                 for i in 0..n {

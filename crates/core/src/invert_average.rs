@@ -17,8 +17,8 @@
 //! peer each round (one combined message), matching the paper's model of
 //! one exchange per host per iteration.
 
-use crate::count_sketch_reset::CountSketchReset;
 use crate::config::ResetConfig;
+use crate::count_sketch_reset::CountSketchReset;
 use crate::mass::Mass;
 use crate::protocol::{Estimator, NodeId, PushProtocol, RoundCtx};
 use crate::push_sum_revert::PushSumRevert;
@@ -133,8 +133,7 @@ impl PushProtocol for InvertAverage {
     }
 
     fn message_bytes(msg: &InvertMsg) -> usize {
-        crate::mass::MASS_WIRE_BYTES
-            + msg.count.as_ref().map_or(0, |m| m.wire_bytes())
+        crate::mass::MASS_WIRE_BYTES + msg.count.as_ref().map_or(0, |m| m.wire_bytes())
     }
 
     fn depart_gracefully(&mut self) {
@@ -171,8 +170,7 @@ mod tests {
         for round in 0..rounds {
             let mut queue: Vec<(usize, usize, InvertMsg)> = Vec::new();
             for (i, node) in nodes.iter_mut().enumerate() {
-                let peers: Vec<NodeId> =
-                    ids.iter().copied().filter(|&p| p as usize != i).collect();
+                let peers: Vec<NodeId> = ids.iter().copied().filter(|&p| p as usize != i).collect();
                 let mut sampler = SliceSampler::new(&peers);
                 let mut ctx = RoundCtx { round, rng: &mut rng, peers: &mut sampler };
                 out.clear();
@@ -234,8 +232,7 @@ mod tests {
         for round in 20..55u64 {
             let mut queue: Vec<(usize, usize, InvertMsg)> = Vec::new();
             for (i, node) in nodes.iter_mut().enumerate() {
-                let peers: Vec<NodeId> =
-                    ids.iter().copied().filter(|&p| p as usize != i).collect();
+                let peers: Vec<NodeId> = ids.iter().copied().filter(|&p| p as usize != i).collect();
                 let mut sampler = SliceSampler::new(&peers);
                 let mut ctx = RoundCtx { round, rng: &mut rng, peers: &mut sampler };
                 out.clear();
@@ -278,7 +275,8 @@ mod tests {
             count: Some(Arc::new(node.counter().ages().clone())),
         };
         let with_matrix = InvertAverage::message_bytes(&msg);
-        let without = InvertAverage::message_bytes(&InvertMsg { avg: Mass::averaging(1.0), count: None });
+        let without =
+            InvertAverage::message_bytes(&InvertMsg { avg: Mass::averaging(1.0), count: None });
         assert_eq!(without, 16);
         assert!(with_matrix > 1000, "matrix snapshot is kilobytes: {with_matrix}");
     }

@@ -190,11 +190,8 @@ mod tests {
 
     #[test]
     fn summing_masses_estimate_the_sum() {
-        let hosts = [
-            Mass::summing(5.0, true),
-            Mass::summing(10.0, false),
-            Mass::summing(85.0, false),
-        ];
+        let hosts =
+            [Mass::summing(5.0, true), Mass::summing(10.0, false), Mass::summing(85.0, false)];
         let total: Mass = hosts.iter().copied().fold(Mass::ZERO, Mass::add);
         assert_eq!(total.estimate(), Some(100.0));
     }

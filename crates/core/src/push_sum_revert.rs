@@ -375,11 +375,9 @@ mod tests {
                 }
             }
             let truth = 35.0;
-            let mse: f64 = nodes
-                .iter()
-                .map(|n| (n.estimate().unwrap() - truth).powi(2))
-                .sum::<f64>()
-                / nodes.len() as f64;
+            let mse: f64 =
+                nodes.iter().map(|n| (n.estimate().unwrap() - truth).powi(2)).sum::<f64>()
+                    / nodes.len() as f64;
             mse.sqrt()
         };
         let fast = run(0.5);

@@ -162,7 +162,7 @@ impl PushProtocol for TagTree {
             TreeMsg::Request { level } => {
                 if !self.is_root {
                     let my_level = level + 1;
-                    if self.level.map_or(true, |l| my_level < l) {
+                    if self.level.is_none_or(|l| my_level < l) {
                         self.level = Some(my_level);
                         self.parent = Some(from);
                         self.children.clear(); // old subtree is stale
@@ -171,8 +171,7 @@ impl PushProtocol for TagTree {
             }
             TreeMsg::Partial { sum, count } => {
                 if Some(from) != self.parent {
-                    self.children
-                        .insert(from, ChildReport { sum, count, last_round: ctx.round });
+                    self.children.insert(from, ChildReport { sum, count, last_round: ctx.round });
                 }
             }
             TreeMsg::Aggregate { value, seq } => {
@@ -219,20 +218,11 @@ mod tests {
     /// make level assignment interesting).
     fn run(values: &[f64], rounds: u64, seed: u64) -> Vec<TagTree> {
         let n = values.len();
-        let mut nodes: Vec<TagTree> = values
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| TagTree::new(v, i == 0, 3))
-            .collect();
+        let mut nodes: Vec<TagTree> =
+            values.iter().enumerate().map(|(i, &v)| TagTree::new(v, i == 0, 3)).collect();
         // ring topology
-        let neighbors: Vec<Vec<NodeId>> = (0..n)
-            .map(|i| {
-                vec![
-                    ((i + 1) % n) as NodeId,
-                    ((i + n - 1) % n) as NodeId,
-                ]
-            })
-            .collect();
+        let neighbors: Vec<Vec<NodeId>> =
+            (0..n).map(|i| vec![((i + 1) % n) as NodeId, ((i + n - 1) % n) as NodeId]).collect();
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut out = Vec::new();
         for round in 0..rounds {

@@ -134,10 +134,7 @@ impl WireMessage for MomentsMsg {
 
     fn decode(bytes: &[u8]) -> Result<Self, WireError> {
         exact(bytes, 32)?;
-        Ok(MomentsMsg {
-            first: Mass::decode(&bytes[..16])?,
-            second: Mass::decode(&bytes[16..])?,
-        })
+        Ok(MomentsMsg { first: Mass::decode(&bytes[..16])?, second: Mass::decode(&bytes[16..])? })
     }
 }
 
@@ -165,7 +162,7 @@ impl WireMessage for HistMsg {
 
 impl WireMessage for Arc<AgeMatrix> {
     fn encode(&self, out: &mut Vec<u8>) {
-        out.extend_from_slice(&codec::encode_ages(self));
+        codec::encode_ages_into(self, out);
     }
 
     fn decode(bytes: &[u8]) -> Result<Self, WireError> {
@@ -175,7 +172,7 @@ impl WireMessage for Arc<AgeMatrix> {
 
 impl WireMessage for Arc<Pcsa> {
     fn encode(&self, out: &mut Vec<u8>) {
-        out.extend_from_slice(&codec::encode_pcsa(self));
+        codec::encode_pcsa_into(self, out);
     }
 
     fn decode(bytes: &[u8]) -> Result<Self, WireError> {
@@ -317,10 +314,8 @@ mod tests {
 
     #[test]
     fn invert_roundtrip_with_and_without_matrix() {
-        let with = InvertMsg {
-            avg: Mass::new(0.5, 10.0),
-            count: Some(Arc::new(AgeMatrix::new(8, 8))),
-        };
+        let with =
+            InvertMsg { avg: Mass::new(0.5, 10.0), count: Some(Arc::new(AgeMatrix::new(8, 8))) };
         let bytes = with.encoded();
         let decoded = InvertMsg::decode(&bytes).unwrap();
         assert_eq!(decoded.avg, with.avg);
@@ -335,7 +330,10 @@ mod tests {
     fn decode_rejects_bad_input() {
         assert_eq!(Mass::decode(&[0; 15]), Err(WireError::Truncated));
         assert_eq!(Mass::decode(&[0; 17]), Err(WireError::Malformed("trailing bytes")));
-        assert_eq!(TreeMsg::decode(&[9, 0, 0, 0, 0]), Err(WireError::Malformed("unknown TreeMsg tag")));
+        assert_eq!(
+            TreeMsg::decode(&[9, 0, 0, 0, 0]),
+            Err(WireError::Malformed("unknown TreeMsg tag"))
+        );
         assert!(matches!(HistMsg::decode(&[0; 4]), Err(WireError::Truncated)));
         assert!(matches!(
             InvertMsg::decode(&[2; 40]),

@@ -1,0 +1,137 @@
+//! Offline stand-in for the `bytes` crate: just the little-endian
+//! [`Buf`]/[`BufMut`] accessors `dynagg_core::wire` encodes with,
+//! implemented for `&[u8]` (self-advancing reads) and `Vec<u8>` (appending
+//! writes). Reads panic when the buffer is short, exactly like upstream
+//! `bytes`; the wire layer length-checks before calling.
+
+#![forbid(unsafe_code)]
+
+/// Sequential little-endian reads from a byte source.
+pub trait Buf {
+    /// Bytes remaining.
+    fn remaining(&self) -> usize;
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8;
+
+    /// Read a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16;
+
+    /// Read a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+
+    /// Read a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+
+    /// Read a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+macro_rules! slice_get {
+    ($self:ident, $t:ty) => {{
+        const N: usize = core::mem::size_of::<$t>();
+        let (head, rest) = $self.split_at(N);
+        let v = <$t>::from_le_bytes(head.try_into().expect("sized split"));
+        *$self = rest;
+        v
+    }};
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        slice_get!(self, u8)
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        slice_get!(self, u16)
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        slice_get!(self, u32)
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        slice_get!(self, u64)
+    }
+}
+
+/// Appending little-endian writes to a byte sink.
+pub trait BufMut {
+    /// Write one byte.
+    fn put_u8(&mut self, v: u8);
+
+    /// Write a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16);
+
+    /// Write a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
+
+    /// Write a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64);
+
+    /// Write a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+
+    /// Write a raw byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_u16_le(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut buf = Vec::new();
+        buf.put_u8(7);
+        buf.put_u16_le(0xBEEF);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(0x0123_4567_89AB_CDEF);
+        buf.put_f64_le(-1.25);
+        let mut r: &[u8] = &buf;
+        assert_eq!(r.remaining(), 1 + 2 + 4 + 8 + 8);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16_le(), 0xBEEF);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.get_f64_le(), -1.25);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn short_read_panics() {
+        let mut r: &[u8] = &[1, 2];
+        let _ = r.get_u32_le();
+    }
+}

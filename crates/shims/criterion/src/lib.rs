@@ -1,0 +1,199 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API the workspace's benches use
+//! — [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`], [`black_box`], [`criterion_group!`],
+//! [`criterion_main!`] — with a real measurement loop: each benchmark is
+//! auto-calibrated to a target sample duration, timed over `sample_size`
+//! samples, and reported as median / mean / min ns-per-iteration on
+//! stdout. No plots, no statistics beyond that; enough to compare hot
+//! paths before and after a change.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Target wall-clock time for one sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(20);
+/// Default number of samples.
+const DEFAULT_SAMPLES: usize = 30;
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` for the calibrated iteration count, timing the whole batch.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    // Calibrate: grow the per-sample iteration count until one sample
+    // takes roughly TARGET_SAMPLE.
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        if b.elapsed >= TARGET_SAMPLE || iters >= 1 << 30 {
+            break;
+        }
+        let grow = if b.elapsed.is_zero() {
+            100
+        } else {
+            (TARGET_SAMPLE.as_nanos() / b.elapsed.as_nanos().max(1) + 1) as u64
+        };
+        iters = iters.saturating_mul(grow.clamp(2, 100));
+    }
+
+    let mut per_iter: Vec<f64> = (0..samples.max(2))
+        .map(|_| {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            b.elapsed.as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = per_iter[per_iter.len() / 2];
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let min = per_iter[0];
+    println!(
+        "{label:<48} median {} / mean {} / min {}  ({} iters x {} samples)",
+        fmt_ns(median),
+        fmt_ns(mean),
+        fmt_ns(min),
+        iters,
+        per_iter.len(),
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:8.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:8.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:8.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:8.2} s ", ns / 1_000_000_000.0)
+    }
+}
+
+/// Benchmark registry/driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: DEFAULT_SAMPLES }
+    }
+}
+
+impl Criterion {
+    /// Set the default sample count (builder style).
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one standalone benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup { name, sample_size: self.sample_size, _parent: self }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set this group's sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, name), self.sample_size, &mut f);
+        self
+    }
+
+    /// End the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(2);
+        let mut calls = 0u64;
+        g.bench_function("add", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        g.finish();
+        assert!(calls > 0, "the measured closure must actually run");
+    }
+
+    #[test]
+    fn formatting_scales_units() {
+        assert!(fmt_ns(12.0).contains("ns"));
+        assert!(fmt_ns(12_000.0).contains("us"));
+        assert!(fmt_ns(12_000_000.0).contains("ms"));
+    }
+}

@@ -1,0 +1,55 @@
+//! [`any`] — strategies for "any value of a type".
+
+use crate::strategy::Strategy;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut SmallRng) -> Self {
+                rng.gen::<$t>()
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+impl Arbitrary for f64 {
+    /// Finite values spanning many magnitudes (no NaN/∞: the workspace's
+    /// properties all assume finite inputs).
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        let unit: f64 = rng.gen();
+        let exp = rng.gen_range(-64i32..64);
+        let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+        sign * unit * (exp as f64).exp2()
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+/// Strategy wrapper returned by [`any`].
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy producing any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}

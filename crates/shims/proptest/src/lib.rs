@@ -1,0 +1,189 @@
+//! Offline stand-in for `proptest`.
+//!
+//! A deterministic mini property-testing harness exposing the API subset
+//! the workspace's property tests use: the [`proptest!`] macro,
+//! `prop_assert*` macros, [`strategy::Strategy`] with `prop_map` /
+//! `prop_filter_map`, [`prop_oneof!`], [`arbitrary::any`], range and tuple
+//! strategies, [`collection::vec`], and [`option::of`].
+//!
+//! Differences from upstream proptest, deliberately accepted for an
+//! offline build: no shrinking (a failing case panics with its values via
+//! the assertion message), and the case schedule is a pure function of the
+//! test name — every run explores the same cases, so failures are exactly
+//! reproducible. Case count defaults to 32, overridable with the
+//! `PROPTEST_CASES` environment variable.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+
+/// Everything a property-test file normally imports.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Number of cases to run per property (default 32).
+pub fn case_count() -> usize {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(32)
+}
+
+/// Derive a stable per-test seed from the test's name.
+fn seed_for(name: &str) -> u64 {
+    // FNV-1a over the name: stable across runs, platforms, and layouts.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Drive `body` over the deterministic case schedule for `name`.
+/// Used by the [`proptest!`] expansion; not part of the public API.
+pub fn run_cases(name: &str, mut body: impl FnMut(&mut SmallRng)) {
+    let cases = case_count();
+    let seed = seed_for(name);
+    for case in 0..cases {
+        let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(case as u64));
+        body(&mut rng);
+    }
+}
+
+/// Declare property tests. Each `fn` becomes a `#[test]` that runs its
+/// body over [`case_count`] deterministic cases. Arguments are either
+/// `name in strategy` or `name: Type` (shorthand for `any::<Type>()`).
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    ($(#[$meta:meta])* fn $name:ident($($args:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_cases(stringify!($name), |__proptest_rng| {
+                $crate::__proptest_bind!(__proptest_rng, $($args)*);
+                $body
+            });
+        }
+        $crate::proptest!($($rest)*);
+    };
+}
+
+/// Internal: expand `proptest!` argument lists into `let` bindings.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, $name:ident in $strat:expr, $($rest:tt)*) => {
+        let $name = $crate::strategy::Strategy::sample(&($strat), $rng);
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+    ($rng:ident, $name:ident in $strat:expr) => {
+        let $name = $crate::strategy::Strategy::sample(&($strat), $rng);
+    };
+    ($rng:ident, $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name: $ty =
+            $crate::strategy::Strategy::sample(&$crate::arbitrary::any::<$ty>(), $rng);
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+    ($rng:ident, $name:ident : $ty:ty) => {
+        let $name: $ty =
+            $crate::strategy::Strategy::sample(&$crate::arbitrary::any::<$ty>(), $rng);
+    };
+}
+
+/// Assert within a property (no shrinking: failures panic immediately).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice among strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Union::arm($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Toggle {
+        On(u8),
+        Off(u8),
+    }
+
+    fn toggle() -> impl Strategy<Value = Toggle> {
+        prop_oneof![any::<u8>().prop_map(Toggle::On), any::<u8>().prop_map(Toggle::Off),]
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_and_types_bind(x in 3u32..17, y: u8, f in 0.0f64..=1.0) {
+            prop_assert!((3..17).contains(&x));
+            let _ = y;
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+
+        #[test]
+        fn vectors_respect_size(v in crate::collection::vec(0u64..100, 2..12)) {
+            prop_assert!((2..12).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn tuples_and_oneof_work(pair in (any::<u8>(), 0u16..50), t in toggle()) {
+            prop_assert!(pair.1 < 50);
+            match t {
+                Toggle::On(_) | Toggle::Off(_) => {}
+            }
+        }
+
+        #[test]
+        fn filter_map_filters(
+            even in (0u32..1000).prop_filter_map("even", |x| (x % 2 == 0).then_some(x)),
+        ) {
+            prop_assert_eq!(even % 2, 0);
+        }
+
+        #[test]
+        fn options_produce_both_variants(o in crate::option::of(0u8..10)) {
+            if let Some(x) = o {
+                prop_assert!(x < 10);
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        crate::run_cases("stable", |rng| a.push(rand::Rng::gen::<f64>(rng)));
+        crate::run_cases("stable", |rng| b.push(rand::Rng::gen::<f64>(rng)));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), crate::case_count());
+    }
+}

@@ -1,0 +1,28 @@
+//! Option strategies: [`of`].
+
+use crate::strategy::Strategy;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Strategy for `Option<S::Value>` (≈75% `Some`, mirroring upstream's
+/// Some-biased default).
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+        if rng.gen_bool(0.75) {
+            Some(self.inner.sample(rng))
+        } else {
+            None
+        }
+    }
+}
+
+/// `Some(inner)` most of the time, `None` otherwise.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}

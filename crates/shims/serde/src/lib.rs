@@ -1,0 +1,25 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types so a
+//! networked build can turn real serialization back on, but the offline
+//! build environment cannot fetch serde. This shim keeps those derive
+//! sites compiling: the traits exist, are blanket-implemented (so generic
+//! bounds are always satisfiable), and the derives are no-ops. Nothing in
+//! the workspace calls serialization at runtime — JSON/CSV artifacts are
+//! emitted by hand-rolled writers.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}

@@ -22,10 +22,7 @@ pub struct AliveSet {
 impl AliveSet {
     /// All of `0..n` alive.
     pub fn full(n: usize) -> Self {
-        Self {
-            list: (0..n as NodeId).collect(),
-            pos: (0..n as u32).collect(),
-        }
+        Self { list: (0..n as NodeId).collect(), pos: (0..n as u32).collect() }
     }
 
     /// Empty set with capacity for `n` ids.
@@ -46,9 +43,7 @@ impl AliveSet {
     /// Is `id` alive?
     #[inline]
     pub fn contains(&self, id: NodeId) -> bool {
-        self.pos
-            .get(id as usize)
-            .is_some_and(|&p| p != NOT_PRESENT)
+        self.pos.get(id as usize).is_some_and(|&p| p != NOT_PRESENT)
     }
 
     /// The live ids in unspecified order.

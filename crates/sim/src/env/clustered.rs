@@ -55,10 +55,7 @@ impl ClusteredEnv {
 
     /// The clique of `node`.
     pub fn cluster_of(&self, node: NodeId) -> u32 {
-        self.cluster_of
-            .get(node as usize)
-            .copied()
-            .unwrap_or(node % self.clusters)
+        self.cluster_of.get(node as usize).copied().unwrap_or(node % self.clusters)
     }
 
     /// Number of cliques.
@@ -118,9 +115,7 @@ impl Environment for ClusteredEnv {
     }
 
     fn degree(&self, node: NodeId, _alive: &AliveSet) -> usize {
-        self.members[self.cluster_of(node) as usize]
-            .len()
-            .saturating_sub(1)
+        self.members[self.cluster_of(node) as usize].len().saturating_sub(1)
     }
 
     fn neighbors(

@@ -33,13 +33,7 @@ pub trait Environment {
 
     /// Fill `out` with a broadcast set for `node` (real neighbors where a
     /// topology exists; a bounded random subset under uniform gossip).
-    fn neighbors(
-        &self,
-        node: NodeId,
-        alive: &AliveSet,
-        rng: &mut SmallRng,
-        out: &mut Vec<NodeId>,
-    );
+    fn neighbors(&self, node: NodeId, alive: &AliveSet, rng: &mut SmallRng, out: &mut Vec<NodeId>);
 
     /// The per-host group structure, where the environment has one (the
     /// trace environment's 10-minute "nearby" components). Metrics use this

@@ -39,13 +39,7 @@ impl Environment for UniformEnv {
         alive.len().saturating_sub(usize::from(alive.contains(node)))
     }
 
-    fn neighbors(
-        &self,
-        node: NodeId,
-        alive: &AliveSet,
-        rng: &mut SmallRng,
-        out: &mut Vec<NodeId>,
-    ) {
+    fn neighbors(&self, node: NodeId, alive: &AliveSet, rng: &mut SmallRng, out: &mut Vec<NodeId>) {
         // A random subset, deduplicated: tree protocols flood to these.
         let want = self.broadcast_fanout.min(alive.len().saturating_sub(1));
         let mut tries = 0;

@@ -18,7 +18,9 @@
 //! * [`runner`] — [`runner::Simulation`] (message-passing protocols) and
 //!   [`runner::PairwiseSimulation`] (atomic push/pull exchanges),
 //! * [`rng`] — deterministic seed derivation; a simulation's entire
-//!   behaviour is a function of one `u64`.
+//!   behaviour is a function of one `u64`,
+//! * [`par`] — parallel trial fan-out with per-trial seed streams;
+//!   bit-for-bit identical to serial execution at any thread count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,6 +29,7 @@ pub mod alive;
 pub mod env;
 pub mod failure;
 pub mod metrics;
+pub mod par;
 pub mod rng;
 pub mod runner;
 

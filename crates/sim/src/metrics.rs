@@ -30,60 +30,83 @@ impl Truth {
         matches!(self, Truth::GroupMean | Truth::GroupSize)
     }
 
+    /// For global truths, the single scalar every live host is compared
+    /// against — computed in one streaming pass. `None` for group truths
+    /// (those differ per host; use [`Truth::per_host_into`]).
+    pub fn global_scalar(self, values: &[Option<f64>]) -> Option<f64> {
+        if self.needs_groups() {
+            return None;
+        }
+        let mut sum = 0.0;
+        let mut live = 0usize;
+        for v in values.iter().flatten() {
+            sum += v;
+            live += 1;
+        }
+        Some(match self {
+            Truth::Mean => {
+                if live == 0 {
+                    0.0
+                } else {
+                    sum / live as f64
+                }
+            }
+            Truth::Count => live as f64,
+            Truth::Sum => sum,
+            Truth::GroupMean | Truth::GroupSize => unreachable!("handled above"),
+        })
+    }
+
     /// Per-host truth values given live values (`None` = dead host).
     ///
     /// Global truths return the same number for every host; group truths
     /// broadcast each group's aggregate to its members. `groups` must be
     /// `Some` for group truths.
-    pub fn per_host(
+    pub fn per_host(self, values: &[Option<f64>], groups: Option<&GroupView>) -> Vec<Option<f64>> {
+        let mut out = Vec::new();
+        self.per_host_into(values, groups, &mut out);
+        out
+    }
+
+    /// [`Truth::per_host`] writing into a caller-provided buffer — the
+    /// engine calls this every round, so no intermediate `Vec`s are
+    /// allocated (the global truths are computed in one streaming pass).
+    pub fn per_host_into(
         self,
         values: &[Option<f64>],
         groups: Option<&GroupView>,
-    ) -> Vec<Option<f64>> {
-        let live: Vec<f64> = values.iter().copied().flatten().collect();
+        out: &mut Vec<Option<f64>>,
+    ) {
+        out.clear();
         match self {
-            Truth::Mean => {
-                let t = if live.is_empty() {
-                    0.0
-                } else {
-                    live.iter().sum::<f64>() / live.len() as f64
-                };
-                values.iter().map(|v| v.map(|_| t)).collect()
-            }
-            Truth::Count => {
-                let t = live.len() as f64;
-                values.iter().map(|v| v.map(|_| t)).collect()
-            }
-            Truth::Sum => {
-                let t = live.iter().sum::<f64>();
-                values.iter().map(|v| v.map(|_| t)).collect()
+            Truth::Mean | Truth::Count | Truth::Sum => {
+                let t = self.global_scalar(values).expect("global truth");
+                out.extend(values.iter().map(|v| v.map(|_| t)));
             }
             Truth::GroupMean | Truth::GroupSize => {
                 let groups = groups.expect("group truth requires a group-aware environment");
-                values
-                    .iter()
-                    .enumerate()
-                    .map(|(i, v)| {
-                        v.map(|_| {
-                            let members = groups.members_of(i as u16);
-                            let live_members: Vec<f64> = members
-                                .iter()
-                                .filter_map(|&m| values[usize::from(m)])
-                                .collect();
-                            match self {
-                                Truth::GroupSize => live_members.len() as f64,
-                                _ => {
-                                    if live_members.is_empty() {
-                                        0.0
-                                    } else {
-                                        live_members.iter().sum::<f64>()
-                                            / live_members.len() as f64
-                                    }
+                out.extend(values.iter().enumerate().map(|(i, v)| {
+                    v.map(|_| {
+                        let mut sum = 0.0;
+                        let mut live = 0usize;
+                        for &m in groups.members_of(i as u16) {
+                            if let Some(mv) = values[usize::from(m)] {
+                                sum += mv;
+                                live += 1;
+                            }
+                        }
+                        match self {
+                            Truth::GroupSize => live as f64,
+                            _ => {
+                                if live == 0 {
+                                    0.0
+                                } else {
+                                    sum / live as f64
                                 }
                             }
-                        })
+                        }
                     })
-                    .collect()
+                }));
             }
         }
     }
@@ -128,33 +151,61 @@ impl RoundStats {
         bytes: u64,
         mean_group_size: f64,
     ) -> Self {
-        let mut n = 0usize;
-        let mut sum_est = 0.0;
-        let mut sum_truth = 0.0;
-        let mut sum_sq = 0.0;
-        let mut sum_abs = 0.0;
-        let mut max_abs = 0.0f64;
+        let mut acc = StatsAcc::default();
         for (e, t) in estimates.iter().zip(truths) {
             if let (Some(e), Some(t)) = (e, t) {
-                n += 1;
-                sum_est += e;
-                sum_truth += t;
-                let d = e - t;
-                sum_sq += d * d;
-                sum_abs += d.abs();
-                max_abs = max_abs.max(d.abs());
+                acc.add(*e, *t);
             }
         }
-        let nf = n.max(1) as f64;
-        Self {
+        acc.finish(round, alive, messages, bytes, mean_group_size)
+    }
+}
+
+/// Streaming accumulator behind [`RoundStats::compute`]. The engine feeds
+/// it node-by-node when the truth is a global scalar, so no per-host
+/// estimate/truth buffers exist on that (hot) path.
+#[derive(Debug, Default)]
+pub struct StatsAcc {
+    n: usize,
+    sum_est: f64,
+    sum_truth: f64,
+    sum_sq: f64,
+    sum_abs: f64,
+    max_abs: f64,
+}
+
+impl StatsAcc {
+    /// Record one host with a defined estimate and truth.
+    #[inline]
+    pub fn add(&mut self, estimate: f64, truth: f64) {
+        self.n += 1;
+        self.sum_est += estimate;
+        self.sum_truth += truth;
+        let d = estimate - truth;
+        self.sum_sq += d * d;
+        self.sum_abs += d.abs();
+        self.max_abs = self.max_abs.max(d.abs());
+    }
+
+    /// Close the round.
+    pub fn finish(
+        self,
+        round: u64,
+        alive: usize,
+        messages: u64,
+        bytes: u64,
+        mean_group_size: f64,
+    ) -> RoundStats {
+        let nf = self.n.max(1) as f64;
+        RoundStats {
             round,
             alive,
-            truth: sum_truth / nf,
-            mean_estimate: sum_est / nf,
-            stddev: (sum_sq / nf).sqrt(),
-            mean_abs_err: sum_abs / nf,
-            max_abs_err: max_abs,
-            defined: n,
+            truth: self.sum_truth / nf,
+            mean_estimate: self.sum_est / nf,
+            stddev: (self.sum_sq / nf).sqrt(),
+            mean_abs_err: self.sum_abs / nf,
+            max_abs_err: self.max_abs,
+            defined: self.n,
             messages,
             bytes,
             mean_group_size,

@@ -1,0 +1,156 @@
+//! Parallel trial execution.
+//!
+//! The paper's evaluation sweeps hundreds of (protocol × environment ×
+//! failure × trial) configurations, and every trial is an independent
+//! pure function of its own seed — embarrassingly parallel. This module
+//! fans such trials out across cores while keeping results **bit-for-bit
+//! identical to serial execution**, regardless of thread count:
+//!
+//! * each work item gets its own RNG stream, derived from the master seed
+//!   with [`trial_seed`] (never a shared generator), and
+//! * results are placed by item index, so the output order is the input
+//!   order no matter which thread finished first.
+//!
+//! The build environment has no crates.io access, so instead of `rayon`
+//! this uses `std::thread::scope` with an atomic work queue — the same
+//! fan-out/join semantics for this one pattern, with zero dependencies.
+//! Thread count defaults to the machine's parallelism and can be pinned
+//! with the `DYNAGG_THREADS` environment variable (e.g. `DYNAGG_THREADS=1`
+//! to force serial execution inside the same code path).
+
+use crate::rng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Stream tag for per-trial seed derivation (disjoint from the engine's
+/// [`rng::stream`] tags by construction: those are small constants).
+const TRIAL_STREAM_BASE: u64 = 0x7261_6C5F_7472_6900; // "ral_tri\0"
+
+/// Derive the seed for `trial` under `master`. Pure, stable, and
+/// independent of execution order or thread count.
+#[inline]
+pub fn trial_seed(master: u64, trial: u64) -> u64 {
+    rng::derive(master, TRIAL_STREAM_BASE ^ trial)
+}
+
+/// The number of worker threads [`par_map`] will use: `DYNAGG_THREADS` if
+/// set, otherwise the machine's available parallelism.
+pub fn effective_threads() -> usize {
+    if let Ok(v) = std::env::var("DYNAGG_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Map `f` over `items` in parallel, returning results in input order.
+///
+/// `f` receives `(index, &item)` and must be a pure function of them for
+/// the determinism guarantee to hold (the engine's builders make that
+/// easy: derive everything from a per-item seed). Panics in `f` propagate
+/// after all workers stop picking up new items.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_threads(items, effective_threads(), f)
+}
+
+/// [`par_map`] with an explicit thread count (used by the determinism
+/// tests to prove thread-count independence).
+pub fn par_map_threads<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(idx) else { break };
+                let result = f(idx, item);
+                done.lock().expect("no poisoned result lock").push((idx, result));
+            });
+        }
+    });
+
+    let mut tagged = done.into_inner().expect("workers joined");
+    debug_assert_eq!(tagged.len(), items.len());
+    tagged.sort_unstable_by_key(|&(idx, _)| idx);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Run `trials` independent simulations of a sweep under `master`,
+/// handing each closure its derived [`trial_seed`] — the common shape of
+/// every figure reproduction ("results are averaged over N runs").
+pub fn run_trials<R, F>(master: u64, trials: u64, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(u64) -> R + Sync,
+{
+    let seeds: Vec<u64> = (0..trials).map(|t| trial_seed(master, t)).collect();
+    par_map(&seeds, |_, &seed| f(seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_keep_input_order() {
+        let items: Vec<u64> = (0..64).collect();
+        for threads in [1, 2, 3, 8] {
+            let out = par_map_threads(&items, threads, |i, &x| {
+                assert_eq!(i as u64, x);
+                x * 10
+            });
+            assert_eq!(out, (0..64).map(|x| x * 10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let items: Vec<u64> = (0..32).collect();
+        let serial = par_map_threads(&items, 1, |_, &x| trial_seed(7, x));
+        for threads in [2, 4, 16] {
+            assert_eq!(serial, par_map_threads(&items, threads, |_, &x| trial_seed(7, x)));
+        }
+    }
+
+    #[test]
+    fn trial_seeds_are_distinct_and_stable() {
+        let a: Vec<u64> = (0..100).map(|t| trial_seed(1, t)).collect();
+        let b: Vec<u64> = (0..100).map(|t| trial_seed(1, t)).collect();
+        assert_eq!(a, b);
+        let mut dedup = a.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 100, "trial seeds must not collide");
+        assert_ne!(trial_seed(1, 0), trial_seed(2, 0), "master seed must matter");
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, |_, &x| x).is_empty());
+        assert_eq!(par_map(&[41u32], |_, &x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn run_trials_matches_manual_derivation() {
+        let out = run_trials(9, 5, |seed| seed);
+        let expected: Vec<u64> = (0..5).map(|t| trial_seed(9, t)).collect();
+        assert_eq!(out, expected);
+    }
+}

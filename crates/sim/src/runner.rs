@@ -10,9 +10,20 @@
 //! Both engines are fully deterministic functions of the builder's master
 //! seed, and both produce a [`Series`] of per-round error statistics
 //! against the configured [`Truth`].
+//!
+//! ## Hot-path discipline
+//!
+//! The paper's sweeps run hundreds of (protocol × environment × failure ×
+//! trial) configurations, so the per-round path is kept allocation-free in
+//! steady state: the message queue, emission buffer, victim list, victim-
+//! selection scratch, and the metrics' estimate/truth buffers are all
+//! owned by the engine and reused across rounds. The protocol factory is
+//! a generic parameter (not a boxed closure), so node construction during
+//! churn stays devirtualized. Per-trial parallelism lives in
+//! [`crate::par`]; one engine is strictly single-threaded.
 
 use crate::alive::AliveSet;
-use crate::env::{Environment, EnvSampler};
+use crate::env::{EnvSampler, Environment};
 use crate::failure::{FailureMode, FailureSpec};
 use crate::metrics::{RoundStats, Series, Truth};
 use crate::rng::{rng_for, stream};
@@ -23,7 +34,9 @@ use rand::Rng;
 
 /// Closure type generating a node's initial value.
 pub type ValueGen = Box<dyn FnMut(&mut SmallRng, NodeId) -> f64>;
-/// Closure type constructing a node's protocol instance.
+/// Boxed protocol-factory type (the builder itself is generic over the
+/// factory; this alias remains for code that wants to name a fully
+/// type-erased builder).
 pub type Factory<P> = Box<dyn FnMut(NodeId, f64) -> P>;
 
 /// Start building a simulation from a master seed. The protocol type is
@@ -77,37 +90,41 @@ impl Builder {
         self.nodes_with_values(n, |rng, _| rng.gen_range(0.0..100.0))
     }
 
-    /// Choose the protocol via a per-node factory.
-    pub fn protocol<P, F>(self, factory: F) -> TypedBuilder<P>
+    /// Choose the protocol via a per-node factory. The factory type stays
+    /// generic all the way into the engine, so churn-time node
+    /// construction involves no virtual dispatch.
+    pub fn protocol<P, F>(self, factory: F) -> TypedBuilder<P, F>
     where
-        F: FnMut(NodeId, f64) -> P + 'static,
+        F: FnMut(NodeId, f64) -> P,
     {
         TypedBuilder {
             seed: self.seed,
             env: self.env,
             n: self.n,
             value_gen: self.value_gen,
-            factory: Box::new(factory),
+            factory,
             truth: Truth::Mean,
             failure: FailureSpec::None,
             loss: 0.0,
+            _protocol: std::marker::PhantomData,
         }
     }
 }
 
-/// Stage-two builder, parameterized by protocol type.
-pub struct TypedBuilder<P> {
+/// Stage-two builder, parameterized by protocol type and factory.
+pub struct TypedBuilder<P, F> {
     seed: u64,
     env: Option<Box<dyn Environment>>,
     n: usize,
     value_gen: Option<ValueGen>,
-    factory: Factory<P>,
+    factory: F,
     truth: Truth,
     failure: FailureSpec,
     loss: f64,
+    _protocol: std::marker::PhantomData<fn() -> P>,
 }
 
-impl<P> TypedBuilder<P> {
+impl<P, F: FnMut(NodeId, f64) -> P> TypedBuilder<P, F> {
     /// What estimates are compared against (default: [`Truth::Mean`]).
     pub fn truth(mut self, truth: Truth) -> Self {
         self.truth = truth;
@@ -132,7 +149,7 @@ impl<P> TypedBuilder<P> {
         self
     }
 
-    fn into_parts(self) -> SimCore<P> {
+    fn into_parts(self) -> SimCore<P, F> {
         let env = self.env.expect("environment must be configured");
         let mut value_gen = self.value_gen.expect("nodes must be configured");
         let mut factory = self.factory;
@@ -161,11 +178,15 @@ impl<P> TypedBuilder<P> {
             join_accum: 0.0,
             loss: self.loss,
             series: Series::default(),
+            victims: Vec::new(),
+            victim_scratch: Vec::new(),
+            est_buf: Vec::new(),
+            truth_buf: Vec::new(),
         }
     }
 
     /// Build a message-passing simulation.
-    pub fn build(self) -> Simulation<P>
+    pub fn build(self) -> Simulation<P, F>
     where
         P: PushProtocol,
     {
@@ -173,7 +194,7 @@ impl<P> TypedBuilder<P> {
     }
 
     /// Build an atomic push/pull simulation.
-    pub fn build_pairwise(self) -> PairwiseSimulation<P>
+    pub fn build_pairwise(self) -> PairwiseSimulation<P, F>
     where
         P: PairwiseProtocol,
     {
@@ -182,7 +203,7 @@ impl<P> TypedBuilder<P> {
 }
 
 /// State shared by both engines.
-struct SimCore<P> {
+struct SimCore<P, F> {
     nodes: Vec<Option<P>>,
     values: Vec<Option<f64>>,
     alive: AliveSet,
@@ -194,19 +215,28 @@ struct SimCore<P> {
     failure_rng: SmallRng,
     value_rng: SmallRng,
     value_gen: ValueGen,
-    factory: Factory<P>,
+    factory: F,
     initial_n: usize,
     join_accum: f64,
     /// Per-message loss probability.
     loss: f64,
     series: Series,
+    /// Reused per-round buffer: this round's failure victims.
+    victims: Vec<NodeId>,
+    /// Reused scratch for victim selection (live-id copy).
+    victim_scratch: Vec<NodeId>,
+    /// Reused per-round buffer: per-host estimates.
+    est_buf: Vec<Option<f64>>,
+    /// Reused per-round buffer: per-host truths.
+    truth_buf: Vec<Option<f64>>,
 }
 
-impl<P> SimCore<P> {
-    /// Apply the failure plan at the top of `round`. Returns ids to remove
-    /// (the caller handles protocol-specific graceful hooks first).
-    fn plan_failures(&mut self) -> (Vec<NodeId>, bool, usize) {
-        let mut victims = Vec::new();
+impl<P, F: FnMut(NodeId, f64) -> P> SimCore<P, F> {
+    /// Apply the failure plan at the top of `round`, filling
+    /// [`SimCore::victims`]. Returns `(graceful, joins)`; the caller
+    /// handles protocol-specific graceful hooks before removal.
+    fn plan_failures(&mut self) -> (bool, usize) {
+        self.victims.clear();
         let mut graceful = false;
         let mut joins = 0usize;
         match self.failure {
@@ -214,16 +244,15 @@ impl<P> SimCore<P> {
             FailureSpec::AtRound { round, mode, fraction, graceful: g } => {
                 if self.round == round {
                     graceful = g;
-                    let count =
-                        ((self.alive.len() as f64) * fraction).round() as usize;
-                    victims = self.select_victims(mode, count);
+                    let count = ((self.alive.len() as f64) * fraction).round() as usize;
+                    self.select_victims(mode, count);
                 }
             }
             FailureSpec::Churn { start, leave_per_round, join_per_round } => {
                 if self.round >= start {
                     for &id in self.alive.ids() {
                         if self.failure_rng.gen::<f64>() < leave_per_round {
-                            victims.push(id);
+                            self.victims.push(id);
                         }
                     }
                     self.join_accum += join_per_round * self.initial_n as f64;
@@ -232,11 +261,15 @@ impl<P> SimCore<P> {
                 }
             }
         }
-        (victims, graceful, joins)
+        (graceful, joins)
     }
 
-    fn select_victims(&mut self, mode: FailureMode, count: usize) -> Vec<NodeId> {
-        let mut ids: Vec<NodeId> = self.alive.ids().to_vec();
+    /// Fill [`SimCore::victims`] with `count` ids chosen per `mode`, using
+    /// the reusable scratch copy of the live set.
+    fn select_victims(&mut self, mode: FailureMode, count: usize) {
+        let mut ids = std::mem::take(&mut self.victim_scratch);
+        ids.clear();
+        ids.extend_from_slice(self.alive.ids());
         match mode {
             FailureMode::Random => {
                 ids.shuffle(&mut self.failure_rng);
@@ -257,7 +290,8 @@ impl<P> SimCore<P> {
             }
         }
         ids.truncate(count);
-        ids
+        self.victims.extend_from_slice(&ids);
+        self.victim_scratch = ids;
     }
 
     fn remove(&mut self, id: NodeId) {
@@ -276,40 +310,50 @@ impl<P> SimCore<P> {
         id
     }
 
-    fn record_stats<F>(&mut self, messages: u64, bytes: u64, estimate_of: F)
+    fn record_stats<G>(&mut self, messages: u64, bytes: u64, estimate_of: G)
     where
-        F: Fn(&P) -> Option<f64>,
+        G: Fn(&P) -> Option<f64>,
     {
-        let estimates: Vec<Option<f64>> = self
-            .nodes
-            .iter()
-            .map(|n| n.as_ref().and_then(&estimate_of))
-            .collect();
-        let truths = self.truth.per_host(&self.values, self.env.group_view());
-        let group_size = self
-            .env
-            .group_view()
-            .map_or(0.0, |g| g.mean_experienced_size());
-        self.series.push(RoundStats::compute(
-            self.round,
-            &estimates,
-            &truths,
-            self.alive.len(),
-            messages,
-            bytes,
-            group_size,
-        ));
+        let group_size = self.env.group_view().map_or(0.0, |g| g.mean_experienced_size());
+        let stats = if let Some(t) = self.truth.global_scalar(&self.values) {
+            // Global truth: one streaming pass over the nodes, no buffers.
+            // A host enters the statistics iff it is alive (value present)
+            // and its estimate is defined — same rule as the buffered path.
+            let mut acc = crate::metrics::StatsAcc::default();
+            for (node, value) in self.nodes.iter().zip(&self.values) {
+                if value.is_some() {
+                    if let Some(e) = node.as_ref().and_then(&estimate_of) {
+                        acc.add(e, t);
+                    }
+                }
+            }
+            acc.finish(self.round, self.alive.len(), messages, bytes, group_size)
+        } else {
+            self.est_buf.clear();
+            self.est_buf.extend(self.nodes.iter().map(|n| n.as_ref().and_then(&estimate_of)));
+            self.truth.per_host_into(&self.values, self.env.group_view(), &mut self.truth_buf);
+            RoundStats::compute(
+                self.round,
+                &self.est_buf,
+                &self.truth_buf,
+                self.alive.len(),
+                messages,
+                bytes,
+                group_size,
+            )
+        };
+        self.series.push(stats);
     }
 }
 
 /// A message-passing gossip simulation.
-pub struct Simulation<P: PushProtocol> {
-    core: SimCore<P>,
+pub struct Simulation<P: PushProtocol, F> {
+    core: SimCore<P, F>,
     out_buf: Vec<(NodeId, P::Message)>,
     queue: Vec<(NodeId, NodeId, P::Message)>,
 }
 
-impl<P: PushProtocol> Simulation<P> {
+impl<P: PushProtocol, F: FnMut(NodeId, f64) -> P> Simulation<P, F> {
     /// The current round (number of completed steps).
     pub fn round(&self) -> u64 {
         self.core.round
@@ -358,8 +402,9 @@ impl<P: PushProtocol> Simulation<P> {
         let core = &mut self.core;
 
         // 1. failures / churn at the round boundary
-        let (victims, graceful, joins) = core.plan_failures();
-        for id in victims {
+        let (graceful, joins) = core.plan_failures();
+        let victims = std::mem::take(&mut core.victims);
+        for &id in &victims {
             if graceful {
                 if let Some(n) = core.nodes[id as usize].as_mut() {
                     n.depart_gracefully();
@@ -367,6 +412,7 @@ impl<P: PushProtocol> Simulation<P> {
             }
             core.remove(id);
         }
+        core.victims = victims;
         for _ in 0..joins {
             core.join_one();
         }
@@ -407,11 +453,8 @@ impl<P: PushProtocol> Simulation<P> {
             let reply = {
                 let node = core.nodes[dst as usize].as_mut().expect("alive");
                 let mut sampler = EnvSampler::new(core.env.as_ref(), &core.alive, dst);
-                let mut ctx = RoundCtx {
-                    round: core.round,
-                    rng: &mut core.engine_rng,
-                    peers: &mut sampler,
-                };
+                let mut ctx =
+                    RoundCtx { round: core.round, rng: &mut core.engine_rng, peers: &mut sampler };
                 node.on_message(src, &msg, &mut ctx)
             };
             if let Some(reply) = reply {
@@ -449,11 +492,11 @@ impl<P: PushProtocol> Simulation<P> {
 }
 
 /// An atomic push/pull simulation (pairwise mass equalization).
-pub struct PairwiseSimulation<P: PairwiseProtocol> {
-    core: SimCore<P>,
+pub struct PairwiseSimulation<P: PairwiseProtocol, F> {
+    core: SimCore<P, F>,
 }
 
-impl<P: PairwiseProtocol> PairwiseSimulation<P> {
+impl<P: PairwiseProtocol, F: FnMut(NodeId, f64) -> P> PairwiseSimulation<P, F> {
     /// The current round.
     pub fn round(&self) -> u64 {
         self.core.round
@@ -495,10 +538,12 @@ impl<P: PairwiseProtocol> PairwiseSimulation<P> {
     pub fn step(&mut self) {
         let core = &mut self.core;
 
-        let (victims, _graceful, joins) = core.plan_failures();
-        for id in victims {
+        let (_graceful, joins) = core.plan_failures();
+        let victims = std::mem::take(&mut core.victims);
+        for &id in &victims {
             core.remove(id);
         }
+        core.victims = victims;
         for _ in 0..joins {
             core.join_one();
         }
@@ -532,10 +577,7 @@ impl<P: PairwiseProtocol> PairwiseSimulation<P> {
             if !core.alive.contains(id) {
                 continue;
             }
-            core.nodes[id as usize]
-                .as_mut()
-                .expect("alive")
-                .end_round(core.round);
+            core.nodes[id as usize].as_mut().expect("alive").end_round(core.round);
         }
 
         core.record_stats(messages, bytes, |p| p.estimate());
@@ -643,11 +685,7 @@ mod tests {
         let series = sim.run(60);
         let last = series.last().unwrap();
         // E[leave] = E[join] -> population stays near 200 (±noise).
-        assert!(
-            (120..=280).contains(&last.alive),
-            "population drifted to {}",
-            last.alive
-        );
+        assert!((120..=280).contains(&last.alive), "population drifted to {}", last.alive);
         // Joined nodes must be counted in metrics.
         assert_eq!(last.defined, last.alive);
     }
@@ -694,10 +732,7 @@ mod tests {
             sim.step();
         }
         let total_w: f64 = sim.nodes().map(|(_, p)| p.mass().weight).sum();
-        assert!(
-            total_w < 10.0,
-            "push-sum weight should leak away under loss, still {total_w}"
-        );
+        assert!(total_w < 10.0, "push-sum weight should leak away under loss, still {total_w}");
     }
 
     #[test]
@@ -729,10 +764,7 @@ mod tests {
             static_w < 1.0,
             "static weight should decay to ~(0.9)^80·500 ≈ 0.1, got {static_w}"
         );
-        assert!(
-            revert_w > 50.0,
-            "reversion must keep total weight bounded, got {revert_w}"
-        );
+        assert!(revert_w > 50.0, "reversion must keep total weight bounded, got {revert_w}");
         // Both stay accurate at this horizon (loss is unbiased); reversion
         // pays an elevated λ floor (lost inbound mass makes the local
         // anchor weigh more) but remains bounded.
@@ -762,5 +794,23 @@ mod tests {
             .nodes_with_constant(2, 1.0)
             .protocol(|_, v| PushSum::averaging(v))
             .message_loss(1.5);
+    }
+
+    #[test]
+    fn victim_buffers_are_reused_across_failure_rounds() {
+        // Churn every round exercises the victim path repeatedly; the
+        // engine must keep producing correct removals (buffer clearing
+        // regression guard).
+        let mut sim = builder(12)
+            .environment(UniformEnv::new())
+            .nodes_with_paper_values(100)
+            .protocol(|_, v| PushSum::averaging(v))
+            .failure(FailureSpec::Churn { start: 0, leave_per_round: 0.5, join_per_round: 0.5 })
+            .build();
+        for _ in 0..20 {
+            sim.step();
+            let s = sim.series().last().unwrap();
+            assert_eq!(s.defined, s.alive, "metrics must track membership exactly");
+        }
     }
 }

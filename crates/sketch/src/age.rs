@@ -55,12 +55,7 @@ impl AgeMatrix {
         assert!(m.is_power_of_two(), "bin count must be a power of two");
         assert!(l > 0 && l <= crate::fm::MAX_WIDTH);
         let cells = (m as usize) * (usize::from(l) + 1);
-        Self {
-            m,
-            l,
-            ages: vec![INF_AGE; cells].into_boxed_slice(),
-            own: Vec::new(),
-        }
+        Self { m, l, ages: vec![INF_AGE; cells].into_boxed_slice(), own: Vec::new() }
     }
 
     /// Number of bins `m`.
@@ -89,6 +84,13 @@ impl AgeMatrix {
     #[inline]
     pub fn age(&self, bin: u32, k: u8) -> u8 {
         self.ages[self.flat(bin, k)]
+    }
+
+    /// The raw row-major cell slice (`m` rows of `L + 1` ages). The wire
+    /// codec streams this directly instead of copying cell-by-cell.
+    #[inline]
+    pub fn cells(&self) -> &[u8] {
+        &self.ages
     }
 
     /// All `(bin, k, age)` triples with a finite age. Fig. 6 aggregates
@@ -153,10 +155,10 @@ impl AgeMatrix {
     /// [`MAX_FINITE_AGE`]) *except* the cells this host sources, which stay
     /// pinned at 0. (Fig. 5 step 2.)
     pub fn tick(&mut self) {
+        // Branchless increment so the loop vectorizes: +1 iff below the
+        // finite cap (which also leaves the INF sentinel untouched).
         for a in self.ages.iter_mut() {
-            if *a < MAX_FINITE_AGE {
-                *a += 1;
-            }
+            *a += u8::from(*a < MAX_FINITE_AGE);
         }
         for &idx in &self.own {
             self.ages[idx as usize] = 0;
@@ -183,10 +185,10 @@ impl AgeMatrix {
     pub fn merge_min(&mut self, other: &AgeMatrix) {
         assert_eq!(self.m, other.m, "bin-count mismatch");
         assert_eq!(self.l, other.l, "width mismatch");
+        // Branch-free row-wise min: both slices have identical length, so
+        // the element loop compiles to packed byte-min instructions.
         for (a, &b) in self.ages.iter_mut().zip(other.ages.iter()) {
-            if b < *a {
-                *a = b;
-            }
+            *a = (*a).min(b);
         }
     }
 
@@ -208,15 +210,43 @@ impl AgeMatrix {
     }
 
     /// Cardinality estimate under `cutoff`: `(m/φ)·2^{avg R}` over the
-    /// live-bit view (Fig. 5 step 7).
+    /// live-bit view (Fig. 5 step 7). Computed directly from the counters
+    /// — no intermediate [`Pcsa`] is materialized; the engine reads every
+    /// host's estimate every round, so this path must not allocate.
     pub fn estimate(&self, cutoff: &Cutoff) -> f64 {
-        self.bit_view(cutoff).estimate()
+        if !self.any_live(cutoff) {
+            return 0.0;
+        }
+        estimate::estimate_from_mean_r(self.m, self.mean_r(cutoff))
     }
 
     /// Mean live-bit run length under `cutoff` — exposed separately for
-    /// experiments that plot `R` directly.
+    /// experiments that plot `R` directly. Allocation-free: `R` for a bin
+    /// is the index of its first dead bit, read straight off the ages.
     pub fn mean_r(&self, cutoff: &Cutoff) -> f64 {
-        self.bit_view(cutoff).mean_r()
+        let row = self.row_len();
+        let mut sum: u32 = 0;
+        for bin in self.ages.chunks_exact(row) {
+            let mut r = 0u32;
+            for (k, &a) in bin.iter().enumerate() {
+                if a != INF_AGE && cutoff.admits(k as u8, u32::from(a)) {
+                    r += 1;
+                } else {
+                    break;
+                }
+            }
+            sum += r.min(u32::from(self.l));
+        }
+        f64::from(sum) / f64::from(self.m)
+    }
+
+    /// Whether any cell is live under `cutoff` (streaming; no allocation).
+    fn any_live(&self, cutoff: &Cutoff) -> bool {
+        let row = self.row_len();
+        self.ages
+            .iter()
+            .enumerate()
+            .any(|(i, &a)| a != INF_AGE && cutoff.admits((i % row) as u8, u32::from(a)))
     }
 
     /// Wire size in bytes: one byte per counter. This is what the gossip

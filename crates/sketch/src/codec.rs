@@ -49,31 +49,46 @@ const TAG_LITERALS: u8 = 1;
 /// Owned-cell bookkeeping is *not* encoded: a receiver merges the ages; it
 /// never inherits sourcing duties (Fig. 5's exchange sends counters only).
 pub fn encode_ages(m: &AgeMatrix) -> Vec<u8> {
-    let cells = ages_iter(m);
-    let mut out = Vec::with_capacity(16 + cells.len() / 4);
+    let mut out = Vec::with_capacity(16 + m.cells().len() / 4);
+    encode_ages_into(m, &mut out);
+    out
+}
+
+/// [`encode_ages`] appending into a caller-provided buffer (not cleared),
+/// so per-message encoding on a node runtime reuses one allocation.
+pub fn encode_ages_into(m: &AgeMatrix, out: &mut Vec<u8>) {
+    let cells = m.cells();
     out.extend_from_slice(&m.num_bins().to_le_bytes());
     out.push(m.width());
-
-    let mut i = 0usize;
-    while i < cells.len() {
-        if cells[i] == INF_AGE {
-            let start = i;
-            while i < cells.len() && cells[i] == INF_AGE && i - start < usize::from(u16::MAX) {
-                i += 1;
-            }
+    for (start, len, inf) in age_runs(cells) {
+        if inf {
             out.push(TAG_INF_RUN);
-            out.extend_from_slice(&((i - start) as u16).to_le_bytes());
+            out.extend_from_slice(&(len as u16).to_le_bytes());
         } else {
-            let start = i;
-            while i < cells.len() && cells[i] != INF_AGE && i - start < usize::from(u16::MAX) {
-                i += 1;
-            }
             out.push(TAG_LITERALS);
-            out.extend_from_slice(&((i - start) as u16).to_le_bytes());
-            out.extend_from_slice(&cells[start..i]);
+            out.extend_from_slice(&(len as u16).to_le_bytes());
+            out.extend_from_slice(&cells[start..start + len]);
         }
     }
-    out
+}
+
+/// The run decomposition both [`encode_ages_into`] and
+/// [`encoded_len_ages`] consume: maximal `(start, len, is_inf)` runs of
+/// same-kind cells, capped at `u16::MAX` so the length always fits the
+/// chunk header. One definition, so encoder and size pass cannot drift.
+fn age_runs(cells: &[u8]) -> impl Iterator<Item = (usize, usize, bool)> + '_ {
+    let mut i = 0usize;
+    std::iter::from_fn(move || {
+        if i >= cells.len() {
+            return None;
+        }
+        let inf = cells[i] == INF_AGE;
+        let start = i;
+        while i < cells.len() && (cells[i] == INF_AGE) == inf && i - start < usize::from(u16::MAX) {
+            i += 1;
+        }
+        Some((start, i - start, inf))
+    })
 }
 
 /// Decode an age matrix previously produced by [`encode_ages`]. The result
@@ -124,9 +139,10 @@ pub fn decode_ages(bytes: &[u8]) -> Result<AgeMatrix, CodecError> {
     Ok(out)
 }
 
-/// Encoded size without materializing the buffer (bandwidth accounting).
+/// Encoded size without materializing the buffer (bandwidth accounting):
+/// one streaming pass over the same run decomposition the encoder uses.
 pub fn encoded_len_ages(m: &AgeMatrix) -> usize {
-    encode_ages(m).len()
+    5 + age_runs(m.cells()).map(|(_, len, inf)| 3 + if inf { 0 } else { len }).sum::<usize>()
 }
 
 /// Encode a PCSA sketch: header `(m: u32, l: u8)`, then each bin's
@@ -134,12 +150,18 @@ pub fn encoded_len_ages(m: &AgeMatrix) -> usize {
 pub fn encode_pcsa(p: &Pcsa) -> Vec<u8> {
     let bytes_per_bin = (usize::from(p.width()) + 1).div_ceil(8);
     let mut out = Vec::with_capacity(5 + p.bins().len() * bytes_per_bin);
+    encode_pcsa_into(p, &mut out);
+    out
+}
+
+/// [`encode_pcsa`] appending into a caller-provided buffer (not cleared).
+pub fn encode_pcsa_into(p: &Pcsa, out: &mut Vec<u8>) {
+    let bytes_per_bin = (usize::from(p.width()) + 1).div_ceil(8);
     out.extend_from_slice(&p.num_bins().to_le_bytes());
     out.push(p.width());
     for bin in p.bins() {
         out.extend_from_slice(&bin.bits().to_le_bytes()[..bytes_per_bin]);
     }
-    out
 }
 
 /// Decode a PCSA sketch previously produced by [`encode_pcsa`].
@@ -170,17 +192,6 @@ pub fn decode_pcsa(bytes: &[u8]) -> Result<Pcsa, CodecError> {
         }
     }
     Ok(p)
-}
-
-fn ages_iter(m: &AgeMatrix) -> Vec<u8> {
-    let row = usize::from(m.width()) + 1;
-    let mut cells = Vec::with_capacity(m.num_bins() as usize * row);
-    for bin in 0..m.num_bins() {
-        for k in 0..=m.width() {
-            cells.push(m.age(bin, k));
-        }
-    }
-    cells
 }
 
 #[cfg(test)]
@@ -218,6 +229,23 @@ mod tests {
                 m.bit_view(&Cutoff::paper_uniform())
             );
         }
+    }
+
+    #[test]
+    fn encoded_len_matches_actual_encoding() {
+        for (n, ticks) in [(0u64, 0u8), (1, 0), (100, 3), (5_000, 10), (5_000, 200)] {
+            let m = sample_matrix(n, ticks);
+            assert_eq!(encoded_len_ages(&m), encode_ages(&m).len(), "n={n} ticks={ticks}");
+        }
+    }
+
+    #[test]
+    fn encode_into_appends_without_clearing() {
+        let m = sample_matrix(64, 2);
+        let mut buf = vec![0xAA, 0xBB];
+        encode_ages_into(&m, &mut buf);
+        assert_eq!(&buf[..2], &[0xAA, 0xBB]);
+        assert_eq!(&buf[2..], encode_ages(&m).as_slice());
     }
 
     #[test]

@@ -48,10 +48,9 @@ impl Cutoff {
     /// Scaling [`Cutoff::Infinite`] returns it unchanged.
     pub fn scaled(self, factor: f64) -> Self {
         match self {
-            Cutoff::Linear { base, slope } => Cutoff::Linear {
-                base: base * factor,
-                slope: slope * factor,
-            },
+            Cutoff::Linear { base, slope } => {
+                Cutoff::Linear { base: base * factor, slope: slope * factor }
+            }
             Cutoff::Infinite => Cutoff::Infinite,
         }
     }
@@ -117,9 +116,7 @@ mod tests {
         let slow = Cutoff::slow();
         let paper = Cutoff::paper_uniform();
         for k in [0u8, 3, 9, 17] {
-            assert!(
-                (slow.threshold(k).unwrap() - 2.0 * paper.threshold(k).unwrap()).abs() < 1e-9
-            );
+            assert!((slow.threshold(k).unwrap() - 2.0 * paper.threshold(k).unwrap()).abs() < 1e-9);
         }
     }
 

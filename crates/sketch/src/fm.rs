@@ -86,6 +86,14 @@ impl FmSketch {
         self.bits |= other.bits;
     }
 
+    /// OR in a raw register whose geometry was already validated by the
+    /// caller ([`crate::pcsa::Pcsa::merge`] checks once per merge, not
+    /// once per bin).
+    #[inline]
+    pub(crate) fn or_bits_unchecked(&mut self, bits: u64) {
+        self.bits |= bits;
+    }
+
     /// `R(A)`: the length of the run of contiguous ones starting at bit 0.
     /// This is the quantity FM85 relates to `log2(φ·n)`.
     #[inline]
@@ -186,9 +194,6 @@ mod tests {
         }
         let mean_r = sum_r / trials as f64;
         let expected = (crate::PHI * n as f64).log2();
-        assert!(
-            (mean_r - expected).abs() < 1.0,
-            "mean R {mean_r:.2} vs expected {expected:.2}"
-        );
+        assert!((mean_r - expected).abs() < 1.0, "mean R {mean_r:.2} vs expected {expected:.2}");
     }
 }

@@ -135,9 +135,6 @@ mod tests {
             }
         }
         let frac = zero_in_bin0 as f64 / total_in_bin0 as f64;
-        assert!(
-            (0.45..=0.55).contains(&frac),
-            "P[rho=0 | bin=0] = {frac}, expected 0.5"
-        );
+        assert!((0.45..=0.55).contains(&frac), "P[rho=0 | bin=0] = {frac}, expected 0.5");
     }
 }

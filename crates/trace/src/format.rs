@@ -58,10 +58,7 @@ pub fn parse(text: &str) -> Result<Timeline, ParseError> {
                     message: format!("missing field `{name}`"),
                 })?
                 .parse::<u64>()
-                .map_err(|e| ParseError {
-                    line: line_no,
-                    message: format!("bad `{name}`: {e}"),
-                })
+                .map_err(|e| ParseError { line: line_no, message: format!("bad `{name}`: {e}") })
         };
         let a = field("device-a")?;
         let b = field("device-b")?;
@@ -112,10 +109,7 @@ mod tests {
         let tl = Timeline::new(
             5,
             800,
-            vec![
-                ContactEvent::new(0, 60, 0, 1).unwrap(),
-                ContactEvent::new(30, 90, 2, 4).unwrap(),
-            ],
+            vec![ContactEvent::new(0, 60, 0, 1).unwrap(), ContactEvent::new(30, 90, 2, 4).unwrap()],
         );
         let text = write(&tl);
         let parsed = parse(&text).unwrap();

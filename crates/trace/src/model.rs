@@ -123,15 +123,9 @@ impl TraceModel {
         let mut events: Vec<ContactEvent> = Vec::new();
 
         // Device -> community assignment, round-robin for even sizes.
-        let community_of =
-            |d: DeviceId| -> u16 { d % cfg.communities };
+        let community_of = |d: DeviceId| -> u16 { d % cfg.communities };
 
-        let peak = cfg
-            .diurnal
-            .iter()
-            .copied()
-            .fold(f64::MIN, f64::max)
-            .max(f64::MIN_POSITIVE);
+        let peak = cfg.diurnal.iter().copied().fold(f64::MIN, f64::max).max(f64::MIN_POSITIVE);
 
         // Non-homogeneous Poisson via thinning: candidates at peak rate,
         // accepted with probability intensity(t)/peak.

@@ -56,11 +56,8 @@ pub fn summarize(timeline: &Timeline, window_s: u64) -> TraceStats {
     };
     let hourly = hourly_group_size(timeline, window_s, 300);
     let peak = hourly.iter().copied().fold(0.0f64, f64::max);
-    let mean = if hourly.is_empty() {
-        0.0
-    } else {
-        hourly.iter().sum::<f64>() / hourly.len() as f64
-    };
+    let mean =
+        if hourly.is_empty() { 0.0 } else { hourly.iter().sum::<f64>() / hourly.len() as f64 };
     TraceStats {
         devices: timeline.device_count(),
         hours: timeline.duration() as f64 / 3600.0,

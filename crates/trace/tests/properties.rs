@@ -11,10 +11,10 @@ use proptest::prelude::*;
 
 fn arb_events(devices: u16) -> impl Strategy<Value = Vec<ContactEvent>> {
     proptest::collection::vec(
-        (0u64..5_000, 1u64..2_000, 0..devices, 0..devices).prop_filter_map(
-            "valid event",
-            |(start, dur, a, b)| ContactEvent::new(start, start + dur, a, b).ok(),
-        ),
+        (0u64..5_000, 1u64..2_000, 0..devices, 0..devices)
+            .prop_filter_map("valid event", |(start, dur, a, b)| {
+                ContactEvent::new(start, start + dur, a, b).ok()
+            }),
         0..60,
     )
 }
@@ -30,8 +30,8 @@ fn arb_config() -> impl Strategy<Value = TraceModelConfig> {
         1u16..6,
         0.0f64..=1.0,
     )
-        .prop_map(
-            |(devices, hours, gap, grow_p, max_size, dur, communities, bias)| TraceModelConfig {
+        .prop_map(|(devices, hours, gap, grow_p, max_size, dur, communities, bias)| {
+            TraceModelConfig {
                 devices,
                 duration_s: hours * 3600,
                 mean_meeting_gap_s: gap,
@@ -42,8 +42,8 @@ fn arb_config() -> impl Strategy<Value = TraceModelConfig> {
                 communities,
                 community_bias: bias,
                 diurnal: WORKDAY_PROFILE,
-            },
-        )
+            }
+        })
 }
 
 proptest! {

@@ -52,7 +52,7 @@ fn main() {
         if (round + 1) % rounds_per_hour == 0 {
             let hour = (round + 1) / rounds_per_hour;
             let n = rounds_per_hour as f64;
-            if hour % 6 == 0 {
+            if hour.is_multiple_of(6) {
                 println!(
                     "{:>5} {:>12.2} {:>14.3} {:>12.3}",
                     hour,

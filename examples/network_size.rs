@@ -33,29 +33,23 @@ fn run(label: &str, cutoff: Cutoff, n: usize) {
         sim.step();
         let s = *sim.series().last().unwrap();
         if round % 5 == 4 || round == 20 {
-            println!(
-                "{:>5} {:>8} {:>12} {:>14.0}",
-                s.round, s.alive, s.truth, s.mean_estimate
-            );
+            println!("{:>5} {:>8} {:>12} {:>14.0}", s.round, s.alive, s.truth, s.mean_estimate);
         }
     }
     let s = *sim.series().last().unwrap();
     let rel = (s.mean_estimate - s.truth).abs() / s.truth;
-    println!("final estimate {:.0} vs truth {:.0} (rel {:.0}%)\n", s.mean_estimate, s.truth, rel * 100.0);
+    println!(
+        "final estimate {:.0} vs truth {:.0} (rel {:.0}%)\n",
+        s.mean_estimate,
+        s.truth,
+        rel * 100.0
+    );
 }
 
 fn main() {
     let n = 2_000;
     println!("network_size: {n} hosts, half silently fail at round 20\n");
-    run(
-        "static Sketch-Count (cutoff = infinite): never heals",
-        Cutoff::Infinite,
-        n,
-    );
-    run(
-        "Count-Sketch-Reset (cutoff = 7 + k/4): heals in ~10 rounds",
-        Cutoff::paper_uniform(),
-        n,
-    );
+    run("static Sketch-Count (cutoff = infinite): never heals", Cutoff::Infinite, n);
+    run("Count-Sketch-Reset (cutoff = 7 + k/4): heals in ~10 rounds", Cutoff::paper_uniform(), n);
     println!("The static estimate stays at the pre-failure size; the reset estimate follows the survivors.");
 }

@@ -33,10 +33,7 @@ fn main() {
         sim.step();
         let s = *sim.series().last().expect("one entry per step");
         if s.round % 5 == 4 || s.round == 20 {
-            println!(
-                "{:>5} {:>8} {:>12.2} {:>12.3}",
-                s.round, s.alive, s.truth, s.stddev
-            );
+            println!("{:>5} {:>8} {:>12.2} {:>12.3}", s.round, s.alive, s.truth, s.stddev);
         }
     }
 

@@ -40,11 +40,11 @@
 
 /// The paper's protocols (`dynagg-core`).
 pub use dynagg_core as protocols;
-/// Counting-sketch substrate (`dynagg-sketch`).
-pub use dynagg_sketch as sketch;
-/// Gossip simulator (`dynagg-sim`).
-pub use dynagg_sim as sim;
-/// Contact traces (`dynagg-trace`).
-pub use dynagg_trace as trace;
 /// Sans-io node runtime (`dynagg-node`).
 pub use dynagg_node as node;
+/// Gossip simulator (`dynagg-sim`).
+pub use dynagg_sim as sim;
+/// Counting-sketch substrate (`dynagg-sketch`).
+pub use dynagg_sketch as sketch;
+/// Contact traces (`dynagg-trace`).
+pub use dynagg_trace as trace;

@@ -1,0 +1,148 @@
+//! Determinism golden tests for the simulation engine.
+//!
+//! Two guarantees are pinned here:
+//!
+//! 1. **Golden digests** — a fixed master seed yields an exact, known
+//!    [`Series`] (hashed over every f64 bit pattern and counter). The
+//!    digests below were captured from the engine *before* the
+//!    allocation-reuse / word-level-merge optimizations landed, so they
+//!    prove buffer reuse changed nothing. Any future engine change that
+//!    alters results — intentionally or not — must update these
+//!    constants with a documented reason.
+//! 2. **Thread-count independence** — running trials through the
+//!    parallel runner produces bit-identical results to serial
+//!    execution for 1, 2, and 8 threads.
+//!
+//! [`Series`]: dynagg::sim::metrics::Series
+
+use dynagg::protocols::config::ResetConfig;
+use dynagg::protocols::count_sketch_reset::CountSketchReset;
+use dynagg::protocols::push_sum_revert::PushSumRevert;
+use dynagg::sim::env::uniform::UniformEnv;
+use dynagg::sim::metrics::{Series, Truth};
+use dynagg::sim::par;
+use dynagg::sim::{runner, FailureMode, FailureSpec};
+
+/// FNV-1a over the full series content, order-sensitive, bit-exact.
+fn digest(s: &Series) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |x: u64| {
+        for b in x.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01B3);
+        }
+    };
+    for r in &s.rounds {
+        eat(r.round);
+        eat(r.alive as u64);
+        eat(r.truth.to_bits());
+        eat(r.mean_estimate.to_bits());
+        eat(r.stddev.to_bits());
+        eat(r.mean_abs_err.to_bits());
+        eat(r.max_abs_err.to_bits());
+        eat(r.defined as u64);
+        eat(r.messages);
+        eat(r.bytes);
+        eat(r.mean_group_size.to_bits());
+    }
+    h
+}
+
+fn psr_run(seed: u64) -> Series {
+    runner::builder(seed)
+        .environment(UniformEnv::new())
+        .nodes_with_paper_values(200)
+        .protocol(|_, v| PushSumRevert::new(v, 0.01))
+        .truth(Truth::Mean)
+        .failure(FailureSpec::AtRound {
+            round: 12,
+            mode: FailureMode::TopValue,
+            fraction: 0.3,
+            graceful: false,
+        })
+        .build()
+        .run(30)
+}
+
+fn csr_run(seed: u64) -> Series {
+    let cfg = ResetConfig::paper(300, seed ^ 0xF16);
+    runner::builder(seed)
+        .environment(UniformEnv::new())
+        .nodes_with_constant(300, 1.0)
+        .protocol(move |id, _| CountSketchReset::counting(cfg, u64::from(id)))
+        .truth(Truth::Count)
+        .build()
+        .run(20)
+}
+
+fn pairwise_run(seed: u64) -> Series {
+    runner::builder(seed)
+        .environment(UniformEnv::new())
+        .nodes_with_paper_values(150)
+        .protocol(|_, v| PushSumRevert::new(v, 0.05))
+        .truth(Truth::Mean)
+        .failure(FailureSpec::Churn { start: 3, leave_per_round: 0.02, join_per_round: 0.02 })
+        .build_pairwise()
+        .run(25)
+}
+
+/// Captured from the pre-optimization engine (see module docs).
+const GOLDEN_PSR: u64 = 0x96FB_49B4_1C25_B772;
+const GOLDEN_CSR: u64 = 0x4505_7CA9_7DCD_710D;
+const GOLDEN_PAIRWISE: u64 = 0x2BA5_5D97_DC0D_275D;
+
+#[test]
+fn golden_push_engine_series() {
+    let s = psr_run(0xD00D);
+    assert_eq!(
+        digest(&s),
+        GOLDEN_PSR,
+        "push-engine output changed for a fixed seed; if intentional, update the golden digest \
+         with a documented reason"
+    );
+    // A couple of spot values so a digest break is debuggable.
+    let last = s.last().unwrap();
+    assert_eq!(last.alive, 140);
+    assert_eq!(last.messages, 140);
+    assert_eq!(last.bytes, 2240);
+    assert_eq!(last.stddev.to_bits(), 0x4028_7A74_3A80_B507);
+}
+
+#[test]
+fn golden_sketch_engine_series() {
+    let s = csr_run(0xD00D);
+    assert_eq!(digest(&s), GOLDEN_CSR, "sketch-engine output changed for a fixed seed");
+    let last = s.last().unwrap();
+    assert_eq!(last.alive, 300);
+    assert_eq!(last.messages, 600);
+    assert_eq!(last.bytes, 422_400);
+}
+
+#[test]
+fn golden_pairwise_engine_series() {
+    let s = pairwise_run(0xD00D);
+    assert_eq!(digest(&s), GOLDEN_PAIRWISE, "pairwise-engine output changed for a fixed seed");
+}
+
+#[test]
+fn parallel_trials_match_serial_at_any_thread_count() {
+    let seeds: Vec<u64> = (0..6).map(|t| par::trial_seed(0xD00D, t)).collect();
+    let serial: Vec<Series> = seeds.iter().map(|&s| psr_run(s)).collect();
+    for threads in [1usize, 2, 8] {
+        let parallel = par::par_map_threads(&seeds, threads, |_, &s| psr_run(s));
+        assert_eq!(
+            serial, parallel,
+            "parallel trials with {threads} thread(s) must be bit-identical to serial"
+        );
+    }
+}
+
+#[test]
+fn parallel_sketch_trials_match_serial() {
+    let seeds: Vec<u64> = (0..4).map(|t| par::trial_seed(0xBEEF, t)).collect();
+    let serial: Vec<Series> = seeds.iter().map(|&s| csr_run(s)).collect();
+    for threads in [2usize, 8] {
+        let parallel = par::par_map_threads(&seeds, threads, |_, &s| csr_run(s));
+        assert_eq!(serial, parallel);
+    }
+}
