@@ -14,6 +14,7 @@
 //!   table-convergence  §V-A full-transfer convergence numbers
 //!   table-sketch-error §V-B PCSA 64-bin error
 //!   spatial-cutoff     extension: cutoff fit in the grid environment
+//!   epoch-disruption   extension: §II-C epoch disruption under clique mobility
 //!   ablations          all ablation sweeps (DESIGN.md §6)
 //!   all                everything above, all datasets
 //!
@@ -26,7 +27,8 @@
 //! ```
 
 use dynagg_bench::{
-    ablations, fig10, fig11, fig6, fig8, fig9, spatial_cutoff, tables, ExpOpts, Table,
+    ablations, epoch_disruption, fig10, fig11, fig6, fig8, fig9, spatial_cutoff, tables, ExpOpts,
+    Table,
 };
 use dynagg_trace::datasets::Dataset;
 use std::path::PathBuf;
@@ -70,7 +72,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: experiments <fig6|fig8|fig9|fig10a|fig10b|fig11-avg|fig11-sum|table-convergence|table-sketch-error|spatial-cutoff|ablations|all> [--n N] [--seed S] [--out DIR] [--quick] [--dataset 1|2|3]".to_string()
+    "usage: experiments <fig6|fig8|fig9|fig10a|fig10b|fig11-avg|fig11-sum|table-convergence|table-sketch-error|spatial-cutoff|epoch-disruption|ablations|all> [--n N] [--seed S] [--out DIR] [--quick] [--dataset 1|2|3]".to_string()
 }
 
 fn emit(tables: Vec<Table>, opts: &ExpOpts) {
@@ -118,6 +120,7 @@ fn main() -> ExitCode {
         "table-convergence" => emit(vec![tables::convergence(opts)], opts),
         "table-sketch-error" => emit(vec![tables::sketch_error(opts)], opts),
         "spatial-cutoff" => emit(vec![spatial_cutoff::run(opts)], opts),
+        "epoch-disruption" => emit(vec![epoch_disruption::run(opts)], opts),
         "ablations" => emit(ablations::run_all(opts), opts),
         "all" => {
             emit(vec![fig8::run(opts)], opts);
@@ -132,6 +135,7 @@ fn main() -> ExitCode {
             emit(vec![tables::convergence(opts)], opts);
             emit(vec![tables::sketch_error(opts)], opts);
             emit(vec![spatial_cutoff::run(opts)], opts);
+            emit(vec![epoch_disruption::run(opts)], opts);
             emit(ablations::run_all(opts), opts);
         }
         other => {

@@ -15,11 +15,13 @@
 //! | [`tables`] | §V-A convergence numbers, §V-B sketch error |
 //! | [`ablations`] | exchange style, adaptive λ, N/T sweeps, cutoff scale, bandwidth, epochs |
 //! | [`spatial_cutoff`] | extension: the cutoff fit in the grid environment (§IV-A's claim) |
+//! | [`epoch_disruption`] | extension: §II-C's epoch disruption under clique mobility (migration × drift sweep) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod epoch_disruption;
 pub mod fig10;
 pub mod fig11;
 pub mod fig6;

@@ -11,6 +11,24 @@
 //! round is exactly λ — the fixed protocol's budget — while reconvergence
 //! after failures speeds up roughly 2× under uniform value distributions
 //! (or equivalently, a lower λ buys the same convergence at lower error).
+//!
+//! ```
+//! use dynagg_core::adaptive::AdaptiveRevert;
+//! use dynagg_core::protocol::{Estimator, PushProtocol, RoundCtx};
+//! use dynagg_core::samplers::SliceSampler;
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! // An isolated host keeps its whole mass and stays at its own value.
+//! let mut rng = SmallRng::seed_from_u64(1);
+//! let mut host = AdaptiveRevert::new(10.0, 0.1);
+//! let mut out = Vec::new();
+//! let mut sampler = SliceSampler::new(&[]);
+//! let mut ctx = RoundCtx { round: 0, rng: &mut rng, peers: &mut sampler };
+//! host.begin_round(&mut ctx, &mut out);
+//! assert!(out.is_empty(), "nobody to push to");
+//! host.end_round(&mut ctx);
+//! assert!((host.estimate().unwrap() - 10.0).abs() < 1e-9);
+//! ```
 
 use crate::config::RevertConfig;
 use crate::error::ProtocolError;

@@ -11,6 +11,28 @@
 //! before departing, the estimate increases monotonically" (§II-B) — and a
 //! host cannot remove its contribution, because it cannot know whether
 //! another live host sources the same bit.
+//!
+//! ```
+//! use dynagg_core::config::SketchConfig;
+//! use dynagg_core::count_sketch::CountSketch;
+//! use dynagg_core::protocol::{Estimator, PushProtocol, RoundCtx};
+//! use dynagg_core::samplers::SliceSampler;
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! // Merging is an idempotent OR: absorbing a peer's sketch twice
+//! // changes nothing (Fig. 2 step 3).
+//! let cfg = SketchConfig::paper(1_000, 7);
+//! let mut rng = SmallRng::seed_from_u64(2);
+//! let mut a = CountSketch::counting(cfg, 1);
+//! let b = CountSketch::counting(cfg, 2);
+//! let snapshot = std::sync::Arc::new(b.sketch().clone());
+//! let mut sampler = SliceSampler::new(&[]);
+//! let mut ctx = RoundCtx { round: 0, rng: &mut rng, peers: &mut sampler };
+//! a.on_message(1, &snapshot, &mut ctx);
+//! let once = a.estimate();
+//! a.on_message(1, &snapshot, &mut ctx);
+//! assert_eq!(a.estimate(), once, "redundant delivery is free");
+//! ```
 
 use crate::config::SketchConfig;
 use crate::protocol::{Estimator, NodeId, PushProtocol, RoundCtx};
@@ -23,8 +45,9 @@ use std::sync::Arc;
 #[derive(Debug, Clone)]
 pub struct CountSketch {
     sketch: Pcsa,
-    /// Share sketches by reference: a push-pull reply and a multi-target
-    /// send reuse one allocation.
+    /// Reply with our own sketch on receipt (push-pull message exchange).
+    /// Messages are `Arc`-shared, so the reply and any fan-out reuse one
+    /// sketch allocation.
     push_pull: bool,
 }
 

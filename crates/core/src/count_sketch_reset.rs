@@ -15,6 +15,19 @@
 //! Hosts may source multiple identifiers: `value` cells for sketch
 //! summation, or a fixed multiplier (Fig. 11 uses 100 identifiers per host
 //! to raise `R(A)` on tiny networks — see [`CountSketchReset::with_multiplier`]).
+//!
+//! ```
+//! use dynagg_core::config::ResetConfig;
+//! use dynagg_core::count_sketch_reset::CountSketchReset;
+//! use dynagg_core::protocol::Estimator;
+//!
+//! // A counting host sources exactly one identifier (§IV-A): one owned
+//! // cell pinned at age 0, and the estimate is always defined.
+//! let host = CountSketchReset::counting(ResetConfig::paper(1_000, 7), 42);
+//! assert!(host.estimate().is_some());
+//! assert_eq!(host.ages().owned_cells(), 1);
+//! assert_eq!(host.ages().finite_cells().count(), 1, "only the sourced cell is set");
+//! ```
 
 use crate::config::ResetConfig;
 use crate::protocol::{Estimator, NodeId, PushProtocol, RoundCtx};

@@ -17,6 +17,9 @@ pub enum ProtocolError {
     InvalidWidth(u8),
     /// Epoch length must be at least 1 round.
     InvalidEpochLength(u64),
+    /// A drift model's parameters are out of range (probabilities must be
+    /// in `[0, 1]`, skew rates finite and non-negative).
+    InvalidDrift,
 }
 
 impl fmt::Display for ProtocolError {
@@ -32,6 +35,10 @@ impl fmt::Display for ProtocolError {
             }
             Self::InvalidWidth(l) => write!(f, "sketch register width must be in 1..=63, got {l}"),
             Self::InvalidEpochLength(e) => write!(f, "epoch length must be >= 1 round, got {e}"),
+            Self::InvalidDrift => write!(
+                f,
+                "drift model parameters out of range (probabilities in [0, 1], rates finite >= 0)"
+            ),
         }
     }
 }

@@ -17,6 +17,22 @@
 //! source departs, ages grow in lockstep, cross `ttl`, and every host falls
 //! back to its own value; the surviving maximum re-floods in O(log n)
 //! rounds.
+//!
+//! ```
+//! use dynagg_core::extremum::{ChampionMsg, DynamicExtremum};
+//! use dynagg_core::protocol::{Estimator, PushProtocol, RoundCtx};
+//! use dynagg_core::samplers::SliceSampler;
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! // A younger, larger champion displaces the local maximum.
+//! let mut rng = SmallRng::seed_from_u64(4);
+//! let mut host = DynamicExtremum::max(10.0);
+//! assert_eq!(host.estimate(), Some(10.0));
+//! let mut sampler = SliceSampler::new(&[]);
+//! let mut ctx = RoundCtx { round: 0, rng: &mut rng, peers: &mut sampler };
+//! host.on_message(1, &ChampionMsg { value: 99.0, age: 2 }, &mut ctx);
+//! assert_eq!(host.estimate(), Some(99.0));
+//! ```
 
 use crate::protocol::{Estimator, NodeId, PushProtocol, RoundCtx};
 

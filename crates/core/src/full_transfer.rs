@@ -13,6 +13,30 @@
 //! 0, 1, or many parcels), but averaging the `T`-round window more than
 //! compensates: Fig. 10b shows λ=0.5 reaching σ≈2.13 where the basic
 //! protocol sits near 12, and λ=0.1 reaching σ≈0.694.
+//!
+//! ```
+//! use dynagg_core::full_transfer::FullTransfer;
+//! use dynagg_core::protocol::{Estimator, PushProtocol, RoundCtx};
+//! use dynagg_core::samplers::SliceSampler;
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! // Fig. 4: the sender's *entire* mass leaves in N = 4 parcels.
+//! let mut rng = SmallRng::seed_from_u64(1);
+//! let mut sender = FullTransfer::paper(10.0, 0.1);
+//! let mut receiver = FullTransfer::paper(50.0, 0.1);
+//! let mut out = Vec::new();
+//! let mut sampler = SliceSampler::new(&[1]);
+//! let mut ctx = RoundCtx { round: 0, rng: &mut rng, peers: &mut sampler };
+//! sender.begin_round(&mut ctx, &mut out);
+//! assert_eq!(out.len(), 4);
+//! for (_, parcel) in &out {
+//!     receiver.on_message(0, parcel, &mut ctx);
+//! }
+//! receiver.end_round(&mut ctx);
+//! // The receiver estimates from imported mass only: the sender's
+//! // reverted total, 0.9·10 + 0.1·10 = 10.
+//! assert!((receiver.estimate().unwrap() - 10.0).abs() < 1e-9);
+//! ```
 
 use crate::config::FullTransferConfig;
 use crate::error::ProtocolError;

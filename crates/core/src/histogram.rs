@@ -11,6 +11,18 @@
 //!
 //! Cost: `B + 1` doubles per message instead of 2. For modest bucket
 //! counts this still undercuts a counting sketch by an order of magnitude.
+//!
+//! ```
+//! use dynagg_core::histogram::{Buckets, DynamicHistogram};
+//!
+//! // A lone host's distribution is a point mass in its own bucket, so
+//! // every quantile reads from that bucket.
+//! let host = DynamicHistogram::new(Buckets::new(0.0, 100.0, 10), 35.0, 0.01);
+//! let fractions = host.fractions().unwrap();
+//! assert!((fractions[3] - 1.0).abs() < 1e-9, "value 35 lands in bucket [30, 40)");
+//! let median = host.quantile(0.5).unwrap();
+//! assert!((30.0..40.0).contains(&median), "median {median} inside the occupied bucket");
+//! ```
 
 use crate::protocol::{Estimator, NodeId, PushProtocol, RoundCtx};
 use rand::rngs::SmallRng;

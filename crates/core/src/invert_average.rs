@@ -13,6 +13,19 @@
 //! simultaneous sums — "significantly less expensive than the multiple
 //! insertion technique".
 //!
+//! ```
+//! use dynagg_core::config::ResetConfig;
+//! use dynagg_core::invert_average::InvertAverage;
+//! use dynagg_core::protocol::Estimator;
+//!
+//! // sum ≈ average × count (Fig. 7): both factors are defined from round
+//! // zero, so the product is too (a one-host PCSA may well read 0 — the
+//! // sketch error the count factor inherits at tiny populations).
+//! let host = InvertAverage::new(25.0, 0.05, ResetConfig::paper(100, 9), 1);
+//! let sum = host.estimate().unwrap();
+//! assert!(sum >= 0.0, "sum estimate defined, got {sum}");
+//! ```
+//!
 //! Implementation note: both sub-protocols gossip to the *same* sampled
 //! peer each round (one combined message), matching the paper's model of
 //! one exchange per host per iteration.

@@ -13,6 +13,21 @@
 //! Both moments inherit Push-Sum-Revert's dynamic behaviour: after silent
 //! failures the estimates re-converge to the survivors' moments at the
 //! same λ-controlled rate.
+//!
+//! ```
+//! use dynagg_core::moments::DynamicMoments;
+//! use dynagg_core::protocol::{Estimator, PairwiseProtocol};
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! // Two hosts at 10 and 30: mean 20, variance 100, stddev 10.
+//! let mut rng = SmallRng::seed_from_u64(3);
+//! let mut a = DynamicMoments::new(10.0, 0.0);
+//! let mut b = DynamicMoments::new(30.0, 0.0);
+//! DynamicMoments::exchange(&mut a, &mut b, &mut rng);
+//! PairwiseProtocol::end_round(&mut a, 0);
+//! assert!((a.mean().unwrap() - 20.0).abs() < 1e-9);
+//! assert!((a.stddev().unwrap() - 10.0).abs() < 1e-9);
+//! ```
 
 use crate::mass::{Mass, MASS_WIRE_BYTES};
 use crate::protocol::{Estimator, NodeId, PairwiseProtocol, PushProtocol, RoundCtx};

@@ -82,6 +82,24 @@ impl<'a> RoundCtx<'a> {
 pub trait Estimator {
     /// The node's current estimate of the aggregate, if it has one.
     fn estimate(&self) -> Option<f64>;
+
+    /// Whether the node is inside a restart/settling window — §II-C's
+    /// "disruptions in aggregate computation while the destination clique
+    /// settles on a new epoch number". While settling, [`estimate`]
+    /// returns `None`. Protocols without an epoch lifecycle never settle.
+    ///
+    /// [`estimate`]: Estimator::estimate
+    fn is_settling(&self) -> bool {
+        false
+    }
+
+    /// Lifetime count of disruptive restarts this node has suffered
+    /// (forced mid-epoch rejoins). The simulator's metrics aggregate this
+    /// into per-round disruption series. Zero for protocols without an
+    /// epoch lifecycle.
+    fn disruptions(&self) -> u64 {
+        0
+    }
 }
 
 /// A message-passing gossip protocol (one node's state machine).

@@ -14,6 +14,22 @@
 //! halving initial convergence time. A `λ = 0` [`PushSumRevert`]
 //! degenerates to exactly these dynamics — Fig. 8's `λ = 0.0000` line.
 //!
+//! ```
+//! use dynagg_core::protocol::{Estimator, PairwiseProtocol};
+//! use dynagg_core::push_sum::PushSum;
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! // One §III-A push/pull exchange equalizes the two hosts' masses.
+//! let mut rng = SmallRng::seed_from_u64(1);
+//! let mut a = PushSum::averaging(10.0);
+//! let mut b = PushSum::averaging(50.0);
+//! PushSum::exchange(&mut a, &mut b, &mut rng);
+//! PairwiseProtocol::end_round(&mut a, 0);
+//! PairwiseProtocol::end_round(&mut b, 0);
+//! assert_eq!(a.estimate(), Some(30.0));
+//! assert_eq!(b.estimate(), Some(30.0));
+//! ```
+//!
 //! [`PushSumRevert`]: crate::push_sum_revert::PushSumRevert
 //! [`PairwiseProtocol`]: crate::protocol::PairwiseProtocol
 

@@ -25,6 +25,21 @@
 //!   Revert" the paper uses in its conservation proof. Figs. 8 and 10 use
 //!   this style.
 //!
+//! ```
+//! use dynagg_core::protocol::{Estimator, PairwiseProtocol};
+//! use dynagg_core::push_sum_revert::PushSumRevert;
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! // Push-Sum ∘ Revert (§III): equalize, then decay toward the anchor.
+//! let mut rng = SmallRng::seed_from_u64(1);
+//! let mut a = PushSumRevert::new(10.0, 0.1);
+//! let mut b = PushSumRevert::new(50.0, 0.1);
+//! PushSumRevert::exchange(&mut a, &mut b, &mut rng);
+//! PairwiseProtocol::end_round(&mut a, 0);
+//! // Equalized to 30, then reverted: 0.9·30 + 0.1·10 = 28.
+//! assert!((a.estimate().unwrap() - 28.0).abs() < 1e-12);
+//! ```
+//!
 //! [`PairwiseProtocol`]: crate::protocol::PairwiseProtocol
 
 use crate::config::RevertConfig;

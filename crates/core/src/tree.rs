@@ -19,6 +19,20 @@
 //! rounds. The ablation benches quantify exactly this against the
 //! unstructured protocols; the paper's argument is that in highly dynamic
 //! networks the tree never stabilizes.
+//!
+//! ```
+//! use dynagg_core::protocol::Estimator;
+//! use dynagg_core::tree::TagTree;
+//!
+//! // The root is level 0 and serves its own value until partials arrive;
+//! // a non-root host has no estimate before it joins the tree.
+//! let root = TagTree::new(40.0, true, 3);
+//! assert_eq!(root.level(), Some(0));
+//! assert_eq!(root.estimate(), Some(40.0));
+//! let leaf = TagTree::new(10.0, false, 3);
+//! assert_eq!(leaf.level(), None);
+//! assert_eq!(leaf.estimate(), None);
+//! ```
 
 use crate::protocol::{Estimator, NodeId, PushProtocol, RoundCtx};
 use std::collections::HashMap;

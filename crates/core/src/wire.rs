@@ -10,7 +10,7 @@
 //! stream: both ends must agree on which protocol a channel carries, as
 //! they already must agree on sketch geometry and hash seeds.
 
-use crate::epoch::EpochMsg;
+use crate::epoch::{EpochMsg, EPOCH_MSG_WIRE_BYTES};
 use crate::extremum::ChampionMsg;
 use crate::histogram::HistMsg;
 use crate::invert_average::InvertMsg;
@@ -101,14 +101,16 @@ impl WireMessage for Mass {
 impl WireMessage for EpochMsg {
     fn encode(&self, out: &mut Vec<u8>) {
         out.put_u64_le(self.epoch);
+        out.put_u32_le(self.phase);
         self.mass.encode(out);
     }
 
     fn decode(mut bytes: &[u8]) -> Result<Self, WireError> {
-        exact(bytes, 24)?;
+        exact(bytes, EPOCH_MSG_WIRE_BYTES)?;
         let epoch = bytes.get_u64_le();
+        let phase = bytes.get_u32_le();
         let mass = Mass::decode(bytes)?;
-        Ok(EpochMsg { epoch, mass })
+        Ok(EpochMsg { epoch, phase, mass })
     }
 }
 
@@ -266,7 +268,11 @@ mod tests {
 
     #[test]
     fn epoch_roundtrip() {
-        roundtrip(EpochMsg { epoch: u64::MAX, mass: Mass::new(1.0, 7.0) });
+        let msg = EpochMsg { epoch: u64::MAX, phase: 19, mass: Mass::new(1.0, 7.0) };
+        assert_eq!(msg.encoded().len(), EPOCH_MSG_WIRE_BYTES);
+        roundtrip(msg);
+        // A legacy 24-byte frame (no phase) no longer decodes.
+        assert_eq!(EpochMsg::decode(&[0u8; 24]), Err(WireError::Truncated));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Collection strategies: [`vec`].
+//! Collection strategies: [`vec`][fn@vec].
 
 use crate::strategy::Strategy;
 use rand::rngs::SmallRng;

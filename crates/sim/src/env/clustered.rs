@@ -17,7 +17,45 @@ use dynagg_core::protocol::NodeId;
 use rand::rngs::SmallRng;
 use rand::Rng;
 
-/// K cliques with rare bridges and per-round migration.
+/// A scheduled clique-topology event, applied at the start of its round
+/// (before per-host migrations and partner sampling).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MobilityEvent {
+    /// Round at which the event fires.
+    pub round: u64,
+    /// What happens.
+    pub kind: MobilityKind,
+}
+
+/// The clique-topology changes of §II-C's mobile scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MobilityKind {
+    /// A migration burst: each live host independently moves to a random
+    /// other clique with probability `fraction` (a convoy passing, a
+    /// venue emptying).
+    Burst {
+        /// Per-host migration probability for this one round, in `[0, 1]`.
+        fraction: f64,
+    },
+    /// Clique `from` dissolves: all its members join clique `into`.
+    Merge {
+        /// The clique that empties.
+        from: u32,
+        /// The clique that absorbs it.
+        into: u32,
+    },
+    /// Clique `from` splits: every second member (by id order) moves to
+    /// clique `into`.
+    Split {
+        /// The clique that splits.
+        from: u32,
+        /// Where the departing half goes.
+        into: u32,
+    },
+}
+
+/// K cliques with rare bridges, per-round migration, and optional
+/// scheduled mobility events (bursts, merges, splits).
 #[derive(Debug, Clone)]
 pub struct ClusteredEnv {
     clusters: u32,
@@ -27,6 +65,8 @@ pub struct ClusteredEnv {
     migration_prob: f64,
     /// Probability that a sampled partner comes from outside the clique.
     bridge_prob: f64,
+    /// Scheduled topology events (bursts, merges, splits).
+    events: Vec<MobilityEvent>,
     /// Internal randomness (migrations), derived from the seed.
     rng: SmallRng,
     /// Scratch: members per cluster, rebuilt each round.
@@ -48,9 +88,32 @@ impl ClusteredEnv {
             cluster_of: (0..n as u32).map(|i| i % clusters).collect(),
             migration_prob,
             bridge_prob,
+            events: Vec::new(),
             rng: rng_for(seed, stream::ENVIRONMENT),
             members: vec![Vec::new(); clusters as usize],
         }
+    }
+
+    /// Schedule mobility events (bursts, merges, splits). Events fire at
+    /// the start of their round, in the order given.
+    ///
+    /// # Panics
+    /// Panics if an event names a clique `>= clusters` or a burst
+    /// fraction outside `[0, 1]`.
+    pub fn with_events(mut self, events: Vec<MobilityEvent>) -> Self {
+        for e in &events {
+            match e.kind {
+                MobilityKind::Burst { fraction } => {
+                    assert!((0.0..=1.0).contains(&fraction), "burst fraction in [0,1]");
+                }
+                MobilityKind::Merge { from, into } | MobilityKind::Split { from, into } => {
+                    assert!(from < self.clusters && into < self.clusters, "clique id in range");
+                    assert_ne!(from, into, "merge/split needs two distinct cliques");
+                }
+            }
+        }
+        self.events = events;
+        self
     }
 
     /// The clique of `node`.
@@ -63,6 +126,18 @@ impl ClusteredEnv {
         self.clusters
     }
 
+    /// The configured bridge probability.
+    pub fn bridge_prob(&self) -> f64 {
+        self.bridge_prob
+    }
+
+    /// Members of `cluster` as of the last [`Environment::begin_round`]
+    /// (sorted by id). Together the member lists partition the live set —
+    /// the invariant the property tests pin.
+    pub fn members(&self, cluster: u32) -> &[NodeId] {
+        &self.members[cluster as usize]
+    }
+
     fn ensure_assigned(&mut self, node: NodeId) {
         let idx = node as usize;
         while self.cluster_of.len() <= idx {
@@ -70,20 +145,75 @@ impl ClusteredEnv {
             self.cluster_of.push(id % self.clusters);
         }
     }
+
+    /// Move `node` to a uniformly random clique other than its current one.
+    fn migrate(&mut self, node: NodeId) {
+        let current = self.cluster_of[node as usize];
+        let mut next = self.rng.gen_range(0..self.clusters - 1);
+        if next >= current {
+            next += 1;
+        }
+        self.cluster_of[node as usize] = next;
+    }
+
+    /// Fire this round's scheduled events. Host ids are visited in sorted
+    /// order so event outcomes are independent of the alive-list order.
+    fn apply_events(&mut self, round: u64, sorted_alive: &[NodeId]) {
+        for i in 0..self.events.len() {
+            let e = self.events[i];
+            if e.round != round {
+                continue;
+            }
+            match e.kind {
+                MobilityKind::Burst { fraction } => {
+                    if self.clusters > 1 {
+                        for &id in sorted_alive {
+                            if self.rng.gen::<f64>() < fraction {
+                                self.migrate(id);
+                            }
+                        }
+                    }
+                }
+                MobilityKind::Merge { from, into } => {
+                    for &id in sorted_alive {
+                        if self.cluster_of[id as usize] == from {
+                            self.cluster_of[id as usize] = into;
+                        }
+                    }
+                }
+                MobilityKind::Split { from, into } => {
+                    let mut keep = true;
+                    for &id in sorted_alive {
+                        if self.cluster_of[id as usize] == from {
+                            if !keep {
+                                self.cluster_of[id as usize] = into;
+                            }
+                            keep = !keep;
+                        }
+                    }
+                }
+            }
+        }
+    }
 }
 
 impl Environment for ClusteredEnv {
-    fn begin_round(&mut self, _round: u64, alive: &AliveSet) {
-        // Migrations first (deterministic via the env RNG stream).
+    fn begin_round(&mut self, round: u64, alive: &AliveSet) {
         for &id in alive.ids() {
             self.ensure_assigned(id);
-            if self.clusters > 1 && self.rng.gen::<f64>() < self.migration_prob {
-                let current = self.cluster_of[id as usize];
-                let mut next = self.rng.gen_range(0..self.clusters - 1);
-                if next >= current {
-                    next += 1;
+        }
+        // Scheduled events fire first (deterministic: sorted host order).
+        if !self.events.is_empty() {
+            let mut sorted: Vec<NodeId> = alive.ids().to_vec();
+            sorted.sort_unstable();
+            self.apply_events(round, &sorted);
+        }
+        // Then per-host migrations (deterministic via the env RNG stream).
+        if self.clusters > 1 && self.migration_prob > 0.0 {
+            for &id in alive.ids() {
+                if self.rng.gen::<f64>() < self.migration_prob {
+                    self.migrate(id);
                 }
-                self.cluster_of[id as usize] = next;
             }
         }
         // Rebuild membership lists.
@@ -203,6 +333,66 @@ mod tests {
         // Each host is alone in its clique of 1.
         assert_eq!(env.sample(0, &alive, &mut rng), None);
         assert_eq!(env.degree(0, &alive), 0);
+    }
+
+    #[test]
+    fn merge_event_empties_the_source_clique() {
+        let mut env = ClusteredEnv::new(12, 3, 0.0, 0.0, 20).with_events(vec![MobilityEvent {
+            round: 2,
+            kind: MobilityKind::Merge { from: 0, into: 1 },
+        }]);
+        let alive = AliveSet::full(12);
+        env.begin_round(0, &alive);
+        assert_eq!(env.members(0).len(), 4);
+        env.begin_round(1, &alive);
+        env.begin_round(2, &alive);
+        assert!(env.members(0).is_empty(), "clique 0 must dissolve");
+        assert_eq!(env.members(1).len(), 8, "clique 1 absorbs all of clique 0");
+        assert_eq!(env.members(2).len(), 4, "clique 2 untouched");
+    }
+
+    #[test]
+    fn split_event_moves_every_second_member() {
+        let mut env = ClusteredEnv::new(12, 3, 0.0, 0.0, 21).with_events(vec![MobilityEvent {
+            round: 1,
+            kind: MobilityKind::Split { from: 0, into: 2 },
+        }]);
+        let alive = AliveSet::full(12);
+        env.begin_round(0, &alive);
+        env.begin_round(1, &alive);
+        assert_eq!(env.members(0).len(), 2);
+        assert_eq!(env.members(2).len(), 6);
+        // Conservation: the member lists still partition the live set.
+        let total: usize = (0..3).map(|c| env.members(c).len()).sum();
+        assert_eq!(total, 12);
+    }
+
+    #[test]
+    fn burst_event_scatters_hosts() {
+        let mut env = ClusteredEnv::new(40, 4, 0.0, 0.0, 22).with_events(vec![MobilityEvent {
+            round: 3,
+            kind: MobilityKind::Burst { fraction: 1.0 },
+        }]);
+        let alive = AliveSet::full(40);
+        for r in 0..3 {
+            env.begin_round(r, &alive);
+        }
+        let before: Vec<u32> = (0..40).map(|i| env.cluster_of(i)).collect();
+        env.begin_round(3, &alive);
+        let after: Vec<u32> = (0..40).map(|i| env.cluster_of(i)).collect();
+        let moved = before.iter().zip(&after).filter(|(a, b)| a != b).count();
+        assert_eq!(moved, 40, "fraction 1.0 must move every host");
+        let total: usize = (0..4).map(|c| env.members(c).len()).sum();
+        assert_eq!(total, 40, "bursts conserve membership");
+    }
+
+    #[test]
+    #[should_panic(expected = "clique id in range")]
+    fn event_with_unknown_clique_rejected() {
+        let _ = ClusteredEnv::new(4, 2, 0.0, 0.0, 23).with_events(vec![MobilityEvent {
+            round: 0,
+            kind: MobilityKind::Merge { from: 0, into: 5 },
+        }]);
     }
 
     #[test]

@@ -14,7 +14,7 @@ pub mod spatial;
 pub mod trace;
 pub mod uniform;
 
-pub use clustered::ClusteredEnv;
+pub use clustered::{ClusteredEnv, MobilityEvent, MobilityKind};
 pub use spatial::SpatialEnv;
 pub use trace::TraceEnv;
 pub use uniform::UniformEnv;

@@ -5,11 +5,13 @@
 //! iteration, each host performs the protocol's exchange with one peer,
 //! selected as per the environment."
 //!
-//! * [`env`] — the three gossip environments: [`env::uniform`] (full
-//!   connectivity, the 100 000-host setting), [`env::spatial`]
-//!   (grid adjacency with `1/d²` random-walk long links, Kempe–Kleinberg–
-//!   Demers spatial gossip), and [`env::trace`] (adjacency driven by a
-//!   mobility trace, the Fig. 11 setting),
+//! * [`env`][mod@env] — the four gossip environments: [`env::uniform`]
+//!   (full connectivity, the 100 000-host setting), [`env::spatial`] (grid
+//!   adjacency with `1/d²` random-walk long links, Kempe–Kleinberg–Demers
+//!   spatial gossip), [`env::trace`] (adjacency driven by a mobility
+//!   trace, the Fig. 11 setting), and [`env::clustered`] (§II-C's mostly
+//!   isolated cliques with migration, bridges, and scheduled
+//!   mobility events),
 //! * [`alive`] — live-host bookkeeping with O(1) removal,
 //! * [`failure`] — failure plans: random and value-correlated mass
 //!   failures, Poisson churn, graceful sign-offs,

@@ -137,33 +137,29 @@ pub struct RoundStats {
     pub bytes: u64,
     /// Mean group size experienced by a live host (trace runs; 0 elsewhere).
     pub mean_group_size: f64,
+    /// Hosts inside an epoch restart/settling window this round — their
+    /// estimates are unusable (§II-C). Zero for protocols without an
+    /// epoch lifecycle.
+    pub settling: usize,
+    /// Cumulative disruptive restarts summed over live hosts (a gauge:
+    /// compare across rounds via [`Series::disruptions_between`]).
+    pub disruptions: u64,
 }
 
-impl RoundStats {
-    /// Compute stats from per-host `(estimate, truth)` pairs.
-    #[allow(clippy::too_many_arguments)]
-    pub fn compute(
-        round: u64,
-        estimates: &[Option<f64>],
-        truths: &[Option<f64>],
-        alive: usize,
-        messages: u64,
-        bytes: u64,
-        mean_group_size: f64,
-    ) -> Self {
-        let mut acc = StatsAcc::default();
-        for (e, t) in estimates.iter().zip(truths) {
-            if let (Some(e), Some(t)) = (e, t) {
-                acc.add(*e, *t);
-            }
-        }
-        acc.finish(round, alive, messages, bytes, mean_group_size)
-    }
+/// Per-round lifecycle tallies (epoch settling windows and disruptive
+/// restarts), folded into [`StatsAcc`] alongside the error statistics.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LifecycleAcc {
+    /// Hosts currently settling.
+    pub settling: usize,
+    /// Sum of cumulative per-host disruption counters.
+    pub disruptions: u64,
 }
 
-/// Streaming accumulator behind [`RoundStats::compute`]. The engine feeds
-/// it node-by-node when the truth is a global scalar, so no per-host
-/// estimate/truth buffers exist on that (hot) path.
+/// Streaming accumulator behind [`RoundStats`]. The engine feeds it
+/// node-by-node — estimates via [`StatsAcc::add`], lifecycle state via
+/// [`StatsAcc::note_lifecycle`] — so no per-host estimate buffers exist
+/// on the hot path.
 #[derive(Debug, Default)]
 pub struct StatsAcc {
     n: usize,
@@ -172,6 +168,7 @@ pub struct StatsAcc {
     sum_sq: f64,
     sum_abs: f64,
     max_abs: f64,
+    lifecycle: LifecycleAcc,
 }
 
 impl StatsAcc {
@@ -185,6 +182,14 @@ impl StatsAcc {
         self.sum_sq += d * d;
         self.sum_abs += d.abs();
         self.max_abs = self.max_abs.max(d.abs());
+    }
+
+    /// Record one live host's lifecycle state (called for every live host,
+    /// whether or not its estimate is defined — settling hosts have none).
+    #[inline]
+    pub fn note_lifecycle(&mut self, settling: bool, disruptions: u64) {
+        self.lifecycle.settling += usize::from(settling);
+        self.lifecycle.disruptions += disruptions;
     }
 
     /// Close the round.
@@ -209,6 +214,8 @@ impl StatsAcc {
             messages,
             bytes,
             mean_group_size,
+            settling: self.lifecycle.settling,
+            disruptions: self.lifecycle.disruptions,
         }
     }
 }
@@ -256,6 +263,26 @@ impl Series {
         tail.iter().sum::<f64>() / tail.len() as f64
     }
 
+    /// Host-rounds spent in settling windows from round `from` onward (the
+    /// paper's "disrupted rounds": rounds in which a host's estimate was
+    /// unusable while its clique settled on a new epoch number). Pass 0
+    /// for the whole run.
+    pub fn settling_host_rounds(&self, from: u64) -> u64 {
+        self.rounds.iter().filter(|s| s.round >= from).map(|s| s.settling as u64).sum()
+    }
+
+    /// Disruptive restarts accumulated between round `from` and the end of
+    /// the series. `RoundStats::disruptions` is a gauge (the sum of
+    /// cumulative per-host counters), so the difference of two readings is
+    /// the number of disruptions in between; saturates at 0 if churn
+    /// removed disrupted hosts. A `from` past the end of the series reads
+    /// an empty window: 0.
+    pub fn disruptions_between(&self, from: u64) -> u64 {
+        let end = self.rounds.last().map_or(0, |s| s.disruptions);
+        let start = self.rounds.iter().find(|s| s.round >= from).map_or(end, |s| s.disruptions);
+        end.saturating_sub(start)
+    }
+
     /// Total payload bytes over the whole run.
     pub fn total_bytes(&self) -> u64 {
         self.rounds.iter().map(|s| s.bytes).sum()
@@ -269,11 +296,11 @@ impl Series {
     /// CSV export (header + one row per round).
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "round,alive,truth,mean_estimate,stddev,mean_abs_err,max_abs_err,defined,messages,bytes,mean_group_size\n",
+            "round,alive,truth,mean_estimate,stddev,mean_abs_err,max_abs_err,defined,messages,bytes,mean_group_size,settling,disruptions\n",
         );
         for s in &self.rounds {
             out.push_str(&format!(
-                "{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{},{:.3}\n",
+                "{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{},{:.3},{},{}\n",
                 s.round,
                 s.alive,
                 s.truth,
@@ -285,6 +312,8 @@ impl Series {
                 s.messages,
                 s.bytes,
                 s.mean_group_size,
+                s.settling,
+                s.disruptions,
             ));
         }
         out
@@ -330,9 +359,15 @@ mod tests {
 
     #[test]
     fn stats_compute_rms() {
-        let est = vec![Some(1.0), Some(3.0), None];
-        let truth = vec![Some(0.0), Some(0.0), Some(0.0)];
-        let s = RoundStats::compute(5, &est, &truth, 3, 10, 100, 0.0);
+        let est = [Some(1.0), Some(3.0), None];
+        let truth = [Some(0.0), Some(0.0), Some(0.0)];
+        let mut acc = StatsAcc::default();
+        for (e, t) in est.iter().zip(&truth) {
+            if let (Some(e), Some(t)) = (e, t) {
+                acc.add(*e, *t);
+            }
+        }
+        let s = acc.finish(5, 3, 10, 100, 0.0);
         assert_eq!(s.defined, 2);
         assert!((s.stddev - 5.0f64.sqrt()).abs() < 1e-12); // sqrt((1+9)/2)
         assert_eq!(s.max_abs_err, 3.0);
@@ -353,6 +388,8 @@ mod tests {
             messages: 0,
             bytes: 0,
             mean_group_size: 0.0,
+            settling: 0,
+            disruptions: 0,
         };
         let mut series = Series::default();
         for (r, sd) in [(0, 10.0), (1, 0.5), (2, 5.0), (3, 0.4), (4, 0.3)] {
@@ -365,10 +402,46 @@ mod tests {
     #[test]
     fn csv_has_header_and_rows() {
         let mut series = Series::default();
-        series.push(RoundStats::compute(0, &[Some(1.0)], &[Some(1.0)], 1, 2, 32, 0.0));
+        let mut acc = StatsAcc::default();
+        acc.add(1.0, 1.0);
+        acc.note_lifecycle(true, 3);
+        series.push(acc.finish(0, 1, 2, 32, 0.0));
         let csv = series.to_csv();
         assert!(csv.starts_with("round,alive"));
+        assert!(csv.lines().next().unwrap().ends_with("settling,disruptions"));
         assert_eq!(csv.lines().count(), 2);
+        assert!(csv.lines().nth(1).unwrap().ends_with(",1,3"), "lifecycle columns: {csv}");
+    }
+
+    #[test]
+    fn lifecycle_series_helpers_window_correctly() {
+        let mk = |round, settling, disruptions| RoundStats {
+            round,
+            alive: 1,
+            truth: 0.0,
+            mean_estimate: 0.0,
+            stddev: 0.0,
+            mean_abs_err: 0.0,
+            max_abs_err: 0.0,
+            defined: 1,
+            messages: 0,
+            bytes: 0,
+            mean_group_size: 0.0,
+            settling,
+            disruptions,
+        };
+        let mut s = Series::default();
+        for (r, settle, d) in [(0u64, 2usize, 0u64), (1, 1, 4), (2, 0, 7)] {
+            s.push(mk(r, settle, d));
+        }
+        assert_eq!(s.settling_host_rounds(0), 3);
+        assert_eq!(s.settling_host_rounds(1), 1);
+        assert_eq!(s.disruptions_between(0), 7);
+        assert_eq!(s.disruptions_between(1), 3);
+        // An empty window reads zero, not the lifetime total.
+        assert_eq!(s.settling_host_rounds(99), 0);
+        assert_eq!(s.disruptions_between(99), 0);
+        assert_eq!(Series::default().disruptions_between(0), 0);
     }
 
     #[test]
@@ -385,6 +458,8 @@ mod tests {
             messages: 0,
             bytes: 0,
             mean_group_size: 0.0,
+            settling: 0,
+            disruptions: 0,
         };
         let mut s = Series::default();
         for (r, sd) in [(0u64, 100.0), (1, 2.0), (2, 4.0)] {

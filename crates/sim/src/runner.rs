@@ -25,9 +25,9 @@
 use crate::alive::AliveSet;
 use crate::env::{EnvSampler, Environment};
 use crate::failure::{FailureMode, FailureSpec};
-use crate::metrics::{RoundStats, Series, Truth};
+use crate::metrics::{Series, Truth};
 use crate::rng::{rng_for, stream};
-use dynagg_core::protocol::{NodeId, PairwiseProtocol, PushProtocol, RoundCtx};
+use dynagg_core::protocol::{Estimator, NodeId, PairwiseProtocol, PushProtocol, RoundCtx};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -180,7 +180,6 @@ impl<P, F: FnMut(NodeId, f64) -> P> TypedBuilder<P, F> {
             series: Series::default(),
             victims: Vec::new(),
             victim_scratch: Vec::new(),
-            est_buf: Vec::new(),
             truth_buf: Vec::new(),
         }
     }
@@ -225,9 +224,7 @@ struct SimCore<P, F> {
     victims: Vec<NodeId>,
     /// Reused scratch for victim selection (live-id copy).
     victim_scratch: Vec<NodeId>,
-    /// Reused per-round buffer: per-host estimates.
-    est_buf: Vec<Option<f64>>,
-    /// Reused per-round buffer: per-host truths.
+    /// Reused per-round buffer: per-host truths (group-truth path only).
     truth_buf: Vec<Option<f64>>,
 }
 
@@ -310,39 +307,38 @@ impl<P, F: FnMut(NodeId, f64) -> P> SimCore<P, F> {
         id
     }
 
-    fn record_stats<G>(&mut self, messages: u64, bytes: u64, estimate_of: G)
+    fn record_stats(&mut self, messages: u64, bytes: u64)
     where
-        G: Fn(&P) -> Option<f64>,
+        P: Estimator,
     {
         let group_size = self.env.group_view().map_or(0.0, |g| g.mean_experienced_size());
-        let stats = if let Some(t) = self.truth.global_scalar(&self.values) {
-            // Global truth: one streaming pass over the nodes, no buffers.
-            // A host enters the statistics iff it is alive (value present)
-            // and its estimate is defined — same rule as the buffered path.
-            let mut acc = crate::metrics::StatsAcc::default();
+        // One streaming pass over the nodes, no buffers on the global-truth
+        // path. A host enters the error statistics iff it is alive (value
+        // present) and its estimate is defined; its lifecycle state
+        // (settling, disruptions) is recorded either way.
+        let mut acc = crate::metrics::StatsAcc::default();
+        if let Some(t) = self.truth.global_scalar(&self.values) {
             for (node, value) in self.nodes.iter().zip(&self.values) {
                 if value.is_some() {
-                    if let Some(e) = node.as_ref().and_then(&estimate_of) {
+                    let node = node.as_ref().expect("alive node present");
+                    acc.note_lifecycle(node.is_settling(), node.disruptions());
+                    if let Some(e) = node.estimate() {
                         acc.add(e, t);
                     }
                 }
             }
-            acc.finish(self.round, self.alive.len(), messages, bytes, group_size)
         } else {
-            self.est_buf.clear();
-            self.est_buf.extend(self.nodes.iter().map(|n| n.as_ref().and_then(&estimate_of)));
             self.truth.per_host_into(&self.values, self.env.group_view(), &mut self.truth_buf);
-            RoundStats::compute(
-                self.round,
-                &self.est_buf,
-                &self.truth_buf,
-                self.alive.len(),
-                messages,
-                bytes,
-                group_size,
-            )
-        };
-        self.series.push(stats);
+            for (node, truth) in self.nodes.iter().zip(&self.truth_buf) {
+                if let Some(node) = node.as_ref() {
+                    acc.note_lifecycle(node.is_settling(), node.disruptions());
+                    if let (Some(e), Some(t)) = (node.estimate(), truth) {
+                        acc.add(e, *t);
+                    }
+                }
+            }
+        }
+        self.series.push(acc.finish(self.round, self.alive.len(), messages, bytes, group_size));
     }
 }
 
@@ -486,7 +482,7 @@ impl<P: PushProtocol, F: FnMut(NodeId, f64) -> P> Simulation<P, F> {
         }
 
         // 6. metrics
-        core.record_stats(messages, bytes, |p| p.estimate());
+        core.record_stats(messages, bytes);
         core.round += 1;
     }
 }
@@ -580,7 +576,7 @@ impl<P: PairwiseProtocol, F: FnMut(NodeId, f64) -> P> PairwiseSimulation<P, F> {
             core.nodes[id as usize].as_mut().expect("alive").end_round(core.round);
         }
 
-        core.record_stats(messages, bytes, |p| p.estimate());
+        core.record_stats(messages, bytes);
         core.round += 1;
     }
 }

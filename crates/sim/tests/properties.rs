@@ -5,8 +5,9 @@
 use dynagg_core::push_sum::PushSum;
 use dynagg_core::push_sum_revert::PushSumRevert;
 use dynagg_sim::alive::AliveSet;
+use dynagg_sim::env::clustered::{ClusteredEnv, MobilityEvent, MobilityKind};
 use dynagg_sim::env::uniform::UniformEnv;
-use dynagg_sim::{runner, FailureMode, FailureSpec, Truth};
+use dynagg_sim::{runner, Environment, FailureMode, FailureSpec, Truth};
 use dynagg_trace::GroupView;
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -219,6 +220,153 @@ proptest! {
             prop_assert!(s.defined <= s.alive);
             prop_assert!(s.stddev.is_finite());
             prop_assert!(s.alive > 0 || s.defined == 0);
+        }
+    }
+
+    /// Poisson churn population invariants: departures are bounded by the
+    /// live population, arrivals never exceed the whole-join budget
+    /// accumulated so far (`join_per_round × initial_n × rounds`), and the
+    /// population can never go more negative than "everyone left".
+    #[test]
+    fn poisson_churn_population_is_conserved(
+        seed: u64,
+        n in 20usize..120,
+        leave in 0.0f64..0.2,
+        join in 0.0f64..0.2,
+        rounds in 1u64..30,
+    ) {
+        let series = runner::builder(seed)
+            .environment(UniformEnv::new())
+            .nodes_with_paper_values(n)
+            .protocol(|_, v| PushSum::averaging(v))
+            .truth(Truth::Mean)
+            .failure(FailureSpec::Churn { start: 0, leave_per_round: leave, join_per_round: join })
+            .build()
+            .run(rounds);
+        let mut prev_alive = n;
+        for (i, s) in series.rounds.iter().enumerate() {
+            // Arrivals this round are at most the deterministic join budget
+            // (fractional accumulation rounds down), and departures cannot
+            // exceed the prior population.
+            let max_joins = (join * n as f64).floor() as usize + 1;
+            prop_assert!(
+                s.alive <= prev_alive + max_joins,
+                "round {i}: alive {} jumped past {prev_alive} + {max_joins}",
+                s.alive
+            );
+            prop_assert!(s.defined <= s.alive, "metrics must track membership");
+            prev_alive = s.alive;
+        }
+        // The whole-run join budget is exact up to rounding.
+        let last = series.rounds.last().unwrap();
+        let budget = (join * n as f64 * rounds as f64).floor() as usize;
+        prop_assert!(
+            last.alive <= n + budget,
+            "final population {} exceeds initial {n} + budget {budget}",
+            last.alive
+        );
+    }
+
+    /// ClusteredEnv invariants under arbitrary migration, bursts, merges,
+    /// and splits: after every `begin_round` the per-clique member lists
+    /// partition the live set (membership conservation) and every live
+    /// host has a clique in range.
+    #[test]
+    fn clustered_membership_is_conserved(
+        seed: u64,
+        n in 2usize..80,
+        clusters in 1u32..8,
+        migration in 0.0f64..1.0,
+        burst_round in 0u64..10,
+        burst_fraction in 0.0f64..1.0,
+        event_pick in 0u8..4,
+        dead in proptest::collection::vec(any::<u8>(), 0..10),
+    ) {
+        let mut events = vec![MobilityEvent {
+            round: burst_round,
+            kind: MobilityKind::Burst { fraction: burst_fraction },
+        }];
+        if clusters >= 2 {
+            let kind = match event_pick {
+                0 => Some(MobilityKind::Merge { from: 0, into: clusters - 1 }),
+                1 => Some(MobilityKind::Merge { from: clusters - 1, into: 0 }),
+                2 => Some(MobilityKind::Split { from: 0, into: clusters - 1 }),
+                _ => None,
+            };
+            if let Some(kind) = kind {
+                events.push(MobilityEvent { round: burst_round / 2, kind });
+            }
+        }
+        let mut env = ClusteredEnv::new(n, clusters, migration, 0.0, seed).with_events(events);
+        let mut alive = AliveSet::full(n);
+        for d in dead {
+            alive.remove(u32::from(d) % n as u32);
+        }
+        for round in 0..12u64 {
+            env.begin_round(round, &alive);
+            // Member lists partition the live set.
+            let mut seen: Vec<u32> = Vec::new();
+            for c in 0..clusters {
+                for &m in env.members(c) {
+                    prop_assert!(alive.contains(m), "member {m} of clique {c} must be alive");
+                    prop_assert_eq!(env.cluster_of(m), c, "membership list matches assignment");
+                    seen.push(m);
+                }
+            }
+            seen.sort_unstable();
+            let mut expected: Vec<u32> = alive.ids().to_vec();
+            expected.sort_unstable();
+            prop_assert_eq!(seen, expected, "round {}: members must partition the live set", round);
+            for &id in alive.ids() {
+                prop_assert!(env.cluster_of(id) < clusters, "clique id in range");
+            }
+        }
+    }
+
+    /// Bridge-probability bounds: with `bridge_prob = 0` sampling never
+    /// leaves the clique; with `bridge_prob = 1` and several cliques, the
+    /// cross-clique rate matches the live cross-clique fraction (a bridge
+    /// samples uniformly over all other live hosts).
+    #[test]
+    fn clustered_bridge_probability_bounds(
+        seed: u64,
+        n in 12usize..60,
+        clusters in 2u32..6,
+        bridge in 0.0f64..1.0,
+    ) {
+        let mut env = ClusteredEnv::new(n, clusters, 0.0, bridge, seed);
+        let alive = AliveSet::full(n);
+        env.begin_round(0, &alive);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5EED);
+        let node = 0u32;
+        let home = env.cluster_of(node);
+        let mut crossings = 0usize;
+        let mut samples = 0usize;
+        for _ in 0..200 {
+            if let Some(p) = env.sample(node, &alive, &mut rng) {
+                prop_assert_ne!(p, node, "environments never return self");
+                prop_assert!(alive.contains(p));
+                samples += 1;
+                crossings += usize::from(env.cluster_of(p) != home);
+            }
+        }
+        if bridge == 0.0 {
+            prop_assert_eq!(crossings, 0, "no bridges, no cross-clique partners");
+        }
+        if bridge < 1e-9 || samples == 0 {
+            // Degenerate corners covered above.
+        } else {
+            // The crossing rate can never exceed the bridge probability by
+            // more than the cross-clique population share allows plus
+            // sampling noise (200 draws => generous 0.25 slack).
+            let other = alive.len() - env.members(home).len();
+            let cross_share = other as f64 / (alive.len() - 1) as f64;
+            let expected = bridge * cross_share;
+            let rate = crossings as f64 / samples as f64;
+            prop_assert!(
+                (rate - expected).abs() < 0.25,
+                "crossing rate {rate:.2} far from expected {expected:.2}"
+            );
         }
     }
 }

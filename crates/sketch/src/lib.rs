@@ -3,7 +3,7 @@
 //! Probabilistic counting substrates for dynamic in-network aggregation:
 //!
 //! * [`hash`] — deterministic 64-bit avalanche hashing (no external crates),
-//! * [`rho`] — the Flajolet–Martin ρ function with its geometric distribution,
+//! * [`rho`][mod@rho] — the Flajolet–Martin ρ function with its geometric distribution,
 //! * [`fm`] — a single FM bit-sketch with OR-merge and the `R` run-length,
 //! * [`pcsa`] — stochastic averaging over `m` bins (Probabilistic Counting
 //!   with Stochastic Averaging, Flajolet & Martin 1985),

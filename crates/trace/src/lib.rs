@@ -8,7 +8,7 @@
 //!
 //! * [`event`]/[`timeline`] — the contact-event data model and efficient
 //!   time-indexed adjacency queries,
-//! * [`format`] — a text parser/writer so real CRAWDAD dumps can be dropped
+//! * [`format`][mod@format] — a text parser/writer so real CRAWDAD dumps can be dropped
 //!   in unchanged,
 //! * [`model`] — a seeded synthetic generator (community meeting process
 //!   with a diurnal cycle) whose output matches the statistical envelope

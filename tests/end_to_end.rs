@@ -328,39 +328,59 @@ fn clique_migration_favors_reversion_over_epochs() {
 }
 
 #[test]
-#[ignore = "EpochPushSum's drift model does not reliably degrade steady-state \
-            error over the synced baseline (measured within noise across 8 \
-            seeds); the disruption mechanics need their own PR — see ROADMAP \
-            'Open items'"]
 fn clique_migration_disrupts_epochs() {
+    use dynagg::protocols::epoch::DriftModel;
     use dynagg::sim::env::clustered::ClusteredEnv;
-    // The paper's §II-C critique, isolated: weak (drifting) clocks make
-    // epoch numbers diverge between cliques and migrants force disruptive
-    // mid-epoch restarts, so the drifting variant should show strictly
-    // higher steady-state error than the clock-synced variant.
-    let n = 300;
-    let run = |drift: f64| {
-        let series = runner::builder(114)
-            .environment(ClusteredEnv::new(n, 6, 0.02, 0.02, 114))
-            .nodes_with_paper_values(n)
-            .protocol(move |_, v| {
-                if drift > 0.0 {
-                    EpochPushSum::new(v, 20).with_drift(drift)
+    // The paper's §II-C critique, isolated: cliques with independent clock
+    // histories (initial epoch offsets + per-clique constant skew) make
+    // epoch numbers diverge, and migrants carrying foreign epochs force
+    // disruptive mid-epoch restarts with settling windows. The drifting
+    // variant must show clearly higher steady-state error than the
+    // clock-synced variant on the same mobile topology — deterministically,
+    // across eight seeds.
+    let n = 300u32;
+    let clusters = 6u32;
+    let epoch_len = 20u64;
+    let run = |drift: bool, seed: u64| {
+        let series = runner::builder(seed)
+            .environment(ClusteredEnv::new(n as usize, clusters, 0.02, 0.0, seed))
+            .nodes_with_paper_values(n as usize)
+            .protocol(move |id, v| {
+                let node = EpochPushSum::new(v, epoch_len).with_settle_len(5);
+                if drift {
+                    // Initial clique = id % clusters (round-robin): each
+                    // clique starts a full epoch apart and its hosts'
+                    // crystals span 0.8..1.2 ticks per round.
+                    let k = id % clusters;
+                    let rate = 1.0 + 0.2 * (2.0 * f64::from(k) / f64::from(clusters - 1) - 1.0);
+                    node.with_clock_offset(u64::from(k) * epoch_len)
+                        .with_drift_model(DriftModel::ConstantSkew { rate })
                 } else {
-                    EpochPushSum::new(v, 20)
+                    node
                 }
             })
             .truth(Truth::Mean)
             .build()
             .run(160);
-        series.steady_state_stddev(60)
+        (series.steady_state_stddev(60), series.disruptions_between(60))
     };
-    let epoch_err = run(0.15);
-    let epoch_synced_err = run(0.0);
-    assert!(
-        epoch_err > epoch_synced_err,
-        "clock drift should disrupt epochs: drifting {epoch_err:.2} vs synced {epoch_synced_err:.2}"
-    );
+    for seed in [114u64, 115, 116, 117, 118, 119, 120, 121] {
+        let (drifting_err, disruptions) = run(true, seed);
+        let (synced_err, synced_disruptions) = run(false, seed);
+        assert!(
+            drifting_err > 1.2 * synced_err,
+            "seed {seed}: clock drift should disrupt epochs: drifting {drifting_err:.2} vs \
+             synced {synced_err:.2}"
+        );
+        assert!(
+            disruptions > 0,
+            "seed {seed}: migrants from drifted cliques must force disruptive restarts"
+        );
+        assert_eq!(
+            synced_disruptions, 0,
+            "seed {seed}: synced clocks never disrupt, mobility or not"
+        );
+    }
 }
 
 #[test]
