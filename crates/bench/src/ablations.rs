@@ -7,15 +7,12 @@
 
 use crate::opts::ExpOpts;
 use crate::output::Table;
-use dynagg_core::adaptive::AdaptiveRevert;
 use dynagg_core::config::{ResetConfig, SketchConfig};
 use dynagg_core::count_sketch::CountSketch;
 use dynagg_core::count_sketch_reset::CountSketchReset;
-use dynagg_core::epoch::EpochPushSum;
-use dynagg_core::full_transfer::FullTransfer;
 use dynagg_core::mass::MASS_WIRE_BYTES;
-use dynagg_core::push_sum::PushSum;
 use dynagg_core::push_sum_revert::PushSumRevert;
+use dynagg_scenario::{Engine, EnvSpec, ProtocolSpec, ScenarioSpec, ValueSpec};
 use dynagg_sim::env::uniform::UniformEnv;
 use dynagg_sim::{par, runner, FailureMode, FailureSpec, Series, Truth};
 use dynagg_sketch::cutoff::Cutoff;
@@ -26,24 +23,40 @@ fn pop(opts: &ExpOpts) -> usize {
     opts.population().min(10_000)
 }
 
+/// The common ablation shape: uniform gossip, paper values, mean truth.
+/// Each ablation takes this spec and varies one thing — the same registry
+/// path `experiments run` uses.
+fn ablation_spec(
+    opts: &ExpOpts,
+    name: &str,
+    n: usize,
+    rounds: u64,
+    protocol: ProtocolSpec,
+) -> ScenarioSpec {
+    let mut s =
+        ScenarioSpec::new(name, opts.seed, EnvSpec::Uniform { broadcast_fanout: None }, protocol);
+    s.n = Some(n);
+    s.rounds = Some(rounds);
+    s.truth = Truth::Mean;
+    s
+}
+
+/// The correlated failure every reversion ablation heals from.
+const CORRELATED_HALF_AT_20: FailureSpec =
+    FailureSpec::AtRound { round: 20, mode: FailureMode::TopValue, fraction: 0.5, graceful: false };
+
+fn run_spec(spec: &ScenarioSpec) -> Series {
+    dynagg_scenario::run_series(spec).expect("ablation spec is valid")
+}
+
 /// Ablation 1 — push vs push/pull exchange (Karp et al.: push/pull roughly
 /// halves initial convergence).
 pub fn push_vs_pushpull(opts: &ExpOpts) -> Table {
     let n = pop(opts);
-    let push = runner::builder(opts.seed)
-        .environment(UniformEnv::new())
-        .nodes_with_paper_values(n)
-        .protocol(|_, v| PushSum::averaging(v))
-        .truth(Truth::Mean)
-        .build()
-        .run(50);
-    let pairwise = runner::builder(opts.seed)
-        .environment(UniformEnv::new())
-        .nodes_with_paper_values(n)
-        .protocol(|_, v| PushSum::averaging(v))
-        .truth(Truth::Mean)
-        .build_pairwise()
-        .run(50);
+    let push = run_spec(&ablation_spec(opts, "ablation-push", n, 50, ProtocolSpec::PushSum));
+    let mut pairwise_spec = ablation_spec(opts, "ablation-pushpull", n, 50, ProtocolSpec::PushSum);
+    pairwise_spec.engine = Engine::Pairwise;
+    let pairwise = run_spec(&pairwise_spec);
     let mut t = Table::new(
         "ablation_push_vs_pushpull",
         format!("Ablation — exchange style, static Push-Sum, {n} hosts"),
@@ -65,28 +78,14 @@ pub fn push_vs_pushpull(opts: &ExpOpts) -> Table {
 pub fn adaptive_vs_fixed(opts: &ExpOpts) -> Table {
     let n = pop(opts);
     let lambda = 0.1;
-    let failure = FailureSpec::AtRound {
-        round: 20,
-        mode: FailureMode::TopValue,
-        fraction: 0.5,
-        graceful: false,
-    };
-    let fixed = runner::builder(opts.seed)
-        .environment(UniformEnv::new())
-        .nodes_with_paper_values(n)
-        .protocol(move |_, v| PushSumRevert::new(v, lambda))
-        .truth(Truth::Mean)
-        .failure(failure)
-        .build()
-        .run(70);
-    let adaptive = runner::builder(opts.seed)
-        .environment(UniformEnv::new())
-        .nodes_with_paper_values(n)
-        .protocol(move |_, v| AdaptiveRevert::new(v, lambda))
-        .truth(Truth::Mean)
-        .failure(failure)
-        .build()
-        .run(70);
+    let mut fixed_spec =
+        ablation_spec(opts, "ablation-fixed", n, 70, ProtocolSpec::PushSumRevert { lambda });
+    fixed_spec.failure = CORRELATED_HALF_AT_20;
+    let fixed = run_spec(&fixed_spec);
+    let mut adaptive_spec =
+        ablation_spec(opts, "ablation-adaptive", n, 70, ProtocolSpec::AdaptiveRevert { lambda });
+    adaptive_spec.failure = CORRELATED_HALF_AT_20;
+    let adaptive = run_spec(&adaptive_spec);
     let reading = |s: &Series| {
         let steady = s.steady_state_stddev(60);
         let tol = (steady * 1.25).max(steady + 0.1);
@@ -124,19 +123,15 @@ pub fn parcels_sweep(opts: &ExpOpts) -> Table {
     );
     let parcel_counts = [1u32, 2, 4, 8];
     let lines = par::par_map(&parcel_counts, |_, &parcels| {
-        runner::builder(opts.seed)
-            .environment(UniformEnv::new())
-            .nodes_with_paper_values(n)
-            .protocol(move |_, v| FullTransfer::try_new(v, 0.1, parcels, 3).expect("valid"))
-            .truth(Truth::Mean)
-            .failure(FailureSpec::AtRound {
-                round: 20,
-                mode: FailureMode::TopValue,
-                fraction: 0.5,
-                graceful: false,
-            })
-            .build()
-            .run(70)
+        let mut spec = ablation_spec(
+            opts,
+            "ablation-parcels",
+            n,
+            70,
+            ProtocolSpec::FullTransfer { lambda: 0.1, parcels, window: 3 },
+        );
+        spec.failure = CORRELATED_HALF_AT_20;
+        run_spec(&spec)
     });
     for (parcels, series) in parcel_counts.into_iter().zip(&lines) {
         let msgs = series.rounds[5].messages as f64 / series.rounds[5].alive as f64;
@@ -158,19 +153,15 @@ pub fn window_sweep(opts: &ExpOpts) -> Table {
     );
     let windows = [1usize, 3, 5, 10];
     let lines = par::par_map(&windows, |_, &window| {
-        runner::builder(opts.seed)
-            .environment(UniformEnv::new())
-            .nodes_with_paper_values(n)
-            .protocol(move |_, v| FullTransfer::try_new(v, 0.1, 4, window).expect("valid"))
-            .truth(Truth::Mean)
-            .failure(FailureSpec::AtRound {
-                round: 20,
-                mode: FailureMode::TopValue,
-                fraction: 0.5,
-                graceful: false,
-            })
-            .build()
-            .run(70)
+        let mut spec = ablation_spec(
+            opts,
+            "ablation-window",
+            n,
+            70,
+            ProtocolSpec::FullTransfer { lambda: 0.1, parcels: 4, window },
+        );
+        spec.failure = CORRELATED_HALF_AT_20;
+        run_spec(&spec)
     });
     for (window, series) in windows.into_iter().zip(&lines) {
         let steady = series.steady_state_stddev(60);
@@ -201,16 +192,22 @@ pub fn cutoff_sweep(opts: &ExpOpts) -> Table {
         variants.push((scale, Cutoff::paper_uniform().scaled(scale)));
     }
     let lines = par::par_map(&variants, |_, &(_, cutoff)| {
-        let mut cfg = ResetConfig::paper(n as u64, opts.seed ^ 0xCC);
-        cfg.cutoff = cutoff;
-        runner::builder(opts.seed)
-            .environment(UniformEnv::new())
-            .nodes_with_constant(n, 1.0)
-            .protocol(move |id, _| CountSketchReset::counting(cfg, u64::from(id)))
-            .truth(Truth::Count)
-            .failure(FailureSpec::paper_half_at_20(FailureMode::Random))
-            .build()
-            .run(55)
+        let mut spec = ablation_spec(
+            opts,
+            "ablation-cutoff",
+            n,
+            55,
+            ProtocolSpec::CountSketchReset {
+                cutoff,
+                push_pull: true,
+                multiplier: 1,
+                hash_seed_xor: 0xCC,
+            },
+        );
+        spec.values = ValueSpec::Constant(1.0);
+        spec.truth = Truth::Count;
+        spec.failure = FailureSpec::paper_half_at_20(FailureMode::Random);
+        run_spec(&spec)
     });
     for ((scale, _), series) in variants.into_iter().zip(&lines) {
         let prefail = series.rounds[15..20].iter().map(|s| s.stddev).sum::<f64>() / 5.0;
@@ -287,26 +284,33 @@ pub fn epoch_sweep(opts: &ExpOpts) -> Table {
     let churn = FailureSpec::Churn { start: 10, leave_per_round: 0.01, join_per_round: 0.01 };
     let epoch_lens = [5u64, 15, 40, 100];
     let lines = par::par_map(&epoch_lens, |_, &epoch_len| {
-        runner::builder(opts.seed)
-            .environment(UniformEnv::new())
-            .nodes_with_paper_values(n)
-            .protocol(move |_, v| EpochPushSum::new(v, epoch_len))
-            .truth(Truth::Mean)
-            .failure(churn)
-            .build()
-            .run(120)
+        let mut spec = ablation_spec(
+            opts,
+            "ablation-epoch",
+            n,
+            120,
+            ProtocolSpec::EpochPushSum {
+                epoch_len,
+                settle_len: None,
+                drift_prob: 0.0,
+                clique_drift: None,
+            },
+        );
+        spec.failure = churn;
+        run_spec(&spec)
     });
     for (epoch_len, series) in epoch_lens.into_iter().zip(&lines) {
         t.push_row(vec![epoch_len as f64, series.steady_state_stddev(30)]);
     }
-    let revert = runner::builder(opts.seed)
-        .environment(UniformEnv::new())
-        .nodes_with_paper_values(n)
-        .protocol(|_, v| PushSumRevert::new(v, 0.01))
-        .truth(Truth::Mean)
-        .failure(churn)
-        .build()
-        .run(120);
+    let mut revert_spec = ablation_spec(
+        opts,
+        "ablation-epoch-revert",
+        n,
+        120,
+        ProtocolSpec::PushSumRevert { lambda: 0.01 },
+    );
+    revert_spec.failure = churn;
+    let revert = run_spec(&revert_spec);
     t.push_row(vec![0.0, revert.steady_state_stddev(30)]);
     t.note("too-short epochs never converge; too-long epochs serve stale values; reversion needs no length tuning".to_string());
     t
@@ -316,6 +320,11 @@ pub fn epoch_sweep(opts: &ExpOpts) -> Table {
 /// but not accuracy from static Push-Sum at short horizons; reversion
 /// bounds the weight decay (long-horizon numerical stability) at the cost
 /// of an elevated λ floor.
+///
+/// Deliberately off the scenario registry: the reading sums protocol
+/// *mass* off live nodes mid-run, a protocol-specific probe the
+/// series-oriented scenario layer does not expose (same for
+/// [`bandwidth`], which simulates nothing at all).
 pub fn loss_sweep(opts: &ExpOpts) -> Table {
     let n = pop(opts).min(5_000);
     let mut t = Table::new(

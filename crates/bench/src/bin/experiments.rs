@@ -1,7 +1,9 @@
-//! Experiment harness CLI: regenerate every figure and table of the paper.
+//! Experiment harness CLI: regenerate every figure and table of the paper,
+//! or run a declarative TOML scenario.
 //!
 //! ```text
 //! experiments <command> [--n N] [--seed S] [--out DIR] [--quick] [--dataset 1|2|3]
+//! experiments run <file.toml> [--n N] [--seed S] [--rounds R] [--trials T] [--out DIR] [--quick] [--check]
 //!
 //! commands:
 //!   fig6               bit counter CDFs (1k/10k/100k hosts) + cutoff fit
@@ -16,19 +18,25 @@
 //!   spatial-cutoff     extension: cutoff fit in the grid environment
 //!   epoch-disruption   extension: §II-C epoch disruption under clique mobility
 //!   ablations          all ablation sweeps (DESIGN.md §6)
-//!   all                everything above, all datasets
+//!   run FILE           run a declarative scenario (see scenarios/ and
+//!                      docs/scenario-guide.md)
+//!   all                everything above except `run`, all datasets
 //!
 //! flags:
-//!   --n N        uniform-env population (default 100000, the paper scale)
-//!   --seed S     master seed (default fixed)
+//!   --n N        uniform-env population (default 100000, the paper scale);
+//!                for `run`, overrides the file's `n` and drops an n-sweep
+//!   --seed S     master seed (default fixed; for `run`, the file's seed)
 //!   --out DIR    also write each table as DIR/<id>.csv
 //!   --quick      ~100× smaller populations / 12 h traces (smoke runs)
 //!   --dataset D  Fig. 11 dataset index (default: all three)
+//!   --rounds R   (run) override the scenario's horizon
+//!   --trials T   (run) override the scenario's trial count
+//!   --check      (run) parse + validate only, run nothing
 //! ```
 
 use dynagg_bench::{
-    ablations, epoch_disruption, fig10, fig11, fig6, fig8, fig9, spatial_cutoff, tables, ExpOpts,
-    Table,
+    ablations, epoch_disruption, fig10, fig11, fig6, fig8, fig9, scenario_run, spatial_cutoff,
+    tables, ExpOpts, Table,
 };
 use dynagg_trace::datasets::Dataset;
 use std::path::PathBuf;
@@ -36,43 +44,73 @@ use std::process::ExitCode;
 
 struct Args {
     command: String,
+    /// `run`'s scenario file.
+    file: Option<PathBuf>,
     opts: ExpOpts,
     dataset: Option<Dataset>,
+    overrides: scenario_run::Overrides,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut argv = std::env::args().skip(1);
     let command = argv.next().ok_or_else(usage)?;
+    let mut file = None;
+    if command == "run" {
+        file = Some(PathBuf::from(argv.next().ok_or("run needs a scenario file\n")?));
+    }
     let mut opts = ExpOpts::default();
     let mut dataset = None;
+    let mut overrides = scenario_run::Overrides::default();
     while let Some(flag) = argv.next() {
         match flag.as_str() {
             "--n" => {
                 let v = argv.next().ok_or("--n needs a value")?;
                 opts.n = v.parse().map_err(|e| format!("bad --n: {e}"))?;
+                overrides.n = Some(opts.n);
             }
             "--seed" => {
                 let v = argv.next().ok_or("--seed needs a value")?;
                 opts.seed = v.parse().map_err(|e| format!("bad --seed: {e}"))?;
+                overrides.seed = Some(opts.seed);
             }
             "--out" => {
                 let v = argv.next().ok_or("--out needs a value")?;
                 opts.out_dir = Some(PathBuf::from(v));
             }
-            "--quick" => opts.quick = true,
+            "--quick" => {
+                opts.quick = true;
+                overrides.quick = true;
+            }
             "--dataset" => {
                 let v = argv.next().ok_or("--dataset needs a value")?;
                 let idx: usize = v.parse().map_err(|e| format!("bad --dataset: {e}"))?;
                 dataset = Some(Dataset::from_index(idx).ok_or(format!("no dataset {idx}"))?);
             }
+            "--rounds" => {
+                let v = argv.next().ok_or("--rounds needs a value")?;
+                overrides.rounds = Some(v.parse().map_err(|e| format!("bad --rounds: {e}"))?);
+            }
+            "--trials" => {
+                let v = argv.next().ok_or("--trials needs a value")?;
+                overrides.trials = Some(v.parse().map_err(|e| format!("bad --trials: {e}"))?);
+            }
+            "--check" => overrides.check_only = true,
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
-    Ok(Args { command, opts, dataset })
+    if command != "run"
+        && (overrides.check_only || overrides.rounds.is_some() || overrides.trials.is_some())
+    {
+        return Err(format!(
+            "--check/--rounds/--trials only apply to the `run` command\n{}",
+            usage()
+        ));
+    }
+    Ok(Args { command, file, opts, dataset, overrides })
 }
 
 fn usage() -> String {
-    "usage: experiments <fig6|fig8|fig9|fig10a|fig10b|fig11-avg|fig11-sum|table-convergence|table-sketch-error|spatial-cutoff|epoch-disruption|ablations|all> [--n N] [--seed S] [--out DIR] [--quick] [--dataset 1|2|3]".to_string()
+    "usage: experiments <fig6|fig8|fig9|fig10a|fig10b|fig11-avg|fig11-sum|table-convergence|table-sketch-error|spatial-cutoff|epoch-disruption|ablations|all> [--n N] [--seed S] [--out DIR] [--quick] [--dataset 1|2|3]\n       experiments run <file.toml> [--n N] [--seed S] [--rounds R] [--trials T] [--out DIR] [--quick] [--check]".to_string()
 }
 
 fn emit(tables: Vec<Table>, opts: &ExpOpts) {
@@ -122,6 +160,16 @@ fn main() -> ExitCode {
         "spatial-cutoff" => emit(vec![spatial_cutoff::run(opts)], opts),
         "epoch-disruption" => emit(vec![epoch_disruption::run(opts)], opts),
         "ablations" => emit(ablations::run_all(opts), opts),
+        "run" => {
+            let file = args.file.as_deref().expect("run parsed a file argument");
+            match scenario_run::run_file(file, &args.overrides) {
+                Ok(tables) => emit(tables, opts),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
         "all" => {
             emit(vec![fig8::run(opts)], opts);
             emit(vec![fig10::run_a(opts)], opts);

@@ -27,13 +27,15 @@
 //!   `PushSumRevert` actually *improves* (migration mixes mass between
 //!   cliques). The `settling` / `disruptions` columns show the §II-C
 //!   mechanics directly.
+//!
+//! [`ClusteredEnv`]: dynagg_sim::env::ClusteredEnv
+//! [`EpochPushSum`]: dynagg_core::epoch::EpochPushSum
+//! [`PushSumRevert`]: dynagg_core::push_sum_revert::PushSumRevert
 
 use crate::opts::ExpOpts;
 use crate::output::Table;
-use dynagg_core::epoch::{DriftModel, EpochPushSum};
-use dynagg_core::push_sum_revert::PushSumRevert;
-use dynagg_sim::env::clustered::ClusteredEnv;
-use dynagg_sim::{par, runner, Truth};
+use dynagg_scenario::{CliqueDrift, EnvSpec, Metric, ProtocolSpec, ScenarioSpec};
+use dynagg_sim::{par, Truth};
 
 /// Fixed scenario geometry (kept small enough for `--quick` CI smoke runs
 /// while large enough that clique averages differ from the global mean).
@@ -60,43 +62,50 @@ struct Reading {
     disruptions: u64,
 }
 
-fn clique_of(id: u32) -> u32 {
-    // Matches ClusteredEnv's round-robin initial assignment.
-    id % CLUSTERS
+/// The §II-C cell as a declarative scenario: [`EpochPushSum`] whose
+/// per-clique drift clocks (initial offset `k · drift · epoch_len`,
+/// crystals spanning `1 ± 0.2·drift` ticks per round) follow the clique a
+/// host *started* in — migrants keep their crystal, so mobility mixes fast
+/// clocks into slow cliques, whose rollovers then repeatedly disrupt their
+/// new neighbors. `scenarios/epoch_disruption.toml` is this spec at the
+/// (migration 0.02, drift 1.0) cell.
+///
+/// [`EpochPushSum`]: dynagg_core::epoch::EpochPushSum
+pub fn epoch_cell_spec(n: usize, seed: u64, migration: f64, drift: f64) -> ScenarioSpec {
+    let mut s = ScenarioSpec::new(
+        "epoch-disruption",
+        seed,
+        EnvSpec::Clustered { clusters: CLUSTERS, migration, bridge: 0.0, events: Vec::new() },
+        ProtocolSpec::EpochPushSum {
+            epoch_len: EPOCH_LEN,
+            settle_len: Some(SETTLE_LEN),
+            drift_prob: 0.0,
+            clique_drift: Some(CliqueDrift { clusters: CLUSTERS, magnitude: drift }),
+        },
+    );
+    s.description =
+        "Extension — §II-C epoch disruption under clique mobility (one sweep cell)".into();
+    s.n = Some(n);
+    s.rounds = Some(ROUNDS);
+    s.truth = Truth::Mean;
+    s.output.metrics = vec![Metric::Stddev, Metric::Settling, Metric::Disruptions];
+    s
 }
 
-/// Clock rate for a host from initial clique `k` at drift magnitude `d`:
-/// cliques span `1 ± 0.2·d` ticks per round. A host keeps its crystal
-/// when it migrates, so mobility mixes fast clocks into slow cliques —
-/// whose rollovers then repeatedly disrupt their new neighbors.
-fn rate_of(clique: u32, drift: f64) -> f64 {
-    let centered = 2.0 * f64::from(clique) / f64::from(CLUSTERS - 1) - 1.0;
-    1.0 + 0.2 * drift * centered
+/// The no-synchronization baseline on the identical topology and seed.
+pub fn revert_cell_spec(n: usize, seed: u64, migration: f64) -> ScenarioSpec {
+    let mut s = epoch_cell_spec(n, seed, migration, 0.0);
+    s.name = "epoch-disruption-revert".into();
+    s.protocol = ProtocolSpec::PushSumRevert { lambda: 0.01 };
+    s
 }
 
 fn run_cell(n: usize, seed: u64, cell: Cell) -> Reading {
     let Cell { migration, drift } = cell;
-    let offset_step = (drift * EPOCH_LEN as f64).round() as u64;
-    let epoch = runner::builder(seed)
-        .environment(ClusteredEnv::new(n, CLUSTERS, migration, 0.0, seed))
-        .nodes_with_paper_values(n)
-        .protocol(move |id, v| {
-            let k = clique_of(id);
-            EpochPushSum::new(v, EPOCH_LEN)
-                .with_settle_len(SETTLE_LEN)
-                .with_clock_offset(u64::from(k) * offset_step)
-                .with_drift_model(DriftModel::ConstantSkew { rate: rate_of(k, drift) })
-        })
-        .truth(Truth::Mean)
-        .build()
-        .run(ROUNDS);
-    let revert = runner::builder(seed)
-        .environment(ClusteredEnv::new(n, CLUSTERS, migration, 0.0, seed))
-        .nodes_with_paper_values(n)
-        .protocol(|_, v| PushSumRevert::new(v, 0.01))
-        .truth(Truth::Mean)
-        .build()
-        .run(ROUNDS);
+    let epoch = dynagg_scenario::run_series(&epoch_cell_spec(n, seed, migration, drift))
+        .expect("epoch cell spec is valid");
+    let revert = dynagg_scenario::run_series(&revert_cell_spec(n, seed, migration))
+        .expect("revert cell spec is valid");
     Reading {
         epoch_err: epoch.steady_state_stddev(STEADY_FROM),
         revert_err: revert.steady_state_stddev(STEADY_FROM),

@@ -17,28 +17,55 @@ use crate::fig8;
 use crate::opts::ExpOpts;
 use crate::output::Table;
 use dynagg_core::config::RevertConfig;
-use dynagg_core::full_transfer::FullTransfer;
-use dynagg_sim::env::uniform::UniformEnv;
-use dynagg_sim::{par, runner, FailureMode, FailureSpec, Series, Truth};
+use dynagg_scenario::{EnvSpec, ProtocolSpec, ScenarioSpec, Sweep, SweepAxis};
+use dynagg_sim::{par, FailureMode, FailureSpec, Series, Truth};
 
 /// Rounds simulated.
 pub const ROUNDS: u64 = 60;
 
+/// The scenario behind one Full-Transfer λ line (panel b): push-engine
+/// Full-Transfer with the top-valued half failing at round 20.
+pub fn line_spec_full_transfer(opts: &ExpOpts, lambda: f64) -> ScenarioSpec {
+    let mut s = ScenarioSpec::new(
+        "fig10b",
+        opts.seed,
+        EnvSpec::Uniform { broadcast_fanout: None },
+        ProtocolSpec::FullTransfer { lambda, parcels: 4, window: 3 },
+    );
+    s.description = "Fig. 10b — Full-Transfer under correlated failures".into();
+    s.n = Some(opts.population());
+    s.rounds = Some(ROUNDS);
+    s.truth = Truth::Mean;
+    s.failure = FailureSpec::AtRound {
+        round: 20,
+        mode: FailureMode::TopValue,
+        fraction: 0.5,
+        graceful: false,
+    };
+    s
+}
+
+/// Panel (a) as one declarative scenario (`scenarios/fig10a.toml`): the
+/// fig8 pairwise line with correlated failures, swept over λ.
+pub fn scenario_a(opts: &ExpOpts) -> ScenarioSpec {
+    let mut s = fig8::line_spec(opts, 0.0, FailureMode::TopValue);
+    s.name = "fig10a".into();
+    s.description = "Fig. 10a — basic Push-Sum-Revert under correlated failures".into();
+    s.sweep = Some(Sweep { axis: SweepAxis::Lambda, values: RevertConfig::PAPER_LAMBDAS.to_vec() });
+    s
+}
+
+/// Panel (b) as one declarative scenario (`scenarios/fig10b.toml`).
+pub fn scenario_b(opts: &ExpOpts) -> ScenarioSpec {
+    let mut s = line_spec_full_transfer(opts, 0.0);
+    s.sweep = Some(Sweep { axis: SweepAxis::Lambda, values: RevertConfig::PAPER_LAMBDAS.to_vec() });
+    s
+}
+
 /// One Full-Transfer λ line (panel b).
 pub fn run_line_full_transfer(opts: &ExpOpts, lambda: f64) -> Series {
-    runner::builder(opts.seed)
-        .environment(UniformEnv::new())
-        .nodes_with_paper_values(opts.population())
-        .protocol(move |_, v| FullTransfer::paper(v, lambda))
-        .truth(Truth::Mean)
-        .failure(FailureSpec::AtRound {
-            round: 20,
-            mode: FailureMode::TopValue,
-            fraction: 0.5,
-            graceful: false,
-        })
-        .build()
-        .run(ROUNDS)
+    dynagg_scenario::run_series(&line_spec_full_transfer(opts, lambda))
+        .expect("fig10b spec is valid")
 }
 
 fn build_table(id: &str, title: String, series: &[Series], lambdas: &[f64]) -> Table {

@@ -12,11 +12,8 @@
 
 use crate::opts::ExpOpts;
 use crate::output::Table;
-use dynagg_core::config::ResetConfig;
-use dynagg_core::count_sketch_reset::CountSketchReset;
-use dynagg_core::push_sum_revert::PushSumRevert;
-use dynagg_sim::env::trace::TraceEnv;
-use dynagg_sim::{runner, Series, Truth};
+use dynagg_scenario::{trace_info, EnvSpec, ProtocolSpec, ScenarioSpec, TraceInfo, ValueSpec};
+use dynagg_sim::{Series, Truth};
 use dynagg_sketch::cutoff::Cutoff;
 use dynagg_trace::datasets::Dataset;
 
@@ -25,42 +22,60 @@ pub const AVG_LAMBDAS: [f64; 3] = [0.0, 0.001, 0.01];
 /// Identifiers per host in the dynamic-sum panels (§V-B).
 pub const IDS_PER_HOST: u64 = 100;
 
-fn horizon_rounds(env: &TraceEnv, opts: &ExpOpts) -> u64 {
-    let cap = opts.trace_hours_cap().map(|h| h * env.rounds_per_hour()).unwrap_or(u64::MAX);
-    env.total_rounds().min(cap)
+fn horizon_rounds(info: &TraceInfo, opts: &ExpOpts) -> u64 {
+    let cap = opts.trace_hours_cap().map(|h| h * info.rounds_per_hour).unwrap_or(u64::MAX);
+    info.total_rounds.min(cap)
+}
+
+/// The scenario behind one dynamic-average line.
+pub fn avg_line_spec(opts: &ExpOpts, dataset: Dataset, lambda: f64) -> ScenarioSpec {
+    let info = trace_info(dataset);
+    let mut s = ScenarioSpec::new(
+        format!("fig11-avg-d{}", dataset.index()),
+        opts.seed,
+        EnvSpec::Trace { dataset },
+        ProtocolSpec::PushSumRevert { lambda },
+    );
+    s.description = "Fig. 11 — trace-driven dynamic group average".into();
+    s.rounds = Some(horizon_rounds(&info, opts));
+    s.truth = Truth::GroupMean;
+    s
+}
+
+/// The scenario behind one dynamic-sum (group size) line.
+pub fn sum_line_spec(opts: &ExpOpts, dataset: Dataset, cutoff: Cutoff) -> ScenarioSpec {
+    let info = trace_info(dataset);
+    let mut s = ScenarioSpec::new(
+        format!("fig11-sum-d{}", dataset.index()),
+        opts.seed,
+        EnvSpec::Trace { dataset },
+        ProtocolSpec::CountSketchReset {
+            cutoff,
+            push_pull: true,
+            multiplier: IDS_PER_HOST,
+            hash_seed_xor: 0x11,
+        },
+    );
+    s.description = "Fig. 11 — trace-driven dynamic group size".into();
+    s.rounds = Some(horizon_rounds(&info, opts));
+    s.values = ValueSpec::Constant(1.0);
+    s.truth = Truth::GroupSize;
+    s
 }
 
 /// One dynamic-average line.
 pub fn run_avg_line(opts: &ExpOpts, dataset: Dataset, lambda: f64) -> (Series, u64) {
-    let env = TraceEnv::paper(dataset.generate());
-    let rounds = horizon_rounds(&env, opts);
-    let rph = env.rounds_per_hour();
-    let devices = env.device_count();
-    let series = runner::builder(opts.seed)
-        .environment(env)
-        .nodes_with_paper_values(devices)
-        .protocol(move |_, v| PushSumRevert::new(v, lambda))
-        .truth(Truth::GroupMean)
-        .build()
-        .run(rounds);
+    let rph = trace_info(dataset).rounds_per_hour;
+    let series = dynagg_scenario::run_series(&avg_line_spec(opts, dataset, lambda))
+        .expect("fig11 avg spec is valid");
     (series, rph)
 }
 
 /// One dynamic-sum (group size) line.
 pub fn run_sum_line(opts: &ExpOpts, dataset: Dataset, cutoff: Cutoff) -> (Series, u64) {
-    let env = TraceEnv::paper(dataset.generate());
-    let rounds = horizon_rounds(&env, opts);
-    let rph = env.rounds_per_hour();
-    let devices = env.device_count();
-    let mut cfg = ResetConfig::paper(IDS_PER_HOST * devices as u64, opts.seed ^ 0x11);
-    cfg.cutoff = cutoff;
-    let series = runner::builder(opts.seed)
-        .environment(env)
-        .nodes_with_constant(devices, 1.0)
-        .protocol(move |id, _| CountSketchReset::with_multiplier(cfg, u64::from(id), IDS_PER_HOST))
-        .truth(Truth::GroupSize)
-        .build()
-        .run(rounds);
+    let rph = trace_info(dataset).rounds_per_hour;
+    let series = dynagg_scenario::run_series(&sum_line_spec(opts, dataset, cutoff))
+        .expect("fig11 sum spec is valid");
     (series, rph)
 }
 

@@ -17,11 +17,12 @@
 
 use crate::opts::ExpOpts;
 use crate::output::Table;
-use dynagg_core::config::ResetConfig;
-use dynagg_core::count_sketch_reset::CountSketchReset;
-use dynagg_sim::env::uniform::UniformEnv;
-use dynagg_sim::{runner, Truth};
+use dynagg_scenario::{
+    EnvSpec, Metric, ProtocolSpec, Report, ScenarioSpec, Sweep, SweepAxis, ValueSpec,
+};
+use dynagg_sim::Truth;
 use dynagg_sketch::age::INF_AGE;
+use dynagg_sketch::cutoff::Cutoff;
 
 /// Rounds to converge before reading counters.
 pub const CONVERGE_ROUNDS: u64 = 35;
@@ -31,6 +32,7 @@ pub const MAX_AGE: u8 = 14;
 pub const MIN_SAMPLES: usize = 50;
 
 /// Per-bit counter samples plus the high-percentile fit for one size.
+#[derive(Debug, Clone, PartialEq)]
 pub struct CounterDistribution {
     /// Network size.
     pub n: usize,
@@ -42,66 +44,93 @@ pub struct CounterDistribution {
     pub fit: (f64, f64),
 }
 
+/// The scenario behind one collection run: Count-Sketch-Reset counting
+/// under `env`, constant values, converge-then-read via the
+/// [`Report::CounterCdf`] readout.
+pub fn collect_spec(opts: &ExpOpts, n: usize, env: EnvSpec, converge_rounds: u64) -> ScenarioSpec {
+    let mut s = ScenarioSpec::new(
+        "fig6",
+        opts.seed,
+        env,
+        ProtocolSpec::CountSketchReset {
+            cutoff: Cutoff::paper_uniform(),
+            push_pull: true,
+            multiplier: 1,
+            hash_seed_xor: 0xF16,
+        },
+    );
+    s.description = "Fig. 6 — bit counter CDFs + cutoff fit".into();
+    s.n = Some(n);
+    s.rounds = Some(converge_rounds);
+    s.values = ValueSpec::Constant(1.0);
+    s.truth = Truth::Count;
+    s.output.metrics = vec![Metric::Stddev];
+    s.output.report = Report::CounterCdf;
+    s
+}
+
+/// The full figure as one declarative scenario (what `scenarios/fig6.toml`
+/// contains): the collection spec swept over the paper's network sizes.
+pub fn scenario(opts: &ExpOpts) -> ScenarioSpec {
+    let sizes = opts.fig6_sizes();
+    let mut s =
+        collect_spec(opts, sizes[0], EnvSpec::Uniform { broadcast_fanout: None }, CONVERGE_ROUNDS);
+    s.sweep = Some(Sweep { axis: SweepAxis::N, values: sizes.iter().map(|&n| n as f64).collect() });
+    s
+}
+
 /// Collect the converged counter distribution for one network size under
 /// uniform gossip.
 pub fn collect(opts: &ExpOpts, n: usize) -> CounterDistribution {
-    collect_env(opts, n, UniformEnv::new(), CONVERGE_ROUNDS)
+    collect_env(opts, n, EnvSpec::Uniform { broadcast_fanout: None }, CONVERGE_ROUNDS)
 }
 
 /// Collect under an arbitrary environment (the `spatial-cutoff` extension
 /// reuses this with the grid environment and a longer convergence phase).
-pub fn collect_env<E: dynagg_sim::Environment + 'static>(
+pub fn collect_env(
     opts: &ExpOpts,
     n: usize,
-    env: E,
+    env: EnvSpec,
     converge_rounds: u64,
 ) -> CounterDistribution {
-    let cfg = ResetConfig::paper(n as u64, opts.seed ^ 0xF16);
-    let mut sim = runner::builder(opts.seed)
-        .environment(env)
-        .nodes_with_constant(n, 1.0)
-        .protocol(move |id, _| CountSketchReset::counting(cfg, u64::from(id)))
-        .truth(Truth::Count)
-        .build();
-    for _ in 0..converge_rounds {
-        sim.step();
-    }
+    let spec = collect_spec(opts, n, env, converge_rounds);
+    let outcome = dynagg_scenario::run(&spec).expect("fig6 spec is valid");
+    let samples =
+        outcome.instances[0].trials[0].counter_samples.as_ref().expect("counter-cdf report");
+    CounterDistribution::from_samples(n, samples)
+}
 
-    // samples[k][age] = count of finite counters with that age.
-    let width = cfg.sketch.width as usize + 1;
-    let mut samples = vec![vec![0u64; usize::from(INF_AGE)]; width];
-    for (_, node) in sim.nodes() {
-        for (_, k, age) in node.ages().finite_cells() {
-            samples[usize::from(k)][usize::from(age)] += 1;
-        }
-    }
-
-    let mut cdf = Vec::new();
-    let mut p99 = Vec::new();
-    for hist in &samples {
-        let total: u64 = hist.iter().sum();
-        if (total as usize) < MIN_SAMPLES {
-            break; // higher bits have too few sources network-wide
-        }
-        let mut acc = 0u64;
-        let mut row = Vec::with_capacity(usize::from(MAX_AGE) + 1);
-        let mut p99_val = None;
-        for (age, &c) in hist.iter().enumerate() {
-            acc += c;
-            let frac = acc as f64 / total as f64;
-            if age <= usize::from(MAX_AGE) {
-                row.push(frac);
+impl CounterDistribution {
+    /// Reduce raw per-bit age histograms (`samples[k][age]`, the scenario
+    /// engine's [`Report::CounterCdf`] output) to CDFs, p99 ages, and the
+    /// linear fit.
+    pub fn from_samples(n: usize, samples: &[Vec<u64>]) -> Self {
+        let mut cdf = Vec::new();
+        let mut p99 = Vec::new();
+        for hist in samples {
+            let total: u64 = hist.iter().sum();
+            if (total as usize) < MIN_SAMPLES {
+                break; // higher bits have too few sources network-wide
             }
-            if p99_val.is_none() && frac >= 0.99 {
-                p99_val = Some(age as f64);
+            let mut acc = 0u64;
+            let mut row = Vec::with_capacity(usize::from(MAX_AGE) + 1);
+            let mut p99_val = None;
+            for (age, &c) in hist.iter().enumerate() {
+                acc += c;
+                let frac = acc as f64 / total as f64;
+                if age <= usize::from(MAX_AGE) {
+                    row.push(frac);
+                }
+                if p99_val.is_none() && frac >= 0.99 {
+                    p99_val = Some(age as f64);
+                }
             }
+            cdf.push(row);
+            p99.push(p99_val.unwrap_or(f64::from(INF_AGE - 1)));
         }
-        cdf.push(row);
-        p99.push(p99_val.unwrap_or(f64::from(INF_AGE - 1)));
+        let fit = linear_fit(&p99);
+        CounterDistribution { n, cdf, p99, fit }
     }
-
-    let fit = linear_fit(&p99);
-    CounterDistribution { n, cdf, p99, fit }
 }
 
 /// Least-squares fit `y = base + slope·k` over `ys[k]`.
@@ -119,37 +148,46 @@ pub fn linear_fit(ys: &[f64]) -> (f64, f64) {
     (base, slope)
 }
 
+/// Render one size's distribution as its table.
+pub fn cdf_table(
+    id: impl Into<String>,
+    title: impl Into<String>,
+    dist: &CounterDistribution,
+) -> Table {
+    let mut columns = vec!["counter_value".to_string()];
+    columns.extend((0..dist.cdf.len()).map(|k| format!("bit{k}")));
+    let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut t = Table::new(id, title, &col_refs);
+    for v in 0..=usize::from(MAX_AGE) {
+        let mut row = vec![v as f64];
+        row.extend(dist.cdf.iter().map(|c| c.get(v).copied().unwrap_or(1.0)));
+        t.push_row(row);
+    }
+    let (base, slope) = dist.fit;
+    t.note(format!(
+        "p99 age per bit: {:?}",
+        dist.p99.iter().map(|v| *v as i64).collect::<Vec<_>>()
+    ));
+    t.note(format!("linear fit of p99 age: {base:.2} + {slope:.3}k   (paper cutoff: 7 + 0.25k)"));
+    t
+}
+
 /// Run the full figure: one table per network size. Sizes are collected
 /// as parallel trials (each is an independent simulation).
 pub fn run(opts: &ExpOpts) -> Vec<Table> {
     let sizes = opts.fig6_sizes();
     let dists = dynagg_sim::par::par_map(&sizes, |_, &n| collect(opts, n));
-    let mut tables = Vec::new();
-    for (n, dist) in sizes.into_iter().zip(dists) {
-        let mut columns = vec!["counter_value".to_string()];
-        columns.extend((0..dist.cdf.len()).map(|k| format!("bit{k}")));
-        let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
-        let mut t = Table::new(
-            format!("fig6_n{n}"),
-            format!("Fig. 6 — bit counter CDF, {n} hosts (converged, uniform gossip)"),
-            &col_refs,
-        );
-        for v in 0..=usize::from(MAX_AGE) {
-            let mut row = vec![v as f64];
-            row.extend(dist.cdf.iter().map(|c| c.get(v).copied().unwrap_or(1.0)));
-            t.push_row(row);
-        }
-        let (base, slope) = dist.fit;
-        t.note(format!(
-            "p99 age per bit: {:?}",
-            dist.p99.iter().map(|v| *v as i64).collect::<Vec<_>>()
-        ));
-        t.note(format!(
-            "linear fit of p99 age: {base:.2} + {slope:.3}k   (paper cutoff: 7 + 0.25k)"
-        ));
-        tables.push(t);
-    }
-    tables
+    sizes
+        .into_iter()
+        .zip(dists)
+        .map(|(n, dist)| {
+            cdf_table(
+                format!("fig6_n{n}"),
+                format!("Fig. 6 — bit counter CDF, {n} hosts (converged, uniform gossip)"),
+                &dist,
+            )
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -14,23 +14,41 @@
 use crate::opts::ExpOpts;
 use crate::output::Table;
 use dynagg_core::config::RevertConfig;
-use dynagg_core::push_sum_revert::PushSumRevert;
-use dynagg_sim::env::uniform::UniformEnv;
-use dynagg_sim::{par, runner, FailureMode, FailureSpec, Series, Truth};
+use dynagg_scenario::{Engine, EnvSpec, ProtocolSpec, ScenarioSpec, Sweep, SweepAxis};
+use dynagg_sim::{par, FailureMode, FailureSpec, Series, Truth};
 
 /// Rounds simulated (paper x-axis: 0..60).
 pub const ROUNDS: u64 = 60;
 
+/// The scenario behind one λ line: pairwise Push-Sum-Revert with half the
+/// population failing at round 20.
+pub fn line_spec(opts: &ExpOpts, lambda: f64, mode: FailureMode) -> ScenarioSpec {
+    let mut s = ScenarioSpec::new(
+        "fig8",
+        opts.seed,
+        EnvSpec::Uniform { broadcast_fanout: None },
+        ProtocolSpec::PushSumRevert { lambda },
+    );
+    s.description = "Fig. 8 — dynamic averaging under uncorrelated failures".into();
+    s.n = Some(opts.population());
+    s.rounds = Some(ROUNDS);
+    s.engine = Engine::Pairwise;
+    s.truth = Truth::Mean;
+    s.failure = FailureSpec::AtRound { round: 20, mode, fraction: 0.5, graceful: false };
+    s
+}
+
+/// The full figure as one declarative scenario (what `scenarios/fig8.toml`
+/// contains): the line spec swept over the paper's λ grid.
+pub fn scenario(opts: &ExpOpts) -> ScenarioSpec {
+    let mut s = line_spec(opts, 0.0, FailureMode::Random);
+    s.sweep = Some(Sweep { axis: SweepAxis::Lambda, values: RevertConfig::PAPER_LAMBDAS.to_vec() });
+    s
+}
+
 /// Run one λ line.
 pub fn run_line(opts: &ExpOpts, lambda: f64, mode: FailureMode) -> Series {
-    runner::builder(opts.seed)
-        .environment(UniformEnv::new())
-        .nodes_with_paper_values(opts.population())
-        .protocol(move |_, v| PushSumRevert::new(v, lambda))
-        .truth(Truth::Mean)
-        .failure(FailureSpec::AtRound { round: 20, mode, fraction: 0.5, graceful: false })
-        .build_pairwise()
-        .run(ROUNDS)
+    dynagg_scenario::run_series(&line_spec(opts, lambda, mode)).expect("fig8 spec is valid")
 }
 
 /// Run the full figure.

@@ -9,28 +9,46 @@
 
 use crate::opts::ExpOpts;
 use crate::output::Table;
-use dynagg_core::config::ResetConfig;
-use dynagg_core::count_sketch_reset::CountSketchReset;
-use dynagg_sim::env::uniform::UniformEnv;
-use dynagg_sim::{par, runner, FailureMode, FailureSpec, Series, Truth};
+use dynagg_scenario::{EnvSpec, ProtocolSpec, ScenarioSpec, ValueSpec};
+use dynagg_sim::{par, FailureMode, FailureSpec, Series, Truth};
 use dynagg_sketch::cutoff::Cutoff;
 
 /// Rounds simulated (paper x-axis: 0..40).
 pub const ROUNDS: u64 = 40;
 
+/// The scenario behind one cutoff line: Count-Sketch-Reset counting with
+/// half the population failing at round 20. `scenarios/fig9.toml` is the
+/// paper-cutoff ("limiting on") instance.
+pub fn line_spec(opts: &ExpOpts, cutoff: Cutoff) -> ScenarioSpec {
+    let mut s = ScenarioSpec::new(
+        "fig9",
+        opts.seed,
+        EnvSpec::Uniform { broadcast_fanout: None },
+        ProtocolSpec::CountSketchReset {
+            cutoff,
+            push_pull: true,
+            multiplier: 1,
+            hash_seed_xor: 0x5E7C,
+        },
+    );
+    s.description = "Fig. 9 — dynamic counting under failure".into();
+    s.n = Some(opts.population());
+    s.rounds = Some(ROUNDS);
+    s.values = ValueSpec::Constant(1.0);
+    s.truth = Truth::Count;
+    s.failure = FailureSpec::paper_half_at_20(FailureMode::Random);
+    s
+}
+
+/// The `scenarios/fig9.toml` instance: the paper-cutoff ("limiting on")
+/// line.
+pub fn scenario(opts: &ExpOpts) -> ScenarioSpec {
+    line_spec(opts, Cutoff::paper_uniform())
+}
+
 /// Run one cutoff line.
 pub fn run_line(opts: &ExpOpts, cutoff: Cutoff) -> Series {
-    let n = opts.population();
-    let mut cfg = ResetConfig::paper(n as u64, opts.seed ^ 0x5E7C);
-    cfg.cutoff = cutoff;
-    runner::builder(opts.seed)
-        .environment(UniformEnv::new())
-        .nodes_with_constant(n, 1.0)
-        .protocol(move |id, _| CountSketchReset::counting(cfg, u64::from(id)))
-        .truth(Truth::Count)
-        .failure(FailureSpec::paper_half_at_20(FailureMode::Random))
-        .build()
-        .run(ROUNDS)
+    dynagg_scenario::run_series(&line_spec(opts, cutoff)).expect("fig9 spec is valid")
 }
 
 /// Run the full figure.

@@ -16,6 +16,15 @@
 //! | [`ablations`] | exchange style, adaptive λ, N/T sweeps, cutoff scale, bandwidth, epochs |
 //! | [`spatial_cutoff`] | extension: the cutoff fit in the grid environment (§IV-A's claim) |
 //! | [`epoch_disruption`] | extension: §II-C's epoch disruption under clique mobility (migration × drift sweep) |
+//! | [`scenario_run`] | `experiments run <file.toml>` — declarative scenarios via `dynagg-scenario` |
+//!
+//! Environment and protocol construction route through the
+//! `dynagg-scenario` registry: each figure module builds [`ScenarioSpec`]s
+//! (its `line_spec`/`scenario` functions) and runs them, so the checked-in
+//! `scenarios/*.toml` files reproduce the figures bit-identically
+//! (`tests/scenario_goldens.rs` pins this).
+//!
+//! [`ScenarioSpec`]: dynagg_scenario::ScenarioSpec
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,6 +38,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod opts;
 pub mod output;
+pub mod scenario_run;
 pub mod spatial_cutoff;
 pub mod tables;
 

@@ -23,18 +23,28 @@ impl Default for ExpOpts {
 }
 
 impl ExpOpts {
+    /// The quick-mode population rule: ~100× smaller, floored so the
+    /// statistics stay meaningful. Scenario runs (`experiments run
+    /// --quick`) apply the same rule to `n` and to `n`-sweep values.
+    pub fn quick_scale(n: usize) -> usize {
+        (n / 100).max(500)
+    }
+
     /// Effective uniform-env population.
     pub fn population(&self) -> usize {
         if self.quick {
-            (self.n / 100).max(500)
+            Self::quick_scale(self.n)
         } else {
             self.n
         }
     }
 
+    /// Quick-mode trace horizon, in simulated hours.
+    pub const QUICK_TRACE_HOURS: u64 = 12;
+
     /// Trace horizon cap in simulated hours (`None` = full trace).
     pub fn trace_hours_cap(&self) -> Option<u64> {
-        self.quick.then_some(12)
+        self.quick.then_some(Self::QUICK_TRACE_HOURS)
     }
 
     /// Fig. 6 network sizes.

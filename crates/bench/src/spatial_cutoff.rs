@@ -18,11 +18,20 @@
 use crate::fig6::{self, CounterDistribution};
 use crate::opts::ExpOpts;
 use crate::output::Table;
-use dynagg_sim::env::spatial::SpatialEnv;
-use dynagg_sim::env::uniform::UniformEnv;
+use dynagg_scenario::{EnvSpec, ScenarioSpec};
 
 /// Spatial gossip needs longer to converge than uniform.
 pub const SPATIAL_CONVERGE_ROUNDS: u64 = 80;
+
+/// The spatial half as a declarative scenario (`scenarios/spatial_cutoff.toml`).
+pub fn scenario(opts: &ExpOpts) -> ScenarioSpec {
+    let n = if opts.quick { 2_500 } else { 10_000 };
+    let mut s =
+        fig6::collect_spec(opts, n, EnvSpec::Spatial { max_walk: None }, SPATIAL_CONVERGE_ROUNDS);
+    s.name = "spatial-cutoff".into();
+    s.description = "Extension — the cutoff fit in the grid environment (§IV-A)".into();
+    s
+}
 
 /// Collect the spatial and uniform distributions at the same size (the
 /// two environments run as parallel trials).
@@ -30,9 +39,14 @@ pub fn collect_pair(opts: &ExpOpts, n: usize) -> (CounterDistribution, CounterDi
     let variants = [true, false];
     let mut dists = dynagg_sim::par::par_map(&variants, |_, &spatial| {
         if spatial {
-            fig6::collect_env(opts, n, SpatialEnv::for_nodes(n), SPATIAL_CONVERGE_ROUNDS)
+            fig6::collect_env(opts, n, EnvSpec::Spatial { max_walk: None }, SPATIAL_CONVERGE_ROUNDS)
         } else {
-            fig6::collect_env(opts, n, UniformEnv::new(), fig6::CONVERGE_ROUNDS)
+            fig6::collect_env(
+                opts,
+                n,
+                EnvSpec::Uniform { broadcast_fanout: None },
+                fig6::CONVERGE_ROUNDS,
+            )
         }
     })
     .into_iter();

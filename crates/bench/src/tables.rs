@@ -4,9 +4,8 @@
 use crate::fig10;
 use crate::opts::ExpOpts;
 use crate::output::Table;
-use dynagg_core::push_sum::PushSum;
-use dynagg_sim::env::uniform::UniformEnv;
-use dynagg_sim::{runner, Series, Truth};
+use dynagg_scenario::{Engine, EnvSpec, ProtocolSpec, ScenarioSpec};
+use dynagg_sim::{Series, Truth};
 use dynagg_sketch::hash::SplitMix64;
 use dynagg_sketch::pcsa::Pcsa;
 
@@ -52,13 +51,18 @@ pub fn convergence(opts: &ExpOpts) -> Table {
     );
 
     // Static Push-Sum initial convergence for scale reference.
-    let static_series = runner::builder(opts.seed)
-        .environment(UniformEnv::new())
-        .nodes_with_paper_values(opts.population())
-        .protocol(|_, v| PushSum::averaging(v))
-        .truth(Truth::Mean)
-        .build_pairwise()
-        .run(30);
+    let mut static_spec = ScenarioSpec::new(
+        "table-convergence-static",
+        opts.seed,
+        EnvSpec::Uniform { broadcast_fanout: None },
+        ProtocolSpec::PushSum,
+    );
+    static_spec.n = Some(opts.population());
+    static_spec.rounds = Some(30);
+    static_spec.engine = Engine::Pairwise;
+    static_spec.truth = Truth::Mean;
+    let static_series =
+        dynagg_scenario::run_series(&static_spec).expect("static convergence spec is valid");
     let static_conv = static_series.converged_at(1.0).unwrap_or(30);
     t.note(format!(
         "static push/pull Push-Sum converges (stddev<1) in {static_conv} rounds (paper: ~10)"

@@ -1,0 +1,207 @@
+//! Scenario goldens: the checked-in `scenarios/*.toml` files ARE the
+//! hard-coded figures.
+//!
+//! Three layers of pinning:
+//!
+//! 1. **Spec equality** — each figure TOML parses to *exactly* the
+//!    [`ScenarioSpec`] its bench module constructs (so the file cannot
+//!    drift from the figure silently).
+//! 2. **Runtime bit-identity** — running a (scaled-down) TOML through the
+//!    scenario engine produces series/distributions bit-identical to the
+//!    module path.
+//! 3. **Golden digests** — fixed constants over full series content catch
+//!    any registry/parser/engine drift, in the style of
+//!    `tests/determinism.rs`.
+//!
+//! [`ScenarioSpec`]: dynagg_scenario::ScenarioSpec
+
+use dynagg_bench::{epoch_disruption, fig10, fig6, fig8, fig9, spatial_cutoff, ExpOpts};
+use dynagg_core::config::RevertConfig;
+use dynagg_scenario::{ScenarioSpec, SweepAxis};
+use dynagg_sim::{FailureMode, Series};
+use std::path::{Path, PathBuf};
+
+fn scenarios_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+fn load(name: &str) -> ScenarioSpec {
+    let path = scenarios_dir().join(name);
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    ScenarioSpec::from_toml_str(&src).unwrap_or_else(|e| panic!("{name}: {e}"))
+}
+
+/// FNV-1a over the full series content, order-sensitive, bit-exact
+/// (extends `tests/determinism.rs`' digest with the lifecycle columns).
+fn digest(s: &Series) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |x: u64| {
+        for b in x.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01B3);
+        }
+    };
+    for r in &s.rounds {
+        eat(r.round);
+        eat(r.alive as u64);
+        eat(r.truth.to_bits());
+        eat(r.mean_estimate.to_bits());
+        eat(r.stddev.to_bits());
+        eat(r.mean_abs_err.to_bits());
+        eat(r.max_abs_err.to_bits());
+        eat(r.defined as u64);
+        eat(r.messages);
+        eat(r.bytes);
+        eat(r.mean_group_size.to_bits());
+        eat(r.settling as u64);
+        eat(r.disruptions);
+    }
+    h
+}
+
+#[test]
+fn every_checked_in_scenario_parses_and_validates() {
+    let mut seen = 0;
+    for entry in std::fs::read_dir(scenarios_dir()).expect("scenarios/ exists") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("toml") {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).unwrap();
+        ScenarioSpec::from_toml_str(&src).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        seen += 1;
+    }
+    assert!(seen >= 9, "expected the full scenario library, found {seen} files");
+}
+
+#[test]
+fn figure_tomls_parse_to_the_module_specs() {
+    let opts = ExpOpts::default();
+    assert_eq!(load("fig6.toml"), fig6::scenario(&opts), "fig6.toml drifted");
+    assert_eq!(load("fig8.toml"), fig8::scenario(&opts), "fig8.toml drifted");
+    assert_eq!(load("fig9.toml"), fig9::scenario(&opts), "fig9.toml drifted");
+    assert_eq!(load("fig10a.toml"), fig10::scenario_a(&opts), "fig10a.toml drifted");
+    assert_eq!(load("fig10b.toml"), fig10::scenario_b(&opts), "fig10b.toml drifted");
+    assert_eq!(
+        load("spatial_cutoff.toml"),
+        spatial_cutoff::scenario(&opts),
+        "spatial_cutoff.toml drifted"
+    );
+    assert_eq!(
+        load("epoch_disruption.toml"),
+        epoch_disruption::epoch_cell_spec(1200, opts.seed, 0.02, 1.0),
+        "epoch_disruption.toml drifted"
+    );
+}
+
+#[test]
+fn fig8_toml_reproduces_the_module_series_bit_identically() {
+    let mut spec = load("fig8.toml");
+    spec.n = Some(800); // scaled for test time; identical code path
+    let outcome = dynagg_scenario::run(&spec).unwrap();
+    let opts = ExpOpts { n: 800, ..ExpOpts::default() };
+    let lambdas = RevertConfig::PAPER_LAMBDAS;
+    assert_eq!(outcome.instances.len(), lambdas.len());
+    for (inst, &lambda) in outcome.instances.iter().zip(&lambdas) {
+        let module = fig8::run_line(&opts, lambda, FailureMode::Random);
+        assert_eq!(
+            inst.series(),
+            &module,
+            "lambda={lambda}: TOML-driven series diverged from the fig8 module path"
+        );
+    }
+}
+
+#[test]
+fn fig6_toml_reproduces_the_module_distribution_bit_identically() {
+    let mut spec = load("fig6.toml");
+    let sweep = spec.sweep.as_mut().expect("fig6 sweeps n");
+    assert_eq!(sweep.axis, SweepAxis::N);
+    sweep.values = vec![600.0]; // scaled for test time
+    let outcome = dynagg_scenario::run(&spec).unwrap();
+    let samples = outcome.instances[0].trials[0].counter_samples.as_ref().unwrap();
+    let from_toml = fig6::CounterDistribution::from_samples(600, samples);
+    let from_module = fig6::collect(&ExpOpts::default(), 600);
+    assert_eq!(from_toml, from_module, "TOML-driven fig6 distribution diverged");
+}
+
+#[test]
+fn epoch_disruption_toml_reproduces_the_module_cell_bit_identically() {
+    let mut spec = load("epoch_disruption.toml");
+    spec.n = Some(300); // the module's test-size cell
+    let toml_series = dynagg_scenario::run_series(&spec).unwrap();
+    let module_spec = epoch_disruption::epoch_cell_spec(300, ExpOpts::default().seed, 0.02, 1.0);
+    let module_series = dynagg_scenario::run_series(&module_spec).unwrap();
+    assert_eq!(toml_series, module_series, "TOML-driven epoch cell diverged");
+    assert!(
+        toml_series.disruptions_between(0) > 0,
+        "the cell must actually exhibit §II-C disruptions"
+    );
+}
+
+/// Pinned digests: any engine/registry/parser change that alters scenario
+/// output must update these constants with a documented reason.
+const GOLDEN_FIG8_L001_N800: u64 = 0x68DD_20E9_5CB6_A2DE;
+const GOLDEN_EPOCH_CELL_N300: u64 = 0x7F24_3B97_E780_0A60;
+
+#[test]
+fn golden_digest_fig8_line() {
+    let mut spec = load("fig8.toml");
+    spec.n = Some(800);
+    spec.sweep = None;
+    *spec.protocol.lambda_mut().unwrap() = 0.01;
+    let series = dynagg_scenario::run_series(&spec).unwrap();
+    assert_eq!(
+        digest(&series),
+        GOLDEN_FIG8_L001_N800,
+        "fig8 scenario output changed for a fixed seed; if intentional, update the golden \
+         digest with a documented reason"
+    );
+}
+
+#[test]
+fn golden_digest_epoch_cell() {
+    let mut spec = load("epoch_disruption.toml");
+    spec.n = Some(300);
+    let series = dynagg_scenario::run_series(&spec).unwrap();
+    assert_eq!(
+        digest(&series),
+        GOLDEN_EPOCH_CELL_N300,
+        "epoch-disruption scenario output changed for a fixed seed"
+    );
+}
+
+#[test]
+fn new_workload_scenarios_run_from_toml() {
+    // The two genuinely-new workloads: parse, validate, and simulate a few
+    // rounds at reduced size through the same subcommand path.
+    let mut churn = load("churn_spike.toml");
+    churn.n = Some(400);
+    churn.rounds = Some(40);
+    let outcome = dynagg_scenario::run(&churn).unwrap();
+    assert_eq!(outcome.instances.len(), 3, "three λ lines");
+    for inst in &outcome.instances {
+        assert_eq!(inst.series().rounds.len(), 40);
+        let last = inst.series().last().unwrap();
+        assert!(last.alive > 0 && last.defined > 0);
+    }
+
+    let mut storm = load("merge_storm.toml");
+    storm.n = Some(320);
+    storm.rounds = Some(130); // past the merge wave and the first split
+    let series = dynagg_scenario::run_series(&storm).unwrap();
+    assert_eq!(series.rounds.len(), 130);
+    assert!(series.disruptions_between(0) > 0, "merge storm must force disruptive epoch restarts");
+    assert!(series.settling_host_rounds(35) > 0, "settling cascades must follow the merges");
+}
+
+#[test]
+fn fig11_trace_scenario_parses_and_smokes() {
+    let mut spec = load("fig11_avg_d1.toml");
+    spec.rounds = Some(24);
+    let outcome = dynagg_scenario::run(&spec).unwrap();
+    assert_eq!(outcome.instances.len(), 3);
+    assert_eq!(outcome.instances[0].n, 9, "dataset 1 has 9 devices");
+    assert_eq!(outcome.instances[0].series().rounds.len(), 24);
+}

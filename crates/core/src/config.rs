@@ -119,6 +119,19 @@ impl ResetConfig {
             push_pull: true,
         }
     }
+
+    /// Replace the cutoff (sweeps and scenario specs override it in one
+    /// expression).
+    pub fn with_cutoff(mut self, cutoff: Cutoff) -> Self {
+        self.cutoff = cutoff;
+        self
+    }
+
+    /// Toggle push-pull message exchange.
+    pub fn with_push_pull(mut self, push_pull: bool) -> Self {
+        self.push_pull = push_pull;
+        self
+    }
 }
 
 #[cfg(test)]

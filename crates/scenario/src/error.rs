@@ -1,0 +1,106 @@
+//! Typed scenario errors.
+//!
+//! Every way a scenario file can be wrong maps to a variant here — parsing
+//! and validation never panic. The rejection tests in
+//! `tests/rejections.rs` pin the variant produced by each misuse.
+
+use std::fmt;
+
+/// Why a scenario failed to parse, validate, or resolve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// The file is not valid TOML.
+    Toml(toml::TomlError),
+    /// A required key is absent.
+    Missing {
+        /// The table it belongs in (`""` for the top level).
+        table: &'static str,
+        /// The missing key.
+        key: &'static str,
+    },
+    /// A key holds the wrong TOML type.
+    Type {
+        /// The offending key (dotted path).
+        key: String,
+        /// What the spec expects.
+        expected: &'static str,
+        /// What the file contains.
+        found: &'static str,
+    },
+    /// A key that does not belong in its table — including keys of a
+    /// *different* environment/protocol kind (conflicting env keys land
+    /// here: `clusters` under `kind = "uniform"` is rejected, not
+    /// silently ignored).
+    UnknownKey {
+        /// The table being parsed.
+        table: &'static str,
+        /// The unexpected key.
+        key: String,
+    },
+    /// An unknown registry name (protocol, environment kind, truth,
+    /// failure kind, metric, sweep axis, …).
+    UnknownName {
+        /// What kind of name was being resolved.
+        what: &'static str,
+        /// The name the file used.
+        name: String,
+    },
+    /// A value is out of range or otherwise invalid.
+    Invalid {
+        /// The offending key (dotted path).
+        key: String,
+        /// Why it is rejected.
+        reason: String,
+    },
+    /// A structurally valid spec that the engine cannot execute (engine ×
+    /// protocol mismatch, group truth without a trace environment, …).
+    Unsupported {
+        /// What is unsupported, and what would be.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Toml(e) => write!(f, "{e}"),
+            ScenarioError::Missing { table, key } => {
+                if table.is_empty() {
+                    write!(f, "missing required key `{key}`")
+                } else {
+                    write!(f, "missing required key `{key}` in [{table}]")
+                }
+            }
+            ScenarioError::Type { key, expected, found } => {
+                write!(f, "`{key}` must be a {expected}, found a {found}")
+            }
+            ScenarioError::UnknownKey { table, key } => {
+                if table.is_empty() {
+                    write!(f, "unknown key `{key}` at the top level")
+                } else {
+                    write!(f, "unknown key `{key}` in [{table}]")
+                }
+            }
+            ScenarioError::UnknownName { what, name } => {
+                write!(f, "unknown {what} `{name}`")
+            }
+            ScenarioError::Invalid { key, reason } => write!(f, "invalid `{key}`: {reason}"),
+            ScenarioError::Unsupported { reason } => write!(f, "unsupported scenario: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScenarioError::Toml(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<toml::TomlError> for ScenarioError {
+    fn from(e: toml::TomlError) -> Self {
+        ScenarioError::Toml(e)
+    }
+}

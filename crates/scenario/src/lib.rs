@@ -1,0 +1,57 @@
+//! # dynagg-scenario
+//!
+//! Declarative experiment assembly: a [`ScenarioSpec`] names an
+//! environment, a protocol (any of the 12 in `dynagg-core`) with its
+//! configuration, seeds/rounds/trials, a failure plan, and the outputs to
+//! record — either built programmatically (the figure modules in
+//! `dynagg-bench` do this) or parsed from a TOML file (the
+//! `experiments run <file.toml>` subcommand, over the offline `toml`
+//! shim). Both paths meet in [`registry`], so a checked-in
+//! `scenarios/*.toml` reproduces the corresponding hard-coded figure
+//! bit-identically.
+//!
+//! Parsing and validation return typed [`ScenarioError`]s — an unknown
+//! protocol name, a missing seed, or a key from the wrong environment
+//! kind is a diagnosis, never a panic.
+//!
+//! ```
+//! use dynagg_scenario::ScenarioSpec;
+//!
+//! let spec = ScenarioSpec::from_toml_str(
+//!     r#"
+//!     name = "demo"
+//!     seed = 42
+//!     n = 120
+//!     rounds = 6
+//!
+//!     [env]
+//!     kind = "uniform"
+//!
+//!     [protocol]
+//!     name = "push-sum-revert"
+//!     lambda = 0.01
+//!     "#,
+//! )
+//! .unwrap();
+//! let series = dynagg_scenario::run_series(&spec).unwrap();
+//! assert_eq!(series.rounds.len(), 6);
+//! assert_eq!(series.rounds[0].alive, 120);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod parse;
+pub mod registry;
+mod spec;
+
+pub use error::ScenarioError;
+pub use registry::{
+    build_env, run, run_series, trace_info, InstanceOutcome, ScenarioOutcome, TraceInfo,
+    TrialOutput,
+};
+pub use spec::{
+    CliqueDrift, Engine, EnvSpec, Metric, OutputSpec, ProtocolSpec, Report, ScenarioSpec, Sweep,
+    SweepAxis, ValueSpec,
+};

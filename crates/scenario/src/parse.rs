@@ -1,0 +1,519 @@
+//! TOML → [`ScenarioSpec`] deserialization.
+//!
+//! Hand-rolled against the `toml` shim's value model (the serde shim is a
+//! no-op, so there is no derive to lean on) with strict key checking:
+//! every table rejects keys it does not know, so a `clusters` key under
+//! `kind = "uniform"` is a typed error rather than silently dead
+//! configuration.
+
+use crate::error::ScenarioError;
+use crate::spec::{
+    CliqueDrift, Engine, EnvSpec, Metric, OutputSpec, ProtocolSpec, Report, ScenarioSpec, Sweep,
+    SweepAxis, ValueSpec,
+};
+use dynagg_core::extremum::ExtremumMode;
+use dynagg_sim::env::{MobilityEvent, MobilityKind};
+use dynagg_sim::{FailureMode, FailureSpec, Truth};
+use dynagg_sketch::cutoff::Cutoff;
+use dynagg_trace::datasets::Dataset;
+use toml::{Table, Value};
+
+impl ScenarioSpec {
+    /// Parse and validate a scenario from TOML text.
+    pub fn from_toml_str(src: &str) -> Result<Self, ScenarioError> {
+        let spec = Self::from_table(&toml::parse(src)?)?;
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Deserialize from an already-parsed TOML table (not yet validated).
+    pub fn from_table(doc: &Table) -> Result<Self, ScenarioError> {
+        let top = Ctx { table: doc, name: "" };
+        top.check_keys(&[
+            "name",
+            "description",
+            "seed",
+            "n",
+            "rounds",
+            "trials",
+            "engine",
+            "truth",
+            "loss",
+            "env",
+            "values",
+            "protocol",
+            "failure",
+            "output",
+            "sweep",
+        ])?;
+
+        let name = top.req_str("name")?.to_string();
+        let description = top.opt_str("description")?.unwrap_or_default().to_string();
+        let seed = top.req_u64("seed")?;
+        let n = top.opt_u64("n")?.map(|v| v as usize);
+        let rounds = top.opt_u64("rounds")?;
+        let trials = top.opt_u64("trials")?.unwrap_or(1);
+        let engine = match top.opt_str("engine")? {
+            None | Some("push") => Engine::Push,
+            Some("pairwise") => Engine::Pairwise,
+            Some(other) => {
+                return Err(ScenarioError::UnknownName { what: "engine", name: other.into() })
+            }
+        };
+        let truth = match top.opt_str("truth")? {
+            None => Truth::Mean,
+            Some(s) => s
+                .parse()
+                .map_err(|_| ScenarioError::UnknownName { what: "truth", name: s.into() })?,
+        };
+        let loss = top.opt_f64("loss")?.unwrap_or(0.0);
+
+        let env = parse_env(top.req_table("env")?)?;
+        let values = match top.opt_table("values")? {
+            None => ValueSpec::Paper,
+            Some(t) => parse_values(t)?,
+        };
+        let protocol = parse_protocol(top.req_table("protocol")?)?;
+        let failure = match top.opt_table("failure")? {
+            None => FailureSpec::None,
+            Some(t) => parse_failure(t)?,
+        };
+        let output = match top.opt_table("output")? {
+            None => OutputSpec::default(),
+            Some(t) => parse_output(t)?,
+        };
+        let sweep = match top.opt_table("sweep")? {
+            None => None,
+            Some(t) => Some(parse_sweep(t)?),
+        };
+
+        Ok(ScenarioSpec {
+            name,
+            description,
+            seed,
+            n,
+            rounds,
+            trials,
+            engine,
+            env,
+            values,
+            protocol,
+            truth,
+            failure,
+            loss,
+            output,
+            sweep,
+        })
+    }
+}
+
+/// A table plus its name, with typed accessors that produce
+/// [`ScenarioError`]s mentioning both.
+struct Ctx<'a> {
+    table: &'a Table,
+    name: &'static str,
+}
+
+impl<'a> Ctx<'a> {
+    fn check_keys(&self, allowed: &[&str]) -> Result<(), ScenarioError> {
+        for key in self.table.keys() {
+            if !allowed.contains(&key) {
+                return Err(ScenarioError::UnknownKey { table: self.name, key: key.to_string() });
+            }
+        }
+        Ok(())
+    }
+
+    fn key_path(&self, key: &str) -> String {
+        if self.name.is_empty() {
+            key.to_string()
+        } else {
+            format!("{}.{}", self.name, key)
+        }
+    }
+
+    fn req(&self, key: &'static str) -> Result<&'a Value, ScenarioError> {
+        self.table.get(key).ok_or(ScenarioError::Missing { table: self.name, key })
+    }
+
+    fn type_err(&self, key: &str, expected: &'static str, v: &Value) -> ScenarioError {
+        ScenarioError::Type { key: self.key_path(key), expected, found: v.type_name() }
+    }
+
+    fn req_str(&self, key: &'static str) -> Result<&'a str, ScenarioError> {
+        let v = self.req(key)?;
+        v.as_str().ok_or_else(|| self.type_err(key, "string", v))
+    }
+
+    fn opt_str(&self, key: &'static str) -> Result<Option<&'a str>, ScenarioError> {
+        match self.table.get(key) {
+            None => Ok(None),
+            Some(v) => v.as_str().map(Some).ok_or_else(|| self.type_err(key, "string", v)),
+        }
+    }
+
+    fn to_u64(&self, key: &str, v: &Value) -> Result<u64, ScenarioError> {
+        let i = v.as_integer().ok_or_else(|| self.type_err(key, "integer", v))?;
+        u64::try_from(i).map_err(|_| ScenarioError::Invalid {
+            key: self.key_path(key),
+            reason: format!("must be non-negative, got {i}"),
+        })
+    }
+
+    fn req_u64(&self, key: &'static str) -> Result<u64, ScenarioError> {
+        let v = self.req(key)?;
+        self.to_u64(key, v)
+    }
+
+    fn opt_u64(&self, key: &'static str) -> Result<Option<u64>, ScenarioError> {
+        match self.table.get(key) {
+            None => Ok(None),
+            Some(v) => self.to_u64(key, v).map(Some),
+        }
+    }
+
+    fn req_f64(&self, key: &'static str) -> Result<f64, ScenarioError> {
+        let v = self.req(key)?;
+        v.as_float().ok_or_else(|| self.type_err(key, "number", v))
+    }
+
+    fn opt_f64(&self, key: &'static str) -> Result<Option<f64>, ScenarioError> {
+        match self.table.get(key) {
+            None => Ok(None),
+            Some(v) => v.as_float().map(Some).ok_or_else(|| self.type_err(key, "number", v)),
+        }
+    }
+
+    fn opt_bool(&self, key: &'static str) -> Result<Option<bool>, ScenarioError> {
+        match self.table.get(key) {
+            None => Ok(None),
+            Some(v) => v.as_bool().map(Some).ok_or_else(|| self.type_err(key, "boolean", v)),
+        }
+    }
+
+    fn req_table(&self, key: &'static str) -> Result<&'a Table, ScenarioError> {
+        let v = self.req(key)?;
+        v.as_table().ok_or_else(|| self.type_err(key, "table", v))
+    }
+
+    fn opt_table(&self, key: &'static str) -> Result<Option<&'a Table>, ScenarioError> {
+        match self.table.get(key) {
+            None => Ok(None),
+            Some(v) => v.as_table().map(Some).ok_or_else(|| self.type_err(key, "table", v)),
+        }
+    }
+
+    fn opt_array(&self, key: &'static str) -> Result<Option<&'a [Value]>, ScenarioError> {
+        match self.table.get(key) {
+            None => Ok(None),
+            Some(v) => v.as_array().map(Some).ok_or_else(|| self.type_err(key, "array", v)),
+        }
+    }
+}
+
+fn parse_env(table: &Table) -> Result<EnvSpec, ScenarioError> {
+    let env = Ctx { table, name: "env" };
+    match env.req_str("kind")? {
+        "uniform" => {
+            env.check_keys(&["kind", "broadcast_fanout"])?;
+            Ok(EnvSpec::Uniform {
+                broadcast_fanout: env.opt_u64("broadcast_fanout")?.map(|v| v as usize),
+            })
+        }
+        "spatial" => {
+            env.check_keys(&["kind", "max_walk"])?;
+            Ok(EnvSpec::Spatial { max_walk: env.opt_u64("max_walk")?.map(|v| v as u32) })
+        }
+        "clustered" => {
+            env.check_keys(&["kind", "clusters", "migration", "bridge", "events"])?;
+            let events = match env.opt_array("events")? {
+                None => Vec::new(),
+                Some(items) => items
+                    .iter()
+                    .map(|item| {
+                        let t = item.as_table().ok_or(ScenarioError::Type {
+                            key: "env.events".into(),
+                            expected: "array of tables",
+                            found: item.type_name(),
+                        })?;
+                        parse_event(t)
+                    })
+                    .collect::<Result<_, _>>()?,
+            };
+            Ok(EnvSpec::Clustered {
+                clusters: env.req_u64("clusters")? as u32,
+                migration: env.opt_f64("migration")?.unwrap_or(0.0),
+                bridge: env.opt_f64("bridge")?.unwrap_or(0.0),
+                events,
+            })
+        }
+        "trace" => {
+            env.check_keys(&["kind", "dataset"])?;
+            let idx = env.req_u64("dataset")?;
+            let dataset = Dataset::from_index(idx as usize).ok_or(ScenarioError::Invalid {
+                key: "env.dataset".into(),
+                reason: format!("no dataset {idx} (choose 1, 2, or 3)"),
+            })?;
+            Ok(EnvSpec::Trace { dataset })
+        }
+        other => Err(ScenarioError::UnknownName { what: "environment kind", name: other.into() }),
+    }
+}
+
+fn parse_event(table: &Table) -> Result<MobilityEvent, ScenarioError> {
+    let ev = Ctx { table, name: "env.events" };
+    let round = ev.req_u64("round")?;
+    let kind = match ev.req_str("kind")? {
+        "burst" => {
+            ev.check_keys(&["round", "kind", "fraction"])?;
+            MobilityKind::Burst { fraction: ev.req_f64("fraction")? }
+        }
+        "merge" => {
+            ev.check_keys(&["round", "kind", "from", "into"])?;
+            MobilityKind::Merge {
+                from: ev.req_u64("from")? as u32,
+                into: ev.req_u64("into")? as u32,
+            }
+        }
+        "split" => {
+            ev.check_keys(&["round", "kind", "from", "into"])?;
+            MobilityKind::Split {
+                from: ev.req_u64("from")? as u32,
+                into: ev.req_u64("into")? as u32,
+            }
+        }
+        other => {
+            return Err(ScenarioError::UnknownName {
+                what: "mobility event kind",
+                name: other.into(),
+            })
+        }
+    };
+    Ok(MobilityEvent { round, kind })
+}
+
+fn parse_values(table: &Table) -> Result<ValueSpec, ScenarioError> {
+    let values = Ctx { table, name: "values" };
+    match values.req_str("kind")? {
+        "paper" => {
+            values.check_keys(&["kind"])?;
+            Ok(ValueSpec::Paper)
+        }
+        "constant" => {
+            values.check_keys(&["kind", "value"])?;
+            Ok(ValueSpec::Constant(values.req_f64("value")?))
+        }
+        other => Err(ScenarioError::UnknownName { what: "value kind", name: other.into() }),
+    }
+}
+
+fn parse_protocol(table: &Table) -> Result<ProtocolSpec, ScenarioError> {
+    let p = Ctx { table, name: "protocol" };
+    match p.req_str("name")? {
+        "push-sum" => {
+            p.check_keys(&["name"])?;
+            Ok(ProtocolSpec::PushSum)
+        }
+        "push-sum-revert" => {
+            p.check_keys(&["name", "lambda"])?;
+            Ok(ProtocolSpec::PushSumRevert { lambda: p.req_f64("lambda")? })
+        }
+        "full-transfer" => {
+            p.check_keys(&["name", "lambda", "parcels", "window"])?;
+            Ok(ProtocolSpec::FullTransfer {
+                lambda: p.req_f64("lambda")?,
+                parcels: p.opt_u64("parcels")?.unwrap_or(4) as u32,
+                window: p.opt_u64("window")?.unwrap_or(3) as usize,
+            })
+        }
+        "adaptive-revert" => {
+            p.check_keys(&["name", "lambda"])?;
+            Ok(ProtocolSpec::AdaptiveRevert { lambda: p.req_f64("lambda")? })
+        }
+        "epoch-push-sum" => {
+            p.check_keys(&["name", "epoch_len", "settle_len", "drift_prob", "clique_drift"])?;
+            let clique_drift = match p.opt_table("clique_drift")? {
+                None => None,
+                Some(t) => {
+                    let cd = Ctx { table: t, name: "protocol.clique_drift" };
+                    cd.check_keys(&["clusters", "magnitude"])?;
+                    Some(CliqueDrift {
+                        clusters: cd.req_u64("clusters")? as u32,
+                        magnitude: cd.req_f64("magnitude")?,
+                    })
+                }
+            };
+            Ok(ProtocolSpec::EpochPushSum {
+                epoch_len: p.req_u64("epoch_len")?,
+                settle_len: p.opt_u64("settle_len")?,
+                drift_prob: p.opt_f64("drift_prob")?.unwrap_or(0.0),
+                clique_drift,
+            })
+        }
+        "count-sketch" => {
+            p.check_keys(&["name", "hash_seed_xor"])?;
+            Ok(ProtocolSpec::CountSketch {
+                hash_seed_xor: p.opt_u64("hash_seed_xor")?.unwrap_or(0),
+            })
+        }
+        "count-sketch-reset" => {
+            p.check_keys(&["name", "cutoff", "push_pull", "multiplier", "hash_seed_xor"])?;
+            Ok(ProtocolSpec::CountSketchReset {
+                cutoff: parse_cutoff(&p)?,
+                push_pull: p.opt_bool("push_pull")?.unwrap_or(true),
+                multiplier: p.opt_u64("multiplier")?.unwrap_or(1),
+                hash_seed_xor: p.opt_u64("hash_seed_xor")?.unwrap_or(0),
+            })
+        }
+        "invert-average" => {
+            p.check_keys(&["name", "lambda", "hash_seed_xor"])?;
+            Ok(ProtocolSpec::InvertAverage {
+                lambda: p.req_f64("lambda")?,
+                hash_seed_xor: p.opt_u64("hash_seed_xor")?.unwrap_or(0),
+            })
+        }
+        "tag-tree" => {
+            p.check_keys(&["name", "child_timeout"])?;
+            Ok(ProtocolSpec::TagTree { child_timeout: p.opt_u64("child_timeout")?.unwrap_or(3) })
+        }
+        "extremum" => {
+            p.check_keys(&["name", "mode", "ttl"])?;
+            let mode = match p.req_str("mode")? {
+                "max" => ExtremumMode::Max,
+                "min" => ExtremumMode::Min,
+                other => {
+                    return Err(ScenarioError::UnknownName {
+                        what: "extremum mode",
+                        name: other.into(),
+                    })
+                }
+            };
+            Ok(ProtocolSpec::Extremum { mode, ttl: p.opt_u64("ttl")?.map(|v| v as u32) })
+        }
+        "moments" => {
+            p.check_keys(&["name", "lambda"])?;
+            Ok(ProtocolSpec::Moments { lambda: p.req_f64("lambda")? })
+        }
+        "histogram" => {
+            p.check_keys(&["name", "lo", "hi", "buckets", "lambda"])?;
+            Ok(ProtocolSpec::Histogram {
+                lo: p.req_f64("lo")?,
+                hi: p.req_f64("hi")?,
+                buckets: p.req_u64("buckets")? as u32,
+                lambda: p.req_f64("lambda")?,
+            })
+        }
+        other => Err(ScenarioError::UnknownName { what: "protocol", name: other.into() }),
+    }
+}
+
+/// `cutoff` accepts `"paper"` / `"infinite"` / `"slow"`, or a table:
+/// `{ scale = 2.0 }` (paper cutoff scaled) or `{ base = 7.0, slope = 0.25 }`.
+fn parse_cutoff(p: &Ctx<'_>) -> Result<Cutoff, ScenarioError> {
+    let Some(v) = p.table.get("cutoff") else { return Ok(Cutoff::paper_uniform()) };
+    if let Some(s) = v.as_str() {
+        return match s {
+            "paper" => Ok(Cutoff::paper_uniform()),
+            "infinite" => Ok(Cutoff::Infinite),
+            "slow" => Ok(Cutoff::slow()),
+            other => Err(ScenarioError::UnknownName { what: "cutoff", name: other.into() }),
+        };
+    }
+    let Some(t) = v.as_table() else {
+        return Err(ScenarioError::Type {
+            key: "protocol.cutoff".into(),
+            expected: "string or table",
+            found: v.type_name(),
+        });
+    };
+    let c = Ctx { table: t, name: "protocol.cutoff" };
+    if t.contains_key("scale") {
+        c.check_keys(&["scale"])?;
+        Ok(Cutoff::paper_uniform().scaled(c.req_f64("scale")?))
+    } else {
+        c.check_keys(&["base", "slope"])?;
+        Ok(Cutoff::Linear { base: c.req_f64("base")?, slope: c.req_f64("slope")? })
+    }
+}
+
+fn parse_failure(table: &Table) -> Result<FailureSpec, ScenarioError> {
+    let f = Ctx { table, name: "failure" };
+    match f.req_str("kind")? {
+        "at-round" => {
+            f.check_keys(&["kind", "round", "mode", "fraction", "graceful"])?;
+            let mode: FailureMode = match f.opt_str("mode")? {
+                None => FailureMode::Random,
+                Some(s) => s.parse().map_err(|_| ScenarioError::UnknownName {
+                    what: "failure mode",
+                    name: s.into(),
+                })?,
+            };
+            Ok(FailureSpec::AtRound {
+                round: f.req_u64("round")?,
+                mode,
+                fraction: f.req_f64("fraction")?,
+                graceful: f.opt_bool("graceful")?.unwrap_or(false),
+            })
+        }
+        "churn" => {
+            f.check_keys(&["kind", "start", "leave_per_round", "join_per_round"])?;
+            Ok(FailureSpec::Churn {
+                start: f.opt_u64("start")?.unwrap_or(0),
+                leave_per_round: f.req_f64("leave_per_round")?,
+                join_per_round: f.req_f64("join_per_round")?,
+            })
+        }
+        other => Err(ScenarioError::UnknownName { what: "failure kind", name: other.into() }),
+    }
+}
+
+fn parse_output(table: &Table) -> Result<OutputSpec, ScenarioError> {
+    let o = Ctx { table, name: "output" };
+    o.check_keys(&["metrics", "report"])?;
+    let metrics = match o.opt_array("metrics")? {
+        None => OutputSpec::default().metrics,
+        Some(items) => items
+            .iter()
+            .map(|item| {
+                let name = item.as_str().ok_or(ScenarioError::Type {
+                    key: "output.metrics".into(),
+                    expected: "array of strings",
+                    found: item.type_name(),
+                })?;
+                Metric::from_name(name)
+                    .ok_or(ScenarioError::UnknownName { what: "metric", name: name.into() })
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let report = match o.opt_str("report")? {
+        None | Some("series") => Report::Series,
+        Some("counter-cdf") => Report::CounterCdf,
+        Some(other) => {
+            return Err(ScenarioError::UnknownName { what: "report", name: other.into() })
+        }
+    };
+    Ok(OutputSpec { metrics, report })
+}
+
+fn parse_sweep(table: &Table) -> Result<Sweep, ScenarioError> {
+    let s = Ctx { table, name: "sweep" };
+    s.check_keys(&["axis", "values"])?;
+    let axis = match s.req_str("axis")? {
+        "lambda" => SweepAxis::Lambda,
+        "n" => SweepAxis::N,
+        other => return Err(ScenarioError::UnknownName { what: "sweep axis", name: other.into() }),
+    };
+    let values = s
+        .opt_array("values")?
+        .ok_or(ScenarioError::Missing { table: "sweep", key: "values" })?
+        .iter()
+        .map(|v| {
+            v.as_float().ok_or(ScenarioError::Type {
+                key: "sweep.values".into(),
+                expected: "array of numbers",
+                found: v.type_name(),
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    Ok(Sweep { axis, values })
+}

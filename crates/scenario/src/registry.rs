@@ -1,0 +1,356 @@
+//! The environment/protocol registry and the scenario runner.
+//!
+//! This is the single place where a declarative [`ScenarioSpec`] meets the
+//! concrete types in `dynagg-core` / `dynagg-sim`: [`build_env`] maps an
+//! [`EnvSpec`] onto an environment, and [`run`] dispatches over
+//! (protocol × engine) to assemble and drive a simulation. The hard-coded
+//! figure modules in `dynagg-bench` construct specs and call these same
+//! functions, so `experiments run <file.toml>` reproduces them
+//! bit-identically.
+
+use crate::error::ScenarioError;
+use crate::spec::{Engine, EnvSpec, ProtocolSpec, Report, ScenarioSpec, ValueSpec};
+use dynagg_core::adaptive::AdaptiveRevert;
+use dynagg_core::config::ResetConfig;
+use dynagg_core::config::SketchConfig;
+use dynagg_core::count_sketch::CountSketch;
+use dynagg_core::count_sketch_reset::CountSketchReset;
+use dynagg_core::epoch::{DriftModel, EpochPushSum};
+use dynagg_core::extremum::DynamicExtremum;
+use dynagg_core::full_transfer::FullTransfer;
+use dynagg_core::histogram::{Buckets, DynamicHistogram};
+use dynagg_core::invert_average::InvertAverage;
+use dynagg_core::moments::DynamicMoments;
+use dynagg_core::protocol::{NodeId, PairwiseProtocol, PushProtocol};
+use dynagg_core::push_sum::PushSum;
+use dynagg_core::push_sum_revert::PushSumRevert;
+use dynagg_core::tree::TagTree;
+use dynagg_sim::env::{ClusteredEnv, Environment, SpatialEnv, TraceEnv, UniformEnv};
+use dynagg_sim::{par, runner, Series};
+use dynagg_sketch::age::INF_AGE;
+use dynagg_trace::datasets::Dataset;
+use dynagg_trace::Timeline;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// What one trial produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialOutput {
+    /// The per-round metric series.
+    pub series: Series,
+    /// `samples[k][age]` — finite age-counter histogram per bit index,
+    /// collected after the last round. Only for
+    /// [`Report::CounterCdf`] runs.
+    pub counter_samples: Option<Vec<Vec<u64>>>,
+}
+
+/// All trials of one sweep instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceOutcome {
+    /// `axis=value` label (sweeps only).
+    pub label: Option<String>,
+    /// The effective population (trace environments resolve it here).
+    pub n: usize,
+    /// Rounds actually simulated.
+    pub rounds: u64,
+    /// One output per trial.
+    pub trials: Vec<TrialOutput>,
+}
+
+impl InstanceOutcome {
+    /// The single series of a one-trial instance.
+    pub fn series(&self) -> &Series {
+        &self.trials[0].series
+    }
+}
+
+/// A full scenario result: one outcome per sweep instance (a single
+/// outcome when there is no sweep).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioOutcome {
+    /// Sweep instances, in sweep-value order.
+    pub instances: Vec<InstanceOutcome>,
+}
+
+/// Facts about a trace dataset the spec layer needs before running
+/// (population, horizon, hourly bucketing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceInfo {
+    /// Devices in the trace (the population).
+    pub devices: usize,
+    /// Rounds in the full trace.
+    pub total_rounds: u64,
+    /// Rounds per simulated hour.
+    pub rounds_per_hour: u64,
+}
+
+/// Inspect a dataset without running anything.
+pub fn trace_info(dataset: Dataset) -> TraceInfo {
+    trace_data(dataset).0
+}
+
+/// Process-level memo of the (deterministic) synthetic trace per dataset:
+/// one scenario run touches the dataset several times (shape resolution,
+/// one environment per trial, hourly bucketing in fig11), and regenerating
+/// the full contact timeline each time is pure waste.
+fn trace_data(dataset: Dataset) -> (TraceInfo, Timeline) {
+    static CACHE: OnceLock<Mutex<HashMap<Dataset, (TraceInfo, Timeline)>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut guard = cache.lock().expect("trace cache poisoned");
+    guard
+        .entry(dataset)
+        .or_insert_with(|| {
+            let env = TraceEnv::paper(dataset.generate());
+            let info = TraceInfo {
+                devices: env.device_count(),
+                total_rounds: env.total_rounds(),
+                rounds_per_hour: env.rounds_per_hour(),
+            };
+            (info, env.timeline().clone())
+        })
+        .clone()
+}
+
+/// Build the environment a spec names. `n` is the effective population and
+/// `seed` the master seed (the clustered environment derives its migration
+/// stream from it).
+pub fn build_env(env: &EnvSpec, n: usize, seed: u64) -> Box<dyn Environment> {
+    match env {
+        EnvSpec::Uniform { broadcast_fanout } => {
+            let mut e = UniformEnv::new();
+            if let Some(f) = broadcast_fanout {
+                e = e.with_broadcast_fanout(*f);
+            }
+            Box::new(e)
+        }
+        EnvSpec::Spatial { max_walk } => {
+            let mut e = SpatialEnv::for_nodes(n);
+            if let Some(w) = max_walk {
+                e = e.with_max_walk(*w);
+            }
+            Box::new(e)
+        }
+        EnvSpec::Clustered { clusters, migration, bridge, events } => {
+            let e = ClusteredEnv::new(n, *clusters, *migration, *bridge, seed);
+            Box::new(if events.is_empty() { e } else { e.with_events(events.clone()) })
+        }
+        EnvSpec::Trace { dataset } => Box::new(TraceEnv::paper(trace_data(*dataset).1)),
+    }
+}
+
+/// Run a full scenario: validate, expand the sweep, run every instance
+/// (instances fan out as parallel trials, like the hard-coded figures).
+pub fn run(spec: &ScenarioSpec) -> Result<ScenarioOutcome, ScenarioError> {
+    spec.validate()?;
+    let instances = spec.instances();
+    let outcomes = par::par_map(&instances, |_, (label, inst)| run_instance(label.clone(), inst));
+    Ok(ScenarioOutcome { instances: outcomes })
+}
+
+/// Run a sweepless, single-trial spec and return its series — the call
+/// the figure modules' line runners reduce to.
+///
+/// # Panics
+/// Panics if the spec has a sweep or multiple trials (callers hold those
+/// at the figure level); validation errors are returned.
+pub fn run_series(spec: &ScenarioSpec) -> Result<Series, ScenarioError> {
+    spec.validate()?;
+    assert!(spec.sweep.is_none(), "run_series takes a sweepless spec; use run()");
+    assert_eq!(spec.trials, 1, "run_series takes a single-trial spec; use run()");
+    let (_, inst) = spec.instances().pop().expect("one instance");
+    let mut outcome = run_instance(None, &inst);
+    Ok(outcome.trials.pop().expect("one trial").series)
+}
+
+/// Run one sweep instance (all its trials). The spec must have validated.
+fn run_instance(label: Option<String>, spec: &ScenarioSpec) -> InstanceOutcome {
+    let (n, rounds) = resolve_shape(spec);
+    let trials = if spec.trials == 1 {
+        vec![run_trial(spec, spec.seed, n, rounds)]
+    } else {
+        par::run_trials(spec.seed, spec.trials, |seed| run_trial(spec, seed, n, rounds))
+    };
+    InstanceOutcome { label, n, rounds, trials }
+}
+
+/// Effective population and horizon (trace environments resolve both from
+/// the dataset).
+fn resolve_shape(spec: &ScenarioSpec) -> (usize, u64) {
+    match &spec.env {
+        EnvSpec::Trace { dataset } => {
+            let info = trace_info(*dataset);
+            (info.devices, spec.rounds.unwrap_or(info.total_rounds).min(info.total_rounds))
+        }
+        _ => (
+            spec.n.expect("validated: non-trace specs have n"),
+            spec.rounds.expect("validated: non-trace specs have rounds"),
+        ),
+    }
+}
+
+/// One trial: dispatch over (protocol × engine) into a concrete,
+/// monomorphized simulation. This match *is* the protocol registry.
+fn run_trial(spec: &ScenarioSpec, seed: u64, n: usize, rounds: u64) -> TrialOutput {
+    use ProtocolSpec as P;
+    let series_only = |series: Series| TrialOutput { series, counter_samples: None };
+    match spec.protocol {
+        P::PushSum => match spec.engine {
+            Engine::Push => {
+                series_only(run_push(spec, seed, n, rounds, |_, v| PushSum::averaging(v)))
+            }
+            Engine::Pairwise => {
+                series_only(run_pairwise(spec, seed, n, rounds, |_, v| PushSum::averaging(v)))
+            }
+        },
+        P::PushSumRevert { lambda } => match spec.engine {
+            Engine::Push => series_only(run_push(spec, seed, n, rounds, move |_, v| {
+                PushSumRevert::new(v, lambda)
+            })),
+            Engine::Pairwise => series_only(run_pairwise(spec, seed, n, rounds, move |_, v| {
+                PushSumRevert::new(v, lambda)
+            })),
+        },
+        P::FullTransfer { lambda, parcels, window } => {
+            series_only(run_push(spec, seed, n, rounds, move |_, v| {
+                FullTransfer::try_new(v, lambda, parcels, window).expect("validated config")
+            }))
+        }
+        P::AdaptiveRevert { lambda } => {
+            series_only(run_push(spec, seed, n, rounds, move |_, v| AdaptiveRevert::new(v, lambda)))
+        }
+        P::EpochPushSum { epoch_len, settle_len, drift_prob, clique_drift } => {
+            series_only(run_push(spec, seed, n, rounds, move |id, v| {
+                let mut p = EpochPushSum::new(v, epoch_len);
+                if let Some(s) = settle_len {
+                    p = p.with_settle_len(s);
+                }
+                if drift_prob > 0.0 {
+                    p = p.with_drift(drift_prob);
+                }
+                if let Some(cd) = clique_drift {
+                    let clique = id % cd.clusters;
+                    p = p
+                        .with_clock_offset(cd.offset_of(clique, epoch_len))
+                        .with_drift_model(DriftModel::ConstantSkew { rate: cd.rate_of(clique) });
+                }
+                p
+            }))
+        }
+        P::CountSketch { hash_seed_xor } => {
+            let cfg = SketchConfig::paper(n as u64, seed ^ hash_seed_xor);
+            series_only(run_push(spec, seed, n, rounds, move |id, _| {
+                CountSketch::counting(cfg, u64::from(id))
+            }))
+        }
+        P::CountSketchReset { cutoff, push_pull, multiplier, hash_seed_xor } => {
+            let cfg = ResetConfig::paper(n as u64 * multiplier, seed ^ hash_seed_xor)
+                .with_cutoff(cutoff)
+                .with_push_pull(push_pull);
+            match spec.output.report {
+                Report::Series => series_only(run_push(spec, seed, n, rounds, move |id, _| {
+                    CountSketchReset::with_multiplier(cfg, u64::from(id), multiplier)
+                })),
+                Report::CounterCdf => run_counter_cdf(spec, seed, n, rounds, cfg, multiplier),
+            }
+        }
+        P::InvertAverage { lambda, hash_seed_xor } => {
+            let cfg = ResetConfig::paper(n as u64, seed ^ hash_seed_xor);
+            series_only(run_push(spec, seed, n, rounds, move |id, v| {
+                InvertAverage::new(v, lambda, cfg, u64::from(id))
+            }))
+        }
+        P::TagTree { child_timeout } => {
+            series_only(run_push(spec, seed, n, rounds, move |id, v| {
+                TagTree::new(v, id == 0, child_timeout)
+            }))
+        }
+        P::Extremum { mode, ttl } => {
+            use dynagg_core::extremum::ExtremumMode;
+            series_only(run_push(spec, seed, n, rounds, move |_, v| match (ttl, mode) {
+                (Some(t), _) => DynamicExtremum::new(mode, v, t),
+                (None, ExtremumMode::Max) => DynamicExtremum::max(v),
+                (None, ExtremumMode::Min) => DynamicExtremum::min(v),
+            }))
+        }
+        P::Moments { lambda } => match spec.engine {
+            Engine::Push => series_only(run_push(spec, seed, n, rounds, move |_, v| {
+                DynamicMoments::new(v, lambda)
+            })),
+            Engine::Pairwise => series_only(run_pairwise(spec, seed, n, rounds, move |_, v| {
+                DynamicMoments::new(v, lambda)
+            })),
+        },
+        P::Histogram { lo, hi, buckets, lambda } => {
+            let geometry = Buckets::new(lo, hi, buckets);
+            series_only(run_push(spec, seed, n, rounds, move |_, v| {
+                DynamicHistogram::new(geometry, v, lambda)
+            }))
+        }
+    }
+}
+
+/// Assemble the engine-agnostic half of the builder.
+fn base_builder(spec: &ScenarioSpec, seed: u64, n: usize) -> runner::Builder {
+    let b = runner::builder(seed).environment_boxed(build_env(&spec.env, n, seed));
+    match spec.values {
+        ValueSpec::Paper => b.nodes_with_paper_values(n),
+        ValueSpec::Constant(x) => b.nodes_with_constant(n, x),
+    }
+}
+
+fn run_push<P, F>(spec: &ScenarioSpec, seed: u64, n: usize, rounds: u64, factory: F) -> Series
+where
+    P: PushProtocol,
+    F: FnMut(NodeId, f64) -> P,
+{
+    base_builder(spec, seed, n)
+        .protocol(factory)
+        .truth(spec.truth)
+        .failure(spec.failure)
+        .message_loss(spec.loss)
+        .build()
+        .run(rounds)
+}
+
+fn run_pairwise<P, F>(spec: &ScenarioSpec, seed: u64, n: usize, rounds: u64, factory: F) -> Series
+where
+    P: PairwiseProtocol,
+    F: FnMut(NodeId, f64) -> P,
+{
+    base_builder(spec, seed, n)
+        .protocol(factory)
+        .truth(spec.truth)
+        .failure(spec.failure)
+        .message_loss(spec.loss)
+        .build_pairwise()
+        .run(rounds)
+}
+
+/// The Fig. 6 readout: run to convergence, then histogram every live
+/// host's finite age counters per bit index.
+fn run_counter_cdf(
+    spec: &ScenarioSpec,
+    seed: u64,
+    n: usize,
+    rounds: u64,
+    cfg: ResetConfig,
+    multiplier: u64,
+) -> TrialOutput {
+    let mut sim = base_builder(spec, seed, n)
+        .protocol(move |id, _| CountSketchReset::with_multiplier(cfg, u64::from(id), multiplier))
+        .truth(spec.truth)
+        .failure(spec.failure)
+        .message_loss(spec.loss)
+        .build();
+    for _ in 0..rounds {
+        sim.step();
+    }
+    let width = cfg.sketch.width as usize + 1;
+    let mut samples = vec![vec![0u64; usize::from(INF_AGE)]; width];
+    for (_, node) in sim.nodes() {
+        for (_, k, age) in node.ages().finite_cells() {
+            samples[usize::from(k)][usize::from(age)] += 1;
+        }
+    }
+    TrialOutput { series: sim.series().clone(), counter_samples: Some(samples) }
+}

@@ -1,0 +1,879 @@
+//! The scenario specification: a validated, declarative description of one
+//! experiment — environment, protocol, population, failure plan, and
+//! outputs — that both the TOML front end and the hard-coded figure
+//! modules construct.
+
+use crate::error::ScenarioError;
+use dynagg_core::config::{FullTransferConfig, RevertConfig};
+use dynagg_core::extremum::ExtremumMode;
+use dynagg_sim::env::{MobilityEvent, MobilityKind};
+use dynagg_sim::metrics::RoundStats;
+use dynagg_sim::{FailureSpec, Truth};
+use dynagg_sketch::cutoff::Cutoff;
+use dynagg_trace::datasets::Dataset;
+
+/// Which simulation engine drives the protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Message-passing gossip ([`dynagg_sim::runner::Simulation`]).
+    #[default]
+    Push,
+    /// Atomic push/pull exchanges
+    /// ([`dynagg_sim::runner::PairwiseSimulation`]); only the averaging
+    /// protocols implement it.
+    Pairwise,
+}
+
+/// Which gossip environment partners are sampled from (paper §V).
+#[derive(Debug, Clone, PartialEq)]
+pub enum EnvSpec {
+    /// Full connectivity (the paper's 100 000-host setting).
+    Uniform {
+        /// Broadcast-set size for tree-style protocols (default 8).
+        broadcast_fanout: Option<usize>,
+    },
+    /// Grid adjacency with `1/d²` random-walk long links.
+    Spatial {
+        /// Random-walk hop cap override.
+        max_walk: Option<u32>,
+    },
+    /// §II-C's mostly isolated cliques.
+    Clustered {
+        /// Number of cliques.
+        clusters: u32,
+        /// Per-round per-host migration probability.
+        migration: f64,
+        /// Probability a sampled partner crosses cliques.
+        bridge: f64,
+        /// Scheduled topology events (bursts, merges, splits).
+        events: Vec<MobilityEvent>,
+    },
+    /// Adjacency replayed from a synthetic Haggle-like contact trace
+    /// (Fig. 11). Population and default horizon come from the dataset.
+    Trace {
+        /// Which bundled dataset.
+        dataset: Dataset,
+    },
+}
+
+/// How hosts' initial values are drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ValueSpec {
+    /// Uniform in `[0, 100)` — "values are selected uniformly in the
+    /// range [0, 100)" (§V).
+    #[default]
+    Paper,
+    /// Every host holds the same value (counting experiments use 1.0).
+    Constant(f64),
+}
+
+/// Per-clique clock divergence for the epoch protocol: host `id`'s clique
+/// is `id % clusters` (matching [`EnvSpec::Clustered`]'s round-robin
+/// assignment); clique `k` starts `k · round(magnitude · epoch_len)` ticks
+/// in and its crystal runs at `1 + 0.2 · magnitude · centered(k)` ticks
+/// per round. This is the epoch-disruption sweep's drift model, made
+/// declarative.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CliqueDrift {
+    /// Cliques the drift pattern spans (≥ 2).
+    pub clusters: u32,
+    /// Drift magnitude `d`: 0 = all clocks agree; 1 = neighboring cliques
+    /// start a full epoch apart and crystals span ±20 %.
+    pub magnitude: f64,
+}
+
+impl CliqueDrift {
+    /// The clock rate of a host initially in clique `k`.
+    pub fn rate_of(&self, clique: u32) -> f64 {
+        let centered = 2.0 * f64::from(clique) / f64::from(self.clusters - 1) - 1.0;
+        1.0 + 0.2 * self.magnitude * centered
+    }
+
+    /// The initial clock offset of a host in clique `k`.
+    pub fn offset_of(&self, clique: u32, epoch_len: u64) -> u64 {
+        let step = (self.magnitude * epoch_len as f64).round() as u64;
+        u64::from(clique) * step
+    }
+}
+
+/// Which protocol every host runs, with its configuration. One variant per
+/// protocol in `dynagg-core`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProtocolSpec {
+    /// Static Push-Sum averaging (Fig. 1).
+    PushSum,
+    /// Push-Sum-Revert (§III).
+    PushSumRevert {
+        /// Reversion constant λ ∈ [0, 1].
+        lambda: f64,
+    },
+    /// Push-Sum-Revert + Full-Transfer (§III-A).
+    FullTransfer {
+        /// Reversion constant λ.
+        lambda: f64,
+        /// Parcel count N (paper: 4).
+        parcels: u32,
+        /// Estimate window T (paper: 3).
+        window: usize,
+    },
+    /// Adaptive λ/2-per-message reversion (§III-A).
+    AdaptiveRevert {
+        /// Base reversion constant λ.
+        lambda: f64,
+    },
+    /// Epoch-reset baseline with the §II-C restart/settling lifecycle.
+    EpochPushSum {
+        /// Rounds per epoch.
+        epoch_len: u64,
+        /// Settling-window override (default `max(1, epoch_len / 4)`).
+        settle_len: Option<u64>,
+        /// Bernoulli missed-tick probability (0 = synced clock).
+        drift_prob: f64,
+        /// Per-clique constant-skew drift (the epoch-disruption model).
+        clique_drift: Option<CliqueDrift>,
+    },
+    /// Static Sketch-Count (Fig. 2), counting hosts.
+    CountSketch {
+        /// XORed into the master seed to derive the shared hash seed.
+        hash_seed_xor: u64,
+    },
+    /// Count-Sketch-Reset (§IV-A), counting hosts (× `multiplier` ids).
+    CountSketchReset {
+        /// Bit-expiry cutoff.
+        cutoff: Cutoff,
+        /// Push-pull message exchange (paper default: on).
+        push_pull: bool,
+        /// Identifiers sourced per host (Fig. 11 §V-B uses 100).
+        multiplier: u64,
+        /// XORed into the master seed to derive the shared hash seed.
+        hash_seed_xor: u64,
+    },
+    /// Invert-Average: sum = average × count (§IV-B).
+    InvertAverage {
+        /// Reversion constant λ for the averaging half.
+        lambda: f64,
+        /// XORed into the master seed for the counting half's hash seed.
+        hash_seed_xor: u64,
+    },
+    /// TAG-style spanning-tree baseline (related work §VI); host 0 is the
+    /// root.
+    TagTree {
+        /// Rounds a silent child's report survives.
+        child_timeout: u64,
+    },
+    /// Dynamic max/min via age-expiring champions.
+    Extremum {
+        /// Track the maximum or the minimum.
+        mode: ExtremumMode,
+        /// Champion time-to-live override (default: uniform-gossip TTL).
+        ttl: Option<u32>,
+    },
+    /// Running mean + variance/stddev (estimate = stddev).
+    Moments {
+        /// Reversion constant λ.
+        lambda: f64,
+    },
+    /// Value histograms via vector mass.
+    Histogram {
+        /// Inclusive domain lower bound.
+        lo: f64,
+        /// Exclusive domain upper bound.
+        hi: f64,
+        /// Equal-width bucket count.
+        buckets: u32,
+        /// Reversion constant λ.
+        lambda: f64,
+    },
+}
+
+impl ProtocolSpec {
+    /// The registry name (what `[protocol] name = "…"` says).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProtocolSpec::PushSum => "push-sum",
+            ProtocolSpec::PushSumRevert { .. } => "push-sum-revert",
+            ProtocolSpec::FullTransfer { .. } => "full-transfer",
+            ProtocolSpec::AdaptiveRevert { .. } => "adaptive-revert",
+            ProtocolSpec::EpochPushSum { .. } => "epoch-push-sum",
+            ProtocolSpec::CountSketch { .. } => "count-sketch",
+            ProtocolSpec::CountSketchReset { .. } => "count-sketch-reset",
+            ProtocolSpec::InvertAverage { .. } => "invert-average",
+            ProtocolSpec::TagTree { .. } => "tag-tree",
+            ProtocolSpec::Extremum { .. } => "extremum",
+            ProtocolSpec::Moments { .. } => "moments",
+            ProtocolSpec::Histogram { .. } => "histogram",
+        }
+    }
+
+    /// Does this protocol implement the atomic pairwise engine?
+    pub fn supports_pairwise(&self) -> bool {
+        matches!(
+            self,
+            ProtocolSpec::PushSum
+                | ProtocolSpec::PushSumRevert { .. }
+                | ProtocolSpec::Moments { .. }
+        )
+    }
+
+    /// The reversion constant, for protocols that have one.
+    pub fn lambda_mut(&mut self) -> Option<&mut f64> {
+        match self {
+            ProtocolSpec::PushSumRevert { lambda }
+            | ProtocolSpec::FullTransfer { lambda, .. }
+            | ProtocolSpec::AdaptiveRevert { lambda }
+            | ProtocolSpec::InvertAverage { lambda, .. }
+            | ProtocolSpec::Moments { lambda }
+            | ProtocolSpec::Histogram { lambda, .. } => Some(lambda),
+            _ => None,
+        }
+    }
+}
+
+/// One per-round statistic a scenario can record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Live hosts.
+    Alive,
+    /// The correct value.
+    Truth,
+    /// Mean estimate over hosts with one.
+    MeanEstimate,
+    /// √(mean squared error) — the paper's y-axis.
+    Stddev,
+    /// Mean absolute error.
+    MeanAbsErr,
+    /// Max absolute error.
+    MaxAbsErr,
+    /// Hosts with a defined estimate.
+    Defined,
+    /// Messages sent.
+    Messages,
+    /// Payload bytes sent.
+    Bytes,
+    /// Mean experienced group size (trace runs).
+    MeanGroupSize,
+    /// Hosts inside a settling window.
+    Settling,
+    /// Cumulative disruptive restarts.
+    Disruptions,
+}
+
+impl Metric {
+    /// All metrics, in CSV column order.
+    pub const ALL: [Metric; 12] = [
+        Metric::Alive,
+        Metric::Truth,
+        Metric::MeanEstimate,
+        Metric::Stddev,
+        Metric::MeanAbsErr,
+        Metric::MaxAbsErr,
+        Metric::Defined,
+        Metric::Messages,
+        Metric::Bytes,
+        Metric::MeanGroupSize,
+        Metric::Settling,
+        Metric::Disruptions,
+    ];
+
+    /// The snake_case name scenario files use.
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::Alive => "alive",
+            Metric::Truth => "truth",
+            Metric::MeanEstimate => "mean_estimate",
+            Metric::Stddev => "stddev",
+            Metric::MeanAbsErr => "mean_abs_err",
+            Metric::MaxAbsErr => "max_abs_err",
+            Metric::Defined => "defined",
+            Metric::Messages => "messages",
+            Metric::Bytes => "bytes",
+            Metric::MeanGroupSize => "mean_group_size",
+            Metric::Settling => "settling",
+            Metric::Disruptions => "disruptions",
+        }
+    }
+
+    /// Resolve a name from a scenario file.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Metric::ALL.into_iter().find(|m| m.name() == name)
+    }
+
+    /// Read this metric out of one round's statistics.
+    pub fn read(self, s: &RoundStats) -> f64 {
+        match self {
+            Metric::Alive => s.alive as f64,
+            Metric::Truth => s.truth,
+            Metric::MeanEstimate => s.mean_estimate,
+            Metric::Stddev => s.stddev,
+            Metric::MeanAbsErr => s.mean_abs_err,
+            Metric::MaxAbsErr => s.max_abs_err,
+            Metric::Defined => s.defined as f64,
+            Metric::Messages => s.messages as f64,
+            Metric::Bytes => s.bytes as f64,
+            Metric::MeanGroupSize => s.mean_group_size,
+            Metric::Settling => s.settling as f64,
+            Metric::Disruptions => s.disruptions as f64,
+        }
+    }
+}
+
+/// What a scenario run records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Report {
+    /// The per-round metric series (the default).
+    #[default]
+    Series,
+    /// Fig. 6's readout: the converged per-bit age-counter histograms
+    /// (Count-Sketch-Reset under the push engine only).
+    CounterCdf,
+}
+
+/// Output selection: which metrics, and which report shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutputSpec {
+    /// Per-round columns to emit (default: `stddev`).
+    pub metrics: Vec<Metric>,
+    /// Report shape.
+    pub report: Report,
+}
+
+impl Default for OutputSpec {
+    fn default() -> Self {
+        Self { metrics: vec![Metric::Stddev], report: Report::Series }
+    }
+}
+
+/// The parameter a sweep varies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepAxis {
+    /// The protocol's reversion constant λ.
+    Lambda,
+    /// The population size.
+    N,
+}
+
+impl SweepAxis {
+    /// The scenario-file name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SweepAxis::Lambda => "lambda",
+            SweepAxis::N => "n",
+        }
+    }
+}
+
+/// A one-axis parameter sweep: the scenario is instantiated once per
+/// value, instances run as parallel trials (Figs. 6, 8, 10 are sweeps).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sweep {
+    /// Which parameter varies.
+    pub axis: SweepAxis,
+    /// The values it takes (populations are given as integers).
+    pub values: Vec<f64>,
+}
+
+/// A complete, declarative experiment description.
+///
+/// Construct programmatically with [`ScenarioSpec::new`] + struct update,
+/// or from a TOML file via [`ScenarioSpec::from_toml_str`]. Run with
+/// [`crate::run`] (full outcome) or [`crate::run_series`] (single series).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Scenario id (table ids and CSV filenames derive from it).
+    pub name: String,
+    /// Free-form description.
+    pub description: String,
+    /// Master seed; every run is a pure function of it.
+    pub seed: u64,
+    /// Population. Required except for trace environments, which derive
+    /// it from the dataset (and reject an explicit `n`).
+    pub n: Option<usize>,
+    /// Rounds to simulate. Required except for trace environments, which
+    /// default to the full trace horizon.
+    pub rounds: Option<u64>,
+    /// Independent trials (per-trial seeds derived as in
+    /// [`dynagg_sim::par::trial_seed`]). Default 1.
+    pub trials: u64,
+    /// Engine flavour.
+    pub engine: Engine,
+    /// Gossip environment.
+    pub env: EnvSpec,
+    /// Initial host values.
+    pub values: ValueSpec,
+    /// Protocol and its configuration.
+    pub protocol: ProtocolSpec,
+    /// What estimates are measured against.
+    pub truth: Truth,
+    /// Failure plan.
+    pub failure: FailureSpec,
+    /// Independent per-message loss probability.
+    pub loss: f64,
+    /// Output selection.
+    pub output: OutputSpec,
+    /// Optional parameter sweep.
+    pub sweep: Option<Sweep>,
+}
+
+impl ScenarioSpec {
+    /// A spec with the given essentials and default everything else
+    /// (push engine, paper values, mean truth, no failure, no loss, one
+    /// trial, stddev series output, no sweep).
+    pub fn new(name: impl Into<String>, seed: u64, env: EnvSpec, protocol: ProtocolSpec) -> Self {
+        Self {
+            name: name.into(),
+            description: String::new(),
+            seed,
+            n: None,
+            rounds: None,
+            trials: 1,
+            engine: Engine::Push,
+            env,
+            values: ValueSpec::Paper,
+            protocol,
+            truth: Truth::Mean,
+            failure: FailureSpec::None,
+            loss: 0.0,
+            output: OutputSpec::default(),
+            sweep: None,
+        }
+    }
+
+    /// Check every cross-field constraint. [`crate::run`] validates
+    /// automatically; the CLI calls this up front so `--check` runs
+    /// nothing.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        let invalid =
+            |key: &str, reason: String| ScenarioError::Invalid { key: key.into(), reason };
+
+        if self.name.is_empty() {
+            return Err(invalid("name", "must be non-empty".into()));
+        }
+        if self.trials == 0 {
+            return Err(invalid("trials", "must be at least 1".into()));
+        }
+        if !(0.0..=1.0).contains(&self.loss) || self.loss.is_nan() {
+            return Err(invalid("loss", format!("probability {} outside [0, 1]", self.loss)));
+        }
+
+        let is_trace = matches!(self.env, EnvSpec::Trace { .. });
+        match (is_trace, self.n) {
+            (false, None) => return Err(ScenarioError::Missing { table: "", key: "n" }),
+            (false, Some(0)) => return Err(invalid("n", "population must be positive".into())),
+            (true, Some(_)) => {
+                return Err(ScenarioError::Unsupported {
+                    reason: "trace environments derive `n` from the dataset; drop the `n` key"
+                        .into(),
+                })
+            }
+            _ => {}
+        }
+        if !is_trace && self.rounds.is_none() {
+            return Err(ScenarioError::Missing { table: "", key: "rounds" });
+        }
+
+        self.validate_env()?;
+        self.validate_protocol()?;
+        self.validate_failure()?;
+
+        if self.truth.needs_groups() && !is_trace {
+            return Err(ScenarioError::Unsupported {
+                reason: format!(
+                    "truth `{:?}` needs per-group structure; only trace environments provide it",
+                    self.truth
+                ),
+            });
+        }
+        if self.engine == Engine::Pairwise && !self.protocol.supports_pairwise() {
+            return Err(ScenarioError::Unsupported {
+                reason: format!(
+                    "protocol `{}` has no pairwise exchange; use engine = \"push\"",
+                    self.protocol.name()
+                ),
+            });
+        }
+        if self.output.report == Report::CounterCdf {
+            if !matches!(self.protocol, ProtocolSpec::CountSketchReset { .. }) {
+                return Err(ScenarioError::Unsupported {
+                    reason: "report = \"counter-cdf\" reads age-counter matrices; it requires \
+                             protocol `count-sketch-reset`"
+                        .into(),
+                });
+            }
+            if self.engine != Engine::Push {
+                return Err(ScenarioError::Unsupported {
+                    reason: "report = \"counter-cdf\" requires the push engine".into(),
+                });
+            }
+            if self.trials != 1 {
+                return Err(ScenarioError::Unsupported {
+                    reason: "report = \"counter-cdf\" supports a single trial".into(),
+                });
+            }
+        }
+        if self.output.metrics.is_empty() {
+            return Err(invalid("output.metrics", "select at least one metric".into()));
+        }
+
+        if let Some(sweep) = &self.sweep {
+            if sweep.values.is_empty() {
+                return Err(invalid("sweep.values", "must be non-empty".into()));
+            }
+            match sweep.axis {
+                SweepAxis::Lambda => {
+                    let mut probe = self.protocol;
+                    if probe.lambda_mut().is_none() {
+                        return Err(ScenarioError::Unsupported {
+                            reason: format!(
+                                "sweep axis `lambda` needs a protocol with a reversion \
+                                 constant; `{}` has none",
+                                self.protocol.name()
+                            ),
+                        });
+                    }
+                    for &v in &sweep.values {
+                        RevertConfig::new(v)
+                            .map_err(|e| invalid("sweep.values", format!("lambda {v}: {e:?}")))?;
+                    }
+                }
+                SweepAxis::N => {
+                    if is_trace {
+                        return Err(ScenarioError::Unsupported {
+                            reason: "sweep axis `n` cannot apply to a trace environment \
+                                     (population comes from the dataset)"
+                                .into(),
+                        });
+                    }
+                    for &v in &sweep.values {
+                        if v < 1.0 || v.fract() != 0.0 {
+                            return Err(invalid(
+                                "sweep.values",
+                                format!("population {v} is not a positive integer"),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_env(&self) -> Result<(), ScenarioError> {
+        let invalid =
+            |key: &str, reason: String| ScenarioError::Invalid { key: key.into(), reason };
+        match &self.env {
+            EnvSpec::Uniform { .. } | EnvSpec::Spatial { .. } | EnvSpec::Trace { .. } => Ok(()),
+            EnvSpec::Clustered { clusters, migration, bridge, events } => {
+                if *clusters == 0 {
+                    return Err(invalid("env.clusters", "need at least one clique".into()));
+                }
+                for (key, p) in [("env.migration", *migration), ("env.bridge", *bridge)] {
+                    if !(0.0..=1.0).contains(&p) || p.is_nan() {
+                        return Err(invalid(key, format!("probability {p} outside [0, 1]")));
+                    }
+                }
+                for e in events {
+                    match e.kind {
+                        MobilityKind::Burst { fraction } => {
+                            if !(0.0..=1.0).contains(&fraction) || fraction.is_nan() {
+                                return Err(invalid(
+                                    "env.events",
+                                    format!("burst fraction {fraction} outside [0, 1]"),
+                                ));
+                            }
+                        }
+                        MobilityKind::Merge { from, into } | MobilityKind::Split { from, into } => {
+                            if from >= *clusters || into >= *clusters {
+                                return Err(invalid(
+                                    "env.events",
+                                    format!(
+                                        "event names clique {} but there are only {clusters}",
+                                        from.max(into)
+                                    ),
+                                ));
+                            }
+                            if from == into {
+                                return Err(invalid(
+                                    "env.events",
+                                    "merge/split needs two distinct cliques".into(),
+                                ));
+                            }
+                        }
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn validate_protocol(&self) -> Result<(), ScenarioError> {
+        let invalid =
+            |key: &str, reason: String| ScenarioError::Invalid { key: key.into(), reason };
+        let check_lambda = |lambda: f64| {
+            RevertConfig::new(lambda)
+                .map(|_| ())
+                .map_err(|_| invalid("protocol.lambda", format!("lambda {lambda} outside [0, 1]")))
+        };
+        match self.protocol {
+            ProtocolSpec::PushSum | ProtocolSpec::CountSketch { .. } => Ok(()),
+            ProtocolSpec::PushSumRevert { lambda }
+            | ProtocolSpec::AdaptiveRevert { lambda }
+            | ProtocolSpec::Moments { lambda } => check_lambda(lambda),
+            ProtocolSpec::FullTransfer { lambda, parcels, window } => {
+                FullTransferConfig::new(lambda, parcels, window).map(|_| ()).map_err(|e| {
+                    invalid("protocol", format!("full-transfer configuration rejected: {e:?}"))
+                })
+            }
+            ProtocolSpec::EpochPushSum { epoch_len, drift_prob, clique_drift, .. } => {
+                if epoch_len == 0 {
+                    return Err(invalid("protocol.epoch_len", "must be at least 1".into()));
+                }
+                if !(0.0..=1.0).contains(&drift_prob) || drift_prob.is_nan() {
+                    return Err(invalid(
+                        "protocol.drift_prob",
+                        format!("probability {drift_prob} outside [0, 1]"),
+                    ));
+                }
+                if let Some(cd) = clique_drift {
+                    if cd.clusters < 2 {
+                        return Err(invalid(
+                            "protocol.clique_drift",
+                            "needs at least 2 cliques to diverge".into(),
+                        ));
+                    }
+                    if !cd.magnitude.is_finite() || cd.magnitude < 0.0 {
+                        return Err(invalid(
+                            "protocol.clique_drift",
+                            format!("magnitude {} must be finite and >= 0", cd.magnitude),
+                        ));
+                    }
+                    // Drift cliques are defined as the clustered env's
+                    // round-robin cliques; a mismatch would silently change
+                    // what the drift pattern means.
+                    match &self.env {
+                        EnvSpec::Clustered { clusters, .. } => {
+                            if *clusters != cd.clusters {
+                                return Err(invalid(
+                                    "protocol.clique_drift.clusters",
+                                    format!(
+                                        "must match env.clusters ({clusters}), got {}",
+                                        cd.clusters
+                                    ),
+                                ));
+                            }
+                        }
+                        _ => {
+                            return Err(ScenarioError::Unsupported {
+                                reason: "clique_drift assigns clocks by the clustered \
+                                         environment's cliques; use kind = \"clustered\""
+                                    .into(),
+                            })
+                        }
+                    }
+                }
+                Ok(())
+            }
+            ProtocolSpec::CountSketchReset { multiplier, .. } => {
+                if multiplier == 0 {
+                    return Err(invalid("protocol.multiplier", "must be at least 1".into()));
+                }
+                Ok(())
+            }
+            ProtocolSpec::InvertAverage { lambda, .. } => check_lambda(lambda),
+            ProtocolSpec::TagTree { child_timeout } => {
+                if child_timeout == 0 {
+                    return Err(invalid("protocol.child_timeout", "must be at least 1".into()));
+                }
+                Ok(())
+            }
+            ProtocolSpec::Extremum { ttl, .. } => {
+                if ttl == Some(0) {
+                    return Err(invalid("protocol.ttl", "must be at least 1".into()));
+                }
+                Ok(())
+            }
+            ProtocolSpec::Histogram { lo, hi, buckets, lambda } => {
+                if hi <= lo || hi.is_nan() || lo.is_nan() {
+                    return Err(invalid(
+                        "protocol",
+                        format!("histogram range [{lo}, {hi}) is empty"),
+                    ));
+                }
+                if buckets == 0 {
+                    return Err(invalid("protocol.buckets", "need at least one bucket".into()));
+                }
+                check_lambda(lambda)
+            }
+        }
+    }
+
+    fn validate_failure(&self) -> Result<(), ScenarioError> {
+        let invalid =
+            |key: &str, reason: String| ScenarioError::Invalid { key: key.into(), reason };
+        match self.failure {
+            FailureSpec::None => Ok(()),
+            FailureSpec::AtRound { fraction, .. } => {
+                if !(fraction > 0.0 && fraction <= 1.0) {
+                    return Err(invalid(
+                        "failure.fraction",
+                        format!("fraction {fraction} outside (0, 1]"),
+                    ));
+                }
+                Ok(())
+            }
+            FailureSpec::Churn { leave_per_round, join_per_round, .. } => {
+                for (key, p) in [
+                    ("failure.leave_per_round", leave_per_round),
+                    ("failure.join_per_round", join_per_round),
+                ] {
+                    if !(0.0..=1.0).contains(&p) || p.is_nan() {
+                        return Err(invalid(key, format!("rate {p} outside [0, 1]")));
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Expand the sweep into concrete single-run specs, labeled
+    /// `axis=value`. A sweepless spec yields itself, unlabeled. The spec
+    /// must already validate.
+    pub fn instances(&self) -> Vec<(Option<String>, ScenarioSpec)> {
+        let Some(sweep) = &self.sweep else {
+            let mut single = self.clone();
+            single.sweep = None;
+            return vec![(None, single)];
+        };
+        sweep
+            .values
+            .iter()
+            .map(|&v| {
+                let mut inst = self.clone();
+                inst.sweep = None;
+                match sweep.axis {
+                    SweepAxis::Lambda => {
+                        *inst.protocol.lambda_mut().expect("validated: protocol has lambda") = v;
+                    }
+                    SweepAxis::N => inst.n = Some(v as usize),
+                }
+                let label = match sweep.axis {
+                    SweepAxis::Lambda => format!("lambda={v}"),
+                    SweepAxis::N => format!("n={}", v as usize),
+                };
+                (Some(label), inst)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> ScenarioSpec {
+        let mut s = ScenarioSpec::new(
+            "t",
+            1,
+            EnvSpec::Uniform { broadcast_fanout: None },
+            ProtocolSpec::PushSumRevert { lambda: 0.01 },
+        );
+        s.n = Some(100);
+        s.rounds = Some(5);
+        s
+    }
+
+    #[test]
+    fn base_spec_validates() {
+        base().validate().unwrap();
+    }
+
+    #[test]
+    fn missing_n_and_rounds_rejected() {
+        let mut s = base();
+        s.n = None;
+        assert_eq!(s.validate(), Err(ScenarioError::Missing { table: "", key: "n" }));
+        let mut s = base();
+        s.rounds = None;
+        assert_eq!(s.validate(), Err(ScenarioError::Missing { table: "", key: "rounds" }));
+    }
+
+    #[test]
+    fn trace_env_rejects_explicit_n() {
+        let mut s = base();
+        s.env = EnvSpec::Trace { dataset: Dataset::One };
+        assert!(matches!(s.validate(), Err(ScenarioError::Unsupported { .. })));
+        s.n = None;
+        s.validate().unwrap(); // rounds defaults to the trace horizon
+    }
+
+    #[test]
+    fn lambda_range_enforced() {
+        let mut s = base();
+        s.protocol = ProtocolSpec::PushSumRevert { lambda: 1.5 };
+        assert!(matches!(s.validate(), Err(ScenarioError::Invalid { .. })));
+    }
+
+    #[test]
+    fn pairwise_needs_support() {
+        let mut s = base();
+        s.engine = Engine::Pairwise;
+        s.validate().unwrap();
+        s.protocol = ProtocolSpec::TagTree { child_timeout: 3 };
+        assert!(matches!(s.validate(), Err(ScenarioError::Unsupported { .. })));
+    }
+
+    #[test]
+    fn group_truth_needs_trace() {
+        let mut s = base();
+        s.truth = Truth::GroupMean;
+        assert!(matches!(s.validate(), Err(ScenarioError::Unsupported { .. })));
+    }
+
+    #[test]
+    fn sweep_instances_apply_axis() {
+        let mut s = base();
+        s.sweep = Some(Sweep { axis: SweepAxis::Lambda, values: vec![0.0, 0.5] });
+        s.validate().unwrap();
+        let inst = s.instances();
+        assert_eq!(inst.len(), 2);
+        assert_eq!(inst[0].0.as_deref(), Some("lambda=0"));
+        assert_eq!(inst[1].1.protocol, ProtocolSpec::PushSumRevert { lambda: 0.5 });
+        assert!(inst.iter().all(|(_, s)| s.sweep.is_none()));
+    }
+
+    #[test]
+    fn lambda_sweep_needs_lambda_protocol() {
+        let mut s = base();
+        s.protocol = ProtocolSpec::PushSum;
+        s.sweep = Some(Sweep { axis: SweepAxis::Lambda, values: vec![0.1] });
+        assert!(matches!(s.validate(), Err(ScenarioError::Unsupported { .. })));
+    }
+
+    #[test]
+    fn counter_cdf_constraints() {
+        let mut s = base();
+        s.output.report = Report::CounterCdf;
+        assert!(matches!(s.validate(), Err(ScenarioError::Unsupported { .. })));
+        s.protocol = ProtocolSpec::CountSketchReset {
+            cutoff: Cutoff::paper_uniform(),
+            push_pull: true,
+            multiplier: 1,
+            hash_seed_xor: 0,
+        };
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn clustered_event_bounds_checked() {
+        let mut s = base();
+        s.env = EnvSpec::Clustered {
+            clusters: 2,
+            migration: 0.0,
+            bridge: 0.0,
+            events: vec![MobilityEvent {
+                round: 0,
+                kind: MobilityKind::Merge { from: 0, into: 5 },
+            }],
+        };
+        assert!(matches!(s.validate(), Err(ScenarioError::Invalid { .. })));
+    }
+}

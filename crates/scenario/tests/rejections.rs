@@ -1,0 +1,211 @@
+//! Spec-validation rejection tests: every class of scenario-file misuse
+//! must produce a *typed* [`ScenarioError`], never a panic, and the right
+//! variant — these are the errors scenario authors will actually see.
+
+use dynagg_scenario::{ScenarioError, ScenarioSpec};
+
+const VALID: &str = r#"
+name = "valid"
+seed = 7
+n = 200
+rounds = 10
+
+[env]
+kind = "uniform"
+
+[protocol]
+name = "push-sum-revert"
+lambda = 0.01
+"#;
+
+fn replace(base: &str, from: &str, to: &str) -> String {
+    assert!(base.contains(from), "fixture drift: `{from}` not found");
+    base.replace(from, to)
+}
+
+#[test]
+fn the_fixture_itself_parses() {
+    let spec = ScenarioSpec::from_toml_str(VALID).unwrap();
+    assert_eq!(spec.name, "valid");
+    assert_eq!(spec.seed, 7);
+}
+
+#[test]
+fn unknown_protocol_name_is_typed() {
+    let src = replace(VALID, "push-sum-revert", "push-pull-sum");
+    match ScenarioSpec::from_toml_str(&src) {
+        Err(ScenarioError::UnknownName { what: "protocol", name }) => {
+            assert_eq!(name, "push-pull-sum");
+        }
+        other => panic!("expected UnknownName {{ protocol }}, got {other:?}"),
+    }
+}
+
+#[test]
+fn missing_seed_is_typed() {
+    let src = replace(VALID, "seed = 7\n", "");
+    assert_eq!(
+        ScenarioSpec::from_toml_str(&src),
+        Err(ScenarioError::Missing { table: "", key: "seed" })
+    );
+}
+
+#[test]
+fn conflicting_env_keys_are_typed() {
+    // `clusters` belongs to the clustered environment; under uniform it is
+    // a conflict, not dead configuration.
+    let src = replace(VALID, "kind = \"uniform\"", "kind = \"uniform\"\nclusters = 4");
+    match ScenarioSpec::from_toml_str(&src) {
+        Err(ScenarioError::UnknownKey { table: "env", key }) => assert_eq!(key, "clusters"),
+        other => panic!("expected UnknownKey {{ env, clusters }}, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_top_level_key_is_typed() {
+    let src = replace(VALID, "n = 200", "n = 200\npopulation = 200");
+    match ScenarioSpec::from_toml_str(&src) {
+        Err(ScenarioError::UnknownKey { table: "", key }) => assert_eq!(key, "population"),
+        other => panic!("expected UnknownKey, got {other:?}"),
+    }
+}
+
+#[test]
+fn wrong_type_is_typed() {
+    let src = replace(VALID, "lambda = 0.01", "lambda = \"small\"");
+    match ScenarioSpec::from_toml_str(&src) {
+        Err(ScenarioError::Type { key, expected: "number", found: "string" }) => {
+            assert_eq!(key, "protocol.lambda");
+        }
+        other => panic!("expected Type error, got {other:?}"),
+    }
+}
+
+#[test]
+fn out_of_range_lambda_is_typed() {
+    let src = replace(VALID, "lambda = 0.01", "lambda = 1.5");
+    assert!(matches!(
+        ScenarioSpec::from_toml_str(&src),
+        Err(ScenarioError::Invalid { key, .. }) if key == "protocol.lambda"
+    ));
+}
+
+#[test]
+fn negative_seed_is_typed() {
+    let src = replace(VALID, "seed = 7", "seed = -7");
+    assert!(matches!(
+        ScenarioSpec::from_toml_str(&src),
+        Err(ScenarioError::Invalid { key, .. }) if key == "seed"
+    ));
+}
+
+#[test]
+fn bad_toml_surfaces_parse_error_with_line() {
+    let src = replace(VALID, "seed = 7", "seed = ");
+    match ScenarioSpec::from_toml_str(&src) {
+        Err(ScenarioError::Toml(e)) => assert!(e.line >= 2, "line {}", e.line),
+        other => panic!("expected Toml error, got {other:?}"),
+    }
+}
+
+#[test]
+fn pairwise_engine_with_sketch_protocol_is_unsupported() {
+    let src = replace(VALID, "rounds = 10", "rounds = 10\nengine = \"pairwise\"");
+    let src = replace(
+        &src,
+        "[protocol]\nname = \"push-sum-revert\"\nlambda = 0.01",
+        "[protocol]\nname = \"count-sketch-reset\"",
+    );
+    assert!(matches!(ScenarioSpec::from_toml_str(&src), Err(ScenarioError::Unsupported { .. })));
+}
+
+#[test]
+fn group_truth_without_trace_env_is_unsupported() {
+    let src = replace(VALID, "n = 200", "n = 200\ntruth = \"group-mean\"");
+    assert!(matches!(ScenarioSpec::from_toml_str(&src), Err(ScenarioError::Unsupported { .. })));
+}
+
+#[test]
+fn unknown_truth_and_metric_names_are_typed() {
+    let src = replace(VALID, "n = 200", "n = 200\ntruth = \"median\"");
+    assert!(matches!(
+        ScenarioSpec::from_toml_str(&src),
+        Err(ScenarioError::UnknownName { what: "truth", .. })
+    ));
+    let src = format!("{VALID}\n[output]\nmetrics = [\"stdev\"]\n");
+    assert!(matches!(
+        ScenarioSpec::from_toml_str(&src),
+        Err(ScenarioError::UnknownName { what: "metric", .. })
+    ));
+}
+
+#[test]
+fn lambda_sweep_on_lambdaless_protocol_is_unsupported() {
+    let src = replace(
+        VALID,
+        "[protocol]\nname = \"push-sum-revert\"\nlambda = 0.01",
+        "[protocol]\nname = \"push-sum\"\n\n[sweep]\naxis = \"lambda\"\nvalues = [0.0, 0.1]",
+    );
+    assert!(matches!(ScenarioSpec::from_toml_str(&src), Err(ScenarioError::Unsupported { .. })));
+}
+
+#[test]
+fn clustered_event_naming_missing_clique_is_typed() {
+    let src = replace(
+        VALID,
+        "kind = \"uniform\"",
+        "kind = \"clustered\"\nclusters = 2\n\n[[env.events]]\nround = 3\nkind = \"merge\"\nfrom = 0\ninto = 9",
+    );
+    assert!(matches!(
+        ScenarioSpec::from_toml_str(&src),
+        Err(ScenarioError::Invalid { key, .. }) if key == "env.events"
+    ));
+}
+
+#[test]
+fn clique_drift_must_match_the_clustered_env() {
+    let clustered = replace(VALID, "kind = \"uniform\"", "kind = \"clustered\"\nclusters = 6");
+    let epoch = |src: &str| {
+        replace(
+            src,
+            "[protocol]\nname = \"push-sum-revert\"\nlambda = 0.01",
+            "[protocol]\nname = \"epoch-push-sum\"\nepoch_len = 20\nclique_drift = { clusters = 8, magnitude = 1.0 }",
+        )
+    };
+    // Mismatched cluster counts: the drift topology would silently diverge
+    // from the actual cliques.
+    assert!(matches!(
+        ScenarioSpec::from_toml_str(&epoch(&clustered)),
+        Err(ScenarioError::Invalid { key, .. }) if key == "protocol.clique_drift.clusters"
+    ));
+    // Matching counts validate.
+    let matching = epoch(&clustered).replace("clusters = 8,", "clusters = 6,");
+    ScenarioSpec::from_toml_str(&matching).unwrap();
+    // clique_drift without a clustered environment is meaningless.
+    assert!(matches!(
+        ScenarioSpec::from_toml_str(&epoch(VALID)),
+        Err(ScenarioError::Unsupported { .. })
+    ));
+}
+
+#[test]
+fn trace_env_with_explicit_n_is_unsupported() {
+    let src = replace(VALID, "kind = \"uniform\"", "kind = \"trace\"\ndataset = 1");
+    assert!(matches!(ScenarioSpec::from_toml_str(&src), Err(ScenarioError::Unsupported { .. })));
+}
+
+#[test]
+fn counter_cdf_on_non_sketch_protocol_is_unsupported() {
+    let src = format!("{VALID}\n[output]\nreport = \"counter-cdf\"\n");
+    assert!(matches!(ScenarioSpec::from_toml_str(&src), Err(ScenarioError::Unsupported { .. })));
+}
+
+#[test]
+fn errors_render_readable_messages() {
+    let src = replace(VALID, "push-sum-revert", "nope");
+    let msg = ScenarioSpec::from_toml_str(&src).unwrap_err().to_string();
+    assert!(msg.contains("unknown protocol `nope`"), "{msg}");
+    let src = replace(VALID, "seed = 7\n", "");
+    let msg = ScenarioSpec::from_toml_str(&src).unwrap_err().to_string();
+    assert!(msg.contains("missing required key `seed`"), "{msg}");
+}

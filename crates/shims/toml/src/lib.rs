@@ -1,0 +1,829 @@
+//! Offline stand-in for `toml`.
+//!
+//! The build environment has no crates.io access, so this shim implements
+//! the TOML subset dynagg's scenario files use: bare/quoted/dotted keys,
+//! `[table]` and `[[array-of-tables]]` headers, basic and literal strings,
+//! integers (decimal/hex/octal/binary, `_` separators), floats (including
+//! exponent form, `inf`, `nan`), booleans, (multi-line) arrays, and inline
+//! tables. Dates/times and multi-line strings are not supported. Unlike
+//! the other shims this one is not a no-op: the scenario engine really
+//! parses with it at runtime.
+//!
+//! Parsing yields a [`Table`] of [`Value`]s preserving insertion order;
+//! [`Table::to_toml_string`] serializes a table back to TOML (nested
+//! tables are emitted inline), and `parse(t.to_toml_string()) == t` for
+//! every representable document — the property test in
+//! `tests/properties.rs` pins that roundtrip.
+//!
+//! ```
+//! let doc = toml::parse(
+//!     r#"
+//!     name = "fig8"            # experiment id
+//!     seed = 0xD15EA5E
+//!     lambdas = [0.0, 0.001, 0.5]
+//!
+//!     [env]
+//!     kind = "uniform"
+//!     "#,
+//! )
+//! .unwrap();
+//! assert_eq!(doc.get("name").and_then(toml::Value::as_str), Some("fig8"));
+//! assert_eq!(doc.get("seed").and_then(toml::Value::as_integer), Some(0xD15EA5E));
+//! let env = doc.get("env").and_then(toml::Value::as_table).unwrap();
+//! assert_eq!(env.get("kind").and_then(toml::Value::as_str), Some("uniform"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// A parse (or document-structure) error, with the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TomlError {
+    /// 1-based line the error was detected on.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for TomlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TOML parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TomlError {}
+
+/// A TOML value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A string (basic or literal).
+    String(String),
+    /// A 64-bit signed integer.
+    Integer(i64),
+    /// A 64-bit float.
+    Float(f64),
+    /// A boolean.
+    Boolean(bool),
+    /// An array of values (heterogeneous allowed).
+    Array(Vec<Value>),
+    /// A nested table (standard, inline, or array-of-tables element).
+    Table(Table),
+}
+
+impl Value {
+    /// The TOML type name, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::String(_) => "string",
+            Value::Integer(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Boolean(_) => "boolean",
+            Value::Array(_) => "array",
+            Value::Table(_) => "table",
+        }
+    }
+
+    /// String content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Integer content, if this is an integer.
+    pub fn as_integer(&self) -> Option<i64> {
+        match self {
+            Value::Integer(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Numeric content as `f64`. Integers coerce (config files write
+    /// `migration = 0` where a float is meant); strings/booleans do not.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(x) => Some(*x),
+            Value::Integer(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Boolean content, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Boolean(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array content, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Table content, if this is a table.
+    pub fn as_table(&self) -> Option<&Table> {
+        match self {
+            Value::Table(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// An insertion-ordered string → [`Value`] map.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Table {
+    entries: Vec<(String, Value)>,
+}
+
+impl Table {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Insert or replace, returning any previous value.
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) -> Option<Value> {
+        let key = key.into();
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            return Some(std::mem::replace(&mut slot.1, value));
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Iterate entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(k, _)| k.as_str())
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serialize as a TOML document: one `key = value` line per entry,
+    /// nested tables emitted as inline tables. `parse` of the output
+    /// reproduces the table exactly (the roundtrip property test).
+    pub fn to_toml_string(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.entries {
+            write_key(&mut out, k);
+            out.push_str(" = ");
+            write_value(&mut out, v);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn write_key(out: &mut String, key: &str) {
+    let bare =
+        !key.is_empty() && key.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_');
+    if bare {
+        out.push_str(key);
+    } else {
+        write_string(out, key);
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 || c == '\u{7f}' => {
+                out.push_str(&format!("\\u{:04X}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(out: &mut String, v: &Value) {
+    match v {
+        Value::String(s) => write_string(out, s),
+        Value::Integer(i) => out.push_str(&i.to_string()),
+        Value::Float(x) => {
+            if x.is_nan() {
+                out.push_str("nan");
+            } else if x.is_infinite() {
+                out.push_str(if *x > 0.0 { "inf" } else { "-inf" });
+            } else {
+                // `{:?}` is Rust's shortest representation that reparses to
+                // the same bits, and is valid TOML (`1.0`, `1e300`, `-0.5`).
+                out.push_str(&format!("{x:?}"));
+            }
+        }
+        Value::Boolean(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        Value::Table(t) => {
+            out.push('{');
+            for (i, (k, item)) in t.entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push(' ');
+                write_key(out, k);
+                out.push_str(" = ");
+                write_value(out, item);
+            }
+            if !t.entries.is_empty() {
+                out.push(' ');
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Parse a TOML document.
+pub fn parse(src: &str) -> Result<Table, TomlError> {
+    Parser::new(src).document()
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+}
+
+impl Parser {
+    fn new(src: &str) -> Self {
+        Self { chars: src.chars().collect(), pos: 0, line: 1 }
+    }
+
+    fn err(&self, message: impl Into<String>) -> TomlError {
+        TomlError { line: self.line, message: message.into() }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    /// Skip spaces and tabs.
+    fn skip_inline_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Skip whitespace, newlines, and `#` comments.
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(' ' | '\t' | '\r' | '\n') => {
+                    self.bump();
+                }
+                Some('#') => {
+                    while !matches!(self.peek(), None | Some('\n')) {
+                        self.bump();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    /// After a statement: optional inline whitespace and comment, then a
+    /// newline or end of input.
+    fn expect_line_end(&mut self) -> Result<(), TomlError> {
+        self.skip_inline_ws();
+        if self.peek() == Some('#') {
+            while !matches!(self.peek(), None | Some('\n')) {
+                self.bump();
+            }
+        }
+        match self.peek() {
+            None => Ok(()),
+            Some('\n') => {
+                self.bump();
+                Ok(())
+            }
+            Some('\r') if self.chars.get(self.pos + 1) == Some(&'\n') => {
+                self.bump();
+                self.bump();
+                Ok(())
+            }
+            Some(c) => Err(self.err(format!("expected end of line, found `{c}`"))),
+        }
+    }
+
+    fn document(&mut self) -> Result<Table, TomlError> {
+        let mut root = Table::new();
+        // Path of the table that `key = value` lines currently land in.
+        let mut current: Vec<String> = Vec::new();
+        // Explicitly defined `[header]` paths, to reject duplicates.
+        let mut defined: Vec<Vec<String>> = Vec::new();
+        loop {
+            self.skip_trivia();
+            let Some(c) = self.peek() else { return Ok(root) };
+            if c == '[' {
+                self.bump();
+                let array_of_tables = self.peek() == Some('[');
+                if array_of_tables {
+                    self.bump();
+                }
+                self.skip_inline_ws();
+                let path = self.key_path()?;
+                self.skip_inline_ws();
+                if self.bump() != Some(']') {
+                    return Err(self.err("expected `]` closing table header"));
+                }
+                if array_of_tables && self.bump() != Some(']') {
+                    return Err(self.err("expected `]]` closing array-of-tables header"));
+                }
+                self.expect_line_end()?;
+                if array_of_tables {
+                    self.append_array_table(&mut root, &path)?;
+                } else {
+                    if defined.contains(&path) {
+                        return Err(
+                            self.err(format!("table `{}` defined more than once", path.join(".")))
+                        );
+                    }
+                    defined.push(path.clone());
+                    self.define_table(&mut root, &path)?;
+                }
+                current = path;
+            } else {
+                let stmt_line = self.line;
+                let path = self.key_path()?;
+                self.skip_inline_ws();
+                if self.bump() != Some('=') {
+                    return Err(self.err("expected `=` after key"));
+                }
+                self.skip_inline_ws();
+                let value = self.value()?;
+                self.expect_line_end()?;
+                let at = |message: String| TomlError { line: stmt_line, message };
+                let table = navigate(&mut root, &current).map_err(at)?;
+                insert_dotted(table, &path, value).map_err(at)?;
+            }
+        }
+    }
+
+    /// Create (or reuse an implicitly created) table at `path`.
+    fn define_table(&mut self, root: &mut Table, path: &[String]) -> Result<(), TomlError> {
+        navigate(root, path).map_err(|m| self.err(m)).map(|_| ())
+    }
+
+    /// Append a fresh table to the array at `path`, creating the array on
+    /// first use.
+    fn append_array_table(&mut self, root: &mut Table, path: &[String]) -> Result<(), TomlError> {
+        let (last, parents) = path.split_last().expect("header path is non-empty");
+        let parent = navigate(root, parents).map_err(|m| self.err(m))?;
+        match parent.get(last) {
+            None => {
+                parent.insert(last.clone(), Value::Array(vec![Value::Table(Table::new())]));
+                Ok(())
+            }
+            Some(Value::Array(_)) => {
+                let Some(Value::Array(items)) =
+                    parent.entries.iter_mut().find(|(k, _)| k == last).map(|(_, v)| v)
+                else {
+                    unreachable!("just matched an array");
+                };
+                if !items.iter().all(|v| matches!(v, Value::Table(_))) {
+                    return Err(self.err(format!("`{last}` is a plain array, not a table array")));
+                }
+                items.push(Value::Table(Table::new()));
+                Ok(())
+            }
+            Some(v) => Err(self.err(format!("`{last}` is a {}, not a table array", v.type_name()))),
+        }
+    }
+
+    /// A dotted key path: segments are bare, basic-quoted, or
+    /// literal-quoted keys.
+    fn key_path(&mut self) -> Result<Vec<String>, TomlError> {
+        let mut path = Vec::new();
+        loop {
+            self.skip_inline_ws();
+            let seg = match self.peek() {
+                Some('"') => self.basic_string()?,
+                Some('\'') => self.literal_string()?,
+                Some(c) if c.is_ascii_alphanumeric() || c == '-' || c == '_' => {
+                    let mut s = String::new();
+                    while let Some(c) = self.peek() {
+                        if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                            s.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    s
+                }
+                Some(c) => return Err(self.err(format!("expected a key, found `{c}`"))),
+                None => return Err(self.err("expected a key, found end of input")),
+            };
+            path.push(seg);
+            self.skip_inline_ws();
+            if self.peek() == Some('.') {
+                self.bump();
+            } else {
+                return Ok(path);
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, TomlError> {
+        match self.peek() {
+            Some('"') => Ok(Value::String(self.basic_string()?)),
+            Some('\'') => Ok(Value::String(self.literal_string()?)),
+            Some('[') => self.array(),
+            Some('{') => self.inline_table(),
+            Some('t') | Some('f') | Some('i') | Some('n') => self.keyword(),
+            Some(c) if c.is_ascii_digit() || c == '+' || c == '-' || c == '.' => self.number(),
+            Some(c) => Err(self.err(format!("expected a value, found `{c}`"))),
+            None => Err(self.err("expected a value, found end of input")),
+        }
+    }
+
+    fn basic_string(&mut self) -> Result<String, TomlError> {
+        debug_assert_eq!(self.peek(), Some('"'));
+        self.bump();
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some('\n') => return Err(self.err("newline inside basic string")),
+                Some('"') => return Ok(s),
+                Some('\\') => match self.bump() {
+                    Some('b') => s.push('\u{8}'),
+                    Some('t') => s.push('\t'),
+                    Some('n') => s.push('\n'),
+                    Some('f') => s.push('\u{c}'),
+                    Some('r') => s.push('\r'),
+                    Some('"') => s.push('"'),
+                    Some('\\') => s.push('\\'),
+                    Some('u') => s.push(self.unicode_escape(4)?),
+                    Some('U') => s.push(self.unicode_escape(8)?),
+                    Some(c) => return Err(self.err(format!("invalid escape `\\{c}`"))),
+                    None => return Err(self.err("unterminated escape")),
+                },
+                Some(c) => s.push(c),
+            }
+        }
+    }
+
+    fn unicode_escape(&mut self, digits: usize) -> Result<char, TomlError> {
+        let mut code = 0u32;
+        for _ in 0..digits {
+            let c = self.bump().ok_or_else(|| self.err("unterminated unicode escape"))?;
+            let d = c
+                .to_digit(16)
+                .ok_or_else(|| self.err(format!("invalid hex digit `{c}` in unicode escape")))?;
+            code = code * 16 + d;
+        }
+        char::from_u32(code)
+            .ok_or_else(|| self.err(format!("\\u{code:04X} is not a unicode scalar value")))
+    }
+
+    fn literal_string(&mut self) -> Result<String, TomlError> {
+        debug_assert_eq!(self.peek(), Some('\''));
+        self.bump();
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated literal string")),
+                Some('\n') => return Err(self.err("newline inside literal string")),
+                Some('\'') => return Ok(s),
+                Some(c) => s.push(c),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, TomlError> {
+        debug_assert_eq!(self.peek(), Some('['));
+        self.bump();
+        let mut items = Vec::new();
+        loop {
+            self.skip_trivia();
+            if self.peek() == Some(']') {
+                self.bump();
+                return Ok(Value::Array(items));
+            }
+            items.push(self.value()?);
+            self.skip_trivia();
+            match self.peek() {
+                Some(',') => {
+                    self.bump();
+                }
+                Some(']') => {}
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn inline_table(&mut self) -> Result<Value, TomlError> {
+        debug_assert_eq!(self.peek(), Some('{'));
+        self.bump();
+        let mut table = Table::new();
+        loop {
+            self.skip_trivia();
+            if self.peek() == Some('}') {
+                self.bump();
+                return Ok(Value::Table(table));
+            }
+            let path = self.key_path()?;
+            self.skip_inline_ws();
+            if self.bump() != Some('=') {
+                return Err(self.err("expected `=` in inline table"));
+            }
+            self.skip_inline_ws();
+            let value = self.value()?;
+            insert_dotted(&mut table, &path, value).map_err(|m| self.err(m))?;
+            self.skip_trivia();
+            match self.peek() {
+                Some(',') => {
+                    self.bump();
+                }
+                Some('}') => {}
+                _ => return Err(self.err("expected `,` or `}` in inline table")),
+            }
+        }
+    }
+
+    fn keyword(&mut self) -> Result<Value, TomlError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_alphabetic()) {
+            self.bump();
+        }
+        let word: String = self.chars[start..self.pos].iter().collect();
+        match word.as_str() {
+            "true" => Ok(Value::Boolean(true)),
+            "false" => Ok(Value::Boolean(false)),
+            "inf" => Ok(Value::Float(f64::INFINITY)),
+            "nan" => Ok(Value::Float(f64::NAN)),
+            other => Err(self.err(format!("unknown keyword `{other}`"))),
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, TomlError> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(c) if c.is_ascii_alphanumeric() || matches!(c, '_' | '+' | '-' | '.')
+        ) {
+            self.bump();
+        }
+        let raw: String = self.chars[start..self.pos].iter().collect();
+        let token: String = raw.chars().filter(|&c| c != '_').collect();
+        let (sign, body) = match token.strip_prefix('-') {
+            Some(rest) => (-1i64, rest),
+            None => (1, token.strip_prefix('+').unwrap_or(&token)),
+        };
+        match body {
+            "inf" => {
+                return Ok(Value::Float(if sign < 0 { f64::NEG_INFINITY } else { f64::INFINITY }))
+            }
+            "nan" => return Ok(Value::Float(f64::NAN)),
+            _ => {}
+        }
+        for (prefix, radix) in [("0x", 16), ("0o", 8), ("0b", 2)] {
+            if let Some(digits) = body.strip_prefix(prefix) {
+                return i64::from_str_radix(digits, radix)
+                    .map(|v| Value::Integer(sign * v))
+                    .map_err(|e| self.err(format!("bad integer `{raw}`: {e}")));
+            }
+        }
+        if body.contains(['.', 'e', 'E']) {
+            token
+                .parse::<f64>()
+                .map(Value::Float)
+                .map_err(|e| self.err(format!("bad float `{raw}`: {e}")))
+        } else {
+            token
+                .parse::<i64>()
+                .map(Value::Integer)
+                .map_err(|e| self.err(format!("bad integer `{raw}`: {e}")))
+        }
+    }
+}
+
+/// Walk `path` from `root`, creating intermediate tables, stepping into the
+/// last element of table arrays (the TOML `[[x]]` … `[x.y]` rule).
+fn navigate<'a>(root: &'a mut Table, path: &[String]) -> Result<&'a mut Table, String> {
+    let mut cur = root;
+    for seg in path {
+        let idx = match cur.entries.iter().position(|(k, _)| k == seg) {
+            Some(i) => i,
+            None => {
+                cur.entries.push((seg.clone(), Value::Table(Table::new())));
+                cur.entries.len() - 1
+            }
+        };
+        cur = match &mut cur.entries[idx].1 {
+            Value::Table(t) => t,
+            Value::Array(items) => match items.last_mut() {
+                Some(Value::Table(t)) => t,
+                _ => return Err(format!("`{seg}` is not a table array")),
+            },
+            v => return Err(format!("`{seg}` is a {}, not a table", v.type_name())),
+        };
+    }
+    Ok(cur)
+}
+
+/// Insert `value` at dotted `path` under `table`; duplicate final keys are
+/// an error.
+fn insert_dotted(table: &mut Table, path: &[String], value: Value) -> Result<(), String> {
+    let (last, parents) = path.split_last().expect("key path is non-empty");
+    let target = navigate(table, parents)?;
+    if target.contains_key(last) {
+        return Err(format!("duplicate key `{last}`"));
+    }
+    target.insert(last.clone(), value);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_parse() {
+        let doc = parse(
+            "a = 1\nb = -2\nhex = 0xFF\noct = 0o17\nbin = 0b101\nsep = 1_000\n\
+             f = 1.5\ng = -0.25\nexp = 1e3\npi = 3.14159\n\
+             t = true\nfa = false\ns = \"hi\"\nlit = 'raw\\n'\n",
+        )
+        .unwrap();
+        assert_eq!(doc.get("a"), Some(&Value::Integer(1)));
+        assert_eq!(doc.get("b"), Some(&Value::Integer(-2)));
+        assert_eq!(doc.get("hex"), Some(&Value::Integer(255)));
+        assert_eq!(doc.get("oct"), Some(&Value::Integer(15)));
+        assert_eq!(doc.get("bin"), Some(&Value::Integer(5)));
+        assert_eq!(doc.get("sep"), Some(&Value::Integer(1000)));
+        assert_eq!(doc.get("f"), Some(&Value::Float(1.5)));
+        assert_eq!(doc.get("g"), Some(&Value::Float(-0.25)));
+        assert_eq!(doc.get("exp"), Some(&Value::Float(1000.0)));
+        assert_eq!(doc.get("t"), Some(&Value::Boolean(true)));
+        assert_eq!(doc.get("fa"), Some(&Value::Boolean(false)));
+        assert_eq!(doc.get("s").and_then(Value::as_str), Some("hi"));
+        assert_eq!(doc.get("lit").and_then(Value::as_str), Some("raw\\n"));
+    }
+
+    #[test]
+    fn special_floats_parse() {
+        let doc = parse("a = inf\nb = -inf\nc = nan\nd = +inf\n").unwrap();
+        assert_eq!(doc.get("a"), Some(&Value::Float(f64::INFINITY)));
+        assert_eq!(doc.get("b"), Some(&Value::Float(f64::NEG_INFINITY)));
+        assert!(doc.get("c").and_then(Value::as_float).unwrap().is_nan());
+        assert_eq!(doc.get("d"), Some(&Value::Float(f64::INFINITY)));
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let doc = parse(r#"s = "line\nbreak \"quoted\" tab\t uA""#).unwrap();
+        assert_eq!(doc.get("s").and_then(Value::as_str), Some("line\nbreak \"quoted\" tab\t uA"));
+    }
+
+    #[test]
+    fn headers_and_dotted_keys_nest() {
+        let doc = parse("top = 1\n[a]\nx = 2\n[a.b]\ny = 3\nz.w = 4\n").unwrap();
+        let a = doc.get("a").and_then(Value::as_table).unwrap();
+        assert_eq!(a.get("x"), Some(&Value::Integer(2)));
+        let b = a.get("b").and_then(Value::as_table).unwrap();
+        assert_eq!(b.get("y"), Some(&Value::Integer(3)));
+        let z = b.get("z").and_then(Value::as_table).unwrap();
+        assert_eq!(z.get("w"), Some(&Value::Integer(4)));
+    }
+
+    #[test]
+    fn array_of_tables_collects() {
+        let doc = parse("[[ev]]\nround = 1\n[[ev]]\nround = 2\nkind = \"merge\"\n").unwrap();
+        let ev = doc.get("ev").and_then(Value::as_array).unwrap();
+        assert_eq!(ev.len(), 2);
+        let second = ev[1].as_table().unwrap();
+        assert_eq!(second.get("round"), Some(&Value::Integer(2)));
+        assert_eq!(second.get("kind").and_then(Value::as_str), Some("merge"));
+    }
+
+    #[test]
+    fn multiline_arrays_and_inline_tables() {
+        let doc = parse(
+            "xs = [\n  1,\n  2, # inline comment\n  3,\n]\n\
+             t = { a = 1, nested = { b = \"x\" }, xs = [true, false] }\n",
+        )
+        .unwrap();
+        assert_eq!(
+            doc.get("xs"),
+            Some(&Value::Array(vec![Value::Integer(1), Value::Integer(2), Value::Integer(3)]))
+        );
+        let t = doc.get("t").and_then(Value::as_table).unwrap();
+        let nested = t.get("nested").and_then(Value::as_table).unwrap();
+        assert_eq!(nested.get("b").and_then(Value::as_str), Some("x"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let doc = parse("# top comment\n\n  a = 1  # trailing\n\n# end\n").unwrap();
+        assert_eq!(doc.get("a"), Some(&Value::Integer(1)));
+    }
+
+    #[test]
+    fn duplicate_key_rejected_with_line() {
+        let err = parse("a = 1\na = 2\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("duplicate key"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let err = parse("[a]\nx = 1\n[a]\ny = 2\n").unwrap_err();
+        assert!(err.message.contains("defined more than once"), "{err}");
+    }
+
+    #[test]
+    fn junk_after_value_rejected() {
+        let err = parse("a = 1 2\n").unwrap_err();
+        assert!(err.message.contains("end of line"), "{err}");
+    }
+
+    #[test]
+    fn type_errors_carry_context() {
+        let err = parse("a = 1\n[a.b]\n").unwrap_err();
+        assert!(err.message.contains("not a table"), "{err}");
+        let err = parse("a = [1]\n[[a]]\n").unwrap_err();
+        assert!(err.message.contains("plain array"), "{err}");
+    }
+
+    #[test]
+    fn serializer_quotes_awkward_keys() {
+        let mut t = Table::new();
+        t.insert("plain", Value::Integer(1));
+        t.insert("needs quoting", Value::Boolean(true));
+        let text = t.to_toml_string();
+        assert!(text.contains("\"needs quoting\" = true"), "{text}");
+        assert_eq!(parse(&text).unwrap(), t);
+    }
+
+    #[test]
+    fn fixed_document_roundtrips() {
+        let mut inner = Table::new();
+        inner.insert("kind", Value::String("clustered".into()));
+        inner.insert("migration", Value::Float(0.02));
+        let mut t = Table::new();
+        t.insert("name", Value::String("epoch \"storm\"\n".into()));
+        t.insert("seed", Value::Integer(0xD15EA5E));
+        t.insert(
+            "mix",
+            Value::Array(vec![Value::Integer(-3), Value::Float(0.5), Value::Boolean(false)]),
+        );
+        t.insert("env", Value::Table(inner));
+        assert_eq!(parse(&t.to_toml_string()).unwrap(), t);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests for the TOML shim: any representable document survives a
+//! serialize → parse roundtrip bit-exactly, and the serializer never emits
+//! something the parser rejects.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use toml::{parse, Table, Value};
+
+/// A random key: usually bare, sometimes needing quoting.
+fn gen_key(rng: &mut SmallRng) -> String {
+    if rng.gen::<f64>() < 0.8 {
+        let len = rng.gen_range(1..8);
+        (0..len)
+            .map(|_| {
+                let alphabet = b"abcdefghijklmnopqrstuvwxyz0123456789-_";
+                alphabet[rng.gen_range(0..alphabet.len())] as char
+            })
+            .collect()
+    } else {
+        // Keys with spaces, punctuation, escapes — must be quoted.
+        let len = rng.gen_range(1..6);
+        (0..len)
+            .map(|_| {
+                let alphabet = [' ', '.', '#', '"', '\\', '\n', '\t', 'ä', '=', '[', 'x'];
+                alphabet[rng.gen_range(0..alphabet.len())]
+            })
+            .collect()
+    }
+}
+
+fn gen_string(rng: &mut SmallRng) -> String {
+    let len = rng.gen_range(0..12);
+    (0..len)
+        .map(|_| {
+            let alphabet = [
+                ' ', 'a', 'Z', '9', '"', '\\', '\n', '\r', '\t', '\u{8}', '\u{c}', '\u{1}', '€',
+                '#', '\'',
+            ];
+            alphabet[rng.gen_range(0..alphabet.len())]
+        })
+        .collect()
+}
+
+fn gen_value(rng: &mut SmallRng, depth: usize) -> Value {
+    let scalar_only = depth == 0;
+    match rng.gen_range(0..if scalar_only { 4 } else { 6 }) {
+        0 => Value::Integer(rng.gen::<i64>()),
+        1 => {
+            // Finite floats across magnitudes (NaN breaks `==`; excluded).
+            let x: f64 = match rng.gen_range(0..4) {
+                0 => rng.gen::<f64>(),
+                1 => rng.gen::<f64>() * 1e300,
+                2 => rng.gen::<f64>() * 1e-300,
+                _ => f64::from_bits(rng.gen::<u64>()),
+            };
+            Value::Float(if x.is_finite() { x } else { 0.5 })
+        }
+        2 => Value::Boolean(rng.gen()),
+        3 => Value::String(gen_string(rng)),
+        4 => {
+            let len = rng.gen_range(0..4);
+            Value::Array((0..len).map(|_| gen_value(rng, depth - 1)).collect())
+        }
+        _ => Value::Table(gen_table(rng, depth - 1)),
+    }
+}
+
+fn gen_table(rng: &mut SmallRng, depth: usize) -> Table {
+    let mut t = Table::new();
+    let len = rng.gen_range(0..5);
+    for _ in 0..len {
+        // `insert` replaces duplicates, so colliding keys stay legal.
+        t.insert(gen_key(rng), gen_value(rng, depth));
+    }
+    t
+}
+
+proptest! {
+    #[test]
+    fn serialize_parse_roundtrip(seed in proptest::arbitrary::any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let doc = gen_table(&mut rng, 3);
+        let text = doc.to_toml_string();
+        let reparsed = parse(&text).unwrap_or_else(|e| {
+            panic!("serializer emitted unparsable TOML: {e}\n---\n{text}")
+        });
+        prop_assert_eq!(reparsed, doc);
+    }
+
+    #[test]
+    fn integers_roundtrip_exactly(x in proptest::arbitrary::any::<i64>()) {
+        let mut t = Table::new();
+        t.insert("x", Value::Integer(x));
+        prop_assert_eq!(parse(&t.to_toml_string()).unwrap().get("x"), Some(&Value::Integer(x)));
+    }
+
+    #[test]
+    fn finite_floats_roundtrip_bit_exactly(bits in proptest::arbitrary::any::<u64>()) {
+        let x = f64::from_bits(bits);
+        if !x.is_finite() {
+            return;
+        }
+        let mut t = Table::new();
+        t.insert("x", Value::Float(x));
+        let back = parse(&t.to_toml_string()).unwrap();
+        let Some(Value::Float(y)) = back.get("x") else { panic!("float lost") };
+        prop_assert_eq!(y.to_bits(), x.to_bits());
+    }
+}

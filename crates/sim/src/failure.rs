@@ -23,6 +23,22 @@ pub enum FailureMode {
     BottomValue,
 }
 
+impl std::str::FromStr for FailureMode {
+    type Err = String;
+
+    /// Parse the kebab-case names scenario files use.
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "random" => Ok(FailureMode::Random),
+            "top-value" => Ok(FailureMode::TopValue),
+            "bottom-value" => Ok(FailureMode::BottomValue),
+            other => Err(format!(
+                "unknown failure mode `{other}` (expected random|top-value|bottom-value)"
+            )),
+        }
+    }
+}
+
 /// A failure plan for one simulation run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum FailureSpec {

@@ -24,6 +24,24 @@ pub enum Truth {
     GroupSize,
 }
 
+impl std::str::FromStr for Truth {
+    type Err = String;
+
+    /// Parse the kebab-case names scenario files use.
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "mean" => Ok(Truth::Mean),
+            "count" => Ok(Truth::Count),
+            "sum" => Ok(Truth::Sum),
+            "group-mean" => Ok(Truth::GroupMean),
+            "group-size" => Ok(Truth::GroupSize),
+            other => Err(format!(
+                "unknown truth `{other}` (expected mean|count|sum|group-mean|group-size)"
+            )),
+        }
+    }
+}
+
 impl Truth {
     /// Does this truth need per-group structure from the environment?
     pub fn needs_groups(self) -> bool {

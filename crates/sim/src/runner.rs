@@ -67,6 +67,15 @@ impl Builder {
         self
     }
 
+    /// Choose an already-boxed gossip environment. Registry-style callers
+    /// (the scenario engine) pick the environment at runtime from a spec;
+    /// this avoids double-boxing what [`Builder::environment`] would box
+    /// again.
+    pub fn environment_boxed(mut self, env: Box<dyn Environment>) -> Self {
+        self.env = Some(env);
+        self
+    }
+
     /// `n` hosts with values drawn by `gen` (called once per host with the
     /// dedicated value RNG stream).
     pub fn nodes_with_values<F>(mut self, n: usize, gen: F) -> Self

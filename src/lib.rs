@@ -15,6 +15,7 @@
 //! | [`sim`] | `dynagg-sim` | round-based gossip simulator, environments, failure injection, metrics |
 //! | [`trace`] | `dynagg-trace` | contact traces: parser, synthetic Haggle-like generator, group computation |
 //! | [`node`] | `dynagg-node` | sans-io runtime: wire frames, local timers, loopback test transport |
+//! | [`scenario`] | `dynagg-scenario` | declarative experiments: TOML `ScenarioSpec` + the env/protocol registry |
 //!
 //! ## Quickstart
 //!
@@ -42,6 +43,8 @@
 pub use dynagg_core as protocols;
 /// Sans-io node runtime (`dynagg-node`).
 pub use dynagg_node as node;
+/// Declarative experiment assembly (`dynagg-scenario`).
+pub use dynagg_scenario as scenario;
 /// Gossip simulator (`dynagg-sim`).
 pub use dynagg_sim as sim;
 /// Counting-sketch substrate (`dynagg-sketch`).
