@@ -7,14 +7,9 @@
 
 use crate::opts::ExpOpts;
 use crate::output::Table;
-use dynagg_core::config::{ResetConfig, SketchConfig};
-use dynagg_core::count_sketch::CountSketch;
-use dynagg_core::count_sketch_reset::CountSketchReset;
 use dynagg_core::mass::MASS_WIRE_BYTES;
-use dynagg_core::push_sum_revert::PushSumRevert;
-use dynagg_scenario::{Engine, EnvSpec, ProtocolSpec, ScenarioSpec, ValueSpec};
-use dynagg_sim::env::uniform::UniformEnv;
-use dynagg_sim::{par, runner, FailureMode, FailureSpec, Series, Truth};
+use dynagg_scenario::{wire_cost, Engine, EnvSpec, Probe, ProtocolSpec, ScenarioSpec, ValueSpec};
+use dynagg_sim::{par, FailureMode, FailureSpec, Series, Truth};
 use dynagg_sketch::cutoff::Cutoff;
 
 fn pop(opts: &ExpOpts) -> usize {
@@ -227,7 +222,9 @@ pub fn cutoff_sweep(opts: &ExpOpts) -> Table {
 }
 
 /// Ablation 6 — bandwidth per protocol (the Invert-Average §IV-B cost
-/// argument).
+/// argument), read through [`dynagg_scenario::wire_cost`]: each variant is
+/// expressed as the `ProtocolSpec` a scenario file would name, and the
+/// registry prices its message — no direct core-type construction.
 pub fn bandwidth(opts: &ExpOpts) -> Table {
     let n = pop(opts).min(2_000);
     let sum_range = 100_000u64; // per-host values up to 100k
@@ -241,32 +238,42 @@ pub fn bandwidth(opts: &ExpOpts) -> Table {
             "bytes_for_10_sums",
         ],
     );
-    // 0: Push-Sum-Revert alone (the marginal cost of each extra sum).
-    let psr_bytes = MASS_WIRE_BYTES as f64;
-    t.push_row(vec![0.0, psr_bytes, psr_bytes, 10.0 * psr_bytes]);
+    let cost = |p: &ProtocolSpec| wire_cost(p, n, opts.seed);
 
-    // 1: Count-Sketch-Reset in summation mode (counter matrix sized for
-    // the total sum range).
-    let reset = ResetConfig::paper(sum_range * n as u64, 1);
-    let node = CountSketchReset::summing(reset, 0, 50_000);
-    let csr_bytes = node.ages().wire_bytes() as f64;
-    let csr_enc = dynagg_sketch::codec::encoded_len_ages(node.ages()) as f64;
-    t.push_row(vec![1.0, csr_bytes, csr_enc, 10.0 * csr_bytes]);
+    // 0: Push-Sum-Revert alone (the marginal cost of each extra sum).
+    let psr = cost(&ProtocolSpec::PushSumRevert { lambda: 0.1 });
+    let psr_bytes = psr.raw_bytes as f64;
+    t.push_row(vec![0.0, psr_bytes, psr.encoded_bytes as f64, 10.0 * psr_bytes]);
+
+    // 1: Count-Sketch-Reset summation load (multi-insertion of the value
+    // range: the counter matrix is sized for the total sum range).
+    let csr = cost(&ProtocolSpec::CountSketchReset {
+        cutoff: Cutoff::paper_uniform(),
+        push_pull: true,
+        multiplier: sum_range,
+        hash_seed_xor: 0,
+    });
+    t.push_row(vec![
+        1.0,
+        csr.raw_bytes as f64,
+        csr.encoded_bytes as f64,
+        10.0 * csr.raw_bytes as f64,
+    ]);
 
     // 2: static multi-insertion sketch summation.
-    let sketch = SketchConfig::paper(sum_range * n as u64, 1);
-    let cs = CountSketch::summing(sketch, 0, 50_000);
-    let cs_bytes = cs.sketch().wire_bytes() as f64;
-    let cs_enc = dynagg_sketch::codec::encode_pcsa(cs.sketch()).len() as f64;
-    t.push_row(vec![2.0, cs_bytes, cs_enc, 10.0 * cs_bytes]);
+    let cs = cost(&ProtocolSpec::CountSketch { multiplier: sum_range, hash_seed_xor: 0 });
+    t.push_row(vec![2.0, cs.raw_bytes as f64, cs.encoded_bytes as f64, 10.0 * cs.raw_bytes as f64]);
 
     // 3: Invert-Average: one counting matrix (sized for n hosts, not the
     // sum range) amortized over all sums + 16 bytes per sum.
-    let count_cfg = ResetConfig::paper(n as u64, 1);
-    let ia = CountSketchReset::counting(count_cfg, 0);
-    let ia_bytes = ia.ages().wire_bytes() as f64 + psr_bytes;
-    let ia_enc = dynagg_sketch::codec::encoded_len_ages(ia.ages()) as f64 + psr_bytes;
-    t.push_row(vec![3.0, ia_bytes, ia_enc, ia.ages().wire_bytes() as f64 + 10.0 * psr_bytes]);
+    let ia = cost(&ProtocolSpec::InvertAverage { lambda: 0.1, hash_seed_xor: 0 });
+    let ia_matrix = (ia.raw_bytes - MASS_WIRE_BYTES) as f64;
+    t.push_row(vec![
+        3.0,
+        ia.raw_bytes as f64,
+        ia.encoded_bytes as f64,
+        ia_matrix + 10.0 * psr_bytes,
+    ]);
 
     t.note("invert-average amortizes the counting matrix across sums; each extra sum costs 16 bytes vs a full matrix".to_string());
     t.note("encoded_bytes = the RLE wire codec (sketch::codec); raw bytes keep the paper-comparable accounting".to_string());
@@ -321,10 +328,9 @@ pub fn epoch_sweep(opts: &ExpOpts) -> Table {
 /// bounds the weight decay (long-horizon numerical stability) at the cost
 /// of an elevated λ floor.
 ///
-/// Deliberately off the scenario registry: the reading sums protocol
-/// *mass* off live nodes mid-run, a protocol-specific probe the
-/// series-oriented scenario layer does not expose (same for
-/// [`bandwidth`], which simulates nothing at all).
+/// The total-weight reading comes through the registry's `mass-weight`
+/// probe (`output.probe` in a scenario file) — the node-state hook that
+/// closed the last bypass of the declarative path.
 pub fn loss_sweep(opts: &ExpOpts) -> Table {
     let n = pop(opts).min(5_000);
     let mut t = Table::new(
@@ -341,18 +347,14 @@ pub fn loss_sweep(opts: &ExpOpts) -> Table {
     let losses = [0.0, 0.05, 0.1, 0.2];
     let rows = par::par_map(&losses, |_, &loss| {
         let run = |lambda: f64| {
-            let mut sim = runner::builder(opts.seed)
-                .environment(UniformEnv::new())
-                .nodes_with_paper_values(n)
-                .protocol(move |_, v| PushSumRevert::new(v, lambda))
-                .truth(Truth::Mean)
-                .message_loss(loss)
-                .build();
-            for _ in 0..80 {
-                sim.step();
-            }
-            let w: f64 = sim.nodes().map(|(_, p)| p.mass().weight).sum();
-            (sim.series().steady_state_stddev(60), w)
+            let mut spec =
+                ablation_spec(opts, "ablation-loss", n, 80, ProtocolSpec::PushSumRevert { lambda });
+            spec.loss = loss;
+            spec.output.probe = Some(Probe::MassWeight);
+            let outcome = dynagg_scenario::run(&spec).expect("ablation spec is valid");
+            let trial = &outcome.instances[0].trials[0];
+            let w = trial.probe.expect("mass-weight probe requested");
+            (trial.series.steady_state_stddev(60), w)
         };
         let (s_err, s_w) = run(0.0);
         let (r_err, r_w) = run(0.05);

@@ -1,7 +1,7 @@
 //! Quick perf smoke: a small fixed sweep (<30 s) that measures the
 //! simulation engine's throughput and writes `BENCH_1.json`.
 //!
-//! Three readings:
+//! Four readings:
 //!
 //! 1. **fig6-style sweep wall-clock** — Count-Sketch-Reset convergence
 //!    runs over (size × trial) configurations, serial vs. parallel
@@ -10,16 +10,23 @@
 //!    5 000-host uniform network (the allocation-sensitive hot path).
 //! 3. **sketch rounds/sec** — Count-Sketch-Reset rounds on a 2 000-host
 //!    network (dominated by age-matrix merge + estimate).
+//! 4. **async events/sec** — the asynchronous discrete-event engine
+//!    (`engine = "async"`): a 5 000-host Push-Sum-Revert run with
+//!    jittered timers and 10 ms links, measured in heap events processed
+//!    per second (timers + deliveries + samples).
 //!
 //! Usage: `cargo run --release -p dynagg-bench --bin perf_smoke [OUT.json]`
 //! (default output: `BENCH_1.json` in the current directory).
 
 use dynagg_core::config::ResetConfig;
 use dynagg_core::count_sketch_reset::CountSketchReset;
+use dynagg_core::epoch::DriftModel;
 use dynagg_core::push_sum_revert::PushSumRevert;
+use dynagg_node::{AsyncConfig, AsyncNet};
 use dynagg_sim::env::uniform::UniformEnv;
 use dynagg_sim::par;
 use dynagg_sim::{runner, Series, Truth};
+use rand::Rng;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -45,6 +52,8 @@ const PUSH_N: usize = 5_000;
 const PUSH_ROUNDS: u64 = 400;
 const SKETCH_N: usize = 2_000;
 const SKETCH_ROUNDS: u64 = 45;
+const ASYNC_N: usize = 5_000;
+const ASYNC_ROUNDS: u64 = 200;
 const MASTER_SEED: u64 = 0xBE_5EED;
 
 fn fig6_style_trial(n: usize, trial_seed: u64) -> Series {
@@ -103,6 +112,29 @@ fn main() {
     }
     let sketch_rounds_per_s = SKETCH_ROUNDS as f64 / sketch_s;
 
+    // 2b. async-engine events/sec (best of 3): the discrete-event hot
+    // path — binary-heap pops, frame encode/decode, latency draws.
+    let mut async_s = f64::INFINITY;
+    let mut async_events = 0u64;
+    for _ in 0..3 {
+        let t = Instant::now();
+        let mut net: AsyncNet<PushSumRevert> = AsyncNet::new(
+            ASYNC_N,
+            AsyncConfig::new(MASTER_SEED),
+            Box::new(|rng, _| rng.gen_range(0.0..100.0)),
+            Box::new(|_| DriftModel::Synced),
+            Box::new(|_, v| PushSumRevert::new(v, 0.01)),
+        );
+        net.run(ASYNC_ROUNDS);
+        async_s = async_s.min(t.elapsed().as_secs_f64());
+        async_events = net.events_processed();
+        assert!(
+            net.series().last().expect("sampled").stddev.is_finite(),
+            "async run produced a series"
+        );
+    }
+    let async_events_per_s = async_events as f64 / async_s;
+
     // 3a. fig6-style sweep, serial.
     let t = Instant::now();
     let serial: Vec<Series> = configs.iter().map(|&(n, seed)| fig6_style_trial(n, seed)).collect();
@@ -131,6 +163,11 @@ fn main() {
     let _ = writeln!(
         json,
         "  \"sketch_gossip\": {{ \"hosts\": {SKETCH_N}, \"rounds\": {SKETCH_ROUNDS}, \"rounds_per_s\": {sketch_rounds_per_s:.2}, \"bytes_per_round\": {sketch_bytes_per_round:.0} }},",
+    );
+    let _ = writeln!(
+        json,
+        "  \"async_gossip\": {{ \"hosts\": {ASYNC_N}, \"nominal_rounds\": {ASYNC_ROUNDS}, \"events\": {async_events}, \"events_per_s\": {async_events_per_s:.0}, \"nominal_rounds_per_s\": {:.2} }},",
+        ASYNC_ROUNDS as f64 / async_s,
     );
     let _ = writeln!(
         json,

@@ -112,7 +112,11 @@ impl DriftModel {
     /// between calls. Random models draw from `rng`; deterministic models
     /// consume no randomness (so adding drift never perturbs unrelated
     /// RNG streams).
-    fn ticks(self, carry: &mut f64, rng: &mut SmallRng) -> u64 {
+    ///
+    /// Public because clock consumers outside the epoch lifecycle reuse
+    /// the same drift semantics — the async node runtime
+    /// (`dynagg-node`) drives each device's round timer through this.
+    pub fn ticks(self, carry: &mut f64, rng: &mut SmallRng) -> u64 {
         match self {
             DriftModel::Synced => 1,
             DriftModel::ConstantSkew { rate } => {

@@ -1,0 +1,171 @@
+//! The time-ordered event queue behind the asynchronous engine.
+//!
+//! A thin wrapper over [`std::collections::BinaryHeap`] that turns it into
+//! a deterministic discrete-event scheduler: events pop in `(time, insertion
+//! order)` order, so two events due at the same millisecond resolve by who
+//! was scheduled first — a total order that never depends on heap
+//! internals. This replaces the old loopback rig's per-tick `Vec` scan
+//! (`O(rounds × queue)`) with `O(log queue)` per event, which is what lets
+//! asynchronous runs scale past a few hundred nodes.
+//!
+//! Two debug invariants guard causality:
+//!
+//! * events may only be scheduled at or after the last popped time
+//!   (nothing schedules into the past), and
+//! * popped event times are monotonically non-decreasing.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+/// One scheduled event: a payload due at a simulated time.
+#[derive(Debug)]
+struct Entry<K> {
+    at_ms: u64,
+    seq: u64,
+    kind: K,
+}
+
+impl<K> PartialEq for Entry<K> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at_ms == other.at_ms && self.seq == other.seq
+    }
+}
+
+impl<K> Eq for Entry<K> {}
+
+impl<K> PartialOrd for Entry<K> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<K> Ord for Entry<K> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.at_ms, self.seq).cmp(&(other.at_ms, other.seq))
+    }
+}
+
+/// A deterministic min-heap of timed events.
+#[derive(Debug)]
+pub struct EventQueue<K> {
+    heap: BinaryHeap<Reverse<Entry<K>>>,
+    seq: u64,
+    last_popped_ms: u64,
+}
+
+impl<K> Default for EventQueue<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K> EventQueue<K> {
+    /// An empty queue at time 0.
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), seq: 0, last_popped_ms: 0 }
+    }
+
+    /// Pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The time the last popped event fired at (0 before any pop).
+    pub fn now_ms(&self) -> u64 {
+        self.last_popped_ms
+    }
+
+    /// Schedule `kind` at `at_ms`. Same-time events pop in scheduling
+    /// order.
+    pub fn schedule(&mut self, at_ms: u64, kind: K) {
+        debug_assert!(
+            at_ms >= self.last_popped_ms,
+            "scheduling into the past ({at_ms} < {}) breaks causality",
+            self.last_popped_ms
+        );
+        self.heap.push(Reverse(Entry { at_ms, seq: self.seq, kind }));
+        self.seq += 1;
+    }
+
+    /// The time of the next due event.
+    pub fn peek_time(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse(e)| e.at_ms)
+    }
+
+    /// Pop the next event, asserting (in debug builds) that event times
+    /// never run backwards.
+    pub fn pop(&mut self) -> Option<(u64, K)> {
+        let Reverse(e) = self.heap.pop()?;
+        debug_assert!(
+            e.at_ms >= self.last_popped_ms,
+            "event-time monotonicity violated: popped {} after {}",
+            e.at_ms,
+            self.last_popped_ms
+        );
+        self.last_popped_ms = e.at_ms;
+        Some((e.at_ms, e.kind))
+    }
+
+    /// Pop the next event if it is due at or before `horizon_ms`.
+    pub fn pop_before(&mut self, horizon_ms: u64) -> Option<(u64, K)> {
+        if self.peek_time()? <= horizon_ms {
+            self.pop()
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_then_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, "c");
+        q.schedule(10, "a1");
+        q.schedule(10, "a2");
+        q.schedule(20, "b");
+        let order: Vec<(u64, &str)> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, vec![(10, "a1"), (10, "a2"), (20, "b"), (30, "c")]);
+    }
+
+    #[test]
+    fn pop_before_respects_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule(5, ());
+        q.schedule(15, ());
+        assert_eq!(q.pop_before(10), Some((5, ())));
+        assert_eq!(q.pop_before(10), None);
+        assert_eq!(q.len(), 1, "the late event stays scheduled");
+        assert_eq!(q.pop_before(15), Some((15, ())));
+    }
+
+    #[test]
+    fn now_tracks_last_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now_ms(), 0);
+        q.schedule(7, ());
+        q.pop();
+        assert_eq!(q.now_ms(), 7);
+        // Scheduling at the current time is allowed (zero-latency links).
+        q.schedule(7, ());
+        assert_eq!(q.pop(), Some((7, ())));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "breaks causality")]
+    fn scheduling_into_the_past_is_caught() {
+        let mut q = EventQueue::new();
+        q.schedule(10, ());
+        q.pop();
+        q.schedule(9, ());
+    }
+}

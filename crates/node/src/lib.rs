@@ -1,30 +1,42 @@
 //! # dynagg-node
 //!
-//! A **sans-io node runtime** for the dynagg protocols: the piece a real
-//! deployment embeds. The simulator (`dynagg-sim`) drives protocols in
+//! The **asynchronous node runtime and discrete-event engine** for the
+//! dynagg protocols. The simulator (`dynagg-sim`) drives protocols in
 //! idealized lockstep rounds; this crate drives the *same protocol state
-//! machines* the way a device would — local timers, byte payloads
-//! ([`dynagg_core::wire`]), peers discovered at runtime, and **no global
-//! synchronization whatsoever**.
+//! machines* the way devices would — local (possibly drifting) timers,
+//! byte payloads ([`dynagg_core::wire`]), peers discovered at runtime, and
+//! **no global synchronization whatsoever**.
 //!
-//! Sans-io means the runtime performs no networking itself: you call
-//! [`runtime::NodeRuntime::poll`] with the current time and ship the
-//! returned envelopes however you like (UDP, BLE, a message bus), and you
-//! call [`runtime::NodeRuntime::handle`] with whatever bytes arrive. This
-//! keeps the crate dependency-free, deterministic, and trivially testable
-//! — [`loopback`] is exactly such a test harness, with configurable
-//! latency, loss, and per-node clock skew.
+//! Two layers:
 //!
-//! The loopback tests double as evidence for a claim the paper makes only
-//! in passing: the dynamic protocols need no round synchronization. Nodes
-//! ticking at different phases and slightly different rates still converge
-//! and still heal after silent failures.
+//! * [`runtime`] — the sans-io per-device driver. A
+//!   [`runtime::NodeRuntime`] performs no networking itself: you call
+//!   [`runtime::NodeRuntime::poll`] with the current time and ship the
+//!   returned envelopes however you like (UDP, BLE, a message bus), and
+//!   you call [`runtime::NodeRuntime::handle`] with whatever bytes
+//!   arrive. Frames carry a [`runtime::FrameHeader`] (kind + sender
+//!   round), and the local timer advances through a
+//!   [`dynagg_core::epoch::DriftModel`].
+//! * [`loopback`] — [`loopback::AsyncNet`], a deterministic discrete-event
+//!   engine over those runtimes: a time-ordered event queue (binary
+//!   heap), per-link latency distributions, frame loss, membership views,
+//!   failure plans mirroring [`dynagg_sim::FailureSpec`], and estimate
+//!   sampling into the same [`dynagg_sim::metrics::Series`] the lockstep
+//!   engines emit. This is what `engine = "async"` scenarios run on.
+//!
+//! The engine doubles as evidence for a claim the paper makes only in
+//! passing: the dynamic protocols need no round synchronization. Nodes
+//! ticking at different phases and different rates, over lossy
+//! variable-latency links, still converge and still heal after silent
+//! failures.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod event;
 pub mod loopback;
 pub mod runtime;
 
-pub use loopback::LoopbackNet;
-pub use runtime::{Envelope, FrameKind, NodeRuntime, RuntimeConfig};
+pub use event::EventQueue;
+pub use loopback::{AsyncConfig, AsyncNet, LatencyModel};
+pub use runtime::{Envelope, FrameHeader, FrameKind, NodeRuntime, RuntimeConfig};

@@ -1,85 +1,296 @@
-//! An in-memory transport for testing runtimes: delivers envelopes with
-//! configurable latency, loss, and per-node clock skew. This is the
-//! "integration rig" proving the protocols run correctly *without* the
-//! simulator's lockstep rounds.
+//! The asynchronous discrete-event engine.
+//!
+//! [`AsyncNet`] drives a population of [`NodeRuntime`]s with **no global
+//! round synchronization whatsoever**: every node owns a jittered,
+//! possibly drifting round timer, frames travel over links with a
+//! configurable [`LatencyModel`] and loss probability, and everything is
+//! sequenced through a time-ordered [`EventQueue`] (binary heap, `O(log
+//! q)` per event — the old loopback rig rescanned a `Vec` of in-flight
+//! frames every tick, `O(rounds × queue)`, which capped it at a few
+//! hundred nodes).
+//!
+//! The engine mirrors the lockstep simulator's instrumentation so
+//! asynchronous runs are first-class experiments, not a side rig:
+//!
+//! * estimates are sampled at a configurable wall-clock cadence into a
+//!   [`dynagg_sim::metrics::Series`] with the same per-round columns
+//!   (error, settling, disruptions, messages, bytes) the lockstep engines
+//!   emit,
+//! * the failure plan is a [`dynagg_sim::FailureSpec`] applied at nominal
+//!   round boundaries — mass failures (random or value-correlated) and
+//!   Poisson churn behave like `sim::runner`'s, and
+//! * a run is a pure function of the master seed: bit-identical across
+//!   `sim::par` trial parallelism at any thread count.
+//!
+//! Nodes address peers through bounded **membership views** (a uniform
+//! sample of the live population, like partial-view membership services in
+//! deployed gossip systems); views refresh when the failure plan changes
+//! membership, modeling neighbor rediscovery. Below
+//! [`AsyncConfig::view_size`] nodes the view is the full population, so
+//! small rigs behave exactly like the old loopback harness.
 
+use crate::event::EventQueue;
 use crate::runtime::{Envelope, NodeRuntime, RuntimeConfig};
+use dynagg_core::epoch::DriftModel;
 use dynagg_core::protocol::{NodeId, PushProtocol};
 use dynagg_core::wire::WireMessage;
+use dynagg_sim::metrics::{Series, StatsAcc, Truth};
+use dynagg_sim::rng::{self, stream};
+use dynagg_sim::{FailureMode, FailureSpec};
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::seq::SliceRandom;
+use rand::Rng;
 
-/// A frame in flight.
-struct InFlight {
-    deliver_at_ms: u64,
-    env: Envelope,
+/// Stream tag for per-node runtime seeds (disjoint from the engine's small
+/// [`stream`] constants by construction).
+const NODE_SEED_BASE: u64 = 0x6E6F_6465_5F73_6565; // "node_see"
+
+/// Per-link one-way latency distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LatencyModel {
+    /// Every frame takes exactly `ms`.
+    Constant {
+        /// One-way delay in milliseconds.
+        ms: u64,
+    },
+    /// Uniform in `[lo_ms, hi_ms]`.
+    Uniform {
+        /// Minimum delay.
+        lo_ms: u64,
+        /// Maximum delay (inclusive).
+        hi_ms: u64,
+    },
+    /// Exponentially distributed with the given mean (heavy tail: a few
+    /// frames arrive much later than the rest).
+    Exponential {
+        /// Mean delay in milliseconds.
+        mean_ms: f64,
+    },
 }
 
-/// An in-memory network of [`NodeRuntime`]s.
-pub struct LoopbackNet<P: PushProtocol>
+impl LatencyModel {
+    /// Draw one delay.
+    pub fn sample(&self, rng: &mut SmallRng) -> u64 {
+        match *self {
+            LatencyModel::Constant { ms } => ms,
+            LatencyModel::Uniform { lo_ms, hi_ms } => {
+                if lo_ms >= hi_ms {
+                    lo_ms
+                } else {
+                    rng.gen_range(lo_ms..=hi_ms)
+                }
+            }
+            LatencyModel::Exponential { mean_ms } => {
+                if mean_ms <= 0.0 {
+                    return 0;
+                }
+                let u: f64 = rng.gen(); // in [0, 1) -> 1-u in (0, 1]
+                (-mean_ms * (1.0 - u).ln()).round() as u64
+            }
+        }
+    }
+}
+
+/// Configuration of one asynchronous network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AsyncConfig {
+    /// Master seed; the whole run is a pure function of it.
+    pub seed: u64,
+    /// Nominal milliseconds between a node's gossip rounds.
+    pub interval_ms: u64,
+    /// Per-node interval jitter as a fraction of `interval_ms` (each
+    /// node's interval is drawn once from `±jitter`), in `[0, 1)`.
+    pub jitter: f64,
+    /// Per-link latency distribution.
+    pub latency: LatencyModel,
+    /// Independent per-frame loss probability.
+    pub loss: f64,
+    /// Wall-clock cadence at which estimates are sampled into the
+    /// [`Series`] (defaults to `interval_ms`, one sample per nominal
+    /// round).
+    pub sample_every_ms: u64,
+    /// Membership-view size; populations at or below it get full views.
+    pub view_size: usize,
+}
+
+impl AsyncConfig {
+    /// Defaults: 100 ms rounds with ±5 % jitter, 10 ms constant latency,
+    /// no loss, one sample per nominal round, 64-peer views.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            interval_ms: 100,
+            jitter: 0.05,
+            latency: LatencyModel::Constant { ms: 10 },
+            loss: 0.0,
+            sample_every_ms: 100,
+            view_size: 64,
+        }
+    }
+}
+
+/// What one scheduled event does.
+enum Ev {
+    /// A node's round timer is due.
+    Timer(NodeId),
+    /// A frame arrives.
+    Deliver(Envelope),
+    /// Sample estimates into the series.
+    Sample,
+    /// Apply the failure plan for nominal round `k`.
+    FailurePlan(u64),
+}
+
+/// Closure constructing a node's protocol from `(id, initial value)`.
+pub type NodeFactory<P> = Box<dyn FnMut(NodeId, f64) -> P>;
+/// Closure drawing a node's initial value.
+pub type ValueFn = Box<dyn FnMut(&mut SmallRng, NodeId) -> f64>;
+/// Closure assigning a node's clock-drift model.
+pub type DriftFn = Box<dyn FnMut(NodeId) -> DriftModel>;
+
+/// An asynchronous in-memory network of [`NodeRuntime`]s.
+pub struct AsyncNet<P: PushProtocol>
 where
     P::Message: WireMessage,
 {
+    cfg: AsyncConfig,
     runtimes: Vec<NodeRuntime<P>>,
     /// Whether each node is powered on (silent failure = flip to false).
     powered: Vec<bool>,
-    latency_ms: u64,
-    loss: f64,
-    rng: SmallRng,
-    queue: Vec<InFlight>,
-    now_ms: u64,
+    /// Initial values of live nodes (`None` = dead), for truth and
+    /// value-correlated failure selection.
+    values: Vec<Option<f64>>,
+    alive: usize,
+    queue: EventQueue<Ev>,
+    link_rng: SmallRng,
+    fail_rng: SmallRng,
+    value_rng: SmallRng,
+    setup_rng: SmallRng,
+    value_gen: ValueFn,
+    drift_of: DriftFn,
+    factory: NodeFactory<P>,
+    truth: Truth,
+    failure: FailureSpec,
+    series: Series,
+    sample_idx: u64,
+    msgs_since_sample: u64,
+    bytes_since_sample: u64,
+    initial_n: usize,
+    join_accum: f64,
+    horizon_ms: Option<u64>,
+    events_processed: u64,
     /// Count of frames that failed to decode (should stay 0).
     pub decode_errors: u64,
+    out_buf: Vec<Envelope>,
+    scratch: Vec<NodeId>,
 }
 
-impl<P: PushProtocol> LoopbackNet<P>
+impl<P: PushProtocol> AsyncNet<P>
 where
     P::Message: WireMessage,
 {
-    /// Build a network of `n` nodes. `mk` constructs each node's protocol;
-    /// round intervals are jittered ±5 % and phases staggered so nothing
-    /// is synchronized.
+    /// Build a network of `n` nodes: values drawn by `value_gen` (from the
+    /// same dedicated RNG stream the lockstep engine uses, so a given seed
+    /// yields the same population), clocks drifting per `drift_of`, and
+    /// protocols built by `factory`.
     pub fn new(
         n: usize,
-        base_interval_ms: u64,
-        latency_ms: u64,
-        loss: f64,
-        seed: u64,
-        mut mk: impl FnMut(NodeId) -> P,
+        cfg: AsyncConfig,
+        value_gen: ValueFn,
+        drift_of: DriftFn,
+        factory: NodeFactory<P>,
     ) -> Self {
-        assert!((0.0..=1.0).contains(&loss));
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let mut runtimes = Vec::with_capacity(n);
-        for id in 0..n as NodeId {
-            let jitter = (base_interval_ms / 20).max(1);
-            let interval = base_interval_ms - jitter + rng.gen_range(0..=2 * jitter);
-            let cfg = RuntimeConfig {
-                node_id: id,
-                round_interval_ms: interval,
-                start_offset_ms: rng.gen_range(0..base_interval_ms.max(1)),
-                seed: seed ^ (u64::from(id) << 17),
-            };
-            runtimes.push(NodeRuntime::new(cfg, mk(id)));
-        }
-        let peer_ids: Vec<NodeId> = (0..n as NodeId).collect();
-        for rt in &mut runtimes {
-            rt.set_peers(&peer_ids);
-        }
-        Self {
-            runtimes,
-            powered: vec![true; n],
-            latency_ms,
-            loss,
-            rng,
-            queue: Vec::new(),
-            now_ms: 0,
+        assert!((0.0..=1.0).contains(&cfg.loss), "loss probability must be in [0, 1]");
+        assert!((0.0..1.0).contains(&cfg.jitter), "jitter fraction must be in [0, 1)");
+        assert!(cfg.interval_ms >= 1, "round interval must be at least 1 ms");
+        let mut net = Self {
+            runtimes: Vec::with_capacity(n),
+            powered: Vec::with_capacity(n),
+            values: Vec::with_capacity(n),
+            alive: 0,
+            queue: EventQueue::new(),
+            link_rng: rng::rng_for(cfg.seed, stream::ENGINE),
+            fail_rng: rng::rng_for(cfg.seed, stream::FAILURES),
+            value_rng: rng::rng_for(cfg.seed, stream::VALUES),
+            setup_rng: rng::rng_for(cfg.seed, stream::ENVIRONMENT),
+            value_gen,
+            drift_of,
+            factory,
+            truth: Truth::Mean,
+            failure: FailureSpec::None,
+            series: Series::default(),
+            sample_idx: 0,
+            msgs_since_sample: 0,
+            bytes_since_sample: 0,
+            initial_n: n,
+            join_accum: 0.0,
+            horizon_ms: None,
+            events_processed: 0,
             decode_errors: 0,
+            out_buf: Vec::new(),
+            scratch: Vec::new(),
+            cfg,
+        };
+        for _ in 0..n {
+            net.spawn_node(0);
         }
+        net.refresh_views();
+        net
+    }
+
+    /// What estimates are measured against (default: [`Truth::Mean`]).
+    /// Group truths need an environment topology the async engine does not
+    /// model.
+    pub fn with_truth(mut self, truth: Truth) -> Self {
+        assert!(!truth.needs_groups(), "async engine supports global truths only");
+        self.truth = truth;
+        self
+    }
+
+    /// The failure plan, applied at nominal round boundaries
+    /// (`k × interval_ms`), mirroring the lockstep engine's round
+    /// semantics.
+    pub fn with_failure(mut self, failure: FailureSpec) -> Self {
+        self.failure = failure;
+        self
+    }
+
+    /// Spawn one node whose first round fires at `from_ms` plus a random
+    /// phase offset, and schedule its timer.
+    fn spawn_node(&mut self, from_ms: u64) {
+        let id = self.runtimes.len() as NodeId;
+        let v = (self.value_gen)(&mut self.value_rng, id);
+        let jitter_ms = (self.cfg.interval_ms as f64 * self.cfg.jitter) as u64;
+        let interval = if jitter_ms == 0 {
+            self.cfg.interval_ms
+        } else {
+            self.cfg.interval_ms - jitter_ms + self.setup_rng.gen_range(0..=2 * jitter_ms)
+        };
+        let rt_cfg = RuntimeConfig {
+            node_id: id,
+            round_interval_ms: interval.max(1),
+            start_offset_ms: from_ms + self.setup_rng.gen_range(0..interval.max(1)),
+            seed: rng::derive(self.cfg.seed, NODE_SEED_BASE ^ u64::from(id)),
+            drift: (self.drift_of)(id),
+            max_round_lag: None,
+        };
+        let rt = NodeRuntime::new(rt_cfg, (self.factory)(id, v));
+        self.queue.schedule(rt.next_tick_ms(), Ev::Timer(id));
+        self.runtimes.push(rt);
+        self.powered.push(true);
+        self.values.push(Some(v));
+        self.alive += 1;
     }
 
     /// Current simulated wall-clock.
     pub fn now_ms(&self) -> u64 {
-        self.now_ms
+        self.queue.now_ms()
+    }
+
+    /// Events processed so far (timers, deliveries, samples, failures) —
+    /// the throughput unit `perf_smoke` reports.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
     }
 
     /// Access a node's runtime.
@@ -87,23 +298,66 @@ where
         &self.runtimes[id as usize]
     }
 
-    /// Silently power a node off: it stops polling and receiving, exactly
-    /// a silent departure. (The peer lists of the others are *not*
-    /// updated — survivors keep addressing it, as in a real radio network,
-    /// until [`LoopbackNet::refresh_peers`] models neighbor rediscovery.)
-    pub fn power_off(&mut self, id: NodeId) {
-        self.powered[id as usize] = false;
+    /// Iterate over the powered nodes' protocol state.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &P)> {
+        self.runtimes
+            .iter()
+            .enumerate()
+            .filter(|&(id, _)| self.powered[id])
+            .map(|(id, rt)| (id as NodeId, rt.protocol()))
     }
 
-    /// Re-run "neighbor discovery": every live node's peer list becomes the
-    /// current live set. Without this, frames sent to dark nodes behave as
-    /// (heavy) message loss — which the protocols also survive, at the cost
-    /// of estimates anchoring harder to local values.
-    pub fn refresh_peers(&mut self) {
+    /// Silently power a node off: it stops polling and receiving, exactly
+    /// a silent departure. (Survivors keep addressing it until
+    /// [`AsyncNet::refresh_views`] models neighbor rediscovery.)
+    pub fn power_off(&mut self, id: NodeId) {
+        if std::mem::replace(&mut self.powered[id as usize], false) {
+            self.values[id as usize] = None;
+            self.alive -= 1;
+        }
+    }
+
+    /// Re-run "neighbor discovery": every live node's membership view
+    /// becomes a fresh uniform sample of the live set (the full live set
+    /// when the population fits in [`AsyncConfig::view_size`]). Without
+    /// this, frames sent to dark nodes behave as (heavy) message loss —
+    /// which the protocols also survive, at the cost of estimates
+    /// anchoring harder to local values.
+    ///
+    /// Costs `O(live × view)` draws. The failure plan triggers it only
+    /// when membership actually changed, so one-shot mass failures pay
+    /// it once; *per-round churn* pays it every round, which dominates
+    /// at very large populations (see the ROADMAP note on incremental
+    /// view repair).
+    pub fn refresh_views(&mut self) {
         let live = self.live();
         for &id in &live {
-            self.runtimes[id as usize].set_peers(&live);
+            self.assign_view(id, &live);
         }
+    }
+
+    /// Give `id` a bounded uniform view of `live`. Small populations get
+    /// duplicate-free views (rejection sampling — `O(view²)` compares,
+    /// cheap at these sizes); large ones are sampled with replacement,
+    /// where the expected duplicate count (`≈ view²/(2·live)` for
+    /// `live > 16 × view`) is a fraction of one entry. Either way
+    /// assignment stays `O(view)` RNG draws, not `O(live)`.
+    fn assign_view(&mut self, id: NodeId, live: &[NodeId]) {
+        if live.len() <= self.cfg.view_size + 1 {
+            self.runtimes[id as usize].set_peers(live);
+            return;
+        }
+        let dedupe = live.len() <= self.cfg.view_size.saturating_mul(16);
+        self.scratch.clear();
+        while self.scratch.len() < self.cfg.view_size {
+            let pick = live[self.setup_rng.gen_range(0..live.len())];
+            if pick != id && (!dedupe || !self.scratch.contains(&pick)) {
+                self.scratch.push(pick);
+            }
+        }
+        let view = std::mem::take(&mut self.scratch);
+        self.runtimes[id as usize].set_peers(&view);
+        self.scratch = view;
     }
 
     /// Powered (live) node ids.
@@ -113,60 +367,248 @@ where
 
     /// Estimates of all powered nodes.
     pub fn estimates(&self) -> Vec<f64> {
-        self.live().into_iter().filter_map(|id| self.runtimes[id as usize].estimate()).collect()
+        self.runtimes
+            .iter()
+            .enumerate()
+            .filter(|&(id, _)| self.powered[id])
+            .filter_map(|(_, rt)| rt.estimate())
+            .collect()
     }
 
-    /// Run until `until_ms`, stepping the clock by `step_ms`.
-    pub fn run_until(&mut self, until_ms: u64, step_ms: u64) {
-        let step = step_ms.max(1);
-        while self.now_ms < until_ms {
-            self.now_ms += step;
-            self.tick();
+    /// The series sampled so far (empty unless [`AsyncNet::run`] scheduled
+    /// sampling).
+    pub fn series(&self) -> &Series {
+        &self.series
+    }
+
+    /// Consume the network, returning its series.
+    pub fn into_series(self) -> Series {
+        self.series
+    }
+
+    /// Run for `nominal_rounds × interval_ms` of simulated time: schedules
+    /// the sampling cadence and the failure plan, then drains the event
+    /// queue up to the horizon. May only be called once per network.
+    pub fn run(&mut self, nominal_rounds: u64) {
+        assert!(self.horizon_ms.is_none(), "run() may only be called once");
+        assert_eq!(
+            self.queue.now_ms(),
+            0,
+            "run() schedules its cadence from time 0 and cannot follow run_until(); \
+             drive a sampled engine with run() alone (run_until is the rig API)"
+        );
+        let horizon = nominal_rounds * self.cfg.interval_ms;
+        self.horizon_ms = Some(horizon);
+        let cadence = self.cfg.sample_every_ms.max(1);
+        let mut t = cadence;
+        while t <= horizon {
+            self.queue.schedule(t, Ev::Sample);
+            t += cadence;
+        }
+        match self.failure {
+            FailureSpec::None => {}
+            FailureSpec::AtRound { round, .. } => {
+                if round < nominal_rounds {
+                    self.queue.schedule(round * self.cfg.interval_ms, Ev::FailurePlan(round));
+                }
+            }
+            FailureSpec::Churn { start, .. } => {
+                for k in start..nominal_rounds {
+                    self.queue.schedule(k * self.cfg.interval_ms, Ev::FailurePlan(k));
+                }
+            }
+        }
+        self.drain_until(horizon);
+    }
+
+    /// Advance the network to `until_ms`, processing timers and
+    /// deliveries (the rig API: no sampling or failure plan involved).
+    pub fn run_until(&mut self, until_ms: u64) {
+        self.drain_until(until_ms);
+    }
+
+    fn drain_until(&mut self, horizon_ms: u64) {
+        while let Some((at, ev)) = self.queue.pop_before(horizon_ms) {
+            self.events_processed += 1;
+            self.dispatch(at, ev);
         }
     }
 
-    fn tick(&mut self) {
-        // Fire due rounds.
-        let mut fresh: Vec<Envelope> = Vec::new();
-        for (idx, rt) in self.runtimes.iter_mut().enumerate() {
-            if self.powered[idx] {
-                rt.poll(self.now_ms, &mut fresh);
+    fn dispatch(&mut self, at: u64, ev: Ev) {
+        match ev {
+            Ev::Timer(id) => {
+                if !self.powered[id as usize] {
+                    return; // a dark node's timer dies with it
+                }
+                let mut out = std::mem::take(&mut self.out_buf);
+                out.clear();
+                let rt = &mut self.runtimes[id as usize];
+                rt.poll(at, &mut out);
+                let next = rt.next_tick_ms();
+                self.queue.schedule(next, Ev::Timer(id));
+                for env in out.drain(..) {
+                    self.send(at, env);
+                }
+                self.out_buf = out;
             }
-        }
-        for env in fresh {
-            self.enqueue(env);
-        }
-        // Deliver due frames.
-        let mut due: Vec<Envelope> = Vec::new();
-        let now = self.now_ms;
-        self.queue.retain_mut(|f| {
-            if f.deliver_at_ms <= now {
-                due.push(std::mem::replace(
-                    &mut f.env,
-                    Envelope { from: 0, to: 0, payload: Vec::new() },
-                ));
-                false
-            } else {
-                true
+            Ev::Deliver(env) => {
+                if !self.powered[env.to as usize] {
+                    return; // receiver is dark
+                }
+                match self.runtimes[env.to as usize].handle(env.from, &env.payload) {
+                    Ok(Some(reply)) => self.send(at, reply),
+                    Ok(None) => {}
+                    Err(_) => self.decode_errors += 1,
+                }
             }
-        });
-        for env in due {
-            if !self.powered[env.to as usize] {
-                continue; // receiver is dark
-            }
-            match self.runtimes[env.to as usize].handle(env.from, &env.payload) {
-                Ok(Some(reply)) => self.enqueue(reply),
-                Ok(None) => {}
-                Err(_) => self.decode_errors += 1,
-            }
+            Ev::Sample => self.record_sample(),
+            Ev::FailurePlan(k) => self.apply_failure(k),
         }
     }
 
-    fn enqueue(&mut self, env: Envelope) {
-        if self.loss > 0.0 && self.rng.gen::<f64>() < self.loss {
+    /// Account a frame as sent, then maybe lose it, else schedule its
+    /// arrival (lost frames still count as sent — bandwidth is spent
+    /// whether or not they arrive, exactly as in the lockstep engine).
+    fn send(&mut self, now_ms: u64, env: Envelope) {
+        self.msgs_since_sample += 1;
+        self.bytes_since_sample += env.payload.len() as u64;
+        if self.cfg.loss > 0.0 && self.link_rng.gen::<f64>() < self.cfg.loss {
             return;
         }
-        self.queue.push(InFlight { deliver_at_ms: self.now_ms + self.latency_ms, env });
+        let at = now_ms + self.cfg.latency.sample(&mut self.link_rng);
+        self.queue.schedule(at, Ev::Deliver(env));
+    }
+
+    /// One streaming pass over the live nodes, mirroring the lockstep
+    /// engine's per-round statistics.
+    fn record_sample(&mut self) {
+        let mut acc = StatsAcc::default();
+        let t = self.truth.global_scalar(&self.values).expect("global truth");
+        for (rt, value) in self.runtimes.iter().zip(&self.values) {
+            if value.is_some() {
+                let p = rt.protocol();
+                acc.note_lifecycle(p.is_settling(), p.disruptions());
+                if let Some(e) = p.estimate() {
+                    acc.add(e, t);
+                }
+            }
+        }
+        self.series.push(acc.finish(
+            self.sample_idx,
+            self.alive,
+            self.msgs_since_sample,
+            self.bytes_since_sample,
+            0.0,
+        ));
+        self.sample_idx += 1;
+        self.msgs_since_sample = 0;
+        self.bytes_since_sample = 0;
+    }
+
+    /// Apply the failure plan for nominal round `k` (same victim-selection
+    /// semantics as `sim::runner`).
+    fn apply_failure(&mut self, k: u64) {
+        let mut victims = std::mem::take(&mut self.scratch);
+        victims.clear();
+        let mut joins = 0usize;
+        let mut graceful = false;
+        match self.failure {
+            FailureSpec::None => {}
+            FailureSpec::AtRound { round, mode, fraction, graceful: g } => {
+                if k == round {
+                    graceful = g;
+                    let count = ((self.alive as f64) * fraction).round() as usize;
+                    victims.extend(
+                        (0..self.runtimes.len() as NodeId).filter(|&id| self.powered[id as usize]),
+                    );
+                    match mode {
+                        FailureMode::Random => victims.shuffle(&mut self.fail_rng),
+                        FailureMode::TopValue => victims.sort_unstable_by(|&a, &b| {
+                            let va = self.values[a as usize].unwrap_or(f64::MIN);
+                            let vb = self.values[b as usize].unwrap_or(f64::MIN);
+                            vb.partial_cmp(&va).expect("values are finite")
+                        }),
+                        FailureMode::BottomValue => victims.sort_unstable_by(|&a, &b| {
+                            let va = self.values[a as usize].unwrap_or(f64::MAX);
+                            let vb = self.values[b as usize].unwrap_or(f64::MAX);
+                            va.partial_cmp(&vb).expect("values are finite")
+                        }),
+                    }
+                    victims.truncate(count);
+                }
+            }
+            FailureSpec::Churn { start, leave_per_round, join_per_round } => {
+                if k >= start {
+                    for id in 0..self.runtimes.len() as NodeId {
+                        if self.powered[id as usize] && self.fail_rng.gen::<f64>() < leave_per_round
+                        {
+                            victims.push(id);
+                        }
+                    }
+                    self.join_accum += join_per_round * self.initial_n as f64;
+                    joins = self.join_accum as usize;
+                    self.join_accum -= joins as f64;
+                }
+            }
+        }
+        let changed = !victims.is_empty() || joins > 0;
+        for &id in &victims {
+            if graceful {
+                self.runtimes[id as usize].protocol_mut().depart_gracefully();
+            }
+            self.power_off(id);
+        }
+        self.scratch = victims;
+        let now = self.queue.now_ms();
+        for _ in 0..joins {
+            self.spawn_node(now);
+        }
+        if changed {
+            self.refresh_views();
+        }
+    }
+}
+
+/// Convenience constructor matching the old loopback test rig: full
+/// views, constant latency, protocols built from node ids alone.
+impl<P: PushProtocol> AsyncNet<P>
+where
+    P::Message: WireMessage,
+{
+    /// A small fully-visible network: `n` nodes, jittered `±5 %` round
+    /// intervals, constant `latency_ms` links, frame loss `loss`.
+    ///
+    /// The rig records each node's *id* as its value, so the series
+    /// truth and value-correlated failure modes key on ids, not on
+    /// whatever values `mk`'s protocols actually hold — fine for
+    /// driving with [`AsyncNet::run_until`] and reading protocol state
+    /// directly (what tests do). For sampled `run()` experiments or
+    /// value-correlated failures, use [`AsyncNet::new`] with a real
+    /// value generator.
+    pub fn loopback(
+        n: usize,
+        base_interval_ms: u64,
+        latency_ms: u64,
+        loss: f64,
+        seed: u64,
+        mut mk: impl FnMut(NodeId) -> P + 'static,
+    ) -> Self
+    where
+        P: 'static,
+    {
+        let mut cfg = AsyncConfig::new(seed);
+        cfg.interval_ms = base_interval_ms;
+        cfg.latency = LatencyModel::Constant { ms: latency_ms };
+        cfg.loss = loss;
+        cfg.sample_every_ms = base_interval_ms;
+        cfg.view_size = n; // full views, like the old rig
+        Self::new(
+            n,
+            cfg,
+            Box::new(|_, id| f64::from(id)),
+            Box::new(|_| DriftModel::Synced),
+            Box::new(move |id, _| mk(id)),
+        )
     }
 }
 
@@ -183,10 +625,10 @@ mod tests {
         // 40 nodes, jittered intervals, 15ms latency on 100ms rounds:
         // nothing lines up, the protocol still converges to ~49.5 (values
         // are 0..40 scaled).
-        let mut net = LoopbackNet::new(40, 100, 15, 0.0, 1, |id| {
+        let mut net = AsyncNet::loopback(40, 100, 15, 0.0, 1, |id| {
             PushSumRevert::new(f64::from(id) * 2.5, 0.01)
         });
-        net.run_until(20_000, 10);
+        net.run_until(20_000);
         let truth = (0..40).map(|i| f64::from(i) * 2.5).sum::<f64>() / 40.0;
         for e in net.estimates() {
             assert!((e - truth).abs() < 8.0, "estimate {e} vs truth {truth}");
@@ -197,16 +639,16 @@ mod tests {
     #[test]
     fn averaging_heals_after_silent_power_off() {
         let mut net =
-            LoopbackNet::new(32, 100, 10, 0.0, 2, |id| PushSumRevert::new(f64::from(id), 0.05));
-        net.run_until(8_000, 10);
+            AsyncNet::loopback(32, 100, 10, 0.0, 2, |id| PushSumRevert::new(f64::from(id), 0.05));
+        net.run_until(8_000);
         // Power off the high-valued half (correlated failure). Survivors
         // rediscover their neighborhood shortly after.
         for id in 16..32 {
             net.power_off(id);
         }
-        net.run_until(9_000, 10);
-        net.refresh_peers();
-        net.run_until(40_000, 10);
+        net.run_until(9_000);
+        net.refresh_views();
+        net.run_until(40_000);
         let truth = (0..16).map(f64::from).sum::<f64>() / 16.0; // 7.5
         for e in net.estimates() {
             assert!((e - truth).abs() < 4.0, "healed estimate {e} vs {truth}");
@@ -217,19 +659,19 @@ mod tests {
     fn counting_heals_over_loopback() {
         let n = 64usize;
         let cfg = ResetConfig::paper(n as u64, 0x10);
-        let mut net = LoopbackNet::new(n, 100, 5, 0.0, 3, move |id| {
+        let mut net = AsyncNet::loopback(n, 100, 5, 0.0, 3, move |id| {
             CountSketchReset::counting(cfg, u64::from(id))
         });
-        net.run_until(4_000, 10);
+        net.run_until(4_000);
         let before: f64 = net.estimates().iter().sum::<f64>() / net.estimates().len() as f64;
         let rel = (before - n as f64).abs() / n as f64;
         assert!(rel < 0.5, "converged count {before}");
         for id in 32..64 {
             net.power_off(id as NodeId);
         }
-        net.run_until(4_500, 10);
-        net.refresh_peers();
-        net.run_until(10_000, 10);
+        net.run_until(4_500);
+        net.refresh_views();
+        net.run_until(10_000);
         let after: f64 = net.estimates().iter().sum::<f64>() / net.estimates().len() as f64;
         assert!(
             after < before * 0.8,
@@ -239,10 +681,10 @@ mod tests {
 
     #[test]
     fn moments_work_over_lossy_links() {
-        let mut net = LoopbackNet::new(24, 100, 10, 0.1, 4, |id| {
+        let mut net = AsyncNet::loopback(24, 100, 10, 0.1, 4, |id| {
             DynamicMoments::new(f64::from(id % 4) * 10.0, 0.05)
         });
-        net.run_until(20_000, 10);
+        net.run_until(20_000);
         // values 0,10,20,30 repeated: mean 15, stddev ~11.2. Ten percent
         // frame loss elevates the per-node reversion floor, so individual
         // nodes wander several units; the population as a whole must still
@@ -264,13 +706,120 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let run = |seed: u64| {
-            let mut net = LoopbackNet::new(10, 100, 10, 0.05, seed, |id| {
+            let mut net = AsyncNet::loopback(10, 100, 10, 0.05, seed, |id| {
                 PushSumRevert::new(f64::from(id), 0.02)
             });
-            net.run_until(5_000, 10);
+            net.run_until(5_000);
             net.estimates()
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
+    }
+
+    /// A full-featured engine run: paper values, sampling, failure plan.
+    fn engine_net(seed: u64, loss: f64) -> AsyncNet<PushSumRevert> {
+        let mut cfg = AsyncConfig::new(seed);
+        cfg.loss = loss;
+        AsyncNet::new(
+            300,
+            cfg,
+            Box::new(|rng, _| rng.gen_range(0.0..100.0)),
+            Box::new(|_| DriftModel::Synced),
+            Box::new(|_, v| PushSumRevert::new(v, 0.01)),
+        )
+    }
+
+    #[test]
+    fn run_samples_a_lockstep_shaped_series() {
+        let mut net = engine_net(11, 0.0);
+        net.run(50);
+        let series = net.series();
+        assert_eq!(series.rounds.len(), 50, "one sample per nominal round");
+        let last = series.last().unwrap();
+        assert_eq!(last.alive, 300);
+        assert_eq!(last.defined, 300);
+        // λ = 0.01 reversion floor at n = 300 sits near 2.
+        assert!(last.stddev < 3.0, "converged: stddev {}", last.stddev);
+        assert!(last.messages > 0 && last.bytes > last.messages, "bandwidth columns populated");
+        assert_eq!(net.decode_errors, 0);
+    }
+
+    #[test]
+    fn at_round_failure_mirrors_lockstep_semantics() {
+        let mut cfg = AsyncConfig::new(5);
+        cfg.view_size = 32;
+        let mut net = AsyncNet::new(
+            200,
+            cfg,
+            Box::new(|rng, _| rng.gen_range(0.0..100.0)),
+            Box::new(|_| DriftModel::Synced),
+            Box::new(|_, v| PushSumRevert::new(v, 0.05)),
+        )
+        .with_failure(FailureSpec::AtRound {
+            round: 20,
+            mode: FailureMode::TopValue,
+            fraction: 0.5,
+            graceful: false,
+        });
+        net.run(90);
+        let series = net.series();
+        assert_eq!(series.rounds[10].alive, 200);
+        assert_eq!(series.last().unwrap().alive, 100, "half failed at round 20");
+        // Correlated failure shifts the truth; reversion re-converges.
+        assert!(series.last().unwrap().stddev < 6.0, "healed: {}", series.last().unwrap().stddev);
+    }
+
+    #[test]
+    fn churn_keeps_population_near_equilibrium() {
+        let mut net = engine_net(9, 0.0).with_failure(FailureSpec::Churn {
+            start: 0,
+            leave_per_round: 0.02,
+            join_per_round: 0.02,
+        });
+        net.run(60);
+        let last = net.series().last().unwrap();
+        assert!((180..=420).contains(&last.alive), "population drifted to {}", last.alive);
+        assert_eq!(last.defined, last.alive, "joined nodes enter the metrics");
+    }
+
+    #[test]
+    fn runs_are_a_pure_function_of_the_seed() {
+        let digest = |seed| {
+            let mut net = engine_net(seed, 0.1);
+            net.run(30);
+            net.into_series()
+        };
+        assert_eq!(digest(21), digest(21), "same seed, same series, bit for bit");
+        assert_ne!(digest(21), digest(22));
+    }
+
+    #[test]
+    fn drifted_clocks_change_round_rates_not_correctness() {
+        let mut cfg = AsyncConfig::new(33);
+        cfg.latency = LatencyModel::Uniform { lo_ms: 2, hi_ms: 40 };
+        let mut net = AsyncNet::new(
+            100,
+            cfg,
+            Box::new(|rng, _| rng.gen_range(0.0..100.0)),
+            // Clocks spanning ±20 %.
+            Box::new(|id| DriftModel::ConstantSkew { rate: 0.8 + 0.4 * f64::from(id) / 99.0 }),
+            Box::new(|_, v| PushSumRevert::new(v, 0.01)),
+        );
+        net.run(80);
+        let fast = net.node(99).round();
+        let slow = net.node(0).round();
+        assert!(fast > slow + 20, "fast crystal outpaces slow: {fast} vs {slow}");
+        let last = net.series().last().unwrap();
+        assert!(last.stddev < 3.0, "still converges under skew: {}", last.stddev);
+    }
+
+    #[test]
+    fn exponential_latency_samples_are_heavy_tailed_but_finite() {
+        let mut rng = rng::rng_for(1, stream::ENGINE);
+        let m = LatencyModel::Exponential { mean_ms: 20.0 };
+        let draws: Vec<u64> = (0..10_000).map(|_| m.sample(&mut rng)).collect();
+        let mean = draws.iter().sum::<u64>() as f64 / draws.len() as f64;
+        assert!((mean - 20.0).abs() < 2.0, "sample mean {mean}");
+        assert!(draws.iter().any(|&d| d > 60), "tail draws exist");
     }
 }

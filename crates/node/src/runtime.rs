@@ -6,8 +6,16 @@
 //! `end_round → begin_round` boundary); [`NodeRuntime::handle`] ingests
 //! received frames, producing reply frames for push-pull protocols.
 //!
-//! Frames are `kind byte ++ wire-encoded payload`; see [`FrameKind`].
+//! The local timer advances through a [`DriftModel`] (shared with the
+//! epoch lifecycle in `dynagg-core`): a skewed crystal fires rounds faster
+//! or slower than nominal, a Bernoulli model skips them, a random walk
+//! jitters them. The asynchronous engine in [`crate::loopback`] gives
+//! every node a different drift to model weakly synchronized deployments.
+//!
+//! Frames are [`FrameHeader`] `++` wire-encoded payload; see the header
+//! type for the layout.
 
+use dynagg_core::epoch::DriftModel;
 use dynagg_core::protocol::{NodeId, PushProtocol, RoundCtx};
 use dynagg_core::samplers::SliceSampler;
 use dynagg_core::wire::{WireError, WireMessage};
@@ -40,6 +48,42 @@ impl FrameKind {
     }
 }
 
+/// Bytes a [`FrameHeader`] occupies on the wire.
+pub const FRAME_HEADER_BYTES: usize = 5;
+
+/// The async frame header: one kind byte plus the sender's local round
+/// number (little-endian `u32`, saturated). The round lets a receiver
+/// detect badly delayed frames — under asynchronous delivery a frame can
+/// arrive arbitrarily late, and
+/// [`RuntimeConfig::max_round_lag`] turns the header into a staleness
+/// guard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Initiation or reply.
+    pub kind: FrameKind,
+    /// The sender's local round when the frame was emitted.
+    pub sender_round: u32,
+}
+
+impl FrameHeader {
+    /// Append the 5-byte encoding to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.push(self.kind.to_byte());
+        out.extend_from_slice(&self.sender_round.to_le_bytes());
+    }
+
+    /// Decode a header from the front of `bytes`; never panics on
+    /// arbitrary input.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        if bytes.len() < FRAME_HEADER_BYTES {
+            return Err(WireError::Truncated);
+        }
+        let kind = FrameKind::from_byte(bytes[0])?;
+        let sender_round = u32::from_le_bytes(bytes[1..5].try_into().expect("4 bytes"));
+        Ok(Self { kind, sender_round })
+    }
+}
+
 /// An outgoing frame: ship `payload` to `to` by any transport.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Envelope {
@@ -47,12 +91,12 @@ pub struct Envelope {
     pub from: NodeId,
     /// Destination.
     pub to: NodeId,
-    /// `kind byte ++ encoded message`.
+    /// [`FrameHeader`] `++` encoded message.
     pub payload: Vec<u8>,
 }
 
 /// Static configuration of one runtime.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RuntimeConfig {
     /// This node's identifier (must be unique per deployment).
     pub node_id: NodeId,
@@ -64,6 +108,12 @@ pub struct RuntimeConfig {
     pub start_offset_ms: u64,
     /// Seed of this node's RNG stream.
     pub seed: u64,
+    /// How this node's crystal misbehaves (default: [`DriftModel::Synced`]).
+    pub drift: DriftModel,
+    /// Drop inbound frames whose sender round lags this node's round by
+    /// more than the limit (`None` = accept everything). Dropped frames
+    /// count in [`NodeRuntime::stale_frames`].
+    pub max_round_lag: Option<u64>,
 }
 
 impl RuntimeConfig {
@@ -75,6 +125,8 @@ impl RuntimeConfig {
             round_interval_ms,
             start_offset_ms: u64::from(node_id) * 7 % round_interval_ms.max(1),
             seed: 0xD0DE ^ u64::from(node_id),
+            drift: DriftModel::Synced,
+            max_round_lag: None,
         }
     }
 }
@@ -90,7 +142,10 @@ where
     rng: SmallRng,
     round: u64,
     next_tick_ms: u64,
+    /// Fractional-tick carry for [`DriftModel::ConstantSkew`].
+    drift_carry: f64,
     in_round: bool,
+    stale_frames: u64,
     scratch: Vec<(NodeId, P::Message)>,
 }
 
@@ -107,7 +162,9 @@ where
             protocol,
             peers: Vec::new(),
             round: 0,
+            drift_carry: 0.0,
             in_round: false,
+            stale_frames: 0,
             scratch: Vec::new(),
         }
     }
@@ -120,6 +177,12 @@ where
     /// Completed local rounds.
     pub fn round(&self) -> u64 {
         self.round
+    }
+
+    /// Frames dropped by the [`RuntimeConfig::max_round_lag`] staleness
+    /// guard.
+    pub fn stale_frames(&self) -> u64 {
+        self.stale_frames
     }
 
     /// Replace the reachable-peer list (radio neighborhood, DHT sample,
@@ -151,10 +214,18 @@ where
 
     /// Advance the local clock to `now_ms`, firing any due rounds.
     /// Returns the frames to transmit.
+    ///
+    /// Each elapsed timer boundary advances the logical clock through the
+    /// configured [`DriftModel`]: a synced clock fires exactly one round, a
+    /// fast crystal occasionally fires two back-to-back, a Bernoulli model
+    /// sometimes fires none.
     pub fn poll(&mut self, now_ms: u64, out: &mut Vec<Envelope>) {
         while now_ms >= self.next_tick_ms {
             let tick = self.next_tick_ms;
-            self.fire_round(tick, out);
+            let rounds = self.cfg.drift.ticks(&mut self.drift_carry, &mut self.rng);
+            for _ in 0..rounds {
+                self.fire_round(tick, out);
+            }
             self.next_tick_ms = tick + self.cfg.round_interval_ms.max(1);
         }
     }
@@ -175,26 +246,35 @@ where
             self.in_round = true;
         }
         self.peers = peers;
+        let header = self.header(FrameKind::Initiation);
         for (to, msg) in self.scratch.drain(..) {
-            let mut payload = vec![FrameKind::Initiation.to_byte()];
+            let mut payload = Vec::new();
+            header.encode(&mut payload);
             msg.encode(&mut payload);
             out.push(Envelope { from: self.cfg.node_id, to, payload });
         }
     }
 
+    fn header(&self, kind: FrameKind) -> FrameHeader {
+        FrameHeader { kind, sender_round: u32::try_from(self.round).unwrap_or(u32::MAX) }
+    }
+
     /// Ingest a received frame; may produce a reply frame. Malformed input
     /// is reported, never panics — radio bytes are untrusted.
     pub fn handle(&mut self, from: NodeId, payload: &[u8]) -> Result<Option<Envelope>, WireError> {
-        if payload.is_empty() {
-            return Err(WireError::Truncated);
+        let header = FrameHeader::decode(payload)?;
+        if let Some(lag) = self.cfg.max_round_lag {
+            if u64::from(header.sender_round).saturating_add(lag) < self.round {
+                self.stale_frames += 1;
+                return Ok(None);
+            }
         }
-        let kind = FrameKind::from_byte(payload[0])?;
-        let msg = P::Message::decode(&payload[1..])?;
+        let msg = P::Message::decode(&payload[FRAME_HEADER_BYTES..])?;
         let peers = std::mem::take(&mut self.peers);
         let reply = {
             let mut sampler = SliceSampler::new(&peers);
             let mut ctx = RoundCtx { round: self.round, rng: &mut self.rng, peers: &mut sampler };
-            match kind {
+            match header.kind {
                 FrameKind::Initiation => self.protocol.on_message(from, &msg, &mut ctx),
                 FrameKind::Reply => {
                     self.protocol.on_reply(from, &msg, &mut ctx);
@@ -204,7 +284,8 @@ where
         };
         self.peers = peers;
         Ok(reply.map(|r| {
-            let mut payload = vec![FrameKind::Reply.to_byte()];
+            let mut payload = Vec::new();
+            self.header(FrameKind::Reply).encode(&mut payload);
             r.encode(&mut payload);
             Envelope { from: self.cfg.node_id, to: from, payload }
         }))
@@ -218,7 +299,14 @@ mod tests {
     use dynagg_core::push_sum_revert::PushSumRevert;
 
     fn cfg(id: NodeId) -> RuntimeConfig {
-        RuntimeConfig { node_id: id, round_interval_ms: 100, start_offset_ms: 0, seed: id.into() }
+        RuntimeConfig {
+            node_id: id,
+            round_interval_ms: 100,
+            start_offset_ms: 0,
+            seed: id.into(),
+            drift: DriftModel::Synced,
+            max_round_lag: None,
+        }
     }
 
     #[test]
@@ -234,6 +322,23 @@ mod tests {
         rt.poll(250, &mut out);
         assert_eq!(out.len(), 2, "two rounds were due by t=250");
         assert_eq!(rt.round(), 2);
+    }
+
+    #[test]
+    fn skewed_clocks_fire_at_their_own_rate() {
+        let run = |rate: f64| {
+            let mut c = cfg(0);
+            c.drift = DriftModel::ConstantSkew { rate };
+            let mut rt = NodeRuntime::new(c, PushSumRevert::new(1.0, 0.0));
+            rt.set_peers(&[1]);
+            let mut out = Vec::new();
+            rt.poll(10_000, &mut out);
+            rt.round()
+        };
+        // 101 timer boundaries pass (t=0 included); rate scales rounds.
+        assert_eq!(run(1.0), 100);
+        assert!(run(1.2) > 115, "fast crystal fires extra rounds");
+        assert!(run(0.8) < 85, "slow crystal skips rounds");
     }
 
     #[test]
@@ -278,12 +383,49 @@ mod tests {
     fn garbage_frames_are_rejected_not_panicked() {
         let mut rt = NodeRuntime::new(cfg(4), PushSumRevert::new(1.0, 0.1));
         assert!(rt.handle(9, &[]).is_err());
-        assert!(rt.handle(9, &[7]).is_err(), "unknown frame kind");
-        assert!(rt.handle(9, &[0, 1, 2, 3]).is_err(), "truncated mass");
+        assert!(rt.handle(9, &[7, 0, 0, 0, 0]).is_err(), "unknown frame kind");
+        assert!(rt.handle(9, &[0, 1, 2]).is_err(), "truncated header");
+        assert!(rt.handle(9, &[0, 0, 0, 0, 0, 1, 2, 3]).is_err(), "truncated mass");
         // Valid frame still works afterwards.
-        let mut good = vec![0u8];
+        let mut good = Vec::new();
+        FrameHeader { kind: FrameKind::Initiation, sender_round: 0 }.encode(&mut good);
         Mass::new(0.5, 1.0).encode(&mut good);
         assert!(rt.handle(9, &good).unwrap().is_none());
+    }
+
+    #[test]
+    fn stale_frames_are_dropped_when_guard_is_set() {
+        let mut c = cfg(5);
+        c.max_round_lag = Some(3);
+        let mut rt = NodeRuntime::new(c, PushSumRevert::new(1.0, 0.1));
+        rt.set_peers(&[1]);
+        let mut out = Vec::new();
+        rt.poll(1_000, &mut out); // round is now 10
+        assert_eq!(rt.round(), 10);
+        let frame = |round: u32| {
+            let mut p = Vec::new();
+            FrameHeader { kind: FrameKind::Initiation, sender_round: round }.encode(&mut p);
+            Mass::new(0.5, 1.0).encode(&mut p);
+            p
+        };
+        assert!(rt.handle(9, &frame(2)).unwrap().is_none());
+        assert_eq!(rt.stale_frames(), 1, "round 2 lags round 10 by more than 3");
+        rt.handle(9, &frame(8)).unwrap();
+        assert_eq!(rt.stale_frames(), 1, "round 8 is within the lag window");
+    }
+
+    #[test]
+    fn frame_header_roundtrips() {
+        for (kind, round) in
+            [(FrameKind::Initiation, 0u32), (FrameKind::Reply, 19), (FrameKind::Reply, u32::MAX)]
+        {
+            let h = FrameHeader { kind, sender_round: round };
+            let mut bytes = Vec::new();
+            h.encode(&mut bytes);
+            assert_eq!(bytes.len(), FRAME_HEADER_BYTES);
+            assert_eq!(FrameHeader::decode(&bytes).unwrap(), h);
+        }
+        assert!(FrameHeader::decode(&[0, 1]).is_err());
     }
 
     #[test]

@@ -1,0 +1,55 @@
+//! Property tests for the frame layer: whatever bytes a radio hands us,
+//! decoding diagnoses — it never panics, aborts, or corrupts the runtime.
+
+use dynagg_core::epoch::EpochPushSum;
+use dynagg_core::mass::Mass;
+use dynagg_core::push_sum_revert::PushSumRevert;
+use dynagg_core::wire::WireMessage;
+use dynagg_node::runtime::{
+    FrameHeader, FrameKind, NodeRuntime, RuntimeConfig, FRAME_HEADER_BYTES,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// The async frame header decodes or errors on ANY byte input.
+    #[test]
+    fn frame_header_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        if let Ok(h) = FrameHeader::decode(&bytes) {
+            // A successful decode must re-encode to the same prefix.
+            let mut out = Vec::new();
+            h.encode(&mut out);
+            prop_assert_eq!(&out[..], &bytes[..FRAME_HEADER_BYTES]);
+        }
+    }
+
+    /// A runtime fed arbitrary frames keeps working: garbage is reported,
+    /// and a well-formed frame afterwards is still accepted.
+    #[test]
+    fn runtime_survives_arbitrary_frames(
+        frames in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..96), 1..24),
+    ) {
+        let mut rt = NodeRuntime::new(RuntimeConfig::for_node(0, 100), PushSumRevert::new(7.0, 0.1));
+        rt.set_peers(&[1, 2]);
+        for frame in &frames {
+            let _ = rt.handle(1, frame); // must never panic
+        }
+        let mut good = Vec::new();
+        FrameHeader { kind: FrameKind::Initiation, sender_round: 3 }.encode(&mut good);
+        Mass::new(0.25, 1.0).encode(&mut good);
+        prop_assert!(rt.handle(2, &good).is_ok(), "runtime still functional after garbage");
+        prop_assert!(rt.estimate().is_some());
+    }
+
+    /// Same robustness for a protocol with a structured payload
+    /// (`EpochMsg` carries epoch + phase on the wire).
+    #[test]
+    fn epoch_runtime_survives_arbitrary_frames(
+        frames in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 1..16),
+    ) {
+        let mut rt = NodeRuntime::new(RuntimeConfig::for_node(4, 100), EpochPushSum::new(5.0, 20));
+        rt.set_peers(&[1]);
+        for frame in &frames {
+            let _ = rt.handle(1, frame);
+        }
+    }
+}

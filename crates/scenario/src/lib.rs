@@ -48,10 +48,10 @@ mod spec;
 
 pub use error::ScenarioError;
 pub use registry::{
-    build_env, run, run_series, trace_info, InstanceOutcome, ScenarioOutcome, TraceInfo,
-    TrialOutput,
+    build_env, run, run_series, trace_info, wire_cost, InstanceOutcome, ScenarioOutcome, TraceInfo,
+    TrialOutput, WireCost,
 };
 pub use spec::{
-    CliqueDrift, Engine, EnvSpec, Metric, OutputSpec, ProtocolSpec, Report, ScenarioSpec, Sweep,
-    SweepAxis, ValueSpec,
+    AsyncSpec, CliqueDrift, DriftSpec, Engine, EnvSpec, LatencySpec, Metric, OutputSpec, Probe,
+    ProtocolSpec, Report, ScenarioSpec, Sweep, SweepAxis, ValueSpec,
 };

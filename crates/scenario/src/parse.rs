@@ -8,8 +8,8 @@
 
 use crate::error::ScenarioError;
 use crate::spec::{
-    CliqueDrift, Engine, EnvSpec, Metric, OutputSpec, ProtocolSpec, Report, ScenarioSpec, Sweep,
-    SweepAxis, ValueSpec,
+    AsyncSpec, CliqueDrift, DriftSpec, Engine, EnvSpec, LatencySpec, Metric, OutputSpec, Probe,
+    ProtocolSpec, Report, ScenarioSpec, Sweep, SweepAxis, ValueSpec,
 };
 use dynagg_core::extremum::ExtremumMode;
 use dynagg_sim::env::{MobilityEvent, MobilityKind};
@@ -39,6 +39,7 @@ impl ScenarioSpec {
             "engine",
             "truth",
             "loss",
+            "async",
             "env",
             "values",
             "protocol",
@@ -56,9 +57,14 @@ impl ScenarioSpec {
         let engine = match top.opt_str("engine")? {
             None | Some("push") => Engine::Push,
             Some("pairwise") => Engine::Pairwise,
+            Some("async") => Engine::Async,
             Some(other) => {
                 return Err(ScenarioError::UnknownName { what: "engine", name: other.into() })
             }
+        };
+        let asynchrony = match top.opt_table("async")? {
+            None => None,
+            Some(t) => Some(parse_async(t)?),
         };
         let truth = match top.opt_str("truth")? {
             None => Truth::Mean,
@@ -95,6 +101,7 @@ impl ScenarioSpec {
             rounds,
             trials,
             engine,
+            asynchrony,
             env,
             values,
             protocol,
@@ -209,6 +216,76 @@ impl<'a> Ctx<'a> {
             Some(v) => v.as_array().map(Some).ok_or_else(|| self.type_err(key, "array", v)),
         }
     }
+}
+
+/// The `[async]` table (see [`AsyncSpec`] for defaults).
+fn parse_async(table: &Table) -> Result<AsyncSpec, ScenarioError> {
+    let a = Ctx { table, name: "async" };
+    a.check_keys(&["interval_ms", "jitter", "latency", "drift", "sample_every_ms"])?;
+    let defaults = AsyncSpec::default();
+    let latency = match a.opt_table("latency")? {
+        None => defaults.latency,
+        Some(t) => {
+            let l = Ctx { table: t, name: "async.latency" };
+            match l.req_str("kind")? {
+                "constant" => {
+                    l.check_keys(&["kind", "ms"])?;
+                    LatencySpec::Constant { ms: l.req_u64("ms")? }
+                }
+                "uniform" => {
+                    l.check_keys(&["kind", "lo_ms", "hi_ms"])?;
+                    LatencySpec::Uniform { lo_ms: l.req_u64("lo_ms")?, hi_ms: l.req_u64("hi_ms")? }
+                }
+                "exponential" => {
+                    l.check_keys(&["kind", "mean_ms"])?;
+                    LatencySpec::Exponential { mean_ms: l.req_f64("mean_ms")? }
+                }
+                other => {
+                    return Err(ScenarioError::UnknownName {
+                        what: "latency kind",
+                        name: other.into(),
+                    })
+                }
+            }
+        }
+    };
+    let drift = match a.opt_table("drift")? {
+        None => defaults.drift,
+        Some(t) => {
+            let d = Ctx { table: t, name: "async.drift" };
+            match d.req_str("kind")? {
+                "synced" => {
+                    d.check_keys(&["kind"])?;
+                    DriftSpec::Synced
+                }
+                "skew" => {
+                    d.check_keys(&["kind", "spread"])?;
+                    DriftSpec::Skew { spread: d.req_f64("spread")? }
+                }
+                "bernoulli" => {
+                    d.check_keys(&["kind", "skip_prob"])?;
+                    DriftSpec::Bernoulli { skip_prob: d.req_f64("skip_prob")? }
+                }
+                "random-walk" => {
+                    d.check_keys(&["kind", "step_prob"])?;
+                    DriftSpec::RandomWalk { step_prob: d.req_f64("step_prob")? }
+                }
+                other => {
+                    return Err(ScenarioError::UnknownName {
+                        what: "drift kind",
+                        name: other.into(),
+                    })
+                }
+            }
+        }
+    };
+    Ok(AsyncSpec {
+        interval_ms: a.opt_u64("interval_ms")?.unwrap_or(defaults.interval_ms),
+        jitter: a.opt_f64("jitter")?.unwrap_or(defaults.jitter),
+        latency,
+        drift,
+        sample_every_ms: a.opt_u64("sample_every_ms")?,
+    })
 }
 
 fn parse_env(table: &Table) -> Result<EnvSpec, ScenarioError> {
@@ -351,8 +428,9 @@ fn parse_protocol(table: &Table) -> Result<ProtocolSpec, ScenarioError> {
             })
         }
         "count-sketch" => {
-            p.check_keys(&["name", "hash_seed_xor"])?;
+            p.check_keys(&["name", "multiplier", "hash_seed_xor"])?;
             Ok(ProtocolSpec::CountSketch {
+                multiplier: p.opt_u64("multiplier")?.unwrap_or(1),
                 hash_seed_xor: p.opt_u64("hash_seed_xor")?.unwrap_or(0),
             })
         }
@@ -469,7 +547,7 @@ fn parse_failure(table: &Table) -> Result<FailureSpec, ScenarioError> {
 
 fn parse_output(table: &Table) -> Result<OutputSpec, ScenarioError> {
     let o = Ctx { table, name: "output" };
-    o.check_keys(&["metrics", "report"])?;
+    o.check_keys(&["metrics", "report", "probe"])?;
     let metrics = match o.opt_array("metrics")? {
         None => OutputSpec::default().metrics,
         Some(items) => items
@@ -492,7 +570,14 @@ fn parse_output(table: &Table) -> Result<OutputSpec, ScenarioError> {
             return Err(ScenarioError::UnknownName { what: "report", name: other.into() })
         }
     };
-    Ok(OutputSpec { metrics, report })
+    let probe = match o.opt_str("probe")? {
+        None => None,
+        Some("mass-weight") => Some(Probe::MassWeight),
+        Some(other) => {
+            return Err(ScenarioError::UnknownName { what: "probe", name: other.into() })
+        }
+    };
+    Ok(OutputSpec { metrics, report, probe })
 }
 
 fn parse_sweep(table: &Table) -> Result<Sweep, ScenarioError> {

@@ -9,27 +9,35 @@
 //! bit-identically.
 
 use crate::error::ScenarioError;
-use crate::spec::{Engine, EnvSpec, ProtocolSpec, Report, ScenarioSpec, ValueSpec};
+use crate::spec::{
+    Engine, EnvSpec, LatencySpec, Probe, ProtocolSpec, Report, ScenarioSpec, ValueSpec,
+};
 use dynagg_core::adaptive::AdaptiveRevert;
 use dynagg_core::config::ResetConfig;
 use dynagg_core::config::SketchConfig;
 use dynagg_core::count_sketch::CountSketch;
 use dynagg_core::count_sketch_reset::CountSketchReset;
-use dynagg_core::epoch::{DriftModel, EpochPushSum};
+use dynagg_core::epoch::{DriftModel, EpochPushSum, EPOCH_MSG_WIRE_BYTES};
 use dynagg_core::extremum::DynamicExtremum;
 use dynagg_core::full_transfer::FullTransfer;
 use dynagg_core::histogram::{Buckets, DynamicHistogram};
 use dynagg_core::invert_average::InvertAverage;
+use dynagg_core::mass::MASS_WIRE_BYTES;
 use dynagg_core::moments::DynamicMoments;
 use dynagg_core::protocol::{NodeId, PairwiseProtocol, PushProtocol};
 use dynagg_core::push_sum::PushSum;
 use dynagg_core::push_sum_revert::PushSumRevert;
 use dynagg_core::tree::TagTree;
+use dynagg_core::wire::WireMessage;
+use dynagg_node::loopback::ValueFn;
+use dynagg_node::{AsyncConfig, AsyncNet, LatencyModel};
 use dynagg_sim::env::{ClusteredEnv, Environment, SpatialEnv, TraceEnv, UniformEnv};
 use dynagg_sim::{par, runner, Series};
 use dynagg_sketch::age::INF_AGE;
+use dynagg_sketch::codec;
 use dynagg_trace::datasets::Dataset;
 use dynagg_trace::Timeline;
+use rand::Rng;
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
 
@@ -42,6 +50,9 @@ pub struct TrialOutput {
     /// collected after the last round. Only for
     /// [`Report::CounterCdf`] runs.
     pub counter_samples: Option<Vec<Vec<u64>>>,
+    /// The post-run node-state reading, when the spec requested a
+    /// [`Probe`].
+    pub probe: Option<f64>,
 }
 
 /// All trials of one sweep instance.
@@ -192,34 +203,50 @@ fn resolve_shape(spec: &ScenarioSpec) -> (usize, u64) {
 /// monomorphized simulation. This match *is* the protocol registry.
 fn run_trial(spec: &ScenarioSpec, seed: u64, n: usize, rounds: u64) -> TrialOutput {
     use ProtocolSpec as P;
-    let series_only = |series: Series| TrialOutput { series, counter_samples: None };
     match spec.protocol {
-        P::PushSum => match spec.engine {
-            Engine::Push => {
-                series_only(run_push(spec, seed, n, rounds, |_, v| PushSum::averaging(v)))
+        P::PushSum => {
+            let probe = spec.output.probe.map(|Probe::MassWeight| |p: &PushSum| p.mass().weight);
+            match spec.engine {
+                Engine::Pairwise => {
+                    run_pairwise(spec, seed, n, rounds, |_, v| PushSum::averaging(v), probe)
+                }
+                _ => run_message(spec, seed, n, rounds, |_, v| PushSum::averaging(v), probe),
             }
-            Engine::Pairwise => {
-                series_only(run_pairwise(spec, seed, n, rounds, |_, v| PushSum::averaging(v)))
+        }
+        P::PushSumRevert { lambda } => {
+            let probe =
+                spec.output.probe.map(|Probe::MassWeight| |p: &PushSumRevert| p.mass().weight);
+            let factory = move |_, v| PushSumRevert::new(v, lambda);
+            match spec.engine {
+                Engine::Pairwise => run_pairwise(spec, seed, n, rounds, factory, probe),
+                _ => run_message(spec, seed, n, rounds, factory, probe),
             }
-        },
-        P::PushSumRevert { lambda } => match spec.engine {
-            Engine::Push => series_only(run_push(spec, seed, n, rounds, move |_, v| {
-                PushSumRevert::new(v, lambda)
-            })),
-            Engine::Pairwise => series_only(run_pairwise(spec, seed, n, rounds, move |_, v| {
-                PushSumRevert::new(v, lambda)
-            })),
-        },
+        }
         P::FullTransfer { lambda, parcels, window } => {
-            series_only(run_push(spec, seed, n, rounds, move |_, v| {
-                FullTransfer::try_new(v, lambda, parcels, window).expect("validated config")
-            }))
+            let probe =
+                spec.output.probe.map(|Probe::MassWeight| |p: &FullTransfer| p.mass().weight);
+            run_message(
+                spec,
+                seed,
+                n,
+                rounds,
+                move |_, v| {
+                    FullTransfer::try_new(v, lambda, parcels, window).expect("validated config")
+                },
+                probe,
+            )
         }
         P::AdaptiveRevert { lambda } => {
-            series_only(run_push(spec, seed, n, rounds, move |_, v| AdaptiveRevert::new(v, lambda)))
+            let probe =
+                spec.output.probe.map(|Probe::MassWeight| |p: &AdaptiveRevert| p.mass().weight);
+            run_message(spec, seed, n, rounds, move |_, v| AdaptiveRevert::new(v, lambda), probe)
         }
-        P::EpochPushSum { epoch_len, settle_len, drift_prob, clique_drift } => {
-            series_only(run_push(spec, seed, n, rounds, move |id, v| {
+        P::EpochPushSum { epoch_len, settle_len, drift_prob, clique_drift } => run_message(
+            spec,
+            seed,
+            n,
+            rounds,
+            move |id, v| {
                 let mut p = EpochPushSum::new(v, epoch_len);
                 if let Some(s) = settle_len {
                     p = p.with_settle_len(s);
@@ -234,57 +261,97 @@ fn run_trial(spec: &ScenarioSpec, seed: u64, n: usize, rounds: u64) -> TrialOutp
                         .with_drift_model(DriftModel::ConstantSkew { rate: cd.rate_of(clique) });
                 }
                 p
-            }))
-        }
-        P::CountSketch { hash_seed_xor } => {
-            let cfg = SketchConfig::paper(n as u64, seed ^ hash_seed_xor);
-            series_only(run_push(spec, seed, n, rounds, move |id, _| {
-                CountSketch::counting(cfg, u64::from(id))
-            }))
+            },
+            None::<fn(&EpochPushSum) -> f64>,
+        ),
+        P::CountSketch { multiplier, hash_seed_xor } => {
+            let cfg = SketchConfig::paper(n as u64 * multiplier, seed ^ hash_seed_xor);
+            run_message(
+                spec,
+                seed,
+                n,
+                rounds,
+                move |id, _| {
+                    if multiplier == 1 {
+                        CountSketch::counting(cfg, u64::from(id))
+                    } else {
+                        CountSketch::summing(cfg, u64::from(id), multiplier)
+                    }
+                },
+                None::<fn(&CountSketch) -> f64>,
+            )
         }
         P::CountSketchReset { cutoff, push_pull, multiplier, hash_seed_xor } => {
             let cfg = ResetConfig::paper(n as u64 * multiplier, seed ^ hash_seed_xor)
                 .with_cutoff(cutoff)
                 .with_push_pull(push_pull);
             match spec.output.report {
-                Report::Series => series_only(run_push(spec, seed, n, rounds, move |id, _| {
-                    CountSketchReset::with_multiplier(cfg, u64::from(id), multiplier)
-                })),
+                Report::Series => run_message(
+                    spec,
+                    seed,
+                    n,
+                    rounds,
+                    move |id, _| CountSketchReset::with_multiplier(cfg, u64::from(id), multiplier),
+                    None::<fn(&CountSketchReset) -> f64>,
+                ),
                 Report::CounterCdf => run_counter_cdf(spec, seed, n, rounds, cfg, multiplier),
             }
         }
         P::InvertAverage { lambda, hash_seed_xor } => {
             let cfg = ResetConfig::paper(n as u64, seed ^ hash_seed_xor);
-            series_only(run_push(spec, seed, n, rounds, move |id, v| {
-                InvertAverage::new(v, lambda, cfg, u64::from(id))
-            }))
+            run_message(
+                spec,
+                seed,
+                n,
+                rounds,
+                move |id, v| InvertAverage::new(v, lambda, cfg, u64::from(id)),
+                None::<fn(&InvertAverage) -> f64>,
+            )
         }
-        P::TagTree { child_timeout } => {
-            series_only(run_push(spec, seed, n, rounds, move |id, v| {
-                TagTree::new(v, id == 0, child_timeout)
-            }))
-        }
+        P::TagTree { child_timeout } => run_message(
+            spec,
+            seed,
+            n,
+            rounds,
+            move |id, v| TagTree::new(v, id == 0, child_timeout),
+            None::<fn(&TagTree) -> f64>,
+        ),
         P::Extremum { mode, ttl } => {
             use dynagg_core::extremum::ExtremumMode;
-            series_only(run_push(spec, seed, n, rounds, move |_, v| match (ttl, mode) {
-                (Some(t), _) => DynamicExtremum::new(mode, v, t),
-                (None, ExtremumMode::Max) => DynamicExtremum::max(v),
-                (None, ExtremumMode::Min) => DynamicExtremum::min(v),
-            }))
+            run_message(
+                spec,
+                seed,
+                n,
+                rounds,
+                move |_, v| match (ttl, mode) {
+                    (Some(t), _) => DynamicExtremum::new(mode, v, t),
+                    (None, ExtremumMode::Max) => DynamicExtremum::max(v),
+                    (None, ExtremumMode::Min) => DynamicExtremum::min(v),
+                },
+                None::<fn(&DynamicExtremum) -> f64>,
+            )
         }
-        P::Moments { lambda } => match spec.engine {
-            Engine::Push => series_only(run_push(spec, seed, n, rounds, move |_, v| {
-                DynamicMoments::new(v, lambda)
-            })),
-            Engine::Pairwise => series_only(run_pairwise(spec, seed, n, rounds, move |_, v| {
-                DynamicMoments::new(v, lambda)
-            })),
-        },
+        P::Moments { lambda } => {
+            let factory = move |_, v| DynamicMoments::new(v, lambda);
+            match spec.engine {
+                Engine::Pairwise => {
+                    run_pairwise(spec, seed, n, rounds, factory, None::<fn(&DynamicMoments) -> f64>)
+                }
+                _ => {
+                    run_message(spec, seed, n, rounds, factory, None::<fn(&DynamicMoments) -> f64>)
+                }
+            }
+        }
         P::Histogram { lo, hi, buckets, lambda } => {
             let geometry = Buckets::new(lo, hi, buckets);
-            series_only(run_push(spec, seed, n, rounds, move |_, v| {
-                DynamicHistogram::new(geometry, v, lambda)
-            }))
+            run_message(
+                spec,
+                seed,
+                n,
+                rounds,
+                move |_, v| DynamicHistogram::new(geometry, v, lambda),
+                None::<fn(&DynamicHistogram) -> f64>,
+            )
         }
     }
 }
@@ -298,32 +365,216 @@ fn base_builder(spec: &ScenarioSpec, seed: u64, n: usize) -> runner::Builder {
     }
 }
 
-fn run_push<P, F>(spec: &ScenarioSpec, seed: u64, n: usize, rounds: u64, factory: F) -> Series
+/// Message-passing dispatch: the push engine or the asynchronous
+/// discrete-event engine, chosen by the spec (atomic pairwise exchanges
+/// are handled per-protocol by the caller). `probe` is the optional
+/// post-run node-state reading.
+fn run_message<P, F, G>(
+    spec: &ScenarioSpec,
+    seed: u64,
+    n: usize,
+    rounds: u64,
+    factory: F,
+    probe: Option<G>,
+) -> TrialOutput
+where
+    P: PushProtocol + 'static,
+    P::Message: WireMessage,
+    F: FnMut(NodeId, f64) -> P + 'static,
+    G: Fn(&P) -> f64,
+{
+    match spec.engine {
+        Engine::Async => {
+            debug_assert!(probe.is_none(), "validation rejects probes under the async engine");
+            TrialOutput {
+                series: run_async(spec, seed, n, rounds, factory),
+                counter_samples: None,
+                probe: None,
+            }
+        }
+        _ => run_push(spec, seed, n, rounds, factory, probe),
+    }
+}
+
+fn run_push<P, F, G>(
+    spec: &ScenarioSpec,
+    seed: u64,
+    n: usize,
+    rounds: u64,
+    factory: F,
+    probe: Option<G>,
+) -> TrialOutput
 where
     P: PushProtocol,
     F: FnMut(NodeId, f64) -> P,
+    G: Fn(&P) -> f64,
 {
-    base_builder(spec, seed, n)
+    let sim = base_builder(spec, seed, n)
         .protocol(factory)
         .truth(spec.truth)
         .failure(spec.failure)
         .message_loss(spec.loss)
-        .build()
-        .run(rounds)
+        .build();
+    match probe {
+        None => TrialOutput { series: sim.run(rounds), counter_samples: None, probe: None },
+        Some(read) => {
+            let mut sim = sim;
+            for _ in 0..rounds {
+                sim.step();
+            }
+            let reading = sim.nodes().map(|(_, p)| read(p)).sum();
+            TrialOutput {
+                series: sim.series().clone(),
+                counter_samples: None,
+                probe: Some(reading),
+            }
+        }
+    }
 }
 
-fn run_pairwise<P, F>(spec: &ScenarioSpec, seed: u64, n: usize, rounds: u64, factory: F) -> Series
+fn run_pairwise<P, F, G>(
+    spec: &ScenarioSpec,
+    seed: u64,
+    n: usize,
+    rounds: u64,
+    factory: F,
+    probe: Option<G>,
+) -> TrialOutput
 where
     P: PairwiseProtocol,
     F: FnMut(NodeId, f64) -> P,
+    G: Fn(&P) -> f64,
 {
-    base_builder(spec, seed, n)
+    let sim = base_builder(spec, seed, n)
         .protocol(factory)
         .truth(spec.truth)
         .failure(spec.failure)
         .message_loss(spec.loss)
-        .build_pairwise()
-        .run(rounds)
+        .build_pairwise();
+    match probe {
+        None => TrialOutput { series: sim.run(rounds), counter_samples: None, probe: None },
+        Some(read) => {
+            let mut sim = sim;
+            for _ in 0..rounds {
+                sim.step();
+            }
+            let reading = sim.nodes().map(|(_, p)| read(p)).sum();
+            TrialOutput {
+                series: sim.series().clone(),
+                counter_samples: None,
+                probe: Some(reading),
+            }
+        }
+    }
+}
+
+/// Assemble and drive the asynchronous engine: nominal rounds map to
+/// `interval_ms` of simulated wall-clock each, and the sampled series has
+/// the same shape as a lockstep run of the same horizon.
+fn run_async<P, F>(spec: &ScenarioSpec, seed: u64, n: usize, rounds: u64, factory: F) -> Series
+where
+    P: PushProtocol + 'static,
+    P::Message: WireMessage,
+    F: FnMut(NodeId, f64) -> P + 'static,
+{
+    let a = spec.asynchrony.unwrap_or_default();
+    let mut cfg = AsyncConfig::new(seed);
+    cfg.interval_ms = a.interval_ms;
+    cfg.jitter = a.jitter;
+    cfg.latency = match a.latency {
+        LatencySpec::Constant { ms } => LatencyModel::Constant { ms },
+        LatencySpec::Uniform { lo_ms, hi_ms } => LatencyModel::Uniform { lo_ms, hi_ms },
+        LatencySpec::Exponential { mean_ms } => LatencyModel::Exponential { mean_ms },
+    };
+    cfg.loss = spec.loss;
+    cfg.sample_every_ms = a.sample_every_ms.unwrap_or(a.interval_ms);
+    let value_gen: ValueFn = match spec.values {
+        ValueSpec::Paper => Box::new(|rng, _| rng.gen_range(0.0..100.0)),
+        ValueSpec::Constant(x) => Box::new(move |_, _| x),
+    };
+    let drift = a.drift;
+    let mut net = AsyncNet::new(
+        n,
+        cfg,
+        value_gen,
+        Box::new(move |id| drift.model_for(id, n)),
+        Box::new(factory),
+    )
+    .with_truth(spec.truth)
+    .with_failure(spec.failure);
+    net.run(rounds);
+    net.into_series()
+}
+
+/// Per-message wire cost of a protocol as the registry would build it for
+/// population `n`: `raw_bytes` is the paper-comparable in-memory payload
+/// accounting ([`PushProtocol::message_bytes`]'s convention), and
+/// `encoded_bytes` the actual wire codec's size (RLE for age matrices,
+/// packed registers for PCSA; identical to raw for scalar payloads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireCost {
+    /// Raw payload bytes.
+    pub raw_bytes: usize,
+    /// Encoded (wire-codec) bytes of a freshly-initialized node's message.
+    pub encoded_bytes: usize,
+}
+
+/// Compute the [`WireCost`] of one gossip message without simulating —
+/// the declarative path for bandwidth comparisons (the §IV-B cost
+/// argument).
+pub fn wire_cost(protocol: &ProtocolSpec, n: usize, seed: u64) -> WireCost {
+    use ProtocolSpec as P;
+    let scalar = |bytes: usize| WireCost { raw_bytes: bytes, encoded_bytes: bytes };
+    match *protocol {
+        P::PushSum
+        | P::PushSumRevert { .. }
+        | P::AdaptiveRevert { .. }
+        | P::FullTransfer { .. } => scalar(MASS_WIRE_BYTES),
+        P::EpochPushSum { .. } => scalar(EPOCH_MSG_WIRE_BYTES),
+        P::Moments { .. } => scalar(2 * MASS_WIRE_BYTES),
+        P::Extremum { .. } => scalar(12),
+        // TagTree's steady-state frame (the Partial variant): the engine
+        // accounts 16 bytes of payload; the wire form adds a tag byte.
+        P::TagTree { .. } => WireCost { raw_bytes: 16, encoded_bytes: 17 },
+        // Histogram: weight + buckets; the wire form adds a u32 length.
+        P::Histogram { buckets, .. } => WireCost {
+            raw_bytes: 8 * (1 + buckets as usize),
+            encoded_bytes: 12 + 8 * buckets as usize,
+        },
+        P::CountSketch { multiplier, hash_seed_xor } => {
+            let cfg = SketchConfig::paper(n as u64 * multiplier, seed ^ hash_seed_xor);
+            let node = if multiplier == 1 {
+                CountSketch::counting(cfg, 0)
+            } else {
+                CountSketch::summing(cfg, 0, multiplier)
+            };
+            WireCost {
+                raw_bytes: node.sketch().wire_bytes(),
+                encoded_bytes: codec::encode_pcsa(node.sketch()).len(),
+            }
+        }
+        P::CountSketchReset { cutoff, push_pull, multiplier, hash_seed_xor } => {
+            let cfg = ResetConfig::paper(n as u64 * multiplier, seed ^ hash_seed_xor)
+                .with_cutoff(cutoff)
+                .with_push_pull(push_pull);
+            let node = CountSketchReset::with_multiplier(cfg, 0, multiplier);
+            WireCost {
+                raw_bytes: node.ages().wire_bytes(),
+                encoded_bytes: codec::encoded_len_ages(node.ages()),
+            }
+        }
+        P::InvertAverage { hash_seed_xor, .. } => {
+            // One counting matrix (sized for hosts, not the sum range)
+            // plus a 16-byte mass per sum.
+            let cfg = ResetConfig::paper(n as u64, seed ^ hash_seed_xor);
+            let node = CountSketchReset::counting(cfg, 0);
+            WireCost {
+                raw_bytes: node.ages().wire_bytes() + MASS_WIRE_BYTES,
+                // `InvertMsg` on the wire: flag byte + mass + matrix.
+                encoded_bytes: 1 + MASS_WIRE_BYTES + codec::encoded_len_ages(node.ages()),
+            }
+        }
+    }
 }
 
 /// The Fig. 6 readout: run to convergence, then histogram every live
@@ -352,5 +603,5 @@ fn run_counter_cdf(
             samples[usize::from(k)][usize::from(age)] += 1;
         }
     }
-    TrialOutput { series: sim.series().clone(), counter_samples: Some(samples) }
+    TrialOutput { series: sim.series().clone(), counter_samples: Some(samples), probe: None }
 }

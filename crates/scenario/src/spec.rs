@@ -5,6 +5,7 @@
 
 use crate::error::ScenarioError;
 use dynagg_core::config::{FullTransferConfig, RevertConfig};
+use dynagg_core::epoch::DriftModel;
 use dynagg_core::extremum::ExtremumMode;
 use dynagg_sim::env::{MobilityEvent, MobilityKind};
 use dynagg_sim::metrics::RoundStats;
@@ -22,6 +23,110 @@ pub enum Engine {
     /// ([`dynagg_sim::runner::PairwiseSimulation`]); only the averaging
     /// protocols implement it.
     Pairwise,
+    /// Asynchronous discrete-event execution
+    /// ([`dynagg_node::AsyncNet`]): no global rounds — every node owns a
+    /// jittered, possibly drifting timer; frames travel over links with
+    /// latency and loss; estimates are sampled at a wall-clock cadence.
+    /// Configured by the `[async]` table ([`AsyncSpec`]). Uniform
+    /// environments only.
+    Async,
+}
+
+/// Per-link latency distribution for the async engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LatencySpec {
+    /// Every frame takes exactly `ms`.
+    Constant {
+        /// One-way delay in milliseconds.
+        ms: u64,
+    },
+    /// Uniform in `[lo_ms, hi_ms]`.
+    Uniform {
+        /// Minimum delay.
+        lo_ms: u64,
+        /// Maximum delay (inclusive).
+        hi_ms: u64,
+    },
+    /// Exponentially distributed (heavy-tailed) with the given mean.
+    Exponential {
+        /// Mean delay in milliseconds.
+        mean_ms: f64,
+    },
+}
+
+/// How node clocks drift under the async engine (the per-node incarnation
+/// of [`dynagg_core::epoch::DriftModel`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DriftSpec {
+    /// All crystals run at the nominal rate.
+    Synced,
+    /// Constant-skew spread: node `i` of `n` runs at
+    /// `1 + spread · (2i/(n−1) − 1)` ticks per interval, so crystals span
+    /// `±spread` across the population (the skewed-clock workload).
+    Skew {
+        /// Half-width of the rate spread, in `[0, 1)`.
+        spread: f64,
+    },
+    /// Every node misses a tick with this probability (slept radios).
+    Bernoulli {
+        /// Per-tick skip probability, in `[0, 1]`.
+        skip_prob: f64,
+    },
+    /// Unbiased random-walk jitter on every clock.
+    RandomWalk {
+        /// Per-tick jitter probability, in `[0, 1]`.
+        step_prob: f64,
+    },
+}
+
+impl DriftSpec {
+    /// The concrete [`DriftModel`] of node `id` in a population of `n`.
+    /// Ids are taken modulo `n`, so churn-joined nodes (whose ids grow
+    /// past the initial population) land back inside the documented
+    /// `±spread` span instead of extrapolating beyond it.
+    pub fn model_for(self, id: u32, n: usize) -> DriftModel {
+        match self {
+            DriftSpec::Synced => DriftModel::Synced,
+            DriftSpec::Skew { spread } => {
+                let pos = (id as usize % n.max(1)) as f64;
+                let centered = if n <= 1 { 0.0 } else { 2.0 * pos / (n as f64 - 1.0) - 1.0 };
+                DriftModel::ConstantSkew { rate: 1.0 + spread * centered }
+            }
+            DriftSpec::Bernoulli { skip_prob } => DriftModel::Bernoulli { skip_prob },
+            DriftSpec::RandomWalk { step_prob } => DriftModel::RandomWalk { step_prob },
+        }
+    }
+}
+
+/// The `[async]` table: asynchronous-engine timing configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AsyncSpec {
+    /// Nominal milliseconds between a node's gossip rounds.
+    pub interval_ms: u64,
+    /// Per-node interval jitter as a fraction of `interval_ms`, in
+    /// `[0, 1)` (drawn once per node).
+    pub jitter: f64,
+    /// Per-link latency distribution.
+    pub latency: LatencySpec,
+    /// Clock-drift assignment.
+    pub drift: DriftSpec,
+    /// Estimate-sampling cadence (defaults to `interval_ms`, producing
+    /// one series row per nominal round, like the lockstep engines).
+    pub sample_every_ms: Option<u64>,
+}
+
+impl Default for AsyncSpec {
+    /// 100 ms rounds, ±5 % jitter, 10 ms constant latency, synced clocks,
+    /// one sample per nominal round.
+    fn default() -> Self {
+        Self {
+            interval_ms: 100,
+            jitter: 0.05,
+            latency: LatencySpec::Constant { ms: 10 },
+            drift: DriftSpec::Synced,
+            sample_every_ms: None,
+        }
+    }
 }
 
 /// Which gossip environment partners are sampled from (paper §V).
@@ -132,8 +237,12 @@ pub enum ProtocolSpec {
         /// Per-clique constant-skew drift (the epoch-disruption model).
         clique_drift: Option<CliqueDrift>,
     },
-    /// Static Sketch-Count (Fig. 2), counting hosts.
+    /// Static Sketch-Count (Fig. 2), counting hosts (× `multiplier`
+    /// identifiers per host — `> 1` models the multi-insertion summation
+    /// load of §IV-B, sizing the sketch for `n × multiplier`).
     CountSketch {
+        /// Identifiers registered per host (default 1: plain counting).
+        multiplier: u64,
         /// XORed into the master seed to derive the shared hash seed.
         hash_seed_xor: u64,
     },
@@ -328,6 +437,26 @@ pub enum Report {
     CounterCdf,
 }
 
+/// A post-run node-state reading the series cannot express — the probe
+/// hook that lets protocol-internal ablations run through the registry
+/// instead of bypassing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Probe {
+    /// Total Push-Sum mass *weight* summed over live nodes after the last
+    /// round (the loss ablation's numerical-collapse reading). Requires a
+    /// mass-carrying averaging protocol.
+    MassWeight,
+}
+
+impl Probe {
+    /// The scenario-file name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Probe::MassWeight => "mass-weight",
+        }
+    }
+}
+
 /// Output selection: which metrics, and which report shape.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OutputSpec {
@@ -335,11 +464,13 @@ pub struct OutputSpec {
     pub metrics: Vec<Metric>,
     /// Report shape.
     pub report: Report,
+    /// Optional post-run node-state probe.
+    pub probe: Option<Probe>,
 }
 
 impl Default for OutputSpec {
     fn default() -> Self {
-        Self { metrics: vec![Metric::Stddev], report: Report::Series }
+        Self { metrics: vec![Metric::Stddev], report: Report::Series, probe: None }
     }
 }
 
@@ -396,6 +527,10 @@ pub struct ScenarioSpec {
     pub trials: u64,
     /// Engine flavour.
     pub engine: Engine,
+    /// Asynchronous-engine timing (the `[async]` table). Only meaningful
+    /// — and only accepted — with [`Engine::Async`]; `None` under the
+    /// async engine means [`AsyncSpec::default`].
+    pub asynchrony: Option<AsyncSpec>,
     /// Gossip environment.
     pub env: EnvSpec,
     /// Initial host values.
@@ -427,6 +562,7 @@ impl ScenarioSpec {
             rounds: None,
             trials: 1,
             engine: Engine::Push,
+            asynchrony: None,
             env,
             values: ValueSpec::Paper,
             protocol,
@@ -474,6 +610,7 @@ impl ScenarioSpec {
         self.validate_env()?;
         self.validate_protocol()?;
         self.validate_failure()?;
+        self.validate_async()?;
 
         if self.truth.needs_groups() && !is_trace {
             return Err(ScenarioError::Unsupported {
@@ -512,6 +649,34 @@ impl ScenarioSpec {
         }
         if self.output.metrics.is_empty() {
             return Err(invalid("output.metrics", "select at least one metric".into()));
+        }
+        if let Some(probe) = self.output.probe {
+            match probe {
+                Probe::MassWeight => {
+                    if !matches!(
+                        self.protocol,
+                        ProtocolSpec::PushSum
+                            | ProtocolSpec::PushSumRevert { .. }
+                            | ProtocolSpec::AdaptiveRevert { .. }
+                            | ProtocolSpec::FullTransfer { .. }
+                    ) {
+                        return Err(ScenarioError::Unsupported {
+                            reason: format!(
+                                "probe `mass-weight` reads Push-Sum mass; protocol `{}` \
+                                 carries none",
+                                self.protocol.name()
+                            ),
+                        });
+                    }
+                    if self.engine == Engine::Async {
+                        return Err(ScenarioError::Unsupported {
+                            reason: "probe `mass-weight` is not implemented for the async \
+                                     engine; use engine = \"push\" or \"pairwise\""
+                                .into(),
+                        });
+                    }
+                }
+            }
         }
 
         if let Some(sweep) = &self.sweep {
@@ -704,6 +869,91 @@ impl ScenarioSpec {
                 check_lambda(lambda)
             }
         }
+    }
+
+    fn validate_async(&self) -> Result<(), ScenarioError> {
+        let invalid =
+            |key: &str, reason: String| ScenarioError::Invalid { key: key.into(), reason };
+        if self.engine != Engine::Async {
+            if self.asynchrony.is_some() {
+                return Err(ScenarioError::Unsupported {
+                    reason: format!(
+                        "[async] keys configure the asynchronous engine; engine = \"{}\" \
+                         ignores them — set engine = \"async\" or drop the table",
+                        match self.engine {
+                            Engine::Push => "push",
+                            Engine::Pairwise => "pairwise",
+                            Engine::Async => unreachable!(),
+                        }
+                    ),
+                });
+            }
+            return Ok(());
+        }
+        if !matches!(self.env, EnvSpec::Uniform { .. }) {
+            return Err(ScenarioError::Unsupported {
+                reason: "the async engine drives uniform gossip only (nodes sample peers \
+                         from bounded membership views); use kind = \"uniform\""
+                    .into(),
+            });
+        }
+        let a = self.asynchrony.unwrap_or_default();
+        if a.interval_ms == 0 {
+            return Err(invalid("async.interval_ms", "must be at least 1".into()));
+        }
+        if !(0.0..1.0).contains(&a.jitter) || a.jitter.is_nan() {
+            return Err(invalid("async.jitter", format!("fraction {} outside [0, 1)", a.jitter)));
+        }
+        match a.latency {
+            LatencySpec::Constant { .. } => {}
+            LatencySpec::Uniform { lo_ms, hi_ms } => {
+                if lo_ms > hi_ms {
+                    return Err(invalid(
+                        "async.latency",
+                        format!("uniform range [{lo_ms}, {hi_ms}] is inverted"),
+                    ));
+                }
+            }
+            LatencySpec::Exponential { mean_ms } => {
+                if !mean_ms.is_finite() || mean_ms < 0.0 {
+                    return Err(invalid(
+                        "async.latency",
+                        format!("mean {mean_ms} must be finite and >= 0"),
+                    ));
+                }
+            }
+        }
+        match a.drift {
+            DriftSpec::Synced => {}
+            DriftSpec::Skew { spread } => {
+                if !(0.0..1.0).contains(&spread) || spread.is_nan() {
+                    return Err(invalid(
+                        "async.drift.spread",
+                        format!("spread {spread} outside [0, 1) (rates must stay positive)"),
+                    ));
+                }
+            }
+            DriftSpec::Bernoulli { skip_prob } => {
+                if !(0.0..=1.0).contains(&skip_prob) || skip_prob.is_nan() {
+                    return Err(invalid(
+                        "async.drift.skip_prob",
+                        format!("probability {skip_prob} outside [0, 1]"),
+                    ));
+                }
+            }
+            DriftSpec::RandomWalk { step_prob } => {
+                if !(0.0..=1.0).contains(&step_prob) || step_prob.is_nan() {
+                    return Err(invalid(
+                        "async.drift.step_prob",
+                        format!("probability {step_prob} outside [0, 1]"),
+                    ));
+                }
+            }
+        }
+        if a.sample_every_ms == Some(0) {
+            return Err(invalid("async.sample_every_ms", "must be at least 1".into()));
+        }
+        Ok(())
     }
 
     fn validate_failure(&self) -> Result<(), ScenarioError> {

@@ -209,3 +209,181 @@ fn errors_render_readable_messages() {
     let msg = ScenarioSpec::from_toml_str(&src).unwrap_err().to_string();
     assert!(msg.contains("missing required key `seed`"), "{msg}");
 }
+
+// ── async engine ────────────────────────────────────────────────────────
+
+/// A valid async scenario exercising every `[async]` key.
+const VALID_ASYNC: &str = r#"
+name = "valid-async"
+seed = 7
+n = 200
+rounds = 10
+engine = "async"
+
+[async]
+interval_ms = 100
+jitter = 0.05
+sample_every_ms = 50
+
+[async.latency]
+kind = "uniform"
+lo_ms = 5
+hi_ms = 30
+
+[async.drift]
+kind = "skew"
+spread = 0.2
+
+[env]
+kind = "uniform"
+
+[protocol]
+name = "push-sum-revert"
+lambda = 0.01
+"#;
+
+#[test]
+fn the_async_fixture_parses_and_validates() {
+    let spec = ScenarioSpec::from_toml_str(VALID_ASYNC).unwrap();
+    assert_eq!(spec.engine, dynagg_scenario::Engine::Async);
+    let a = spec.asynchrony.expect("[async] table parsed");
+    assert_eq!(a.interval_ms, 100);
+    assert_eq!(a.sample_every_ms, Some(50));
+    assert_eq!(a.latency, dynagg_scenario::LatencySpec::Uniform { lo_ms: 5, hi_ms: 30 });
+    assert_eq!(a.drift, dynagg_scenario::DriftSpec::Skew { spread: 0.2 });
+}
+
+#[test]
+fn async_engine_without_async_table_uses_defaults() {
+    let src = replace(VALID, "rounds = 10", "rounds = 10\nengine = \"async\"");
+    let spec = ScenarioSpec::from_toml_str(&src).unwrap();
+    assert_eq!(spec.engine, dynagg_scenario::Engine::Async);
+    assert!(spec.asynchrony.is_none(), "defaults apply at run time");
+}
+
+#[test]
+fn async_keys_under_lockstep_engines_are_unsupported() {
+    // [async] with the (default) push engine.
+    let src = format!("{VALID}\n[async]\ninterval_ms = 50\n");
+    match ScenarioSpec::from_toml_str(&src) {
+        Err(ScenarioError::Unsupported { reason }) => {
+            assert!(reason.contains("engine = \"push\""), "{reason}");
+        }
+        other => panic!("expected Unsupported, got {other:?}"),
+    }
+    // [async] with the pairwise engine.
+    let src = replace(VALID, "rounds = 10", "rounds = 10\nengine = \"pairwise\"");
+    let src = format!("{src}\n[async]\ninterval_ms = 50\n");
+    assert!(matches!(ScenarioSpec::from_toml_str(&src), Err(ScenarioError::Unsupported { .. })));
+}
+
+#[test]
+fn async_engine_on_non_uniform_env_is_unsupported() {
+    let src = replace(
+        VALID_ASYNC,
+        "[env]\nkind = \"uniform\"",
+        "[env]\nkind = \"clustered\"\nclusters = 4",
+    );
+    match ScenarioSpec::from_toml_str(&src) {
+        Err(ScenarioError::Unsupported { reason }) => {
+            assert!(reason.contains("uniform"), "{reason}");
+        }
+        other => panic!("expected Unsupported, got {other:?}"),
+    }
+    let src = replace(VALID_ASYNC, "[env]\nkind = \"uniform\"", "[env]\nkind = \"spatial\"");
+    assert!(matches!(ScenarioSpec::from_toml_str(&src), Err(ScenarioError::Unsupported { .. })));
+}
+
+#[test]
+fn unknown_async_keys_and_kinds_are_typed() {
+    let src = replace(VALID_ASYNC, "interval_ms = 100", "interval = 100");
+    assert!(matches!(
+        ScenarioSpec::from_toml_str(&src),
+        Err(ScenarioError::UnknownKey { table: "async", .. })
+    ));
+    let src =
+        replace(VALID_ASYNC, "kind = \"uniform\"\nlo_ms = 5\nhi_ms = 30", "kind = \"gaussian\"");
+    assert!(matches!(
+        ScenarioSpec::from_toml_str(&src),
+        Err(ScenarioError::UnknownName { what: "latency kind", .. })
+    ));
+    let src = replace(VALID_ASYNC, "kind = \"skew\"\nspread = 0.2", "kind = \"wobble\"");
+    assert!(matches!(
+        ScenarioSpec::from_toml_str(&src),
+        Err(ScenarioError::UnknownName { what: "drift kind", .. })
+    ));
+}
+
+#[test]
+fn async_range_violations_are_typed() {
+    let src = replace(VALID_ASYNC, "jitter = 0.05", "jitter = 1.5");
+    assert!(matches!(
+        ScenarioSpec::from_toml_str(&src),
+        Err(ScenarioError::Invalid { key, .. }) if key == "async.jitter"
+    ));
+    let src = replace(VALID_ASYNC, "lo_ms = 5\nhi_ms = 30", "lo_ms = 30\nhi_ms = 5");
+    assert!(matches!(
+        ScenarioSpec::from_toml_str(&src),
+        Err(ScenarioError::Invalid { key, .. }) if key == "async.latency"
+    ));
+    let src = replace(VALID_ASYNC, "spread = 0.2", "spread = 1.0");
+    assert!(matches!(
+        ScenarioSpec::from_toml_str(&src),
+        Err(ScenarioError::Invalid { key, .. }) if key == "async.drift.spread"
+    ));
+    let src = replace(VALID_ASYNC, "sample_every_ms = 50", "sample_every_ms = 0");
+    assert!(matches!(
+        ScenarioSpec::from_toml_str(&src),
+        Err(ScenarioError::Invalid { key, .. }) if key == "async.sample_every_ms"
+    ));
+}
+
+#[test]
+fn async_engine_with_counter_cdf_report_is_unsupported() {
+    let src = replace(
+        VALID_ASYNC,
+        "[protocol]\nname = \"push-sum-revert\"\nlambda = 0.01",
+        "[protocol]\nname = \"count-sketch-reset\"\n\n[output]\nreport = \"counter-cdf\"",
+    );
+    assert!(matches!(ScenarioSpec::from_toml_str(&src), Err(ScenarioError::Unsupported { .. })));
+}
+
+// ── probes ──────────────────────────────────────────────────────────────
+
+#[test]
+fn mass_weight_probe_parses_on_mass_protocols() {
+    let src = format!("{VALID}\n[output]\nprobe = \"mass-weight\"\n");
+    let spec = ScenarioSpec::from_toml_str(&src).unwrap();
+    assert_eq!(spec.output.probe, Some(dynagg_scenario::Probe::MassWeight));
+}
+
+#[test]
+fn mass_weight_probe_on_massless_protocol_is_unsupported() {
+    let src = replace(
+        VALID,
+        "[protocol]\nname = \"push-sum-revert\"\nlambda = 0.01",
+        "[protocol]\nname = \"count-sketch-reset\"",
+    );
+    let src = format!("{src}\n[output]\nprobe = \"mass-weight\"\n");
+    match ScenarioSpec::from_toml_str(&src) {
+        Err(ScenarioError::Unsupported { reason }) => {
+            assert!(reason.contains("mass"), "{reason}");
+        }
+        other => panic!("expected Unsupported, got {other:?}"),
+    }
+}
+
+#[test]
+fn mass_weight_probe_under_async_engine_is_unsupported() {
+    let src = format!("{VALID_ASYNC}\n[output]\nprobe = \"mass-weight\"\n");
+    assert!(matches!(ScenarioSpec::from_toml_str(&src), Err(ScenarioError::Unsupported { .. })));
+}
+
+#[test]
+fn unknown_probe_name_is_typed() {
+    let src = format!("{VALID}\n[output]\nprobe = \"total-mass\"\n");
+    assert!(matches!(
+        ScenarioSpec::from_toml_str(&src),
+        Err(ScenarioError::UnknownName { what: "probe", .. })
+    ));
+}

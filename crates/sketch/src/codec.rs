@@ -103,6 +103,14 @@ pub fn decode_ages(bytes: &[u8]) -> Result<AgeMatrix, CodecError> {
         return Err(CodecError::Malformed("invalid geometry header"));
     }
     let total = (m as usize) * (usize::from(l) + 1);
+    // Every 3-byte chunk contributes at most u16::MAX cells, so a header
+    // claiming more geometry than the payload could possibly encode is
+    // malformed — reject it *before* reserving `total` cells, or arbitrary
+    // input could demand a multi-gigabyte allocation (abort, not `Err`).
+    let max_cells = ((bytes.len() - 5) / 3 + 1).saturating_mul(usize::from(u16::MAX));
+    if total > max_cells {
+        return Err(CodecError::Malformed("geometry exceeds payload capacity"));
+    }
     let mut cells = Vec::with_capacity(total);
     let mut pos = 5usize;
     while pos < bytes.len() {

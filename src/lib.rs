@@ -14,7 +14,7 @@
 //! | [`sketch`] | `dynagg-sketch` | FM sketches, PCSA, age-counter matrices, cutoffs |
 //! | [`sim`] | `dynagg-sim` | round-based gossip simulator, environments, failure injection, metrics |
 //! | [`trace`] | `dynagg-trace` | contact traces: parser, synthetic Haggle-like generator, group computation |
-//! | [`node`] | `dynagg-node` | sans-io runtime: wire frames, local timers, loopback test transport |
+//! | [`node`] | `dynagg-node` | async node runtime: wire frames, drifting timers, discrete-event engine (`engine = "async"`) |
 //! | [`scenario`] | `dynagg-scenario` | declarative experiments: TOML `ScenarioSpec` + the env/protocol registry |
 //!
 //! ## Quickstart
@@ -41,7 +41,7 @@
 
 /// The paper's protocols (`dynagg-core`).
 pub use dynagg_core as protocols;
-/// Sans-io node runtime (`dynagg-node`).
+/// Asynchronous node runtime and discrete-event engine (`dynagg-node`).
 pub use dynagg_node as node;
 /// Declarative experiment assembly (`dynagg-scenario`).
 pub use dynagg_scenario as scenario;
