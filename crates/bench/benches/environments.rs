@@ -6,7 +6,7 @@ use dynagg_sim::alive::AliveSet;
 use dynagg_sim::env::spatial::SpatialEnv;
 use dynagg_sim::env::trace::TraceEnv;
 use dynagg_sim::env::uniform::UniformEnv;
-use dynagg_sim::env::Environment;
+use dynagg_sim::Membership;
 use dynagg_trace::datasets::Dataset;
 use dynagg_trace::groups::{GroupView, PAPER_WINDOW_S};
 use rand::rngs::SmallRng;

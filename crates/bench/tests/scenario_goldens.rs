@@ -306,10 +306,13 @@ fn async_trials_are_bit_identical_across_runs() {
 /// Pinned digests for the async scenarios (scaled-down single lines).
 /// Any engine/registry/parser change that alters async output must update
 /// these constants with a documented reason.
-// Re-pinned after review: small-population membership views became
-// duplicate-free (rejection sampling), shifting the setup RNG stream.
-const GOLDEN_ASYNC_FIG8_L001_N400: u64 = 0xBC46_AD77_A604_C246;
-const GOLDEN_ASYNC_SKEW_N500: u64 = 0x94B1_CBC7_0B35_E574;
+// Re-pinned for the membership layer: view draws moved to their own RNG
+// stream (`stream::VIEWS`, no longer interleaved with interval/phase
+// setup draws), views go through the shared `Membership::view_into`
+// path, and the `bytes` column now carries raw payload bytes (the
+// lockstep convention) with wire bytes in the new `wire_bytes` column.
+const GOLDEN_ASYNC_FIG8_L001_N400: u64 = 0x51C2_B33A_B6C7_B931;
+const GOLDEN_ASYNC_SKEW_N500: u64 = 0xF0A6_FDFB_5C52_72E0;
 
 #[test]
 fn golden_digest_async_fig8_line() {
@@ -324,6 +327,130 @@ fn golden_digest_async_fig8_line() {
         GOLDEN_ASYNC_FIG8_L001_N400,
         "async fig8 scenario output changed for a fixed seed; if intentional, update the \
          golden digest with a documented reason"
+    );
+}
+
+// ── async topology scenarios (membership layer) ─────────────────────────
+
+#[test]
+fn async_topology_scenarios_run_from_toml() {
+    // The async §II-C cell, scaled down: migration keeps carrying foreign
+    // epoch numbers into mid-epoch cliques, so disruptions accumulate and
+    // settling stays chronically nonzero — under asynchronous delivery.
+    let mut spec = load("async_clustered.toml");
+    spec.n = Some(1200);
+    spec.rounds = Some(60);
+    let series = dynagg_scenario::run_series(&spec).unwrap();
+    assert_eq!(series.rounds.len(), 60);
+    assert_eq!(series.last().unwrap().alive, 1200);
+    assert!(
+        series.disruptions_between(10) > 100,
+        "mobility must keep forcing disruptive restarts: {}",
+        series.disruptions_between(10)
+    );
+    assert!(series.settling_host_rounds(10) > 0, "settling windows follow the disruptions");
+
+    // The async spatial cutoff, scaled down: strictly grid-local gossip
+    // still converges the count (the diameter-scaled cutoff keeps distant
+    // bits alive), and the RLE wire codec undercuts the raw age-matrix
+    // accounting while counters populate.
+    let mut spec = load("async_spatial.toml");
+    spec.n = Some(400);
+    spec.rounds = Some(120);
+    let series = dynagg_scenario::run_series(&spec).unwrap();
+    assert_eq!(series.rounds.len(), 120);
+    let last = series.last().unwrap();
+    assert_eq!(last.alive, 400);
+    assert!(last.stddev < 150.0, "count converging on the grid: {}", last.stddev);
+    assert!(last.stddev < series.rounds[5].stddev / 2.0, "error fell substantially");
+    let early = &series.rounds[1];
+    assert!(
+        early.wire_bytes < early.bytes,
+        "RLE frames beat raw matrix accounting early on: {} vs {}",
+        early.wire_bytes,
+        early.bytes
+    );
+}
+
+/// Zero-latency/zero-jitter/zero-drift equivalence against the lockstep
+/// push engine, over the newly-unlocked topologies. The runs are not
+/// bit-comparable (event order differs) but estimate quality must match:
+/// same truth, and steady-state error floors within tolerance.
+#[test]
+fn async_topologies_match_lockstep_at_zero_latency() {
+    use dynagg_scenario::{AsyncSpec, DriftSpec, Engine, EnvSpec, LatencySpec, ProtocolSpec};
+    let zero_async = AsyncSpec {
+        interval_ms: 100,
+        jitter: 0.0,
+        latency: LatencySpec::Constant { ms: 0 },
+        drift: DriftSpec::Synced,
+        sample_every_ms: None,
+    };
+    let run_pair = |env: EnvSpec, rounds: u64| {
+        let mut push = dynagg_scenario::ScenarioSpec::new(
+            "equivalence",
+            ExpOpts::default().seed,
+            env,
+            ProtocolSpec::PushSumRevert { lambda: 0.01 },
+        );
+        push.n = Some(600);
+        push.rounds = Some(rounds);
+        let mut asynch = push.clone();
+        asynch.engine = Engine::Async;
+        asynch.asynchrony = Some(zero_async);
+        (dynagg_scenario::run_series(&push).unwrap(), dynagg_scenario::run_series(&asynch).unwrap())
+    };
+
+    // Clustered (bridged, no migration): both engines settle onto nearly
+    // the same λ-floor — the views are clique samples, like the sampler.
+    let (push, asynch) = run_pair(
+        EnvSpec::Clustered { clusters: 6, migration: 0.0, bridge: 0.05, events: Vec::new() },
+        60,
+    );
+    let (pe, ae) = (push.steady_state_stddev(45), asynch.steady_state_stddev(45));
+    assert!(pe < 3.0 && ae < 3.0, "both converged: push {pe} vs async {ae}");
+    assert!((pe - ae).abs() < 1.0, "clustered floors agree: push {pe} vs async {ae}");
+    let (pt, at) = (push.last().unwrap().truth, asynch.last().unwrap().truth);
+    assert!((pt - at).abs() < 1e-9, "identical populations: {pt} vs {at}");
+
+    // Spatial: async views are the bare adjacency (no 1/d² long links),
+    // so mixing is strictly slower and its λ-floor sits measurably — but
+    // boundedly — above the walk-based lockstep sampler's.
+    let (push, asynch) = run_pair(EnvSpec::Spatial { max_walk: None }, 150);
+    let (pe, ae) = (push.steady_state_stddev(110), asynch.steady_state_stddev(110));
+    assert!(pe < 4.0 && ae < 4.0, "both converged: push {pe} vs async {ae}");
+    assert!(ae > pe, "strictly local mixing pays a floor premium: push {pe} vs async {ae}");
+    assert!((pe - ae).abs() < 1.5, "grid floors stay close: push {pe} vs async {ae}");
+}
+
+/// Pinned digests for the async topology scenarios (scaled-down runs).
+const GOLDEN_ASYNC_CLUSTERED_N1200: u64 = 0xBA4B_C751_CB72_9FA1;
+const GOLDEN_ASYNC_SPATIAL_N400: u64 = 0x42F7_DE40_0D13_2EBE;
+
+#[test]
+fn golden_digest_async_clustered() {
+    let mut spec = load("async_clustered.toml");
+    spec.n = Some(1200);
+    spec.rounds = Some(60);
+    let series = dynagg_scenario::run_series(&spec).unwrap();
+    assert_eq!(
+        digest(&series),
+        GOLDEN_ASYNC_CLUSTERED_N1200,
+        "async clustered scenario output changed for a fixed seed; if intentional, update \
+         the golden digest with a documented reason"
+    );
+}
+
+#[test]
+fn golden_digest_async_spatial() {
+    let mut spec = load("async_spatial.toml");
+    spec.n = Some(400);
+    spec.rounds = Some(80);
+    let series = dynagg_scenario::run_series(&spec).unwrap();
+    assert_eq!(
+        digest(&series),
+        GOLDEN_ASYNC_SPATIAL_N400,
+        "async spatial scenario output changed for a fixed seed"
     );
 }
 

@@ -19,10 +19,14 @@
 //!   [`dynagg_core::epoch::DriftModel`].
 //! * [`loopback`] — [`loopback::AsyncNet`], a deterministic discrete-event
 //!   engine over those runtimes: a time-ordered event queue (binary
-//!   heap), per-link latency distributions, frame loss, membership views,
-//!   failure plans mirroring [`dynagg_sim::FailureSpec`], and estimate
-//!   sampling into the same [`dynagg_sim::metrics::Series`] the lockstep
-//!   engines emit. This is what `engine = "async"` scenarios run on.
+//!   heap), per-link latency distributions, frame loss, failure plans
+//!   mirroring [`dynagg_sim::FailureSpec`], and estimate sampling into
+//!   the same [`dynagg_sim::metrics::Series`] the lockstep engines emit.
+//!   Peers come from a [`dynagg_sim::membership::Membership`] topology
+//!   (uniform, spatial grid, drifting cliques, trace replay), tracked in
+//!   a [`views::ViewTable`] whose inverted index lets churn repair touch
+//!   only the views a departure actually appears in. This is what
+//!   `engine = "async"` scenarios run on — over every environment.
 //!
 //! The engine doubles as evidence for a claim the paper makes only in
 //! passing: the dynamic protocols need no round synchronization. Nodes
@@ -36,7 +40,9 @@
 pub mod event;
 pub mod loopback;
 pub mod runtime;
+pub mod views;
 
 pub use event::EventQueue;
 pub use loopback::{AsyncConfig, AsyncNet, LatencyModel};
 pub use runtime::{Envelope, FrameHeader, FrameKind, NodeRuntime, RuntimeConfig};
+pub use views::ViewTable;

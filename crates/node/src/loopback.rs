@@ -14,26 +14,45 @@
 //!
 //! * estimates are sampled at a configurable wall-clock cadence into a
 //!   [`dynagg_sim::metrics::Series`] with the same per-round columns
-//!   (error, settling, disruptions, messages, bytes) the lockstep engines
-//!   emit,
+//!   (error, settling, disruptions, messages, payload + wire bytes) the
+//!   lockstep engines emit,
 //! * the failure plan is a [`dynagg_sim::FailureSpec`] applied at nominal
 //!   round boundaries — mass failures (random or value-correlated) and
 //!   Poisson churn behave like `sim::runner`'s, and
 //! * a run is a pure function of the master seed: bit-identical across
 //!   `sim::par` trial parallelism at any thread count.
 //!
-//! Nodes address peers through bounded **membership views** (a uniform
-//! sample of the live population, like partial-view membership services in
-//! deployed gossip systems); views refresh when the failure plan changes
-//! membership, modeling neighbor rediscovery. Below
-//! [`AsyncConfig::view_size`] nodes the view is the full population, so
-//! small rigs behave exactly like the old loopback harness.
+//! ## Membership
+//!
+//! Nodes address peers through bounded **views** drawn from a
+//! [`Membership`] implementation — the same topology layer the lockstep
+//! engines sample partners from, so *every* environment (uniform,
+//! spatial grid, drifting cliques, trace replay) runs asynchronously.
+//! The default is [`UniformEnv`] (a uniform sample of the live
+//! population, like partial-view membership services in deployed gossip
+//! systems); [`AsyncNet::with_membership`] swaps in any other topology.
+//! At every nominal round boundary the engine advances the membership
+//! clock (mobility events, trace replay) and rebuilds **only the views
+//! the change report names**.
+//!
+//! Failure-plan departures and churn are repaired *incrementally* through
+//! a [`ViewTable`]'s inverted index: a departure patches exactly the
+//! views containing the departed node (one slot each, refilled via
+//! [`Membership::sample`] so repairs respect the topology), and a join
+//! assigns the newcomer one view plus a handful of introductions. That is
+//! `O(changed × view)` per churn round where a full refresh is
+//! `O(live × view)` — the difference between unusable and routine at
+//! 100 000 hosts.
 
 use crate::event::EventQueue;
 use crate::runtime::{Envelope, NodeRuntime, RuntimeConfig};
+use crate::views::ViewTable;
 use dynagg_core::epoch::DriftModel;
 use dynagg_core::protocol::{NodeId, PushProtocol};
 use dynagg_core::wire::WireMessage;
+use dynagg_sim::alive::AliveSet;
+use dynagg_sim::env::UniformEnv;
+use dynagg_sim::membership::{Membership, ViewChange};
 use dynagg_sim::metrics::{Series, StatsAcc, Truth};
 use dynagg_sim::rng::{self, stream};
 use dynagg_sim::{FailureMode, FailureSpec};
@@ -44,6 +63,18 @@ use rand::Rng;
 /// Stream tag for per-node runtime seeds (disjoint from the engine's small
 /// [`stream`] constants by construction).
 const NODE_SEED_BASE: u64 = 0x6E6F_6465_5F73_6565; // "node_see"
+
+/// Slot-repair attempts before a patched view is allowed to shrink (a
+/// candidate can be a duplicate or freshly dead).
+const REPAIR_TRIES: usize = 4;
+
+/// Existing views a churn join is introduced into. The newcomer's own
+/// view gives it full outbound fan-out immediately; a few inbound slots
+/// are enough to pull it into the gossip flow, and later repairs keep
+/// sampling it like anyone else. Kept deliberately small: introductions
+/// are `O(1)` slot edits, so joins stay `O(view)` rather than
+/// `O(view²)`.
+const INTRODUCTIONS: usize = 8;
 
 /// Per-link one-way latency distribution.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -137,8 +168,9 @@ enum Ev {
     Deliver(Envelope),
     /// Sample estimates into the series.
     Sample,
-    /// Apply the failure plan for nominal round `k`.
-    FailurePlan(u64),
+    /// A nominal round boundary: apply the failure plan, advance the
+    /// membership clock, repair views.
+    Boundary(u64),
 }
 
 /// Closure constructing a node's protocol from `(id, initial value)`.
@@ -155,17 +187,26 @@ where
 {
     cfg: AsyncConfig,
     runtimes: Vec<NodeRuntime<P>>,
-    /// Whether each node is powered on (silent failure = flip to false).
-    powered: Vec<bool>,
+    /// The live set (powered-on nodes; a silent failure removes its id).
+    alive: AliveSet,
     /// Initial values of live nodes (`None` = dead), for truth and
     /// value-correlated failure selection.
     values: Vec<Option<f64>>,
-    alive: usize,
+    /// The topology: who can each node currently reach.
+    membership: Box<dyn Membership>,
+    /// Per-node views + inverted index for incremental repair.
+    views: ViewTable,
+    /// Whether initial views have been materialized (deferred so
+    /// [`AsyncNet::with_membership`] can swap the topology first).
+    views_ready: bool,
     queue: EventQueue<Ev>,
     link_rng: SmallRng,
     fail_rng: SmallRng,
     value_rng: SmallRng,
     setup_rng: SmallRng,
+    /// View-draw randomness, on its own stream so topology-internal RNGs
+    /// (clustered migrations) never interleave with view sampling.
+    view_rng: SmallRng,
     value_gen: ValueFn,
     drift_of: DriftFn,
     factory: NodeFactory<P>,
@@ -174,7 +215,11 @@ where
     series: Series,
     sample_idx: u64,
     msgs_since_sample: u64,
+    /// Raw payload bytes ([`PushProtocol::message_bytes`]) since the last
+    /// sample — the lockstep engines' `bytes` convention.
     bytes_since_sample: u64,
+    /// Encoded frame bytes (header + codec) since the last sample.
+    wire_since_sample: u64,
     initial_n: usize,
     join_accum: f64,
     horizon_ms: Option<u64>,
@@ -183,6 +228,19 @@ where
     pub decode_errors: u64,
     out_buf: Vec<Envelope>,
     scratch: Vec<NodeId>,
+    /// View assembly buffer.
+    view_buf: Vec<NodeId>,
+    /// Holders of a departed node, mid-repair.
+    holder_buf: Vec<NodeId>,
+    /// Membership change report buffer.
+    changed_buf: Vec<NodeId>,
+    /// Nodes whose runtime peer list needs re-syncing from the table.
+    dirty: Vec<NodeId>,
+    dirty_flag: Vec<bool>,
+    /// Whole views drawn from scratch (init, topology changes, joins).
+    full_view_assignments: u64,
+    /// Individual slots patched by incremental repair.
+    view_slots_patched: u64,
 }
 
 impl<P: PushProtocol> AsyncNet<P>
@@ -192,7 +250,8 @@ where
     /// Build a network of `n` nodes: values drawn by `value_gen` (from the
     /// same dedicated RNG stream the lockstep engine uses, so a given seed
     /// yields the same population), clocks drifting per `drift_of`, and
-    /// protocols built by `factory`.
+    /// protocols built by `factory`. Membership defaults to uniform;
+    /// swap topologies with [`AsyncNet::with_membership`].
     pub fn new(
         n: usize,
         cfg: AsyncConfig,
@@ -205,14 +264,17 @@ where
         assert!(cfg.interval_ms >= 1, "round interval must be at least 1 ms");
         let mut net = Self {
             runtimes: Vec::with_capacity(n),
-            powered: Vec::with_capacity(n),
+            alive: AliveSet::empty(n),
             values: Vec::with_capacity(n),
-            alive: 0,
+            membership: Box::new(UniformEnv::new()),
+            views: ViewTable::new(),
+            views_ready: false,
             queue: EventQueue::new(),
             link_rng: rng::rng_for(cfg.seed, stream::ENGINE),
             fail_rng: rng::rng_for(cfg.seed, stream::FAILURES),
             value_rng: rng::rng_for(cfg.seed, stream::VALUES),
             setup_rng: rng::rng_for(cfg.seed, stream::ENVIRONMENT),
+            view_rng: rng::rng_for(cfg.seed, stream::VIEWS),
             value_gen,
             drift_of,
             factory,
@@ -222,6 +284,7 @@ where
             sample_idx: 0,
             msgs_since_sample: 0,
             bytes_since_sample: 0,
+            wire_since_sample: 0,
             initial_n: n,
             join_accum: 0.0,
             horizon_ms: None,
@@ -229,18 +292,24 @@ where
             decode_errors: 0,
             out_buf: Vec::new(),
             scratch: Vec::new(),
+            view_buf: Vec::new(),
+            holder_buf: Vec::new(),
+            changed_buf: Vec::new(),
+            dirty: Vec::new(),
+            dirty_flag: Vec::new(),
+            full_view_assignments: 0,
+            view_slots_patched: 0,
             cfg,
         };
         for _ in 0..n {
             net.spawn_node(0);
         }
-        net.refresh_views();
         net
     }
 
     /// What estimates are measured against (default: [`Truth::Mean`]).
-    /// Group truths need an environment topology the async engine does not
-    /// model.
+    /// Group truths need per-round group structure the async sampler does
+    /// not read.
     pub fn with_truth(mut self, truth: Truth) -> Self {
         assert!(!truth.needs_groups(), "async engine supports global truths only");
         self.truth = truth;
@@ -255,9 +324,22 @@ where
         self
     }
 
+    /// Replace the membership/topology layer (default: uniform). Must be
+    /// called before the network first runs — views materialize lazily
+    /// from whatever topology is installed then.
+    pub fn with_membership(mut self, membership: Box<dyn Membership>) -> Self {
+        assert!(
+            !self.views_ready && self.queue.now_ms() == 0,
+            "install the membership layer before running"
+        );
+        self.membership = membership;
+        self
+    }
+
     /// Spawn one node whose first round fires at `from_ms` plus a random
-    /// phase offset, and schedule its timer.
-    fn spawn_node(&mut self, from_ms: u64) {
+    /// phase offset, and schedule its timer. View assignment is the
+    /// caller's business.
+    fn spawn_node(&mut self, from_ms: u64) -> NodeId {
         let id = self.runtimes.len() as NodeId;
         let v = (self.value_gen)(&mut self.value_rng, id);
         let jitter_ms = (self.cfg.interval_ms as f64 * self.cfg.jitter) as u64;
@@ -277,9 +359,11 @@ where
         let rt = NodeRuntime::new(rt_cfg, (self.factory)(id, v));
         self.queue.schedule(rt.next_tick_ms(), Ev::Timer(id));
         self.runtimes.push(rt);
-        self.powered.push(true);
         self.values.push(Some(v));
-        self.alive += 1;
+        self.alive.insert(id);
+        self.views.ensure(self.runtimes.len());
+        self.dirty_flag.push(false);
+        id
     }
 
     /// Current simulated wall-clock.
@@ -287,10 +371,23 @@ where
         self.queue.now_ms()
     }
 
-    /// Events processed so far (timers, deliveries, samples, failures) —
+    /// Events processed so far (timers, deliveries, samples, boundaries) —
     /// the throughput unit `perf_smoke` reports.
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    /// Whole views drawn from scratch so far (initial assignment,
+    /// topology-change rebuilds, joins). Under churn without topology
+    /// changes this stays `O(joins)` per round — the observable proof that
+    /// repair is incremental.
+    pub fn full_view_assignments(&self) -> u64 {
+        self.full_view_assignments
+    }
+
+    /// Individual view slots patched by incremental repair (departures).
+    pub fn view_slots_patched(&self) -> u64 {
+        self.view_slots_patched
     }
 
     /// Access a node's runtime.
@@ -298,71 +395,108 @@ where
         &self.runtimes[id as usize]
     }
 
+    /// A node's current membership view (empty until the network first
+    /// runs).
+    pub fn view_of(&self, id: NodeId) -> &[NodeId] {
+        self.views.view(id)
+    }
+
+    /// Validate the views ↔ holders index invariant (test support;
+    /// `O(n × view²)`).
+    pub fn check_view_consistency(&self) {
+        self.views.check_consistency();
+    }
+
     /// Iterate over the powered nodes' protocol state.
     pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &P)> {
         self.runtimes
             .iter()
             .enumerate()
-            .filter(|&(id, _)| self.powered[id])
+            .filter(|&(id, _)| self.alive.contains(id as NodeId))
             .map(|(id, rt)| (id as NodeId, rt.protocol()))
     }
 
     /// Silently power a node off: it stops polling and receiving, exactly
     /// a silent departure. (Survivors keep addressing it until
-    /// [`AsyncNet::refresh_views`] models neighbor rediscovery.)
+    /// [`AsyncNet::refresh_views`] models neighbor rediscovery; the
+    /// failure plan instead repairs affected views incrementally.)
     pub fn power_off(&mut self, id: NodeId) {
-        if std::mem::replace(&mut self.powered[id as usize], false) {
+        if self.alive.remove(id) {
             self.values[id as usize] = None;
-            self.alive -= 1;
         }
     }
 
-    /// Re-run "neighbor discovery": every live node's membership view
-    /// becomes a fresh uniform sample of the live set (the full live set
-    /// when the population fits in [`AsyncConfig::view_size`]). Without
-    /// this, frames sent to dark nodes behave as (heavy) message loss —
-    /// which the protocols also survive, at the cost of estimates
-    /// anchoring harder to local values.
+    /// Re-run "neighbor discovery": every live node's view is re-drawn
+    /// from the membership layer. Without this (or the failure plan's
+    /// incremental repair), frames sent to dark nodes behave as (heavy)
+    /// message loss — which the protocols also survive, at the cost of
+    /// estimates anchoring harder to local values.
     ///
-    /// Costs `O(live × view)` draws. The failure plan triggers it only
-    /// when membership actually changed, so one-shot mass failures pay
-    /// it once; *per-round churn* pays it every round, which dominates
-    /// at very large populations (see the ROADMAP note on incremental
-    /// view repair).
+    /// Costs `O(live × view)` draws — the rig-API sledgehammer. The
+    /// failure plan never calls this; it patches only affected views.
     pub fn refresh_views(&mut self) {
-        let live = self.live();
-        for &id in &live {
-            self.assign_view(id, &live);
+        if !self.views_ready {
+            self.membership.advance(0, &self.alive, &mut self.changed_buf);
+            self.views_ready = true;
         }
-    }
-
-    /// Give `id` a bounded uniform view of `live`. Small populations get
-    /// duplicate-free views (rejection sampling — `O(view²)` compares,
-    /// cheap at these sizes); large ones are sampled with replacement,
-    /// where the expected duplicate count (`≈ view²/(2·live)` for
-    /// `live > 16 × view`) is a fraction of one entry. Either way
-    /// assignment stays `O(view)` RNG draws, not `O(live)`.
-    fn assign_view(&mut self, id: NodeId, live: &[NodeId]) {
-        if live.len() <= self.cfg.view_size + 1 {
-            self.runtimes[id as usize].set_peers(live);
-            return;
-        }
-        let dedupe = live.len() <= self.cfg.view_size.saturating_mul(16);
-        self.scratch.clear();
-        while self.scratch.len() < self.cfg.view_size {
-            let pick = live[self.setup_rng.gen_range(0..live.len())];
-            if pick != id && (!dedupe || !self.scratch.contains(&pick)) {
-                self.scratch.push(pick);
+        for id in 0..self.runtimes.len() as NodeId {
+            if self.alive.contains(id) {
+                self.assign_view(id);
             }
         }
-        let view = std::mem::take(&mut self.scratch);
-        self.runtimes[id as usize].set_peers(&view);
-        self.scratch = view;
+        self.sync_dirty();
     }
 
-    /// Powered (live) node ids.
+    /// Materialize initial views on first run.
+    fn ensure_views(&mut self) {
+        if !self.views_ready {
+            self.refresh_views();
+        }
+    }
+
+    /// Draw `id` a fresh view from the membership layer and index it.
+    fn assign_view(&mut self, id: NodeId) {
+        self.membership.view_into(
+            id,
+            &self.alive,
+            self.cfg.view_size,
+            &mut self.view_rng,
+            &mut self.view_buf,
+        );
+        let view = std::mem::take(&mut self.view_buf);
+        self.views.assign(id, &view);
+        self.view_buf = view;
+        self.full_view_assignments += 1;
+        self.mark_dirty(id);
+    }
+
+    fn mark_dirty(&mut self, id: NodeId) {
+        let idx = id as usize;
+        if !self.dirty_flag[idx] {
+            self.dirty_flag[idx] = true;
+            self.dirty.push(id);
+        }
+    }
+
+    /// Push repaired views into the affected runtimes' peer lists.
+    fn sync_dirty(&mut self) {
+        let dirty = std::mem::take(&mut self.dirty);
+        for &id in &dirty {
+            self.dirty_flag[id as usize] = false;
+            if self.alive.contains(id) {
+                self.runtimes[id as usize].set_peers(self.views.view(id));
+            }
+        }
+        let mut dirty = dirty;
+        dirty.clear();
+        self.dirty = dirty;
+    }
+
+    /// Powered (live) node ids, ascending.
     pub fn live(&self) -> Vec<NodeId> {
-        (0..self.runtimes.len() as NodeId).filter(|&id| self.powered[id as usize]).collect()
+        let mut ids = self.alive.ids().to_vec();
+        ids.sort_unstable();
+        ids
     }
 
     /// Estimates of all powered nodes.
@@ -370,7 +504,7 @@ where
         self.runtimes
             .iter()
             .enumerate()
-            .filter(|&(id, _)| self.powered[id])
+            .filter(|&(id, _)| self.alive.contains(id as NodeId))
             .filter_map(|(_, rt)| rt.estimate())
             .collect()
     }
@@ -387,8 +521,9 @@ where
     }
 
     /// Run for `nominal_rounds × interval_ms` of simulated time: schedules
-    /// the sampling cadence and the failure plan, then drains the event
-    /// queue up to the horizon. May only be called once per network.
+    /// the sampling cadence and the nominal round boundaries (failure
+    /// plan + membership clock), then drains the event queue up to the
+    /// horizon. May only be called once per network.
     pub fn run(&mut self, nominal_rounds: u64) {
         assert!(self.horizon_ms.is_none(), "run() may only be called once");
         assert_eq!(
@@ -397,6 +532,7 @@ where
             "run() schedules its cadence from time 0 and cannot follow run_until(); \
              drive a sampled engine with run() alone (run_until is the rig API)"
         );
+        self.ensure_views();
         let horizon = nominal_rounds * self.cfg.interval_ms;
         self.horizon_ms = Some(horizon);
         let cadence = self.cfg.sample_every_ms.max(1);
@@ -405,25 +541,17 @@ where
             self.queue.schedule(t, Ev::Sample);
             t += cadence;
         }
-        match self.failure {
-            FailureSpec::None => {}
-            FailureSpec::AtRound { round, .. } => {
-                if round < nominal_rounds {
-                    self.queue.schedule(round * self.cfg.interval_ms, Ev::FailurePlan(round));
-                }
-            }
-            FailureSpec::Churn { start, .. } => {
-                for k in start..nominal_rounds {
-                    self.queue.schedule(k * self.cfg.interval_ms, Ev::FailurePlan(k));
-                }
-            }
+        for k in 0..nominal_rounds {
+            self.queue.schedule(k * self.cfg.interval_ms, Ev::Boundary(k));
         }
         self.drain_until(horizon);
     }
 
     /// Advance the network to `until_ms`, processing timers and
-    /// deliveries (the rig API: no sampling or failure plan involved).
+    /// deliveries (the rig API: no sampling, failure plan, or membership
+    /// clock involved).
     pub fn run_until(&mut self, until_ms: u64) {
+        self.ensure_views();
         self.drain_until(until_ms);
     }
 
@@ -437,7 +565,7 @@ where
     fn dispatch(&mut self, at: u64, ev: Ev) {
         match ev {
             Ev::Timer(id) => {
-                if !self.powered[id as usize] {
+                if !self.alive.contains(id) {
                     return; // a dark node's timer dies with it
                 }
                 let mut out = std::mem::take(&mut self.out_buf);
@@ -452,17 +580,21 @@ where
                 self.out_buf = out;
             }
             Ev::Deliver(env) => {
-                if !self.powered[env.to as usize] {
-                    return; // receiver is dark
+                if !self.alive.contains(env.to) {
+                    // Receiver is dark; hand the buffer back to the sender.
+                    self.runtimes[env.from as usize].recycle_buffer(env.payload);
+                    return;
                 }
-                match self.runtimes[env.to as usize].handle(env.from, &env.payload) {
+                let to = env.to as usize;
+                match self.runtimes[to].handle(env.from, &env.payload) {
                     Ok(Some(reply)) => self.send(at, reply),
                     Ok(None) => {}
                     Err(_) => self.decode_errors += 1,
                 }
+                self.runtimes[to].recycle_buffer(env.payload);
             }
             Ev::Sample => self.record_sample(),
-            Ev::FailurePlan(k) => self.apply_failure(k),
+            Ev::Boundary(k) => self.nominal_round(k),
         }
     }
 
@@ -471,8 +603,10 @@ where
     /// whether or not they arrive, exactly as in the lockstep engine).
     fn send(&mut self, now_ms: u64, env: Envelope) {
         self.msgs_since_sample += 1;
-        self.bytes_since_sample += env.payload.len() as u64;
+        self.bytes_since_sample += env.raw_bytes as u64;
+        self.wire_since_sample += env.payload.len() as u64;
         if self.cfg.loss > 0.0 && self.link_rng.gen::<f64>() < self.cfg.loss {
+            self.runtimes[env.from as usize].recycle_buffer(env.payload);
             return;
         }
         let at = now_ms + self.cfg.latency.sample(&mut self.link_rng);
@@ -495,18 +629,49 @@ where
         }
         self.series.push(acc.finish(
             self.sample_idx,
-            self.alive,
+            self.alive.len(),
             self.msgs_since_sample,
             self.bytes_since_sample,
+            self.wire_since_sample,
             0.0,
         ));
         self.sample_idx += 1;
         self.msgs_since_sample = 0;
         self.bytes_since_sample = 0;
+        self.wire_since_sample = 0;
+    }
+
+    /// A nominal round boundary: apply the failure plan (victims repaired
+    /// incrementally, joins introduced), then advance the membership
+    /// clock and rebuild exactly the views its change report names.
+    fn nominal_round(&mut self, k: u64) {
+        self.apply_failure(k);
+        if k > 0 {
+            match self.membership.advance(k, &self.alive, &mut self.changed_buf) {
+                ViewChange::Unchanged => {}
+                ViewChange::Nodes => {
+                    let changed = std::mem::take(&mut self.changed_buf);
+                    for &id in &changed {
+                        if self.alive.contains(id) {
+                            self.assign_view(id);
+                        }
+                    }
+                    self.changed_buf = changed;
+                }
+                ViewChange::All => {
+                    for id in 0..self.runtimes.len() as NodeId {
+                        if self.alive.contains(id) {
+                            self.assign_view(id);
+                        }
+                    }
+                }
+            }
+        }
+        self.sync_dirty();
     }
 
     /// Apply the failure plan for nominal round `k` (same victim-selection
-    /// semantics as `sim::runner`).
+    /// semantics as `sim::runner`), repairing views incrementally.
     fn apply_failure(&mut self, k: u64) {
         let mut victims = std::mem::take(&mut self.scratch);
         victims.clear();
@@ -517,9 +682,9 @@ where
             FailureSpec::AtRound { round, mode, fraction, graceful: g } => {
                 if k == round {
                     graceful = g;
-                    let count = ((self.alive as f64) * fraction).round() as usize;
+                    let count = ((self.alive.len() as f64) * fraction).round() as usize;
                     victims.extend(
-                        (0..self.runtimes.len() as NodeId).filter(|&id| self.powered[id as usize]),
+                        (0..self.runtimes.len() as NodeId).filter(|&id| self.alive.contains(id)),
                     );
                     match mode {
                         FailureMode::Random => victims.shuffle(&mut self.fail_rng),
@@ -540,8 +705,7 @@ where
             FailureSpec::Churn { start, leave_per_round, join_per_round } => {
                 if k >= start {
                     for id in 0..self.runtimes.len() as NodeId {
-                        if self.powered[id as usize] && self.fail_rng.gen::<f64>() < leave_per_round
-                        {
+                        if self.alive.contains(id) && self.fail_rng.gen::<f64>() < leave_per_round {
                             victims.push(id);
                         }
                     }
@@ -551,20 +715,78 @@ where
                 }
             }
         }
-        let changed = !victims.is_empty() || joins > 0;
         for &id in &victims {
             if graceful {
                 self.runtimes[id as usize].protocol_mut().depart_gracefully();
             }
             self.power_off(id);
         }
+        // Incremental repair: first unindex every victim's own view, then
+        // patch exactly the surviving views that referenced a victim —
+        // one slot each, refilled through the topology's own sampler.
+        for &id in &victims {
+            self.views.clear_node(id);
+        }
+        let mut holders = std::mem::take(&mut self.holder_buf);
+        for &id in &victims {
+            self.views.take_holders_into(id, &mut holders);
+            for &h in &holders {
+                if !self.alive.contains(h) {
+                    continue; // the holder died in the same batch
+                }
+                self.views.drop_slot(h, id);
+                self.view_slots_patched += 1;
+                for _ in 0..REPAIR_TRIES {
+                    let Some(y) = self.membership.repair_peer(h, &self.alive, &mut self.view_rng)
+                    else {
+                        break; // adjacency topologies: the view just shrinks
+                    };
+                    if y != h && self.alive.contains(y) && !self.views.has_member(h, y) {
+                        self.views.push_slot(h, y);
+                        break;
+                    }
+                }
+                self.mark_dirty(h);
+            }
+        }
+        self.holder_buf = holders;
         self.scratch = victims;
         let now = self.queue.now_ms();
         for _ in 0..joins {
-            self.spawn_node(now);
+            let id = self.spawn_node(now);
+            if self.views_ready {
+                self.assign_view(id);
+                self.introduce(id);
+            }
         }
-        if changed {
-            self.refresh_views();
+    }
+
+    /// Splice a joined node into a handful of existing views so inbound
+    /// gossip reaches it (its own fresh view covers the outbound side).
+    /// Targets come from the topology's repair draw, so a clustered join
+    /// is introduced to clique-mates, a uniform join to anyone — and
+    /// adjacency topologies (grid, trace) get no artificial inbound
+    /// links: their neighbors notice the newcomer at the next refresh.
+    fn introduce(&mut self, id: NodeId) {
+        let want = INTRODUCTIONS.min(self.cfg.view_size).min(self.alive.len().saturating_sub(1));
+        let mut done = 0;
+        let mut tries = 0;
+        while done < want && tries < want * 4 {
+            tries += 1;
+            let Some(h) = self.membership.repair_peer(id, &self.alive, &mut self.view_rng) else {
+                break;
+            };
+            if h == id || !self.alive.contains(h) || self.views.has_member(h, id) {
+                continue;
+            }
+            if self.views.view_len(h) < self.cfg.view_size {
+                self.views.push_slot(h, id);
+            } else {
+                let slot = self.view_rng.gen_range(0..self.views.view_len(h));
+                self.views.replace_slot(h, slot, id);
+            }
+            self.mark_dirty(h);
+            done += 1;
         }
     }
 }
@@ -619,6 +841,7 @@ mod tests {
     use dynagg_core::count_sketch_reset::CountSketchReset;
     use dynagg_core::moments::DynamicMoments;
     use dynagg_core::push_sum_revert::PushSumRevert;
+    use dynagg_sim::env::{ClusteredEnv, MobilityEvent, MobilityKind, SpatialEnv};
 
     #[test]
     fn unsynchronized_averaging_converges() {
@@ -740,7 +963,9 @@ mod tests {
         assert_eq!(last.defined, 300);
         // λ = 0.01 reversion floor at n = 300 sits near 2.
         assert!(last.stddev < 3.0, "converged: stddev {}", last.stddev);
-        assert!(last.messages > 0 && last.bytes > last.messages, "bandwidth columns populated");
+        assert!(last.messages > 0 && last.bytes > 0, "bandwidth columns populated");
+        // Wire accounting: every Mass frame is payload + 5-byte header.
+        assert_eq!(last.wire_bytes, last.bytes + 5 * last.messages, "wire = raw + header");
         assert_eq!(net.decode_errors, 0);
     }
 
@@ -783,6 +1008,44 @@ mod tests {
     }
 
     #[test]
+    fn churn_repair_is_incremental_not_full_refresh() {
+        // 2 000 hosts with 32-peer views and 1 %/round churn for 40
+        // rounds. A full-refresh engine re-draws every live view every
+        // churn round: ≥ 2 000 × 40 = 80 000 whole-view draws. The
+        // incremental engine draws whole views only at init and for
+        // joins (~2 000 + 0.01 × 2 000 × 40 = 2 800), and patches
+        // ~view-size slots per departure.
+        let mut cfg = AsyncConfig::new(77);
+        cfg.view_size = 32;
+        let mut net: AsyncNet<PushSumRevert> = AsyncNet::new(
+            2_000,
+            cfg,
+            Box::new(|rng, _| rng.gen_range(0.0..100.0)),
+            Box::new(|_| DriftModel::Synced),
+            Box::new(|_, v| PushSumRevert::new(v, 0.01)),
+        )
+        .with_failure(FailureSpec::Churn {
+            start: 0,
+            leave_per_round: 0.01,
+            join_per_round: 0.01,
+        });
+        net.run(40);
+        let full = net.full_view_assignments();
+        assert!(
+            full < 2_000 + 2_000,
+            "whole-view draws must stay O(init + joins), got {full} (full refresh would be 80k+)"
+        );
+        assert!(net.view_slots_patched() > 0, "departures must exercise the patch path");
+        // Repair keeps the gossip graph healthy: views stay near-full.
+        let live = net.live();
+        let mean_view: f64 =
+            live.iter().map(|&id| net.view_of(id).len() as f64).sum::<f64>() / live.len() as f64;
+        assert!(mean_view > 28.0, "mean view size {mean_view} of 32 after 40 churn rounds");
+        let last = net.series().last().unwrap();
+        assert!(last.stddev < 10.0, "still converges under churn: {}", last.stddev);
+    }
+
+    #[test]
     fn runs_are_a_pure_function_of_the_seed() {
         let digest = |seed| {
             let mut net = engine_net(seed, 0.1);
@@ -811,6 +1074,114 @@ mod tests {
         assert!(fast > slow + 20, "fast crystal outpaces slow: {fast} vs {slow}");
         let last = net.series().last().unwrap();
         assert!(last.stddev < 3.0, "still converges under skew: {}", last.stddev);
+    }
+
+    #[test]
+    fn clustered_membership_keeps_gossip_inside_cliques() {
+        // 3 isolated cliques, no bridges, no migration: every view and
+        // every frame stays within the sender's clique, so each clique
+        // converges to its *own* mean, not the global one.
+        let n = 90usize;
+        let mut cfg = AsyncConfig::new(41);
+        cfg.view_size = 16;
+        let env = ClusteredEnv::new(n, 3, 0.0, 0.0, 41);
+        let cluster_of: Vec<u32> = (0..n as NodeId).map(|i| env.cluster_of(i)).collect();
+        let mut net = AsyncNet::new(
+            n,
+            cfg,
+            Box::new(|rng, _| rng.gen_range(0.0..100.0)),
+            Box::new(|_| DriftModel::Synced),
+            Box::new(|_, v| PushSumRevert::new(v, 0.0)),
+        )
+        .with_membership(Box::new(env));
+        net.run(60);
+        for id in net.live() {
+            let home = cluster_of[id as usize];
+            for &p in net.view_of(id) {
+                assert_eq!(cluster_of[p as usize], home, "view of {id} crosses cliques");
+            }
+        }
+        // Values 0..100 uniform per clique of 30: clique means differ from
+        // each other, and each clique agrees internally.
+        for c in 0..3u32 {
+            let members: Vec<NodeId> =
+                (0..n as NodeId).filter(|&i| cluster_of[i as usize] == c).collect();
+            let ests: Vec<f64> = members.iter().filter_map(|&i| net.node(i).estimate()).collect();
+            assert_eq!(ests.len(), members.len());
+            let mean = ests.iter().sum::<f64>() / ests.len() as f64;
+            for e in &ests {
+                assert!((e - mean).abs() < 2.0, "clique {c} internally agreed: {e} vs {mean}");
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_mobility_events_reshape_views_mid_run() {
+        // A merge at nominal round 10 dissolves clique 0 into clique 1;
+        // afterwards former clique-0 members' views contain clique-1
+        // hosts. Exercises the advance() change report end to end.
+        let n = 60usize;
+        let mut cfg = AsyncConfig::new(43);
+        cfg.view_size = 8;
+        let env = ClusteredEnv::new(n, 3, 0.0, 0.0, 43).with_events(vec![MobilityEvent {
+            round: 10,
+            kind: MobilityKind::Merge { from: 0, into: 1 },
+        }]);
+        let mut net = AsyncNet::new(
+            n,
+            cfg,
+            Box::new(|rng, _| rng.gen_range(0.0..100.0)),
+            Box::new(|_| DriftModel::Synced),
+            Box::new(|_, v| PushSumRevert::new(v, 0.01)),
+        )
+        .with_membership(Box::new(ClusteredEnv::new(n, 3, 0.0, 0.0, 43).with_events(vec![
+            MobilityEvent { round: 10, kind: MobilityKind::Merge { from: 0, into: 1 } },
+        ])));
+        net.run(30);
+        assert!(
+            net.full_view_assignments() > n as u64,
+            "the merge must rebuild views beyond the initial assignment: {}",
+            net.full_view_assignments()
+        );
+        // Former clique 0 (ids ≡ 0 mod 3) now sees clique 1 (ids ≡ 1 mod 3).
+        let view = net.view_of(0);
+        assert!(!view.is_empty());
+        assert!(
+            view.iter().any(|&p| env.cluster_of(p) == 1),
+            "merged host's view {view:?} should reach its new clique"
+        );
+    }
+
+    #[test]
+    fn spatial_membership_views_are_the_grid() {
+        let n = 64usize; // 8×8 grid
+        let cfg = AsyncConfig::new(47);
+        let env = SpatialEnv::for_nodes(n);
+        let side = env.side();
+        let mut net = AsyncNet::new(
+            n,
+            cfg,
+            Box::new(|rng, _| rng.gen_range(0.0..100.0)),
+            Box::new(|_| DriftModel::Synced),
+            Box::new(|_, v| PushSumRevert::new(v, 0.01)),
+        )
+        .with_membership(Box::new(env));
+        net.run(120);
+        for id in net.live() {
+            for &p in net.view_of(id) {
+                let (x0, y0) = (id % side, id / side);
+                let (x1, y1) = (p % side, p / side);
+                assert_eq!(
+                    x0.abs_diff(x1) + y0.abs_diff(y1),
+                    1,
+                    "spatial view of {id} holds non-adjacent {p}"
+                );
+            }
+        }
+        // Grid gossip is slower than uniform but still converges.
+        let last = net.series().last().unwrap();
+        assert!(last.stddev < 12.0, "grid convergence: {}", last.stddev);
+        assert_eq!(net.decode_errors, 0);
     }
 
     #[test]

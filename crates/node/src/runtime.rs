@@ -93,7 +93,17 @@ pub struct Envelope {
     pub to: NodeId,
     /// [`FrameHeader`] `++` encoded message.
     pub payload: Vec<u8>,
+    /// The message's raw in-memory size
+    /// ([`PushProtocol::message_bytes`]'s convention) — the
+    /// paper-comparable `bytes` accounting, as opposed to
+    /// `payload.len()`'s wire accounting (header + codec).
+    pub raw_bytes: usize,
 }
+
+/// Spare payload buffers a runtime keeps per node; past this, returned
+/// buffers are dropped (a node rarely has more frames in flight toward
+/// itself than this).
+const SPARE_BUFFERS: usize = 4;
 
 /// Static configuration of one runtime.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -147,6 +157,9 @@ where
     in_round: bool,
     stale_frames: u64,
     scratch: Vec<(NodeId, P::Message)>,
+    /// Recycled payload buffers ([`NodeRuntime::recycle_buffer`]), so the
+    /// steady-state event path allocates no per-frame `Vec`s.
+    spare: Vec<Vec<u8>>,
 }
 
 impl<P: PushProtocol> NodeRuntime<P>
@@ -166,6 +179,7 @@ where
             in_round: false,
             stale_frames: 0,
             scratch: Vec::new(),
+            spare: Vec::new(),
         }
     }
 
@@ -186,10 +200,30 @@ where
     }
 
     /// Replace the reachable-peer list (radio neighborhood, DHT sample,
-    /// static membership — the transport layer's business).
+    /// membership view — the transport layer's business).
     pub fn set_peers(&mut self, peers: &[NodeId]) {
         self.peers.clear();
         self.peers.extend(peers.iter().copied().filter(|&p| p != self.cfg.node_id));
+    }
+
+    /// The current reachable-peer list.
+    pub fn peers(&self) -> &[NodeId] {
+        &self.peers
+    }
+
+    /// Hand back a delivered frame's payload buffer for reuse — the
+    /// transport's half of the allocation-free event path. Buffers beyond
+    /// a small spare stock are dropped.
+    pub fn recycle_buffer(&mut self, mut buf: Vec<u8>) {
+        if self.spare.len() < SPARE_BUFFERS {
+            buf.clear();
+            self.spare.push(buf);
+        }
+    }
+
+    /// A cleared payload buffer, recycled when the spare stock has one.
+    fn take_buffer(&mut self) -> Vec<u8> {
+        self.spare.pop().unwrap_or_default()
     }
 
     /// Read the protocol state.
@@ -247,12 +281,15 @@ where
         }
         self.peers = peers;
         let header = self.header(FrameKind::Initiation);
-        for (to, msg) in self.scratch.drain(..) {
-            let mut payload = Vec::new();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        for (to, msg) in scratch.drain(..) {
+            let raw_bytes = P::message_bytes(&msg);
+            let mut payload = self.take_buffer();
             header.encode(&mut payload);
             msg.encode(&mut payload);
-            out.push(Envelope { from: self.cfg.node_id, to, payload });
+            out.push(Envelope { from: self.cfg.node_id, to, payload, raw_bytes });
         }
+        self.scratch = scratch;
     }
 
     fn header(&self, kind: FrameKind) -> FrameHeader {
@@ -284,10 +321,11 @@ where
         };
         self.peers = peers;
         Ok(reply.map(|r| {
-            let mut payload = Vec::new();
+            let raw_bytes = P::message_bytes(&r);
+            let mut payload = self.take_buffer();
             self.header(FrameKind::Reply).encode(&mut payload);
             r.encode(&mut payload);
-            Envelope { from: self.cfg.node_id, to: from, payload }
+            Envelope { from: self.cfg.node_id, to: from, payload, raw_bytes }
         }))
     }
 }

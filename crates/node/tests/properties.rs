@@ -1,6 +1,9 @@
-//! Property tests for the frame layer: whatever bytes a radio hands us,
-//! decoding diagnoses — it never panics, aborts, or corrupts the runtime.
+//! Property tests for the frame layer — whatever bytes a radio hands us,
+//! decoding diagnoses; it never panics, aborts, or corrupts the runtime —
+//! and for the membership-view layer: incremental churn repair must
+//! preserve every invariant a from-scratch refresh establishes.
 
+use dynagg_core::epoch::DriftModel;
 use dynagg_core::epoch::EpochPushSum;
 use dynagg_core::mass::Mass;
 use dynagg_core::push_sum_revert::PushSumRevert;
@@ -8,7 +11,11 @@ use dynagg_core::wire::WireMessage;
 use dynagg_node::runtime::{
     FrameHeader, FrameKind, NodeRuntime, RuntimeConfig, FRAME_HEADER_BYTES,
 };
+use dynagg_node::{AsyncConfig, AsyncNet};
+use dynagg_sim::env::ClusteredEnv;
+use dynagg_sim::FailureSpec;
 use proptest::prelude::*;
+use rand::Rng;
 
 proptest! {
     /// The async frame header decodes or errors on ANY byte input.
@@ -50,6 +57,162 @@ proptest! {
         rt.set_peers(&[1]);
         for frame in &frames {
             let _ = rt.handle(1, frame);
+        }
+    }
+
+    /// Incremental view repair matches a from-scratch `refresh_views`
+    /// across random churn sequences: after any run, the repaired views
+    /// satisfy the same invariants a full refresh establishes — bounded
+    /// by `view_size`, owner-free, only-live members, duplicate-free in
+    /// the dedupe regime — the views ↔ holders index is exactly
+    /// consistent, and repair keeps coverage within noise of what a full
+    /// refresh rebuilds.
+    #[test]
+    fn incremental_repair_matches_full_refresh_invariants(
+        seed: u64,
+        n in 30usize..90,
+        view_size in 8usize..24,
+        leave in 0.0f64..0.12,
+        join in 0.0f64..0.10,
+        rounds in 4u64..16,
+    ) {
+        let mut cfg = AsyncConfig::new(seed);
+        cfg.view_size = view_size;
+        let mut net: AsyncNet<PushSumRevert> = AsyncNet::new(
+            n,
+            cfg,
+            Box::new(|rng, _| rng.gen_range(0.0..100.0)),
+            Box::new(|_| DriftModel::Synced),
+            Box::new(|_, v| PushSumRevert::new(v, 0.01)),
+        )
+        .with_failure(FailureSpec::Churn {
+            start: 0,
+            leave_per_round: leave,
+            join_per_round: join,
+        });
+        net.run(rounds);
+        net.check_view_consistency();
+        let live = net.live();
+        if live.len() < 2 {
+            return; // churn emptied the network; nothing to check
+        }
+        // `n + joins` stays far below 16 × view_size here, so views are
+        // in the duplicate-free regime throughout.
+        let check = |net: &AsyncNet<PushSumRevert>, full_size_required: bool| {
+            let full = view_size.min(live.len() - 1);
+            let mut total = 0usize;
+            for &id in &live {
+                let view = net.view_of(id);
+                assert!(view.len() <= view_size, "view of {id} overflows");
+                assert!(!view.contains(&id), "view of {id} contains its owner");
+                let mut sorted = view.to_vec();
+                sorted.sort_unstable();
+                let len = sorted.len();
+                sorted.dedup();
+                assert_eq!(sorted.len(), len, "view of {id} holds duplicates");
+                for &p in view {
+                    assert!(live.contains(&p), "view of {id} holds dead node {p}");
+                }
+                if full_size_required {
+                    assert_eq!(view.len(), full, "refreshed view of {id} is full");
+                }
+                total += view.len();
+            }
+            total
+        };
+        let repaired_total = check(&net, false);
+        net.refresh_views();
+        net.check_view_consistency();
+        let refreshed_total = check(&net, true);
+        // Repair may shrink individual views (a patch can fail its few
+        // tries), but coverage stays within noise of a full rebuild.
+        prop_assert!(
+            repaired_total * 10 >= refreshed_total * 9,
+            "repair degraded coverage: {repaired_total} repaired vs {refreshed_total} refreshed"
+        );
+    }
+
+    /// The same churn invariants hold when views come from a clustered
+    /// topology — joins included: a join's view is drawn from the (stale,
+    /// alive-filtered) member list of its clique, and repair draws
+    /// replacements through the membership layer, so patched views stay
+    /// live-only and never cross cliques (bridges and migration
+    /// disabled, so clique assignments are static).
+    #[test]
+    fn clustered_repair_respects_the_topology(
+        seed: u64,
+        clusters in 2u32..5,
+        leave in 0.0f64..0.10,
+        join in 0.0f64..0.10,
+        rounds in 4u64..12,
+    ) {
+        let n = 60usize;
+        let mut cfg = AsyncConfig::new(seed);
+        cfg.view_size = 8;
+        let env = ClusteredEnv::new(n, clusters, 0.0, 0.0, seed);
+        let mut net: AsyncNet<PushSumRevert> = AsyncNet::new(
+            n,
+            cfg,
+            Box::new(|rng, _| rng.gen_range(0.0..100.0)),
+            Box::new(|_| DriftModel::Synced),
+            Box::new(|_, v| PushSumRevert::new(v, 0.01)),
+        )
+        .with_membership(Box::new(ClusteredEnv::new(n, clusters, 0.0, 0.0, seed)))
+        .with_failure(FailureSpec::Churn {
+            start: 0,
+            leave_per_round: leave,
+            join_per_round: join,
+        });
+        net.run(rounds);
+        net.check_view_consistency();
+        let live = net.live();
+        for &id in &live {
+            for &p in net.view_of(id) {
+                prop_assert!(live.contains(&p), "view of {} holds dead node {}", id, p);
+                prop_assert_eq!(
+                    env.cluster_of(p), env.cluster_of(id),
+                    "repaired view of {} crosses cliques", id
+                );
+            }
+        }
+    }
+
+    /// On the spatial grid, churn must never manufacture long-range
+    /// links: repair has no replacement to offer (a dead neighbor's slot
+    /// shrinks the view), joins extend the grid downward, and every
+    /// surviving view member is a live host at Manhattan distance 1.
+    #[test]
+    fn spatial_repair_never_adds_long_links(
+        seed: u64,
+        leave in 0.0f64..0.08,
+        join in 0.0f64..0.08,
+        rounds in 4u64..12,
+    ) {
+        let n = 64usize; // 8×8 grid; joins extend it row by row
+        let cfg = AsyncConfig::new(seed);
+        let side = dynagg_sim::env::SpatialEnv::for_nodes(n).side();
+        let mut net: AsyncNet<PushSumRevert> = AsyncNet::new(
+            n,
+            cfg,
+            Box::new(|rng, _| rng.gen_range(0.0..100.0)),
+            Box::new(|_| DriftModel::Synced),
+            Box::new(|_, v| PushSumRevert::new(v, 0.01)),
+        )
+        .with_membership(Box::new(dynagg_sim::env::SpatialEnv::for_nodes(n)))
+        .with_failure(FailureSpec::Churn {
+            start: 0,
+            leave_per_round: leave,
+            join_per_round: join,
+        });
+        net.run(rounds);
+        net.check_view_consistency();
+        let live = net.live();
+        for &id in &live {
+            for &p in net.view_of(id) {
+                prop_assert!(live.contains(&p), "view of {} holds dead node {}", id, p);
+                let dist = (id % side).abs_diff(p % side) + (id / side).abs_diff(p / side);
+                prop_assert_eq!(dist, 1, "view of {} holds non-adjacent {}", id, p);
+            }
         }
     }
 }

@@ -30,6 +30,7 @@ use dynagg_core::push_sum_revert::PushSumRevert;
 use dynagg_core::tree::TagTree;
 use dynagg_core::wire::WireMessage;
 use dynagg_node::loopback::ValueFn;
+use dynagg_node::runtime::FRAME_HEADER_BYTES;
 use dynagg_node::{AsyncConfig, AsyncNet, LatencyModel};
 use dynagg_sim::env::{ClusteredEnv, Environment, SpatialEnv, TraceEnv, UniformEnv};
 use dynagg_sim::{par, runner, Series};
@@ -415,7 +416,7 @@ where
         .failure(spec.failure)
         .message_loss(spec.loss)
         .build();
-    match probe {
+    let mut out = match probe {
         None => TrialOutput { series: sim.run(rounds), counter_samples: None, probe: None },
         Some(read) => {
             let mut sim = sim;
@@ -429,7 +430,9 @@ where
                 probe: Some(reading),
             }
         }
-    }
+    };
+    price_wire(&mut out.series, &spec.protocol, n, seed);
+    out
 }
 
 fn run_pairwise<P, F, G>(
@@ -451,7 +454,7 @@ where
         .failure(spec.failure)
         .message_loss(spec.loss)
         .build_pairwise();
-    match probe {
+    let mut out = match probe {
         None => TrialOutput { series: sim.run(rounds), counter_samples: None, probe: None },
         Some(read) => {
             let mut sim = sim;
@@ -465,12 +468,17 @@ where
                 probe: Some(reading),
             }
         }
-    }
+    };
+    price_wire(&mut out.series, &spec.protocol, n, seed);
+    out
 }
 
 /// Assemble and drive the asynchronous engine: nominal rounds map to
 /// `interval_ms` of simulated wall-clock each, and the sampled series has
-/// the same shape as a lockstep run of the same horizon.
+/// the same shape as a lockstep run of the same horizon. Peers come from
+/// the spec's environment through the shared membership layer, so every
+/// `env` kind runs asynchronously — topology changes (clique mobility,
+/// trace replay) land at nominal round boundaries.
 fn run_async<P, F>(spec: &ScenarioSpec, seed: u64, n: usize, rounds: u64, factory: F) -> Series
 where
     P: PushProtocol + 'static,
@@ -500,10 +508,24 @@ where
         Box::new(move |id| drift.model_for(id, n)),
         Box::new(factory),
     )
+    .with_membership(build_env(&spec.env, n, seed))
     .with_truth(spec.truth)
     .with_failure(spec.failure);
     net.run(rounds);
     net.into_series()
+}
+
+/// Fill a lockstep series' `wire_bytes` column. The lockstep engines
+/// count raw payload bytes and never encode frames, so the registry
+/// prices each message at the protocol's [`wire_cost`] plus the async
+/// frame header — the same frame shape `AsyncNet` measures. Exact for
+/// scalar payloads; an approximation for sketch payloads, whose RLE size
+/// varies over a run (the priced size is a freshly-initialized node's).
+fn price_wire(series: &mut Series, protocol: &ProtocolSpec, n: usize, seed: u64) {
+    let per_msg = (wire_cost(protocol, n, seed).encoded_bytes + FRAME_HEADER_BYTES) as u64;
+    for r in &mut series.rounds {
+        r.wire_bytes = r.messages * per_msg;
+    }
 }
 
 /// Per-message wire cost of a protocol as the registry would build it for
@@ -603,5 +625,7 @@ fn run_counter_cdf(
             samples[usize::from(k)][usize::from(age)] += 1;
         }
     }
-    TrialOutput { series: sim.series().clone(), counter_samples: Some(samples), probe: None }
+    let mut series = sim.series().clone();
+    price_wire(&mut series, &spec.protocol, n, seed);
+    TrialOutput { series, counter_samples: Some(samples), probe: None }
 }

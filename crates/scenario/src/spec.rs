@@ -27,8 +27,10 @@ pub enum Engine {
     /// ([`dynagg_node::AsyncNet`]): no global rounds — every node owns a
     /// jittered, possibly drifting timer; frames travel over links with
     /// latency and loss; estimates are sampled at a wall-clock cadence.
-    /// Configured by the `[async]` table ([`AsyncSpec`]). Uniform
-    /// environments only.
+    /// Configured by the `[async]` table ([`AsyncSpec`]). Runs every
+    /// environment: peers come from the same membership/topology layer
+    /// the lockstep engines sample from, with topology changes (clique
+    /// mobility, trace replay) applied at nominal round boundaries.
     Async,
 }
 
@@ -357,8 +359,12 @@ pub enum Metric {
     Defined,
     /// Messages sent.
     Messages,
-    /// Payload bytes sent.
+    /// Payload bytes sent (raw in-memory accounting, engine-comparable).
     Bytes,
+    /// Wire bytes sent (frame header + codec): measured frames under the
+    /// async engine, `registry::wire_cost` pricing under the lockstep
+    /// engines.
+    WireBytes,
     /// Mean experienced group size (trace runs).
     MeanGroupSize,
     /// Hosts inside a settling window.
@@ -369,7 +375,7 @@ pub enum Metric {
 
 impl Metric {
     /// All metrics, in CSV column order.
-    pub const ALL: [Metric; 12] = [
+    pub const ALL: [Metric; 13] = [
         Metric::Alive,
         Metric::Truth,
         Metric::MeanEstimate,
@@ -379,6 +385,7 @@ impl Metric {
         Metric::Defined,
         Metric::Messages,
         Metric::Bytes,
+        Metric::WireBytes,
         Metric::MeanGroupSize,
         Metric::Settling,
         Metric::Disruptions,
@@ -396,6 +403,7 @@ impl Metric {
             Metric::Defined => "defined",
             Metric::Messages => "messages",
             Metric::Bytes => "bytes",
+            Metric::WireBytes => "wire_bytes",
             Metric::MeanGroupSize => "mean_group_size",
             Metric::Settling => "settling",
             Metric::Disruptions => "disruptions",
@@ -419,6 +427,7 @@ impl Metric {
             Metric::Defined => s.defined as f64,
             Metric::Messages => s.messages as f64,
             Metric::Bytes => s.bytes as f64,
+            Metric::WireBytes => s.wire_bytes as f64,
             Metric::MeanGroupSize => s.mean_group_size,
             Metric::Settling => s.settling as f64,
             Metric::Disruptions => s.disruptions as f64,
@@ -890,11 +899,13 @@ impl ScenarioSpec {
             }
             return Ok(());
         }
-        if !matches!(self.env, EnvSpec::Uniform { .. }) {
+        if self.truth.needs_groups() {
             return Err(ScenarioError::Unsupported {
-                reason: "the async engine drives uniform gossip only (nodes sample peers \
-                         from bounded membership views); use kind = \"uniform\""
-                    .into(),
+                reason: format!(
+                    "truth `{:?}` needs per-round group structure, which the async engine's \
+                     wall-clock sampler does not read; use a global truth or a lockstep engine",
+                    self.truth
+                ),
             });
         }
         let a = self.asynchrony.unwrap_or_default();

@@ -278,20 +278,53 @@ fn async_keys_under_lockstep_engines_are_unsupported() {
 }
 
 #[test]
-fn async_engine_on_non_uniform_env_is_unsupported() {
-    let src = replace(
+fn async_engine_runs_every_environment() {
+    // The membership layer lets the async engine drive every topology;
+    // these used to be typed rejections and must now validate — and run.
+    let clustered = replace(
         VALID_ASYNC,
         "[env]\nkind = \"uniform\"",
-        "[env]\nkind = \"clustered\"\nclusters = 4",
+        "[env]\nkind = \"clustered\"\nclusters = 4\nmigration = 0.01",
     );
+    let mut spec = ScenarioSpec::from_toml_str(&clustered).unwrap();
+    spec.n = Some(80);
+    spec.rounds = Some(3);
+    let series = dynagg_scenario::run_series(&spec).unwrap();
+    // The fixture samples every 50 ms: two rows per 100 ms nominal round.
+    assert_eq!(series.rounds.len(), 6);
+    assert_eq!(series.last().unwrap().alive, 80);
+
+    let spatial = replace(VALID_ASYNC, "[env]\nkind = \"uniform\"", "[env]\nkind = \"spatial\"");
+    let mut spec = ScenarioSpec::from_toml_str(&spatial).unwrap();
+    spec.n = Some(49);
+    spec.rounds = Some(3);
+    let series = dynagg_scenario::run_series(&spec).unwrap();
+    assert_eq!(series.last().unwrap().alive, 49);
+
+    let trace =
+        replace(VALID_ASYNC, "[env]\nkind = \"uniform\"", "[env]\nkind = \"trace\"\ndataset = 1");
+    let trace = replace(&trace, "n = 200\n", ""); // trace envs derive n
+    let mut spec = ScenarioSpec::from_toml_str(&trace).unwrap();
+    spec.rounds = Some(3);
+    let series = dynagg_scenario::run_series(&spec).unwrap();
+    assert_eq!(series.last().unwrap().alive, 9, "dataset 1 has 9 devices");
+}
+
+#[test]
+fn group_truth_under_async_engine_is_unsupported() {
+    // Trace environments provide group structure, but the async engine's
+    // wall-clock sampler reads global truths only — a typed rejection,
+    // not a panic.
+    let src =
+        replace(VALID_ASYNC, "[env]\nkind = \"uniform\"", "[env]\nkind = \"trace\"\ndataset = 1");
+    let src = replace(&src, "n = 200\n", "");
+    let src = replace(&src, "rounds = 10", "rounds = 10\ntruth = \"group-mean\"");
     match ScenarioSpec::from_toml_str(&src) {
         Err(ScenarioError::Unsupported { reason }) => {
-            assert!(reason.contains("uniform"), "{reason}");
+            assert!(reason.contains("global truth"), "{reason}");
         }
         other => panic!("expected Unsupported, got {other:?}"),
     }
-    let src = replace(VALID_ASYNC, "[env]\nkind = \"uniform\"", "[env]\nkind = \"spatial\"");
-    assert!(matches!(ScenarioSpec::from_toml_str(&src), Err(ScenarioError::Unsupported { .. })));
 }
 
 #[test]

@@ -12,6 +12,7 @@
 
 use super::Environment;
 use crate::alive::AliveSet;
+use crate::membership::{sample_view_from, Membership, ViewChange};
 use crate::rng::{rng_for, stream};
 use dynagg_core::protocol::NodeId;
 use rand::rngs::SmallRng;
@@ -71,6 +72,19 @@ pub struct ClusteredEnv {
     rng: SmallRng,
     /// Scratch: members per cluster, rebuilt each round.
     members: Vec<Vec<NodeId>>,
+    /// Cliques a scheduled *event* (merge, split, burst) reshaped during
+    /// the current [`Membership::advance`] — the change report covers
+    /// every host in a dirty clique, since their member lists shifted
+    /// wholesale.
+    dirty: Vec<bool>,
+    /// Hosts moved by *steady* per-round migration this advance. Only the
+    /// movers are reported: a mover needs a view of its new clique
+    /// immediately (that is what carries foreign epochs in, §II-C), while
+    /// its former clique-mates' views merely go slightly stale — the
+    /// radio-neighborhood lag real deployments have. Reporting whole
+    /// cliques instead would degenerate to a full rebuild every round at
+    /// any nonzero migration rate.
+    movers: Vec<NodeId>,
 }
 
 impl ClusteredEnv {
@@ -91,6 +105,8 @@ impl ClusteredEnv {
             events: Vec::new(),
             rng: rng_for(seed, stream::ENVIRONMENT),
             members: vec![Vec::new(); clusters as usize],
+            dirty: vec![false; clusters as usize],
+            movers: Vec::new(),
         }
     }
 
@@ -131,7 +147,7 @@ impl ClusteredEnv {
         self.bridge_prob
     }
 
-    /// Members of `cluster` as of the last [`Environment::begin_round`]
+    /// Members of `cluster` as of the last [`Membership::begin_round`]
     /// (sorted by id). Together the member lists partition the live set —
     /// the invariant the property tests pin.
     pub fn members(&self, cluster: u32) -> &[NodeId] {
@@ -146,14 +162,16 @@ impl ClusteredEnv {
         }
     }
 
-    /// Move `node` to a uniformly random clique other than its current one.
-    fn migrate(&mut self, node: NodeId) {
+    /// Move `node` to a uniformly random clique other than its current
+    /// one, returning `(old, new)`.
+    fn migrate(&mut self, node: NodeId) -> (u32, u32) {
         let current = self.cluster_of[node as usize];
         let mut next = self.rng.gen_range(0..self.clusters - 1);
         if next >= current {
             next += 1;
         }
         self.cluster_of[node as usize] = next;
+        (current, next)
     }
 
     /// Fire this round's scheduled events. Host ids are visited in sorted
@@ -169,7 +187,9 @@ impl ClusteredEnv {
                     if self.clusters > 1 {
                         for &id in sorted_alive {
                             if self.rng.gen::<f64>() < fraction {
-                                self.migrate(id);
+                                let (from, into) = self.migrate(id);
+                                self.dirty[from as usize] = true;
+                                self.dirty[into as usize] = true;
                             }
                         }
                     }
@@ -180,6 +200,8 @@ impl ClusteredEnv {
                             self.cluster_of[id as usize] = into;
                         }
                     }
+                    self.dirty[from as usize] = true;
+                    self.dirty[into as usize] = true;
                 }
                 MobilityKind::Split { from, into } => {
                     let mut keep = true;
@@ -191,17 +213,21 @@ impl ClusteredEnv {
                             keep = !keep;
                         }
                     }
+                    self.dirty[from as usize] = true;
+                    self.dirty[into as usize] = true;
                 }
             }
         }
     }
 }
 
-impl Environment for ClusteredEnv {
-    fn begin_round(&mut self, round: u64, alive: &AliveSet) {
+impl Membership for ClusteredEnv {
+    fn advance(&mut self, round: u64, alive: &AliveSet, changed: &mut Vec<NodeId>) -> ViewChange {
         for &id in alive.ids() {
             self.ensure_assigned(id);
         }
+        self.dirty.iter_mut().for_each(|d| *d = false);
+        self.movers.clear();
         // Scheduled events fire first (deterministic: sorted host order).
         if !self.events.is_empty() {
             let mut sorted: Vec<NodeId> = alive.ids().to_vec();
@@ -213,6 +239,7 @@ impl Environment for ClusteredEnv {
             for &id in alive.ids() {
                 if self.rng.gen::<f64>() < self.migration_prob {
                     self.migrate(id);
+                    self.movers.push(id);
                 }
             }
         }
@@ -226,6 +253,26 @@ impl Environment for ClusteredEnv {
         for m in &mut self.members {
             m.sort_unstable(); // determinism independent of alive-list order
         }
+        let event_dirty = self.dirty.iter().any(|&d| d);
+        if !event_dirty && self.movers.is_empty() {
+            return ViewChange::Unchanged;
+        }
+        // Event-reshaped cliques report every member; steady migration
+        // reports just the movers (see the `movers` field note).
+        changed.clear();
+        if event_dirty {
+            for &id in alive.ids() {
+                if self.dirty[self.cluster_of[id as usize] as usize] {
+                    changed.push(id);
+                }
+            }
+        }
+        for &id in &self.movers {
+            if alive.contains(id) && !self.dirty[self.cluster_of[id as usize] as usize] {
+                changed.push(id);
+            }
+        }
+        ViewChange::Nodes
     }
 
     fn sample(&self, node: NodeId, alive: &AliveSet, rng: &mut SmallRng) -> Option<NodeId> {
@@ -244,6 +291,39 @@ impl Environment for ClusteredEnv {
         }
     }
 
+    /// A clustered view is a bounded sample of the host's clique-mates,
+    /// with each slot independently replaced by a uniform outsider with
+    /// probability `bridge_prob` — so a node gossiping uniformly over its
+    /// view crosses cliques at the configured bridge rate.
+    fn view_into(
+        &self,
+        node: NodeId,
+        alive: &AliveSet,
+        cap: usize,
+        rng: &mut SmallRng,
+        out: &mut Vec<NodeId>,
+    ) {
+        let members = &self.members[self.cluster_of(node) as usize];
+        sample_view_from(members, node, alive, cap, rng, out);
+        if self.bridge_prob > 0.0 {
+            for i in 0..out.len() {
+                if rng.gen::<f64>() < self.bridge_prob {
+                    if let Some(b) = alive.sample_other(node, rng) {
+                        if !out.contains(&b) {
+                            out[i] = b;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "clustered"
+    }
+}
+
+impl Environment for ClusteredEnv {
     fn degree(&self, node: NodeId, _alive: &AliveSet) -> usize {
         self.members[self.cluster_of(node) as usize].len().saturating_sub(1)
     }
@@ -262,10 +342,6 @@ impl Environment for ClusteredEnv {
                 .filter(|&p| p != node)
                 .take(16),
         );
-    }
-
-    fn name(&self) -> &'static str {
-        "clustered"
     }
 }
 
@@ -393,6 +469,62 @@ mod tests {
             round: 0,
             kind: MobilityKind::Merge { from: 0, into: 5 },
         }]);
+    }
+
+    #[test]
+    fn advance_reports_exactly_the_dirty_cliques() {
+        let mut env = ClusteredEnv::new(12, 3, 0.0, 0.0, 30).with_events(vec![MobilityEvent {
+            round: 1,
+            kind: MobilityKind::Merge { from: 0, into: 1 },
+        }]);
+        let alive = AliveSet::full(12);
+        let mut changed = Vec::new();
+        assert_eq!(env.advance(0, &alive, &mut changed), ViewChange::Unchanged);
+        assert_eq!(env.advance(1, &alive, &mut changed), ViewChange::Nodes);
+        // Cliques 0 and 1 are dirty: all 8 of their (post-merge) members
+        // changed neighborhood; clique 2's members did not.
+        changed.sort_unstable();
+        assert_eq!(changed, vec![0, 1, 3, 4, 6, 7, 9, 10]);
+        assert_eq!(env.advance(2, &alive, &mut changed), ViewChange::Unchanged);
+    }
+
+    #[test]
+    fn steady_migration_reports_exactly_the_movers() {
+        let mut env = ClusteredEnv::new(30, 3, 0.2, 0.0, 31);
+        let alive = AliveSet::full(30);
+        let mut changed = Vec::new();
+        let before: Vec<u32> = (0..30).map(|i| env.cluster_of(i)).collect();
+        let vc = env.advance(0, &alive, &mut changed);
+        let after: Vec<u32> = (0..30).map(|i| env.cluster_of(i)).collect();
+        let mut movers: Vec<NodeId> =
+            (0..30).filter(|&i| before[i as usize] != after[i as usize]).collect();
+        assert!(!movers.is_empty(), "20% migration must move someone");
+        assert_eq!(vc, ViewChange::Nodes);
+        // Steady migration reports the movers and only the movers — their
+        // former clique-mates' views just go slightly stale, by design.
+        changed.sort_unstable();
+        movers.sort_unstable();
+        assert_eq!(changed, movers);
+    }
+
+    #[test]
+    fn views_stay_in_clique_and_bridge_out_when_asked() {
+        let mut env = ClusteredEnv::new(300, 3, 0.0, 0.0, 32);
+        let alive = AliveSet::full(300);
+        env.begin_round(0, &alive);
+        let mut rng = SmallRng::seed_from_u64(33);
+        let mut view = Vec::new();
+        env.view_into(0, &alive, 16, &mut rng, &mut view);
+        assert_eq!(view.len(), 16);
+        let home = env.cluster_of(0);
+        assert!(view.iter().all(|&p| env.cluster_of(p) == home && p != 0));
+        // With bridges, some slots cross cliques (bridge_prob 0.5 over 16
+        // slots: crossing everything or nothing is astronomically unlikely).
+        let mut env = ClusteredEnv::new(300, 3, 0.0, 0.5, 32);
+        env.begin_round(0, &alive);
+        env.view_into(0, &alive, 16, &mut rng, &mut view);
+        let crossings = view.iter().filter(|&&p| env.cluster_of(p) != home).count();
+        assert!(crossings > 0 && crossings < 16, "got {crossings}/16 bridge slots");
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! latter defines how pairs of hosts are selected to perform an exchange."
 
 use crate::alive::AliveSet;
+use crate::membership::Membership;
 use dynagg_core::protocol::{NodeId, PeerSampler};
 use dynagg_trace::GroupView;
 use rand::rngs::SmallRng;
@@ -19,15 +20,12 @@ pub use spatial::SpatialEnv;
 pub use trace::TraceEnv;
 pub use uniform::UniformEnv;
 
-/// A gossip environment. Implementations precompute whatever they need in
-/// [`Environment::begin_round`] and then answer per-node peer queries.
-pub trait Environment {
-    /// Prepare for `round`; `alive` is the current live set.
-    fn begin_round(&mut self, round: u64, alive: &AliveSet);
-
-    /// Sample one exchange partner for `node`.
-    fn sample(&self, node: NodeId, alive: &AliveSet, rng: &mut SmallRng) -> Option<NodeId>;
-
+/// A gossip environment: the [`Membership`] layer (topology time,
+/// partner sampling, bounded peer views — what both engine families
+/// share) plus the lockstep-only queries. Implementations precompute
+/// whatever they need in [`Membership::begin_round`] /
+/// [`Membership::advance`] and then answer per-node peer queries.
+pub trait Environment: Membership {
     /// Number of peers reachable from `node` this round.
     fn degree(&self, node: NodeId, alive: &AliveSet) -> usize;
 
@@ -41,9 +39,6 @@ pub trait Environment {
     fn group_view(&self) -> Option<&GroupView> {
         None
     }
-
-    /// Human-readable name for logs and CSV headers.
-    fn name(&self) -> &'static str;
 }
 
 /// Adapter presenting one node's view of an [`Environment`] as the

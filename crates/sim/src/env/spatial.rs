@@ -10,6 +10,7 @@
 
 use super::Environment;
 use crate::alive::AliveSet;
+use crate::membership::{Membership, ViewChange};
 use dynagg_core::protocol::NodeId;
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -96,8 +97,24 @@ impl SpatialEnv {
     }
 }
 
-impl Environment for SpatialEnv {
-    fn begin_round(&mut self, _round: u64, _alive: &AliveSet) {}
+impl Membership for SpatialEnv {
+    /// The grid is static: adjacency only changes through failures, which
+    /// the consuming engine repairs itself.
+    fn advance(
+        &mut self,
+        _round: u64,
+        _alive: &AliveSet,
+        _changed: &mut Vec<NodeId>,
+    ) -> ViewChange {
+        ViewChange::Unchanged
+    }
+
+    /// Exchange partners come from `1/d²` random walks, but a *view slot*
+    /// never does: views are the literal grid adjacency, and a departed
+    /// neighbor has no replacement — the view simply shrinks.
+    fn repair_peer(&self, _node: NodeId, _alive: &AliveSet, _rng: &mut SmallRng) -> Option<NodeId> {
+        None
+    }
 
     fn sample(&self, node: NodeId, alive: &AliveSet, rng: &mut SmallRng) -> Option<NodeId> {
         // Random walk of length d over live grid neighbors.
@@ -115,6 +132,29 @@ impl Environment for SpatialEnv {
         (cur != node).then_some(cur)
     }
 
+    /// A spatial view is the live grid adjacency itself (≤ 4 peers):
+    /// "hosts can only communicate with adjacent nodes". A departed
+    /// neighbor has no replacement — the view simply shrinks, exactly as a
+    /// radio neighborhood would.
+    fn view_into(
+        &self,
+        node: NodeId,
+        alive: &AliveSet,
+        cap: usize,
+        _rng: &mut SmallRng,
+        out: &mut Vec<NodeId>,
+    ) {
+        out.clear();
+        self.grid_neighbors(node, alive, out);
+        out.truncate(cap);
+    }
+
+    fn name(&self) -> &'static str {
+        "spatial-grid"
+    }
+}
+
+impl Environment for SpatialEnv {
     fn degree(&self, node: NodeId, alive: &AliveSet) -> usize {
         let mut buf = Vec::with_capacity(4);
         self.grid_neighbors(node, alive, &mut buf);
@@ -129,10 +169,6 @@ impl Environment for SpatialEnv {
         out: &mut Vec<NodeId>,
     ) {
         self.grid_neighbors(node, alive, out);
-    }
-
-    fn name(&self) -> &'static str {
-        "spatial-grid"
     }
 }
 

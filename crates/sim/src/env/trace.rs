@@ -5,6 +5,7 @@
 
 use super::Environment;
 use crate::alive::AliveSet;
+use crate::membership::{Membership, ViewChange};
 use dynagg_core::protocol::NodeId;
 use dynagg_trace::groups::{GroupView, PAPER_WINDOW_S};
 use dynagg_trace::Timeline;
@@ -83,11 +84,38 @@ impl TraceEnv {
     }
 }
 
-impl Environment for TraceEnv {
-    fn begin_round(&mut self, round: u64, _alive: &AliveSet) {
+impl Membership for TraceEnv {
+    /// Replay the trace to `round`'s timestamp, reporting exactly the
+    /// devices whose radio neighborhood differs from the previous round —
+    /// contact traces are sparse in time, so most rounds change nothing
+    /// and most changes touch a handful of devices.
+    fn advance(&mut self, round: u64, alive: &AliveSet, changed: &mut Vec<NodeId>) -> ViewChange {
         self.now = round * self.round_seconds;
-        self.adjacency = Self::adjacency_at(&self.timeline, self.now);
+        let next = Self::adjacency_at(&self.timeline, self.now);
         self.groups = GroupView::at(&self.timeline, self.now, self.window_seconds);
+        changed.clear();
+        let empty: &[NodeId] = &[];
+        for id in 0..next.len().max(self.adjacency.len()) {
+            let old = self.adjacency.get(id).map_or(empty, Vec::as_slice);
+            let new = next.get(id).map_or(empty, Vec::as_slice);
+            if old != new {
+                changed.push(id as NodeId);
+            }
+        }
+        let _ = alive; // adjacency is alive-agnostic; filtering happens at query time
+        self.adjacency = next;
+        if changed.is_empty() {
+            ViewChange::Unchanged
+        } else {
+            ViewChange::Nodes
+        }
+    }
+
+    /// Radio range is fixed by the trace: a departed neighbor has no
+    /// replacement, the view simply shrinks until the trace says
+    /// otherwise.
+    fn repair_peer(&self, _node: NodeId, _alive: &AliveSet, _rng: &mut SmallRng) -> Option<NodeId> {
+        None
     }
 
     fn sample(&self, node: NodeId, alive: &AliveSet, rng: &mut SmallRng) -> Option<NodeId> {
@@ -109,6 +137,29 @@ impl Environment for TraceEnv {
         None
     }
 
+    /// A trace view is the device's live radio neighborhood itself,
+    /// truncated to `cap` (contact-trace adjacency lists are tiny).
+    fn view_into(
+        &self,
+        node: NodeId,
+        alive: &AliveSet,
+        cap: usize,
+        _rng: &mut SmallRng,
+        out: &mut Vec<NodeId>,
+    ) {
+        out.clear();
+        if let Some(l) = self.adjacency.get(node as usize) {
+            out.extend(l.iter().copied().filter(|&p| alive.contains(p) && p != node));
+        }
+        out.truncate(cap);
+    }
+
+    fn name(&self) -> &'static str {
+        "trace"
+    }
+}
+
+impl Environment for TraceEnv {
     fn degree(&self, node: NodeId, alive: &AliveSet) -> usize {
         self.adjacency
             .get(node as usize)
@@ -129,10 +180,6 @@ impl Environment for TraceEnv {
 
     fn group_view(&self) -> Option<&GroupView> {
         Some(&self.groups)
-    }
-
-    fn name(&self) -> &'static str {
-        "trace"
     }
 }
 
@@ -197,6 +244,37 @@ mod tests {
         let g = env.group_view().unwrap();
         assert_ne!(g.group_of(0), g.group_of(1));
         assert_eq!(g.group_of(2), g.group_of(3));
+    }
+
+    #[test]
+    fn advance_reports_only_devices_whose_radio_range_changed() {
+        let mut env = TraceEnv::paper(tl());
+        let alive = AliveSet::full(4);
+        let mut changed = Vec::new();
+        // t = 0: the constructor already materialized this adjacency.
+        assert_eq!(env.advance(0, &alive, &mut changed), ViewChange::Unchanged);
+        // t = 30: still inside the [0, 120) contacts — nothing changed.
+        assert_eq!(env.advance(1, &alive, &mut changed), ViewChange::Unchanged);
+        // t = 150: the 0–1 and 1–2 contacts ended; 3 was and stays alone.
+        assert_eq!(env.advance(5, &alive, &mut changed), ViewChange::Nodes);
+        assert_eq!(changed, vec![0, 1, 2]);
+        // t = 1020: the 2–3 contact began.
+        assert_eq!(env.advance(34, &alive, &mut changed), ViewChange::Nodes);
+        assert_eq!(changed, vec![2, 3]);
+    }
+
+    #[test]
+    fn views_are_the_live_radio_neighborhood() {
+        let mut env = TraceEnv::paper(tl());
+        let mut alive = AliveSet::full(4);
+        env.begin_round(0, &alive);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut view = Vec::new();
+        env.view_into(1, &alive, 8, &mut rng, &mut view);
+        assert_eq!(view, vec![0, 2]);
+        alive.remove(0);
+        env.view_into(1, &alive, 8, &mut rng, &mut view);
+        assert_eq!(view, vec![2], "dead neighbors drop out of the view");
     }
 
     #[test]

@@ -4,6 +4,7 @@
 
 use super::Environment;
 use crate::alive::AliveSet;
+use crate::membership::{sample_view_from, Membership, ViewChange};
 use dynagg_core::protocol::NodeId;
 use rand::rngs::SmallRng;
 
@@ -28,13 +29,41 @@ impl UniformEnv {
     }
 }
 
-impl Environment for UniformEnv {
-    fn begin_round(&mut self, _round: u64, _alive: &AliveSet) {}
+impl Membership for UniformEnv {
+    /// Full connectivity never changes shape: views only go stale through
+    /// failures and churn, which the consuming engine repairs itself.
+    fn advance(
+        &mut self,
+        _round: u64,
+        _alive: &AliveSet,
+        _changed: &mut Vec<NodeId>,
+    ) -> ViewChange {
+        ViewChange::Unchanged
+    }
 
     fn sample(&self, node: NodeId, alive: &AliveSet, rng: &mut SmallRng) -> Option<NodeId> {
         alive.sample_other(node, rng)
     }
 
+    /// A bounded uniform sample of the live population (the partial-view
+    /// membership services deployed gossip systems use).
+    fn view_into(
+        &self,
+        node: NodeId,
+        alive: &AliveSet,
+        cap: usize,
+        rng: &mut SmallRng,
+        out: &mut Vec<NodeId>,
+    ) {
+        sample_view_from(alive.ids(), node, alive, cap, rng, out);
+    }
+
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+}
+
+impl Environment for UniformEnv {
     fn degree(&self, node: NodeId, alive: &AliveSet) -> usize {
         alive.len().saturating_sub(usize::from(alive.contains(node)))
     }
@@ -51,10 +80,6 @@ impl Environment for UniformEnv {
             }
             tries += 1;
         }
-    }
-
-    fn name(&self) -> &'static str {
-        "uniform"
     }
 }
 
@@ -98,6 +123,22 @@ mod tests {
         dedup.dedup();
         assert_eq!(dedup.len(), out.len());
         assert!(!out.contains(&9));
+    }
+
+    #[test]
+    fn views_are_bounded_live_only_and_self_free() {
+        let mut alive = AliveSet::full(200);
+        alive.remove(17);
+        let env = UniformEnv::new();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut view = Vec::new();
+        env.view_into(3, &alive, 12, &mut rng, &mut view);
+        assert_eq!(view.len(), 12);
+        assert!(!view.contains(&3) && !view.contains(&17));
+        // Small populations get the full live set.
+        let small = AliveSet::full(8);
+        env.view_into(3, &small, 12, &mut rng, &mut view);
+        assert_eq!(view.len(), 7);
     }
 
     #[test]

@@ -12,6 +12,11 @@
 //!   trace, the Fig. 11 setting), and [`env::clustered`] (§II-C's mostly
 //!   isolated cliques with migration, bridges, and scheduled
 //!   mobility events),
+//! * [`membership`] — the membership/topology layer shared by every
+//!   engine: [`membership::Membership`] answers "who can this host reach
+//!   right now" as a bounded view, and reports which hosts a topology
+//!   change touched so the asynchronous engine can repair views
+//!   incrementally instead of rebuilding all of them,
 //! * [`alive`] — live-host bookkeeping with O(1) removal,
 //! * [`failure`] — failure plans: random and value-correlated mass
 //!   failures, Poisson churn, graceful sign-offs,
@@ -30,6 +35,7 @@
 pub mod alive;
 pub mod env;
 pub mod failure;
+pub mod membership;
 pub mod metrics;
 pub mod par;
 pub mod rng;
@@ -38,5 +44,6 @@ pub mod runner;
 pub use alive::AliveSet;
 pub use env::Environment;
 pub use failure::{FailureMode, FailureSpec};
+pub use membership::{Membership, ViewChange};
 pub use metrics::{RoundStats, Series, Truth};
 pub use runner::{PairwiseSimulation, Simulation};

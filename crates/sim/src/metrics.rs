@@ -151,8 +151,18 @@ pub struct RoundStats {
     pub defined: usize,
     /// Messages sent this round.
     pub messages: u64,
-    /// Payload bytes sent this round.
+    /// Payload bytes sent this round — the paper-comparable in-memory
+    /// accounting ([`message_bytes`]'s convention), identical across
+    /// engines.
+    ///
+    /// [`message_bytes`]: dynagg_core::protocol::PushProtocol::message_bytes
     pub bytes: u64,
+    /// Wire bytes sent this round: frame header plus the `core::wire`
+    /// codec's output (RLE for sketch matrices). The asynchronous engine
+    /// counts real frames; the lockstep engines leave this 0 and the
+    /// scenario registry prices it per message (`registry::wire_cost`),
+    /// since they never encode.
+    pub wire_bytes: u64,
     /// Mean group size experienced by a live host (trace runs; 0 elsewhere).
     pub mean_group_size: f64,
     /// Hosts inside an epoch restart/settling window this round — their
@@ -210,13 +220,16 @@ impl StatsAcc {
         self.lifecycle.disruptions += disruptions;
     }
 
-    /// Close the round.
+    /// Close the round. `bytes` is the raw payload accounting and
+    /// `wire_bytes` the encoded frame accounting (0 when the engine does
+    /// not encode; see [`RoundStats::wire_bytes`]).
     pub fn finish(
         self,
         round: u64,
         alive: usize,
         messages: u64,
         bytes: u64,
+        wire_bytes: u64,
         mean_group_size: f64,
     ) -> RoundStats {
         let nf = self.n.max(1) as f64;
@@ -231,6 +244,7 @@ impl StatsAcc {
             defined: self.n,
             messages,
             bytes,
+            wire_bytes,
             mean_group_size,
             settling: self.lifecycle.settling,
             disruptions: self.lifecycle.disruptions,
@@ -306,6 +320,12 @@ impl Series {
         self.rounds.iter().map(|s| s.bytes).sum()
     }
 
+    /// Total wire bytes over the whole run (0 for engines that do not
+    /// encode frames — see [`RoundStats::wire_bytes`]).
+    pub fn total_wire_bytes(&self) -> u64 {
+        self.rounds.iter().map(|s| s.wire_bytes).sum()
+    }
+
     /// Total messages over the whole run.
     pub fn total_messages(&self) -> u64 {
         self.rounds.iter().map(|s| s.messages).sum()
@@ -314,11 +334,11 @@ impl Series {
     /// CSV export (header + one row per round).
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "round,alive,truth,mean_estimate,stddev,mean_abs_err,max_abs_err,defined,messages,bytes,mean_group_size,settling,disruptions\n",
+            "round,alive,truth,mean_estimate,stddev,mean_abs_err,max_abs_err,defined,messages,bytes,wire_bytes,mean_group_size,settling,disruptions\n",
         );
         for s in &self.rounds {
             out.push_str(&format!(
-                "{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{},{:.3},{},{}\n",
+                "{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{},{},{:.3},{},{}\n",
                 s.round,
                 s.alive,
                 s.truth,
@@ -329,6 +349,7 @@ impl Series {
                 s.defined,
                 s.messages,
                 s.bytes,
+                s.wire_bytes,
                 s.mean_group_size,
                 s.settling,
                 s.disruptions,
@@ -385,7 +406,7 @@ mod tests {
                 acc.add(*e, *t);
             }
         }
-        let s = acc.finish(5, 3, 10, 100, 0.0);
+        let s = acc.finish(5, 3, 10, 100, 0, 0.0);
         assert_eq!(s.defined, 2);
         assert!((s.stddev - 5.0f64.sqrt()).abs() < 1e-12); // sqrt((1+9)/2)
         assert_eq!(s.max_abs_err, 3.0);
@@ -405,6 +426,7 @@ mod tests {
             defined: 1,
             messages: 0,
             bytes: 0,
+            wire_bytes: 0,
             mean_group_size: 0.0,
             settling: 0,
             disruptions: 0,
@@ -423,7 +445,7 @@ mod tests {
         let mut acc = StatsAcc::default();
         acc.add(1.0, 1.0);
         acc.note_lifecycle(true, 3);
-        series.push(acc.finish(0, 1, 2, 32, 0.0));
+        series.push(acc.finish(0, 1, 2, 32, 42, 0.0));
         let csv = series.to_csv();
         assert!(csv.starts_with("round,alive"));
         assert!(csv.lines().next().unwrap().ends_with("settling,disruptions"));
@@ -444,6 +466,7 @@ mod tests {
             defined: 1,
             messages: 0,
             bytes: 0,
+            wire_bytes: 0,
             mean_group_size: 0.0,
             settling,
             disruptions,
@@ -475,6 +498,7 @@ mod tests {
             defined: 1,
             messages: 0,
             bytes: 0,
+            wire_bytes: 0,
             mean_group_size: 0.0,
             settling: 0,
             disruptions: 0,

@@ -20,6 +20,10 @@ pub mod stream {
     pub const FAILURES: u64 = 3;
     /// Environment-internal randomness (random walks, broadcast subsets).
     pub const ENVIRONMENT: u64 = 4;
+    /// Membership-view assignment and repair draws (the async engine).
+    /// Distinct from [`ENVIRONMENT`] so an environment's internal stream
+    /// (clustered migrations) never interleaves with view sampling.
+    pub const VIEWS: u64 = 5;
 }
 
 /// Derive a sub-seed for (master, stream).

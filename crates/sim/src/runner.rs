@@ -347,7 +347,9 @@ impl<P, F: FnMut(NodeId, f64) -> P> SimCore<P, F> {
                 }
             }
         }
-        self.series.push(acc.finish(self.round, self.alive.len(), messages, bytes, group_size));
+        // Lockstep engines never encode frames; the scenario registry
+        // prices wire bytes per message via `registry::wire_cost`.
+        self.series.push(acc.finish(self.round, self.alive.len(), messages, bytes, 0, group_size));
     }
 }
 

@@ -7,7 +7,7 @@ use dynagg_core::push_sum_revert::PushSumRevert;
 use dynagg_sim::alive::AliveSet;
 use dynagg_sim::env::clustered::{ClusteredEnv, MobilityEvent, MobilityKind};
 use dynagg_sim::env::uniform::UniformEnv;
-use dynagg_sim::{runner, Environment, FailureMode, FailureSpec, Truth};
+use dynagg_sim::{runner, FailureMode, FailureSpec, Membership, Truth};
 use dynagg_trace::GroupView;
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -319,6 +319,73 @@ proptest! {
             prop_assert_eq!(seen, expected, "round {}: members must partition the live set", round);
             for &id in alive.ids() {
                 prop_assert!(env.cluster_of(id) < clusters, "clique id in range");
+            }
+        }
+    }
+
+    /// The membership layer's change-report contract over clustered
+    /// mobility: every reported id is alive, every host whose clique
+    /// assignment changed is reported (movers from steady migration,
+    /// whole cliques for events), and the views the topology hands out
+    /// are bounded, self-free, live-only, and — without bridges —
+    /// entirely in-clique.
+    #[test]
+    fn clustered_change_report_covers_every_move(
+        seed: u64,
+        n in 8usize..60,
+        clusters in 2u32..6,
+        migration in 0.0f64..0.5,
+        cap in 2usize..12,
+        dead in proptest::collection::vec(any::<u8>(), 0..6),
+    ) {
+        let mut env = ClusteredEnv::new(n, clusters, migration, 0.0, seed);
+        let mut alive = AliveSet::full(n);
+        for d in dead {
+            alive.remove(u32::from(d) % n as u32);
+        }
+        if alive.is_empty() {
+            return;
+        }
+        let mut changed = Vec::new();
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xBEEF);
+        let mut view = Vec::new();
+        env.begin_round(0, &alive);
+        for round in 1..8u64 {
+            let before: Vec<u32> = (0..n as u32).map(|i| env.cluster_of(i)).collect();
+            let vc = env.advance(round, &alive, &mut changed);
+            let after: Vec<u32> = (0..n as u32).map(|i| env.cluster_of(i)).collect();
+            let report: &[u32] = match vc {
+                dynagg_sim::ViewChange::Unchanged => &[],
+                dynagg_sim::ViewChange::Nodes => &changed,
+                dynagg_sim::ViewChange::All => {
+                    // Steady migration alone never reports All.
+                    prop_assert!(false, "unexpected All");
+                    &[]
+                }
+            };
+            for &id in report {
+                prop_assert!(alive.contains(id), "change report lists dead host {id}");
+            }
+            for &id in alive.ids() {
+                if before[id as usize] != after[id as usize] {
+                    prop_assert!(
+                        report.contains(&id),
+                        "round {round}: mover {id} missing from the change report"
+                    );
+                }
+            }
+            // View contract, spot-checked on every live host.
+            for &id in alive.ids() {
+                env.view_into(id, &alive, cap, &mut rng, &mut view);
+                prop_assert!(view.len() <= cap);
+                prop_assert!(!view.contains(&id), "view contains its owner");
+                for &p in &view {
+                    prop_assert!(alive.contains(p), "view member {p} is dead");
+                    prop_assert_eq!(
+                        env.cluster_of(p), env.cluster_of(id),
+                        "bridge-free views stay in-clique"
+                    );
+                }
             }
         }
     }
