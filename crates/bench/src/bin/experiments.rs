@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! experiments <command> [--n N] [--seed S] [--out DIR] [--quick] [--dataset 1|2|3]
-//! experiments run <file.toml> [--n N] [--seed S] [--rounds R] [--trials T] [--out DIR] [--quick] [--check]
+//! experiments run <file.toml> [--n N] [--seed S] [--rounds R] [--trials T] [--engine E] [--out DIR] [--quick] [--check]
 //!
 //! commands:
 //!   fig6               bit counter CDFs (1k/10k/100k hosts) + cutoff fit
@@ -31,6 +31,7 @@
 //!   --dataset D  Fig. 11 dataset index (default: all three)
 //!   --rounds R   (run) override the scenario's horizon
 //!   --trials T   (run) override the scenario's trial count
+//!   --engine E   (run) override the engine: push | pairwise | async
 //!   --check      (run) parse + validate only, run nothing
 //! ```
 
@@ -94,15 +95,27 @@ fn parse_args() -> Result<Args, String> {
                 let v = argv.next().ok_or("--trials needs a value")?;
                 overrides.trials = Some(v.parse().map_err(|e| format!("bad --trials: {e}"))?);
             }
+            "--engine" => {
+                let v = argv.next().ok_or("--engine needs a value")?;
+                overrides.engine = Some(match v.as_str() {
+                    "push" => dynagg_scenario::Engine::Push,
+                    "pairwise" => dynagg_scenario::Engine::Pairwise,
+                    "async" => dynagg_scenario::Engine::Async,
+                    other => return Err(format!("bad --engine {other} (push|pairwise|async)")),
+                });
+            }
             "--check" => overrides.check_only = true,
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
     if command != "run"
-        && (overrides.check_only || overrides.rounds.is_some() || overrides.trials.is_some())
+        && (overrides.check_only
+            || overrides.rounds.is_some()
+            || overrides.trials.is_some()
+            || overrides.engine.is_some())
     {
         return Err(format!(
-            "--check/--rounds/--trials only apply to the `run` command\n{}",
+            "--check/--rounds/--trials/--engine only apply to the `run` command\n{}",
             usage()
         ));
     }
@@ -110,7 +123,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: experiments <fig6|fig8|fig9|fig10a|fig10b|fig11-avg|fig11-sum|table-convergence|table-sketch-error|spatial-cutoff|epoch-disruption|ablations|all> [--n N] [--seed S] [--out DIR] [--quick] [--dataset 1|2|3]\n       experiments run <file.toml> [--n N] [--seed S] [--rounds R] [--trials T] [--out DIR] [--quick] [--check]".to_string()
+    "usage: experiments <fig6|fig8|fig9|fig10a|fig10b|fig11-avg|fig11-sum|table-convergence|table-sketch-error|spatial-cutoff|epoch-disruption|ablations|all> [--n N] [--seed S] [--out DIR] [--quick] [--dataset 1|2|3]\n       experiments run <file.toml> [--n N] [--seed S] [--rounds R] [--trials T] [--engine push|pairwise|async] [--out DIR] [--quick] [--check]".to_string()
 }
 
 fn emit(tables: Vec<Table>, opts: &ExpOpts) {

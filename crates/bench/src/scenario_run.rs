@@ -7,7 +7,7 @@
 use crate::fig6::{self, CounterDistribution};
 use crate::opts::ExpOpts;
 use crate::output::Table;
-use dynagg_scenario::{EnvSpec, Report, ScenarioOutcome, ScenarioSpec, SweepAxis};
+use dynagg_scenario::{Engine, EnvSpec, Report, ScenarioOutcome, ScenarioSpec, SweepAxis};
 use std::path::Path;
 
 /// CLI overrides applied on top of the file's spec.
@@ -21,6 +21,10 @@ pub struct Overrides {
     pub rounds: Option<u64>,
     /// Replace the trial count.
     pub trials: Option<u64>,
+    /// Replace the engine (`push` | `pairwise` | `async`) — re-run a
+    /// checked-in scenario under another engine family without editing
+    /// the file; engine × protocol compatibility is re-validated.
+    pub engine: Option<Engine>,
     /// Apply the quick-mode population rule to `n` (and `n`-sweep values).
     pub quick: bool,
     /// Parse and validate only; run nothing.
@@ -53,6 +57,9 @@ pub fn apply_overrides(spec: &mut ScenarioSpec, ov: &Overrides) -> Result<(), St
     }
     if let Some(trials) = ov.trials {
         spec.trials = trials;
+    }
+    if let Some(engine) = ov.engine {
+        spec.engine = engine;
     }
     if ov.quick {
         if let Some(n) = spec.n {
@@ -227,6 +234,23 @@ mod tests {
         let mut spec = demo_spec();
         apply_overrides(&mut spec, &Overrides { quick: true, ..Overrides::default() }).unwrap();
         assert_eq!(spec.n, Some(500), "quick floors at 500");
+    }
+
+    #[test]
+    fn engine_override_swaps_the_engine_and_revalidates() {
+        let mut spec = demo_spec();
+        assert_eq!(spec.engine, Engine::Push);
+        let ov = Overrides { engine: Some(Engine::Async), ..Overrides::default() };
+        apply_overrides(&mut spec, &ov).unwrap();
+        assert_eq!(spec.engine, Engine::Async);
+        spec.validate().unwrap();
+        // An incompatible override is caught by re-validation, not a panic:
+        // the pairwise engine cannot drive a sketch protocol.
+        let mut spec = demo_spec();
+        spec.protocol = ProtocolSpec::CountSketch { multiplier: 1, hash_seed_xor: 0 };
+        let ov = Overrides { engine: Some(Engine::Pairwise), ..Overrides::default() };
+        apply_overrides(&mut spec, &ov).unwrap();
+        assert!(spec.validate().is_err());
     }
 
     #[test]

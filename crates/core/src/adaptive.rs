@@ -87,6 +87,10 @@ impl Estimator for AdaptiveRevert {
     fn estimate(&self) -> Option<f64> {
         self.mass.estimate().or(self.last_estimate)
     }
+
+    fn audit_mass(&self) -> Option<Mass> {
+        Some(self.mass)
+    }
 }
 
 impl PushProtocol for AdaptiveRevert {

@@ -457,6 +457,10 @@ impl Estimator for EpochPushSum {
     fn disruptions(&self) -> u64 {
         self.disruptions
     }
+
+    fn audit_mass(&self) -> Option<Mass> {
+        Some(self.mass)
+    }
 }
 
 impl PushProtocol for EpochPushSum {

@@ -20,6 +20,7 @@
 //! | [`extremum`] | dynamic max/min via age-expiring champions | extension (§IV technique, §I motivation) |
 //! | [`moments`] | running mean + variance/stddev | extension (§II aggregate list) |
 //! | [`histogram`] | value histograms & quantiles via vector mass | extension |
+//! | [`adversary`] | Byzantine wrapper: mass inflation, stale-epoch replay, sketch corruption | robustness suite |
 //!
 //! ## Execution model
 //!
@@ -40,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod adaptive;
+pub mod adversary;
 pub mod config;
 pub mod count_sketch;
 pub mod count_sketch_reset;
@@ -58,6 +60,7 @@ pub mod samplers;
 pub mod tree;
 pub mod wire;
 
+pub use adversary::{Adversarial, Attack};
 pub use config::{FullTransferConfig, ResetConfig, RevertConfig, SketchConfig};
 pub use error::ProtocolError;
 pub use mass::Mass;

@@ -100,6 +100,14 @@ pub trait Estimator {
     fn disruptions(&self) -> u64 {
         0
     }
+
+    /// The node's current mass, for the simulator's global mass audit
+    /// (`Σ value / Σ weight` over live hosts vs. truth — a conservation
+    /// check that exposes partitions losing mass and adversaries forging
+    /// it). `None` for protocols that carry no mass.
+    fn audit_mass(&self) -> Option<crate::mass::Mass> {
+        None
+    }
 }
 
 /// A message-passing gossip protocol (one node's state machine).

@@ -78,6 +78,13 @@ impl Estimator for PushSum {
     fn estimate(&self) -> Option<f64> {
         self.mass.estimate().or(self.last_estimate)
     }
+
+    fn audit_mass(&self) -> Option<Mass> {
+        // `mass` is replaced only at `end_round`, so between rounds it
+        // still accounts for shares currently in flight — summing it over
+        // hosts is conservation-exact at any sampling instant.
+        Some(self.mass)
+    }
 }
 
 impl PushProtocol for PushSum {

@@ -158,6 +158,13 @@ impl Estimator for PushSumRevert {
     fn estimate(&self) -> Option<f64> {
         self.mass.estimate().or(self.last_estimate)
     }
+
+    fn audit_mass(&self) -> Option<Mass> {
+        // `mass` is replaced only at `end_round`, so between rounds it
+        // still accounts for shares currently in flight — summing it over
+        // hosts is conservation-exact at any sampling instant.
+        Some(self.mass)
+    }
 }
 
 impl PushProtocol for PushSumRevert {

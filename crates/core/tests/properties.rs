@@ -374,5 +374,53 @@ mod wire_fuzz {
             let _ = <Arc<AgeMatrix>>::decode(&bytes);
             let _ = <Arc<Pcsa>>::decode(&bytes);
         }
+
+        /// Semantic forgeries are wire-valid by construction: whatever
+        /// attack corrupts an outgoing payload, the result still encodes
+        /// and decodes bit-identically. No codec check can catch the lie —
+        /// that is the adversary's whole point, and why the defenses are
+        /// semantic (`mass_audit` conservation, stale-epoch drops, sketch
+        /// aging) rather than syntactic.
+        #[test]
+        fn forged_payloads_stay_wire_valid(
+            w in 0.0f64..1e6,
+            v in -1e6f64..1e6,
+            factor in 0.0f64..100.0,
+            cells in 0u32..64,
+            epoch in 0u64..1_000_000,
+            phase in 0u32..10_000,
+        ) {
+            use dynagg_core::adversary::{Attack, Corruptible};
+            let attacks = [
+                Attack::MassInflation { factor },
+                Attack::StaleEpochReplay,
+                Attack::SketchCorruption { cells },
+            ];
+            for attack in &attacks {
+                let mut mass = dynagg_core::mass::Mass::new(w, v);
+                mass.corrupt(attack);
+                let bytes = mass.encoded();
+                let back = dynagg_core::mass::Mass::decode(&bytes).expect("forged mass decodes");
+                prop_assert_eq!(back.encoded(), bytes);
+
+                let mut msg = EpochMsg { epoch, phase, mass: dynagg_core::mass::Mass::new(w, v) };
+                msg.corrupt(attack);
+                let bytes = msg.encoded();
+                let back = EpochMsg::decode(&bytes).expect("forged epoch msg decodes");
+                prop_assert_eq!(back.encoded(), bytes);
+
+                let mut sketch: Arc<Pcsa> = Arc::new(Pcsa::new(16, 16));
+                sketch.corrupt(attack);
+                let bytes = sketch.encoded();
+                let back = <Arc<Pcsa>>::decode(&bytes).expect("forged sketch decodes");
+                prop_assert_eq!(back.encoded(), bytes);
+
+                let mut ages: Arc<AgeMatrix> = Arc::new(AgeMatrix::new(16, 16));
+                ages.corrupt(attack);
+                let bytes = ages.encoded();
+                let back = <Arc<AgeMatrix>>::decode(&bytes).expect("forged age matrix decodes");
+                prop_assert_eq!(back.encoded(), bytes);
+            }
+        }
     }
 }

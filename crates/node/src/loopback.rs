@@ -55,7 +55,7 @@ use dynagg_sim::env::UniformEnv;
 use dynagg_sim::membership::{Membership, ViewChange};
 use dynagg_sim::metrics::{Series, StatsAcc, Truth};
 use dynagg_sim::rng::{self, stream};
-use dynagg_sim::{FailureMode, FailureSpec};
+use dynagg_sim::{FailureMode, FailureSpec, PartitionTable, PartitionTransition};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -212,6 +212,10 @@ where
     factory: NodeFactory<P>,
     truth: Truth,
     failure: FailureSpec,
+    /// The chaos layer's partition schedule, advanced at nominal round
+    /// boundaries. Cross-island frames are dropped in [`AsyncNet::send`]
+    /// and views are kept island-local while a partition holds.
+    partition: PartitionTable,
     series: Series,
     sample_idx: u64,
     msgs_since_sample: u64,
@@ -226,6 +230,9 @@ where
     events_processed: u64,
     /// Count of frames that failed to decode (should stay 0).
     pub decode_errors: u64,
+    /// Frames dropped at the partition boundary (chaos-layer observability;
+    /// any in-flight Push-Sum mass they carried is destroyed, like loss).
+    pub partition_drops: u64,
     out_buf: Vec<Envelope>,
     scratch: Vec<NodeId>,
     /// View assembly buffer.
@@ -280,6 +287,7 @@ where
             factory,
             truth: Truth::Mean,
             failure: FailureSpec::None,
+            partition: PartitionTable::empty(),
             series: Series::default(),
             sample_idx: 0,
             msgs_since_sample: 0,
@@ -290,6 +298,7 @@ where
             horizon_ms: None,
             events_processed: 0,
             decode_errors: 0,
+            partition_drops: 0,
             out_buf: Vec::new(),
             scratch: Vec::new(),
             view_buf: Vec::new(),
@@ -321,6 +330,21 @@ where
     /// semantics.
     pub fn with_failure(mut self, failure: FailureSpec) -> Self {
         self.failure = failure;
+        self
+    }
+
+    /// The partition schedule (default: never partitioned). While a
+    /// partition holds, frames whose endpoints sit on different islands
+    /// are dropped in flight (the link is down; bandwidth was still
+    /// spent) and membership views are rebuilt island-locally on split
+    /// and globally on heal, through the same full-view path topology
+    /// changes use. Must be installed before the network first runs.
+    pub fn with_partition(mut self, partition: PartitionTable) -> Self {
+        assert!(
+            !self.views_ready && self.queue.now_ms() == 0,
+            "install the partition schedule before running"
+        );
+        self.partition = partition;
         self
     }
 
@@ -455,6 +479,8 @@ where
     }
 
     /// Draw `id` a fresh view from the membership layer and index it.
+    /// While a partition holds, cross-island draws are filtered out, so
+    /// repaired views stay island-local.
     fn assign_view(&mut self, id: NodeId) {
         self.membership.view_into(
             id,
@@ -463,7 +489,10 @@ where
             &mut self.view_rng,
             &mut self.view_buf,
         );
-        let view = std::mem::take(&mut self.view_buf);
+        let mut view = std::mem::take(&mut self.view_buf);
+        if self.partition.active() {
+            view.retain(|&p| self.partition.allows(id, p));
+        }
         self.views.assign(id, &view);
         self.view_buf = view;
         self.full_view_assignments += 1;
@@ -605,6 +634,12 @@ where
         self.msgs_since_sample += 1;
         self.bytes_since_sample += env.raw_bytes as u64;
         self.wire_since_sample += env.payload.len() as u64;
+        if !self.partition.allows(env.from, env.to) {
+            // The link across the cut is down; the frame dies in flight.
+            self.partition_drops += 1;
+            self.runtimes[env.from as usize].recycle_buffer(env.payload);
+            return;
+        }
         if self.cfg.loss > 0.0 && self.link_rng.gen::<f64>() < self.cfg.loss {
             self.runtimes[env.from as usize].recycle_buffer(env.payload);
             return;
@@ -618,6 +653,7 @@ where
     fn record_sample(&mut self) {
         let mut acc = StatsAcc::default();
         let t = self.truth.global_scalar(&self.values).expect("global truth");
+        let (mut audit_v, mut audit_w) = (0.0f64, 0.0f64);
         for (rt, value) in self.runtimes.iter().zip(&self.values) {
             if value.is_some() {
                 let p = rt.protocol();
@@ -625,16 +661,29 @@ where
                 if let Some(e) = p.estimate() {
                     acc.add(e, t);
                 }
+                if let Some(m) = p.audit_mass() {
+                    audit_v += m.value;
+                    audit_w += m.weight;
+                }
             }
         }
-        self.series.push(acc.finish(
+        let mut stats = acc.finish(
             self.sample_idx,
             self.alive.len(),
             self.msgs_since_sample,
             self.bytes_since_sample,
             self.wire_since_sample,
             0.0,
-        ));
+        );
+        // Global mass audit against the true mean — nonzero only when an
+        // adversary mints mass (benign chaos merely redistributes it).
+        if audit_w > 0.0 {
+            if let Some(mean) = Truth::Mean.global_scalar(&self.values) {
+                stats.mass_audit = audit_v / audit_w - mean;
+            }
+        }
+        stats.islands = self.partition.islands();
+        self.series.push(stats);
         self.sample_idx += 1;
         self.msgs_since_sample = 0;
         self.bytes_since_sample = 0;
@@ -645,6 +694,10 @@ where
     /// incrementally, joins introduced), then advance the membership
     /// clock and rebuild exactly the views its change report names.
     fn nominal_round(&mut self, k: u64) {
+        // Advance the partition schedule first so failure repair and
+        // membership rebuilds within this boundary already respect the
+        // new connectivity.
+        let transition = self.partition.begin_round(k);
         self.apply_failure(k);
         if k > 0 {
             match self.membership.advance(k, &self.alive, &mut self.changed_buf) {
@@ -664,6 +717,16 @@ where
                             self.assign_view(id);
                         }
                     }
+                }
+            }
+        }
+        if transition != PartitionTransition::None {
+            // Split: re-draw every view island-locally (assign_view
+            // filters). Heal: re-draw globally, re-merging the islands
+            // through the ordinary view path.
+            for id in 0..self.runtimes.len() as NodeId {
+                if self.alive.contains(id) {
+                    self.assign_view(id);
                 }
             }
         }
@@ -741,7 +804,11 @@ where
                     else {
                         break; // adjacency topologies: the view just shrinks
                     };
-                    if y != h && self.alive.contains(y) && !self.views.has_member(h, y) {
+                    if y != h
+                        && self.alive.contains(y)
+                        && self.partition.allows(h, y)
+                        && !self.views.has_member(h, y)
+                    {
                         self.views.push_slot(h, y);
                         break;
                     }
@@ -776,7 +843,11 @@ where
             let Some(h) = self.membership.repair_peer(id, &self.alive, &mut self.view_rng) else {
                 break;
             };
-            if h == id || !self.alive.contains(h) || self.views.has_member(h, id) {
+            if h == id
+                || !self.alive.contains(h)
+                || !self.partition.allows(h, id)
+                || self.views.has_member(h, id)
+            {
                 continue;
             }
             if self.views.view_len(h) < self.cfg.view_size {
@@ -1182,6 +1253,91 @@ mod tests {
         let last = net.series().last().unwrap();
         assert!(last.stddev < 12.0, "grid convergence: {}", last.stddev);
         assert_eq!(net.decode_errors, 0);
+    }
+
+    fn halves_table(n: NodeId, at: u64, heal: Option<u64>) -> PartitionTable {
+        use dynagg_sim::partition::{resolve, Island, PartitionEvent, TopologyInfo};
+        let event = PartitionEvent {
+            at_round: at,
+            heal_at: heal,
+            islands: vec![Island::Range { lo: 0, hi: n / 2 }, Island::Range { lo: n / 2, hi: n }],
+        };
+        let resolved = resolve(&event, n as usize, &TopologyInfo::default()).unwrap();
+        PartitionTable::new(vec![resolved]).unwrap()
+    }
+
+    #[test]
+    fn partition_blocks_cross_island_frames_then_heals() {
+        // Island A all hold 10, island B all hold 90. Any frame crossing
+        // the cut would pull an estimate off its island's mean; after the
+        // heal the population must re-merge to the global 50.
+        let n = 40usize;
+        let mut cfg = AsyncConfig::new(51);
+        cfg.view_size = 8;
+        let mut net = AsyncNet::new(
+            n,
+            cfg,
+            Box::new(|_, id| if id < 20 { 10.0 } else { 90.0 }),
+            Box::new(|_| DriftModel::Synced),
+            Box::new(|_, v| PushSumRevert::new(v, 0.0)),
+        )
+        .with_partition(halves_table(n as NodeId, 0, Some(60)));
+        net.run(140);
+        let series = net.series();
+        // Mid-split samples: two islands, no forged mass.
+        let mid = &series.rounds[30];
+        assert_eq!(mid.islands, 2, "split visible in metrics");
+        // Sampling is not synchronized with node ticks, so the async audit
+        // jitters by the in-flight fraction of a round — but it must stay
+        // bounded (honest chaos never *mints* mass; an inflation adversary
+        // drives this without bound).
+        assert!(mid.mass_audit.abs() < 5.0, "honest audit stays bounded: {}", mid.mass_audit);
+        // The split keeps the islands at their own means exactly.
+        assert!(mid.stddev > 30.0, "island means are 40 apart: stddev {}", mid.stddev);
+        // Post-heal: one component again, converged to the global mean.
+        let last = series.last().unwrap();
+        assert_eq!(last.islands, 1, "heal visible in metrics");
+        assert!(last.stddev < 2.0, "re-merged after heal: stddev {}", last.stddev);
+        for id in net.live() {
+            let e = net.node(id).estimate().unwrap();
+            assert!((e - 50.0).abs() < 2.0, "node {id} not re-merged: {e}");
+        }
+        assert_eq!(net.decode_errors, 0);
+    }
+
+    #[test]
+    fn partitioned_views_stay_island_local() {
+        let n = 60usize;
+        let mut cfg = AsyncConfig::new(53);
+        cfg.view_size = 12;
+        let mut net: AsyncNet<PushSumRevert> = AsyncNet::new(
+            n,
+            cfg,
+            Box::new(|rng, _| rng.gen_range(0.0..100.0)),
+            Box::new(|_| DriftModel::Synced),
+            Box::new(|_, v| PushSumRevert::new(v, 0.01)),
+        )
+        .with_partition(halves_table(n as NodeId, 5, None))
+        .with_failure(FailureSpec::AtRound {
+            round: 12,
+            mode: FailureMode::Random,
+            fraction: 0.2,
+            graceful: false,
+        });
+        net.run(30);
+        // Views were rebuilt on split and repaired after the failure; both
+        // paths must respect the island boundary.
+        for id in net.live() {
+            let island = u32::from(id >= n as NodeId / 2);
+            for &p in net.view_of(id) {
+                assert_eq!(
+                    u32::from(p >= n as NodeId / 2),
+                    island,
+                    "view of {id} crosses the partition: {p}"
+                );
+            }
+        }
+        net.check_view_consistency();
     }
 
     #[test]

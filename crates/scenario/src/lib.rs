@@ -52,6 +52,6 @@ pub use registry::{
     TrialOutput, WireCost,
 };
 pub use spec::{
-    AsyncSpec, CliqueDrift, DriftSpec, Engine, EnvSpec, LatencySpec, Metric, OutputSpec, Probe,
-    ProtocolSpec, Report, ScenarioSpec, Sweep, SweepAxis, ValueSpec,
+    AdversarySpec, AsyncSpec, CliqueDrift, DriftSpec, Engine, EnvSpec, LatencySpec, Metric,
+    OutputSpec, Probe, ProtocolSpec, Report, ScenarioSpec, Sweep, SweepAxis, ValueSpec,
 };

@@ -8,11 +8,13 @@
 
 use crate::error::ScenarioError;
 use crate::spec::{
-    AsyncSpec, CliqueDrift, DriftSpec, Engine, EnvSpec, LatencySpec, Metric, OutputSpec, Probe,
-    ProtocolSpec, Report, ScenarioSpec, Sweep, SweepAxis, ValueSpec,
+    AdversarySpec, AsyncSpec, CliqueDrift, DriftSpec, Engine, EnvSpec, LatencySpec, Metric,
+    OutputSpec, Probe, ProtocolSpec, Report, ScenarioSpec, Sweep, SweepAxis, ValueSpec,
 };
+use dynagg_core::adversary::Attack;
 use dynagg_core::extremum::ExtremumMode;
 use dynagg_sim::env::{MobilityEvent, MobilityKind};
+use dynagg_sim::partition::{Island, PartitionEvent};
 use dynagg_sim::{FailureMode, FailureSpec, Truth};
 use dynagg_sketch::cutoff::Cutoff;
 use dynagg_trace::datasets::Dataset;
@@ -44,6 +46,8 @@ impl ScenarioSpec {
             "values",
             "protocol",
             "failure",
+            "partition",
+            "adversary",
             "output",
             "sweep",
         ])?;
@@ -84,6 +88,24 @@ impl ScenarioSpec {
             None => FailureSpec::None,
             Some(t) => parse_failure(t)?,
         };
+        let partitions = match top.opt_array("partition")? {
+            None => Vec::new(),
+            Some(items) => items
+                .iter()
+                .map(|item| {
+                    let t = item.as_table().ok_or(ScenarioError::Type {
+                        key: "partition".into(),
+                        expected: "array of tables ([[partition]])",
+                        found: item.type_name(),
+                    })?;
+                    parse_partition(t)
+                })
+                .collect::<Result<_, _>>()?,
+        };
+        let adversary = match top.opt_table("adversary")? {
+            None => None,
+            Some(t) => Some(parse_adversary(t)?),
+        };
         let output = match top.opt_table("output")? {
             None => OutputSpec::default(),
             Some(t) => parse_output(t)?,
@@ -108,6 +130,8 @@ impl ScenarioSpec {
             truth,
             failure,
             loss,
+            partitions,
+            adversary,
             output,
             sweep,
         })
@@ -543,6 +567,87 @@ fn parse_failure(table: &Table) -> Result<FailureSpec, ScenarioError> {
         }
         other => Err(ScenarioError::UnknownName { what: "failure kind", name: other.into() }),
     }
+}
+
+/// One `[[partition]]` table: `at_round`, optional `heal_at`, and an
+/// `islands` array of symbolic island strings (see [`parse_island`]).
+fn parse_partition(table: &Table) -> Result<PartitionEvent, ScenarioError> {
+    let p = Ctx { table, name: "partition" };
+    p.check_keys(&["at_round", "heal_at", "islands"])?;
+    let islands = p
+        .opt_array("islands")?
+        .ok_or(ScenarioError::Missing { table: "partition", key: "islands" })?
+        .iter()
+        .map(|item| {
+            let s = item.as_str().ok_or(ScenarioError::Type {
+                key: "partition.islands".into(),
+                expected: "array of strings",
+                found: item.type_name(),
+            })?;
+            parse_island(s)
+        })
+        .collect::<Result<_, _>>()?;
+    Ok(PartitionEvent { at_round: p.req_u64("at_round")?, heal_at: p.opt_u64("heal_at")?, islands })
+}
+
+/// The island micro-syntax: `"nodes:LO..HI"` (half-open id range),
+/// `"cliques:A,B,…"` (clustered clique ids), or `"region:X0,Y0,X1,Y1"`
+/// (inclusive spatial grid box).
+fn parse_island(s: &str) -> Result<Island, ScenarioError> {
+    let invalid = |reason: String| ScenarioError::Invalid {
+        key: "partition.islands".into(),
+        reason: format!("island `{s}`: {reason}"),
+    };
+    let (kind, body) = s
+        .split_once(':')
+        .ok_or_else(|| invalid("expected `nodes:…`, `cliques:…`, or `region:…`".into()))?;
+    let num = |field: &str| {
+        field.trim().parse::<u32>().map_err(|_| invalid(format!("`{field}` is not an integer")))
+    };
+    match kind {
+        "nodes" => {
+            let (lo, hi) = body
+                .split_once("..")
+                .ok_or_else(|| invalid("expected a half-open range `lo..hi`".into()))?;
+            Ok(Island::Range { lo: num(lo)?, hi: num(hi)? })
+        }
+        "cliques" => Ok(Island::Cliques(body.split(',').map(num).collect::<Result<Vec<_>, _>>()?)),
+        "region" => {
+            let parts = body.split(',').map(num).collect::<Result<Vec<_>, _>>()?;
+            let [x0, y0, x1, y1] = parts[..] else {
+                return Err(invalid("expected four coordinates `x0,y0,x1,y1`".into()));
+            };
+            Ok(Island::Region { x0, y0, x1, y1 })
+        }
+        other => Err(ScenarioError::UnknownName { what: "island kind", name: other.into() }),
+    }
+}
+
+/// The `[adversary]` table. Each attack takes exactly the keys it uses:
+/// `mass-inflation` a `factor`, `sketch-corruption` a `cells` count,
+/// `stale-epoch-replay` nothing extra.
+fn parse_adversary(table: &Table) -> Result<AdversarySpec, ScenarioError> {
+    let a = Ctx { table, name: "adversary" };
+    let attack = match a.req_str("attack")? {
+        "mass-inflation" => {
+            a.check_keys(&["attack", "fraction", "from_round", "factor"])?;
+            Attack::MassInflation { factor: a.req_f64("factor")? }
+        }
+        "stale-epoch-replay" => {
+            a.check_keys(&["attack", "fraction", "from_round"])?;
+            Attack::StaleEpochReplay
+        }
+        "sketch-corruption" => {
+            a.check_keys(&["attack", "fraction", "from_round", "cells"])?;
+            Attack::SketchCorruption { cells: a.req_u64("cells")? as u32 }
+        }
+        other => return Err(ScenarioError::UnknownName { what: "attack", name: other.into() }),
+    };
+    Ok(AdversarySpec {
+        attack,
+        fraction: a.req_f64("fraction")?,
+        from_round: a.opt_u64("from_round")?.unwrap_or(0),
+    })
 }
 
 fn parse_output(table: &Table) -> Result<OutputSpec, ScenarioError> {

@@ -10,9 +10,11 @@
 
 use crate::error::ScenarioError;
 use crate::spec::{
-    Engine, EnvSpec, LatencySpec, Probe, ProtocolSpec, Report, ScenarioSpec, ValueSpec,
+    topology_info, AdversarySpec, Engine, EnvSpec, LatencySpec, Probe, ProtocolSpec, Report,
+    ScenarioSpec, ValueSpec,
 };
 use dynagg_core::adaptive::AdaptiveRevert;
+use dynagg_core::adversary::{Adversarial, Corruptible};
 use dynagg_core::config::ResetConfig;
 use dynagg_core::config::SketchConfig;
 use dynagg_core::count_sketch::CountSketch;
@@ -33,6 +35,7 @@ use dynagg_node::loopback::ValueFn;
 use dynagg_node::runtime::FRAME_HEADER_BYTES;
 use dynagg_node::{AsyncConfig, AsyncNet, LatencyModel};
 use dynagg_sim::env::{ClusteredEnv, Environment, SpatialEnv, TraceEnv, UniformEnv};
+use dynagg_sim::partition::{self, PartitionTable};
 use dynagg_sim::{par, runner, Series};
 use dynagg_sketch::age::INF_AGE;
 use dynagg_sketch::codec;
@@ -207,47 +210,73 @@ fn run_trial(spec: &ScenarioSpec, seed: u64, n: usize, rounds: u64) -> TrialOutp
     match spec.protocol {
         P::PushSum => {
             let probe = spec.output.probe.map(|Probe::MassWeight| |p: &PushSum| p.mass().weight);
-            match spec.engine {
-                Engine::Pairwise => {
-                    run_pairwise(spec, seed, n, rounds, |_, v| PushSum::averaging(v), probe)
-                }
-                _ => run_message(spec, seed, n, rounds, |_, v| PushSum::averaging(v), probe),
+            let factory = |_, v| PushSum::averaging(v);
+            match (spec.engine, spec.adversary) {
+                (Engine::Pairwise, _) => run_pairwise(spec, seed, n, rounds, factory, probe),
+                (_, Some(adv)) => run_message(
+                    spec,
+                    seed,
+                    n,
+                    rounds,
+                    adversarial(adv, n, factory),
+                    None::<fn(&Adversarial<PushSum>) -> f64>,
+                ),
+                _ => run_message(spec, seed, n, rounds, factory, probe),
             }
         }
         P::PushSumRevert { lambda } => {
             let probe =
                 spec.output.probe.map(|Probe::MassWeight| |p: &PushSumRevert| p.mass().weight);
             let factory = move |_, v| PushSumRevert::new(v, lambda);
-            match spec.engine {
-                Engine::Pairwise => run_pairwise(spec, seed, n, rounds, factory, probe),
+            match (spec.engine, spec.adversary) {
+                (Engine::Pairwise, _) => run_pairwise(spec, seed, n, rounds, factory, probe),
+                (_, Some(adv)) => run_message(
+                    spec,
+                    seed,
+                    n,
+                    rounds,
+                    adversarial(adv, n, factory),
+                    None::<fn(&Adversarial<PushSumRevert>) -> f64>,
+                ),
                 _ => run_message(spec, seed, n, rounds, factory, probe),
             }
         }
         P::FullTransfer { lambda, parcels, window } => {
             let probe =
                 spec.output.probe.map(|Probe::MassWeight| |p: &FullTransfer| p.mass().weight);
-            run_message(
-                spec,
-                seed,
-                n,
-                rounds,
-                move |_, v| {
-                    FullTransfer::try_new(v, lambda, parcels, window).expect("validated config")
-                },
-                probe,
-            )
+            let factory = move |_, v: f64| {
+                FullTransfer::try_new(v, lambda, parcels, window).expect("validated config")
+            };
+            match spec.adversary {
+                Some(adv) => run_message(
+                    spec,
+                    seed,
+                    n,
+                    rounds,
+                    adversarial(adv, n, factory),
+                    None::<fn(&Adversarial<FullTransfer>) -> f64>,
+                ),
+                None => run_message(spec, seed, n, rounds, factory, probe),
+            }
         }
         P::AdaptiveRevert { lambda } => {
             let probe =
                 spec.output.probe.map(|Probe::MassWeight| |p: &AdaptiveRevert| p.mass().weight);
-            run_message(spec, seed, n, rounds, move |_, v| AdaptiveRevert::new(v, lambda), probe)
+            let factory = move |_, v| AdaptiveRevert::new(v, lambda);
+            match spec.adversary {
+                Some(adv) => run_message(
+                    spec,
+                    seed,
+                    n,
+                    rounds,
+                    adversarial(adv, n, factory),
+                    None::<fn(&Adversarial<AdaptiveRevert>) -> f64>,
+                ),
+                None => run_message(spec, seed, n, rounds, factory, probe),
+            }
         }
-        P::EpochPushSum { epoch_len, settle_len, drift_prob, clique_drift } => run_message(
-            spec,
-            seed,
-            n,
-            rounds,
-            move |id, v| {
+        P::EpochPushSum { epoch_len, settle_len, drift_prob, clique_drift } => {
+            let factory = move |id: NodeId, v| {
                 let mut p = EpochPushSum::new(v, epoch_len);
                 if let Some(s) = settle_len {
                     p = p.with_settle_len(s);
@@ -262,40 +291,69 @@ fn run_trial(spec: &ScenarioSpec, seed: u64, n: usize, rounds: u64) -> TrialOutp
                         .with_drift_model(DriftModel::ConstantSkew { rate: cd.rate_of(clique) });
                 }
                 p
-            },
-            None::<fn(&EpochPushSum) -> f64>,
-        ),
+            };
+            match spec.adversary {
+                Some(adv) => run_message(
+                    spec,
+                    seed,
+                    n,
+                    rounds,
+                    adversarial(adv, n, factory),
+                    None::<fn(&Adversarial<EpochPushSum>) -> f64>,
+                ),
+                None => {
+                    run_message(spec, seed, n, rounds, factory, None::<fn(&EpochPushSum) -> f64>)
+                }
+            }
+        }
         P::CountSketch { multiplier, hash_seed_xor } => {
             let cfg = SketchConfig::paper(n as u64 * multiplier, seed ^ hash_seed_xor);
-            run_message(
-                spec,
-                seed,
-                n,
-                rounds,
-                move |id, _| {
-                    if multiplier == 1 {
-                        CountSketch::counting(cfg, u64::from(id))
-                    } else {
-                        CountSketch::summing(cfg, u64::from(id), multiplier)
-                    }
-                },
-                None::<fn(&CountSketch) -> f64>,
-            )
+            let factory = move |id: NodeId, _| {
+                if multiplier == 1 {
+                    CountSketch::counting(cfg, u64::from(id))
+                } else {
+                    CountSketch::summing(cfg, u64::from(id), multiplier)
+                }
+            };
+            match spec.adversary {
+                Some(adv) => run_message(
+                    spec,
+                    seed,
+                    n,
+                    rounds,
+                    adversarial(adv, n, factory),
+                    None::<fn(&Adversarial<CountSketch>) -> f64>,
+                ),
+                None => {
+                    run_message(spec, seed, n, rounds, factory, None::<fn(&CountSketch) -> f64>)
+                }
+            }
         }
         P::CountSketchReset { cutoff, push_pull, multiplier, hash_seed_xor } => {
             let cfg = ResetConfig::paper(n as u64 * multiplier, seed ^ hash_seed_xor)
                 .with_cutoff(cutoff)
                 .with_push_pull(push_pull);
-            match spec.output.report {
-                Report::Series => run_message(
+            let factory = move |id: NodeId, _| {
+                CountSketchReset::with_multiplier(cfg, u64::from(id), multiplier)
+            };
+            match (spec.output.report, spec.adversary) {
+                (Report::Series, Some(adv)) => run_message(
                     spec,
                     seed,
                     n,
                     rounds,
-                    move |id, _| CountSketchReset::with_multiplier(cfg, u64::from(id), multiplier),
+                    adversarial(adv, n, factory),
+                    None::<fn(&Adversarial<CountSketchReset>) -> f64>,
+                ),
+                (Report::Series, None) => run_message(
+                    spec,
+                    seed,
+                    n,
+                    rounds,
+                    factory,
                     None::<fn(&CountSketchReset) -> f64>,
                 ),
-                Report::CounterCdf => run_counter_cdf(spec, seed, n, rounds, cfg, multiplier),
+                (Report::CounterCdf, _) => run_counter_cdf(spec, seed, n, rounds, cfg, multiplier),
             }
         }
         P::InvertAverage { lambda, hash_seed_xor } => {
@@ -353,6 +411,44 @@ fn run_trial(spec: &ScenarioSpec, seed: u64, n: usize, rounds: u64) -> TrialOutp
                 move |_, v| DynamicHistogram::new(geometry, v, lambda),
                 None::<fn(&DynamicHistogram) -> f64>,
             )
+        }
+    }
+}
+
+/// The resolved partition schedule of a validated spec (empty when the
+/// spec has no `[[partition]]` tables).
+fn partition_table(spec: &ScenarioSpec, n: usize) -> PartitionTable {
+    if spec.partitions.is_empty() {
+        return PartitionTable::empty();
+    }
+    let topo = topology_info(&spec.env, n);
+    let events = spec
+        .partitions
+        .iter()
+        .map(|event| partition::resolve(event, n, &topo).expect("validated partition event"))
+        .collect();
+    PartitionTable::new(events).expect("validated partition schedule")
+}
+
+/// Wrap a protocol factory so the first `⌈fraction · n⌉` host ids run the
+/// Byzantine wrapper and everyone else an honest pass-through.
+fn adversarial<P, F>(
+    adv: AdversarySpec,
+    n: usize,
+    mut factory: F,
+) -> impl FnMut(NodeId, f64) -> Adversarial<P> + 'static
+where
+    P: PushProtocol + 'static,
+    P::Message: Corruptible,
+    F: FnMut(NodeId, f64) -> P + 'static,
+{
+    let malicious = ((adv.fraction * n as f64).ceil() as usize).clamp(1, n.max(1)) as NodeId;
+    move |id, v| {
+        let inner = factory(id, v);
+        if id < malicious {
+            Adversarial::malicious(inner, adv.attack, adv.from_round)
+        } else {
+            Adversarial::honest(inner)
         }
     }
 }
@@ -415,6 +511,7 @@ where
         .truth(spec.truth)
         .failure(spec.failure)
         .message_loss(spec.loss)
+        .partition(partition_table(spec, n))
         .build();
     let mut out = match probe {
         None => TrialOutput { series: sim.run(rounds), counter_samples: None, probe: None },
@@ -453,6 +550,7 @@ where
         .truth(spec.truth)
         .failure(spec.failure)
         .message_loss(spec.loss)
+        .partition(partition_table(spec, n))
         .build_pairwise();
     let mut out = match probe {
         None => TrialOutput { series: sim.run(rounds), counter_samples: None, probe: None },
@@ -510,7 +608,8 @@ where
     )
     .with_membership(build_env(&spec.env, n, seed))
     .with_truth(spec.truth)
-    .with_failure(spec.failure);
+    .with_failure(spec.failure)
+    .with_partition(partition_table(spec, n));
     net.run(rounds);
     net.into_series()
 }
@@ -614,6 +713,7 @@ fn run_counter_cdf(
         .truth(spec.truth)
         .failure(spec.failure)
         .message_loss(spec.loss)
+        .partition(partition_table(spec, n))
         .build();
     for _ in 0..rounds {
         sim.step();

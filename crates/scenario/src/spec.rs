@@ -4,11 +4,13 @@
 //! modules construct.
 
 use crate::error::ScenarioError;
+use dynagg_core::adversary::Attack;
 use dynagg_core::config::{FullTransferConfig, RevertConfig};
 use dynagg_core::epoch::DriftModel;
 use dynagg_core::extremum::ExtremumMode;
 use dynagg_sim::env::{MobilityEvent, MobilityKind};
 use dynagg_sim::metrics::RoundStats;
+use dynagg_sim::partition::{self, PartitionEvent, PartitionTable, TopologyInfo};
 use dynagg_sim::{FailureSpec, Truth};
 use dynagg_sketch::cutoff::Cutoff;
 use dynagg_trace::datasets::Dataset;
@@ -203,6 +205,35 @@ impl CliqueDrift {
     }
 }
 
+/// The `[adversary]` table: install a Byzantine attack on part of the
+/// population. The first `⌈fraction · n⌉` host ids run their protocol
+/// through [`dynagg_core::adversary::Adversarial`], corrupting every
+/// outgoing message once `from_round` passes; the rest stay honest.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdversarySpec {
+    /// Which semantic corruption malicious hosts apply.
+    pub attack: Attack,
+    /// Fraction of the population that is malicious, in `(0, 1]`.
+    pub fraction: f64,
+    /// First round at which the attack is live (default 0).
+    pub from_round: u64,
+}
+
+/// The topology facts symbolic partition islands resolve against, read
+/// off an [`EnvSpec`] the way [`crate::registry`] will build it.
+pub(crate) fn topology_info(env: &EnvSpec, n: usize) -> TopologyInfo {
+    match env {
+        EnvSpec::Clustered { clusters, .. } => {
+            TopologyInfo { clusters: Some(*clusters), side: None }
+        }
+        // Matches `SpatialEnv::for_nodes`: a ⌈√n⌉-sided row-major grid.
+        EnvSpec::Spatial { .. } => {
+            TopologyInfo { clusters: None, side: Some(((n as f64).sqrt().ceil() as u32).max(1)) }
+        }
+        _ => TopologyInfo::default(),
+    }
+}
+
 /// Which protocol every host runs, with its configuration. One variant per
 /// protocol in `dynagg-core`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -371,11 +402,19 @@ pub enum Metric {
     Settling,
     /// Cumulative disruptive restarts.
     Disruptions,
+    /// Global mass-conservation drift: mean of every live host's audited
+    /// Push-Sum mass minus the true mean. Exactly 0 under honest lockstep
+    /// runs (§III conservation); jitters by ~one round's in-flight mass
+    /// under the async engine; drifts without bound under a
+    /// mass-inflation adversary. 0 for protocols that expose no mass.
+    MassAudit,
+    /// Network islands this round (1 when no partition is active).
+    Islands,
 }
 
 impl Metric {
     /// All metrics, in CSV column order.
-    pub const ALL: [Metric; 13] = [
+    pub const ALL: [Metric; 15] = [
         Metric::Alive,
         Metric::Truth,
         Metric::MeanEstimate,
@@ -389,6 +428,8 @@ impl Metric {
         Metric::MeanGroupSize,
         Metric::Settling,
         Metric::Disruptions,
+        Metric::MassAudit,
+        Metric::Islands,
     ];
 
     /// The snake_case name scenario files use.
@@ -407,6 +448,8 @@ impl Metric {
             Metric::MeanGroupSize => "mean_group_size",
             Metric::Settling => "settling",
             Metric::Disruptions => "disruptions",
+            Metric::MassAudit => "mass_audit",
+            Metric::Islands => "islands",
         }
     }
 
@@ -431,6 +474,8 @@ impl Metric {
             Metric::MeanGroupSize => s.mean_group_size,
             Metric::Settling => s.settling as f64,
             Metric::Disruptions => s.disruptions as f64,
+            Metric::MassAudit => s.mass_audit,
+            Metric::Islands => s.islands as f64,
         }
     }
 }
@@ -552,6 +597,13 @@ pub struct ScenarioSpec {
     pub failure: FailureSpec,
     /// Independent per-message loss probability.
     pub loss: f64,
+    /// Scheduled network partitions (the `[[partition]]` tables): at
+    /// `at_round` the population splits into islands no traffic crosses;
+    /// at `heal_at` it re-merges. Resolved against the population and
+    /// topology by [`dynagg_sim::partition::resolve`].
+    pub partitions: Vec<PartitionEvent>,
+    /// Byzantine adversary installation (the `[adversary]` table).
+    pub adversary: Option<AdversarySpec>,
     /// Output selection.
     pub output: OutputSpec,
     /// Optional parameter sweep.
@@ -578,6 +630,8 @@ impl ScenarioSpec {
             truth: Truth::Mean,
             failure: FailureSpec::None,
             loss: 0.0,
+            partitions: Vec::new(),
+            adversary: None,
             output: OutputSpec::default(),
             sweep: None,
         }
@@ -620,6 +674,8 @@ impl ScenarioSpec {
         self.validate_protocol()?;
         self.validate_failure()?;
         self.validate_async()?;
+        self.validate_partitions()?;
+        self.validate_adversary()?;
 
         if self.truth.needs_groups() && !is_trace {
             return Err(ScenarioError::Unsupported {
@@ -963,6 +1019,131 @@ impl ScenarioSpec {
         }
         if a.sample_every_ms == Some(0) {
             return Err(invalid("async.sample_every_ms", "must be at least 1".into()));
+        }
+        Ok(())
+    }
+
+    fn validate_partitions(&self) -> Result<(), ScenarioError> {
+        if self.partitions.is_empty() {
+            return Ok(());
+        }
+        if matches!(self.env, EnvSpec::Trace { .. }) {
+            return Err(ScenarioError::Unsupported {
+                reason: "partition islands resolve against a fixed synthetic population; trace \
+                         environments derive theirs from the dataset — use kind = \"uniform\", \
+                         \"spatial\", or \"clustered\""
+                    .into(),
+            });
+        }
+        if let Some(sweep) = &self.sweep {
+            if sweep.axis == SweepAxis::N {
+                return Err(ScenarioError::Unsupported {
+                    reason: "a population sweep changes what the island definitions cover; fix \
+                             `n` or drop the [[partition]] tables"
+                        .into(),
+                });
+            }
+        }
+        if let FailureSpec::Churn { join_per_round, .. } = self.failure {
+            if join_per_round > 0.0 {
+                return Err(ScenarioError::Unsupported {
+                    reason: "churn-joined hosts have no island assignment; use leave-only churn \
+                             or at-round failures alongside [[partition]] tables"
+                        .into(),
+                });
+            }
+        }
+        let n = self.n.expect("validated above: non-trace specs have n");
+        let topo = topology_info(&self.env, n);
+        let mut resolved = Vec::with_capacity(self.partitions.len());
+        for (i, event) in self.partitions.iter().enumerate() {
+            resolved.push(partition::resolve(event, n, &topo).map_err(|reason| {
+                ScenarioError::Invalid { key: format!("partition[{i}]"), reason }
+            })?);
+        }
+        PartitionTable::new(resolved)
+            .map(|_| ())
+            .map_err(|reason| ScenarioError::Invalid { key: "partition".into(), reason })
+    }
+
+    fn validate_adversary(&self) -> Result<(), ScenarioError> {
+        let invalid =
+            |key: &str, reason: String| ScenarioError::Invalid { key: key.into(), reason };
+        let Some(adv) = self.adversary else { return Ok(()) };
+        if self.engine == Engine::Pairwise {
+            return Err(ScenarioError::Unsupported {
+                reason: "the adversary wraps the message-passing protocol step, which atomic \
+                         pairwise exchanges bypass; use engine = \"push\" or \"async\""
+                    .into(),
+            });
+        }
+        if !(adv.fraction > 0.0 && adv.fraction <= 1.0) {
+            return Err(invalid(
+                "adversary.fraction",
+                format!("fraction {} outside (0, 1]", adv.fraction),
+            ));
+        }
+        let mismatch = |attack: &str, needs: &str| ScenarioError::Unsupported {
+            reason: format!(
+                "attack `{attack}` {needs}; protocol `{}` does not qualify",
+                self.protocol.name()
+            ),
+        };
+        match adv.attack {
+            Attack::MassInflation { factor } => {
+                if !factor.is_finite() || factor < 0.0 {
+                    return Err(invalid(
+                        "adversary.factor",
+                        format!("factor {factor} must be finite and >= 0"),
+                    ));
+                }
+                if !matches!(
+                    self.protocol,
+                    ProtocolSpec::PushSum
+                        | ProtocolSpec::PushSumRevert { .. }
+                        | ProtocolSpec::AdaptiveRevert { .. }
+                        | ProtocolSpec::FullTransfer { .. }
+                        | ProtocolSpec::EpochPushSum { .. }
+                ) {
+                    return Err(mismatch("mass-inflation", "corrupts Push-Sum mass messages"));
+                }
+            }
+            Attack::StaleEpochReplay => {
+                if !matches!(self.protocol, ProtocolSpec::EpochPushSum { .. }) {
+                    return Err(mismatch(
+                        "stale-epoch-replay",
+                        "forges epoch numbers and needs protocol `epoch-push-sum`",
+                    ));
+                }
+            }
+            Attack::SketchCorruption { cells } => {
+                if cells == 0 {
+                    return Err(invalid("adversary.cells", "must be at least 1".into()));
+                }
+                if !matches!(
+                    self.protocol,
+                    ProtocolSpec::CountSketch { .. } | ProtocolSpec::CountSketchReset { .. }
+                ) {
+                    return Err(mismatch(
+                        "sketch-corruption",
+                        "forges sketch bits and needs a count-sketch protocol",
+                    ));
+                }
+            }
+        }
+        if self.output.probe.is_some() {
+            return Err(ScenarioError::Unsupported {
+                reason: "probes read the inner protocol state, which the adversarial wrapper \
+                         hides; drop the probe or the [adversary] table"
+                    .into(),
+            });
+        }
+        if self.output.report == Report::CounterCdf {
+            return Err(ScenarioError::Unsupported {
+                reason: "report = \"counter-cdf\" reads raw age matrices, which the adversarial \
+                         wrapper hides; drop the report or the [adversary] table"
+                    .into(),
+            });
         }
         Ok(())
     }

@@ -420,3 +420,354 @@ fn unknown_probe_name_is_typed() {
         Err(ScenarioError::UnknownName { what: "probe", .. })
     ));
 }
+
+// ── chaos: partitions ───────────────────────────────────────────────────
+
+/// A valid two-island split/heal over the uniform environment.
+const VALID_PARTITION: &str = r#"
+name = "valid-partition"
+seed = 7
+n = 200
+rounds = 10
+
+[env]
+kind = "uniform"
+
+[protocol]
+name = "push-sum-revert"
+lambda = 0.01
+
+[[partition]]
+at_round = 2
+heal_at = 6
+islands = ["nodes:0..100", "nodes:100..200"]
+"#;
+
+#[test]
+fn the_partition_fixture_parses() {
+    let spec = ScenarioSpec::from_toml_str(VALID_PARTITION).unwrap();
+    assert_eq!(spec.partitions.len(), 1);
+    assert_eq!(spec.partitions[0].at_round, 2);
+    assert_eq!(spec.partitions[0].heal_at, Some(6));
+    assert_eq!(spec.partitions[0].islands.len(), 2);
+}
+
+#[test]
+fn unknown_island_kind_is_typed() {
+    let src = replace(VALID_PARTITION, "nodes:0..100", "rows:0..100");
+    match ScenarioSpec::from_toml_str(&src) {
+        Err(ScenarioError::UnknownName { what: "island kind", name }) => assert_eq!(name, "rows"),
+        other => panic!("expected UnknownName {{ island kind }}, got {other:?}"),
+    }
+}
+
+#[test]
+fn malformed_island_syntax_is_typed() {
+    // Not a range.
+    let src = replace(VALID_PARTITION, "nodes:0..100", "nodes:0-100");
+    match ScenarioSpec::from_toml_str(&src) {
+        Err(ScenarioError::Invalid { key, reason }) => {
+            assert_eq!(key, "partition.islands");
+            assert!(reason.contains("half-open range"), "{reason}");
+        }
+        other => panic!("expected Invalid {{ partition.islands }}, got {other:?}"),
+    }
+    // Not an integer.
+    let src = replace(VALID_PARTITION, "nodes:0..100", "nodes:zero..100");
+    assert!(matches!(
+        ScenarioSpec::from_toml_str(&src),
+        Err(ScenarioError::Invalid { key, .. }) if key == "partition.islands"
+    ));
+    // Region needs four coordinates.
+    let src = replace(VALID_PARTITION, "nodes:0..100", "region:0,0,5");
+    assert!(matches!(
+        ScenarioSpec::from_toml_str(&src),
+        Err(ScenarioError::Invalid { key, .. }) if key == "partition.islands"
+    ));
+    // No kind prefix at all.
+    let src = replace(VALID_PARTITION, "nodes:0..100", "0..100");
+    assert!(matches!(
+        ScenarioSpec::from_toml_str(&src),
+        Err(ScenarioError::Invalid { key, .. }) if key == "partition.islands"
+    ));
+}
+
+#[test]
+fn overlapping_and_incomplete_islands_are_typed() {
+    let overlap = replace(VALID_PARTITION, "nodes:100..200", "nodes:50..200");
+    match ScenarioSpec::from_toml_str(&overlap) {
+        Err(ScenarioError::Invalid { key, reason }) => {
+            assert_eq!(key, "partition[0]");
+            assert!(reason.contains("overlap"), "{reason}");
+        }
+        other => panic!("expected Invalid {{ partition[0] }}, got {other:?}"),
+    }
+    let hole = replace(VALID_PARTITION, "nodes:100..200", "nodes:150..200");
+    match ScenarioSpec::from_toml_str(&hole) {
+        Err(ScenarioError::Invalid { key, reason }) => {
+            assert_eq!(key, "partition[0]");
+            assert!(reason.contains("no island"), "{reason}");
+        }
+        other => panic!("expected Invalid {{ partition[0] }}, got {other:?}"),
+    }
+}
+
+#[test]
+fn heal_before_split_is_typed() {
+    let src = replace(VALID_PARTITION, "heal_at = 6", "heal_at = 2");
+    assert!(matches!(
+        ScenarioSpec::from_toml_str(&src),
+        Err(ScenarioError::Invalid { key, .. }) if key == "partition[0]"
+    ));
+}
+
+#[test]
+fn island_kinds_must_match_the_environment() {
+    // Clique islands against the uniform environment.
+    let src = replace(
+        VALID_PARTITION,
+        "\"nodes:0..100\", \"nodes:100..200\"",
+        "\"cliques:0\", \"cliques:1\"",
+    );
+    match ScenarioSpec::from_toml_str(&src) {
+        Err(ScenarioError::Invalid { key, reason }) => {
+            assert_eq!(key, "partition[0]");
+            assert!(reason.contains("clustered"), "{reason}");
+        }
+        other => panic!("expected Invalid {{ partition[0] }}, got {other:?}"),
+    }
+    // Region islands likewise need the spatial grid.
+    let src = replace(
+        VALID_PARTITION,
+        "\"nodes:0..100\", \"nodes:100..200\"",
+        "\"region:0,0,7,14\", \"region:8,0,14,14\"",
+    );
+    assert!(matches!(
+        ScenarioSpec::from_toml_str(&src),
+        Err(ScenarioError::Invalid { key, reason }) if key == "partition[0]" && reason.contains("spatial")
+    ));
+}
+
+#[test]
+fn partition_on_trace_env_is_unsupported() {
+    let src = replace(VALID_PARTITION, "kind = \"uniform\"", "kind = \"trace\"\ndataset = 1");
+    let src = replace(&src, "n = 200\n", "");
+    match ScenarioSpec::from_toml_str(&src) {
+        Err(ScenarioError::Unsupported { reason }) => assert!(reason.contains("trace"), "{reason}"),
+        other => panic!("expected Unsupported, got {other:?}"),
+    }
+}
+
+#[test]
+fn partition_with_population_sweep_is_unsupported() {
+    let src = format!("{VALID_PARTITION}\n[sweep]\naxis = \"n\"\nvalues = [100.0, 200.0]\n");
+    match ScenarioSpec::from_toml_str(&src) {
+        Err(ScenarioError::Unsupported { reason }) => {
+            assert!(reason.contains("population sweep"), "{reason}");
+        }
+        other => panic!("expected Unsupported, got {other:?}"),
+    }
+}
+
+#[test]
+fn partition_with_churn_joins_is_unsupported() {
+    let src = format!(
+        "{VALID_PARTITION}\n[failure]\nkind = \"churn\"\nleave_per_round = 0.01\njoin_per_round = 0.01\n"
+    );
+    match ScenarioSpec::from_toml_str(&src) {
+        Err(ScenarioError::Unsupported { reason }) => {
+            assert!(reason.contains("island assignment"), "{reason}");
+        }
+        other => panic!("expected Unsupported, got {other:?}"),
+    }
+    // Leave-only churn composes fine.
+    let src = format!(
+        "{VALID_PARTITION}\n[failure]\nkind = \"churn\"\nleave_per_round = 0.01\njoin_per_round = 0.0\n"
+    );
+    ScenarioSpec::from_toml_str(&src).unwrap();
+}
+
+#[test]
+fn overlapping_partition_schedules_are_typed() {
+    let second = "\n[[partition]]\nat_round = 4\nheal_at = 9\nislands = [\"nodes:0..50\", \"nodes:50..200\"]\n";
+    let src = format!("{VALID_PARTITION}{second}");
+    match ScenarioSpec::from_toml_str(&src) {
+        Err(ScenarioError::Invalid { key, reason }) => {
+            assert_eq!(key, "partition");
+            assert!(reason.contains("overlap"), "{reason}");
+        }
+        other => panic!("expected Invalid {{ partition }}, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_partition_keys_and_missing_islands_are_typed() {
+    let src = replace(VALID_PARTITION, "at_round = 2", "at_round = 2\nsplit_at = 2");
+    assert!(matches!(
+        ScenarioSpec::from_toml_str(&src),
+        Err(ScenarioError::UnknownKey { table: "partition", key }) if key == "split_at"
+    ));
+    let src = replace(VALID_PARTITION, "islands = [\"nodes:0..100\", \"nodes:100..200\"]\n", "");
+    assert_eq!(
+        ScenarioSpec::from_toml_str(&src).unwrap_err(),
+        ScenarioError::Missing { table: "partition", key: "islands" }
+    );
+}
+
+// ── chaos: adversaries ──────────────────────────────────────────────────
+
+/// A valid mass-inflation adversary over Push-Sum-Revert.
+const VALID_ADVERSARY: &str = r#"
+name = "valid-adversary"
+seed = 7
+n = 200
+rounds = 10
+
+[env]
+kind = "uniform"
+
+[protocol]
+name = "push-sum-revert"
+lambda = 0.01
+
+[adversary]
+attack = "mass-inflation"
+fraction = 0.02
+factor = 2.0
+from_round = 3
+"#;
+
+#[test]
+fn the_adversary_fixture_parses() {
+    let spec = ScenarioSpec::from_toml_str(VALID_ADVERSARY).unwrap();
+    let adv = spec.adversary.expect("[adversary] parsed");
+    assert_eq!(adv.fraction, 0.02);
+    assert_eq!(adv.from_round, 3);
+}
+
+#[test]
+fn unknown_attack_name_is_typed() {
+    let src = replace(VALID_ADVERSARY, "mass-inflation", "bit-rot");
+    match ScenarioSpec::from_toml_str(&src) {
+        Err(ScenarioError::UnknownName { what: "attack", name }) => assert_eq!(name, "bit-rot"),
+        other => panic!("expected UnknownName {{ attack }}, got {other:?}"),
+    }
+}
+
+#[test]
+fn adversary_under_pairwise_engine_is_unsupported() {
+    let src = replace(VALID_ADVERSARY, "rounds = 10", "rounds = 10\nengine = \"pairwise\"");
+    match ScenarioSpec::from_toml_str(&src) {
+        Err(ScenarioError::Unsupported { reason }) => {
+            assert!(reason.contains("pairwise"), "{reason}");
+        }
+        other => panic!("expected Unsupported, got {other:?}"),
+    }
+}
+
+#[test]
+fn adversary_fraction_out_of_range_is_typed() {
+    for bad in ["fraction = 0.0", "fraction = 1.5", "fraction = -0.1"] {
+        let src = replace(VALID_ADVERSARY, "fraction = 0.02", bad);
+        assert!(
+            matches!(
+                ScenarioSpec::from_toml_str(&src),
+                Err(ScenarioError::Invalid { ref key, .. }) if key == "adversary.fraction"
+            ),
+            "`{bad}` must be rejected"
+        );
+    }
+}
+
+#[test]
+fn negative_inflation_factor_is_typed() {
+    let src = replace(VALID_ADVERSARY, "factor = 2.0", "factor = -1.0");
+    assert!(matches!(
+        ScenarioSpec::from_toml_str(&src),
+        Err(ScenarioError::Invalid { key, .. }) if key == "adversary.factor"
+    ));
+}
+
+#[test]
+fn attack_protocol_mismatches_are_unsupported() {
+    // Mass inflation has nothing to corrupt in a sketch protocol.
+    let src = replace(
+        VALID_ADVERSARY,
+        "[protocol]\nname = \"push-sum-revert\"\nlambda = 0.01",
+        "[protocol]\nname = \"count-sketch\"",
+    );
+    match ScenarioSpec::from_toml_str(&src) {
+        Err(ScenarioError::Unsupported { reason }) => {
+            assert!(reason.contains("mass-inflation"), "{reason}");
+        }
+        other => panic!("expected Unsupported, got {other:?}"),
+    }
+    // Stale-epoch replay needs epoch annotations on the wire.
+    let src = replace(
+        VALID_ADVERSARY,
+        "attack = \"mass-inflation\"\nfraction = 0.02\nfactor = 2.0",
+        "attack = \"stale-epoch-replay\"\nfraction = 0.02",
+    );
+    assert!(matches!(ScenarioSpec::from_toml_str(&src), Err(ScenarioError::Unsupported { .. })));
+    // Sketch corruption needs sketch payloads.
+    let src = replace(
+        VALID_ADVERSARY,
+        "attack = \"mass-inflation\"\nfraction = 0.02\nfactor = 2.0",
+        "attack = \"sketch-corruption\"\nfraction = 0.02\ncells = 4",
+    );
+    assert!(matches!(ScenarioSpec::from_toml_str(&src), Err(ScenarioError::Unsupported { .. })));
+}
+
+#[test]
+fn attack_keys_are_attack_specific() {
+    // `cells` belongs to sketch-corruption, not mass-inflation.
+    let src = replace(VALID_ADVERSARY, "factor = 2.0", "factor = 2.0\ncells = 4");
+    assert!(matches!(
+        ScenarioSpec::from_toml_str(&src),
+        Err(ScenarioError::UnknownKey { table: "adversary", key }) if key == "cells"
+    ));
+    // `factor` is meaningless for stale-epoch-replay.
+    let src = replace(
+        VALID_ADVERSARY,
+        "push-sum-revert\"\nlambda = 0.01",
+        "epoch-push-sum\"\nepoch_len = 20",
+    );
+    let src = replace(&src, "attack = \"mass-inflation\"", "attack = \"stale-epoch-replay\"");
+    assert!(matches!(
+        ScenarioSpec::from_toml_str(&src),
+        Err(ScenarioError::UnknownKey { table: "adversary", key }) if key == "factor"
+    ));
+    // Zero forged cells is no attack at all.
+    let sketch = replace(
+        VALID_ADVERSARY,
+        "[protocol]\nname = \"push-sum-revert\"\nlambda = 0.01",
+        "[protocol]\nname = \"count-sketch-reset\"",
+    );
+    let sketch = replace(
+        &sketch,
+        "attack = \"mass-inflation\"\nfraction = 0.02\nfactor = 2.0",
+        "attack = \"sketch-corruption\"\nfraction = 0.02\ncells = 0",
+    );
+    assert!(matches!(
+        ScenarioSpec::from_toml_str(&sketch),
+        Err(ScenarioError::Invalid { key, .. }) if key == "adversary.cells"
+    ));
+}
+
+#[test]
+fn adversary_with_probe_or_counter_cdf_is_unsupported() {
+    let src = format!("{VALID_ADVERSARY}\n[output]\nprobe = \"mass-weight\"\n");
+    assert!(matches!(ScenarioSpec::from_toml_str(&src), Err(ScenarioError::Unsupported { .. })));
+    let src = replace(
+        VALID_ADVERSARY,
+        "[protocol]\nname = \"push-sum-revert\"\nlambda = 0.01",
+        "[protocol]\nname = \"count-sketch-reset\"",
+    );
+    let src = replace(
+        &src,
+        "attack = \"mass-inflation\"\nfraction = 0.02\nfactor = 2.0",
+        "attack = \"sketch-corruption\"\nfraction = 0.02\ncells = 4",
+    );
+    let src = format!("{src}\n[output]\nreport = \"counter-cdf\"\n");
+    assert!(matches!(ScenarioSpec::from_toml_str(&src), Err(ScenarioError::Unsupported { .. })));
+}

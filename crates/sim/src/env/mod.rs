@@ -6,6 +6,7 @@
 
 use crate::alive::AliveSet;
 use crate::membership::Membership;
+use crate::partition::PartitionTable;
 use dynagg_core::protocol::{NodeId, PeerSampler};
 use dynagg_trace::GroupView;
 use rand::rngs::SmallRng;
@@ -47,18 +48,33 @@ pub struct EnvSampler<'a> {
     env: &'a dyn Environment,
     alive: &'a AliveSet,
     node: NodeId,
+    partition: Option<&'a PartitionTable>,
 }
 
 impl<'a> EnvSampler<'a> {
     /// Wrap `env` for `node`.
     pub fn new(env: &'a dyn Environment, alive: &'a AliveSet, node: NodeId) -> Self {
-        Self { env, alive, node }
+        Self { env, alive, node, partition: None }
+    }
+
+    /// Filter sampled peers through a partition table: a cross-island
+    /// partner becomes `None` (the host gossips with nobody this round,
+    /// keeping its mass at home), and broadcast sets drop unreachable
+    /// members. [`EnvSampler::degree`] stays unfiltered — it is an
+    /// advisory fan-out bound, and may overcount during a split.
+    pub fn partitioned(mut self, table: &'a PartitionTable) -> Self {
+        self.partition = Some(table);
+        self
     }
 }
 
 impl PeerSampler for EnvSampler<'_> {
     fn sample(&mut self, rng: &mut SmallRng) -> Option<NodeId> {
-        self.env.sample(self.node, self.alive, rng)
+        let peer = self.env.sample(self.node, self.alive, rng)?;
+        match self.partition {
+            Some(table) if !table.allows(self.node, peer) => None,
+            _ => Some(peer),
+        }
     }
 
     fn degree(&self) -> usize {
@@ -67,5 +83,9 @@ impl PeerSampler for EnvSampler<'_> {
 
     fn neighbors(&mut self, rng: &mut SmallRng, out: &mut Vec<NodeId>) {
         self.env.neighbors(self.node, self.alive, rng, out);
+        if let Some(table) = self.partition {
+            let node = self.node;
+            out.retain(|&peer| table.allows(node, peer));
+        }
     }
 }

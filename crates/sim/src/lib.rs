@@ -22,6 +22,8 @@
 //!   failures, Poisson churn, graceful sign-offs,
 //! * [`metrics`] — per-round error series ("standard deviation from the
 //!   correct value", per-group truths for trace runs) and CSV emitters,
+//! * [`partition`] — scheduled network partitions (split into islands,
+//!   heal later) both engine families enforce at their delivery layers,
 //! * [`runner`] — [`runner::Simulation`] (message-passing protocols) and
 //!   [`runner::PairwiseSimulation`] (atomic push/pull exchanges),
 //! * [`rng`] — deterministic seed derivation; a simulation's entire
@@ -38,6 +40,7 @@ pub mod failure;
 pub mod membership;
 pub mod metrics;
 pub mod par;
+pub mod partition;
 pub mod rng;
 pub mod runner;
 
@@ -46,4 +49,5 @@ pub use env::Environment;
 pub use failure::{FailureMode, FailureSpec};
 pub use membership::{Membership, ViewChange};
 pub use metrics::{RoundStats, Series, Truth};
+pub use partition::{PartitionTable, PartitionTransition};
 pub use runner::{PairwiseSimulation, Simulation};

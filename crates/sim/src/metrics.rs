@@ -172,6 +172,21 @@ pub struct RoundStats {
     /// Cumulative disruptive restarts summed over live hosts (a gauge:
     /// compare across rounds via [`Series::disruptions_between`]).
     pub disruptions: u64,
+    /// Global mass audit: the deviation of the *globally aggregated* mass
+    /// (`Σ value / Σ weight` over live hosts) from the truth. Under
+    /// conservation of mass (§III) this sits at ~0 regardless of how far
+    /// individual hosts are from convergence — so a persistent, growing
+    /// deviation is direct evidence of mass forgery (an inflation
+    /// adversary), and a step change marks mass destruction (loss, a
+    /// partition cutting in-flight frames). The lockstep engines snapshot
+    /// between rounds, so their audit is conservation-exact; the async
+    /// engine samples mid-flight and its audit jitters by roughly one
+    /// round's in-transit mass around zero. Zero for protocols that
+    /// expose no mass.
+    pub mass_audit: f64,
+    /// Connectivity islands the chaos layer is enforcing this round (1
+    /// when no partition is active).
+    pub islands: u64,
 }
 
 /// Per-round lifecycle tallies (epoch settling windows and disruptive
@@ -248,6 +263,8 @@ impl StatsAcc {
             mean_group_size,
             settling: self.lifecycle.settling,
             disruptions: self.lifecycle.disruptions,
+            mass_audit: 0.0,
+            islands: 1,
         }
     }
 }
@@ -315,6 +332,23 @@ impl Series {
         end.saturating_sub(start)
     }
 
+    /// Rounds until re-convergence after a disruption (a partition heal, a
+    /// mass failure): the first round at or after `from` whose
+    /// `mean_abs_err` drops to `tol` or below *and stays there* for the
+    /// rest of the series, reported as an offset from `from`. `None` if
+    /// the series never re-converges within its horizon.
+    pub fn reconvergence_after(&self, from: u64, tol: f64) -> Option<u64> {
+        let mut candidate: Option<u64> = None;
+        for s in self.rounds.iter().filter(|s| s.round >= from) {
+            if s.mean_abs_err <= tol && s.defined > 0 {
+                candidate.get_or_insert(s.round - from);
+            } else {
+                candidate = None;
+            }
+        }
+        candidate
+    }
+
     /// Total payload bytes over the whole run.
     pub fn total_bytes(&self) -> u64 {
         self.rounds.iter().map(|s| s.bytes).sum()
@@ -334,11 +368,11 @@ impl Series {
     /// CSV export (header + one row per round).
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "round,alive,truth,mean_estimate,stddev,mean_abs_err,max_abs_err,defined,messages,bytes,wire_bytes,mean_group_size,settling,disruptions\n",
+            "round,alive,truth,mean_estimate,stddev,mean_abs_err,max_abs_err,defined,messages,bytes,wire_bytes,mean_group_size,settling,disruptions,mass_audit,islands\n",
         );
         for s in &self.rounds {
             out.push_str(&format!(
-                "{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{},{},{:.3},{},{}\n",
+                "{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{},{},{:.3},{},{},{:.6},{}\n",
                 s.round,
                 s.alive,
                 s.truth,
@@ -353,6 +387,8 @@ impl Series {
                 s.mean_group_size,
                 s.settling,
                 s.disruptions,
+                s.mass_audit,
+                s.islands,
             ));
         }
         out
@@ -430,6 +466,8 @@ mod tests {
             mean_group_size: 0.0,
             settling: 0,
             disruptions: 0,
+            mass_audit: 0.0,
+            islands: 1,
         };
         let mut series = Series::default();
         for (r, sd) in [(0, 10.0), (1, 0.5), (2, 5.0), (3, 0.4), (4, 0.3)] {
@@ -448,9 +486,42 @@ mod tests {
         series.push(acc.finish(0, 1, 2, 32, 42, 0.0));
         let csv = series.to_csv();
         assert!(csv.starts_with("round,alive"));
-        assert!(csv.lines().next().unwrap().ends_with("settling,disruptions"));
+        assert!(csv.lines().next().unwrap().ends_with("settling,disruptions,mass_audit,islands"));
         assert_eq!(csv.lines().count(), 2);
-        assert!(csv.lines().nth(1).unwrap().ends_with(",1,3"), "lifecycle columns: {csv}");
+        assert!(
+            csv.lines().nth(1).unwrap().ends_with(",1,3,0.000000,1"),
+            "lifecycle + chaos columns: {csv}"
+        );
+    }
+
+    #[test]
+    fn reconvergence_measures_from_the_heal_point() {
+        let mk = |round, err| RoundStats {
+            round,
+            alive: 1,
+            truth: 0.0,
+            mean_estimate: 0.0,
+            stddev: 0.0,
+            mean_abs_err: err,
+            max_abs_err: err,
+            defined: 1,
+            messages: 0,
+            bytes: 0,
+            wire_bytes: 0,
+            mean_group_size: 0.0,
+            settling: 0,
+            disruptions: 0,
+            mass_audit: 0.0,
+            islands: 1,
+        };
+        let mut s = Series::default();
+        for (r, e) in [(0u64, 0.1), (1, 9.0), (2, 6.0), (3, 0.4), (4, 2.0), (5, 0.3), (6, 0.2)] {
+            s.push(mk(r, e));
+        }
+        // Healing at round 1: the round-3 dip doesn't stick; round 5 does.
+        assert_eq!(s.reconvergence_after(1, 0.5), Some(4));
+        assert_eq!(s.reconvergence_after(1, 0.01), None, "never reaches the tolerance");
+        assert_eq!(s.reconvergence_after(99, 1.0), None, "empty window");
     }
 
     #[test]
@@ -470,6 +541,8 @@ mod tests {
             mean_group_size: 0.0,
             settling,
             disruptions,
+            mass_audit: 0.0,
+            islands: 1,
         };
         let mut s = Series::default();
         for (r, settle, d) in [(0u64, 2usize, 0u64), (1, 1, 4), (2, 0, 7)] {
@@ -502,6 +575,8 @@ mod tests {
             mean_group_size: 0.0,
             settling: 0,
             disruptions: 0,
+            mass_audit: 0.0,
+            islands: 1,
         };
         let mut s = Series::default();
         for (r, sd) in [(0u64, 100.0), (1, 2.0), (2, 4.0)] {

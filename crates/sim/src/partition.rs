@@ -1,0 +1,440 @@
+//! Network partitions as first-class chaos events.
+//!
+//! The paper's dynamic protocols exist to survive disruption — epoch
+//! restarts (§II-C) and revert semantics (§III) are recovery mechanisms —
+//! yet a failure plan can only express hosts *dying*, never a network
+//! that splits and heals. A [`PartitionTable`] holds a schedule of
+//! [`PartitionEvent`]s: at `at_round` the population fractures into
+//! disjoint **islands** and no traffic crosses an island boundary; at
+//! `heal_at` the partition lifts and the islands re-merge.
+//!
+//! Islands are authored symbolically — a node-id range, a set of clique
+//! ids (against the clustered environment's initial round-robin
+//! assignment), or a rectangular grid region (against the spatial
+//! environment's row-major layout) — and resolved against a concrete
+//! population by [`resolve`], which rejects overlapping or incomplete
+//! covers. Both engine families consult the same resolved table:
+//!
+//! * the **lockstep** engines filter at the *sampling* layer — a host
+//!   whose drawn partner sits across the cut behaves as isolated this
+//!   round, so its mass share stays home and §III conservation holds
+//!   exactly through the split;
+//! * the **async** engine filters at the *frame* layer — a frame whose
+//!   endpoints sit on different islands is dropped in flight (the link is
+//!   down; bandwidth was still spent), and membership views are rebuilt
+//!   island-locally on split and globally on heal through the existing
+//!   incremental-repair path.
+
+use dynagg_core::protocol::NodeId;
+
+/// A symbolic island definition, resolved against `(n, topology)` by
+/// [`resolve`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Island {
+    /// The half-open node-id range `lo..hi`.
+    Range {
+        /// First node id in the island.
+        lo: NodeId,
+        /// One past the last node id.
+        hi: NodeId,
+    },
+    /// Members of the named cliques, per the clustered environment's
+    /// initial round-robin assignment (`node % clusters`). Scheduled
+    /// migration may move hosts after round 0; the partition models a
+    /// *physical* cut along the original clique boundaries.
+    Cliques(Vec<u32>),
+    /// The inclusive grid-cell box `x0..=x1 × y0..=y1` on the spatial
+    /// environment's row-major ⌈√n⌉-sided grid.
+    Region {
+        /// Left column (inclusive).
+        x0: u32,
+        /// Top row (inclusive).
+        y0: u32,
+        /// Right column (inclusive).
+        x1: u32,
+        /// Bottom row (inclusive).
+        y1: u32,
+    },
+}
+
+/// One scheduled partition: split at `at_round`, optionally heal at
+/// `heal_at` (a partition without a heal lasts to the horizon).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionEvent {
+    /// Round at which the split takes effect (before exchanges).
+    pub at_round: u64,
+    /// Round at which the partition lifts; `None` = never.
+    pub heal_at: Option<u64>,
+    /// The islands; must disjointly cover the whole population.
+    pub islands: Vec<Island>,
+}
+
+/// Topology facts symbolic islands resolve against.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TopologyInfo {
+    /// Clique count of a clustered environment ([`Island::Cliques`]).
+    pub clusters: Option<u32>,
+    /// Grid side of a spatial environment ([`Island::Region`]).
+    pub side: Option<u32>,
+}
+
+/// A [`PartitionEvent`] resolved to a concrete per-node island map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedPartition {
+    /// Round at which the split takes effect.
+    pub at_round: u64,
+    /// Round at which the partition lifts; `None` = never.
+    pub heal_at: Option<u64>,
+    /// Island index per node id.
+    pub island_of: Vec<u32>,
+    /// Number of islands.
+    pub islands: u32,
+}
+
+/// Resolve a symbolic event against a population of `n` hosts, checking
+/// that the islands disjointly cover every host.
+pub fn resolve(
+    event: &PartitionEvent,
+    n: usize,
+    topo: &TopologyInfo,
+) -> Result<ResolvedPartition, String> {
+    if event.islands.len() < 2 {
+        return Err("a partition needs at least 2 islands".into());
+    }
+    if let Some(heal) = event.heal_at {
+        if heal <= event.at_round {
+            return Err(format!("heal_at {heal} must come after at_round {}", event.at_round));
+        }
+    }
+    const UNASSIGNED: u32 = u32::MAX;
+    let mut island_of = vec![UNASSIGNED; n];
+    let mut assign = |node: usize, island: u32| -> Result<(), String> {
+        if node >= n {
+            return Err(format!("island references node {node} beyond population {n}"));
+        }
+        if island_of[node] != UNASSIGNED {
+            return Err(format!("islands overlap at node {node}"));
+        }
+        island_of[node] = island;
+        Ok(())
+    };
+    for (k, island) in event.islands.iter().enumerate() {
+        let k = k as u32;
+        match island {
+            Island::Range { lo, hi } => {
+                if lo >= hi {
+                    return Err(format!("empty node range {lo}..{hi}"));
+                }
+                for node in *lo..*hi {
+                    assign(node as usize, k)?;
+                }
+            }
+            Island::Cliques(ids) => {
+                let clusters = topo
+                    .clusters
+                    .ok_or("clique islands require a clustered environment".to_string())?;
+                for &c in ids {
+                    if c >= clusters {
+                        return Err(format!("clique {c} out of range (clusters = {clusters})"));
+                    }
+                }
+                for node in 0..n {
+                    if ids.contains(&(node as u32 % clusters)) {
+                        assign(node, k)?;
+                    }
+                }
+            }
+            Island::Region { x0, y0, x1, y1 } => {
+                let side =
+                    topo.side.ok_or("region islands require a spatial environment".to_string())?;
+                if x0 > x1 || y0 > y1 {
+                    return Err(format!("empty grid region {x0},{y0}..{x1},{y1}"));
+                }
+                if *x1 >= side || *y1 >= side {
+                    return Err(format!("region exceeds the {side}×{side} grid"));
+                }
+                for node in 0..n {
+                    let (x, y) = (node as u32 % side, node as u32 / side);
+                    if (*x0..=*x1).contains(&x) && (*y0..=*y1).contains(&y) {
+                        assign(node, k)?;
+                    }
+                }
+            }
+        }
+    }
+    if let Some(node) = island_of.iter().position(|&i| i == UNASSIGNED) {
+        return Err(format!("node {node} belongs to no island (islands must cover 0..{n})"));
+    }
+    Ok(ResolvedPartition {
+        at_round: event.at_round,
+        heal_at: event.heal_at,
+        island_of,
+        islands: event.islands.len() as u32,
+    })
+}
+
+/// What a round boundary did to the partition state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionTransition {
+    /// Nothing changed.
+    None,
+    /// A partition just took effect: the engine should rebuild
+    /// connectivity island-locally.
+    Split,
+    /// A partition just lifted: the engine should rebuild connectivity
+    /// globally.
+    Heal,
+}
+
+/// The runtime partition schedule both engine families consult. Advance it
+/// with [`PartitionTable::begin_round`] at every round boundary and gate
+/// traffic with [`PartitionTable::allows`].
+#[derive(Debug, Clone, Default)]
+pub struct PartitionTable {
+    /// Events sorted by `at_round`, non-overlapping in time.
+    events: Vec<ResolvedPartition>,
+    /// Index into `events` of the active partition, if any.
+    active: Option<usize>,
+    /// Next event index to consider for activation.
+    next: usize,
+}
+
+impl PartitionTable {
+    /// A table with no scheduled partitions: every query allows traffic
+    /// and [`PartitionTable::begin_round`] is a no-op.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Build a schedule from resolved events; rejects events that overlap
+    /// in time (an unhealed partition swallows everything after it).
+    pub fn new(mut events: Vec<ResolvedPartition>) -> Result<Self, String> {
+        events.sort_by_key(|e| e.at_round);
+        for pair in events.windows(2) {
+            let end = pair[0].heal_at.ok_or_else(|| {
+                format!("partition at round {} never heals but another follows", pair[0].at_round)
+            })?;
+            if pair[1].at_round < end {
+                return Err(format!(
+                    "partitions overlap: round {} splits before the round-{} partition heals",
+                    pair[1].at_round, pair[0].at_round
+                ));
+            }
+        }
+        Ok(Self { events, active: None, next: 0 })
+    }
+
+    /// Any partitions scheduled at all?
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Is a partition currently enforced?
+    pub fn active(&self) -> bool {
+        self.active.is_some()
+    }
+
+    /// Advance to `round`, reporting whether a split or heal fired.
+    pub fn begin_round(&mut self, round: u64) -> PartitionTransition {
+        let mut healed = false;
+        if let Some(i) = self.active {
+            if self.events[i].heal_at.is_some_and(|h| round >= h) {
+                self.active = None;
+                healed = true;
+            }
+        }
+        if self.active.is_none()
+            && self.next < self.events.len()
+            && round >= self.events[self.next].at_round
+        {
+            // Skip events whose whole window already passed (a coarse
+            // sampling cadence can jump a short split entirely).
+            while self.next < self.events.len()
+                && self.events[self.next].heal_at.is_some_and(|h| round >= h)
+            {
+                self.next += 1;
+                healed = false; // the skipped window never took effect
+            }
+            if self.next < self.events.len() && round >= self.events[self.next].at_round {
+                self.active = Some(self.next);
+                self.next += 1;
+                return PartitionTransition::Split;
+            }
+        }
+        if healed {
+            PartitionTransition::Heal
+        } else {
+            PartitionTransition::None
+        }
+    }
+
+    /// May `a` and `b` exchange traffic right now? Hosts beyond the
+    /// resolved population (churn joins) are never cut off — scenario
+    /// validation rejects partition + join plans, and ad-hoc rig use
+    /// shouldn't strand newcomers.
+    pub fn allows(&self, a: NodeId, b: NodeId) -> bool {
+        match self.active {
+            None => true,
+            Some(i) => {
+                let map = &self.events[i].island_of;
+                match (map.get(a as usize), map.get(b as usize)) {
+                    (Some(ia), Some(ib)) => ia == ib,
+                    _ => true,
+                }
+            }
+        }
+    }
+
+    /// The active partition's island for `node` (`None` when unpartitioned
+    /// or for hosts beyond the resolved population).
+    pub fn island_of(&self, node: NodeId) -> Option<u32> {
+        self.active.and_then(|i| self.events[i].island_of.get(node as usize).copied())
+    }
+
+    /// Islands currently enforced (1 when no partition is active) — the
+    /// `islands` metrics column.
+    pub fn islands(&self) -> u64 {
+        self.active.map_or(1, |i| u64::from(self.events[i].islands))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_ranges(n: NodeId, split: NodeId, at: u64, heal: Option<u64>) -> PartitionEvent {
+        PartitionEvent {
+            at_round: at,
+            heal_at: heal,
+            islands: vec![Island::Range { lo: 0, hi: split }, Island::Range { lo: split, hi: n }],
+        }
+    }
+
+    #[test]
+    fn resolve_covers_and_rejects() {
+        let ev = two_ranges(10, 4, 5, Some(9));
+        let r = resolve(&ev, 10, &TopologyInfo::default()).unwrap();
+        assert_eq!(r.islands, 2);
+        assert_eq!(r.island_of[3], 0);
+        assert_eq!(r.island_of[4], 1);
+
+        // Incomplete cover.
+        let ev = two_ranges(9, 4, 5, Some(9));
+        assert!(resolve(&ev, 10, &TopologyInfo::default()).unwrap_err().contains("no island"));
+        // Overlap.
+        let ev = PartitionEvent {
+            at_round: 0,
+            heal_at: None,
+            islands: vec![Island::Range { lo: 0, hi: 6 }, Island::Range { lo: 5, hi: 10 }],
+        };
+        assert!(resolve(&ev, 10, &TopologyInfo::default()).unwrap_err().contains("overlap"));
+        // heal before split.
+        let ev = two_ranges(10, 5, 8, Some(8));
+        assert!(resolve(&ev, 10, &TopologyInfo::default()).unwrap_err().contains("heal_at"));
+        // One island is no partition.
+        let ev = PartitionEvent {
+            at_round: 0,
+            heal_at: None,
+            islands: vec![Island::Range { lo: 0, hi: 10 }],
+        };
+        assert!(resolve(&ev, 10, &TopologyInfo::default()).is_err());
+    }
+
+    #[test]
+    fn clique_islands_follow_round_robin_assignment() {
+        let ev = PartitionEvent {
+            at_round: 2,
+            heal_at: None,
+            islands: vec![Island::Cliques(vec![0, 2]), Island::Cliques(vec![1])],
+        };
+        let topo = TopologyInfo { clusters: Some(3), side: None };
+        let r = resolve(&ev, 9, &topo).unwrap();
+        for node in 0..9u32 {
+            let expect = if node % 3 == 1 { 1 } else { 0 };
+            assert_eq!(r.island_of[node as usize], expect, "node {node}");
+        }
+        // Needs the clustered topology.
+        assert!(resolve(&ev, 9, &TopologyInfo::default()).unwrap_err().contains("clustered"));
+        // Clique id out of range.
+        let bad = PartitionEvent {
+            at_round: 0,
+            heal_at: None,
+            islands: vec![Island::Cliques(vec![0]), Island::Cliques(vec![7])],
+        };
+        assert!(resolve(&bad, 9, &topo).unwrap_err().contains("out of range"));
+    }
+
+    #[test]
+    fn region_islands_follow_the_grid() {
+        // 4×4 grid: left half vs right half.
+        let ev = PartitionEvent {
+            at_round: 1,
+            heal_at: Some(5),
+            islands: vec![
+                Island::Region { x0: 0, y0: 0, x1: 1, y1: 3 },
+                Island::Region { x0: 2, y0: 0, x1: 3, y1: 3 },
+            ],
+        };
+        let topo = TopologyInfo { clusters: None, side: Some(4) };
+        let r = resolve(&ev, 16, &topo).unwrap();
+        for node in 0..16u32 {
+            let expect = u32::from(node % 4 >= 2);
+            assert_eq!(r.island_of[node as usize], expect, "node {node}");
+        }
+        assert!(resolve(&ev, 16, &TopologyInfo::default()).unwrap_err().contains("spatial"));
+    }
+
+    #[test]
+    fn table_splits_heals_and_gates_traffic() {
+        let r = resolve(&two_ranges(6, 3, 4, Some(8)), 6, &TopologyInfo::default()).unwrap();
+        let mut t = PartitionTable::new(vec![r]).unwrap();
+        assert!(!t.is_empty());
+        assert_eq!(t.begin_round(0), PartitionTransition::None);
+        assert!(t.allows(0, 5) && t.allows(1, 2));
+        assert_eq!(t.islands(), 1);
+        assert_eq!(t.begin_round(4), PartitionTransition::Split);
+        assert!(t.active());
+        assert!(!t.allows(0, 5), "cross-island traffic blocked");
+        assert!(t.allows(0, 2) && t.allows(3, 5), "within-island traffic flows");
+        assert_eq!(t.islands(), 2);
+        assert_eq!(t.island_of(1), Some(0));
+        assert_eq!(t.begin_round(5), PartitionTransition::None);
+        assert_eq!(t.begin_round(8), PartitionTransition::Heal);
+        assert!(t.allows(0, 5));
+        assert_eq!(t.islands(), 1);
+        assert_eq!(t.begin_round(9), PartitionTransition::None);
+    }
+
+    #[test]
+    fn unresolved_hosts_are_never_cut_off() {
+        let r = resolve(&two_ranges(4, 2, 0, None), 4, &TopologyInfo::default()).unwrap();
+        let mut t = PartitionTable::new(vec![r]).unwrap();
+        assert_eq!(t.begin_round(0), PartitionTransition::Split);
+        assert!(t.allows(0, 9), "a churn join beyond the map is unrestricted");
+        assert_eq!(t.island_of(9), None);
+    }
+
+    #[test]
+    fn overlapping_schedules_rejected() {
+        let a = resolve(&two_ranges(4, 2, 2, Some(10)), 4, &TopologyInfo::default()).unwrap();
+        let b = resolve(&two_ranges(4, 2, 6, Some(12)), 4, &TopologyInfo::default()).unwrap();
+        assert!(PartitionTable::new(vec![a.clone(), b]).unwrap_err().contains("overlap"));
+        let forever = resolve(&two_ranges(4, 2, 0, None), 4, &TopologyInfo::default()).unwrap();
+        let later = resolve(&two_ranges(4, 2, 9, Some(11)), 4, &TopologyInfo::default()).unwrap();
+        assert!(PartitionTable::new(vec![forever, later]).unwrap_err().contains("never heals"));
+        assert!(PartitionTable::new(vec![a]).is_ok());
+    }
+
+    #[test]
+    fn back_to_back_events_chain() {
+        let a = resolve(&two_ranges(4, 2, 2, Some(4)), 4, &TopologyInfo::default()).unwrap();
+        let b = resolve(&two_ranges(4, 1, 4, Some(6)), 4, &TopologyInfo::default()).unwrap();
+        let mut t = PartitionTable::new(vec![a, b]).unwrap();
+        assert_eq!(t.begin_round(2), PartitionTransition::Split);
+        assert_eq!(t.begin_round(3), PartitionTransition::None);
+        // Round 4: the first heals and the second splits — Split wins.
+        assert_eq!(t.begin_round(4), PartitionTransition::Split);
+        assert!(!t.allows(0, 1), "second event's boundary now applies");
+        assert_eq!(t.begin_round(6), PartitionTransition::Heal);
+    }
+}

@@ -26,6 +26,7 @@ use crate::alive::AliveSet;
 use crate::env::{EnvSampler, Environment};
 use crate::failure::{FailureMode, FailureSpec};
 use crate::metrics::{Series, Truth};
+use crate::partition::PartitionTable;
 use crate::rng::{rng_for, stream};
 use dynagg_core::protocol::{Estimator, NodeId, PairwiseProtocol, PushProtocol, RoundCtx};
 use rand::rngs::SmallRng;
@@ -115,6 +116,7 @@ impl Builder {
             truth: Truth::Mean,
             failure: FailureSpec::None,
             loss: 0.0,
+            partition: PartitionTable::empty(),
             _protocol: std::marker::PhantomData,
         }
     }
@@ -130,6 +132,7 @@ pub struct TypedBuilder<P, F> {
     truth: Truth,
     failure: FailureSpec,
     loss: f64,
+    partition: PartitionTable,
     _protocol: std::marker::PhantomData<fn() -> P>,
 }
 
@@ -155,6 +158,17 @@ impl<P, F: FnMut(NodeId, f64) -> P> TypedBuilder<P, F> {
     pub fn message_loss(mut self, loss: f64) -> Self {
         assert!((0.0..=1.0).contains(&loss), "loss probability must be in [0, 1]");
         self.loss = loss;
+        self
+    }
+
+    /// The partition schedule (default: never partitioned). While a
+    /// partition is active, a host whose sampled gossip partner is on
+    /// another island skips the exchange entirely — its mass stays home,
+    /// so §III conservation holds exactly through the split — and any
+    /// message a protocol addresses across the cut is dropped in flight
+    /// (still billed as sent, like radio loss).
+    pub fn partition(mut self, partition: PartitionTable) -> Self {
+        self.partition = partition;
         self
     }
 
@@ -186,6 +200,7 @@ impl<P, F: FnMut(NodeId, f64) -> P> TypedBuilder<P, F> {
             initial_n: self.n,
             join_accum: 0.0,
             loss: self.loss,
+            partition: self.partition,
             series: Series::default(),
             victims: Vec::new(),
             victim_scratch: Vec::new(),
@@ -228,6 +243,8 @@ struct SimCore<P, F> {
     join_accum: f64,
     /// Per-message loss probability.
     loss: f64,
+    /// The chaos layer's partition schedule.
+    partition: PartitionTable,
     series: Series,
     /// Reused per-round buffer: this round's failure victims.
     victims: Vec<NodeId>,
@@ -349,7 +366,36 @@ impl<P, F: FnMut(NodeId, f64) -> P> SimCore<P, F> {
         }
         // Lockstep engines never encode frames; the scenario registry
         // prices wire bytes per message via `registry::wire_cost`.
-        self.series.push(acc.finish(self.round, self.alive.len(), messages, bytes, 0, group_size));
+        let mut stats = acc.finish(self.round, self.alive.len(), messages, bytes, 0, group_size);
+        stats.mass_audit = self.mass_audit();
+        stats.islands = self.partition.islands();
+        self.series.push(stats);
+    }
+
+    /// Deviation of the globally aggregated mass (`Σ value / Σ weight`
+    /// over live hosts) from the true mean. Mass-conserving protocols
+    /// keep this at ~0 through any benign disruption — loss, churn, and
+    /// partitions redistribute mass but never mint it — so a nonzero
+    /// audit is the signature of an inflation adversary. 0.0 when the
+    /// protocol exposes no mass.
+    fn mass_audit(&self) -> f64
+    where
+        P: Estimator,
+    {
+        let (mut value, mut weight) = (0.0f64, 0.0f64);
+        for node in self.nodes.iter().flatten() {
+            if let Some(m) = node.audit_mass() {
+                value += m.value;
+                weight += m.weight;
+            }
+        }
+        if weight <= 0.0 {
+            return 0.0;
+        }
+        match Truth::Mean.global_scalar(&self.values) {
+            Some(mean) => value / weight - mean,
+            None => 0.0,
+        }
     }
 }
 
@@ -424,8 +470,11 @@ impl<P: PushProtocol, F: FnMut(NodeId, f64) -> P> Simulation<P, F> {
             core.join_one();
         }
 
-        // 2. environment preparation
+        // 2. environment preparation (the partition table advances with
+        // the round; lockstep keeps no persistent views, so transitions
+        // need no repair — next round's sampling is filtered afresh)
         core.env.begin_round(core.round, &core.alive);
+        core.partition.begin_round(core.round);
 
         // 3. emission (id order; determinism comes from the seeded RNG)
         let mut messages = 0u64;
@@ -436,7 +485,8 @@ impl<P: PushProtocol, F: FnMut(NodeId, f64) -> P> Simulation<P, F> {
                 continue;
             }
             let node = core.nodes[id as usize].as_mut().expect("alive node present");
-            let mut sampler = EnvSampler::new(core.env.as_ref(), &core.alive, id);
+            let mut sampler =
+                EnvSampler::new(core.env.as_ref(), &core.alive, id).partitioned(&core.partition);
             let mut ctx =
                 RoundCtx { round: core.round, rng: &mut core.engine_rng, peers: &mut sampler };
             self.out_buf.clear();
@@ -454,12 +504,16 @@ impl<P: PushProtocol, F: FnMut(NodeId, f64) -> P> Simulation<P, F> {
             if core.loss > 0.0 && core.engine_rng.gen::<f64>() < core.loss {
                 continue; // dropped by the radio link
             }
+            if !core.partition.allows(src, dst) {
+                continue; // addressed across the cut (broadcast protocols)
+            }
             if !core.alive.contains(dst) {
                 continue; // lost to a silent failure
             }
             let reply = {
                 let node = core.nodes[dst as usize].as_mut().expect("alive");
-                let mut sampler = EnvSampler::new(core.env.as_ref(), &core.alive, dst);
+                let mut sampler = EnvSampler::new(core.env.as_ref(), &core.alive, dst)
+                    .partitioned(&core.partition);
                 let mut ctx =
                     RoundCtx { round: core.round, rng: &mut core.engine_rng, peers: &mut sampler };
                 node.on_message(src, &msg, &mut ctx)
@@ -469,7 +523,8 @@ impl<P: PushProtocol, F: FnMut(NodeId, f64) -> P> Simulation<P, F> {
                 bytes += P::message_bytes(&reply) as u64;
                 if core.alive.contains(src) {
                     let node = core.nodes[src as usize].as_mut().expect("alive");
-                    let mut sampler = EnvSampler::new(core.env.as_ref(), &core.alive, src);
+                    let mut sampler = EnvSampler::new(core.env.as_ref(), &core.alive, src)
+                        .partitioned(&core.partition);
                     let mut ctx = RoundCtx {
                         round: core.round,
                         rng: &mut core.engine_rng,
@@ -486,7 +541,8 @@ impl<P: PushProtocol, F: FnMut(NodeId, f64) -> P> Simulation<P, F> {
                 continue;
             }
             let node = core.nodes[id as usize].as_mut().expect("alive");
-            let mut sampler = EnvSampler::new(core.env.as_ref(), &core.alive, id);
+            let mut sampler =
+                EnvSampler::new(core.env.as_ref(), &core.alive, id).partitioned(&core.partition);
             let mut ctx =
                 RoundCtx { round: core.round, rng: &mut core.engine_rng, peers: &mut sampler };
             node.end_round(&mut ctx);
@@ -556,6 +612,7 @@ impl<P: PairwiseProtocol, F: FnMut(NodeId, f64) -> P> PairwiseSimulation<P, F> {
         }
 
         core.env.begin_round(core.round, &core.alive);
+        core.partition.begin_round(core.round);
 
         let mut messages = 0u64;
         let mut bytes = 0u64;
@@ -566,6 +623,9 @@ impl<P: PairwiseProtocol, F: FnMut(NodeId, f64) -> P> PairwiseSimulation<P, F> {
             let peer = core.env.sample(id, &core.alive, &mut core.engine_rng);
             let Some(peer) = peer else { continue };
             debug_assert_ne!(peer, id, "environments never return self");
+            if !core.partition.allows(id, peer) {
+                continue; // partner unreachable across the cut
+            }
             if core.loss > 0.0 && core.engine_rng.gen::<f64>() < core.loss {
                 continue; // the exchange never completed
             }
@@ -801,6 +861,96 @@ mod tests {
             .nodes_with_constant(2, 1.0)
             .protocol(|_, v| PushSum::averaging(v))
             .message_loss(1.5);
+    }
+
+    fn halves(n: NodeId, at: u64, heal: Option<u64>) -> PartitionTable {
+        use crate::partition::{resolve, Island, PartitionEvent, TopologyInfo};
+        let event = PartitionEvent {
+            at_round: at,
+            heal_at: heal,
+            islands: vec![Island::Range { lo: 0, hi: n / 2 }, Island::Range { lo: n / 2, hi: n }],
+        };
+        let resolved = resolve(&event, n as usize, &TopologyInfo::default()).unwrap();
+        PartitionTable::new(vec![resolved]).unwrap()
+    }
+
+    #[test]
+    fn partition_isolates_islands_and_conserves_mass() {
+        // Island A all hold 10, island B all hold 90: any frame leaking
+        // across the cut would drag an estimate off its island's mean.
+        let mut sim = builder(13)
+            .environment(UniformEnv::new())
+            .nodes_with_values(40, |_, id| if id < 20 { 10.0 } else { 90.0 })
+            .protocol(|_, v| PushSum::averaging(v))
+            .partition(halves(40, 0, Some(40)))
+            .build();
+        for _ in 0..40 {
+            sim.step();
+        }
+        let s = sim.series().last().unwrap();
+        assert_eq!(s.islands, 2, "split reported in metrics");
+        assert!(s.mass_audit.abs() < 1e-9, "split conserves mass: {}", s.mass_audit);
+        for (id, node) in sim.nodes() {
+            let e = node.estimate().unwrap();
+            let want = if id < 20 { 10.0 } else { 90.0 };
+            assert!((e - want).abs() < 1e-9, "node {id} leaked across the cut: {e}");
+        }
+        // Heal at round 40: islands re-merge and converge globally.
+        for _ in 0..60 {
+            sim.step();
+        }
+        let s = sim.series().last().unwrap();
+        assert_eq!(s.islands, 1, "heal reported in metrics");
+        for (id, node) in sim.nodes() {
+            let e = node.estimate().unwrap();
+            assert!((e - 50.0).abs() < 2.0, "node {id} not re-merged: {e}");
+        }
+    }
+
+    #[test]
+    fn pairwise_partition_blocks_cross_island_exchanges() {
+        let mut sim = builder(14)
+            .environment(UniformEnv::new())
+            .nodes_with_values(30, |_, id| if id < 15 { 0.0 } else { 100.0 })
+            .protocol(|_, v| PushSum::averaging(v))
+            .partition(halves(30, 0, None))
+            .build_pairwise();
+        for _ in 0..25 {
+            sim.step();
+        }
+        for (id, node) in sim.nodes() {
+            let e = node.estimate().unwrap();
+            let want = if id < 15 { 0.0 } else { 100.0 };
+            assert!((e - want).abs() < 1e-9, "node {id} exchanged across the cut: {e}");
+        }
+        assert_eq!(sim.series().last().unwrap().islands, 2);
+    }
+
+    #[test]
+    fn inflation_adversary_shows_in_the_mass_audit() {
+        use dynagg_core::adversary::{Adversarial, Attack};
+        let mut sim = builder(15)
+            .environment(UniformEnv::new())
+            .nodes_with_paper_values(100)
+            .protocol(|id, v| {
+                let inner = PushSum::averaging(v);
+                if id == 0 {
+                    Adversarial::malicious(inner, Attack::MassInflation { factor: 2.0 }, 10)
+                } else {
+                    Adversarial::honest(inner)
+                }
+            })
+            .build();
+        for _ in 0..10 {
+            sim.step();
+        }
+        let clean = sim.series().last().unwrap().mass_audit;
+        assert!(clean.abs() < 1e-6, "honest rounds audit clean: {clean}");
+        for _ in 0..20 {
+            sim.step();
+        }
+        let forged = sim.series().last().unwrap().mass_audit;
+        assert!(forged > 1.0, "forged mass must show in the audit: {forged}");
     }
 
     #[test]
