@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! experiments <command> [--n N] [--seed S] [--out DIR] [--quick] [--dataset 1|2|3]
-//! experiments run <file.toml> [--n N] [--seed S] [--rounds R] [--trials T] [--engine E] [--out DIR] [--quick] [--check]
+//! experiments run <file.toml> [--n N] [--seed S] [--rounds R] [--trials T] [--engine E] [--shards K|auto] [--out DIR] [--quick] [--check]
 //!
 //! commands:
 //!   fig6               bit counter CDFs (1k/10k/100k hosts) + cutoff fit
@@ -32,6 +32,7 @@
 //!   --rounds R   (run) override the scenario's horizon
 //!   --trials T   (run) override the scenario's trial count
 //!   --engine E   (run) override the engine: push | pairwise | async
+//!   --shards K   (run) override `[async] shards`: a count or `auto`
 //!   --check      (run) parse + validate only, run nothing
 //! ```
 
@@ -104,6 +105,15 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("bad --engine {other} (push|pairwise|async)")),
                 });
             }
+            "--shards" => {
+                let v = argv.next().ok_or("--shards needs a value")?;
+                overrides.shards = Some(match v.as_str() {
+                    "auto" => dynagg_scenario::ShardsSpec::Auto,
+                    n => dynagg_scenario::ShardsSpec::Count(
+                        n.parse().map_err(|e| format!("bad --shards: {e}"))?,
+                    ),
+                });
+            }
             "--check" => overrides.check_only = true,
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
@@ -112,10 +122,11 @@ fn parse_args() -> Result<Args, String> {
         && (overrides.check_only
             || overrides.rounds.is_some()
             || overrides.trials.is_some()
-            || overrides.engine.is_some())
+            || overrides.engine.is_some()
+            || overrides.shards.is_some())
     {
         return Err(format!(
-            "--check/--rounds/--trials/--engine only apply to the `run` command\n{}",
+            "--check/--rounds/--trials/--engine/--shards only apply to the `run` command\n{}",
             usage()
         ));
     }
@@ -123,7 +134,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: experiments <fig6|fig8|fig9|fig10a|fig10b|fig11-avg|fig11-sum|table-convergence|table-sketch-error|spatial-cutoff|epoch-disruption|ablations|all> [--n N] [--seed S] [--out DIR] [--quick] [--dataset 1|2|3]\n       experiments run <file.toml> [--n N] [--seed S] [--rounds R] [--trials T] [--engine push|pairwise|async] [--out DIR] [--quick] [--check]".to_string()
+    "usage: experiments <fig6|fig8|fig9|fig10a|fig10b|fig11-avg|fig11-sum|table-convergence|table-sketch-error|spatial-cutoff|epoch-disruption|ablations|all> [--n N] [--seed S] [--out DIR] [--quick] [--dataset 1|2|3]\n       experiments run <file.toml> [--n N] [--seed S] [--rounds R] [--trials T] [--engine push|pairwise|async] [--shards K|auto] [--out DIR] [--quick] [--check]".to_string()
 }
 
 fn emit(tables: Vec<Table>, opts: &ExpOpts) {

@@ -14,17 +14,27 @@
 //!    (`engine = "async"`): a 5 000-host Push-Sum-Revert run with
 //!    jittered timers and 10 ms links, measured in heap events processed
 //!    per second (timers + deliveries + samples).
+//! 5. **shard sweep** — the same workload on the sharded engine
+//!    (`ShardedNet`) at shards ∈ {1, 2, 4, 8}: events/sec per count,
+//!    speedup vs. one shard, and a bit-identity assertion across every
+//!    count. On a single-core machine the workers time-slice one core,
+//!    so the sweep documents barrier overhead rather than speedup — the
+//!    JSON carries a note either way (see README, "Performance
+//!    methodology").
 //!
 //! Usage: `cargo run --release -p dynagg-bench --bin perf_smoke [OUT.json]`
-//! (default output: `BENCH_1.json` in the current directory).
+//! (default output: `BENCH_1.json` in the current directory; the repo
+//! root's `BENCH_4.json` is this binary's pinned snapshot from the
+//! sharded-engine PR).
 
 use dynagg_core::config::ResetConfig;
 use dynagg_core::count_sketch_reset::CountSketchReset;
 use dynagg_core::epoch::DriftModel;
 use dynagg_core::push_sum_revert::PushSumRevert;
-use dynagg_node::{AsyncConfig, AsyncNet};
+use dynagg_node::{AsyncConfig, AsyncNet, ShardedNet};
 use dynagg_sim::env::uniform::UniformEnv;
 use dynagg_sim::par;
+use dynagg_sim::shard::ShardMap;
 use dynagg_sim::{runner, Series, Truth};
 use rand::Rng;
 use std::fmt::Write as _;
@@ -135,6 +145,44 @@ fn main() {
     }
     let async_events_per_s = async_events as f64 / async_s;
 
+    // 2c. sharded-engine shard sweep (the BENCH_4 reading): the same
+    // 5 000-host workload on the conservative-window engine at 1, 2, 4,
+    // and 8 shards. The series must be bit-identical at every count —
+    // the sweep measures scheduling, never semantics.
+    let mut shard_rows = Vec::new();
+    let mut shard_reference: Option<Series> = None;
+    let mut shard_base_s = 0.0;
+    for shards in [1usize, 2, 4, 8] {
+        let mut best_s = f64::INFINITY;
+        let mut events = 0u64;
+        for _ in 0..3 {
+            let t = Instant::now();
+            let mut net: ShardedNet<PushSumRevert> = ShardedNet::new(
+                ASYNC_N,
+                AsyncConfig::new(MASTER_SEED),
+                ShardMap::uniform(ASYNC_N, shards),
+                Box::new(|rng, _| rng.gen_range(0.0..100.0)),
+                Box::new(|_| DriftModel::Synced),
+                Box::new(|_, v| PushSumRevert::new(v, 0.01)),
+            );
+            net.run(ASYNC_ROUNDS);
+            best_s = best_s.min(t.elapsed().as_secs_f64());
+            events = net.events_processed();
+            match &shard_reference {
+                None => shard_reference = Some(net.series().clone()),
+                Some(reference) => assert_eq!(
+                    reference,
+                    net.series(),
+                    "sharded series diverged at shards = {shards}"
+                ),
+            }
+        }
+        if shards == 1 {
+            shard_base_s = best_s;
+        }
+        shard_rows.push((shards, best_s, events, shard_base_s / best_s));
+    }
+
     // 3a. fig6-style sweep, serial.
     let t = Instant::now();
     let serial: Vec<Series> = configs.iter().map(|&(n, seed)| fig6_style_trial(n, seed)).collect();
@@ -168,6 +216,32 @@ fn main() {
         json,
         "  \"async_gossip\": {{ \"hosts\": {ASYNC_N}, \"nominal_rounds\": {ASYNC_ROUNDS}, \"events\": {async_events}, \"events_per_s\": {async_events_per_s:.0}, \"nominal_rounds_per_s\": {:.2} }},",
         ASYNC_ROUNDS as f64 / async_s,
+    );
+    let shard_note = if threads == 1 {
+        "single-core machine: shard workers time-slice one core, so speedup_vs_1 < 1 measures \
+         barrier overhead; on an m-core machine expect speedup approaching min(shards, m) \
+         before cross-shard traffic dominates. The digest-identity assertion is the gating \
+         part of this sweep."
+    } else {
+        "multi-core machine: speedup_vs_1 is wall-clock parallel speedup of the conservative \
+         window protocol; the digest-identity assertion is the gating part of this sweep."
+    };
+    let sweep_rows: Vec<String> = shard_rows
+        .iter()
+        .map(|&(shards, s, events, speedup)| {
+            format!(
+                "    {{ \"shards\": {shards}, \"wall_s\": {s:.3}, \"events\": {events}, \
+                 \"events_per_s\": {:.0}, \"speedup_vs_1\": {speedup:.2} }}",
+                events as f64 / s
+            )
+        })
+        .collect();
+    let _ = writeln!(
+        json,
+        "  \"shard_sweep\": {{ \"hosts\": {ASYNC_N}, \"nominal_rounds\": {ASYNC_ROUNDS}, \
+         \"lookahead_ms\": 10, \"bit_identical_across_shards\": true, \"note\": \"{shard_note}\", \
+         \"sweep\": [\n{}\n  ] }},",
+        sweep_rows.join(",\n")
     );
     let _ = writeln!(
         json,

@@ -7,7 +7,9 @@
 use crate::fig6::{self, CounterDistribution};
 use crate::opts::ExpOpts;
 use crate::output::Table;
-use dynagg_scenario::{Engine, EnvSpec, Report, ScenarioOutcome, ScenarioSpec, SweepAxis};
+use dynagg_scenario::{
+    AsyncSpec, Engine, EnvSpec, Report, ScenarioOutcome, ScenarioSpec, ShardsSpec, SweepAxis,
+};
 use std::path::Path;
 
 /// CLI overrides applied on top of the file's spec.
@@ -25,6 +27,12 @@ pub struct Overrides {
     /// checked-in scenario under another engine family without editing
     /// the file; engine × protocol compatibility is re-validated.
     pub engine: Option<Engine>,
+    /// Replace the `[async] shards` setting (`--shards N | auto`) —
+    /// re-run an async scenario sharded (or force it sequential with
+    /// `--shards 1`) without editing the file. Materializes a default
+    /// `[async]` table if the file has none; validity (async engine
+    /// only, count ≤ n, positive lookahead) is re-checked at run time.
+    pub shards: Option<ShardsSpec>,
     /// Apply the quick-mode population rule to `n` (and `n`-sweep values).
     pub quick: bool,
     /// Parse and validate only; run nothing.
@@ -60,6 +68,9 @@ pub fn apply_overrides(spec: &mut ScenarioSpec, ov: &Overrides) -> Result<(), St
     }
     if let Some(engine) = ov.engine {
         spec.engine = engine;
+    }
+    if let Some(shards) = ov.shards {
+        spec.asynchrony.get_or_insert(AsyncSpec::default()).shards = Some(shards);
     }
     if ov.quick {
         if let Some(n) = spec.n {
@@ -102,6 +113,11 @@ pub fn run_file(path: &Path, ov: &Overrides) -> Result<Vec<Table>, String> {
     if ov.check_only {
         println!("ok: {} ({})", spec.name, path.display());
         return Ok(Vec::new());
+    }
+    // The fallback depends on the latency model, not the population, so
+    // any plausible n surfaces it.
+    if let (_, Some(note)) = spec.effective_shards(spec.n.unwrap_or(2)) {
+        eprintln!("warning: {}: {note}", spec.name);
     }
     let outcome = dynagg_scenario::run(&spec).map_err(|e| e.to_string())?;
     Ok(tables(&spec, &outcome))

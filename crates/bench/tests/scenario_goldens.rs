@@ -268,6 +268,7 @@ fn async_zero_latency_zero_drift_matches_push_engine() {
         latency: LatencySpec::Constant { ms: 0 },
         drift: DriftSpec::Synced,
         sample_every_ms: None,
+        shards: None,
     });
     let push_series = dynagg_scenario::run_series(&push).unwrap();
     let async_series = dynagg_scenario::run_series(&asynch).unwrap();
@@ -385,6 +386,7 @@ fn async_topologies_match_lockstep_at_zero_latency() {
         latency: LatencySpec::Constant { ms: 0 },
         drift: DriftSpec::Synced,
         sample_every_ms: None,
+        shards: None,
     };
     let run_pair = |env: EnvSpec, rounds: u64| {
         let mut push = dynagg_scenario::ScenarioSpec::new(

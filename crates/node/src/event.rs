@@ -121,6 +121,138 @@ impl<K> EventQueue<K> {
     }
 }
 
+/// The canonical ordering key of the **sharded** engine's queues.
+///
+/// [`EventQueue`] breaks same-millisecond ties by insertion order — a
+/// total order, but one that depends on the global sequence in which the
+/// single-threaded engine happened to schedule events. Shards schedule
+/// concurrently, so insertion order is not reproducible across shard
+/// counts; instead every event carries a key derived purely from *what*
+/// it is: `(time, class, receiver, sender, per-sender sequence)`. Two
+/// runs of the same spec at different shard counts build the same key
+/// for every event, so each node observes its events in an identical
+/// order no matter which shard processed them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EventKey {
+    /// Due time.
+    pub at_ms: u64,
+    /// Event class: timers (0) before deliveries (1) at the same time.
+    pub class: u8,
+    /// Receiving node (the timer's owner for class 0).
+    pub to: u32,
+    /// Sending node (the timer's owner for class 0).
+    pub from: u32,
+    /// The sender's frame sequence number (0 for timers — a node has at
+    /// most one outstanding timer, so the first four fields already
+    /// order them).
+    pub seq: u64,
+}
+
+impl EventKey {
+    /// A node's round-timer key.
+    pub fn timer(at_ms: u64, id: u32) -> Self {
+        Self { at_ms, class: 0, to: id, from: id, seq: 0 }
+    }
+
+    /// A frame-delivery key.
+    pub fn deliver(at_ms: u64, to: u32, from: u32, seq: u64) -> Self {
+        Self { at_ms, class: 1, to, from, seq }
+    }
+}
+
+/// A deterministic min-heap ordered by an explicit [`EventKey`] — the
+/// per-shard queue of the sharded engine. Same causality guards as
+/// [`EventQueue`], but the tie-break comes from the key, not from
+/// insertion order, so pop order is a pure function of the event set.
+#[derive(Debug)]
+pub struct ShardQueue<K> {
+    heap: BinaryHeap<Reverse<(EventKey, u64)>>,
+    /// Payloads keyed by an internal handle (kept out of the heap so `K`
+    /// needs no ordering).
+    slots: Vec<Option<K>>,
+    free: Vec<u64>,
+    last_popped_ms: u64,
+}
+
+impl<K> Default for ShardQueue<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K> ShardQueue<K> {
+    /// An empty queue at time 0.
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), slots: Vec::new(), free: Vec::new(), last_popped_ms: 0 }
+    }
+
+    /// Pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The time the last popped event fired at (0 before any pop).
+    pub fn now_ms(&self) -> u64 {
+        self.last_popped_ms
+    }
+
+    /// Schedule `kind` under `key`.
+    pub fn schedule(&mut self, key: EventKey, kind: K) {
+        debug_assert!(
+            key.at_ms >= self.last_popped_ms,
+            "scheduling into the past ({} < {}) breaks causality",
+            key.at_ms,
+            self.last_popped_ms
+        );
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some(kind);
+                s
+            }
+            None => {
+                self.slots.push(Some(kind));
+                (self.slots.len() - 1) as u64
+            }
+        };
+        self.heap.push(Reverse((key, slot)));
+    }
+
+    /// The time of the next due event.
+    pub fn peek_time(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse((k, _))| k.at_ms)
+    }
+
+    /// Pop the next event in key order, asserting (in debug builds) that
+    /// event times never run backwards.
+    pub fn pop(&mut self) -> Option<(EventKey, K)> {
+        let Reverse((key, slot)) = self.heap.pop()?;
+        debug_assert!(
+            key.at_ms >= self.last_popped_ms,
+            "event-time monotonicity violated: popped {} after {}",
+            key.at_ms,
+            self.last_popped_ms
+        );
+        self.last_popped_ms = key.at_ms;
+        let kind = self.slots[slot as usize].take().expect("scheduled slot holds a payload");
+        self.free.push(slot);
+        Some((key, kind))
+    }
+
+    /// Pop the next event if it is due at or before `horizon_ms`.
+    pub fn pop_before(&mut self, horizon_ms: u64) -> Option<(EventKey, K)> {
+        if self.peek_time()? <= horizon_ms {
+            self.pop()
+        } else {
+            None
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,5 +299,60 @@ mod tests {
         q.schedule(10, ());
         q.pop();
         q.schedule(9, ());
+    }
+
+    #[test]
+    fn shard_queue_pop_order_ignores_insertion_order() {
+        // Same event set, two insertion orders → identical pop order.
+        let keys = [
+            EventKey::deliver(10, 2, 1, 5),
+            EventKey::timer(10, 2),
+            EventKey::deliver(10, 2, 1, 4),
+            EventKey::deliver(10, 1, 3, 0),
+            EventKey::deliver(5, 9, 0, 0),
+        ];
+        let pop_all = |order: &[usize]| {
+            let mut q = ShardQueue::new();
+            for &i in order {
+                q.schedule(keys[i], i);
+            }
+            std::iter::from_fn(|| q.pop()).map(|(k, _)| k).collect::<Vec<_>>()
+        };
+        let a = pop_all(&[0, 1, 2, 3, 4]);
+        let b = pop_all(&[4, 3, 2, 1, 0]);
+        assert_eq!(a, b);
+        // Time first, then class (timer before deliver), then receiver,
+        // then sender sequence.
+        assert_eq!(a[0], keys[4]);
+        assert_eq!(a[1], keys[1]);
+        assert_eq!(a[2], keys[3]);
+        assert_eq!(a[3], keys[2]);
+        assert_eq!(a[4], keys[0]);
+    }
+
+    #[test]
+    fn shard_queue_recycles_slots_and_respects_horizon() {
+        let mut q = ShardQueue::new();
+        q.schedule(EventKey::timer(5, 0), "a");
+        q.schedule(EventKey::timer(15, 1), "b");
+        assert_eq!(q.pop_before(10).map(|(k, v)| (k.at_ms, v)), Some((5, "a")));
+        assert_eq!(q.pop_before(10), None);
+        assert_eq!(q.len(), 1, "the late event stays scheduled");
+        q.schedule(EventKey::timer(12, 2), "c");
+        assert_eq!(q.slots.len(), 2, "freed slot is reused");
+        assert_eq!(q.pop_before(15).map(|(_, v)| v), Some("c"));
+        assert_eq!(q.pop_before(15).map(|(_, v)| v), Some("b"));
+        assert!(q.is_empty());
+        assert_eq!(q.now_ms(), 15);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "breaks causality")]
+    fn shard_queue_catches_scheduling_into_the_past() {
+        let mut q = ShardQueue::new();
+        q.schedule(EventKey::timer(10, 0), ());
+        q.pop();
+        q.schedule(EventKey::timer(9, 0), ());
     }
 }

@@ -27,6 +27,15 @@
 //!   a [`views::ViewTable`] whose inverted index lets churn repair touch
 //!   only the views a departure actually appears in. This is what
 //!   `engine = "async"` scenarios run on — over every environment.
+//! * [`shard`] — [`shard::ShardedNet`], the **parallel** counterpart:
+//!   hosts partitioned into topology-aware shards (one worker thread and
+//!   one [`event::ShardQueue`] each), cross-shard frames exchanged
+//!   through mailboxes under a conservative time-window barrier whose
+//!   lookahead is the latency model's lower bound. Results are
+//!   bit-identical at any shard count — every random draw is attributed
+//!   to a node and every queue orders events by a canonical
+//!   [`event::EventKey`], so the worker interleaving cannot leak into
+//!   the [`dynagg_sim::metrics::Series`].
 //!
 //! The engine doubles as evidence for a claim the paper makes only in
 //! passing: the dynamic protocols need no round synchronization. Nodes
@@ -40,9 +49,11 @@
 pub mod event;
 pub mod loopback;
 pub mod runtime;
+pub mod shard;
 pub mod views;
 
-pub use event::EventQueue;
+pub use event::{EventKey, EventQueue, ShardQueue};
 pub use loopback::{AsyncConfig, AsyncNet, LatencyModel};
 pub use runtime::{Envelope, FrameHeader, FrameKind, NodeRuntime, RuntimeConfig};
+pub use shard::ShardedNet;
 pub use views::ViewTable;

@@ -61,12 +61,13 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 
 /// Stream tag for per-node runtime seeds (disjoint from the engine's small
-/// [`stream`] constants by construction).
-const NODE_SEED_BASE: u64 = 0x6E6F_6465_5F73_6565; // "node_see"
+/// [`stream`] constants by construction). Shared with the sharded engine
+/// so both spawn identical node populations from a seed.
+pub(crate) const NODE_SEED_BASE: u64 = 0x6E6F_6465_5F73_6565; // "node_see"
 
 /// Slot-repair attempts before a patched view is allowed to shrink (a
 /// candidate can be a duplicate or freshly dead).
-const REPAIR_TRIES: usize = 4;
+pub(crate) const REPAIR_TRIES: usize = 4;
 
 /// Existing views a churn join is introduced into. The newcomer's own
 /// view gives it full outbound fan-out immediately; a few inbound slots
@@ -74,7 +75,7 @@ const REPAIR_TRIES: usize = 4;
 /// sampling it like anyone else. Kept deliberately small: introductions
 /// are `O(1)` slot edits, so joins stay `O(view)` rather than
 /// `O(view²)`.
-const INTRODUCTIONS: usize = 8;
+pub(crate) const INTRODUCTIONS: usize = 8;
 
 /// Per-link one-way latency distribution.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -100,6 +101,20 @@ pub enum LatencyModel {
 }
 
 impl LatencyModel {
+    /// The distribution's lower bound in milliseconds — the conservative
+    /// **lookahead** of the sharded engine: no frame sent at time `t` can
+    /// arrive before `t + min_ms()`, so shards may run `min_ms()` of
+    /// simulated time without hearing from each other. Exponential
+    /// latency has no positive lower bound (a draw can round to 0), so
+    /// it yields zero lookahead and cannot drive a sharded run.
+    pub fn min_ms(&self) -> u64 {
+        match *self {
+            LatencyModel::Constant { ms } => ms,
+            LatencyModel::Uniform { lo_ms, .. } => lo_ms,
+            LatencyModel::Exponential { .. } => 0,
+        }
+    }
+
     /// Draw one delay.
     pub fn sample(&self, rng: &mut SmallRng) -> u64 {
         match *self {
@@ -1338,6 +1353,22 @@ mod tests {
             }
         }
         net.check_view_consistency();
+    }
+
+    #[test]
+    fn latency_lower_bounds_bound_their_samples() {
+        let mut rng = rng::rng_for(9, stream::ENGINE);
+        for m in [
+            LatencyModel::Constant { ms: 7 },
+            LatencyModel::Uniform { lo_ms: 3, hi_ms: 30 },
+            LatencyModel::Uniform { lo_ms: 5, hi_ms: 5 },
+            LatencyModel::Exponential { mean_ms: 12.0 },
+        ] {
+            for _ in 0..2_000 {
+                assert!(m.sample(&mut rng) >= m.min_ms(), "{m:?} drew below its lower bound");
+            }
+        }
+        assert_eq!(LatencyModel::Exponential { mean_ms: 5.0 }.min_ms(), 0, "zero lookahead");
     }
 
     #[test]

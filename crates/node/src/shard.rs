@@ -1,0 +1,957 @@
+//! The **sharded** asynchronous engine: conservative parallel
+//! discrete-event simulation over the same [`NodeRuntime`]s the
+//! single-threaded [`AsyncNet`](crate::AsyncNet) drives.
+//!
+//! ## Execution model
+//!
+//! Hosts are partitioned into shards by a topology-aware
+//! [`ShardMap`]; each shard owns its nodes' runtimes, a
+//! [`ShardQueue`], and per-node link RNGs. Simulated time advances as a
+//! sequence of **windows** bounded by the conservative *lookahead* — the
+//! latency model's lower bound ([`crate::LatencyModel::min_ms`]): no frame sent
+//! inside a window can arrive within it, so shards drain their windows
+//! concurrently on [`std::thread::scope`] workers without hearing from
+//! each other. At each window edge, workers flush cross-shard frames
+//! into per-pair mailboxes, meet at a [`Barrier`], and ingest their
+//! inboxes — every frame lands strictly beyond the edge, so causality
+//! holds by construction (and is still debug-asserted per queue).
+//!
+//! Sample and nominal-round-boundary work (failure plan, membership
+//! clock, view repair) happens **between** windows on the coordinating
+//! thread, exactly like the sequential engine's `Sample`/`Boundary`
+//! events: at a barrier point every queue has drained past the previous
+//! window, so the coordinator sees a globally consistent state.
+//!
+//! ## Determinism: bit-identical at any shard count
+//!
+//! A run is a pure function of `(seed, spec)` — the shard count, the
+//! assignment heuristic, and the worker interleaving cannot affect one
+//! bit of the [`Series`]:
+//!
+//! * every random draw is attributed to a node, not to a shard or to
+//!   global event order: loss and latency come from a **per-node link
+//!   stream** (`derive(seed, LINK_SEED_BASE ^ id)`) consumed in the
+//!   sender's own send order, and node boot/value/failure/view draws
+//!   happen on the coordinator in ascending-id order,
+//! * events carry a canonical [`EventKey`] `(time, class, receiver,
+//!   sender, sender-sequence)`, so each node observes its timers and
+//!   frames in one total order no matter which shard popped them, and
+//! * cross-shard effects are timestamped frames only; counters summed
+//!   across shards are integers, and sampling walks nodes in global id
+//!   order.
+//!
+//! The sequential [`AsyncNet`](crate::AsyncNet) draws loss and latency
+//! from one global stream in global pop order, an order a parallel
+//! engine cannot reproduce — so `ShardedNet` digests differ from
+//! `AsyncNet` digests *statistically but not semantically* (same
+//! distributions, different draws). The scenario layer therefore maps
+//! `shards = 1` to the sequential engine (pinned goldens stay
+//! byte-identical) and `shards ≥ 2` to this engine, which is
+//! bit-identical across every shard count ≥ 2.
+
+use crate::event::{EventKey, ShardQueue};
+use crate::loopback::{
+    AsyncConfig, DriftFn, NodeFactory, ValueFn, INTRODUCTIONS, NODE_SEED_BASE, REPAIR_TRIES,
+};
+use crate::runtime::{Envelope, NodeRuntime, RuntimeConfig};
+use crate::views::ViewTable;
+use dynagg_core::protocol::{NodeId, PushProtocol};
+use dynagg_core::wire::WireMessage;
+use dynagg_sim::alive::AliveSet;
+use dynagg_sim::env::UniformEnv;
+use dynagg_sim::membership::{Membership, ViewChange};
+use dynagg_sim::metrics::{Series, StatsAcc, Truth};
+use dynagg_sim::rng::{self};
+use dynagg_sim::shard::ShardMap;
+use dynagg_sim::{FailureMode, FailureSpec, PartitionTable, PartitionTransition};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::BTreeMap;
+use std::sync::{Barrier, Mutex};
+
+/// Stream tag for per-node link RNGs (loss + latency draws). Disjoint
+/// from [`NODE_SEED_BASE`] and the engine's small stream constants.
+const LINK_SEED_BASE: u64 = 0x6C69_6E6B_5F72_6E67; // "link_rng"
+
+/// Where a node lives: which shard, and at which slot of that shard's
+/// runtime vector.
+#[derive(Debug, Clone, Copy)]
+struct Home {
+    shard: u32,
+    slot: u32,
+}
+
+/// A shard-local event.
+enum SEv {
+    /// A node's round timer is due.
+    Timer(NodeId),
+    /// A frame arrives (its [`EventKey`] carries the ordering).
+    Deliver(Envelope),
+}
+
+/// A cross-shard frame in transit between windows.
+struct Flight {
+    key: EventKey,
+    env: Envelope,
+}
+
+/// One shard: the state a worker thread owns exclusively during a
+/// window.
+struct Shard<P: PushProtocol>
+where
+    P::Message: WireMessage,
+{
+    queue: ShardQueue<SEv>,
+    runtimes: Vec<NodeRuntime<P>>,
+    /// Per-node link RNG, parallel to `runtimes`.
+    link_rngs: Vec<SmallRng>,
+    /// Per-node sent-frame sequence, parallel to `runtimes`.
+    send_seq: Vec<u64>,
+    /// Outbound cross-shard frames staged per destination shard.
+    stage: Vec<Vec<Flight>>,
+    msgs: u64,
+    bytes: u64,
+    wire: u64,
+    events: u64,
+    decode_errors: u64,
+    partition_drops: u64,
+    /// Frames that arrived across an active partition cut (sent before
+    /// the split; the send path drops frames sent across it).
+    cross_island_deliveries: u64,
+    /// Cross-shard frames ingested below their window edge (must stay 0;
+    /// the conservative-horizon invariant, also debug-asserted).
+    horizon_violations: u64,
+    out_buf: Vec<Envelope>,
+}
+
+/// Read-only context shared by every worker during a window segment.
+struct Window<'a> {
+    cfg: AsyncConfig,
+    lookahead: u64,
+    shards: usize,
+    alive: &'a AliveSet,
+    partition: &'a PartitionTable,
+    home: &'a [Home],
+    /// `shards × shards` mailboxes; worker `s` appends to `s·k + d`,
+    /// worker `d` drains `s·k + d` after the barrier.
+    mail: &'a [Mutex<Vec<Flight>>],
+    barrier: &'a Barrier,
+}
+
+/// Drain `[from_ms, to_ms)` on one shard: lookahead-bounded windows,
+/// mailbox exchange at every edge.
+fn drain_windows<P>(shard: &mut Shard<P>, me: usize, from_ms: u64, to_ms: u64, ctx: &Window<'_>)
+where
+    P: PushProtocol + Send,
+    P::Message: WireMessage + Send,
+{
+    let mut w = from_ms;
+    while w < to_ms {
+        // `lookahead ≥ 1`, so `w_end ≥ w + 1` and `w_end - 1` is safe.
+        let w_end = to_ms.min(w + ctx.lookahead);
+        while let Some((key, ev)) = shard.queue.pop_before(w_end - 1) {
+            shard.events += 1;
+            dispatch(shard, key, ev, me, ctx);
+        }
+        for d in 0..ctx.shards {
+            if d != me && !shard.stage[d].is_empty() {
+                ctx.mail[me * ctx.shards + d]
+                    .lock()
+                    .expect("mailbox lock")
+                    .append(&mut shard.stage[d]);
+            }
+        }
+        // First meet: every shard has flushed its window's outbound.
+        ctx.barrier.wait();
+        for s in 0..ctx.shards {
+            if s == me {
+                continue;
+            }
+            let mut inbox = ctx.mail[s * ctx.shards + me].lock().expect("mailbox lock");
+            for f in inbox.drain(..) {
+                if f.key.at_ms < w_end {
+                    shard.horizon_violations += 1;
+                }
+                debug_assert!(
+                    f.key.at_ms >= w_end,
+                    "cross-shard frame at {} breaches the conservative horizon {w_end}",
+                    f.key.at_ms
+                );
+                shard.queue.schedule(f.key, SEv::Deliver(f.env));
+            }
+        }
+        // Second meet: nobody starts the next window (writing mailboxes)
+        // until everyone has drained this window's inbox.
+        ctx.barrier.wait();
+        w = w_end;
+    }
+}
+
+fn dispatch<P>(shard: &mut Shard<P>, key: EventKey, ev: SEv, me: usize, ctx: &Window<'_>)
+where
+    P: PushProtocol + Send,
+    P::Message: WireMessage + Send,
+{
+    match ev {
+        SEv::Timer(id) => {
+            if !ctx.alive.contains(id) {
+                return; // a dark node's timer dies with it
+            }
+            let slot = ctx.home[id as usize].slot as usize;
+            let mut out = std::mem::take(&mut shard.out_buf);
+            out.clear();
+            let rt = &mut shard.runtimes[slot];
+            rt.poll(key.at_ms, &mut out);
+            let next = rt.next_tick_ms();
+            shard.queue.schedule(EventKey::timer(next, id), SEv::Timer(id));
+            for env in out.drain(..) {
+                send(shard, key.at_ms, env, me, ctx);
+            }
+            shard.out_buf = out;
+        }
+        SEv::Deliver(env) => {
+            if ctx.partition.active() && !ctx.partition.allows(env.from, env.to) {
+                // Sent before the split, arriving across the cut (the
+                // send path already drops frames sent across it).
+                shard.cross_island_deliveries += 1;
+            }
+            let slot = ctx.home[env.to as usize].slot as usize;
+            if !ctx.alive.contains(env.to) {
+                shard.runtimes[slot].recycle_buffer(env.payload);
+                return;
+            }
+            match shard.runtimes[slot].handle(env.from, &env.payload) {
+                Ok(Some(reply)) => send(shard, key.at_ms, reply, me, ctx),
+                Ok(None) => {}
+                Err(_) => shard.decode_errors += 1,
+            }
+            shard.runtimes[slot].recycle_buffer(env.payload);
+        }
+    }
+}
+
+/// Account a frame as sent, maybe lose it, else schedule its arrival —
+/// the sequential engine's `send`, with loss/latency drawn from the
+/// **sender's** link stream so the draw order is shard-invariant.
+fn send<P>(shard: &mut Shard<P>, now_ms: u64, env: Envelope, me: usize, ctx: &Window<'_>)
+where
+    P: PushProtocol + Send,
+    P::Message: WireMessage + Send,
+{
+    shard.msgs += 1;
+    shard.bytes += env.raw_bytes as u64;
+    shard.wire += env.payload.len() as u64;
+    let from_slot = ctx.home[env.from as usize].slot as usize;
+    if !ctx.partition.allows(env.from, env.to) {
+        // The link across the cut is down; the frame dies in flight.
+        shard.partition_drops += 1;
+        shard.runtimes[from_slot].recycle_buffer(env.payload);
+        return;
+    }
+    let rng = &mut shard.link_rngs[from_slot];
+    if ctx.cfg.loss > 0.0 && rng.gen::<f64>() < ctx.cfg.loss {
+        shard.runtimes[from_slot].recycle_buffer(env.payload);
+        return;
+    }
+    let at = now_ms + ctx.cfg.latency.sample(rng);
+    let seq = shard.send_seq[from_slot];
+    shard.send_seq[from_slot] += 1;
+    let key = EventKey::deliver(at, env.to, env.from, seq);
+    let dest = ctx.home[env.to as usize].shard as usize;
+    if dest == me {
+        shard.queue.schedule(key, SEv::Deliver(env));
+    } else {
+        shard.stage[dest].push(Flight { key, env });
+    }
+}
+
+/// A sharded asynchronous network: the parallel counterpart of
+/// [`AsyncNet`](crate::AsyncNet), bit-identical at any shard count.
+pub struct ShardedNet<P: PushProtocol>
+where
+    P::Message: WireMessage,
+{
+    cfg: AsyncConfig,
+    /// Conservative lookahead: [`crate::LatencyModel::min_ms`] (≥ 1 asserted).
+    lookahead_ms: u64,
+    map: ShardMap,
+    shards: Vec<Shard<P>>,
+    /// Global id → (shard, slot), grown by churn joins.
+    home: Vec<Home>,
+    /// Reused `shards²` cross-shard mailboxes.
+    mail: Vec<Mutex<Vec<Flight>>>,
+    alive: AliveSet,
+    values: Vec<Option<f64>>,
+    membership: Box<dyn Membership>,
+    views: ViewTable,
+    views_ready: bool,
+    fail_rng: SmallRng,
+    value_rng: SmallRng,
+    setup_rng: SmallRng,
+    view_rng: SmallRng,
+    value_gen: ValueFn,
+    drift_of: DriftFn,
+    factory: NodeFactory<P>,
+    truth: Truth,
+    failure: FailureSpec,
+    partition: PartitionTable,
+    series: Series,
+    sample_idx: u64,
+    initial_n: usize,
+    join_accum: f64,
+    ran: bool,
+    now_ms: u64,
+    coord_events: u64,
+    scratch: Vec<NodeId>,
+    view_buf: Vec<NodeId>,
+    holder_buf: Vec<NodeId>,
+    changed_buf: Vec<NodeId>,
+    dirty: Vec<NodeId>,
+    dirty_flag: Vec<bool>,
+}
+
+impl<P> ShardedNet<P>
+where
+    P: PushProtocol + Send,
+    P::Message: WireMessage + Send,
+{
+    /// Build a sharded network of `n` nodes. Same population semantics
+    /// as [`AsyncNet::new`](crate::AsyncNet::new) — values, intervals,
+    /// offsets, and node seeds are drawn from the same streams in the
+    /// same order, so a given seed boots the same nodes. Panics if the
+    /// latency model has zero lookahead (the scenario layer routes such
+    /// configs to the sequential engine instead).
+    pub fn new(
+        n: usize,
+        cfg: AsyncConfig,
+        map: ShardMap,
+        value_gen: ValueFn,
+        drift_of: DriftFn,
+        factory: NodeFactory<P>,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&cfg.loss), "loss probability must be in [0, 1]");
+        assert!((0.0..1.0).contains(&cfg.jitter), "jitter fraction must be in [0, 1)");
+        assert!(cfg.interval_ms >= 1, "round interval must be at least 1 ms");
+        let lookahead_ms = cfg.latency.min_ms();
+        assert!(
+            lookahead_ms >= 1,
+            "the sharded engine needs lookahead ≥ 1 ms ({:?} has none); \
+             run zero-lookahead configs on the sequential engine",
+            cfg.latency
+        );
+        let k = map.shards();
+        assert!(k >= 1, "at least one shard");
+        let mut net = Self {
+            lookahead_ms,
+            shards: (0..k)
+                .map(|_| Shard {
+                    queue: ShardQueue::new(),
+                    runtimes: Vec::new(),
+                    link_rngs: Vec::new(),
+                    send_seq: Vec::new(),
+                    stage: (0..k).map(|_| Vec::new()).collect(),
+                    msgs: 0,
+                    bytes: 0,
+                    wire: 0,
+                    events: 0,
+                    decode_errors: 0,
+                    partition_drops: 0,
+                    cross_island_deliveries: 0,
+                    horizon_violations: 0,
+                    out_buf: Vec::new(),
+                })
+                .collect(),
+            home: Vec::with_capacity(n),
+            mail: (0..k * k).map(|_| Mutex::new(Vec::new())).collect(),
+            map,
+            alive: AliveSet::empty(n),
+            values: Vec::with_capacity(n),
+            membership: Box::new(UniformEnv::new()),
+            views: ViewTable::new(),
+            views_ready: false,
+            fail_rng: rng::rng_for(cfg.seed, dynagg_sim::rng::stream::FAILURES),
+            value_rng: rng::rng_for(cfg.seed, dynagg_sim::rng::stream::VALUES),
+            setup_rng: rng::rng_for(cfg.seed, dynagg_sim::rng::stream::ENVIRONMENT),
+            view_rng: rng::rng_for(cfg.seed, dynagg_sim::rng::stream::VIEWS),
+            value_gen,
+            drift_of,
+            factory,
+            truth: Truth::Mean,
+            failure: FailureSpec::None,
+            partition: PartitionTable::empty(),
+            series: Series::default(),
+            sample_idx: 0,
+            initial_n: n,
+            join_accum: 0.0,
+            ran: false,
+            now_ms: 0,
+            coord_events: 0,
+            scratch: Vec::new(),
+            view_buf: Vec::new(),
+            holder_buf: Vec::new(),
+            changed_buf: Vec::new(),
+            dirty: Vec::new(),
+            dirty_flag: Vec::new(),
+            cfg,
+        };
+        for _ in 0..n {
+            net.spawn_node(0);
+        }
+        net
+    }
+
+    /// What estimates are measured against (default: [`Truth::Mean`]).
+    pub fn with_truth(mut self, truth: Truth) -> Self {
+        assert!(!truth.needs_groups(), "async engine supports global truths only");
+        self.truth = truth;
+        self
+    }
+
+    /// The failure plan, applied at nominal round boundaries.
+    pub fn with_failure(mut self, failure: FailureSpec) -> Self {
+        self.failure = failure;
+        self
+    }
+
+    /// The partition schedule. Must be installed before the first run.
+    pub fn with_partition(mut self, partition: PartitionTable) -> Self {
+        assert!(!self.views_ready && !self.ran, "install the partition schedule before running");
+        self.partition = partition;
+        self
+    }
+
+    /// Replace the membership/topology layer (default: uniform). Must be
+    /// called before the first run.
+    pub fn with_membership(mut self, membership: Box<dyn Membership>) -> Self {
+        assert!(!self.views_ready && !self.ran, "install the membership layer before running");
+        self.membership = membership;
+        self
+    }
+
+    /// Spawn one node, mirroring the sequential engine's draw order
+    /// (value stream, then setup stream for interval and phase), and
+    /// schedule its timer on its home shard.
+    fn spawn_node(&mut self, from_ms: u64) -> NodeId {
+        let id = self.home.len() as NodeId;
+        let v = (self.value_gen)(&mut self.value_rng, id);
+        let jitter_ms = (self.cfg.interval_ms as f64 * self.cfg.jitter) as u64;
+        let interval = if jitter_ms == 0 {
+            self.cfg.interval_ms
+        } else {
+            self.cfg.interval_ms - jitter_ms + self.setup_rng.gen_range(0..=2 * jitter_ms)
+        };
+        let rt_cfg = RuntimeConfig {
+            node_id: id,
+            round_interval_ms: interval.max(1),
+            start_offset_ms: from_ms + self.setup_rng.gen_range(0..interval.max(1)),
+            seed: rng::derive(self.cfg.seed, NODE_SEED_BASE ^ u64::from(id)),
+            drift: (self.drift_of)(id),
+            max_round_lag: None,
+        };
+        let rt = NodeRuntime::new(rt_cfg, (self.factory)(id, v));
+        let s = self.map.shard_of(id as usize);
+        let shard = &mut self.shards[s];
+        self.home.push(Home { shard: s as u32, slot: shard.runtimes.len() as u32 });
+        shard.queue.schedule(EventKey::timer(rt.next_tick_ms(), id), SEv::Timer(id));
+        shard.link_rngs.push(rng::rng_for(self.cfg.seed, LINK_SEED_BASE ^ u64::from(id)));
+        shard.send_seq.push(0);
+        shard.runtimes.push(rt);
+        self.values.push(Some(v));
+        self.alive.insert(id);
+        self.views.ensure(self.home.len());
+        self.dirty_flag.push(false);
+        id
+    }
+
+    /// Shard count.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The conservative lookahead (window length) in milliseconds.
+    pub fn lookahead_ms(&self) -> u64 {
+        self.lookahead_ms
+    }
+
+    /// Current simulated wall-clock (the last barrier point).
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms
+    }
+
+    /// Events processed across all shards plus coordinator phases —
+    /// comparable to [`AsyncNet::events_processed`](crate::AsyncNet::events_processed).
+    pub fn events_processed(&self) -> u64 {
+        self.coord_events + self.shards.iter().map(|s| s.events).sum::<u64>()
+    }
+
+    /// Frames that failed to decode (should stay 0).
+    pub fn decode_errors(&self) -> u64 {
+        self.shards.iter().map(|s| s.decode_errors).sum()
+    }
+
+    /// Frames dropped at the partition boundary.
+    pub fn partition_drops(&self) -> u64 {
+        self.shards.iter().map(|s| s.partition_drops).sum()
+    }
+
+    /// Frames that *arrived* across an active cut — only frames already
+    /// in flight when a split fires can do this; with a split active
+    /// from round 0 this must be 0 (test hook for partition gating).
+    pub fn cross_island_deliveries(&self) -> u64 {
+        self.shards.iter().map(|s| s.cross_island_deliveries).sum()
+    }
+
+    /// Cross-shard frames ingested below their window edge — always 0,
+    /// or the conservative time-window barrier is broken (test hook;
+    /// also debug-asserted at ingest).
+    pub fn horizon_violations(&self) -> u64 {
+        self.shards.iter().map(|s| s.horizon_violations).sum()
+    }
+
+    /// Access a node's runtime.
+    pub fn node(&self, id: NodeId) -> &NodeRuntime<P> {
+        let h = self.home[id as usize];
+        &self.shards[h.shard as usize].runtimes[h.slot as usize]
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut NodeRuntime<P> {
+        let h = self.home[id as usize];
+        &mut self.shards[h.shard as usize].runtimes[h.slot as usize]
+    }
+
+    /// A node's current membership view.
+    pub fn view_of(&self, id: NodeId) -> &[NodeId] {
+        self.views.view(id)
+    }
+
+    /// Validate the views ↔ holders index invariant (test support).
+    pub fn check_view_consistency(&self) {
+        self.views.check_consistency();
+    }
+
+    /// Powered (live) node ids, ascending.
+    pub fn live(&self) -> Vec<NodeId> {
+        let mut ids = self.alive.ids().to_vec();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// The series sampled so far.
+    pub fn series(&self) -> &Series {
+        &self.series
+    }
+
+    /// Consume the network, returning its series.
+    pub fn into_series(self) -> Series {
+        self.series
+    }
+
+    /// Silently power a node off.
+    fn power_off(&mut self, id: NodeId) {
+        if self.alive.remove(id) {
+            self.values[id as usize] = None;
+        }
+    }
+
+    /// Materialize initial views on first run (same path as the
+    /// sequential engine's `refresh_views`).
+    fn ensure_views(&mut self) {
+        if self.views_ready {
+            return;
+        }
+        self.membership.advance(0, &self.alive, &mut self.changed_buf);
+        self.views_ready = true;
+        for id in 0..self.home.len() as NodeId {
+            if self.alive.contains(id) {
+                self.assign_view(id);
+            }
+        }
+        self.sync_dirty();
+    }
+
+    /// Draw `id` a fresh island-filtered view and index it.
+    fn assign_view(&mut self, id: NodeId) {
+        self.membership.view_into(
+            id,
+            &self.alive,
+            self.cfg.view_size,
+            &mut self.view_rng,
+            &mut self.view_buf,
+        );
+        let mut view = std::mem::take(&mut self.view_buf);
+        if self.partition.active() {
+            view.retain(|&p| self.partition.allows(id, p));
+        }
+        self.views.assign(id, &view);
+        self.view_buf = view;
+        self.mark_dirty(id);
+    }
+
+    fn mark_dirty(&mut self, id: NodeId) {
+        let idx = id as usize;
+        if !self.dirty_flag[idx] {
+            self.dirty_flag[idx] = true;
+            self.dirty.push(id);
+        }
+    }
+
+    /// Push repaired views into the affected runtimes' peer lists.
+    fn sync_dirty(&mut self) {
+        let dirty = std::mem::take(&mut self.dirty);
+        for &id in &dirty {
+            self.dirty_flag[id as usize] = false;
+            if self.alive.contains(id) {
+                let h = self.home[id as usize];
+                self.shards[h.shard as usize].runtimes[h.slot as usize]
+                    .set_peers(self.views.view(id));
+            }
+        }
+        let mut dirty = dirty;
+        dirty.clear();
+        self.dirty = dirty;
+    }
+
+    /// Run for `nominal_rounds × interval_ms` of simulated time. May
+    /// only be called once per network.
+    pub fn run(&mut self, nominal_rounds: u64) {
+        assert!(!self.ran, "run() may only be called once");
+        self.ran = true;
+        self.ensure_views();
+        let horizon = nominal_rounds * self.cfg.interval_ms;
+        // Coordinator timeline: barrier points are the union of sample
+        // times and nominal round boundaries. Samples run before
+        // boundaries at shared points, matching the sequential engine's
+        // scheduling order.
+        let mut points: BTreeMap<u64, (bool, Option<u64>)> = BTreeMap::new();
+        let cadence = self.cfg.sample_every_ms.max(1);
+        let mut t = cadence;
+        while t <= horizon {
+            points.entry(t).or_insert((false, None)).0 = true;
+            t += cadence;
+        }
+        for k in 0..nominal_rounds {
+            points.entry(k * self.cfg.interval_ms).or_insert((false, None)).1 = Some(k);
+        }
+        points.entry(horizon).or_insert((false, None));
+        let mut prev = 0;
+        for (&at, &(sample, boundary)) in &points {
+            self.parallel_drain(prev, at);
+            self.now_ms = at;
+            if sample {
+                self.coord_events += 1;
+                self.record_sample();
+            }
+            if let Some(k) = boundary {
+                self.coord_events += 1;
+                self.nominal_round(k);
+            }
+            prev = at;
+        }
+    }
+
+    /// Drain `[from_ms, to_ms)` on every shard concurrently.
+    fn parallel_drain(&mut self, from_ms: u64, to_ms: u64) {
+        if from_ms == to_ms {
+            return;
+        }
+        let barrier = Barrier::new(self.shards.len());
+        let ctx = Window {
+            cfg: self.cfg,
+            lookahead: self.lookahead_ms,
+            shards: self.shards.len(),
+            alive: &self.alive,
+            partition: &self.partition,
+            home: &self.home,
+            mail: &self.mail,
+            barrier: &barrier,
+        };
+        std::thread::scope(|s| {
+            for (me, shard) in self.shards.iter_mut().enumerate() {
+                let ctx = &ctx;
+                s.spawn(move || drain_windows(shard, me, from_ms, to_ms, ctx));
+            }
+        });
+    }
+
+    /// One streaming pass over the live nodes in global id order —
+    /// floating-point accumulation order is fixed regardless of shard
+    /// layout.
+    fn record_sample(&mut self) {
+        let mut acc = StatsAcc::default();
+        let t = self.truth.global_scalar(&self.values).expect("global truth");
+        let (mut audit_v, mut audit_w) = (0.0f64, 0.0f64);
+        for (id, value) in self.values.iter().enumerate() {
+            if value.is_some() {
+                let h = self.home[id];
+                let p = self.shards[h.shard as usize].runtimes[h.slot as usize].protocol();
+                acc.note_lifecycle(p.is_settling(), p.disruptions());
+                if let Some(e) = p.estimate() {
+                    acc.add(e, t);
+                }
+                if let Some(m) = p.audit_mass() {
+                    audit_v += m.value;
+                    audit_w += m.weight;
+                }
+            }
+        }
+        let (mut msgs, mut bytes, mut wire) = (0u64, 0u64, 0u64);
+        for s in &mut self.shards {
+            msgs += std::mem::take(&mut s.msgs);
+            bytes += std::mem::take(&mut s.bytes);
+            wire += std::mem::take(&mut s.wire);
+        }
+        let mut stats = acc.finish(self.sample_idx, self.alive.len(), msgs, bytes, wire, 0.0);
+        if audit_w > 0.0 {
+            if let Some(mean) = Truth::Mean.global_scalar(&self.values) {
+                stats.mass_audit = audit_v / audit_w - mean;
+            }
+        }
+        stats.islands = self.partition.islands();
+        self.series.push(stats);
+        self.sample_idx += 1;
+    }
+
+    /// A nominal round boundary — the sequential engine's logic verbatim
+    /// (partition schedule, failure plan, membership clock, view sync).
+    fn nominal_round(&mut self, k: u64) {
+        let transition = self.partition.begin_round(k);
+        self.apply_failure(k);
+        if k > 0 {
+            match self.membership.advance(k, &self.alive, &mut self.changed_buf) {
+                ViewChange::Unchanged => {}
+                ViewChange::Nodes => {
+                    let changed = std::mem::take(&mut self.changed_buf);
+                    for &id in &changed {
+                        if self.alive.contains(id) {
+                            self.assign_view(id);
+                        }
+                    }
+                    self.changed_buf = changed;
+                }
+                ViewChange::All => {
+                    for id in 0..self.home.len() as NodeId {
+                        if self.alive.contains(id) {
+                            self.assign_view(id);
+                        }
+                    }
+                }
+            }
+        }
+        if transition != PartitionTransition::None {
+            for id in 0..self.home.len() as NodeId {
+                if self.alive.contains(id) {
+                    self.assign_view(id);
+                }
+            }
+        }
+        self.sync_dirty();
+    }
+
+    /// Apply the failure plan for nominal round `k`, repairing views
+    /// incrementally — identical victim-selection and repair draw order
+    /// to the sequential engine.
+    fn apply_failure(&mut self, k: u64) {
+        let mut victims = std::mem::take(&mut self.scratch);
+        victims.clear();
+        let mut joins = 0usize;
+        let mut graceful = false;
+        match self.failure {
+            FailureSpec::None => {}
+            FailureSpec::AtRound { round, mode, fraction, graceful: g } => {
+                if k == round {
+                    graceful = g;
+                    let count = ((self.alive.len() as f64) * fraction).round() as usize;
+                    victims.extend(
+                        (0..self.home.len() as NodeId).filter(|&id| self.alive.contains(id)),
+                    );
+                    match mode {
+                        FailureMode::Random => victims.shuffle(&mut self.fail_rng),
+                        FailureMode::TopValue => victims.sort_unstable_by(|&a, &b| {
+                            let va = self.values[a as usize].unwrap_or(f64::MIN);
+                            let vb = self.values[b as usize].unwrap_or(f64::MIN);
+                            vb.partial_cmp(&va).expect("values are finite")
+                        }),
+                        FailureMode::BottomValue => victims.sort_unstable_by(|&a, &b| {
+                            let va = self.values[a as usize].unwrap_or(f64::MAX);
+                            let vb = self.values[b as usize].unwrap_or(f64::MAX);
+                            va.partial_cmp(&vb).expect("values are finite")
+                        }),
+                    }
+                    victims.truncate(count);
+                }
+            }
+            FailureSpec::Churn { start, leave_per_round, join_per_round } => {
+                if k >= start {
+                    for id in 0..self.home.len() as NodeId {
+                        if self.alive.contains(id) && self.fail_rng.gen::<f64>() < leave_per_round {
+                            victims.push(id);
+                        }
+                    }
+                    self.join_accum += join_per_round * self.initial_n as f64;
+                    joins = self.join_accum as usize;
+                    self.join_accum -= joins as f64;
+                }
+            }
+        }
+        for &id in &victims {
+            if graceful {
+                self.node_mut(id).protocol_mut().depart_gracefully();
+            }
+            self.power_off(id);
+        }
+        for &id in &victims {
+            self.views.clear_node(id);
+        }
+        let mut holders = std::mem::take(&mut self.holder_buf);
+        for &id in &victims {
+            self.views.take_holders_into(id, &mut holders);
+            for &h in &holders {
+                if !self.alive.contains(h) {
+                    continue; // the holder died in the same batch
+                }
+                self.views.drop_slot(h, id);
+                for _ in 0..REPAIR_TRIES {
+                    let Some(y) = self.membership.repair_peer(h, &self.alive, &mut self.view_rng)
+                    else {
+                        break; // adjacency topologies: the view just shrinks
+                    };
+                    if y != h
+                        && self.alive.contains(y)
+                        && self.partition.allows(h, y)
+                        && !self.views.has_member(h, y)
+                    {
+                        self.views.push_slot(h, y);
+                        break;
+                    }
+                }
+                self.mark_dirty(h);
+            }
+        }
+        self.holder_buf = holders;
+        self.scratch = victims;
+        let now = self.now_ms;
+        for _ in 0..joins {
+            let id = self.spawn_node(now);
+            if self.views_ready {
+                self.assign_view(id);
+                self.introduce(id);
+            }
+        }
+    }
+
+    /// Splice a joined node into a handful of existing views (the
+    /// sequential engine's join introduction, same draw order).
+    fn introduce(&mut self, id: NodeId) {
+        let want = INTRODUCTIONS.min(self.cfg.view_size).min(self.alive.len().saturating_sub(1));
+        let mut done = 0;
+        let mut tries = 0;
+        while done < want && tries < want * 4 {
+            tries += 1;
+            let Some(h) = self.membership.repair_peer(id, &self.alive, &mut self.view_rng) else {
+                break;
+            };
+            if h == id
+                || !self.alive.contains(h)
+                || !self.partition.allows(h, id)
+                || self.views.has_member(h, id)
+            {
+                continue;
+            }
+            if self.views.view_len(h) < self.cfg.view_size {
+                self.views.push_slot(h, id);
+            } else {
+                let slot = self.view_rng.gen_range(0..self.views.view_len(h));
+                self.views.replace_slot(h, slot, id);
+            }
+            self.mark_dirty(h);
+            done += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LatencyModel;
+    use dynagg_core::epoch::DriftModel;
+    use dynagg_core::push_sum_revert::PushSumRevert;
+
+    fn net_with(
+        seed: u64,
+        n: usize,
+        shards: usize,
+        latency: LatencyModel,
+        loss: f64,
+    ) -> ShardedNet<PushSumRevert> {
+        let mut cfg = AsyncConfig::new(seed);
+        cfg.latency = latency;
+        cfg.loss = loss;
+        cfg.view_size = 16;
+        ShardedNet::new(
+            n,
+            cfg,
+            ShardMap::uniform(n, shards),
+            Box::new(|rng, _| rng.gen_range(0.0..100.0)),
+            Box::new(|_| DriftModel::Synced),
+            Box::new(|_, v| PushSumRevert::new(v, 0.01)),
+        )
+    }
+
+    #[test]
+    fn sharded_run_converges_and_samples_a_series() {
+        let mut net = net_with(3, 200, 4, LatencyModel::Uniform { lo_ms: 5, hi_ms: 30 }, 0.0);
+        net.run(50);
+        let last = *net.series().last().unwrap();
+        assert_eq!(net.series().rounds.len(), 50);
+        assert_eq!(last.alive, 200);
+        assert!(last.stddev < 3.0, "converged: stddev {}", last.stddev);
+        assert!(last.messages > 0 && last.bytes > 0);
+        assert_eq!(last.wire_bytes, last.bytes + 5 * last.messages, "wire = raw + header");
+        assert_eq!(net.decode_errors(), 0);
+        assert_eq!(net.horizon_violations(), 0);
+    }
+
+    #[test]
+    fn series_is_bit_identical_across_shard_counts() {
+        let run = |shards: usize| {
+            let mut net =
+                net_with(7, 150, shards, LatencyModel::Uniform { lo_ms: 5, hi_ms: 30 }, 0.05);
+            net.run(30);
+            net.into_series()
+        };
+        let one = run(1);
+        for k in [2, 3, 4, 8] {
+            assert_eq!(one, run(k), "shard count {k} changed the series");
+        }
+    }
+
+    #[test]
+    fn assignment_heuristic_cannot_change_the_series() {
+        // Ownership is perf-only: a clustered map and a uniform map over
+        // the same spec must produce the same bits.
+        let run = |map: ShardMap| {
+            let mut cfg = AsyncConfig::new(11);
+            cfg.latency = LatencyModel::Constant { ms: 10 };
+            cfg.view_size = 12;
+            let mut net: ShardedNet<PushSumRevert> = ShardedNet::new(
+                120,
+                cfg,
+                map,
+                Box::new(|rng, _| rng.gen_range(0.0..100.0)),
+                Box::new(|_| DriftModel::Synced),
+                Box::new(|_, v| PushSumRevert::new(v, 0.01)),
+            );
+            net.run(20);
+            net.into_series()
+        };
+        assert_eq!(run(ShardMap::uniform(120, 4)), run(ShardMap::clustered(120, 4, 4)));
+        assert_eq!(run(ShardMap::uniform(120, 4)), run(ShardMap::spatial(120, 11, 4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead")]
+    fn zero_lookahead_is_rejected() {
+        net_with(1, 10, 2, LatencyModel::Exponential { mean_ms: 15.0 }, 0.0);
+    }
+}

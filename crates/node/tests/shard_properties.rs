@@ -1,0 +1,259 @@
+//! Property tests for the sharded engine's two headline invariants:
+//!
+//! * **shard-count invariance** — over arbitrary topology / latency /
+//!   drift / churn specs, a [`ShardedNet`] produces a bit-identical
+//!   [`Series`] at every shard count, and
+//! * **conservative safety** — no cross-shard frame is ever ingested
+//!   below its window's horizon, and active partitions gate cross-shard
+//!   frames exactly like local ones.
+
+use dynagg_core::epoch::DriftModel;
+use dynagg_core::protocol::NodeId;
+use dynagg_core::push_sum_revert::PushSumRevert;
+use dynagg_node::{AsyncConfig, LatencyModel, ShardedNet};
+use dynagg_sim::env::{ClusteredEnv, SpatialEnv, UniformEnv};
+use dynagg_sim::membership::Membership;
+use dynagg_sim::metrics::Series;
+use dynagg_sim::partition::{resolve, Island, PartitionEvent, PartitionTable, TopologyInfo};
+use dynagg_sim::shard::ShardMap;
+use dynagg_sim::FailureSpec;
+use proptest::prelude::*;
+use proptest::strategy::Just;
+use rand::Rng;
+
+/// Which membership/topology layer a generated spec runs on.
+#[derive(Debug, Clone, Copy)]
+enum Topo {
+    Uniform,
+    Clustered { clusters: u32 },
+    Spatial,
+}
+
+/// One generated spec: everything that parameterizes a run except the
+/// shard count — the variable under test.
+#[derive(Debug, Clone, Copy)]
+struct Spec {
+    seed: u64,
+    n: usize,
+    topo: Topo,
+    latency: LatencyModel,
+    drift_rate: f64,
+    loss: f64,
+    churn: Option<(f64, f64)>,
+    rounds: u64,
+}
+
+fn topo_strategy() -> impl Strategy<Value = Topo> {
+    prop_oneof![
+        Just(Topo::Uniform),
+        (2u32..5).prop_map(|clusters| Topo::Clustered { clusters }),
+        Just(Topo::Spatial),
+    ]
+}
+
+/// Latency models with a positive lower bound (the sharded engine's
+/// admission requirement).
+fn latency_strategy() -> impl Strategy<Value = LatencyModel> {
+    prop_oneof![
+        (1u64..40).prop_map(|ms| LatencyModel::Constant { ms }),
+        (1u64..20, 0u64..40)
+            .prop_map(|(lo, extra)| LatencyModel::Uniform { lo_ms: lo, hi_ms: lo + extra }),
+    ]
+}
+
+fn spec_strategy() -> impl Strategy<Value = Spec> {
+    (
+        any::<u64>(),
+        40usize..120,
+        topo_strategy(),
+        latency_strategy(),
+        0.85f64..1.15,
+        0.0f64..0.2,
+        proptest::option::of((0.0f64..0.08, 0.0f64..0.08)),
+        6u64..20,
+    )
+        .prop_map(|(seed, n, topo, latency, drift_rate, loss, churn, rounds)| Spec {
+            seed,
+            n,
+            topo,
+            latency,
+            drift_rate,
+            loss,
+            churn,
+            rounds,
+        })
+}
+
+fn membership_for(spec: &Spec) -> Box<dyn Membership> {
+    match spec.topo {
+        Topo::Uniform => Box::new(UniformEnv::new()),
+        Topo::Clustered { clusters } => {
+            Box::new(ClusteredEnv::new(spec.n, clusters, 0.01, 0.02, spec.seed))
+        }
+        Topo::Spatial => Box::new(SpatialEnv::for_nodes(spec.n)),
+    }
+}
+
+fn map_for(spec: &Spec, shards: usize) -> ShardMap {
+    match spec.topo {
+        Topo::Uniform => ShardMap::uniform(spec.n, shards),
+        Topo::Clustered { clusters } => ShardMap::clustered(spec.n, clusters, shards),
+        Topo::Spatial => ShardMap::spatial(spec.n, SpatialEnv::for_nodes(spec.n).side(), shards),
+    }
+}
+
+/// Run `spec` at `shards`, returning the series plus the safety counters.
+fn run_sharded(spec: &Spec, shards: usize) -> (Series, u64, u64) {
+    let mut cfg = AsyncConfig::new(spec.seed);
+    cfg.latency = spec.latency;
+    cfg.loss = spec.loss;
+    cfg.view_size = 12;
+    let rate = spec.drift_rate;
+    let mut net: ShardedNet<PushSumRevert> =
+        ShardedNet::new(
+            spec.n,
+            cfg,
+            map_for(spec, shards),
+            Box::new(|rng, _| rng.gen_range(0.0..100.0)),
+            Box::new(move |id| {
+                if id % 3 == 0 {
+                    DriftModel::ConstantSkew { rate }
+                } else {
+                    DriftModel::Synced
+                }
+            }),
+            Box::new(|_, v| PushSumRevert::new(v, 0.01)),
+        )
+        .with_membership(membership_for(spec));
+    if let Some((leave, join)) = spec.churn {
+        net = net.with_failure(FailureSpec::Churn {
+            start: 0,
+            leave_per_round: leave,
+            join_per_round: join,
+        });
+    }
+    net.run(spec.rounds);
+    let horizon = net.horizon_violations();
+    let cross = net.cross_island_deliveries();
+    (net.into_series(), horizon, cross)
+}
+
+/// A two-island range partition `0..split | split..n`.
+fn split_table(n: usize, split: usize, at: u64, heal: Option<u64>) -> PartitionTable {
+    let event = PartitionEvent {
+        at_round: at,
+        heal_at: heal,
+        islands: vec![
+            Island::Range { lo: 0, hi: split as NodeId },
+            Island::Range { lo: split as NodeId, hi: n as NodeId },
+        ],
+    };
+    let resolved = resolve(&event, n, &TopologyInfo::default()).unwrap();
+    PartitionTable::new(vec![resolved]).unwrap()
+}
+
+proptest! {
+    /// Shard-count invariance over arbitrary specs: topology, latency
+    /// distribution, clock drift, loss, and churn are all free — the
+    /// series must be bit-identical at 1, 2, 4, and 8 shards, and the
+    /// conservative horizon must never be breached at any count.
+    #[test]
+    fn series_is_invariant_across_shard_counts(spec in spec_strategy()) {
+        let (base, horizon1, _) = run_sharded(&spec, 1);
+        for shards in [2usize, 4, 8] {
+            let (series, horizon, _) = run_sharded(&spec, shards);
+            prop_assert_eq!(horizon, 0, "horizon breached at {} shards", shards);
+            prop_assert_eq!(
+                &series, &base,
+                "series diverged between 1 and {} shards", shards
+            );
+        }
+        prop_assert_eq!(horizon1, 0);
+    }
+
+    /// Partition gating crosses shard boundaries intact. With a split
+    /// active from round 0 nothing is in flight when it fires, so not
+    /// one frame may arrive across the cut — `cross_island_deliveries`
+    /// stays 0 — and the contamination proof from the sequential
+    /// engine's suite holds shard-side: island A holds constant 10,
+    /// island B constant 90, `λ = 0`, so any estimate off its island's
+    /// constant would require a frame that leaked across the boundary.
+    #[test]
+    fn cross_shard_frames_respect_active_partitions(
+        seed: u64,
+        n in 24usize..80,
+        split_frac in 0.2f64..0.8,
+        shards in 2usize..6,
+        rounds in 4u64..24,
+    ) {
+        let split = ((n as f64 * split_frac) as usize).clamp(1, n - 1);
+        let mut cfg = AsyncConfig::new(seed);
+        cfg.view_size = 10;
+        cfg.latency = LatencyModel::Uniform { lo_ms: 5, hi_ms: 30 };
+        let mut net: ShardedNet<PushSumRevert> = ShardedNet::new(
+            n,
+            cfg,
+            // Deliberately misaligned with the islands: shards slice the
+            // id space differently than the partition does, so island
+            // traffic is forced across shard boundaries.
+            ShardMap::uniform(n, shards),
+            Box::new(move |_, id| if (id as usize) < split { 10.0 } else { 90.0 }),
+            Box::new(|_| DriftModel::Synced),
+            Box::new(|_, v| PushSumRevert::new(v, 0.0)),
+        )
+        .with_partition(split_table(n, split, 0, None));
+        net.run(rounds);
+        prop_assert_eq!(net.horizon_violations(), 0);
+        prop_assert_eq!(
+            net.cross_island_deliveries(), 0,
+            "a frame crossed the active cut"
+        );
+        for id in net.live() {
+            let want = if (id as usize) < split { 10.0 } else { 90.0 };
+            let got = net.node(id).estimate().unwrap();
+            prop_assert!(
+                (got - want).abs() < 1e-9,
+                "frame leaked across the cut: node {} estimates {} (island mean {})",
+                id, got, want
+            );
+        }
+        for sample in &net.series().rounds {
+            prop_assert_eq!(sample.islands, 2, "islands column reads the active split");
+        }
+    }
+
+    /// A mid-run split + heal is still shard-count invariant (partition
+    /// transitions rebuild views on the coordinator, between windows).
+    #[test]
+    fn partition_and_heal_are_shard_count_invariant(
+        seed: u64,
+        n in 30usize..80,
+        split_frac in 0.25f64..0.75,
+        at in 2u64..6,
+        dwell in 2u64..8,
+    ) {
+        let split = ((n as f64 * split_frac) as usize).clamp(2, n - 2);
+        let run = |shards: usize| {
+            let mut cfg = AsyncConfig::new(seed);
+            cfg.view_size = 10;
+            let mut net: ShardedNet<PushSumRevert> = ShardedNet::new(
+                n,
+                cfg,
+                ShardMap::uniform(n, shards),
+                Box::new(|rng, _| rng.gen_range(0.0..100.0)),
+                Box::new(|_| DriftModel::Synced),
+                Box::new(|_, v| PushSumRevert::new(v, 0.01)),
+            )
+            .with_partition(split_table(n, split, at, Some(at + dwell)));
+            net.run(at + dwell + 6);
+            let horizon = net.horizon_violations();
+            (net.into_series(), horizon)
+        };
+        let (one, h1) = run(1);
+        let (two, h2) = run(2);
+        let (five, h5) = run(5);
+        prop_assert_eq!(h1 + h2 + h5, 0, "horizon breached");
+        prop_assert_eq!(&two, &one);
+        prop_assert_eq!(&five, &one);
+    }
+}

@@ -53,5 +53,6 @@ pub use registry::{
 };
 pub use spec::{
     AdversarySpec, AsyncSpec, CliqueDrift, DriftSpec, Engine, EnvSpec, LatencySpec, Metric,
-    OutputSpec, Probe, ProtocolSpec, Report, ScenarioSpec, Sweep, SweepAxis, ValueSpec,
+    OutputSpec, Probe, ProtocolSpec, Report, ScenarioSpec, ShardFallback, ShardsSpec, Sweep,
+    SweepAxis, ValueSpec,
 };

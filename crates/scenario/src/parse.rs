@@ -9,7 +9,7 @@
 use crate::error::ScenarioError;
 use crate::spec::{
     AdversarySpec, AsyncSpec, CliqueDrift, DriftSpec, Engine, EnvSpec, LatencySpec, Metric,
-    OutputSpec, Probe, ProtocolSpec, Report, ScenarioSpec, Sweep, SweepAxis, ValueSpec,
+    OutputSpec, Probe, ProtocolSpec, Report, ScenarioSpec, ShardsSpec, Sweep, SweepAxis, ValueSpec,
 };
 use dynagg_core::adversary::Attack;
 use dynagg_core::extremum::ExtremumMode;
@@ -245,7 +245,7 @@ impl<'a> Ctx<'a> {
 /// The `[async]` table (see [`AsyncSpec`] for defaults).
 fn parse_async(table: &Table) -> Result<AsyncSpec, ScenarioError> {
     let a = Ctx { table, name: "async" };
-    a.check_keys(&["interval_ms", "jitter", "latency", "drift", "sample_every_ms"])?;
+    a.check_keys(&["interval_ms", "jitter", "latency", "drift", "sample_every_ms", "shards"])?;
     let defaults = AsyncSpec::default();
     let latency = match a.opt_table("latency")? {
         None => defaults.latency,
@@ -303,12 +303,33 @@ fn parse_async(table: &Table) -> Result<AsyncSpec, ScenarioError> {
             }
         }
     };
+    // `shards` is an integer count or the string "auto".
+    let shards = match a.table.get("shards") {
+        None => None,
+        Some(v) => match (v.as_integer(), v.as_str()) {
+            (Some(_), _) => Some(ShardsSpec::Count(a.to_u64("shards", v)?)),
+            (None, Some("auto")) => Some(ShardsSpec::Auto),
+            (None, Some(other)) => {
+                return Err(ScenarioError::Invalid {
+                    key: "async.shards".into(),
+                    reason: format!("expected a shard count or \"auto\", got \"{other}\""),
+                })
+            }
+            (None, None) => {
+                return Err(ScenarioError::Invalid {
+                    key: "async.shards".into(),
+                    reason: format!("expected an integer or \"auto\", got {v:?}"),
+                })
+            }
+        },
+    };
     Ok(AsyncSpec {
         interval_ms: a.opt_u64("interval_ms")?.unwrap_or(defaults.interval_ms),
         jitter: a.opt_f64("jitter")?.unwrap_or(defaults.jitter),
         latency,
         drift,
         sample_every_ms: a.opt_u64("sample_every_ms")?,
+        shards,
     })
 }
 

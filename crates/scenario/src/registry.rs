@@ -33,9 +33,10 @@ use dynagg_core::tree::TagTree;
 use dynagg_core::wire::WireMessage;
 use dynagg_node::loopback::ValueFn;
 use dynagg_node::runtime::FRAME_HEADER_BYTES;
-use dynagg_node::{AsyncConfig, AsyncNet, LatencyModel};
+use dynagg_node::{AsyncConfig, AsyncNet, LatencyModel, ShardedNet};
 use dynagg_sim::env::{ClusteredEnv, Environment, SpatialEnv, TraceEnv, UniformEnv};
 use dynagg_sim::partition::{self, PartitionTable};
+use dynagg_sim::shard::ShardMap;
 use dynagg_sim::{par, runner, Series};
 use dynagg_sketch::age::INF_AGE;
 use dynagg_sketch::codec;
@@ -475,8 +476,8 @@ fn run_message<P, F, G>(
     probe: Option<G>,
 ) -> TrialOutput
 where
-    P: PushProtocol + 'static,
-    P::Message: WireMessage,
+    P: PushProtocol + Send + 'static,
+    P::Message: WireMessage + Send,
     F: FnMut(NodeId, f64) -> P + 'static,
     G: Fn(&P) -> f64,
 {
@@ -579,8 +580,8 @@ where
 /// trace replay) land at nominal round boundaries.
 fn run_async<P, F>(spec: &ScenarioSpec, seed: u64, n: usize, rounds: u64, factory: F) -> Series
 where
-    P: PushProtocol + 'static,
-    P::Message: WireMessage,
+    P: PushProtocol + Send + 'static,
+    P::Message: WireMessage + Send,
     F: FnMut(NodeId, f64) -> P + 'static,
 {
     let a = spec.asynchrony.unwrap_or_default();
@@ -599,6 +600,29 @@ where
         ValueSpec::Constant(x) => Box::new(move |_, _| x),
     };
     let drift = a.drift;
+    // `shards = 1` (or an absent key) keeps the sequential engine, whose
+    // pinned digests predate sharding; `shards ≥ 2` runs the sharded
+    // engine, bit-identical across every count ≥ 2 but statistically
+    // distinct from the sequential engine (its loss/latency draws are
+    // per-node streams, not one global stream in pop order).
+    let (shards, _fallback) = spec.effective_shards(n);
+    if shards >= 2 {
+        let map = ShardMap::from_topology(&topology_info(&spec.env, n), n, shards);
+        let mut net = ShardedNet::new(
+            n,
+            cfg,
+            map,
+            value_gen,
+            Box::new(move |id| drift.model_for(id, n)),
+            Box::new(factory),
+        )
+        .with_membership(build_env(&spec.env, n, seed))
+        .with_truth(spec.truth)
+        .with_failure(spec.failure)
+        .with_partition(partition_table(spec, n));
+        net.run(rounds);
+        return net.into_series();
+    }
     let mut net = AsyncNet::new(
         n,
         cfg,

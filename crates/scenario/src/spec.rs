@@ -102,6 +102,60 @@ impl DriftSpec {
     }
 }
 
+impl LatencySpec {
+    /// The distribution's lower bound in milliseconds — the sharded
+    /// engine's conservative *lookahead*. Zero (exponential latency, or a
+    /// zero-delay constant/uniform) means no safe parallel window exists
+    /// and the run must stay on the sequential engine.
+    pub fn min_lookahead_ms(self) -> u64 {
+        match self {
+            LatencySpec::Constant { ms } => ms,
+            LatencySpec::Uniform { lo_ms, .. } => lo_ms,
+            LatencySpec::Exponential { .. } => 0,
+        }
+    }
+}
+
+/// The `shards` key of the `[async]` table: how many parallel shards the
+/// asynchronous engine runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardsSpec {
+    /// A fixed shard count. `1` (like an absent key) runs the sequential
+    /// engine; `≥ 2` runs the sharded engine, whose results are
+    /// bit-identical at *any* count `≥ 2`.
+    Count(u64),
+    /// `shards = "auto"`: size the shard pool from the machine's worker
+    /// budget (`DYNAGG_THREADS` or the core count), clamped to `[2, n]`.
+    /// Because the sharded engine is shard-count invariant, the digest
+    /// stays machine-independent even though the count is not.
+    Auto,
+}
+
+/// Why a `shards` request fell back to the sequential engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ShardFallback {
+    /// The latency model has no positive lower bound, so the conservative
+    /// window protocol has zero lookahead. `shards = "auto"` degrades to
+    /// one shard with this note; an explicit count ≥ 2 is a validation
+    /// error instead.
+    ZeroLookahead {
+        /// The offending latency model.
+        latency: LatencySpec,
+    },
+}
+
+impl std::fmt::Display for ShardFallback {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardFallback::ZeroLookahead { latency } => write!(
+                f,
+                "shards = \"auto\" fell back to the sequential engine: latency {latency:?} has \
+                 no positive lower bound, so the conservative window protocol has zero lookahead"
+            ),
+        }
+    }
+}
+
 /// The `[async]` table: asynchronous-engine timing configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AsyncSpec {
@@ -117,11 +171,13 @@ pub struct AsyncSpec {
     /// Estimate-sampling cadence (defaults to `interval_ms`, producing
     /// one series row per nominal round, like the lockstep engines).
     pub sample_every_ms: Option<u64>,
+    /// Shard count for parallel execution (absent = sequential).
+    pub shards: Option<ShardsSpec>,
 }
 
 impl Default for AsyncSpec {
     /// 100 ms rounds, ±5 % jitter, 10 ms constant latency, synced clocks,
-    /// one sample per nominal round.
+    /// one sample per nominal round, sequential execution.
     fn default() -> Self {
         Self {
             interval_ms: 100,
@@ -129,6 +185,7 @@ impl Default for AsyncSpec {
             latency: LatencySpec::Constant { ms: 10 },
             drift: DriftSpec::Synced,
             sample_every_ms: None,
+            shards: None,
         }
     }
 }
@@ -1020,7 +1077,74 @@ impl ScenarioSpec {
         if a.sample_every_ms == Some(0) {
             return Err(invalid("async.sample_every_ms", "must be at least 1".into()));
         }
+        match a.shards {
+            None | Some(ShardsSpec::Auto) => {}
+            Some(ShardsSpec::Count(0)) => {
+                return Err(invalid(
+                    "async.shards",
+                    "need at least one shard (1 = sequential, \"auto\" = size from the machine)"
+                        .into(),
+                ));
+            }
+            Some(ShardsSpec::Count(s)) => {
+                if let Some(n) = self.n {
+                    if s as usize > n {
+                        return Err(invalid(
+                            "async.shards",
+                            format!("{s} shards exceed the population of {n} hosts"),
+                        ));
+                    }
+                }
+                if s >= 2 && a.latency.min_lookahead_ms() == 0 {
+                    return Err(invalid(
+                        "async.shards",
+                        format!(
+                            "latency {:?} has no positive lower bound, so the sharded engine's \
+                             conservative window protocol has zero lookahead; use a latency with \
+                             a positive minimum, shards = 1, or shards = \"auto\" (which falls \
+                             back to the sequential engine)",
+                            a.latency
+                        ),
+                    ));
+                }
+            }
+        }
         Ok(())
+    }
+
+    /// Resolve the `[async] shards` request against a population of `n`
+    /// hosts: the shard count to run with, plus a note when the request
+    /// degraded to the sequential engine. `1` means sequential; `≥ 2`
+    /// means the sharded engine. Assumes the spec already validated.
+    pub fn effective_shards(&self, n: usize) -> (usize, Option<ShardFallback>) {
+        if self.engine != Engine::Async {
+            return (1, None);
+        }
+        let a = self.asynchrony.unwrap_or_default();
+        match a.shards {
+            None => (1, None),
+            Some(ShardsSpec::Count(s)) => {
+                let s = (s as usize).min(n.max(1));
+                if s >= 2 && a.latency.min_lookahead_ms() == 0 {
+                    // Unreachable after validate(); kept as a belt for
+                    // programmatic specs that skip it.
+                    (1, Some(ShardFallback::ZeroLookahead { latency: a.latency }))
+                } else {
+                    (s.max(1), None)
+                }
+            }
+            Some(ShardsSpec::Auto) => {
+                if a.latency.min_lookahead_ms() == 0 {
+                    return (1, Some(ShardFallback::ZeroLookahead { latency: a.latency }));
+                }
+                // Clamp to ≥ 2 so the digest never depends on the machine:
+                // every count ≥ 2 is the same bit-identical family, whereas
+                // 1 would select the (statistically different) sequential
+                // engine on single-core hosts only.
+                let k = dynagg_sim::par::effective_threads().max(2).min(n.max(1));
+                (k.max(1), None)
+            }
+        }
     }
 
     fn validate_partitions(&self) -> Result<(), ScenarioError> {

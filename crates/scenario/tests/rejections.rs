@@ -771,3 +771,105 @@ fn adversary_with_probe_or_counter_cdf_is_unsupported() {
     let src = format!("{src}\n[output]\nreport = \"counter-cdf\"\n");
     assert!(matches!(ScenarioSpec::from_toml_str(&src), Err(ScenarioError::Unsupported { .. })));
 }
+
+#[test]
+fn shards_key_parses_counts_and_auto() {
+    let src = replace(VALID_ASYNC, "interval_ms = 100", "interval_ms = 100\nshards = 4");
+    let spec = ScenarioSpec::from_toml_str(&src).unwrap();
+    let a = spec.asynchrony.unwrap();
+    assert_eq!(a.shards, Some(dynagg_scenario::ShardsSpec::Count(4)));
+    assert_eq!(spec.effective_shards(200), (4, None));
+
+    let src = replace(VALID_ASYNC, "interval_ms = 100", "interval_ms = 100\nshards = \"auto\"");
+    let spec = ScenarioSpec::from_toml_str(&src).unwrap();
+    assert_eq!(spec.asynchrony.unwrap().shards, Some(dynagg_scenario::ShardsSpec::Auto));
+    let (k, note) = spec.effective_shards(200);
+    assert!(note.is_none());
+    assert!((2..=200).contains(&k), "auto clamps to [2, n], got {k}");
+
+    // shards = 1 is the sequential engine, explicitly.
+    let src = replace(VALID_ASYNC, "interval_ms = 100", "interval_ms = 100\nshards = 1");
+    let spec = ScenarioSpec::from_toml_str(&src).unwrap();
+    assert_eq!(spec.effective_shards(200), (1, None));
+}
+
+#[test]
+fn shards_under_lockstep_engines_are_unsupported() {
+    // `shards` lives in [async]; any [async] table under a lockstep
+    // engine is already a typed rejection.
+    let src = format!("{VALID}\n[async]\nshards = 4\n");
+    match ScenarioSpec::from_toml_str(&src) {
+        Err(ScenarioError::Unsupported { reason }) => {
+            assert!(reason.contains("engine = \"push\""), "{reason}");
+        }
+        other => panic!("expected Unsupported, got {other:?}"),
+    }
+    let src = replace(VALID, "rounds = 10", "rounds = 10\nengine = \"pairwise\"");
+    let src = format!("{src}\n[async]\nshards = 4\n");
+    assert!(matches!(ScenarioSpec::from_toml_str(&src), Err(ScenarioError::Unsupported { .. })));
+}
+
+#[test]
+fn shard_count_range_violations_are_typed() {
+    // Zero shards is meaningless.
+    let src = replace(VALID_ASYNC, "interval_ms = 100", "interval_ms = 100\nshards = 0");
+    assert!(matches!(
+        ScenarioSpec::from_toml_str(&src),
+        Err(ScenarioError::Invalid { key, .. }) if key == "async.shards"
+    ));
+    // More shards than hosts is a spec bug, not a clamp.
+    let src = replace(VALID_ASYNC, "interval_ms = 100", "interval_ms = 100\nshards = 300");
+    assert!(matches!(
+        ScenarioSpec::from_toml_str(&src),
+        Err(ScenarioError::Invalid { key, .. }) if key == "async.shards"
+    ));
+    // Neither an integer nor "auto".
+    let src = replace(VALID_ASYNC, "interval_ms = 100", "interval_ms = 100\nshards = \"all\"");
+    assert!(matches!(
+        ScenarioSpec::from_toml_str(&src),
+        Err(ScenarioError::Invalid { key, .. }) if key == "async.shards"
+    ));
+}
+
+#[test]
+fn explicit_shards_with_zero_lookahead_are_typed() {
+    // Exponential latency has no positive lower bound: the conservative
+    // window protocol has zero lookahead, so an explicit parallel request
+    // cannot be honored — a typed rejection, not a silent fallback.
+    let src = replace(
+        VALID_ASYNC,
+        "kind = \"uniform\"\nlo_ms = 5\nhi_ms = 30",
+        "kind = \"exponential\"\nmean_ms = 15.0",
+    );
+    let src = replace(&src, "interval_ms = 100", "interval_ms = 100\nshards = 4");
+    match ScenarioSpec::from_toml_str(&src) {
+        Err(ScenarioError::Invalid { key, reason }) => {
+            assert_eq!(key, "async.shards");
+            assert!(reason.contains("lookahead"), "{reason}");
+        }
+        other => panic!("expected Invalid {{ async.shards }}, got {other:?}"),
+    }
+}
+
+#[test]
+fn auto_shards_with_zero_lookahead_fall_back_with_a_typed_note() {
+    // `shards = "auto"` degrades gracefully: the spec validates, and the
+    // resolver reports the sequential fallback as a typed note.
+    let src = replace(
+        VALID_ASYNC,
+        "kind = \"uniform\"\nlo_ms = 5\nhi_ms = 30",
+        "kind = \"exponential\"\nmean_ms = 15.0",
+    );
+    let src = replace(&src, "interval_ms = 100", "interval_ms = 100\nshards = \"auto\"");
+    let spec = ScenarioSpec::from_toml_str(&src).unwrap();
+    let (k, note) = spec.effective_shards(200);
+    assert_eq!(k, 1, "zero lookahead forces the sequential engine");
+    match note {
+        Some(dynagg_scenario::ShardFallback::ZeroLookahead { latency }) => {
+            assert_eq!(latency, dynagg_scenario::LatencySpec::Exponential { mean_ms: 15.0 });
+        }
+        other => panic!("expected a ZeroLookahead note, got {other:?}"),
+    }
+    let rendered = note.unwrap().to_string();
+    assert!(rendered.contains("zero lookahead"), "{rendered}");
+}

@@ -29,7 +29,9 @@
 //! * [`rng`] — deterministic seed derivation; a simulation's entire
 //!   behaviour is a function of one `u64`,
 //! * [`par`] — parallel trial fan-out with per-trial seed streams;
-//!   bit-for-bit identical to serial execution at any thread count.
+//!   bit-for-bit identical to serial execution at any thread count,
+//! * [`shard`] — topology-aware node→shard assignment for the sharded
+//!   asynchronous engine (`dynagg-node`'s `ShardedNet`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,6 +45,7 @@ pub mod par;
 pub mod partition;
 pub mod rng;
 pub mod runner;
+pub mod shard;
 
 pub use alive::AliveSet;
 pub use env::Environment;
@@ -51,3 +54,4 @@ pub use membership::{Membership, ViewChange};
 pub use metrics::{RoundStats, Series, Truth};
 pub use partition::{PartitionTable, PartitionTransition};
 pub use runner::{PairwiseSimulation, Simulation};
+pub use shard::ShardMap;

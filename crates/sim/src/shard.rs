@@ -1,0 +1,156 @@
+//! Topology-aware shard assignment for the sharded asynchronous engine.
+//!
+//! A [`ShardMap`] says which shard owns each node. Ownership is a **pure
+//! performance decision**: the sharded engine's results are bit-identical
+//! under any assignment (every random draw is attributed to a node, every
+//! cross-node effect is a timestamped frame with a canonical ordering
+//! key), so the map's only job is to keep chatty nodes together and
+//! cross-shard traffic low. The heuristics mirror the partition layer's
+//! island shapes ([`crate::partition::TopologyInfo`]):
+//!
+//! * **clustered** — cliques gossip internally, so whole cliques map to
+//!   one shard (cliques are assigned round-robin by `id % clusters`,
+//!   exactly like [`crate::env::ClusteredEnv`]),
+//! * **spatial** — grid gossip is row-major adjacency, so shards take
+//!   contiguous row stripes (one cross-shard frontier row per boundary),
+//! * **uniform / trace** — no locality to exploit; contiguous id ranges.
+
+use crate::partition::TopologyInfo;
+
+/// Which shard owns each node, plus the rule for nodes joining later.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    /// Shard of each initial node, indexed by id.
+    assign: Vec<u32>,
+    /// Shard count (≥ 1; shards may own zero nodes when `shards > n`).
+    shards: usize,
+}
+
+impl ShardMap {
+    /// Contiguous balanced id ranges (uniform and trace topologies).
+    pub fn uniform(n: usize, shards: usize) -> Self {
+        assert!(shards >= 1, "at least one shard");
+        let assign = (0..n).map(|id| (id * shards / n.max(1)) as u32).collect();
+        Self { assign, shards }
+    }
+
+    /// Whole cliques per shard. `ClusteredEnv` deals cliques round-robin
+    /// (`id % clusters`), so clique `c` maps to shard `c × shards /
+    /// clusters`. More shards than cliques would leave shards idle, so
+    /// that case falls back to contiguous ranges (correctness is
+    /// unaffected either way).
+    pub fn clustered(n: usize, clusters: u32, shards: usize) -> Self {
+        if clusters == 0 || shards > clusters as usize {
+            return Self::uniform(n, shards);
+        }
+        let c = clusters as usize;
+        let assign = (0..n).map(|id| ((id % c) * shards / c) as u32).collect();
+        Self { assign, shards }
+    }
+
+    /// Contiguous row stripes of a row-major `side × side` grid: only the
+    /// frontier rows exchange cross-shard frames. Falls back to ranges
+    /// when there are more shards than rows.
+    pub fn spatial(n: usize, side: u32, shards: usize) -> Self {
+        if side == 0 || shards > side as usize {
+            return Self::uniform(n, shards);
+        }
+        let s = side as usize;
+        let assign = (0..n).map(|id| ((id / s).min(s - 1) * shards / s) as u32).collect();
+        Self { assign, shards }
+    }
+
+    /// Pick the heuristic matching a topology's reported shape.
+    pub fn from_topology(info: &TopologyInfo, n: usize, shards: usize) -> Self {
+        match (info.clusters, info.side) {
+            (Some(c), _) => Self::clustered(n, c, shards),
+            (None, Some(side)) => Self::spatial(n, side, shards),
+            (None, None) => Self::uniform(n, shards),
+        }
+    }
+
+    /// Shard count.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Owning shard of `id`. Nodes beyond the initial population (churn
+    /// joins) are dealt round-robin.
+    pub fn shard_of(&self, id: usize) -> usize {
+        match self.assign.get(id) {
+            Some(&s) => s as usize,
+            None => id % self.shards,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(map: &ShardMap, n: usize) -> Vec<usize> {
+        let mut c = vec![0usize; map.shards()];
+        for id in 0..n {
+            c[map.shard_of(id)] += 1;
+        }
+        c
+    }
+
+    #[test]
+    fn uniform_ranges_are_contiguous_and_balanced() {
+        let map = ShardMap::uniform(1000, 4);
+        let c = counts(&map, 1000);
+        assert_eq!(c, vec![250; 4]);
+        for id in 1..1000 {
+            assert!(map.shard_of(id) >= map.shard_of(id - 1), "ranges are contiguous");
+        }
+    }
+
+    #[test]
+    fn clustered_keeps_whole_cliques_together() {
+        let (n, clusters, shards) = (600, 6, 3);
+        let map = ShardMap::clustered(n, clusters, shards);
+        for id in 0..n {
+            assert_eq!(
+                map.shard_of(id),
+                map.shard_of(id % clusters as usize),
+                "node {id} strays from its clique's shard"
+            );
+        }
+        assert!(counts(&map, n).iter().all(|&c| c == n / shards));
+    }
+
+    #[test]
+    fn spatial_stripes_cut_only_row_frontiers() {
+        let (side, shards) = (8u32, 4);
+        let n = (side * side) as usize;
+        let map = ShardMap::spatial(n, side, shards);
+        for id in 0..n {
+            let row = id / side as usize;
+            assert_eq!(map.shard_of(id), row * shards / side as usize);
+        }
+        // Grid neighbors differ by at most one shard (adjacent stripes).
+        for id in side as usize..n {
+            assert!(map.shard_of(id).abs_diff(map.shard_of(id - side as usize)) <= 1);
+        }
+    }
+
+    #[test]
+    fn degenerate_shapes_fall_back_to_ranges() {
+        // More shards than cliques/rows, or empty topology info.
+        assert_eq!(ShardMap::clustered(100, 2, 4), ShardMap::uniform(100, 4));
+        assert_eq!(ShardMap::spatial(9, 3, 8), ShardMap::uniform(9, 8));
+        let info = TopologyInfo::default();
+        assert_eq!(ShardMap::from_topology(&info, 50, 2), ShardMap::uniform(50, 2));
+    }
+
+    #[test]
+    fn joins_beyond_the_initial_population_deal_round_robin() {
+        let map = ShardMap::uniform(10, 4);
+        assert_eq!(map.shard_of(12), 0);
+        assert_eq!(map.shard_of(13), 1);
+        // shards > n leaves late shards empty but well-defined.
+        let small = ShardMap::uniform(2, 8);
+        assert!(counts(&small, 2).iter().sum::<usize>() == 2);
+    }
+}
