@@ -4,6 +4,10 @@
 //! ```text
 //! experiments <command> [--n N] [--seed S] [--out DIR] [--quick] [--dataset 1|2|3]
 //! experiments run <file.toml> [--n N] [--seed S] [--rounds R] [--trials T] [--engine E] [--shards K|auto] [--out DIR] [--quick] [--check]
+//! experiments serve [--nodes N] [--workers W] [--transport inproc|udp] [--duration-ms MS]
+//!                   [--interval-ms MS] [--clients C] [--push-every-ms MS] [--period-ms MS]
+//!                   [--lambda L] [--view V] [--seed S] [--report-every-ms MS]
+//!                   [--kill-frac F] [--assert-error PCT]
 //!
 //! commands:
 //!   fig6               bit counter CDFs (1k/10k/100k hosts) + cutoff fit
@@ -20,7 +24,9 @@
 //!   ablations          all ablation sweeps (DESIGN.md §6)
 //!   run FILE           run a declarative scenario (see scenarios/ and
 //!                      docs/scenario-guide.md)
-//!   all                everything above except `run`, all datasets
+//!   serve              long-running live aggregation service under generated
+//!                      client load (README "Serving live"; own flag set)
+//!   all                everything above except `run`/`serve`, all datasets
 //!
 //! flags:
 //!   --n N        uniform-env population (default 100000, the paper scale);
@@ -37,8 +43,8 @@
 //! ```
 
 use dynagg_bench::{
-    ablations, epoch_disruption, fig10, fig11, fig6, fig8, fig9, scenario_run, spatial_cutoff,
-    tables, ExpOpts, Table,
+    ablations, epoch_disruption, fig10, fig11, fig6, fig8, fig9, scenario_run, serve,
+    spatial_cutoff, tables, ExpOpts, Table,
 };
 use dynagg_trace::datasets::Dataset;
 use std::path::PathBuf;
@@ -51,11 +57,95 @@ struct Args {
     opts: ExpOpts,
     dataset: Option<Dataset>,
     overrides: scenario_run::Overrides,
+    /// `serve`'s own flag set.
+    serve: Option<serve::ServeOpts>,
+}
+
+fn parse_serve_args(argv: impl Iterator<Item = String>) -> Result<serve::ServeOpts, String> {
+    let mut opts = serve::ServeOpts::default();
+    let mut argv = argv;
+    while let Some(flag) = argv.next() {
+        let mut val = |name: &str| argv.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--nodes" => {
+                opts.nodes = val("--nodes")?.parse().map_err(|e| format!("bad --nodes: {e}"))?
+            }
+            "--workers" => {
+                opts.workers =
+                    val("--workers")?.parse().map_err(|e| format!("bad --workers: {e}"))?
+            }
+            "--transport" => {
+                opts.transport = match val("--transport")?.as_str() {
+                    "inproc" => serve::TransportKind::Inproc,
+                    "udp" => serve::TransportKind::Udp,
+                    other => return Err(format!("bad --transport {other} (inproc|udp)")),
+                }
+            }
+            "--duration-ms" => {
+                opts.duration_ms =
+                    val("--duration-ms")?.parse().map_err(|e| format!("bad --duration-ms: {e}"))?
+            }
+            "--interval-ms" => {
+                opts.interval_ms =
+                    val("--interval-ms")?.parse().map_err(|e| format!("bad --interval-ms: {e}"))?
+            }
+            "--clients" => {
+                opts.clients =
+                    val("--clients")?.parse().map_err(|e| format!("bad --clients: {e}"))?
+            }
+            "--push-every-ms" => {
+                opts.push_every_ms = val("--push-every-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --push-every-ms: {e}"))?
+            }
+            "--period-ms" => {
+                opts.period_ms =
+                    val("--period-ms")?.parse().map_err(|e| format!("bad --period-ms: {e}"))?
+            }
+            "--lambda" => {
+                opts.lambda = val("--lambda")?.parse().map_err(|e| format!("bad --lambda: {e}"))?
+            }
+            "--view" => {
+                opts.view = val("--view")?.parse().map_err(|e| format!("bad --view: {e}"))?
+            }
+            "--seed" => {
+                opts.seed = val("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--report-every-ms" => {
+                opts.report_every_ms = val("--report-every-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --report-every-ms: {e}"))?
+            }
+            "--kill-frac" => {
+                opts.kill_frac =
+                    val("--kill-frac")?.parse().map_err(|e| format!("bad --kill-frac: {e}"))?
+            }
+            "--assert-error" => {
+                let pct: f64 = val("--assert-error")?
+                    .parse()
+                    .map_err(|e| format!("bad --assert-error: {e}"))?;
+                opts.assert_error = Some(pct / 100.0);
+            }
+            other => return Err(format!("unknown serve flag {other}\n{}", usage())),
+        }
+    }
+    Ok(opts)
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut argv = std::env::args().skip(1);
     let command = argv.next().ok_or_else(usage)?;
+    if command == "serve" {
+        let serve_opts = parse_serve_args(argv)?;
+        return Ok(Args {
+            command,
+            file: None,
+            opts: ExpOpts::default(),
+            dataset: None,
+            overrides: scenario_run::Overrides::default(),
+            serve: Some(serve_opts),
+        });
+    }
     let mut file = None;
     if command == "run" {
         file = Some(PathBuf::from(argv.next().ok_or("run needs a scenario file\n")?));
@@ -130,11 +220,11 @@ fn parse_args() -> Result<Args, String> {
             usage()
         ));
     }
-    Ok(Args { command, file, opts, dataset, overrides })
+    Ok(Args { command, file, opts, dataset, overrides, serve: None })
 }
 
 fn usage() -> String {
-    "usage: experiments <fig6|fig8|fig9|fig10a|fig10b|fig11-avg|fig11-sum|table-convergence|table-sketch-error|spatial-cutoff|epoch-disruption|ablations|all> [--n N] [--seed S] [--out DIR] [--quick] [--dataset 1|2|3]\n       experiments run <file.toml> [--n N] [--seed S] [--rounds R] [--trials T] [--engine push|pairwise|async] [--shards K|auto] [--out DIR] [--quick] [--check]".to_string()
+    "usage: experiments <fig6|fig8|fig9|fig10a|fig10b|fig11-avg|fig11-sum|table-convergence|table-sketch-error|spatial-cutoff|epoch-disruption|ablations|all> [--n N] [--seed S] [--out DIR] [--quick] [--dataset 1|2|3]\n       experiments run <file.toml> [--n N] [--seed S] [--rounds R] [--trials T] [--engine push|pairwise|async] [--shards K|auto] [--out DIR] [--quick] [--check]\n       experiments serve [--nodes N] [--workers W] [--transport inproc|udp] [--duration-ms MS] [--interval-ms MS] [--clients C] [--push-every-ms MS] [--period-ms MS] [--lambda L] [--view V] [--seed S] [--report-every-ms MS] [--kill-frac F] [--assert-error PCT]".to_string()
 }
 
 fn emit(tables: Vec<Table>, opts: &ExpOpts) {
@@ -192,6 +282,13 @@ fn main() -> ExitCode {
                     eprintln!("{e}");
                     return ExitCode::FAILURE;
                 }
+            }
+        }
+        "serve" => {
+            let serve_opts = args.serve.expect("serve parsed its flag set");
+            if let Err(e) = serve::run(&serve_opts) {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
             }
         }
         "all" => {

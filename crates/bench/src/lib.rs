@@ -17,6 +17,7 @@
 //! | [`spatial_cutoff`] | extension: the cutoff fit in the grid environment (§IV-A's claim) |
 //! | [`epoch_disruption`] | extension: §II-C's epoch disruption under clique mobility (migration × drift sweep) |
 //! | [`scenario_run`] | `experiments run <file.toml>` — declarative scenarios via `dynagg-scenario` |
+//! | [`serve`] | `experiments serve` — the live aggregation service under generated client load |
 //!
 //! Environment and protocol construction route through the
 //! `dynagg-scenario` registry: each figure module builds [`ScenarioSpec`]s
@@ -39,6 +40,7 @@ pub mod fig9;
 pub mod opts;
 pub mod output;
 pub mod scenario_run;
+pub mod serve;
 pub mod spatial_cutoff;
 pub mod tables;
 

@@ -49,11 +49,17 @@
 pub mod event;
 pub mod loopback;
 pub mod runtime;
+pub mod service;
 pub mod shard;
+pub mod transport;
 pub mod views;
 
 pub use event::{EventKey, EventQueue, ShardQueue};
 pub use loopback::{AsyncConfig, AsyncNet, LatencyModel};
 pub use runtime::{Envelope, FrameHeader, FrameKind, NodeRuntime, RuntimeConfig};
+pub use service::{LiveService, NodeSnap, ServiceConfig, ServiceReport, VirtualService};
 pub use shard::ShardedNet;
+pub use transport::{
+    ChannelMesh, ChannelTransport, RecvFrame, Transport, TransportStats, UdpMesh, UdpTransport,
+};
 pub use views::ViewTable;

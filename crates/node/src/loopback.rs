@@ -195,6 +195,97 @@ pub type ValueFn = Box<dyn FnMut(&mut SmallRng, NodeId) -> f64>;
 /// Closure assigning a node's clock-drift model.
 pub type DriftFn = Box<dyn FnMut(NodeId) -> DriftModel>;
 
+/// Draw one node's initial value and runtime config — the single recipe
+/// behind every spawn site (sequential engine, sharded engine, and the
+/// live service's [`AsyncConfig::population`]), so a given seed yields
+/// the identical population no matter what drives it. Draw order is part
+/// of the golden contract: value stream first, then the setup stream for
+/// interval (only when jitter is nonzero) and phase offset.
+pub(crate) fn node_recipe(
+    cfg: &AsyncConfig,
+    id: NodeId,
+    from_ms: u64,
+    value_rng: &mut SmallRng,
+    setup_rng: &mut SmallRng,
+    value_gen: &mut ValueFn,
+    drift_of: &mut DriftFn,
+) -> (f64, RuntimeConfig) {
+    let v = value_gen(value_rng, id);
+    let jitter_ms = (cfg.interval_ms as f64 * cfg.jitter) as u64;
+    let interval = if jitter_ms == 0 {
+        cfg.interval_ms
+    } else {
+        cfg.interval_ms - jitter_ms + setup_rng.gen_range(0..=2 * jitter_ms)
+    };
+    let rt_cfg = RuntimeConfig {
+        node_id: id,
+        round_interval_ms: interval.max(1),
+        start_offset_ms: from_ms + setup_rng.gen_range(0..interval.max(1)),
+        seed: rng::derive(cfg.seed, NODE_SEED_BASE ^ u64::from(id)),
+        drift: drift_of(id),
+        max_round_lag: None,
+    };
+    (v, rt_cfg)
+}
+
+impl AsyncConfig {
+    /// Spawn the population this config describes, exactly as the
+    /// discrete-event engines spawn it: same RNG streams, same draw
+    /// order, same per-node runtime seeds. Returns each node's runtime
+    /// paired with its initial value. This is how a **live** deployment
+    /// ([`crate::service`]) starts from the same state a simulation of
+    /// the same seed starts from — the sim↔live equivalence tests hang
+    /// on this being bit-identical.
+    pub fn population<P: PushProtocol>(
+        &self,
+        n: usize,
+        mut value_gen: ValueFn,
+        mut drift_of: DriftFn,
+        mut factory: NodeFactory<P>,
+    ) -> Vec<(NodeRuntime<P>, f64)>
+    where
+        P::Message: WireMessage,
+    {
+        let mut value_rng = rng::rng_for(self.seed, stream::VALUES);
+        let mut setup_rng = rng::rng_for(self.seed, stream::ENVIRONMENT);
+        (0..n as NodeId)
+            .map(|id| {
+                let (v, rt_cfg) = node_recipe(
+                    self,
+                    id,
+                    0,
+                    &mut value_rng,
+                    &mut setup_rng,
+                    &mut value_gen,
+                    &mut drift_of,
+                );
+                (NodeRuntime::new(rt_cfg, factory(id, v)), v)
+            })
+            .collect()
+    }
+
+    /// Materialize the initial membership views exactly as the engines
+    /// do on first run (membership clock advanced to 0, then one view
+    /// per node in id order from the dedicated view stream). The live
+    /// service installs these as each runtime's peer table.
+    pub fn initial_views(&self, n: usize, membership: &mut dyn Membership) -> Vec<Vec<NodeId>> {
+        let mut view_rng = rng::rng_for(self.seed, stream::VIEWS);
+        let mut alive = AliveSet::empty(n);
+        for id in 0..n as NodeId {
+            alive.insert(id);
+        }
+        let mut changed = Vec::new();
+        membership.advance(0, &alive, &mut changed);
+        let mut buf = Vec::new();
+        (0..n as NodeId)
+            .map(|id| {
+                membership.view_into(id, &alive, self.view_size, &mut view_rng, &mut buf);
+                buf.clone()
+            })
+            .collect()
+    }
+}
+
 /// An asynchronous in-memory network of [`NodeRuntime`]s.
 pub struct AsyncNet<P: PushProtocol>
 where
@@ -380,21 +471,15 @@ where
     /// caller's business.
     fn spawn_node(&mut self, from_ms: u64) -> NodeId {
         let id = self.runtimes.len() as NodeId;
-        let v = (self.value_gen)(&mut self.value_rng, id);
-        let jitter_ms = (self.cfg.interval_ms as f64 * self.cfg.jitter) as u64;
-        let interval = if jitter_ms == 0 {
-            self.cfg.interval_ms
-        } else {
-            self.cfg.interval_ms - jitter_ms + self.setup_rng.gen_range(0..=2 * jitter_ms)
-        };
-        let rt_cfg = RuntimeConfig {
-            node_id: id,
-            round_interval_ms: interval.max(1),
-            start_offset_ms: from_ms + self.setup_rng.gen_range(0..interval.max(1)),
-            seed: rng::derive(self.cfg.seed, NODE_SEED_BASE ^ u64::from(id)),
-            drift: (self.drift_of)(id),
-            max_round_lag: None,
-        };
+        let (v, rt_cfg) = node_recipe(
+            &self.cfg,
+            id,
+            from_ms,
+            &mut self.value_rng,
+            &mut self.setup_rng,
+            &mut self.value_gen,
+            &mut self.drift_of,
+        );
         let rt = NodeRuntime::new(rt_cfg, (self.factory)(id, v));
         self.queue.schedule(rt.next_tick_ms(), Ev::Timer(id));
         self.runtimes.push(rt);

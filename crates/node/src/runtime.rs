@@ -188,6 +188,12 @@ where
         self.cfg.node_id
     }
 
+    /// The static configuration this runtime was built with (a restart
+    /// reuses it with a fresh phase offset).
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.cfg
+    }
+
     /// Completed local rounds.
     pub fn round(&self) -> u64 {
         self.round

@@ -50,10 +50,8 @@
 //! bit-identical across every shard count ≥ 2.
 
 use crate::event::{EventKey, ShardQueue};
-use crate::loopback::{
-    AsyncConfig, DriftFn, NodeFactory, ValueFn, INTRODUCTIONS, NODE_SEED_BASE, REPAIR_TRIES,
-};
-use crate::runtime::{Envelope, NodeRuntime, RuntimeConfig};
+use crate::loopback::{AsyncConfig, DriftFn, NodeFactory, ValueFn, INTRODUCTIONS, REPAIR_TRIES};
+use crate::runtime::{Envelope, NodeRuntime};
 use crate::views::ViewTable;
 use dynagg_core::protocol::{NodeId, PushProtocol};
 use dynagg_core::wire::WireMessage;
@@ -71,7 +69,8 @@ use std::collections::BTreeMap;
 use std::sync::{Barrier, Mutex};
 
 /// Stream tag for per-node link RNGs (loss + latency draws). Disjoint
-/// from [`NODE_SEED_BASE`] and the engine's small stream constants.
+/// from [`crate::loopback`]'s node-seed tag and the engine's small stream
+/// constants.
 const LINK_SEED_BASE: u64 = 0x6C69_6E6B_5F72_6E67; // "link_rng"
 
 /// Where a node lives: which shard, and at which slot of that shard's
@@ -434,21 +433,15 @@ where
     /// schedule its timer on its home shard.
     fn spawn_node(&mut self, from_ms: u64) -> NodeId {
         let id = self.home.len() as NodeId;
-        let v = (self.value_gen)(&mut self.value_rng, id);
-        let jitter_ms = (self.cfg.interval_ms as f64 * self.cfg.jitter) as u64;
-        let interval = if jitter_ms == 0 {
-            self.cfg.interval_ms
-        } else {
-            self.cfg.interval_ms - jitter_ms + self.setup_rng.gen_range(0..=2 * jitter_ms)
-        };
-        let rt_cfg = RuntimeConfig {
-            node_id: id,
-            round_interval_ms: interval.max(1),
-            start_offset_ms: from_ms + self.setup_rng.gen_range(0..interval.max(1)),
-            seed: rng::derive(self.cfg.seed, NODE_SEED_BASE ^ u64::from(id)),
-            drift: (self.drift_of)(id),
-            max_round_lag: None,
-        };
+        let (v, rt_cfg) = crate::loopback::node_recipe(
+            &self.cfg,
+            id,
+            from_ms,
+            &mut self.value_rng,
+            &mut self.setup_rng,
+            &mut self.value_gen,
+            &mut self.drift_of,
+        );
         let rt = NodeRuntime::new(rt_cfg, (self.factory)(id, v));
         let s = self.map.shard_of(id as usize);
         let shard = &mut self.shards[s];

@@ -11,7 +11,10 @@ use dynagg_core::protocol::NodeId;
 use dynagg_core::push_sum_revert::PushSumRevert;
 use dynagg_core::wire::WireMessage;
 use dynagg_node::runtime::{
-    FrameHeader, FrameKind, NodeRuntime, RuntimeConfig, FRAME_HEADER_BYTES,
+    Envelope, FrameHeader, FrameKind, NodeRuntime, RuntimeConfig, FRAME_HEADER_BYTES,
+};
+use dynagg_node::transport::{
+    decode_datagram, encode_datagram, DatagramCheck, DGRAM_PREAMBLE_BYTES,
 };
 use dynagg_node::{AsyncConfig, AsyncNet};
 use dynagg_sim::env::ClusteredEnv;
@@ -43,6 +46,60 @@ proptest! {
             let mut out = Vec::new();
             h.encode(&mut out);
             prop_assert_eq!(&out[..], &bytes[..FRAME_HEADER_BYTES]);
+        }
+    }
+
+    /// The UDP datagram framing above the frame header is just as total:
+    /// any byte string classifies into exactly one [`DatagramCheck`]
+    /// variant, and a successful decode re-encodes to the same bytes.
+    #[test]
+    fn datagram_decode_never_panics(
+        bytes in proptest::collection::vec(any::<u8>(), 0..96),
+        universe in 0usize..512,
+    ) {
+        match decode_datagram(&bytes, universe) {
+            DatagramCheck::Frame { from, to, payload } => {
+                prop_assert!((from as usize) < universe);
+                prop_assert!((to as usize) < universe);
+                let env = Envelope { from, to, payload: payload.to_vec(), raw_bytes: 0 };
+                let mut again = Vec::new();
+                encode_datagram(&env, &mut again);
+                prop_assert_eq!(&again[..], &bytes[..], "decode → encode is the identity");
+            }
+            DatagramCheck::Truncated => {
+                prop_assert!(bytes.len() < DGRAM_PREAMBLE_BYTES);
+            }
+            DatagramCheck::UnknownSender | DatagramCheck::UnknownDest => {
+                prop_assert!(bytes.len() >= DGRAM_PREAMBLE_BYTES);
+            }
+        }
+    }
+
+    /// A full frame wrapped in the datagram preamble survives the trip:
+    /// preamble decode hands back exactly the `FrameHeader ++ codec`
+    /// bytes, so the runtime sees what the sender encoded.
+    #[test]
+    fn datagram_framing_preserves_the_frame(
+        from in 0u32..64,
+        to in 0u32..64,
+        sender_round in any::<u32>(),
+        value in -1e6f64..1e6,
+        weight in 0.0f64..10.0,
+    ) {
+        let mut payload = Vec::new();
+        FrameHeader { kind: FrameKind::Initiation, sender_round }.encode(&mut payload);
+        Mass::new(value, weight).encode(&mut payload);
+        let env = Envelope { from, to, payload: payload.clone(), raw_bytes: payload.len() };
+        let mut dgram = Vec::new();
+        encode_datagram(&env, &mut dgram);
+        match decode_datagram(&dgram, 64) {
+            DatagramCheck::Frame { from: f, to: t, payload: p } => {
+                prop_assert_eq!((f, t), (from, to));
+                prop_assert_eq!(p, &payload[..]);
+                let header = FrameHeader::decode(p).expect("frame intact through the preamble");
+                prop_assert_eq!(header.sender_round, sender_round);
+            }
+            other => prop_assert!(false, "in-universe frame misclassified: {:?}", other),
         }
     }
 

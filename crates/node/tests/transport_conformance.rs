@@ -1,0 +1,242 @@
+//! The transport conformance suite: one behavioral battery, every live
+//! [`Transport`] impl.
+//!
+//! The live service treats its carrier as a plug-in; that only works if
+//! every impl honors the same contract. Each battery function below is
+//! generic over a **mesh builder** (`Fn(endpoints, universe) ->
+//! Vec<T>`), and the `channel`/`udp` modules instantiate the whole
+//! battery against [`ChannelMesh`] and [`UdpMesh`] — identical
+//! assertions, different wires:
+//!
+//! * frames arrive intact, to the endpoint the route table names,
+//! * route edits (bind/unbind/rebind) are visible mesh-wide and take
+//!   effect between sends,
+//! * a stopped (unbound) node's frames are counted `unroutable` and
+//!   never delivered — and whatever buffer the transport hands back is
+//!   the caller's to recycle,
+//! * node timers driven through the service loop fire on cadence,
+//! * shutdown drains in-flight frames: everything routable that was
+//!   sent is eventually received.
+
+use dynagg_core::push_sum_revert::PushSumRevert;
+use dynagg_node::loopback::AsyncConfig;
+use dynagg_node::runtime::Envelope;
+use dynagg_node::service::VirtualService;
+use dynagg_node::transport::{ChannelMesh, RecvFrame, Transport, UdpMesh};
+use dynagg_node::LatencyModel;
+use std::time::Duration;
+
+fn env(from: u32, to: u32, bytes: &[u8]) -> Envelope {
+    Envelope { from, to, payload: bytes.to_vec(), raw_bytes: bytes.len() }
+}
+
+/// Drain until quiescent, with patience (UDP delivery is asynchronous).
+fn drain<T: Transport>(t: &mut T, out: &mut Vec<RecvFrame>) {
+    let mut idle = 0;
+    while idle < 3 {
+        if t.recv_wait(Duration::from_millis(20), out) == 0 {
+            idle += 1;
+        } else {
+            idle = 0;
+        }
+    }
+}
+
+/// Every frame sent toward a bound node arrives at its endpoint, intact
+/// and in per-sender order.
+fn conforms_delivery<T: Transport>(make: impl Fn(usize, usize) -> Vec<T>) {
+    let mut mesh = make(2, 8);
+    mesh[0].bind(0, 0);
+    mesh[0].bind(5, 1);
+    mesh[0].bind(6, 1);
+    for k in 0..10u8 {
+        let to = if k.is_multiple_of(2) { 5 } else { 6 };
+        assert!(mesh[0]
+            .send(env(0, to, &[k, k + 1, k + 2]))
+            .is_none_or(|b| b == vec![k, k + 1, k + 2]));
+    }
+    let mut got = Vec::new();
+    drain(&mut mesh[1], &mut got);
+    assert_eq!(got.len(), 10, "all ten frames arrive");
+    for (k, frame) in got.iter().enumerate() {
+        let k = k as u8;
+        assert_eq!(frame.from, 0);
+        assert_eq!(frame.to, if k.is_multiple_of(2) { 5 } else { 6 });
+        assert_eq!(frame.payload, vec![k, k + 1, k + 2], "payload intact and in order");
+    }
+    assert_eq!(mesh[0].stats().sent, 10);
+    assert_eq!(mesh[1].stats().delivered, 10);
+}
+
+/// Route-table edits are shared: a bind made through any endpoint
+/// redirects every other endpoint's sends, immediately.
+fn conforms_route_updates<T: Transport>(make: impl Fn(usize, usize) -> Vec<T>) {
+    let mut mesh = make(3, 4);
+    mesh[2].bind(1, 1); // edit via endpoint 2...
+    mesh[0].send(env(0, 1, b"first"));
+    mesh[1].bind(1, 2); // ...rebind via endpoint 1 (migration)
+    mesh[0].send(env(0, 1, b"second"));
+    let (mut at1, mut at2) = (Vec::new(), Vec::new());
+    drain(&mut mesh[1], &mut at1);
+    drain(&mut mesh[2], &mut at2);
+    assert_eq!(at1.iter().map(|f| f.payload.as_slice()).collect::<Vec<_>>(), vec![b"first"]);
+    assert_eq!(at2.iter().map(|f| f.payload.as_slice()).collect::<Vec<_>>(), vec![b"second"]);
+}
+
+/// After a node stops (unbind), frames toward it are counted and
+/// dropped — never delivered anywhere — and the spent buffer comes back
+/// to the caller for recycling.
+fn conforms_stop_semantics<T: Transport>(make: impl Fn(usize, usize) -> Vec<T>) {
+    let mut mesh = make(2, 4);
+    mesh[0].bind(3, 1);
+    mesh[0].send(env(0, 3, b"alive"));
+    mesh[1].unbind(3); // the node stops
+    let spent = mesh[0].send(env(0, 3, b"dark"));
+    assert_eq!(
+        spent.expect("a dropped frame always hands its buffer back"),
+        b"dark".to_vec(),
+        "the recycled buffer is the frame's own payload"
+    );
+    assert_eq!(mesh[0].stats().unroutable, 1, "the drop is accounted");
+    let mut got = Vec::new();
+    drain(&mut mesh[1], &mut got);
+    assert_eq!(
+        got.iter().map(|f| f.payload.as_slice()).collect::<Vec<_>>(),
+        vec![b"alive"],
+        "only the pre-stop frame is ever delivered"
+    );
+}
+
+/// Node timers driven through the service loop fire on cadence: `n`
+/// push-only nodes at a fixed interval emit exactly one frame per round
+/// each, and every routable frame is delivered.
+fn conforms_timer_cadence<T: Transport>(make: impl Fn(usize, usize) -> Vec<T>) {
+    let n = 4;
+    let mut cfg = AsyncConfig::new(7);
+    cfg.interval_ms = 100;
+    cfg.jitter = 0.0; // fixed cadence: exactly one poll per 100 ms
+    cfg.latency = LatencyModel::Constant { ms: 0 };
+    cfg.view_size = n;
+    let transport = make(1, n).remove(0);
+    let mut vs = VirtualService::new(
+        &cfg,
+        n,
+        Box::new(|_, id| f64::from(id)),
+        Box::new(|_| dynagg_core::epoch::DriftModel::Synced),
+        Box::new(|_, v| PushSumRevert::new(v, 0.1)),
+        transport,
+    );
+    vs.run_until(1000);
+    let stats = vs.transport().stats();
+    // Each node's first round fires at its phase offset in [0, 100), so
+    // by t = 1000 every node has completed 10 or 11 rounds.
+    assert!(
+        (10 * n as u64..=11 * n as u64).contains(&stats.sent),
+        "four nodes × ~10 rounds ≈ 40 frames, got {}",
+        stats.sent
+    );
+    assert_eq!(stats.unroutable, 0);
+    assert_eq!(vs.decode_errors, 0, "the wire is clean");
+    assert_eq!(vs.frames_delivered(), stats.sent, "every sent frame was handled");
+    assert_eq!(vs.estimates().len(), n, "every node reports an estimate");
+}
+
+/// Shutdown loses nothing: after the last send, draining to quiescence
+/// yields every routable in-flight frame.
+fn conforms_shutdown_drains<T: Transport>(make: impl Fn(usize, usize) -> Vec<T>) {
+    let burst = 64;
+    let mut mesh = make(2, 2);
+    mesh[0].bind(1, 1);
+    for k in 0..burst {
+        mesh[0].send(env(0, 1, &[k as u8]));
+    }
+    // The receiving worker shuts down now: it must still observe the
+    // whole burst before exiting.
+    let mut got = Vec::new();
+    drain(&mut mesh[1], &mut got);
+    assert_eq!(got.len(), burst, "shutdown drained every in-flight frame");
+    for (k, frame) in got.iter().enumerate() {
+        assert_eq!(frame.payload, vec![k as u8]);
+    }
+}
+
+/// The full battery against one mesh builder.
+fn conforms<T: Transport>(make: impl Fn(usize, usize) -> Vec<T> + Copy) {
+    conforms_delivery(make);
+    conforms_route_updates(make);
+    conforms_stop_semantics(make);
+    conforms_timer_cadence(make);
+    conforms_shutdown_drains(make);
+}
+
+mod channel {
+    use super::*;
+
+    #[test]
+    fn delivery() {
+        conforms_delivery(ChannelMesh::new);
+    }
+
+    #[test]
+    fn route_updates() {
+        conforms_route_updates(ChannelMesh::new);
+    }
+
+    #[test]
+    fn stop_semantics() {
+        conforms_stop_semantics(ChannelMesh::new);
+    }
+
+    #[test]
+    fn timer_cadence() {
+        conforms_timer_cadence(ChannelMesh::new);
+    }
+
+    #[test]
+    fn shutdown_drains() {
+        conforms_shutdown_drains(ChannelMesh::new);
+    }
+
+    #[test]
+    fn whole_battery() {
+        conforms(ChannelMesh::new);
+    }
+}
+
+mod udp {
+    use super::*;
+
+    fn make(endpoints: usize, universe: usize) -> Vec<dynagg_node::transport::UdpTransport> {
+        UdpMesh::new(endpoints, universe).expect("bind loopback sockets")
+    }
+
+    #[test]
+    fn delivery() {
+        conforms_delivery(make);
+    }
+
+    #[test]
+    fn route_updates() {
+        conforms_route_updates(make);
+    }
+
+    #[test]
+    fn stop_semantics() {
+        conforms_stop_semantics(make);
+    }
+
+    #[test]
+    fn timer_cadence() {
+        conforms_timer_cadence(make);
+    }
+
+    #[test]
+    fn shutdown_drains() {
+        conforms_shutdown_drains(make);
+    }
+
+    #[test]
+    fn whole_battery() {
+        conforms(make);
+    }
+}
