@@ -27,6 +27,12 @@
 //!    transport frames instead of the simulator's heap, driven by the
 //!    virtual clock so the reading is loop *capacity* (never sleeping),
 //!    not wall-clock service throughput.
+//! 7. **event-queue microbench** — the timing wheel (`EventQueue`)
+//!    against the binary-heap reference (`HeapQueue`) on a steady
+//!    enqueue/dequeue mix at 5 000 and 100 000 pending events followed
+//!    by a full drain, interleaved best-of-3, plus allocations per
+//!    event from a counting global allocator (the wheel recycles slot
+//!    capacity, so steady state should allocate ~nothing).
 //!
 //! Usage: `cargo run --release -p dynagg-bench --bin perf_smoke [OUT.json]`
 //! (default output: `BENCH_1.json` in the current directory; the repo
@@ -37,14 +43,52 @@ use dynagg_core::config::ResetConfig;
 use dynagg_core::count_sketch_reset::CountSketchReset;
 use dynagg_core::epoch::DriftModel;
 use dynagg_core::push_sum_revert::PushSumRevert;
-use dynagg_node::{AsyncConfig, AsyncNet, ChannelMesh, LatencyModel, ShardedNet, VirtualService};
+use dynagg_node::{
+    AsyncConfig, AsyncNet, ChannelMesh, EventQueue, EventSched, HeapQueue, LatencyModel,
+    ShardedNet, VirtualService,
+};
 use dynagg_sim::env::uniform::UniformEnv;
 use dynagg_sim::par;
 use dynagg_sim::shard::ShardMap;
 use dynagg_sim::{runner, Series, Truth};
-use rand::Rng;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// Heap allocations since process start, so the queue microbench can
+/// report allocations per event. Counting alloc + realloc (not dealloc)
+/// makes the number "fresh memory requests per event".
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// A [`System`]-delegating allocator whose only side effect is the
+/// [`ALLOCS`] counter. Installed process-wide; the relaxed atomic costs
+/// ~1 ns per allocation, noise next to the allocation itself.
+struct CountingAlloc;
+
+// SAFETY: every method delegates directly to `System`, which upholds the
+// `GlobalAlloc` contract; the counter has no effect on the returned
+// memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 /// Baseline numbers for the pre-optimization engine (per-round
 /// allocations, per-bit sketch merges, no parallel runner), measured with
@@ -71,6 +115,38 @@ const SKETCH_ROUNDS: u64 = 45;
 const ASYNC_N: usize = 5_000;
 const ASYNC_ROUNDS: u64 = 200;
 const MASTER_SEED: u64 = 0xBE_5EED;
+/// Steady-state pop-and-reschedule operations per queue microbench run.
+const QUEUE_MIX_OPS: u64 = 1_000_000;
+
+/// One queue microbench run: pre-fill `pending` events, hold the
+/// population steady for [`QUEUE_MIX_OPS`] pop-and-reschedule ops (the
+/// engines' timer pattern — mostly near-future, an occasional far jump),
+/// then drain to empty. Returns (events/sec over pops, allocations per
+/// event). Timing starts after the pre-fill so `with_capacity` sizing
+/// isn't billed to the mix.
+fn queue_mix<Q: EventSched<u64>>(q: &mut Q, pending: usize) -> (f64, f64) {
+    let mut rng = SmallRng::seed_from_u64(MASTER_SEED ^ pending as u64);
+    for i in 0..pending {
+        q.schedule(rng.gen_range(0..1_000u64), i as u64);
+    }
+    let mut events = 0u64;
+    let alloc0 = ALLOCS.load(Ordering::Relaxed);
+    let t = Instant::now();
+    for op in 0..QUEUE_MIX_OPS {
+        let (at, id) = q.pop().expect("population held steady");
+        events += 1;
+        // Timer-interval-scale delays, with ~1% far jumps past the
+        // wheel's in-page horizon (sample boundaries, long backoffs).
+        let far = u64::from(op % 97 == 0) * 70_000;
+        q.schedule(at + 1 + rng.gen_range(0..250u64) + far, id);
+    }
+    while q.pop().is_some() {
+        events += 1;
+    }
+    let s = t.elapsed().as_secs_f64();
+    let allocs = ALLOCS.load(Ordering::Relaxed) - alloc0;
+    (events as f64 / s, allocs as f64 / events as f64)
+}
 
 fn fig6_style_trial(n: usize, trial_seed: u64) -> Series {
     let cfg = ResetConfig::paper(n as u64, trial_seed ^ 0xF16);
@@ -129,7 +205,7 @@ fn main() {
     let sketch_rounds_per_s = SKETCH_ROUNDS as f64 / sketch_s;
 
     // 2b. async-engine events/sec (best of 3): the discrete-event hot
-    // path — binary-heap pops, frame encode/decode, latency draws.
+    // path — timing-wheel pops, frame encode/decode, latency draws.
     let mut async_s = f64::INFINITY;
     let mut async_events = 0u64;
     for _ in 0..3 {
@@ -223,6 +299,35 @@ fn main() {
     }
     let live_events_per_s = live_events as f64 / live_s;
 
+    // 2e. event-queue microbench: wheel vs. heap, interleaved best-of-3
+    // at each pending depth so allocator and cache state drift hits both
+    // implementations equally.
+    let mut queue_rows = Vec::new();
+    for pending in [5_000usize, 100_000] {
+        let (mut wheel_eps, mut wheel_apev) = (0.0f64, f64::INFINITY);
+        let (mut heap_eps, mut heap_apev) = (0.0f64, f64::INFINITY);
+        for _ in 0..3 {
+            let mut w = EventQueue::with_capacity(pending);
+            let (eps, apev) = queue_mix(&mut w, pending);
+            if eps > wheel_eps {
+                (wheel_eps, wheel_apev) = (eps, apev);
+            }
+            let mut h = HeapQueue::with_capacity(pending);
+            let (eps, apev) = queue_mix(&mut h, pending);
+            if eps > heap_eps {
+                (heap_eps, heap_apev) = (eps, apev);
+            }
+        }
+        if wheel_eps < heap_eps {
+            // Non-gating: CI treats this as a warning, not a failure.
+            eprintln!(
+                "WARNING: timing wheel slower than heap at {pending} pending \
+                 ({wheel_eps:.0} vs {heap_eps:.0} events/s)"
+            );
+        }
+        queue_rows.push((pending, heap_eps, heap_apev, wheel_eps, wheel_apev));
+    }
+
     // 3a. fig6-style sweep, serial.
     let t = Instant::now();
     let serial: Vec<Series> = configs.iter().map(|&(n, seed)| fig6_style_trial(n, seed)).collect();
@@ -297,6 +402,25 @@ fn main() {
         "  \"live_service\": {{ \"hosts\": {ASYNC_N}, \"nominal_rounds\": {ASYNC_ROUNDS}, \
          \"transport\": \"channel\", \"events\": {live_events}, \"frames_delivered\": {live_frames}, \
          \"events_per_s\": {live_events_per_s:.0}, \"note\": \"{live_note}\" }},",
+    );
+    let queue_json_rows: Vec<String> = queue_rows
+        .iter()
+        .map(|&(pending, heap_eps, heap_apev, wheel_eps, wheel_apev)| {
+            format!(
+                "    {{ \"pending\": {pending}, \"heap_events_per_s\": {heap_eps:.0}, \
+                 \"wheel_events_per_s\": {wheel_eps:.0}, \"wheel_vs_heap\": {:.2}, \
+                 \"heap_allocs_per_event\": {heap_apev:.4}, \
+                 \"wheel_allocs_per_event\": {wheel_apev:.4} }}",
+                wheel_eps / heap_eps
+            )
+        })
+        .collect();
+    let _ = writeln!(
+        json,
+        "  \"event_queue\": {{ \"mix_ops\": {QUEUE_MIX_OPS}, \"note\": \"steady \
+         pop-and-reschedule mix then full drain, interleaved best-of-3; single-core machine, \
+         so ratios compare one core against itself\", \"mix\": [\n{}\n  ] }},",
+        queue_json_rows.join(",\n")
     );
     let _ = writeln!(
         json,

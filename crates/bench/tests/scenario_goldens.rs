@@ -469,6 +469,34 @@ fn golden_digest_async_skew() {
     );
 }
 
+/// Pinned digest for the async trace-group scenario — the async sampler
+/// reading per-group truths (and `mean_group_size`) through the
+/// membership layer's group view. The digest folds in
+/// `mean_group_size.to_bits()`, so the group columns populating is part
+/// of the pin.
+const GOLDEN_ASYNC_TRACE_GROUPS_R400: u64 = 0x733C_0E16_3488_832E;
+
+#[test]
+fn golden_digest_async_trace_groups() {
+    let mut spec = load("async_trace_groups.toml");
+    // Trace envs derive n (dataset 1: 9 devices); 400 nominal rounds
+    // reaches past the trace's first contacts, so the pinned window
+    // contains real multi-device groups, not just the singleton prefix.
+    spec.rounds = Some(400);
+    let series = dynagg_scenario::run_series(&spec).unwrap();
+    assert_eq!(series.last().unwrap().alive, 9);
+    assert!(
+        series.rounds.iter().any(|r| r.mean_group_size > 1.0),
+        "async group columns populate from the membership layer's group view"
+    );
+    assert_eq!(
+        digest(&series),
+        GOLDEN_ASYNC_TRACE_GROUPS_R400,
+        "async trace-group scenario output changed for a fixed seed; if intentional, update \
+         the golden digest with a documented reason"
+    );
+}
+
 // ── chaos scenarios (partition/heal + adversary) ────────────────────────
 
 /// The chaos digest: the base [`digest`] fields plus the two chaos

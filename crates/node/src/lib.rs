@@ -18,8 +18,9 @@
 //!   round), and the local timer advances through a
 //!   [`dynagg_core::epoch::DriftModel`].
 //! * [`loopback`] — [`loopback::AsyncNet`], a deterministic discrete-event
-//!   engine over those runtimes: a time-ordered event queue (binary
-//!   heap), per-link latency distributions, frame loss, failure plans
+//!   engine over those runtimes: a time-ordered event queue (a
+//!   hierarchical timing wheel, [`event::EventQueue`]), per-link
+//!   latency distributions, frame loss, failure plans
 //!   mirroring [`dynagg_sim::FailureSpec`], and estimate sampling into
 //!   the same [`dynagg_sim::metrics::Series`] the lockstep engines emit.
 //!   Peers come from a [`dynagg_sim::membership::Membership`] topology
@@ -47,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod hot;
 pub mod loopback;
 pub mod runtime;
 pub mod service;
@@ -54,7 +56,8 @@ pub mod shard;
 pub mod transport;
 pub mod views;
 
-pub use event::{EventKey, EventQueue, ShardQueue};
+pub use event::{EventKey, EventQueue, EventSched, HeapQueue, HeapShardQueue, ShardQueue};
+pub use hot::NodeHot;
 pub use loopback::{AsyncConfig, AsyncNet, LatencyModel};
 pub use runtime::{Envelope, FrameHeader, FrameKind, NodeRuntime, RuntimeConfig};
 pub use service::{LiveService, NodeSnap, ServiceConfig, ServiceReport, VirtualService};

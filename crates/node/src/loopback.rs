@@ -4,10 +4,11 @@
 //! round synchronization whatsoever**: every node owns a jittered,
 //! possibly drifting round timer, frames travel over links with a
 //! configurable [`LatencyModel`] and loss probability, and everything is
-//! sequenced through a time-ordered [`EventQueue`] (binary heap, `O(log
-//! q)` per event — the old loopback rig rescanned a `Vec` of in-flight
-//! frames every tick, `O(rounds × queue)`, which capped it at a few
-//! hundred nodes).
+//! sequenced through a time-ordered [`EventQueue`] (a hierarchical timing
+//! wheel, `O(1)` amortized per event — the old loopback rig rescanned a
+//! `Vec` of in-flight frames every tick, `O(rounds × queue)`, which
+//! capped it at a few hundred nodes; the wheel replaced an intermediate
+//! binary heap without changing a single pop).
 //!
 //! The engine mirrors the lockstep simulator's instrumentation so
 //! asynchronous runs are first-class experiments, not a side rig:
@@ -44,7 +45,8 @@
 //! `O(live × view)` — the difference between unusable and routine at
 //! 100 000 hosts.
 
-use crate::event::EventQueue;
+use crate::event::{EventQueue, EventSched};
+use crate::hot::NodeHot;
 use crate::runtime::{Envelope, NodeRuntime, RuntimeConfig};
 use crate::views::ViewTable;
 use dynagg_core::epoch::DriftModel;
@@ -293,8 +295,13 @@ where
 {
     cfg: AsyncConfig,
     runtimes: Vec<NodeRuntime<P>>,
-    /// The live set (powered-on nodes; a silent failure removes its id).
+    /// The live set (powered-on nodes; a silent failure removes its id) —
+    /// the *sampling* structure (uniform draws, live-id iteration).
     alive: AliveSet,
+    /// Struct-of-arrays hot block (alive bits + timer deadlines): what
+    /// the per-event drain consults instead of pulling runtimes or the
+    /// sampling set through the cache.
+    hot: NodeHot,
     /// Initial values of live nodes (`None` = dead), for truth and
     /// value-correlated failure selection.
     values: Vec<Option<f64>>,
@@ -341,6 +348,8 @@ where
     pub partition_drops: u64,
     out_buf: Vec<Envelope>,
     scratch: Vec<NodeId>,
+    /// Per-host truth buffer, filled on the group-truth sampling path.
+    truth_buf: Vec<Option<f64>>,
     /// View assembly buffer.
     view_buf: Vec<NodeId>,
     /// Holders of a departed node, mid-repair.
@@ -378,11 +387,14 @@ where
         let mut net = Self {
             runtimes: Vec::with_capacity(n),
             alive: AliveSet::empty(n),
+            hot: NodeHot::with_population(n),
             values: Vec::with_capacity(n),
             membership: Box::new(UniformEnv::new()),
             views: ViewTable::new(),
             views_ready: false,
-            queue: EventQueue::new(),
+            // Pre-sized from the population: one outstanding timer per
+            // node plus in-flight frames, instead of growing pop by pop.
+            queue: EventQueue::with_capacity(2 * n),
             link_rng: rng::rng_for(cfg.seed, stream::ENGINE),
             fail_rng: rng::rng_for(cfg.seed, stream::FAILURES),
             value_rng: rng::rng_for(cfg.seed, stream::VALUES),
@@ -407,6 +419,7 @@ where
             partition_drops: 0,
             out_buf: Vec::new(),
             scratch: Vec::new(),
+            truth_buf: Vec::new(),
             view_buf: Vec::new(),
             holder_buf: Vec::new(),
             changed_buf: Vec::new(),
@@ -423,10 +436,10 @@ where
     }
 
     /// What estimates are measured against (default: [`Truth::Mean`]).
-    /// Group truths need per-round group structure the async sampler does
-    /// not read.
+    /// Group truths read the membership layer's
+    /// [`Membership::group_view`] at each wall-clock sample, so they
+    /// require a group-aware topology (the trace environment).
     pub fn with_truth(mut self, truth: Truth) -> Self {
-        assert!(!truth.needs_groups(), "async engine supports global truths only");
         self.truth = truth;
         self
     }
@@ -482,6 +495,8 @@ where
         );
         let rt = NodeRuntime::new(rt_cfg, (self.factory)(id, v));
         self.queue.schedule(rt.next_tick_ms(), Ev::Timer(id));
+        let hot_id = self.hot.push(rt.next_tick_ms());
+        debug_assert_eq!(hot_id, id);
         self.runtimes.push(rt);
         self.values.push(Some(v));
         self.alive.insert(id);
@@ -546,6 +561,7 @@ where
     /// failure plan instead repairs affected views incrementally.)
     pub fn power_off(&mut self, id: NodeId) {
         if self.alive.remove(id) {
+            self.hot.kill(id);
             self.values[id as usize] = None;
         }
     }
@@ -694,22 +710,24 @@ where
     fn dispatch(&mut self, at: u64, ev: Ev) {
         match ev {
             Ev::Timer(id) => {
-                if !self.alive.contains(id) {
+                if !self.hot.is_alive(id) {
                     return; // a dark node's timer dies with it
                 }
+                debug_assert_eq!(at, self.hot.deadline(id), "timer fires at its recorded deadline");
                 let mut out = std::mem::take(&mut self.out_buf);
                 out.clear();
                 let rt = &mut self.runtimes[id as usize];
                 rt.poll(at, &mut out);
                 let next = rt.next_tick_ms();
                 self.queue.schedule(next, Ev::Timer(id));
+                self.hot.set_deadline(id, next);
                 for env in out.drain(..) {
                     self.send(at, env);
                 }
                 self.out_buf = out;
             }
             Ev::Deliver(env) => {
-                if !self.alive.contains(env.to) {
+                if !self.hot.is_alive(env.to) {
                     // Receiver is dark; hand the buffer back to the sender.
                     self.runtimes[env.from as usize].recycle_buffer(env.payload);
                     return;
@@ -749,23 +767,46 @@ where
     }
 
     /// One streaming pass over the live nodes, mirroring the lockstep
-    /// engine's per-round statistics.
+    /// engine's per-round statistics. Global truths cost a single scalar;
+    /// group truths ([`Truth::needs_groups`]) read the membership layer's
+    /// group structure as it stands at this wall-clock instant, exactly
+    /// as the lockstep sampler reads the environment's.
     fn record_sample(&mut self) {
         let mut acc = StatsAcc::default();
-        let t = self.truth.global_scalar(&self.values).expect("global truth");
+        let group_view = self.membership.group_view();
+        let mean_group_size = group_view.map_or(0.0, |g| g.mean_experienced_size());
         let (mut audit_v, mut audit_w) = (0.0f64, 0.0f64);
-        for (rt, value) in self.runtimes.iter().zip(&self.values) {
-            if value.is_some() {
-                let p = rt.protocol();
-                acc.note_lifecycle(p.is_settling(), p.disruptions());
-                if let Some(e) = p.estimate() {
-                    acc.add(e, t);
-                }
-                if let Some(m) = p.audit_mass() {
-                    audit_v += m.value;
-                    audit_w += m.weight;
+        if let Some(t) = self.truth.global_scalar(&self.values) {
+            for (rt, value) in self.runtimes.iter().zip(&self.values) {
+                if value.is_some() {
+                    let p = rt.protocol();
+                    acc.note_lifecycle(p.is_settling(), p.disruptions());
+                    if let Some(e) = p.estimate() {
+                        acc.add(e, t);
+                    }
+                    if let Some(m) = p.audit_mass() {
+                        audit_v += m.value;
+                        audit_w += m.weight;
+                    }
                 }
             }
+        } else {
+            let mut truth_buf = std::mem::take(&mut self.truth_buf);
+            self.truth.per_host_into(&self.values, group_view, &mut truth_buf);
+            for (rt, truth) in self.runtimes.iter().zip(&truth_buf) {
+                if let Some(t) = truth {
+                    let p = rt.protocol();
+                    acc.note_lifecycle(p.is_settling(), p.disruptions());
+                    if let Some(e) = p.estimate() {
+                        acc.add(e, *t);
+                    }
+                    if let Some(m) = p.audit_mass() {
+                        audit_v += m.value;
+                        audit_w += m.weight;
+                    }
+                }
+            }
+            self.truth_buf = truth_buf;
         }
         let mut stats = acc.finish(
             self.sample_idx,
@@ -773,7 +814,7 @@ where
             self.msgs_since_sample,
             self.bytes_since_sample,
             self.wire_since_sample,
-            0.0,
+            mean_group_size,
         );
         // Global mass audit against the true mean — nonzero only when an
         // adversary mints mass (benign chaos merely redistributes it).

@@ -24,6 +24,7 @@
 //! the discrete-event engines use — a seed names one population, no
 //! matter which of the three drivers runs it.
 
+use crate::event::{EventQueue, EventSched};
 use crate::loopback::{AsyncConfig, DriftFn, NodeFactory, ValueFn};
 use crate::runtime::{Envelope, NodeRuntime, RuntimeConfig};
 use crate::transport::{RecvFrame, Transport, TransportStats};
@@ -31,8 +32,6 @@ use dynagg_core::mass::Mass;
 use dynagg_core::protocol::{NodeId, PushProtocol};
 use dynagg_core::wire::WireMessage;
 use dynagg_sim::env::UniformEnv;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -176,7 +175,8 @@ enum Command {
 const IDLE_WAIT_MS: u64 = 5;
 
 /// One live worker: a contiguous node range, its transport endpoint,
-/// and a wall-clock timer wheel (a binary heap of next-tick times).
+/// and a wall-clock timer schedule (the same wheel-backed [`EventQueue`]
+/// the discrete-event engines drain, driven by elapsed milliseconds).
 struct Worker<P, T>
 where
     P: PushProtocol,
@@ -192,7 +192,7 @@ where
     lo: NodeId,
     index: usize,
     start: Instant,
-    timers: BinaryHeap<Reverse<(u64, NodeId)>>,
+    timers: EventQueue<NodeId>,
     cmds: Receiver<Command>,
     factory: SharedFactory<P>,
     update: ValueUpdate<P>,
@@ -217,18 +217,14 @@ where
 
     /// Fire every due timer, ship the frames, reschedule.
     fn run_timers(&mut self, now: u64) {
-        while let Some(&Reverse((t, id))) = self.timers.peek() {
-            if t > now {
-                break;
-            }
-            self.timers.pop();
+        while let Some((_, id)) = self.timers.pop_before(now) {
             let mut out = std::mem::take(&mut self.out_buf);
             out.clear();
             if let Some(rt) = self.slots.get_mut((id - self.lo) as usize).and_then(Option::as_mut) {
                 rt.poll(now, &mut out);
                 let next = rt.next_tick_ms();
                 self.report.polls += 1;
-                self.timers.push(Reverse((next, id)));
+                self.timers.schedule(next, id);
                 for env in out.drain(..) {
                     self.ship(env);
                 }
@@ -296,7 +292,7 @@ where
                 cfg.start_offset_ms = self.now_ms() + cfg.round_interval_ms;
                 let mut rt = NodeRuntime::new(cfg, (self.factory)(id, v));
                 rt.set_peers(&self.views[idx]);
-                self.timers.push(Reverse((rt.next_tick_ms(), id)));
+                self.timers.schedule(rt.next_tick_ms(), id);
                 self.slots[idx] = Some(rt);
                 self.transport.bind(id, self.index);
             }
@@ -346,8 +342,8 @@ where
             self.run_timers(now);
             // Sleep in the transport until the next timer is due (capped
             // so commands stay responsive), handling whatever arrives.
-            let wait = match self.timers.peek() {
-                Some(&Reverse((t, _))) => t.saturating_sub(self.now_ms()).min(IDLE_WAIT_MS),
+            let wait = match self.timers.peek_time() {
+                Some(t) => t.saturating_sub(self.now_ms()).min(IDLE_WAIT_MS),
                 None => IDLE_WAIT_MS,
             };
             self.in_buf.clear();
@@ -423,13 +419,13 @@ impl LiveService {
             let mut slots = Vec::with_capacity(len);
             let mut cfgs = Vec::with_capacity(len);
             let mut wviews = Vec::with_capacity(len);
-            let mut timers = BinaryHeap::with_capacity(len);
+            let mut timers = EventQueue::with_capacity(len);
             for id in lo..hi {
                 let (mut rt, _v) = population.next().expect("population covers every worker");
                 let view = views.next().expect("one view per node");
                 rt.set_peers(&view);
                 cfgs.push(*rt.config());
-                timers.push(Reverse((rt.next_tick_ms(), id)));
+                timers.schedule(rt.next_tick_ms(), id);
                 slots.push(Some(rt));
                 wviews.push(view);
             }
@@ -551,8 +547,9 @@ impl LiveService {
 /// The deterministic single-threaded driver: same population, same
 /// transport seam, **virtual** time. `run_until` advances an injected
 /// clock through the node timer schedule; at every instant it first
-/// fires *all* timers due at that instant (ascending id — the order the
-/// discrete-event engine's stable queue produces), then drains the
+/// fires *all* timers due at that instant, in scheduling order — it
+/// shares [`EventQueue`] with the discrete-event engine, so the
+/// same-instant tie-break is the engine's, by construction — then drains the
 /// transport to quiescence, delivering frames in send (FIFO) order with
 /// replies appended behind in-flight traffic. Over a zero-latency
 /// single-endpoint [`crate::transport::ChannelMesh`] this is exactly the
@@ -565,7 +562,7 @@ where
 {
     slots: Vec<Option<NodeRuntime<P>>>,
     transport: T,
-    timers: BinaryHeap<Reverse<(u64, NodeId)>>,
+    timers: EventQueue<NodeId>,
     now_ms: u64,
     events: u64,
     frames_delivered: u64,
@@ -597,13 +594,13 @@ where
         let population = cfg.population(n, value_gen, drift_of, factory);
         let views = cfg.initial_views(n, &mut UniformEnv::new());
         let ep = transport.endpoint();
-        let mut timers = BinaryHeap::with_capacity(n);
+        let mut timers = EventQueue::with_capacity(n);
         let mut slots = Vec::with_capacity(n);
         for ((mut rt, _v), view) in population.into_iter().zip(views) {
             let id = slots.len() as NodeId;
             transport.bind(id, ep);
             rt.set_peers(&view);
-            timers.push(Reverse((rt.next_tick_ms(), id)));
+            timers.schedule(rt.next_tick_ms(), id);
             slots.push(Some(rt));
         }
         Self {
@@ -668,7 +665,7 @@ where
     /// instant (zero-latency semantics: a frame sent at `t` arrives and
     /// is answered at `t`).
     pub fn run_until(&mut self, until_ms: u64) {
-        while let Some(&Reverse((t0, _))) = self.timers.peek() {
+        while let Some(t0) = self.timers.peek_time() {
             if t0 > until_ms {
                 break;
             }
@@ -677,11 +674,8 @@ where
             // the discrete-event queue's ordering (timers were scheduled
             // strictly earlier than any same-instant frame).
             self.due.clear();
-            while let Some(&Reverse((t, id))) = self.timers.peek() {
-                if t != t0 {
-                    break;
-                }
-                self.timers.pop();
+            while self.timers.peek_time() == Some(t0) {
+                let (_, id) = self.timers.pop().expect("just peeked");
                 self.due.push(id);
             }
             let due = std::mem::take(&mut self.due);
@@ -692,7 +686,7 @@ where
                     rt.poll(t0, &mut out);
                     self.events += 1;
                     let next = rt.next_tick_ms();
-                    self.timers.push(Reverse((next, id)));
+                    self.timers.schedule(next, id);
                     for env in out.drain(..) {
                         self.ship(env);
                     }

@@ -50,6 +50,7 @@
 //! bit-identical across every shard count ≥ 2.
 
 use crate::event::{EventKey, ShardQueue};
+use crate::hot::NodeHot;
 use crate::loopback::{AsyncConfig, DriftFn, NodeFactory, ValueFn, INTRODUCTIONS, REPAIR_TRIES};
 use crate::runtime::{Envelope, NodeRuntime};
 use crate::views::ViewTable;
@@ -107,6 +108,10 @@ where
     link_rngs: Vec<SmallRng>,
     /// Per-node sent-frame sequence, parallel to `runtimes`.
     send_seq: Vec<u64>,
+    /// Per-node outstanding timer deadline, parallel to `runtimes` — the
+    /// shard-local slice of the struct-of-arrays hot state (each shard
+    /// mutates only its own slots during a window).
+    deadline_ms: Vec<u64>,
     /// Outbound cross-shard frames staged per destination shard.
     stage: Vec<Vec<Flight>>,
     msgs: u64,
@@ -129,7 +134,9 @@ struct Window<'a> {
     cfg: AsyncConfig,
     lookahead: u64,
     shards: usize,
-    alive: &'a AliveSet,
+    /// Struct-of-arrays alive bits (read-only during a window; failures
+    /// and churn only land at barrier points).
+    hot: &'a NodeHot,
     partition: &'a PartitionTable,
     home: &'a [Home],
     /// `shards × shards` mailboxes; worker `s` appends to `s·k + d`,
@@ -194,16 +201,21 @@ where
 {
     match ev {
         SEv::Timer(id) => {
-            if !ctx.alive.contains(id) {
+            if !ctx.hot.is_alive(id) {
                 return; // a dark node's timer dies with it
             }
             let slot = ctx.home[id as usize].slot as usize;
+            debug_assert_eq!(
+                key.at_ms, shard.deadline_ms[slot],
+                "timer fires at its recorded deadline"
+            );
             let mut out = std::mem::take(&mut shard.out_buf);
             out.clear();
             let rt = &mut shard.runtimes[slot];
             rt.poll(key.at_ms, &mut out);
             let next = rt.next_tick_ms();
             shard.queue.schedule(EventKey::timer(next, id), SEv::Timer(id));
+            shard.deadline_ms[slot] = next;
             for env in out.drain(..) {
                 send(shard, key.at_ms, env, me, ctx);
             }
@@ -216,7 +228,7 @@ where
                 shard.cross_island_deliveries += 1;
             }
             let slot = ctx.home[env.to as usize].slot as usize;
-            if !ctx.alive.contains(env.to) {
+            if !ctx.hot.is_alive(env.to) {
                 shard.runtimes[slot].recycle_buffer(env.payload);
                 return;
             }
@@ -281,6 +293,9 @@ where
     /// Reused `shards²` cross-shard mailboxes.
     mail: Vec<Mutex<Vec<Flight>>>,
     alive: AliveSet,
+    /// Struct-of-arrays hot block (alive bits; per-shard `deadline_ms`
+    /// slices carry the deadlines) — what window drains consult.
+    hot: NodeHot,
     values: Vec<Option<f64>>,
     membership: Box<dyn Membership>,
     views: ViewTable,
@@ -345,10 +360,13 @@ where
             lookahead_ms,
             shards: (0..k)
                 .map(|_| Shard {
-                    queue: ShardQueue::new(),
+                    // Pre-sized from this shard's share of the population
+                    // (timer + in-flight frame per node).
+                    queue: ShardQueue::with_capacity(2 * n / k + 16),
                     runtimes: Vec::new(),
                     link_rngs: Vec::new(),
                     send_seq: Vec::new(),
+                    deadline_ms: Vec::new(),
                     stage: (0..k).map(|_| Vec::new()).collect(),
                     msgs: 0,
                     bytes: 0,
@@ -365,6 +383,7 @@ where
             mail: (0..k * k).map(|_| Mutex::new(Vec::new())).collect(),
             map,
             alive: AliveSet::empty(n),
+            hot: NodeHot::with_population(n),
             values: Vec::with_capacity(n),
             membership: Box::new(UniformEnv::new()),
             views: ViewTable::new(),
@@ -446,12 +465,16 @@ where
         let s = self.map.shard_of(id as usize);
         let shard = &mut self.shards[s];
         self.home.push(Home { shard: s as u32, slot: shard.runtimes.len() as u32 });
-        shard.queue.schedule(EventKey::timer(rt.next_tick_ms(), id), SEv::Timer(id));
+        let first_tick = rt.next_tick_ms();
+        shard.queue.schedule(EventKey::timer(first_tick, id), SEv::Timer(id));
         shard.link_rngs.push(rng::rng_for(self.cfg.seed, LINK_SEED_BASE ^ u64::from(id)));
         shard.send_seq.push(0);
+        shard.deadline_ms.push(first_tick);
         shard.runtimes.push(rt);
         self.values.push(Some(v));
         self.alive.insert(id);
+        let hot_id = self.hot.push(first_tick);
+        debug_assert_eq!(hot_id, id);
         self.views.ensure(self.home.len());
         self.dirty_flag.push(false);
         id
@@ -543,6 +566,7 @@ where
     /// Silently power a node off.
     fn power_off(&mut self, id: NodeId) {
         if self.alive.remove(id) {
+            self.hot.kill(id);
             self.values[id as usize] = None;
         }
     }
@@ -653,7 +677,7 @@ where
             cfg: self.cfg,
             lookahead: self.lookahead_ms,
             shards: self.shards.len(),
-            alive: &self.alive,
+            hot: &self.hot,
             partition: &self.partition,
             home: &self.home,
             mail: &self.mail,

@@ -1012,16 +1012,21 @@ impl ScenarioSpec {
             }
             return Ok(());
         }
-        if self.truth.needs_groups() {
+        let a = self.asynchrony.unwrap_or_default();
+        // The sequential async engine samples group truths through the
+        // membership layer's group view; the *sharded* engine's samplers
+        // are per-shard and cannot see cross-shard group structure.
+        let may_shard = matches!(a.shards, Some(ShardsSpec::Auto) | Some(ShardsSpec::Count(2..)));
+        if self.truth.needs_groups() && may_shard {
             return Err(ScenarioError::Unsupported {
                 reason: format!(
-                    "truth `{:?}` needs per-round group structure, which the async engine's \
-                     wall-clock sampler does not read; use a global truth or a lockstep engine",
+                    "truth `{:?}` needs per-round group structure, which the sharded async \
+                     engine's per-shard samplers do not read; use shards = 1 (or drop the key) \
+                     or a global truth",
                     self.truth
                 ),
             });
         }
-        let a = self.asynchrony.unwrap_or_default();
         if a.interval_ms == 0 {
             return Err(invalid("async.interval_ms", "must be at least 1".into()));
         }

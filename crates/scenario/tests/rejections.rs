@@ -311,17 +311,28 @@ fn async_engine_runs_every_environment() {
 }
 
 #[test]
-fn group_truth_under_async_engine_is_unsupported() {
-    // Trace environments provide group structure, but the async engine's
-    // wall-clock sampler reads global truths only — a typed rejection,
-    // not a panic.
+fn group_truth_under_sharded_async_engine_is_unsupported() {
+    // The sequential async engine samples group truths through the
+    // membership layer's group view, so a trace + group-mean async spec
+    // validates; the *sharded* engine's per-shard samplers cannot see
+    // cross-shard group structure — a typed rejection, not a panic.
     let src =
         replace(VALID_ASYNC, "[env]\nkind = \"uniform\"", "[env]\nkind = \"trace\"\ndataset = 1");
     let src = replace(&src, "n = 200\n", "");
     let src = replace(&src, "rounds = 10", "rounds = 10\ntruth = \"group-mean\"");
-    match ScenarioSpec::from_toml_str(&src) {
+    ScenarioSpec::from_toml_str(&src).expect("sequential async samples group truths");
+
+    let sharded = replace(&src, "interval_ms = 100", "interval_ms = 100\nshards = 2");
+    match ScenarioSpec::from_toml_str(&sharded) {
         Err(ScenarioError::Unsupported { reason }) => {
-            assert!(reason.contains("global truth"), "{reason}");
+            assert!(reason.contains("per-shard samplers"), "{reason}");
+        }
+        other => panic!("expected Unsupported, got {other:?}"),
+    }
+    let auto = replace(&src, "interval_ms = 100", "interval_ms = 100\nshards = \"auto\"");
+    match ScenarioSpec::from_toml_str(&auto) {
+        Err(ScenarioError::Unsupported { reason }) => {
+            assert!(reason.contains("per-shard samplers"), "{reason}");
         }
         other => panic!("expected Unsupported, got {other:?}"),
     }

@@ -8,7 +8,6 @@ use crate::alive::AliveSet;
 use crate::membership::Membership;
 use crate::partition::PartitionTable;
 use dynagg_core::protocol::{NodeId, PeerSampler};
-use dynagg_trace::GroupView;
 use rand::rngs::SmallRng;
 
 pub mod clustered;
@@ -32,14 +31,9 @@ pub trait Environment: Membership {
 
     /// Fill `out` with a broadcast set for `node` (real neighbors where a
     /// topology exists; a bounded random subset under uniform gossip).
+    /// (Group structure for per-group truths lives on the base
+    /// [`Membership`] trait — see [`Membership::group_view`].)
     fn neighbors(&self, node: NodeId, alive: &AliveSet, rng: &mut SmallRng, out: &mut Vec<NodeId>);
-
-    /// The per-host group structure, where the environment has one (the
-    /// trace environment's 10-minute "nearby" components). Metrics use this
-    /// for Fig. 11's per-group truths.
-    fn group_view(&self) -> Option<&GroupView> {
-        None
-    }
 }
 
 /// Adapter presenting one node's view of an [`Environment`] as the

@@ -154,6 +154,10 @@ impl Membership for TraceEnv {
         out.truncate(cap);
     }
 
+    fn group_view(&self) -> Option<&GroupView> {
+        Some(&self.groups)
+    }
+
     fn name(&self) -> &'static str {
         "trace"
     }
@@ -176,10 +180,6 @@ impl Environment for TraceEnv {
         if let Some(l) = self.adjacency.get(node as usize) {
             out.extend(l.iter().copied().filter(|&p| alive.contains(p)));
         }
-    }
-
-    fn group_view(&self) -> Option<&GroupView> {
-        Some(&self.groups)
     }
 }
 

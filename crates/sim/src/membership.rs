@@ -23,6 +23,7 @@
 
 use crate::alive::AliveSet;
 use dynagg_core::protocol::NodeId;
+use dynagg_trace::GroupView;
 use rand::rngs::SmallRng;
 
 /// What a [`Membership::advance`] round boundary did to the topology.
@@ -92,6 +93,15 @@ pub trait Membership {
         rng: &mut SmallRng,
         out: &mut Vec<NodeId>,
     );
+
+    /// The per-host group structure, where the topology has one (the
+    /// trace environment's 10-minute "nearby" components). Metrics use
+    /// this for Fig. 11's per-group truths; it lives here rather than on
+    /// [`crate::env::Environment`] so the asynchronous engines — which
+    /// hold only the `Membership` layer — can sample group truths too.
+    fn group_view(&self) -> Option<&GroupView> {
+        None
+    }
 
     /// Human-readable name for logs and CSV headers.
     fn name(&self) -> &'static str;
