@@ -90,6 +90,16 @@ fn bench_age_matrix(c: &mut Criterion) {
         let cutoff = Cutoff::paper_uniform();
         b.iter(|| black_box(m1.bit_view(&cutoff)))
     });
+    g.bench_function("bit_view_into_reused_buffer", |b| {
+        // The alloc-free readout path: repeated projections (the Fig. 6
+        // sweep reads every host's matrix) reuse one PCSA buffer.
+        let cutoff = Cutoff::paper_uniform();
+        let mut out = Pcsa::new(64, 24);
+        b.iter(|| {
+            m1.bit_view_into(&cutoff, &mut out);
+            black_box(&out);
+        })
+    });
     g.bench_function("estimate_paper_cutoff", |b| {
         let cutoff = Cutoff::paper_uniform();
         b.iter(|| black_box(m1.estimate(&cutoff)))

@@ -33,6 +33,11 @@
 //!    by a full drain, interleaved best-of-3, plus allocations per
 //!    event from a counting global allocator (the wheel recycles slot
 //!    capacity, so steady state should allocate ~nothing).
+//! 8. **sketch microbench** — the lazy birth-stamp `AgeMatrix` against
+//!    the retained eager reference (`RefAgeMatrix`): tick, aligned
+//!    min-merge, and snapshot encode at 2 048 and 16 384 cells,
+//!    interleaved best-of-3 with allocs/op from the same counting
+//!    allocator.
 //!
 //! Usage: `cargo run --release -p dynagg-bench --bin perf_smoke [OUT.json]`
 //! (default output: `BENCH_1.json` in the current directory; the repo
@@ -51,6 +56,10 @@ use dynagg_sim::env::uniform::UniformEnv;
 use dynagg_sim::par;
 use dynagg_sim::shard::ShardMap;
 use dynagg_sim::{runner, Series, Truth};
+use dynagg_sketch::age::AgeMatrix;
+use dynagg_sketch::codec;
+use dynagg_sketch::hash::SplitMix64;
+use dynagg_sketch::reference::RefAgeMatrix;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -146,6 +155,109 @@ fn queue_mix<Q: EventSched<u64>>(q: &mut Q, pending: usize) -> (f64, f64) {
     let s = t.elapsed().as_secs_f64();
     let allocs = ALLOCS.load(Ordering::Relaxed) - alloc0;
     (events as f64 / s, allocs as f64 / events as f64)
+}
+
+/// Run `f` in batches until ~50 ms or 1M ops have elapsed; returns
+/// (ops/sec, allocations per op). Shared by the sketch microbenches.
+fn micro(mut f: impl FnMut()) -> (f64, f64) {
+    let alloc0 = ALLOCS.load(Ordering::Relaxed);
+    let mut ops = 0u64;
+    let t = Instant::now();
+    loop {
+        for _ in 0..64 {
+            f();
+        }
+        ops += 64;
+        if t.elapsed().as_secs_f64() > 0.05 || ops >= 1_000_000 {
+            break;
+        }
+    }
+    let s = t.elapsed().as_secs_f64();
+    let allocs = ALLOCS.load(Ordering::Relaxed) - alloc0;
+    (ops as f64 / s, allocs as f64 / ops as f64)
+}
+
+/// One row of the sketch microbench: tick / merge / encode ops/sec and
+/// allocs/op for the lazy [`AgeMatrix`] against the retained eager
+/// [`RefAgeMatrix`], on a gossip-shaped matrix of `m × (l+1)` cells
+/// (mostly hearsay counters, one owned cell, converged partner).
+/// Lazy and reference runs interleave inside each best-of-3 round so
+/// allocator and cache drift hits both equally.
+struct SketchRow {
+    cells: usize,
+    bins: u32,
+    width: u8,
+    /// [tick, merge, encode] × (lazy_eps, lazy_apo, ref_eps, ref_apo).
+    ops: [(f64, f64, f64, f64); 3],
+}
+
+fn sketch_micro(bins: u32, width: u8) -> SketchRow {
+    let h = SplitMix64::new(MASTER_SEED);
+    let ids = u64::from(bins) * 8;
+    // Drive the lazy and eager matrices through identical histories.
+    let mut lazy_a = AgeMatrix::new(bins, width);
+    let mut ref_a = RefAgeMatrix::new(bins, width);
+    let mut lazy_b = AgeMatrix::new(bins, width);
+    let mut ref_b = RefAgeMatrix::new(bins, width);
+    for id in 0..ids {
+        lazy_a.claim_id(&h, id);
+        ref_a.claim_id(&h, id);
+        lazy_b.claim_id(&h, id + ids / 2);
+        ref_b.claim_id(&h, id + ids / 2);
+    }
+    for m in [&mut lazy_a, &mut lazy_b] {
+        m.release_all();
+        m.claim_id(&h, u64::from(bins) * 1000);
+    }
+    for m in [&mut ref_a, &mut ref_b] {
+        m.release_all();
+        m.claim_id(&h, u64::from(bins) * 1000);
+    }
+    for _ in 0..10 {
+        lazy_a.tick();
+        ref_a.tick();
+        lazy_b.tick();
+        ref_b.tick();
+    }
+
+    let mut ops = [(0.0f64, f64::INFINITY, 0.0f64, f64::INFINITY); 3];
+    let note = |slot: &mut (f64, f64, f64, f64), lazy: (f64, f64), eager: (f64, f64)| {
+        if lazy.0 > slot.0 {
+            (slot.0, slot.1) = lazy;
+        }
+        if eager.0 > slot.2 {
+            (slot.2, slot.3) = eager;
+        }
+    };
+    for _ in 0..3 {
+        // tick: the O(own) lazy counter bump vs. the eager full pass.
+        let mut lm = lazy_a.clone();
+        let lazy_tick = micro(|| lm.tick());
+        let mut rm = ref_a.clone();
+        let ref_tick = micro(|| rm.tick());
+        note(&mut ops[0], lazy_tick, ref_tick);
+
+        // merge: aligned-clock lane max vs. the scalar min loop (the
+        // lockstep gossip hot path — both sides share a tick count).
+        let mut lt = lazy_a.clone();
+        let lazy_merge = micro(|| lt.merge_min(&lazy_b));
+        let mut rt = ref_a.clone();
+        let ref_merge = micro(|| rt.merge_min(&ref_b));
+        note(&mut ops[1], lazy_merge, ref_merge);
+
+        // encode: fan-out of one unchanged snapshot — the lazy codec
+        // memoizes per version, the reference re-encodes every time.
+        let mut out = Vec::new();
+        let lazy_encode = micro(|| {
+            out.clear();
+            codec::encode_ages_into(&lazy_a, &mut out);
+        });
+        let ref_encode = micro(|| {
+            std::hint::black_box(ref_a.encode());
+        });
+        note(&mut ops[2], lazy_encode, ref_encode);
+    }
+    SketchRow { cells: bins as usize * (usize::from(width) + 1), bins, width, ops }
 }
 
 fn fig6_style_trial(n: usize, trial_seed: u64) -> Series {
@@ -328,6 +440,24 @@ fn main() {
         queue_rows.push((pending, heap_eps, heap_apev, wheel_eps, wheel_apev));
     }
 
+    // 2f. sketch microbench: the lazy age matrix against the retained
+    // eager reference — tick, aligned merge, and snapshot encode at
+    // 2 048 and 16 384 cells, interleaved best-of-3 (README
+    // methodology). Timings are non-gating; a lazy-slower-than-reference
+    // tick prints a WARNING (it is the representation's headline claim).
+    let sketch_rows: Vec<SketchRow> =
+        [(128u32, 15u8), (1024, 15)].iter().map(|&(m, l)| sketch_micro(m, l)).collect();
+    for row in &sketch_rows {
+        let (lazy_eps, _, ref_eps, _) = row.ops[0];
+        if lazy_eps < ref_eps {
+            eprintln!(
+                "WARNING: lazy tick slower than eager reference at {} cells \
+                 ({lazy_eps:.0} vs {ref_eps:.0} ops/s)",
+                row.cells
+            );
+        }
+    }
+
     // 3a. fig6-style sweep, serial.
     let t = Instant::now();
     let serial: Vec<Series> = configs.iter().map(|&(n, seed)| fig6_style_trial(n, seed)).collect();
@@ -421,6 +551,37 @@ fn main() {
          pop-and-reschedule mix then full drain, interleaved best-of-3; single-core machine, \
          so ratios compare one core against itself\", \"mix\": [\n{}\n  ] }},",
         queue_json_rows.join(",\n")
+    );
+    let sketch_json_rows: Vec<String> = sketch_rows
+        .iter()
+        .map(|row| {
+            let op_json = |name: &str, (le, la, re, ra): (f64, f64, f64, f64)| {
+                format!(
+                    "\"{name}\": {{ \"lazy_ops_per_s\": {le:.0}, \"ref_ops_per_s\": {re:.0}, \
+                     \"lazy_vs_ref\": {:.2}, \"lazy_allocs_per_op\": {la:.4}, \
+                     \"ref_allocs_per_op\": {ra:.4} }}",
+                    le / re
+                )
+            };
+            format!(
+                "    {{ \"cells\": {}, \"bins\": {}, \"width\": {}, {}, {}, {} }}",
+                row.cells,
+                row.bins,
+                row.width,
+                op_json("tick", row.ops[0]),
+                op_json("merge", row.ops[1]),
+                op_json("encode", row.ops[2]),
+            )
+        })
+        .collect();
+    let _ = writeln!(
+        json,
+        "  \"sketch\": {{ \"note\": \"lazy birth-stamp matrix vs the retained eager scalar \
+         reference (crates/sketch/src/reference.rs), interleaved best-of-3 on a single core; \
+         tick is O(own) lazy vs O(cells) eager, merge is the aligned-clock lane max vs the \
+         scalar min loop, encode fans one unchanged snapshot (version memo vs re-encode)\", \
+         \"sizes\": [\n{}\n  ] }},",
+        sketch_json_rows.join(",\n")
     );
     let _ = writeln!(
         json,

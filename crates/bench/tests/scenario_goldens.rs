@@ -777,3 +777,91 @@ fn golden_digest_byzantine_inflation() {
         "byzantine-inflation scenario output changed for a fixed seed"
     );
 }
+
+// ── wire accounting ─────────────────────────────────────────────────────
+
+/// A sketch-gossip cell for the `wire = "measured"` story: identical to
+/// its priced twin except for the accounting mode.
+const MEASURED_WIRE_TOML: &str = r#"
+name = "measured-wire"
+seed = 11
+n = 300
+rounds = 30
+wire = "measured"
+truth = "count"
+
+[env]
+kind = "uniform"
+
+[values]
+kind = "constant"
+value = 1.0
+
+[protocol]
+name = "count-sketch-reset"
+cutoff = "paper"
+"#;
+
+#[test]
+fn measured_wire_tracks_payload_growth() {
+    let measured_spec = ScenarioSpec::from_toml_str(MEASURED_WIRE_TOML).unwrap();
+    let priced_src = MEASURED_WIRE_TOML.replace("wire = \"measured\"\n", "");
+    let priced_spec = ScenarioSpec::from_toml_str(&priced_src).unwrap();
+
+    let measured = dynagg_scenario::run_series(&measured_spec).unwrap();
+    let priced = dynagg_scenario::run_series(&priced_spec).unwrap();
+
+    // The meter observes messages without perturbing the simulation:
+    // every non-wire column is bit-identical to the priced twin.
+    assert_eq!(digest(&measured), digest(&priced), "measuring wire changed the simulation");
+
+    // Round 0: every outgoing matrix holds exactly one claimed cell, the
+    // same shape the registry prices from a freshly-initialized node.
+    // Measured lands above the price but same-magnitude: initiations
+    // match it, while replies — post-merge snapshots under the lockstep
+    // engine's atomic-exchange hint — already carry both parties' cells.
+    let m0 = &measured.rounds[0];
+    let p0 = &priced.rounds[0];
+    assert!(m0.wire_bytes > 0 && p0.wire_bytes > 0);
+    let ratio0 = m0.wire_bytes as f64 / p0.wire_bytes as f64;
+    assert!((0.9..=1.8).contains(&ratio0), "fresh-population ratio {ratio0}");
+
+    // Converged: matrices carry hundreds of finite counters, the RLE
+    // payload has grown far past the fresh-node price, and only the
+    // measured column sees it.
+    let ml = measured.last().unwrap();
+    let pl = priced.last().unwrap();
+    let ratio_last = ml.wire_bytes as f64 / pl.wire_bytes as f64;
+    assert!(ratio_last > 1.5, "converged payloads must outgrow the price: ratio {ratio_last}");
+    // And the growth is monotone-ish: the measured column strictly
+    // exceeds its own round-0 per-message cost by the end.
+    assert!(
+        ml.wire_bytes as f64 / ml.messages as f64
+            > 1.5 * (m0.wire_bytes as f64 / m0.messages as f64),
+        "per-message measured size must grow as counters populate"
+    );
+}
+
+// ── async fig6 ──────────────────────────────────────────────────────────
+
+#[test]
+fn fig6_async_toml_reads_counters_through_the_sequential_engine() {
+    let mut spec = load("fig6_async.toml");
+    spec.n = Some(400); // scaled for test time
+    let outcome = dynagg_scenario::run(&spec).unwrap();
+    let samples = outcome.instances[0].trials[0]
+        .counter_samples
+        .as_ref()
+        .expect("counter-cdf report under the sequential async engine");
+    let total: u64 = samples.iter().flatten().sum();
+    assert!(total > 0, "converged async network must hold finite counters");
+    // The async engine's interleaved ticks and merges spread counters
+    // past age 0: lockstep's own-cell pins are not the only mass.
+    let aged: u64 = samples.iter().map(|row| row.iter().skip(1).sum::<u64>()).sum();
+    assert!(aged > 0, "asynchrony must spread counter ages past zero");
+    // Low bit indexes (claimed by every host) dominate high ones, the
+    // same cutoff-fit shape the lockstep fig6 reads.
+    let low: u64 = samples[0].iter().sum();
+    let high: u64 = samples[samples.len() - 1].iter().sum();
+    assert!(low > high, "counter mass must concentrate at low bit indexes");
+}

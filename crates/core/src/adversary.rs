@@ -229,6 +229,12 @@ where
     fn depart_gracefully(&mut self) {
         self.inner.depart_gracefully();
     }
+
+    fn hint_atomic_exchanges(&mut self) {
+        // Forgery happens on the outgoing message Arc, never on the inner
+        // state, so the wrapped protocol's lattice argument is unaffected.
+        self.inner.hint_atomic_exchanges();
+    }
 }
 
 #[cfg(test)]
@@ -334,6 +340,27 @@ mod tests {
             "corruption saturates: repeating the attack adds nothing"
         );
         assert_eq!(forged.owned_cells(), 0, "forged cells are unowned hearsay");
+    }
+
+    #[test]
+    fn corruption_never_serves_stale_encode_memo() {
+        use crate::wire::WireMessage;
+        let h = dynagg_sketch::hash::SplitMix64::new(3);
+        let mut m = AgeMatrix::new(8, 12);
+        for id in 0..8u64 {
+            m.claim_id(&h, id);
+        }
+        let mut msg = Arc::new(m);
+        // Warm the version-stamped encode memo, then corrupt in place.
+        let honest_bytes = msg.encoded();
+        let honest_version = msg.version();
+        msg.corrupt(&Attack::SketchCorruption { cells: 32 });
+        assert_ne!(msg.version(), honest_version, "corruption must bump the version");
+        let forged_bytes = msg.encoded();
+        assert_ne!(forged_bytes, honest_bytes, "memo must not serve pre-corruption bytes");
+        assert_eq!(msg.encoded_len(), forged_bytes.len());
+        let decoded = dynagg_sketch::codec::decode_ages(&forged_bytes).unwrap();
+        assert_eq!(Arc::new(decoded), msg, "forged payload round-trips exactly");
     }
 
     #[test]

@@ -36,14 +36,34 @@ use dynagg_sketch::cutoff::Cutoff;
 use dynagg_sketch::hash::SplitMix64;
 use std::sync::Arc;
 
+/// Min-merge `msg` into a copy-on-write matrix: in place when `ages` is
+/// the sole holder, otherwise a single fused pass building the merged
+/// matrix into a fresh allocation ([`AgeMatrix::merged_with`]) rather
+/// than `Arc::make_mut`'s copy-then-rewrite.
+#[inline]
+fn merge_cow(ages: &mut Arc<AgeMatrix>, msg: &AgeMatrix) {
+    match Arc::get_mut(ages) {
+        Some(own) => own.merge_min(msg),
+        None => *ages = Arc::new(ages.merged_with(msg)),
+    }
+}
+
 /// One host's Count-Sketch-Reset state.
+///
+/// The matrix lives behind an [`Arc`] so that outgoing snapshots are a
+/// reference-count bump, not a deep copy: mutation goes through
+/// [`Arc::make_mut`], which clones lazily only while a previously emitted
+/// snapshot is still in flight (copy-on-write).
 #[derive(Debug, Clone)]
 pub struct CountSketchReset {
-    ages: AgeMatrix,
+    ages: Arc<AgeMatrix>,
     cutoff: Cutoff,
     push_pull: bool,
     /// identifiers sourced per unit of counted value (1 for plain counting).
     multiplier: u64,
+    /// Set by [`PushProtocol::hint_atomic_exchanges`]: replies may share
+    /// the post-merge state (see `on_message`).
+    atomic_exchanges: bool,
 }
 
 impl CountSketchReset {
@@ -61,7 +81,13 @@ impl CountSketchReset {
         let hasher = SplitMix64::new(cfg.sketch.hash_seed);
         let mut ages = AgeMatrix::new(cfg.sketch.bins, cfg.sketch.width);
         ages.claim_value(&hasher, host_id, multiplier);
-        Self { ages, cutoff: cfg.cutoff, push_pull: cfg.push_pull, multiplier: multiplier.max(1) }
+        Self {
+            ages: Arc::new(ages),
+            cutoff: cfg.cutoff,
+            push_pull: cfg.push_pull,
+            multiplier: multiplier.max(1),
+            atomic_exchanges: false,
+        }
     }
 
     /// A host registering `value` identifiers (dynamic sketch summation,
@@ -70,7 +96,13 @@ impl CountSketchReset {
         let hasher = SplitMix64::new(cfg.sketch.hash_seed);
         let mut ages = AgeMatrix::new(cfg.sketch.bins, cfg.sketch.width);
         ages.claim_value(&hasher, host_id, value);
-        Self { ages, cutoff: cfg.cutoff, push_pull: cfg.push_pull, multiplier: 1 }
+        Self {
+            ages: Arc::new(ages),
+            cutoff: cfg.cutoff,
+            push_pull: cfg.push_pull,
+            multiplier: 1,
+            atomic_exchanges: false,
+        }
     }
 
     /// The local age matrix (exposed for Fig. 6's counter-distribution
@@ -99,16 +131,20 @@ impl CountSketchReset {
     /// Start a round *without* peer selection: age the counters (Fig. 5
     /// step 2) and return the snapshot to ship. Composite protocols use
     /// this to pair the exchange with other sub-protocols on one peer.
+    /// The snapshot is a reference-count bump; the next mutation copies
+    /// only if the snapshot is still held.
     pub fn emit_snapshot(&mut self) -> Arc<AgeMatrix> {
-        self.ages.tick();
-        Arc::new(self.ages.clone())
+        Arc::make_mut(&mut self.ages).tick();
+        Arc::clone(&self.ages)
     }
 
     /// Absorb a received matrix (composite-protocol delivery path);
     /// returns the pre-merge snapshot to reply with when push-pull is on.
     pub fn absorb(&mut self, msg: &AgeMatrix) -> Option<Arc<AgeMatrix>> {
-        let reply = self.push_pull.then(|| Arc::new(self.ages.clone()));
-        self.ages.merge_min(msg);
+        let reply = self.push_pull.then(|| Arc::clone(&self.ages));
+        // With a reply alive this copies-on-write, preserving the
+        // pre-merge bytes the reply must carry.
+        merge_cow(&mut self.ages, msg);
         reply
     }
 }
@@ -126,11 +162,12 @@ impl PushProtocol for CountSketchReset {
 
     fn begin_round(&mut self, ctx: &mut RoundCtx<'_>, out: &mut Vec<(NodeId, Arc<AgeMatrix>)>) {
         // Fig. 5 step 2: increment all counters except own cells...
-        self.ages.tick();
+        Arc::make_mut(&mut self.ages).tick();
         // ...step 3: send the incremented array to a random peer. (The
-        // "send to Self" leg is the matrix we keep.)
+        // "send to Self" leg is the matrix we keep — the outgoing copy is
+        // a reference-count bump on it.)
         if let Some(peer) = ctx.sample_peer() {
-            out.push((peer, Arc::new(self.ages.clone())));
+            out.push((peer, Arc::clone(&self.ages)));
         }
     }
 
@@ -140,15 +177,27 @@ impl PushProtocol for CountSketchReset {
         msg: &Arc<AgeMatrix>,
         _ctx: &mut RoundCtx<'_>,
     ) -> Option<Arc<AgeMatrix>> {
-        // "the peer can also respond by sending its own array" (§IV-A);
-        // reply with the pre-merge view, then min-merge.
-        let reply = self.push_pull.then(|| Arc::new(self.ages.clone()));
-        self.ages.merge_min(msg);
-        reply
+        // "the peer can also respond by sending its own array" (§IV-A).
+        if self.atomic_exchanges {
+            // Under atomic exchanges, replying with the *post-merge* array
+            // is observationally identical to the pre-merge snapshot: the
+            // initiator's state already dominates the message it sent, so
+            // join(initiator, pre ⊔ sent) = join(initiator, pre). That
+            // makes the reply a reference-count bump instead of a copy.
+            merge_cow(&mut self.ages, msg);
+            self.push_pull.then(|| Arc::clone(&self.ages))
+        } else {
+            // A discrete-event engine may let the initiator tick while the
+            // reply is in flight, so the reply must pin the pre-merge
+            // bytes; the merge then builds into a fresh allocation.
+            let reply = self.push_pull.then(|| Arc::clone(&self.ages));
+            merge_cow(&mut self.ages, msg);
+            reply
+        }
     }
 
     fn on_reply(&mut self, _from: NodeId, msg: &Arc<AgeMatrix>, _ctx: &mut RoundCtx<'_>) {
-        self.ages.merge_min(msg);
+        merge_cow(&mut self.ages, msg);
     }
 
     fn end_round(&mut self, _ctx: &mut RoundCtx<'_>) {}
@@ -161,7 +210,11 @@ impl PushProtocol for CountSketchReset {
         // A signing-off host stops pinning its cells; they will age out at
         // all peers within f(k) rounds. (Silent failures skip this — the
         // healing still happens, which is the whole point.)
-        self.ages.release_all();
+        Arc::make_mut(&mut self.ages).release_all();
+    }
+
+    fn hint_atomic_exchanges(&mut self) {
+        self.atomic_exchanges = true;
     }
 }
 

@@ -146,6 +146,21 @@ pub trait PushProtocol: Estimator {
     /// failures never call this — that is the failure mode the paper's
     /// dynamic protocols exist to survive.
     fn depart_gracefully(&mut self) {}
+
+    /// Engine guarantee: every message, its same-round reply, and both
+    /// merges happen atomically — the initiator cannot advance local time
+    /// (tick, start a new round) between emitting a message and absorbing
+    /// its reply. The lockstep engine calls this once per node; the
+    /// discrete-event engine never does (a reply may cross a timer
+    /// firing in flight).
+    ///
+    /// Protocols whose state forms a join-semilattice under merge may
+    /// exploit the guarantee: replying with the *post-merge* state is
+    /// then observationally identical to the pre-merge snapshot (the
+    /// initiator already holds everything it sent), which turns the
+    /// reply from a deep copy into a reference-count bump. The default
+    /// ignores the hint.
+    fn hint_atomic_exchanges(&mut self) {}
 }
 
 /// An atomic push/pull exchange protocol.

@@ -66,6 +66,15 @@ pub trait WireMessage: Sized {
         self.encode(&mut out);
         out
     }
+
+    /// Length of [`Self::encoded`] without materializing the buffer.
+    ///
+    /// The default pays for a throwaway encode; sketch payloads override
+    /// this with the codec's version-stamped length memo so measured wire
+    /// accounting stays O(1) per fan-out partner.
+    fn encoded_len(&self) -> usize {
+        self.encoded().len()
+    }
 }
 
 fn need(bytes: &[u8], n: usize) -> Result<(), WireError> {
@@ -170,6 +179,10 @@ impl WireMessage for Arc<AgeMatrix> {
     fn decode(bytes: &[u8]) -> Result<Self, WireError> {
         Ok(Arc::new(codec::decode_ages(bytes)?))
     }
+
+    fn encoded_len(&self) -> usize {
+        codec::encoded_len_ages(self)
+    }
 }
 
 impl WireMessage for Arc<Pcsa> {
@@ -179,6 +192,12 @@ impl WireMessage for Arc<Pcsa> {
 
     fn decode(bytes: &[u8]) -> Result<Self, WireError> {
         Ok(Arc::new(codec::decode_pcsa(bytes)?))
+    }
+
+    fn encoded_len(&self) -> usize {
+        // PCSA's encoding is geometry-determined: 5-byte header plus the
+        // byte-padded registers — no need to touch the payload.
+        5 + self.wire_bytes()
     }
 }
 

@@ -54,5 +54,5 @@ pub use registry::{
 pub use spec::{
     AdversarySpec, AsyncSpec, CliqueDrift, DriftSpec, Engine, EnvSpec, LatencySpec, Metric,
     OutputSpec, Probe, ProtocolSpec, Report, ScenarioSpec, ShardFallback, ShardsSpec, Sweep,
-    SweepAxis, ValueSpec,
+    SweepAxis, ValueSpec, WireAccounting,
 };

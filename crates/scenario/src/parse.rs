@@ -10,6 +10,7 @@ use crate::error::ScenarioError;
 use crate::spec::{
     AdversarySpec, AsyncSpec, CliqueDrift, DriftSpec, Engine, EnvSpec, LatencySpec, Metric,
     OutputSpec, Probe, ProtocolSpec, Report, ScenarioSpec, ShardsSpec, Sweep, SweepAxis, ValueSpec,
+    WireAccounting,
 };
 use dynagg_core::adversary::Attack;
 use dynagg_core::extremum::ExtremumMode;
@@ -39,6 +40,7 @@ impl ScenarioSpec {
             "rounds",
             "trials",
             "engine",
+            "wire",
             "truth",
             "loss",
             "async",
@@ -64,6 +66,13 @@ impl ScenarioSpec {
             Some("async") => Engine::Async,
             Some(other) => {
                 return Err(ScenarioError::UnknownName { what: "engine", name: other.into() })
+            }
+        };
+        let wire = match top.opt_str("wire")? {
+            None | Some("priced") => WireAccounting::Priced,
+            Some("measured") => WireAccounting::Measured,
+            Some(other) => {
+                return Err(ScenarioError::UnknownName { what: "wire", name: other.into() })
             }
         };
         let asynchrony = match top.opt_table("async")? {
@@ -123,6 +132,7 @@ impl ScenarioSpec {
             rounds,
             trials,
             engine,
+            wire,
             asynchrony,
             env,
             values,

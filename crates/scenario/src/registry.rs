@@ -11,7 +11,7 @@
 use crate::error::ScenarioError;
 use crate::spec::{
     topology_info, AdversarySpec, Engine, EnvSpec, LatencySpec, Probe, ProtocolSpec, Report,
-    ScenarioSpec, ValueSpec,
+    ScenarioSpec, ValueSpec, WireAccounting,
 };
 use dynagg_core::adaptive::AdaptiveRevert;
 use dynagg_core::adversary::{Adversarial, Corruptible};
@@ -503,17 +503,21 @@ fn run_push<P, F, G>(
     probe: Option<G>,
 ) -> TrialOutput
 where
-    P: PushProtocol,
+    P: PushProtocol + 'static,
+    P::Message: WireMessage,
     F: FnMut(NodeId, f64) -> P,
     G: Fn(&P) -> f64,
 {
-    let sim = base_builder(spec, seed, n)
+    let mut sim = base_builder(spec, seed, n)
         .protocol(factory)
         .truth(spec.truth)
         .failure(spec.failure)
         .message_loss(spec.loss)
         .partition(partition_table(spec, n))
         .build();
+    if spec.wire == WireAccounting::Measured {
+        sim = sim.with_wire_meter(measured_frame_bytes::<P>);
+    }
     let mut out = match probe {
         None => TrialOutput { series: sim.run(rounds), counter_samples: None, probe: None },
         Some(read) => {
@@ -529,7 +533,9 @@ where
             }
         }
     };
-    price_wire(&mut out.series, &spec.protocol, n, seed);
+    if spec.wire == WireAccounting::Priced {
+        price_wire(&mut out.series, &spec.protocol, n, seed);
+    }
     out
 }
 
@@ -585,20 +591,8 @@ where
     F: FnMut(NodeId, f64) -> P + 'static,
 {
     let a = spec.asynchrony.unwrap_or_default();
-    let mut cfg = AsyncConfig::new(seed);
-    cfg.interval_ms = a.interval_ms;
-    cfg.jitter = a.jitter;
-    cfg.latency = match a.latency {
-        LatencySpec::Constant { ms } => LatencyModel::Constant { ms },
-        LatencySpec::Uniform { lo_ms, hi_ms } => LatencyModel::Uniform { lo_ms, hi_ms },
-        LatencySpec::Exponential { mean_ms } => LatencyModel::Exponential { mean_ms },
-    };
-    cfg.loss = spec.loss;
-    cfg.sample_every_ms = a.sample_every_ms.unwrap_or(a.interval_ms);
-    let value_gen: ValueFn = match spec.values {
-        ValueSpec::Paper => Box::new(|rng, _| rng.gen_range(0.0..100.0)),
-        ValueSpec::Constant(x) => Box::new(move |_, _| x),
-    };
+    let cfg = async_net_config(spec, seed);
+    let value_gen = async_value_gen(spec);
     let drift = a.drift;
     // `shards = 1` (or an absent key) keeps the sequential engine, whose
     // pinned digests predate sharding; `shards ≥ 2` runs the sharded
@@ -638,6 +632,30 @@ where
     net.into_series()
 }
 
+/// The `[async]` table resolved to an engine configuration.
+fn async_net_config(spec: &ScenarioSpec, seed: u64) -> AsyncConfig {
+    let a = spec.asynchrony.unwrap_or_default();
+    let mut cfg = AsyncConfig::new(seed);
+    cfg.interval_ms = a.interval_ms;
+    cfg.jitter = a.jitter;
+    cfg.latency = match a.latency {
+        LatencySpec::Constant { ms } => LatencyModel::Constant { ms },
+        LatencySpec::Uniform { lo_ms, hi_ms } => LatencyModel::Uniform { lo_ms, hi_ms },
+        LatencySpec::Exponential { mean_ms } => LatencyModel::Exponential { mean_ms },
+    };
+    cfg.loss = spec.loss;
+    cfg.sample_every_ms = a.sample_every_ms.unwrap_or(a.interval_ms);
+    cfg
+}
+
+/// The spec's initial-value generator in the async engine's boxed form.
+fn async_value_gen(spec: &ScenarioSpec) -> ValueFn {
+    match spec.values {
+        ValueSpec::Paper => Box::new(|rng, _| rng.gen_range(0.0..100.0)),
+        ValueSpec::Constant(x) => Box::new(move |_, _| x),
+    }
+}
+
 /// Fill a lockstep series' `wire_bytes` column. The lockstep engines
 /// count raw payload bytes and never encode frames, so the registry
 /// prices each message at the protocol's [`wire_cost`] plus the async
@@ -649,6 +667,18 @@ fn price_wire(series: &mut Series, protocol: &ProtocolSpec, n: usize, seed: u64)
     for r in &mut series.rounds {
         r.wire_bytes = r.messages * per_msg;
     }
+}
+
+/// The push engine's `wire = "measured"` meter: the message's actual
+/// codec size (via the version-stamped encode memo for sketch payloads —
+/// one `Arc` snapshot fanned to `k` partners is encoded once) plus the
+/// same frame header `AsyncNet` frames carry.
+fn measured_frame_bytes<P>(msg: &P::Message) -> u64
+where
+    P: PushProtocol,
+    P::Message: WireMessage,
+{
+    (msg.encoded_len() + FRAME_HEADER_BYTES) as u64
 }
 
 /// Per-message wire cost of a protocol as the registry would build it for
@@ -732,24 +762,64 @@ fn run_counter_cdf(
     cfg: ResetConfig,
     multiplier: u64,
 ) -> TrialOutput {
+    let factory =
+        move |id: NodeId, _: f64| CountSketchReset::with_multiplier(cfg, u64::from(id), multiplier);
+    let width = cfg.sketch.width as usize + 1;
+    let mut samples = vec![vec![0u64; usize::from(INF_AGE)]; width];
+    let read_node = |samples: &mut Vec<Vec<u64>>, node: &CountSketchReset| {
+        for (_, k, age) in node.ages().finite_cells() {
+            samples[usize::from(k)][usize::from(age)] += 1;
+        }
+    };
+
+    if spec.engine == Engine::Async {
+        // The sequential async engine owns every node, so the post-run
+        // readout walks the same matrices a lockstep run would
+        // (validation rejects `shards ≥ 2`, whose nodes live in worker
+        // threads).
+        let a = spec.asynchrony.unwrap_or_default();
+        let drift = a.drift;
+        let mut net = AsyncNet::new(
+            n,
+            async_net_config(spec, seed),
+            async_value_gen(spec),
+            Box::new(move |id| drift.model_for(id, n)),
+            Box::new(factory),
+        )
+        .with_membership(build_env(&spec.env, n, seed))
+        .with_truth(spec.truth)
+        .with_failure(spec.failure)
+        .with_partition(partition_table(spec, n));
+        net.run(rounds);
+        for (_, node) in net.nodes() {
+            read_node(&mut samples, node);
+        }
+        return TrialOutput {
+            series: net.into_series(),
+            counter_samples: Some(samples),
+            probe: None,
+        };
+    }
+
     let mut sim = base_builder(spec, seed, n)
-        .protocol(move |id, _| CountSketchReset::with_multiplier(cfg, u64::from(id), multiplier))
+        .protocol(factory)
         .truth(spec.truth)
         .failure(spec.failure)
         .message_loss(spec.loss)
         .partition(partition_table(spec, n))
         .build();
+    if spec.wire == WireAccounting::Measured {
+        sim = sim.with_wire_meter(measured_frame_bytes::<CountSketchReset>);
+    }
     for _ in 0..rounds {
         sim.step();
     }
-    let width = cfg.sketch.width as usize + 1;
-    let mut samples = vec![vec![0u64; usize::from(INF_AGE)]; width];
     for (_, node) in sim.nodes() {
-        for (_, k, age) in node.ages().finite_cells() {
-            samples[usize::from(k)][usize::from(age)] += 1;
-        }
+        read_node(&mut samples, node);
     }
     let mut series = sim.series().clone();
-    price_wire(&mut series, &spec.protocol, n, seed);
+    if spec.wire == WireAccounting::Priced {
+        price_wire(&mut series, &spec.protocol, n, seed);
+    }
     TrialOutput { series, counter_samples: Some(samples), probe: None }
 }

@@ -36,6 +36,21 @@ pub enum Engine {
     Async,
 }
 
+/// How the `wire_bytes` column is accounted (the top-level `wire` key).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireAccounting {
+    /// Price every message once per round from a fresh node's encoded
+    /// size ([`crate::registry`]'s `wire_cost`): cheap, deterministic,
+    /// but blind to how payloads grow as counters populate.
+    #[default]
+    Priced,
+    /// Measure each message's actual encoded size (codec bytes + frame
+    /// header) at emission time, via the version-stamped encode memo.
+    /// Lockstep engines only: the async engine already measures real
+    /// frames, and the pairwise engine exchanges state by reference.
+    Measured,
+}
+
 /// Per-link latency distribution for the async engine.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum LatencySpec {
@@ -450,8 +465,9 @@ pub enum Metric {
     /// Payload bytes sent (raw in-memory accounting, engine-comparable).
     Bytes,
     /// Wire bytes sent (frame header + codec): measured frames under the
-    /// async engine, `registry::wire_cost` pricing under the lockstep
-    /// engines.
+    /// async engine; under the lockstep engines, `registry::wire_cost`
+    /// pricing by default or per-message measurement with
+    /// `wire = "measured"` ([`WireAccounting::Measured`]).
     WireBytes,
     /// Mean experienced group size (trace runs).
     MeanGroupSize,
@@ -638,6 +654,9 @@ pub struct ScenarioSpec {
     pub trials: u64,
     /// Engine flavour.
     pub engine: Engine,
+    /// How `wire_bytes` is accounted (priced estimate vs. per-message
+    /// measurement). Default [`WireAccounting::Priced`].
+    pub wire: WireAccounting,
     /// Asynchronous-engine timing (the `[async]` table). Only meaningful
     /// — and only accepted — with [`Engine::Async`]; `None` under the
     /// async engine means [`AsyncSpec::default`].
@@ -680,6 +699,7 @@ impl ScenarioSpec {
             rounds: None,
             trials: 1,
             engine: Engine::Push,
+            wire: WireAccounting::default(),
             asynchrony: None,
             env,
             values: ValueSpec::Paper,
@@ -742,6 +762,19 @@ impl ScenarioSpec {
                 ),
             });
         }
+        if self.wire == WireAccounting::Measured && self.engine != Engine::Push {
+            return Err(ScenarioError::Unsupported {
+                reason: match self.engine {
+                    Engine::Async => "wire = \"measured\" applies to lockstep rounds; the async \
+                                      engine already reports measured frame bytes — drop the key"
+                        .into(),
+                    _ => "wire = \"measured\" is not implemented for the pairwise engine: \
+                          exchanges pass state by reference and never encode; use engine = \
+                          \"push\""
+                        .into(),
+                },
+            });
+        }
         if self.engine == Engine::Pairwise && !self.protocol.supports_pairwise() {
             return Err(ScenarioError::Unsupported {
                 reason: format!(
@@ -758,10 +791,29 @@ impl ScenarioSpec {
                         .into(),
                 });
             }
-            if self.engine != Engine::Push {
-                return Err(ScenarioError::Unsupported {
-                    reason: "report = \"counter-cdf\" requires the push engine".into(),
-                });
+            match self.engine {
+                Engine::Push => {}
+                Engine::Async => {
+                    // The sequential async engine owns every node and can
+                    // read their age matrices after the run; the sharded
+                    // engine moves nodes into worker threads.
+                    let a = self.asynchrony.unwrap_or_default();
+                    if matches!(a.shards, Some(ShardsSpec::Auto) | Some(ShardsSpec::Count(2..))) {
+                        return Err(ScenarioError::Unsupported {
+                            reason: "report = \"counter-cdf\" reads per-node age matrices, \
+                                     which the sharded async engine distributes across worker \
+                                     threads; use shards = 1 (or drop the key)"
+                                .into(),
+                        });
+                    }
+                }
+                Engine::Pairwise => {
+                    return Err(ScenarioError::Unsupported {
+                        reason: "report = \"counter-cdf\" requires the push engine or the \
+                                 sequential async engine"
+                            .into(),
+                    });
+                }
             }
             if self.trials != 1 {
                 return Err(ScenarioError::Unsupported {

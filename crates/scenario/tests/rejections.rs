@@ -383,12 +383,61 @@ fn async_range_violations_are_typed() {
 }
 
 #[test]
-fn async_engine_with_counter_cdf_report_is_unsupported() {
-    let src = replace(
+fn counter_cdf_under_async_requires_the_sequential_engine() {
+    let base = replace(
         VALID_ASYNC,
         "[protocol]\nname = \"push-sum-revert\"\nlambda = 0.01",
         "[protocol]\nname = \"count-sketch-reset\"\n\n[output]\nreport = \"counter-cdf\"",
     );
+    // No shards key (and shards = 1): the sequential engine owns every
+    // node, so the post-run counter readout is supported.
+    ScenarioSpec::from_toml_str(&base).unwrap();
+    let one = replace(&base, "interval_ms = 100", "interval_ms = 100\nshards = 1");
+    ScenarioSpec::from_toml_str(&one).unwrap();
+    // Sharded engines move nodes into worker threads: typed rejection.
+    for shards in ["shards = 2", "shards = \"auto\""] {
+        let src = replace(&base, "interval_ms = 100", &format!("interval_ms = 100\n{shards}"));
+        assert!(
+            matches!(ScenarioSpec::from_toml_str(&src), Err(ScenarioError::Unsupported { .. })),
+            "`{shards}` must reject counter-cdf"
+        );
+    }
+}
+
+// ── wire accounting ─────────────────────────────────────────────────────
+
+#[test]
+fn measured_wire_parses_on_the_push_engine() {
+    let src = replace(VALID, "rounds = 10", "rounds = 10\nwire = \"measured\"");
+    let spec = ScenarioSpec::from_toml_str(&src).unwrap();
+    assert_eq!(spec.wire, dynagg_scenario::WireAccounting::Measured);
+    // `priced` and an absent key are the same default.
+    let src = replace(VALID, "rounds = 10", "rounds = 10\nwire = \"priced\"");
+    assert_eq!(
+        ScenarioSpec::from_toml_str(&src).unwrap().wire,
+        ScenarioSpec::from_toml_str(VALID).unwrap().wire,
+    );
+}
+
+#[test]
+fn unknown_wire_name_is_typed() {
+    let src = replace(VALID, "rounds = 10", "rounds = 10\nwire = \"metered\"");
+    match ScenarioSpec::from_toml_str(&src) {
+        Err(ScenarioError::UnknownName { what: "wire", name }) => assert_eq!(name, "metered"),
+        other => panic!("expected UnknownName {{ wire }}, got {other:?}"),
+    }
+}
+
+#[test]
+fn measured_wire_under_async_is_unsupported() {
+    let src = replace(VALID_ASYNC, "engine = \"async\"", "engine = \"async\"\nwire = \"measured\"");
+    assert!(matches!(ScenarioSpec::from_toml_str(&src), Err(ScenarioError::Unsupported { .. })));
+}
+
+#[test]
+fn measured_wire_under_pairwise_is_unsupported() {
+    let src =
+        replace(VALID, "rounds = 10", "rounds = 10\nengine = \"pairwise\"\nwire = \"measured\"");
     assert!(matches!(ScenarioSpec::from_toml_str(&src), Err(ScenarioError::Unsupported { .. })));
 }
 

@@ -213,7 +213,14 @@ impl<P, F: FnMut(NodeId, f64) -> P> TypedBuilder<P, F> {
     where
         P: PushProtocol,
     {
-        Simulation { core: self.into_parts(), out_buf: Vec::new(), queue: Vec::new() }
+        let mut core = self.into_parts();
+        // The lockstep engine delivers message → reply → both merges
+        // within one phase of one round; no node can tick in between.
+        // Declare that, so lattice protocols may share post-merge replies.
+        for node in core.nodes.iter_mut().flatten() {
+            node.hint_atomic_exchanges();
+        }
+        Simulation { core, out_buf: Vec::new(), queue: Vec::new(), wire_meter: None }
     }
 
     /// Build an atomic push/pull simulation.
@@ -333,7 +340,7 @@ impl<P, F: FnMut(NodeId, f64) -> P> SimCore<P, F> {
         id
     }
 
-    fn record_stats(&mut self, messages: u64, bytes: u64)
+    fn record_stats(&mut self, messages: u64, bytes: u64, wire: u64)
     where
         P: Estimator,
     {
@@ -364,9 +371,10 @@ impl<P, F: FnMut(NodeId, f64) -> P> SimCore<P, F> {
                 }
             }
         }
-        // Lockstep engines never encode frames; the scenario registry
-        // prices wire bytes per message via `registry::wire_cost`.
-        let mut stats = acc.finish(self.round, self.alive.len(), messages, bytes, 0, group_size);
+        // `wire` is 0 unless the engine measured frames (the push
+        // engine's optional wire meter); the scenario registry prices
+        // unmeasured rounds per message via `registry::wire_cost`.
+        let mut stats = acc.finish(self.round, self.alive.len(), messages, bytes, wire, group_size);
         stats.mass_audit = self.mass_audit();
         stats.islands = self.partition.islands();
         self.series.push(stats);
@@ -399,11 +407,21 @@ impl<P, F: FnMut(NodeId, f64) -> P> SimCore<P, F> {
     }
 }
 
+/// Per-message wire pricing hook; see
+/// [`Simulation::with_wire_meter`].
+type WireMeter<M> = Box<dyn Fn(&M) -> u64>;
+
 /// A message-passing gossip simulation.
 pub struct Simulation<P: PushProtocol, F> {
     core: SimCore<P, F>,
     out_buf: Vec<(NodeId, P::Message)>,
     queue: Vec<(NodeId, NodeId, P::Message)>,
+    /// Optional per-message wire meter: when installed, every sent
+    /// message (and same-round reply) is priced through it and the sum
+    /// lands in the round's `wire_bytes`; when absent, `wire_bytes`
+    /// stays 0 for the caller to fill (the scenario registry's priced
+    /// accounting).
+    wire_meter: Option<WireMeter<P::Message>>,
 }
 
 impl<P: PushProtocol, F: FnMut(NodeId, f64) -> P> Simulation<P, F> {
@@ -442,6 +460,15 @@ impl<P: PushProtocol, F: FnMut(NodeId, f64) -> P> Simulation<P, F> {
         &self.core.series
     }
 
+    /// Install a per-message wire meter (e.g. the codec's encoded size
+    /// plus a frame header). With a meter, the engine measures every
+    /// message it delivers — capturing payload growth the registry's
+    /// fresh-node pricing cannot see.
+    pub fn with_wire_meter(mut self, meter: impl Fn(&P::Message) -> u64 + 'static) -> Self {
+        self.wire_meter = Some(Box::new(meter));
+        self
+    }
+
     /// Run `rounds` iterations, returning the cumulative series.
     pub fn run(mut self, rounds: u64) -> Series {
         for _ in 0..rounds {
@@ -467,7 +494,10 @@ impl<P: PushProtocol, F: FnMut(NodeId, f64) -> P> Simulation<P, F> {
         }
         core.victims = victims;
         for _ in 0..joins {
-            core.join_one();
+            let id = core.join_one();
+            if let Some(node) = core.nodes[id as usize].as_mut() {
+                node.hint_atomic_exchanges();
+            }
         }
 
         // 2. environment preparation (the partition table advances with
@@ -479,6 +509,7 @@ impl<P: PushProtocol, F: FnMut(NodeId, f64) -> P> Simulation<P, F> {
         // 3. emission (id order; determinism comes from the seeded RNG)
         let mut messages = 0u64;
         let mut bytes = 0u64;
+        let mut wire = 0u64;
         self.queue.clear();
         for id in 0..core.nodes.len() as NodeId {
             if !core.alive.contains(id) {
@@ -501,6 +532,9 @@ impl<P: PushProtocol, F: FnMut(NodeId, f64) -> P> Simulation<P, F> {
         for (src, dst, msg) in self.queue.drain(..) {
             messages += 1;
             bytes += P::message_bytes(&msg) as u64;
+            if let Some(meter) = &self.wire_meter {
+                wire += meter(&msg);
+            }
             if core.loss > 0.0 && core.engine_rng.gen::<f64>() < core.loss {
                 continue; // dropped by the radio link
             }
@@ -518,9 +552,17 @@ impl<P: PushProtocol, F: FnMut(NodeId, f64) -> P> Simulation<P, F> {
                     RoundCtx { round: core.round, rng: &mut core.engine_rng, peers: &mut sampler };
                 node.on_message(src, &msg, &mut ctx)
             };
+            // Release the delivered message before the reply lands: for
+            // reference-counted payloads this lets the initiator's
+            // `on_reply` mutate its state in place instead of
+            // copying-on-write under the outstanding snapshot.
+            drop(msg);
             if let Some(reply) = reply {
                 messages += 1;
                 bytes += P::message_bytes(&reply) as u64;
+                if let Some(meter) = &self.wire_meter {
+                    wire += meter(&reply);
+                }
                 if core.alive.contains(src) {
                     let node = core.nodes[src as usize].as_mut().expect("alive");
                     let mut sampler = EnvSampler::new(core.env.as_ref(), &core.alive, src)
@@ -549,7 +591,7 @@ impl<P: PushProtocol, F: FnMut(NodeId, f64) -> P> Simulation<P, F> {
         }
 
         // 6. metrics
-        core.record_stats(messages, bytes);
+        core.record_stats(messages, bytes, wire);
         core.round += 1;
     }
 }
@@ -647,7 +689,7 @@ impl<P: PairwiseProtocol, F: FnMut(NodeId, f64) -> P> PairwiseSimulation<P, F> {
             core.nodes[id as usize].as_mut().expect("alive").end_round(core.round);
         }
 
-        core.record_stats(messages, bytes);
+        core.record_stats(messages, bytes, 0);
         core.round += 1;
     }
 }

@@ -17,32 +17,146 @@
 //! When the last source of a cell departs, the cell's minimum age grows by
 //! exactly one per round everywhere, crosses the cutoff, and the bit
 //! expires: the estimate self-heals.
+//!
+//! # Lazy aging
+//!
+//! Aging is global — every counter moves by the same +1 each round — so
+//! storing ages eagerly wastes an O(m·l) write pass per host per round.
+//! This implementation stores a per-cell **birth stamp** plus one
+//! matrix-global clock `now`, with the invariant
+//!
+//! ```text
+//! age(cell) = min(now + 1 − stamp, MAX_FINITE_AGE)     stamp ∈ [1, now+1]
+//! stamp = 0  ⇔  age = INF_AGE (never sourced)
+//! ```
+//!
+//! so [`tick`](AgeMatrix::tick) is a clock bump plus re-pinning the
+//! O(own) sourced cells, and [`merge_min`](AgeMatrix::merge_min) becomes
+//! a branchless element-wise **max of stamps** (larger stamp = younger
+//! cell; 0 is the identity, preserving the ∞ sentinel). Min-of-ages and
+//! max-of-stamps agree even past the saturation boundary because
+//! clamping is monotone: `clamp(min(e₁,e₂)) = min(clamp(e₁), clamp(e₂))`.
+//! When two matrices' clocks differ (a decoded wire view restarts at the
+//! base clock), the peer's stamps are translated by the clock delta
+//! first, which preserves each cell's true elapsed age exactly.
+//!
+//! Stamps are `u16`; the clock starts at [`MAX_FINITE_AGE`] so every
+//! representable age has a stamp ≥ 1, and once the clock nears `u16::MAX`
+//! (once per ~65 000 ticks) the matrix *rebases*: stamps shift down in
+//! one pass and the clock returns to base, preserving every clamped age.
+//! The eager representation this replaced is retained verbatim as
+//! [`crate::reference::RefAgeMatrix`] and the two are proven
+//! indistinguishable by the differential suite in
+//! `tests/lazy_equivalence.rs`.
+//!
+//! Each matrix also carries a **mutation version** ([`AgeMatrix::version`])
+//! keying the codec's per-snapshot encode memo: a host fanning one
+//! `Arc<AgeMatrix>` snapshot to k partners encodes it once.
 
 use crate::cutoff::Cutoff;
 use crate::estimate;
 use crate::hash::Hash64;
 use crate::pcsa::Pcsa;
 use crate::rho::bin_and_rho;
+use std::sync::{Arc, Mutex};
 
 /// Sentinel for "never sourced": behaves as +∞ under `min`.
 pub const INF_AGE: u8 = u8::MAX;
 
-/// Largest representable finite age; [`AgeMatrix::tick`] saturates here so a
-/// very old cell never wraps around into looking fresh. All practical
-/// cutoffs are far below this.
+/// Largest representable finite age; ages saturate here so a very old
+/// cell never wraps around into looking fresh. All practical cutoffs are
+/// far below this.
 pub const MAX_FINITE_AGE: u8 = u8::MAX - 1;
 
-/// An `m × (L+1)` matrix of age counters with min-merge semantics.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+/// The clock value of a fresh (or freshly decoded) matrix. Starting at
+/// `MAX_FINITE_AGE` keeps every stamp for ages `0..=MAX_FINITE_AGE`
+/// at least 1, so stamp 0 can mean ∞ unambiguously.
+const BASE_NOW: u16 = MAX_FINITE_AGE as u16;
+
+/// Clock value that triggers a rebase at the next [`AgeMatrix::tick`],
+/// leaving headroom so `now + 2` can never overflow between rebases.
+const REBASE_AT: u16 = 0xFF00;
+
+/// Clamped age of a stamp under clock `now` (`INF_AGE` for the 0 sentinel).
+#[inline]
+fn age_of(now: u16, s: u16) -> u8 {
+    if s == 0 {
+        INF_AGE
+    } else {
+        (u32::from(now) + 1 - u32::from(s)).min(u32::from(MAX_FINITE_AGE)) as u8
+    }
+}
+
+/// Codec memo for one matrix: the encoded payload (and its length) of the
+/// matrix state at `version`. Interior-mutable behind `&self` because
+/// encoding happens on shared snapshots; never shared between matrix
+/// objects (clones start empty), so a stale hit is impossible — any
+/// mutation holds `&mut` and bumps the owner's version first.
+#[derive(Debug, Default)]
+pub(crate) struct EncodeSlot {
+    /// Matrix version the memo was computed at (0 = empty; versions
+    /// start at 1).
+    pub(crate) version: u64,
+    /// Encoded length in bytes (0 = not yet computed; real payloads are
+    /// never empty — the header alone is 5 bytes).
+    pub(crate) len: usize,
+    /// Full encoded payload, if one was built (length-only probes fill
+    /// just `len`).
+    pub(crate) bytes: Option<Arc<Vec<u8>>>,
+}
+
+/// An `m × (L+1)` matrix of age counters with min-merge semantics,
+/// stored lazily as birth stamps under a matrix-global clock.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
 pub struct AgeMatrix {
     m: u32,
     l: u8,
-    /// Row-major `m` rows of `l + 1` counters; `INF_AGE` = never sourced.
-    ages: Box<[u8]>,
-    /// Flat indices of cells this host sources (kept pinned at 0).
+    /// Matrix-global clock; a cell's age is `now + 1 − stamp`, clamped.
+    now: u16,
+    /// Register-major (column-major) birth stamps: `l + 1` columns of `m`
+    /// stamps each, so column `k` — the cells the run-length scan reads —
+    /// is contiguous. 0 = never sourced. The wire cell stream stays
+    /// bin-major; [`dump_ages`](AgeMatrix::dump_ages) transposes.
+    stamps: Box<[u16]>,
+    /// Flat indices of cells this host sources (kept pinned at age 0).
     /// Sorted and deduplicated.
     own: Vec<u32>,
+    /// Mutation version: bumped by every `&mut` method that can change
+    /// observable state. Keys [`EncodeSlot`].
+    version: u64,
+    cache: Mutex<EncodeSlot>,
 }
+
+impl Clone for AgeMatrix {
+    fn clone(&self) -> Self {
+        Self {
+            m: self.m,
+            l: self.l,
+            now: self.now,
+            stamps: self.stamps.clone(),
+            own: self.own.clone(),
+            version: self.version,
+            // Memos are per-object: a clone starts cold rather than
+            // sharing a slot whose owner may mutate away from it.
+            cache: Mutex::new(EncodeSlot::default()),
+        }
+    }
+}
+
+impl PartialEq for AgeMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.m == other.m
+            && self.l == other.l
+            && self.own == other.own
+            && self
+                .stamps
+                .iter()
+                .zip(other.stamps.iter())
+                .all(|(&a, &b)| age_of(self.now, a) == age_of(other.now, b))
+    }
+}
+
+impl Eq for AgeMatrix {}
 
 impl AgeMatrix {
     /// Empty matrix with `m` bins (power of two), `l + 1` counters per bin,
@@ -55,7 +169,15 @@ impl AgeMatrix {
         assert!(m.is_power_of_two(), "bin count must be a power of two");
         assert!(l > 0 && l <= crate::fm::MAX_WIDTH);
         let cells = (m as usize) * (usize::from(l) + 1);
-        Self { m, l, ages: vec![INF_AGE; cells].into_boxed_slice(), own: Vec::new() }
+        Self {
+            m,
+            l,
+            now: BASE_NOW,
+            stamps: vec![0u16; cells].into_boxed_slice(),
+            own: Vec::new(),
+            version: 1,
+            cache: Mutex::new(EncodeSlot::default()),
+        }
     }
 
     /// Number of bins `m`.
@@ -68,6 +190,24 @@ impl AgeMatrix {
         self.l
     }
 
+    /// Mutation version. Monotone per object within a lineage of `&mut`
+    /// calls; clones keep the version they were cloned at. Any call that
+    /// can change an observable (ages, ownership) assigns a fresh value —
+    /// including adversarial cell forgery, which goes through
+    /// [`claim_cell`](AgeMatrix::claim_cell).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    pub(crate) fn encode_cache(&self) -> &Mutex<EncodeSlot> {
+        &self.cache
+    }
+
+    #[inline]
+    fn bump(&mut self) {
+        self.version = self.version.wrapping_add(1);
+    }
+
     /// Counters per bin (`L + 1`).
     #[inline]
     fn row_len(&self) -> usize {
@@ -77,31 +217,42 @@ impl AgeMatrix {
     #[inline]
     fn flat(&self, bin: u32, k: u8) -> usize {
         debug_assert!(bin < self.m && k <= self.l);
-        (bin as usize) * self.row_len() + usize::from(k)
+        usize::from(k) * (self.m as usize) + bin as usize
     }
 
     /// Current age of cell `(bin, k)`; `INF_AGE` if never sourced.
     #[inline]
     pub fn age(&self, bin: u32, k: u8) -> u8 {
-        self.ages[self.flat(bin, k)]
+        age_of(self.now, self.stamps[self.flat(bin, k)])
     }
 
-    /// The raw row-major cell slice (`m` rows of `L + 1` ages). The wire
-    /// codec streams this directly instead of copying cell-by-cell.
-    #[inline]
-    pub fn cells(&self) -> &[u8] {
-        &self.ages
+    /// Append the bin-major clamped age bytes (the wire cell stream) to
+    /// `out` — the wire order is independent of the register-major storage.
+    /// The codec materializes this eager view at most once per
+    /// [`version`](AgeMatrix::version); tests use it to compare
+    /// representations.
+    pub fn dump_ages(&self, out: &mut Vec<u8>) {
+        out.reserve(self.stamps.len());
+        let m = self.m as usize;
+        let now = self.now;
+        for bin in 0..m {
+            out.extend(self.stamps[bin..].iter().step_by(m).map(|&s| age_of(now, s)));
+        }
     }
 
-    /// All `(bin, k, age)` triples with a finite age. Fig. 6 aggregates
-    /// these across hosts into per-`k` CDFs.
+    /// All `(bin, k, age)` triples with a finite age, in bin-major order.
+    /// Fig. 6 aggregates these across hosts into per-`k` CDFs.
     pub fn finite_cells(&self) -> impl Iterator<Item = (u32, u8, u8)> + '_ {
-        let row = self.row_len();
-        self.ages
-            .iter()
-            .enumerate()
-            .filter(|&(_, &a)| a != INF_AGE)
-            .map(move |(i, &a)| ((i / row) as u32, (i % row) as u8, a))
+        let m = self.m as usize;
+        let now = self.now;
+        (0..self.m).flat_map(move |bin| {
+            self.stamps[bin as usize..]
+                .iter()
+                .step_by(m)
+                .enumerate()
+                .filter(|&(_, &s)| s != 0)
+                .map(move |(k, &s)| (bin, k as u8, age_of(now, s)))
+        })
     }
 
     /// Claim cell `(bin, k)`: this host becomes a source, pinning the age
@@ -109,10 +260,11 @@ impl AgeMatrix {
     /// twice is a no-op (duplicate insensitivity).
     pub fn claim_cell(&mut self, bin: u32, k: u8) {
         let idx = self.flat(bin, k) as u32;
-        self.ages[idx as usize] = 0;
+        self.stamps[idx as usize] = self.now + 1;
         if let Err(pos) = self.own.binary_search(&idx) {
             self.own.insert(pos, idx);
         }
+        self.bump();
     }
 
     /// Claim the cell a plain OR-sketch would set for `id` — one identifier,
@@ -149,111 +301,266 @@ impl AgeMatrix {
     /// [`tick`]: AgeMatrix::tick
     pub fn release_all(&mut self) {
         self.own.clear();
+        self.bump();
     }
 
-    /// One gossip round of aging: every counter increments (saturating at
-    /// [`MAX_FINITE_AGE`]) *except* the cells this host sources, which stay
-    /// pinned at 0. (Fig. 5 step 2.)
+    /// One gossip round of aging (Fig. 5 step 2): every counter increments
+    /// (saturating at [`MAX_FINITE_AGE`]) *except* the cells this host
+    /// sources, which stay pinned at 0.
+    ///
+    /// O(own), not O(m·l): unsourced cells age implicitly through the
+    /// clock bump; only the pinned cells are rewritten.
     pub fn tick(&mut self) {
-        // Branchless increment so the loop vectorizes: +1 iff below the
-        // finite cap (which also leaves the INF sentinel untouched).
-        for a in self.ages.iter_mut() {
-            *a += u8::from(*a < MAX_FINITE_AGE);
+        if self.now >= REBASE_AT {
+            self.rebase();
         }
+        self.now += 1;
+        let pin = self.now + 1;
         for &idx in &self.own {
-            self.ages[idx as usize] = 0;
+            self.stamps[idx as usize] = pin;
         }
+        self.bump();
     }
 
-    /// Replace every counter from a flat row-major cell slice (wire
+    /// Shift every stamp down so the clock returns to [`BASE_NOW`],
+    /// preserving every clamped age (cells older than the clamp floor at
+    /// stamp 1, which reads as exactly [`MAX_FINITE_AGE`] — the value the
+    /// eager representation saturates to). Amortized cost ≈ one cell pass
+    /// per 65 000 ticks.
+    fn rebase(&mut self) {
+        let shift = self.now - BASE_NOW;
+        for s in self.stamps.iter_mut() {
+            *s = (*s).saturating_sub(shift).max(u16::from(*s != 0));
+        }
+        self.now = BASE_NOW;
+    }
+
+    /// Replace every counter from a flat bin-major cell slice (wire
     /// decoding). Clears ownership: ages arriving over the wire are a
-    /// peer's *view*, not sourcing duties.
+    /// peer's *view*, not sourcing duties. The clock restarts at base, so
+    /// a decoded matrix merges through the clock-translation path.
     ///
     /// # Panics
     /// Panics if `cells` does not match the matrix geometry.
     pub fn load_ages(&mut self, cells: &[u8]) {
-        assert_eq!(cells.len(), self.ages.len(), "cell count must match geometry");
-        self.ages.copy_from_slice(cells);
+        assert_eq!(cells.len(), self.stamps.len(), "cell count must match geometry");
+        self.now = BASE_NOW;
+        let m = self.m as usize;
+        let row = self.row_len();
+        // One mapping covers both kinds: age a → stamp 255 − a puts age 0
+        // at BASE_NOW + 1, age 254 at 1, and INF (255) at the 0 sentinel.
+        for (bin, ages) in cells.chunks_exact(row).enumerate() {
+            for (k, &a) in ages.iter().enumerate() {
+                self.stamps[k * m + bin] = u16::from(u8::MAX - a);
+            }
+        }
         self.own.clear();
+        self.bump();
     }
 
-    /// Element-wise min-merge of a peer's matrix (Fig. 5 step 5). Own cells
-    /// stay pinned at 0 automatically because 0 is the lattice bottom.
+    /// Element-wise min-merge of a peer's matrix (Fig. 5 step 5), computed
+    /// as a branchless word-level **max of birth stamps** (the compiler
+    /// lowers each loop to packed `u16` max). Own cells stay pinned at 0
+    /// automatically: their stamp `now + 1` is the lattice top.
+    ///
+    /// When the clocks differ (decoded views, hosts that missed rounds),
+    /// the peer's stamps are translated by the clock delta first — an
+    /// exact operation on each cell's true elapsed age, so merge results
+    /// are identical to the eager element-wise min.
     ///
     /// # Panics
     /// Panics on geometry mismatch.
     pub fn merge_min(&mut self, other: &AgeMatrix) {
         assert_eq!(self.m, other.m, "bin-count mismatch");
         assert_eq!(self.l, other.l, "width mismatch");
-        // Branch-free row-wise min: both slices have identical length, so
-        // the element loop compiles to packed byte-min instructions.
-        for (a, &b) in self.ages.iter_mut().zip(other.ages.iter()) {
-            *a = (*a).min(b);
+        if self.now == other.now {
+            // Aligned clocks — the lockstep common case: a pure lane max.
+            for (s, &o) in self.stamps.iter_mut().zip(other.stamps.iter()) {
+                *s = (*s).max(o);
+            }
+        } else if self.now > other.now {
+            // Peer clock behind (decoded views start at base): lift its
+            // stamps by the delta. No overflow: o ≤ other.now + 1, so
+            // o + d ≤ self.now + 1. The ∞ sentinel maps to itself.
+            let d = self.now - other.now;
+            for (s, &o) in self.stamps.iter_mut().zip(other.stamps.iter()) {
+                let t = if o == 0 { 0 } else { o + d };
+                *s = (*s).max(t);
+            }
+        } else {
+            // Peer clock ahead (this host missed rounds): lower its
+            // stamps, flooring finite cells at 1 — ages past the clamp
+            // stay exactly [`MAX_FINITE_AGE`], matching eager saturation.
+            let d = other.now - self.now;
+            for (s, &o) in self.stamps.iter_mut().zip(other.stamps.iter()) {
+                let t = o.saturating_sub(d).max(u16::from(o != 0));
+                *s = (*s).max(t);
+            }
+        }
+        self.bump();
+    }
+
+    /// The matrix [`merge_min`](AgeMatrix::merge_min) would leave behind,
+    /// built out of place: exactly `{ let mut c = self.clone(); c.merge_min(other); c }`
+    /// (same ages, ownership, and version), but writing each merged stamp
+    /// once into a fresh allocation instead of copying `self` and then
+    /// rewriting it. Copy-on-write holders use this when a snapshot still
+    /// pins the current allocation.
+    ///
+    /// # Panics
+    /// Panics on geometry mismatch.
+    pub fn merged_with(&self, other: &AgeMatrix) -> AgeMatrix {
+        assert_eq!(self.m, other.m, "bin-count mismatch");
+        assert_eq!(self.l, other.l, "width mismatch");
+        let pairs = self.stamps.iter().zip(other.stamps.iter());
+        let stamps: Box<[u16]> = if self.now == other.now {
+            pairs.map(|(&s, &o)| s.max(o)).collect()
+        } else if self.now > other.now {
+            let d = self.now - other.now;
+            pairs.map(|(&s, &o)| s.max(if o == 0 { 0 } else { o + d })).collect()
+        } else {
+            let d = other.now - self.now;
+            pairs.map(|(&s, &o)| s.max(o.saturating_sub(d).max(u16::from(o != 0)))).collect()
+        };
+        AgeMatrix {
+            m: self.m,
+            l: self.l,
+            now: self.now,
+            stamps,
+            own: self.own.clone(),
+            version: self.version.wrapping_add(1),
+            cache: Mutex::new(EncodeSlot::default()),
+        }
+    }
+
+    /// Lowest stamp a finite cell at register `k` may hold and still be
+    /// admitted by `cutoff`. Precomputing this per call site turns the
+    /// per-cell float compare of `Cutoff::admits` into one `u16` compare;
+    /// stamp 0 (∞) never passes because the floor is always ≥ 1.
+    fn stamp_floor(&self, cutoff: &Cutoff, k: u8) -> u16 {
+        match cutoff.threshold(k) {
+            // Infinite cutoff: every finite stamp is live.
+            None => 1,
+            Some(t) => {
+                if t.is_nan() || t < 0.0 {
+                    // Negative (or NaN) threshold admits no age at all.
+                    // `now + 2` exceeds every valid stamp.
+                    self.now + 2
+                } else if t >= f64::from(MAX_FINITE_AGE) {
+                    // Ages clamp at MAX_FINITE_AGE, so every finite cell
+                    // is admitted.
+                    1
+                } else {
+                    // 0 ≤ t < 254: `age ≤ t ⇔ age ≤ ⌊t⌋` for integer
+                    // ages, and truncation is floor for non-negative t.
+                    self.now + 1 - t as u16
+                }
+            }
+        }
+    }
+
+    /// Fill `lo[..row]` with per-register admission floors.
+    #[inline]
+    fn stamp_floors(&self, cutoff: &Cutoff, lo: &mut [u16; MAX_ROW]) {
+        for (k, slot) in lo[..self.row_len()].iter_mut().enumerate() {
+            *slot = self.stamp_floor(cutoff, k as u8);
         }
     }
 
     /// Derive the live-bit view under `cutoff` (Fig. 5 step 6): bit `(n, k)`
-    /// is set iff its age is finite and `≤ f(k)`.
+    /// is set iff its age is finite and `≤ f(k)`. Allocates a fresh
+    /// [`Pcsa`]; per-round readouts should reuse a buffer via
+    /// [`bit_view_into`](AgeMatrix::bit_view_into).
     pub fn bit_view(&self, cutoff: &Cutoff) -> Pcsa {
         let mut p = Pcsa::new(self.m, self.l);
-        let row = self.row_len();
-        for (i, &a) in self.ages.iter().enumerate() {
-            if a == INF_AGE {
-                continue;
-            }
-            let k = (i % row) as u8;
-            if cutoff.admits(k, u32::from(a)) {
-                p.set_cell((i / row) as u32, k);
-            }
-        }
+        self.bit_view_into(cutoff, &mut p);
         p
     }
 
+    /// [`bit_view`](AgeMatrix::bit_view) into a caller-owned buffer:
+    /// clears `out` and sets the live bits, allocating nothing.
+    ///
+    /// # Panics
+    /// Panics if `out`'s geometry does not match the matrix.
+    pub fn bit_view_into(&self, cutoff: &Cutoff, out: &mut Pcsa) {
+        assert_eq!(out.num_bins(), self.m, "bin-count mismatch");
+        assert_eq!(out.width(), self.l, "width mismatch");
+        out.clear();
+        let m = self.m as usize;
+        let mut lo = [0u16; MAX_ROW];
+        self.stamp_floors(cutoff, &mut lo);
+        for (k, (col, &f)) in self.stamps.chunks_exact(m).zip(&lo[..self.row_len()]).enumerate() {
+            for (bin, &s) in col.iter().enumerate() {
+                if s >= f {
+                    out.set_cell(bin as u32, k as u8);
+                }
+            }
+        }
+    }
+
     /// Cardinality estimate under `cutoff`: `(m/φ)·2^{avg R}` over the
-    /// live-bit view (Fig. 5 step 7). Computed directly from the counters
-    /// — no intermediate [`Pcsa`] is materialized; the engine reads every
+    /// live-bit view (Fig. 5 step 7). Computed directly from the stamps —
+    /// no intermediate [`Pcsa`] is materialized; the engine reads every
     /// host's estimate every round, so this path must not allocate.
     pub fn estimate(&self, cutoff: &Cutoff) -> f64 {
-        if !self.any_live(cutoff) {
-            return 0.0;
-        }
-        estimate::estimate_from_mean_r(self.m, self.mean_r(cutoff))
+        // No any-live pre-scan: `estimate_from_mean_r(m, 0.0)` is exactly
+        // `(m/φ)·(2⁰ − 2⁻⁰) = 0.0`, so a dead matrix falls out of the
+        // formula identically. The run sum is an integer, so the exp2
+        // evaluation comes from a per-geometry memo table.
+        estimate::estimate_from_run_sum(self.m, self.l, self.live_run_sum(cutoff))
     }
 
     /// Mean live-bit run length under `cutoff` — exposed separately for
-    /// experiments that plot `R` directly. Allocation-free: `R` for a bin
-    /// is the index of its first dead bit, read straight off the ages.
+    /// experiments that plot `R` directly.
     pub fn mean_r(&self, cutoff: &Cutoff) -> f64 {
-        let row = self.row_len();
-        let mut sum: u32 = 0;
-        for bin in self.ages.chunks_exact(row) {
-            let mut r = 0u32;
-            for (k, &a) in bin.iter().enumerate() {
-                if a != INF_AGE && cutoff.admits(k as u8, u32::from(a)) {
-                    r += 1;
-                } else {
-                    break;
-                }
-            }
-            sum += r.min(u32::from(self.l));
-        }
-        f64::from(sum) / f64::from(self.m)
+        f64::from(self.live_run_sum(cutoff)) / f64::from(self.m)
     }
 
-    /// Whether any cell is live under `cutoff` (streaming; no allocation).
-    fn any_live(&self, cutoff: &Cutoff) -> bool {
-        let row = self.row_len();
-        self.ages
-            .iter()
-            .enumerate()
-            .any(|(i, &a)| a != INF_AGE && cutoff.admits((i % row) as u8, u32::from(a)))
+    /// `Σ_bins min(R, L)` under `cutoff`: the integer the estimate is a
+    /// function of. `R` for a bin is the index of its first dead register,
+    /// so `Σ min(R, L) = Σ_{k<L} |{bins whose run survives column k}|` —
+    /// which the register-major layout turns into a branch-free sweep of
+    /// contiguous columns with a per-bin alive flag, stopping at the first
+    /// column no run survives (`≈ log2(n/m)` of them once converged). The
+    /// engine reads every host's estimate every round; this formulation
+    /// both vectorizes and reads only the surviving-column prefix.
+    fn live_run_sum(&self, cutoff: &Cutoff) -> u32 {
+        let m = self.m as usize;
+        let mut lo = [0u16; MAX_ROW];
+        self.stamp_floors(cutoff, &mut lo);
+        let mut sum = 0u32;
+        // Stack budget for the per-bin alive flags; geometries beyond it
+        // (none in practice — the paper uses 64 bins) take a heap buffer.
+        // Kept small: the whole array is initialized on every call, and
+        // this path runs once per host per round.
+        const MAX_BINS_STACK: usize = 256;
+        let mut stack = [1u8; MAX_BINS_STACK];
+        let mut heap;
+        let alive = if m <= MAX_BINS_STACK {
+            &mut stack[..m]
+        } else {
+            heap = vec![1u8; m];
+            &mut heap[..]
+        };
+        for (col, &f) in self.stamps.chunks_exact(m).zip(&lo[..usize::from(self.l)]) {
+            let mut survivors = 0u32;
+            for (a, &s) in alive.iter_mut().zip(col) {
+                *a &= u8::from(s >= f);
+                survivors += u32::from(*a);
+            }
+            sum += survivors;
+            if survivors == 0 {
+                break;
+            }
+        }
+        sum
     }
 
     /// Wire size in bytes: one byte per counter. This is what the gossip
     /// message carries; the bandwidth gap vs. [`Pcsa::wire_bytes`] (8× for
     /// byte counters vs. bits) is part of the Invert-Average cost argument.
     pub fn wire_bytes(&self) -> usize {
-        self.ages.len()
+        self.stamps.len()
     }
 
     /// Expected maximum live bit index for `n` sources — a helper for
@@ -263,6 +570,10 @@ impl AgeMatrix {
         (64 - n.leading_zeros()) as u8
     }
 }
+
+/// Largest `L + 1` row length ([`crate::fm::MAX_WIDTH`] + 1); sizes the
+/// stack-allocated admission-floor table.
+const MAX_ROW: usize = crate::fm::MAX_WIDTH as usize + 1;
 
 /// Shared estimator re-export so protocol code needs only this module.
 pub use estimate::expected_error;
@@ -333,6 +644,35 @@ mod tests {
     }
 
     #[test]
+    fn misaligned_clocks_merge_exactly() {
+        // a and b tick different amounts before merging, so the stamp
+        // translation path runs in both directions.
+        let mut a = AgeMatrix::new(4, 8);
+        let mut b = AgeMatrix::new(4, 8);
+        a.claim_cell(0, 0);
+        a.claim_cell(1, 3);
+        a.release_all();
+        for _ in 0..9 {
+            a.tick();
+        }
+        b.claim_cell(1, 3);
+        b.claim_cell(2, 2);
+        b.release_all();
+        for _ in 0..3 {
+            b.tick();
+        }
+        let mut ab = a.clone();
+        ab.merge_min(&b); // self clock ahead
+        assert_eq!(ab.age(0, 0), 9);
+        assert_eq!(ab.age(1, 3), 3);
+        assert_eq!(ab.age(2, 2), 3);
+        b.merge_min(&a); // self clock behind
+        assert_eq!(b.age(0, 0), 9);
+        assert_eq!(b.age(1, 3), 3);
+        assert_eq!(b.age(2, 2), 3);
+    }
+
+    #[test]
     fn tick_saturates_instead_of_wrapping() {
         let mut m = AgeMatrix::new(4, 8);
         m.claim_cell(2, 3);
@@ -342,6 +682,27 @@ mod tests {
         }
         assert_eq!(m.age(2, 3), MAX_FINITE_AGE);
         assert_ne!(m.age(2, 3), INF_AGE, "saturated finite age must differ from infinity");
+    }
+
+    #[test]
+    fn clock_rebase_preserves_ages() {
+        // Drive the clock across several rebase boundaries with live
+        // sources at every age class: pinned, finite, saturated, ∞.
+        let mut m = AgeMatrix::new(4, 8);
+        m.claim_cell(0, 0); // stays pinned forever
+        m.claim_cell(1, 1);
+        for _ in 0..200_000u32 {
+            m.tick();
+        }
+        m.release_all();
+        m.claim_cell(2, 2); // fresh claim long after the first rebase
+        for _ in 0..7 {
+            m.tick();
+        }
+        assert_eq!(m.age(0, 0), 7, "released cell ages from release");
+        assert_eq!(m.age(1, 1), 7);
+        assert_eq!(m.age(2, 2), 0, "still owned");
+        assert_eq!(m.age(3, 3), INF_AGE);
     }
 
     #[test]
@@ -357,6 +718,19 @@ mod tests {
         let bits = m.bit_view(&cutoff);
         assert!(!bits.bins()[0].bit(0), "age 8 > f(0)=7: expired");
         assert!(bits.bins()[0].bit(8), "age 8 <= f(8)=9: live");
+    }
+
+    #[test]
+    fn bit_view_into_reuses_buffer() {
+        let h = SplitMix64::new(3);
+        let mut m = AgeMatrix::new(8, 16);
+        for id in 0..50u64 {
+            m.claim_id(&h, id);
+        }
+        let mut buf = Pcsa::new(8, 16);
+        buf.set_cell(7, 16); // stale content must be cleared
+        m.bit_view_into(&Cutoff::paper_uniform(), &mut buf);
+        assert_eq!(buf, m.bit_view(&Cutoff::paper_uniform()));
     }
 
     #[test]
@@ -399,6 +773,44 @@ mod tests {
         let est = m.estimate(&Cutoff::paper_uniform());
         let rel = (est - n as f64).abs() / n as f64;
         assert!(rel < 0.3, "est={est:.0} rel={rel:.3}");
+    }
+
+    #[test]
+    fn mutators_bump_the_version() {
+        let mut m = AgeMatrix::new(8, 16);
+        let mut last = m.version();
+        let mut expect_bump = |m: &AgeMatrix, what: &str| {
+            assert_ne!(m.version(), last, "{what} must assign a fresh version");
+            last = m.version();
+        };
+        m.claim_cell(1, 2);
+        expect_bump(&m, "claim_cell");
+        m.tick();
+        expect_bump(&m, "tick");
+        m.release_all();
+        expect_bump(&m, "release_all");
+        let mut other = AgeMatrix::new(8, 16);
+        other.claim_cell(0, 0);
+        m.merge_min(&other);
+        expect_bump(&m, "merge_min");
+        let mut cells = Vec::new();
+        m.dump_ages(&mut cells);
+        m.load_ages(&cells);
+        expect_bump(&m, "load_ages");
+    }
+
+    #[test]
+    fn clone_preserves_state_but_not_the_memo() {
+        let h = SplitMix64::new(7);
+        let mut m = AgeMatrix::new(16, 24);
+        for id in 0..40u64 {
+            m.claim_id(&h, id);
+        }
+        m.tick();
+        let c = m.clone();
+        assert_eq!(c, m);
+        assert_eq!(c.version(), m.version());
+        assert_eq!(c.encode_cache().lock().unwrap().version, 0, "clone starts cold");
     }
 
     #[test]

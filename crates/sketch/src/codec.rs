@@ -14,10 +14,18 @@
 //! shrinks converged matrices 2–4× and sparse (young) matrices far more.
 //! The simulator's bandwidth accounting intentionally reports *raw* sizes
 //! to stay comparable with the paper; `encoded_len` gives the deployment
-//! number.
+//! number (and backs `wire = "measured"` scenario accounting).
+//!
+//! Encoding is **memoized per mutation version**: both payload types carry
+//! a version ([`AgeMatrix::version`], [`Pcsa::version`]) and a per-object
+//! slot, so a host fanning one `Arc` snapshot to k partners pays the run
+//! decomposition once and the k−1 remaining sends are a `memcpy`. A
+//! length-only probe ([`encoded_len_ages`]) fills the same slot without
+//! building the payload.
 
-use crate::age::{AgeMatrix, INF_AGE};
+use crate::age::{AgeMatrix, EncodeSlot, INF_AGE};
 use crate::pcsa::Pcsa;
+use std::sync::Arc;
 
 /// Encoding errors (decode side).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,27 +57,47 @@ const TAG_LITERALS: u8 = 1;
 /// Owned-cell bookkeeping is *not* encoded: a receiver merges the ages; it
 /// never inherits sourcing duties (Fig. 5's exchange sends counters only).
 pub fn encode_ages(m: &AgeMatrix) -> Vec<u8> {
-    let mut out = Vec::with_capacity(16 + m.cells().len() / 4);
+    let mut out = Vec::with_capacity(16 + m.wire_bytes() / 4);
     encode_ages_into(m, &mut out);
     out
 }
 
 /// [`encode_ages`] appending into a caller-provided buffer (not cleared),
 /// so per-message encoding on a node runtime reuses one allocation.
+///
+/// Consults the matrix's version-stamped memo first: repeated encodes of
+/// an unmutated snapshot (gossip fan-out, push-pull replies off one
+/// `Arc`) copy the cached payload instead of re-running the encoder.
 pub fn encode_ages_into(m: &AgeMatrix, out: &mut Vec<u8>) {
-    let cells = m.cells();
-    out.extend_from_slice(&m.num_bins().to_le_bytes());
-    out.push(m.width());
-    for (start, len, inf) in age_runs(cells) {
-        if inf {
-            out.push(TAG_INF_RUN);
-            out.extend_from_slice(&(len as u16).to_le_bytes());
-        } else {
-            out.push(TAG_LITERALS);
-            out.extend_from_slice(&(len as u16).to_le_bytes());
-            out.extend_from_slice(&cells[start..start + len]);
+    let version = m.version();
+    {
+        let slot = m.encode_cache().lock().unwrap();
+        if slot.version == version {
+            if let Some(bytes) = &slot.bytes {
+                out.extend_from_slice(bytes);
+                return;
+            }
         }
     }
+    // Miss: materialize the eager byte view once, encode it, memoize.
+    let mut cells = Vec::with_capacity(m.wire_bytes());
+    m.dump_ages(&mut cells);
+    let mut built = Vec::with_capacity(16 + cells.len() / 4);
+    built.extend_from_slice(&m.num_bins().to_le_bytes());
+    built.push(m.width());
+    for (start, len, inf) in age_runs(&cells) {
+        if inf {
+            built.push(TAG_INF_RUN);
+            built.extend_from_slice(&(len as u16).to_le_bytes());
+        } else {
+            built.push(TAG_LITERALS);
+            built.extend_from_slice(&(len as u16).to_le_bytes());
+            built.extend_from_slice(&cells[start..start + len]);
+        }
+    }
+    out.extend_from_slice(&built);
+    *m.encode_cache().lock().unwrap() =
+        EncodeSlot { version, len: built.len(), bytes: Some(Arc::new(built)) };
 }
 
 /// The run decomposition both [`encode_ages_into`] and
@@ -147,10 +175,29 @@ pub fn decode_ages(bytes: &[u8]) -> Result<AgeMatrix, CodecError> {
     Ok(out)
 }
 
-/// Encoded size without materializing the buffer (bandwidth accounting):
-/// one streaming pass over the same run decomposition the encoder uses.
+/// Encoded size without materializing the payload (bandwidth accounting,
+/// `wire = "measured"` lockstep metering): one streaming pass over the
+/// same run decomposition the encoder uses, memoized in the same
+/// version-stamped slot so re-probing an unmutated snapshot is O(1).
 pub fn encoded_len_ages(m: &AgeMatrix) -> usize {
-    5 + age_runs(m.cells()).map(|(_, len, inf)| 3 + if inf { 0 } else { len }).sum::<usize>()
+    let version = m.version();
+    {
+        let slot = m.encode_cache().lock().unwrap();
+        if slot.version == version && slot.len != 0 {
+            return slot.len;
+        }
+    }
+    let mut cells = Vec::with_capacity(m.wire_bytes());
+    m.dump_ages(&mut cells);
+    let len =
+        5 + age_runs(&cells).map(|(_, len, inf)| 3 + if inf { 0 } else { len }).sum::<usize>();
+    let mut slot = m.encode_cache().lock().unwrap();
+    if slot.version == version {
+        slot.len = len;
+    } else {
+        *slot = EncodeSlot { version, len, bytes: None };
+    }
+    len
 }
 
 /// Encode a PCSA sketch: header `(m: u32, l: u8)`, then each bin's
@@ -163,13 +210,28 @@ pub fn encode_pcsa(p: &Pcsa) -> Vec<u8> {
 }
 
 /// [`encode_pcsa`] appending into a caller-provided buffer (not cleared).
+/// Memoized per [`Pcsa::version`], like [`encode_ages_into`].
 pub fn encode_pcsa_into(p: &Pcsa, out: &mut Vec<u8>) {
-    let bytes_per_bin = (usize::from(p.width()) + 1).div_ceil(8);
-    out.extend_from_slice(&p.num_bins().to_le_bytes());
-    out.push(p.width());
-    for bin in p.bins() {
-        out.extend_from_slice(&bin.bits().to_le_bytes()[..bytes_per_bin]);
+    let version = p.version();
+    {
+        let slot = p.encode_cache().lock().unwrap();
+        if slot.version == version {
+            if let Some(bytes) = &slot.bytes {
+                out.extend_from_slice(bytes);
+                return;
+            }
+        }
     }
+    let bytes_per_bin = (usize::from(p.width()) + 1).div_ceil(8);
+    let mut built = Vec::with_capacity(5 + p.bins().len() * bytes_per_bin);
+    built.extend_from_slice(&p.num_bins().to_le_bytes());
+    built.push(p.width());
+    for bin in p.bins() {
+        built.extend_from_slice(&bin.bits().to_le_bytes()[..bytes_per_bin]);
+    }
+    out.extend_from_slice(&built);
+    *p.encode_cache().lock().unwrap() =
+        EncodeSlot { version, len: built.len(), bytes: Some(Arc::new(built)) };
 }
 
 /// Decode a PCSA sketch previously produced by [`encode_pcsa`].
@@ -302,6 +364,47 @@ mod tests {
         let mut enc = encode_pcsa(&p);
         enc.pop();
         assert!(decode_pcsa(&enc).is_err());
+    }
+
+    #[test]
+    fn encode_memo_is_stable_and_invalidated_by_mutation() {
+        let mut m = sample_matrix(500, 4);
+        let first = encode_ages(&m);
+        // Second encode is served from the memo — bytes identical.
+        assert_eq!(encode_ages(&m), first);
+        // A length-only probe agrees with the cached payload.
+        assert_eq!(encoded_len_ages(&m), first.len());
+        // Any mutation must invalidate: the next encode reflects it.
+        m.tick();
+        let after = encode_ages(&m);
+        assert_ne!(after, first, "tick must invalidate the encode memo");
+        assert_eq!(decode_ages(&after).unwrap().age(0, 0), m.age(0, 0));
+    }
+
+    #[test]
+    fn length_probe_then_encode_agree() {
+        // encoded_len first (fills a bytes-less memo), then encode must
+        // still produce the real payload at the same length.
+        let m = sample_matrix(200, 2);
+        let len = encoded_len_ages(&m);
+        let enc = encode_ages(&m);
+        assert_eq!(enc.len(), len);
+        assert!(decode_ages(&enc).is_ok());
+    }
+
+    #[test]
+    fn pcsa_encode_memo_matches_fresh_encoding() {
+        let h = SplitMix64::new(11);
+        let mut p = Pcsa::new(32, 24);
+        for id in 0..300u64 {
+            p.insert(&h, id);
+        }
+        let first = encode_pcsa(&p);
+        assert_eq!(encode_pcsa(&p), first);
+        p.insert(&h, 10_000);
+        // Clone starts cold: its fresh encode must equal the mutated
+        // original's (memo cannot leak stale bytes through clones).
+        assert_eq!(encode_pcsa(&p.clone()), encode_pcsa(&p));
     }
 
     #[test]

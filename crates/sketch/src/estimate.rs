@@ -25,6 +25,36 @@ pub fn estimate_from_mean_r(m: u32, mean_r: f64) -> f64 {
     (f64::from(m) / PHI) * (mean_r.exp2() - (-SMALL_N_KAPPA * mean_r).exp2())
 }
 
+thread_local! {
+    /// Lazily filled estimate table for one sketch geometry `(m, L)`: the
+    /// live-run sum is an integer in `0..=m·L`, so the per-round estimate
+    /// the engine reads from every host becomes a table load instead of
+    /// two `exp2` calls. Entries are produced by [`estimate_from_mean_r`]
+    /// itself, so the cached and direct paths are bit-identical.
+    static RUN_SUM_TABLE: std::cell::RefCell<(u32, u8, Vec<f64>)> =
+        const { std::cell::RefCell::new((0, 0, Vec::new())) };
+}
+
+/// [`estimate_from_mean_r`] addressed by the integer live-run sum
+/// `Σ_bins min(R, L)` (i.e. `mean_r = sum / m`), memoized per geometry in
+/// a thread-local table. Changing geometry resets the table, so tests
+/// mixing sketch sizes stay correct (just uncached across the switch).
+pub fn estimate_from_run_sum(m: u32, l: u8, sum: u32) -> f64 {
+    RUN_SUM_TABLE.with(|cell| {
+        let mut t = cell.borrow_mut();
+        if t.0 != m || t.1 != l {
+            *t = (m, l, vec![f64::NAN; m as usize * usize::from(l) + 1]);
+        }
+        let slot = &mut t.2[sum as usize];
+        if slot.is_nan() {
+            // NaN marks "not yet computed": real entries are finite for
+            // every representable sum.
+            *slot = estimate_from_mean_r(m, f64::from(sum) / f64::from(m));
+        }
+        *slot
+    })
+}
+
 /// FM85's standard-error bound for PCSA with `m` bins: ≈ `0.78 / √m`
 /// (relative error of the estimate).
 ///

@@ -10,7 +10,10 @@
 //! * [`sum`] — multi-insertion summation (Considine et al. 2004),
 //! * [`age`] — the **age-counter matrix** that replaces sketch bits with
 //!   integer ages; the substrate of Count-Sketch-Reset (Kennedy, Koch,
-//!   Demers 2009, §IV),
+//!   Demers 2009, §IV), stored lazily as birth stamps under a global
+//!   clock so ticking is O(own) instead of O(m·l),
+//! * [`mod@reference`] — the retained eager (scalar `u8`) age matrix the
+//!   lazy representation is differentially tested against,
 //! * [`cutoff`] — the bit-expiry cutoff policies `f(k)` (paper: `7 + k/4`),
 //! * [`codec`] — compact lossless wire encoding of matrices and sketches,
 //! * [`estimate`] — shared estimator constants and error bounds.
@@ -36,6 +39,7 @@ pub mod estimate;
 pub mod fm;
 pub mod hash;
 pub mod pcsa;
+pub mod reference;
 pub mod rho;
 pub mod sum;
 

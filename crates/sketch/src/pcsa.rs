@@ -13,17 +13,44 @@
 //! properties of the base sketch: OR-decomposability and duplicate
 //! insensitivity.
 
+use crate::age::EncodeSlot;
 use crate::estimate;
 use crate::fm::FmSketch;
 use crate::hash::Hash64;
 use crate::rho::bin_and_rho;
+use std::sync::Mutex;
 
 /// A binned FM sketch (PCSA).
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+///
+/// Like [`crate::age::AgeMatrix`], the sketch carries a mutation version
+/// keying the codec's per-snapshot encode memo, so an `Arc<Pcsa>` fanned
+/// to many partners is serialized once.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
 pub struct Pcsa {
     bins: Vec<FmSketch>,
     l: u8,
+    version: u64,
+    cache: Mutex<EncodeSlot>,
 }
+
+impl Clone for Pcsa {
+    fn clone(&self) -> Self {
+        Self {
+            bins: self.bins.clone(),
+            l: self.l,
+            version: self.version,
+            cache: Mutex::new(EncodeSlot::default()),
+        }
+    }
+}
+
+impl PartialEq for Pcsa {
+    fn eq(&self, other: &Self) -> bool {
+        self.l == other.l && self.bins == other.bins
+    }
+}
+
+impl Eq for Pcsa {}
 
 impl Pcsa {
     /// Empty PCSA with `m` bins (power of two) of width `l` bits each.
@@ -32,7 +59,26 @@ impl Pcsa {
     /// Panics if `m` is not a power of two or `l` is out of range.
     pub fn new(m: u32, l: u8) -> Self {
         assert!(m.is_power_of_two() && m >= 1, "bin count must be a power of two");
-        Self { bins: vec![FmSketch::new(l); m as usize], l }
+        Self {
+            bins: vec![FmSketch::new(l); m as usize],
+            l,
+            version: 1,
+            cache: Mutex::new(EncodeSlot::default()),
+        }
+    }
+
+    /// Mutation version; see [`crate::age::AgeMatrix::version`].
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    pub(crate) fn encode_cache(&self) -> &Mutex<EncodeSlot> {
+        &self.cache
+    }
+
+    #[inline]
+    fn bump(&mut self) {
+        self.version = self.version.wrapping_add(1);
     }
 
     /// Number of bins `m`.
@@ -60,6 +106,7 @@ impl Pcsa {
     pub fn insert<H: Hash64>(&mut self, hasher: &H, id: u64) {
         let (bin, k) = self.cell_for(hasher, id);
         self.bins[bin as usize].set_bit(k);
+        self.bump();
     }
 
     /// The `(bin, bit)` cell that `id` occupies — exposed so the age matrix
@@ -73,6 +120,7 @@ impl Pcsa {
     #[inline]
     pub fn set_cell(&mut self, bin: u32, k: u8) {
         self.bins[bin as usize].set_bit(k);
+        self.bump();
     }
 
     /// OR-merge another PCSA into this one.
@@ -87,6 +135,7 @@ impl Pcsa {
         for (a, b) in self.bins.iter_mut().zip(&other.bins) {
             a.or_bits_unchecked(b.bits());
         }
+        self.bump();
     }
 
     /// Mean run length `(1/m) Σ R(A_j)` across bins.
@@ -119,6 +168,7 @@ impl Pcsa {
         for b in &mut self.bins {
             b.clear();
         }
+        self.bump();
     }
 }
 

@@ -1,0 +1,297 @@
+//! Differential property tests: lazy [`AgeMatrix`] ≡ eager [`RefAgeMatrix`].
+//!
+//! Every golden digest in the repo pins behavior of the eager `u8`
+//! age-counter matrix; the lazy birth-stamp representation replacing it
+//! is only correct if no public observation can tell the two apart. In
+//! the style of the wheel-vs-heap queue suite (`node/tests/
+//! queue_properties.rs`), these tests drive both implementations through
+//! arbitrary interleaved programs — claims, ticks (including past the
+//! saturation boundary), releases, min-merges between pairs with
+//! *different* tick counts (exercising the clock-translation paths),
+//! wire load/dump round-trips — and assert cell-exact ages, bit-exact
+//! estimates, identical cutoff admits, and byte-identical codec output
+//! at every checkpoint.
+
+use dynagg_sketch::age::{AgeMatrix, INF_AGE, MAX_FINITE_AGE};
+use dynagg_sketch::codec;
+use dynagg_sketch::cutoff::Cutoff;
+use dynagg_sketch::hash::SplitMix64;
+use dynagg_sketch::reference::RefAgeMatrix;
+use proptest::prelude::*;
+use proptest::strategy::Just;
+
+const M: u32 = 8;
+const L: u8 = 12;
+
+/// One lazy/eager pair driven through identical mutations.
+struct Pair {
+    lazy: AgeMatrix,
+    eager: RefAgeMatrix,
+}
+
+impl Pair {
+    fn new() -> Self {
+        Self { lazy: AgeMatrix::new(M, L), eager: RefAgeMatrix::new(M, L) }
+    }
+
+    /// Assert every public observation agrees, under several cutoffs
+    /// including degenerate ones.
+    fn check(&self) {
+        for bin in 0..M {
+            for k in 0..=L {
+                assert_eq!(
+                    self.lazy.age(bin, k),
+                    self.eager.age(bin, k),
+                    "age diverged at ({bin}, {k})"
+                );
+            }
+        }
+        assert_eq!(self.lazy.owned_cells(), self.eager.owned_cells());
+        let cutoffs = [
+            Cutoff::paper_uniform(),
+            Cutoff::slow(),
+            Cutoff::paper_uniform().scaled(0.25),
+            Cutoff::Infinite,
+            // Degenerate thresholds: admit-nothing and admit-everything.
+            Cutoff::Linear { base: -3.0, slope: 0.0 },
+            Cutoff::Linear { base: 1000.0, slope: 5.0 },
+            // Thresholds straddling the saturation clamp.
+            Cutoff::Linear { base: f64::from(MAX_FINITE_AGE), slope: 0.0 },
+            Cutoff::Linear { base: f64::from(MAX_FINITE_AGE) - 0.5, slope: 0.0 },
+        ];
+        for cutoff in &cutoffs {
+            // f64 bit-exactness: both paths must feed the estimator the
+            // identical mean R (an integer sum over m).
+            assert_eq!(
+                self.lazy.mean_r(cutoff).to_bits(),
+                self.eager.mean_r(cutoff).to_bits(),
+                "mean_r diverged under {cutoff:?}"
+            );
+            assert_eq!(
+                self.lazy.estimate(cutoff).to_bits(),
+                self.eager.estimate(cutoff).to_bits(),
+                "estimate diverged under {cutoff:?}"
+            );
+            assert_eq!(
+                self.lazy.bit_view(cutoff),
+                self.eager.bit_view(cutoff),
+                "bit view diverged under {cutoff:?}"
+            );
+        }
+        // Wire bytes: the memoizing codec on the lazy matrix must produce
+        // exactly what the reference's independent encoder produces.
+        let lazy_bytes = codec::encode_ages(&self.lazy);
+        assert_eq!(lazy_bytes, self.eager.encode(), "encoded payloads diverged");
+        assert_eq!(codec::encoded_len_ages(&self.lazy), lazy_bytes.len());
+        // And decoding the lazy payload must reproduce the eager cells.
+        let decoded = codec::decode_ages(&lazy_bytes).expect("self-encoded payload decodes");
+        for bin in 0..M {
+            for k in 0..=L {
+                assert_eq!(decoded.age(bin, k), self.eager.age(bin, k));
+            }
+        }
+    }
+}
+
+/// Apply one generated op to both representations of a pair — or merge
+/// between the two pairs, in both clock directions.
+fn apply(a: &mut Pair, b: &mut Pair, op: &Op) {
+    match *op {
+        Op::Claim { bin, k } => {
+            a.lazy.claim_cell(bin % M, k % (L + 1));
+            a.eager.claim_cell(bin % M, k % (L + 1));
+        }
+        Op::ClaimId { id } => {
+            let h = SplitMix64::new(17);
+            a.lazy.claim_id(&h, id);
+            a.eager.claim_id(&h, id);
+        }
+        Op::ClaimValue { id, value } => {
+            let h = SplitMix64::new(17);
+            a.lazy.claim_value(&h, id, u64::from(value));
+            a.eager.claim_value(&h, id, u64::from(value));
+        }
+        Op::Release => {
+            a.lazy.release_all();
+            a.eager.release_all();
+        }
+        Op::Tick { times } => {
+            // Up to ~600 ticks: crosses the MAX_FINITE_AGE saturation
+            // boundary mid-program, with owned cells still pinned.
+            for _ in 0..times {
+                a.lazy.tick();
+                a.eager.tick();
+            }
+        }
+        Op::MergeFromOther => {
+            a.lazy.merge_min(&b.lazy);
+            a.eager.merge_min(&b.eager);
+        }
+        Op::MergeIntoOther => {
+            b.lazy.merge_min(&a.lazy);
+            b.eager.merge_min(&a.eager);
+        }
+        Op::MergeDecoded => {
+            // Merge through the wire: exercises load_ages' clock reset
+            // and the decoded-view clock-translation merge path.
+            let decoded = codec::decode_ages(&codec::encode_ages(&b.lazy)).unwrap();
+            a.lazy.merge_min(&decoded);
+            let mut cells = Vec::new();
+            b.lazy.dump_ages(&mut cells);
+            let mut eager_decoded = RefAgeMatrix::new(M, L);
+            eager_decoded.load_ages(&cells);
+            a.eager.merge_min(&eager_decoded);
+        }
+        Op::LoadRoundtrip => {
+            // Dump a's cells and load them back into itself: ownership
+            // clears and the clock rebases to base.
+            let mut cells = Vec::new();
+            a.lazy.dump_ages(&mut cells);
+            a.lazy.load_ages(&cells);
+            a.eager.load_ages(&cells);
+        }
+        Op::Swap => {}
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Claim { bin: u32, k: u8 },
+    ClaimId { id: u64 },
+    ClaimValue { id: u64, value: u8 },
+    Release,
+    Tick { times: u16 },
+    MergeFromOther,
+    MergeIntoOther,
+    MergeDecoded,
+    LoadRoundtrip,
+    Swap,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u32>(), any::<u8>()).prop_map(|(bin, k)| Op::Claim { bin, k }),
+        any::<u64>().prop_map(|id| Op::ClaimId { id }),
+        (any::<u64>(), 0u8..40).prop_map(|(id, value)| Op::ClaimValue { id, value }),
+        Just(Op::Release),
+        // Mostly short ticks, with occasional saturation-scale bursts so
+        // programs cross the 254 boundary (the shim's oneof is uniform,
+        // so the short arm is repeated to weight it).
+        (0u16..12).prop_map(|times| Op::Tick { times }),
+        (0u16..12).prop_map(|times| Op::Tick { times }),
+        (0u16..12).prop_map(|times| Op::Tick { times }),
+        (200u16..600).prop_map(|times| Op::Tick { times }),
+        Just(Op::MergeFromOther),
+        Just(Op::MergeIntoOther),
+        Just(Op::MergeDecoded),
+        Just(Op::LoadRoundtrip),
+        Just(Op::Swap),
+    ]
+}
+
+proptest! {
+    /// Arbitrary interleaved programs over two lazy/eager pairs: after
+    /// every op, all public observations must agree. `Swap` ops alternate
+    /// which pair receives subsequent mutations, so both accumulate
+    /// different tick counts and merges run misaligned in both directions.
+    #[test]
+    fn lazy_matches_eager_on_arbitrary_programs(
+        ops in proptest::collection::vec(op_strategy(), 0..60),
+    ) {
+        let mut a = Pair::new();
+        let mut b = Pair::new();
+        let mut flipped = false;
+        for op in &ops {
+            if matches!(op, Op::Swap) {
+                flipped = !flipped;
+                continue;
+            }
+            if flipped {
+                apply(&mut b, &mut a, op);
+            } else {
+                apply(&mut a, &mut b, op);
+            }
+        }
+        a.check();
+        b.check();
+    }
+
+    /// Merge-heavy programs with per-step checking: divergence is caught
+    /// at the op that introduced it, not at program end.
+    #[test]
+    fn lazy_matches_eager_stepwise_under_merges(
+        ops in proptest::collection::vec(
+            prop_oneof![
+                (any::<u32>(), any::<u8>()).prop_map(|(bin, k)| Op::Claim { bin, k }),
+                Just(Op::Release),
+                (0u16..30).prop_map(|times| Op::Tick { times }),
+                Just(Op::MergeFromOther),
+                Just(Op::MergeDecoded),
+            ],
+            0..25,
+        ),
+        seed_b in proptest::collection::vec(any::<u64>(), 0..20),
+        ticks_b in 0u16..300,
+    ) {
+        let mut a = Pair::new();
+        let mut b = Pair::new();
+        let h = SplitMix64::new(17);
+        for id in seed_b {
+            b.lazy.claim_id(&h, id);
+            b.eager.claim_id(&h, id);
+        }
+        for _ in 0..ticks_b {
+            b.lazy.tick();
+            b.eager.tick();
+        }
+        for op in &ops {
+            apply(&mut a, &mut b, op);
+            a.check();
+        }
+        b.check();
+    }
+}
+
+/// The clock-rebase boundary cannot be reached by short proptest
+/// programs, so cross it deliberately: ~70 000 ticks force a rebase (the
+/// lazy clock rebases every ~65 000), with an owned pinned cell, a
+/// released finite cell that saturates, and ∞ cells. The eager reference
+/// pays the full O(cells) pass per tick; the matrices stay tiny so this
+/// runs in milliseconds.
+#[test]
+fn rebase_crossing_matches_eager_reference() {
+    let mut p = Pair::new();
+    p.lazy.claim_cell(0, 0);
+    p.eager.claim_cell(0, 0);
+    p.lazy.claim_cell(1, 1);
+    p.eager.claim_cell(1, 1);
+    for i in 0..70_000u32 {
+        if i == 10 {
+            // Release (1,1) early so it saturates long before the rebase.
+            let mut cells = Vec::new();
+            p.lazy.dump_ages(&mut cells);
+            // Re-own only (0,0): release everything, then re-claim.
+            p.lazy.release_all();
+            p.eager.release_all();
+            p.lazy.claim_cell(0, 0);
+            p.eager.claim_cell(0, 0);
+        }
+        p.lazy.tick();
+        p.eager.tick();
+        if i % 9_999 == 0 {
+            p.check();
+        }
+    }
+    p.check();
+    // A late merge partner still merges exactly across the rebase gap.
+    let mut q = Pair::new();
+    q.lazy.claim_cell(1, 1);
+    q.eager.claim_cell(1, 1);
+    q.lazy.tick();
+    q.eager.tick();
+    p.lazy.merge_min(&q.lazy);
+    p.eager.merge_min(&q.eager);
+    p.check();
+    assert_eq!(p.lazy.age(1, 1), 0, "merge must revive the saturated cell from q's fresh claim");
+    assert_eq!(p.lazy.age(2, 2), INF_AGE);
+}
